@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks: the per-sentence Open IE stack (Table 5's
+//! runtime axis), greedy vs ILP joint inference (Table 6's runtime axis),
+//! and the densification recompute strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qkb_corpus::world::{World, WorldConfig};
+use qkb_openie::{ClausIe, Extractor, Ollie, OpenIe4, Reverb};
+use qkb_parse::ParserBackend;
+use qkbfly::{Qkbfly, QkbflyConfig, SolverKind, Variant};
+
+fn fixture() -> (World, Vec<String>) {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::wiki_corpus(&world, 4, 99);
+    let texts = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    (world, texts)
+}
+
+fn system(world: &World, solver: SolverKind) -> Qkbfly {
+    let bg = qkb_corpus::background::background_corpus(world, 15, 5);
+    let stats = qkb_corpus::background::build_stats(world, &bg);
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    let mut patterns = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut patterns);
+    Qkbfly::with_config(
+        repo,
+        patterns,
+        stats,
+        QkbflyConfig {
+            variant: Variant::Joint,
+            solver,
+            ..Default::default()
+        },
+    )
+}
+
+/// Table 5's runtime axis: extraction systems per sentence.
+fn openie_runtime(c: &mut Criterion) {
+    let (world, _) = fixture();
+    let corpus = qkb_corpus::docgen::reverb_corpus(&world, 60, 55);
+    let nlp = qkb_nlp::Pipeline::with_gazetteer(world.repo.gazetteer());
+    let sentences: Vec<qkb_nlp::Sentence> = corpus
+        .docs
+        .iter()
+        .flat_map(|d| nlp.annotate(&d.text).sentences)
+        .collect();
+
+    let mut group = c.benchmark_group("openie_per_sentence");
+    let systems: Vec<(&str, Box<dyn Extractor>)> = vec![
+        ("clausie_chart", Box::new(ClausIe::with_backend(ParserBackend::Chart))),
+        ("qkbfly_greedy", Box::new(ClausIe::new())),
+        ("reverb", Box::new(Reverb::new())),
+        ("ollie", Box::new(Ollie::new())),
+        ("openie4", Box::new(OpenIe4::new())),
+    ];
+    for (name, sys) in &systems {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for s in &sentences {
+                    n += sys.extract(s).len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 6's runtime axis: greedy densification vs exact ILP.
+fn greedy_vs_ilp(c: &mut Criterion) {
+    let (world, texts) = fixture();
+    let greedy = system(&world, SolverKind::Greedy);
+    let ilp = system(&world, SolverKind::Ilp);
+    let doc = texts[0].clone();
+
+    let mut group = c.benchmark_group("joint_inference_per_doc");
+    group.sample_size(20);
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy.build_kb(std::slice::from_ref(&doc)).kb.n_facts())
+    });
+    group.bench_function("ilp", |b| {
+        b.iter(|| ilp.build_kb(std::slice::from_ref(&doc)).kb.n_facts())
+    });
+    group.finish();
+}
+
+/// Dependency parser backends in isolation (the ClausIE-vs-QKBfly gap).
+fn parser_backends(c: &mut Criterion) {
+    let (world, _) = fixture();
+    let corpus = qkb_corpus::docgen::reverb_corpus(&world, 40, 56);
+    let nlp = qkb_nlp::Pipeline::with_gazetteer(world.repo.gazetteer());
+    let sentences: Vec<qkb_nlp::Sentence> = corpus
+        .docs
+        .iter()
+        .flat_map(|d| nlp.annotate(&d.text).sentences)
+        .collect();
+    let mut group = c.benchmark_group("parser_per_sentence");
+    group.bench_function("greedy", |b| {
+        let p = qkb_parse::GreedyParser::new();
+        b.iter(|| sentences.iter().map(|s| p.parse(s).len()).sum::<usize>())
+    });
+    group.bench_function("chart", |b| {
+        let p = qkb_parse::ChartParser::new();
+        b.iter(|| sentences.iter().map(|s| p.parse(s).len()).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, openie_runtime, greedy_vs_ilp, parser_backends);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: the confidence threshold τ (the paper uses τ = 0.5 for KB
+//! construction and τ = 0.9 for the high-precision IE regime of §7.3).
+//!
+//! Run: `cargo run -p qkb-bench --release --bin ablate_tau`
+
+use qkb_bench::{assess_linked_extractions, build_fixture, fmt_ci, Table};
+use qkb_corpus::Assessor;
+use qkbfly::{QkbflyConfig, Qkbfly};
+
+fn main() {
+    println!("== Ablation: confidence threshold τ ==\n");
+    let fx = build_fixture();
+    let corpus = fx.wiki(40, 2025);
+    let assessor = Assessor::new(&fx.world);
+    let mut t = Table::new(["tau", "Precision", "#Kept"]);
+    for tau in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        let sys = Qkbfly::with_config(
+            qkb_bench::clone_repo(&fx.world),
+            fx.patterns(),
+            fx.stats(),
+            QkbflyConfig { tau, ..Default::default() },
+        );
+        let mut records = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            let result = sys.build_kb(std::slice::from_ref(&doc.text));
+            for r in result.records {
+                if r.kept {
+                    records.push((d, r.extraction, r.slot_entities));
+                }
+            }
+        }
+        let s = assess_linked_extractions(&assessor, &corpus.docs, &records, 200, 17);
+        t.row([format!("{tau:.2}"), fmt_ci(s.precision, s.ci), s.n_extractions.to_string()]);
+    }
+    t.print();
+    println!("\nExpected shape: precision non-decreasing in τ, volume decreasing.");
+}

@@ -1,0 +1,38 @@
+//! Ablation: the type-signature feature (the paper attributes the
+//! joint-vs-pipeline NED gap of Table 4 to it: Liverpool-city vs
+//! Liverpool-F.C. errors appear when `ts` is omitted).
+//!
+//! Run: `cargo run -p qkb-bench --release --bin ablate_type_signatures`
+
+use qkb_bench::{assess_links, build_fixture, fmt_ci, Table};
+use qkb_corpus::Assessor;
+use qkbfly::{QkbflyConfig, Qkbfly, Variant};
+
+fn main() {
+    println!("== Ablation: type signatures in the joint model ==\n");
+    let fx = build_fixture();
+    let corpus = fx.wiki(40, 2026);
+    let assessor = Assessor::new(&fx.world);
+    let mut t = Table::new(["Configuration", "NED precision", "#Links"]);
+    for (name, variant) in [
+        ("joint + type signatures", Variant::Joint),
+        ("joint - type signatures (pipeline weights)", Variant::PipelineArch),
+    ] {
+        let sys = Qkbfly::with_config(
+            qkb_bench::clone_repo(&fx.world),
+            fx.patterns(),
+            fx.stats(),
+            QkbflyConfig { variant, ..Default::default() },
+        );
+        let mut links = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            let result = sys.build_kb(std::slice::from_ref(&doc.text));
+            for l in result.links {
+                links.push((d, l.sentence, l.phrase, l.entity));
+            }
+        }
+        let s = assess_links(&assessor, &corpus.docs, &links, 200, 18);
+        t.row([name.to_string(), fmt_ci(s.precision, s.ci), s.n_extractions.to_string()]);
+    }
+    t.print();
+}

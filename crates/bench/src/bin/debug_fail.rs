@@ -1,0 +1,67 @@
+//! Diagnostic: list wrong extractions of the joint variant with gold.
+
+use qkb_bench::{build_fixture, scale};
+use qkb_corpus::Assessor;
+use qkbfly::{SolverKind, Variant};
+
+fn main() {
+    let _ = scale();
+    let fx = build_fixture();
+    let corpus = match std::env::args().nth(1).as_deref() {
+        Some("wikia") => fx.wikia(2, 63),
+        Some("news") => fx.news(8, 62),
+        _ => fx.wiki(60, 2024),
+    };
+    let assessor = Assessor::new(&fx.world);
+    let sys = fx.system(fx.stats(), Variant::Joint, SolverKind::Greedy);
+    let mut wrong = 0;
+    let mut total = 0;
+    let mut dropped = 0;
+    let mut shown = 0;
+    for doc in corpus.docs.iter() {
+        let result = sys.build_kb(std::slice::from_ref(&doc.text));
+        for r in &result.records {
+            if !r.extraction.is_triple() {
+                continue;
+            }
+            if !r.kept {
+                dropped += 1;
+                if shown < 8 {
+                    println!(
+                        "DROPPED conf={:.2} s{} {}\n  sent: {}",
+                        r.extraction.confidence,
+                        r.extraction.sentence,
+                        r.extraction.render(),
+                        doc.sentences.get(r.extraction.sentence).map(String::as_str).unwrap_or("?")
+                    );
+                    shown += 1;
+                }
+                continue;
+            }
+            total += 1;
+            if !assessor.extraction_correct(doc, &r.extraction) {
+                wrong += 1;
+                if wrong <= 25 {
+                    println!(
+                        "WRONG conf={:.2} s{} {}\n  sent: {}",
+                        r.extraction.confidence,
+                        r.extraction.sentence,
+                        r.extraction.render(),
+                        doc.sentences.get(r.extraction.sentence).map(String::as_str).unwrap_or("?")
+                    );
+                    for inst in doc.instances.iter().filter(|i| i.sentence == r.extraction.sentence) {
+                        println!(
+                            "  gold: subj='{}' rel='{}' pattern(s)={:?} args={:?} neg={}",
+                            inst.subject_surface,
+                            inst.relation,
+                            inst.args.iter().map(|a| a.pattern.as_str()).collect::<Vec<_>>(),
+                            inst.args.iter().map(|a| a.surface.as_str()).collect::<Vec<_>>(),
+                            inst.negated
+                        );
+                    }
+                }
+            }
+        }
+    }
+    println!("\nkept={total} wrong={wrong} dropped={dropped} precision={:.3}", 1.0 - wrong as f64 / total as f64);
+}

@@ -1,0 +1,89 @@
+//! **Table 5** — the Open IE component on the Reverb-500-style corpus:
+//! precision, number of extractions and average per-sentence runtime for
+//! ClausIE (chart parser), QKBfly (greedy parser), ReVerb, Ollie and
+//! Open IE 4.2.
+//!
+//! Run: `cargo run -p qkb-bench --release --bin table5 [-- --scale N]`
+
+use qkb_bench::{assess_extractions, build_fixture, fmt_ci, scale, Table};
+use qkb_corpus::Assessor;
+use qkb_openie::{ClausIe, Extractor, Ollie, OpenIe4, Reverb};
+use qkb_parse::ParserBackend;
+use qkb_util::stats::{mean, mean_ci95};
+use std::time::Instant;
+
+fn main() {
+    let n_sentences = 500 * scale();
+    println!("== Table 5: Open IE component (Reverb-style, {n_sentences} sentences) ==\n");
+    let fx = build_fixture();
+    let corpus = fx.reverb(n_sentences, 555);
+    let assessor = Assessor::new(&fx.world);
+    let repo = qkb_bench::clone_repo(&fx.world);
+    let nlp = qkb_nlp::Pipeline::with_gazetteer(repo.gazetteer());
+
+    let systems: Vec<(&str, Box<dyn Extractor>)> = vec![
+        ("ClausIE", Box::new(ClausIe::with_backend(ParserBackend::Chart))),
+        ("QKBfly", Box::new(ClausIe::new())),
+        ("Reverb", Box::new(Reverb::new())),
+        ("Ollie", Box::new(Ollie::new())),
+        ("Open IE 4.2", Box::new(OpenIe4::new())),
+    ];
+
+    let mut t = Table::new(["Method", "Precision", "#Extract.", "Avg. ms/sentence"]);
+    let mut measured: Vec<(String, f64, usize, f64)> = Vec::new();
+    for (name, system) in &systems {
+        let mut records = Vec::new();
+        let mut times = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            let t0 = Instant::now();
+            // Per the paper, runtime covers the full per-sentence stack
+            // (pre-processing + parsing + extraction).
+            let ann = nlp.annotate(&doc.text);
+            let mut ex = Vec::new();
+            for s in &ann.sentences {
+                ex.extend(system.extract(s));
+            }
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            for mut e in ex {
+                e.sentence = 0; // single-sentence documents
+                records.push((d, e));
+            }
+        }
+        let s = assess_extractions(&assessor, &corpus.docs, &records, 200, 51);
+        t.row([
+            name.to_string(),
+            fmt_ci(s.precision, s.ci),
+            s.n_extractions.to_string(),
+            format!("{:.2} ± {:.2}", mean(&times), mean_ci95(&times)),
+        ]);
+        measured.push((name.to_string(), s.precision, s.n_extractions, mean(&times)));
+    }
+    t.print();
+
+    println!("\nPaper (Table 5):");
+    let mut p = Table::new(["Method", "Precision", "#Extract.", "Avg. ms/sentence"]);
+    p.row(["ClausIE", "0.62", "1,707", "374 ± 127"]);
+    p.row(["QKBfly", "0.57", "1,308", "36 ± 11"]);
+    p.row(["Reverb", "0.53", "727", "8 ± 2"]);
+    p.row(["Ollie", "0.44", "1,242", "24 ± 9"]);
+    p.row(["Open IE 4.2", "0.56", "1,153", "59 ± 14"]);
+    p.print();
+
+    let by = |n: &str| measured.iter().find(|(m, _, _, _)| m == n).expect("row");
+    println!(
+        "\nShape: ClausIE slower than QKBfly: {}",
+        by("ClausIE").3 > by("QKBfly").3
+    );
+    println!("Shape: Reverb fastest: {}", {
+        let r = by("Reverb").3;
+        measured.iter().all(|(_, _, _, t)| *t >= r)
+    });
+    println!(
+        "Shape: Reverb fewest extractions: {}",
+        measured.iter().all(|(_, _, n, _)| *n >= by("Reverb").2)
+    );
+    println!(
+        "Shape: Ollie lowest precision: {}",
+        measured.iter().all(|(_, pr, _, _)| *pr >= by("Ollie").1)
+    );
+}

@@ -1,0 +1,89 @@
+//! **Table 6** — greedy vs ILP joint inference on the three corpora
+//! (Wikipedia-style, News, Wikia): precision, #extractions, runtime/doc.
+//! The Wikia corpus is long-document, ~70% out-of-repository entities.
+//!
+//! Run: `cargo run -p qkb-bench --release --bin table6 [-- --scale N]`
+
+use qkb_bench::{assess_linked_extractions, build_fixture, fmt_ci, scale, Table};
+use qkb_corpus::Assessor;
+use qkb_util::stats::{mean, mean_ci95};
+use qkbfly::{SolverKind, Variant};
+use std::time::Instant;
+
+fn main() {
+    let s = scale();
+    println!("== Table 6: graph algorithms (greedy vs ILP) ==\n");
+    let fx = build_fixture();
+    let assessor = Assessor::new(&fx.world);
+
+    let corpora = vec![
+        ("DEFIE-Wikipedia-style", fx.wiki(30 * s, 61)),
+        ("News", fx.news(12 * s, 62)),
+        ("Wikia", fx.wikia(3 * s, 63)),
+    ];
+
+    for (cname, corpus) in &corpora {
+        println!(
+            "-- {cname}: {} docs, {} sentences --",
+            corpus.docs.len(),
+            corpus.n_sentences()
+        );
+        let mut t = Table::new(["Method", "Precision", "#Extract.", "Avg. run-time/doc"]);
+        let mut greedy_p = 0.0;
+        let mut ilp_p = 0.0;
+        let mut greedy_t = 0.0;
+        let mut ilp_t = 0.0;
+        for (mname, solver) in [("QKBfly", SolverKind::Greedy), ("QKBfly-ilp", SolverKind::Ilp)] {
+            let sys = fx.system(fx.stats(), Variant::Joint, solver);
+            let mut records = Vec::new();
+            let mut times = Vec::new();
+            for (d, doc) in corpus.docs.iter().enumerate() {
+                let t0 = Instant::now();
+                let result = sys.build_kb(std::slice::from_ref(&doc.text));
+                times.push(t0.elapsed().as_secs_f64());
+                for r in result.records {
+                    if r.kept {
+                        records.push((d, r.extraction, r.slot_entities));
+                    }
+                }
+            }
+            let summary = assess_linked_extractions(&assessor, &corpus.docs, &records, 200, 66);
+            let avg = mean(&times);
+            t.row([
+                mname.to_string(),
+                fmt_ci(summary.precision, summary.ci),
+                summary.n_extractions.to_string(),
+                format!("{:.3} s ± {:.3}", avg, mean_ci95(&times)),
+            ]);
+            if solver == SolverKind::Greedy {
+                greedy_p = summary.precision;
+                greedy_t = avg;
+            } else {
+                ilp_p = summary.precision;
+                ilp_t = avg;
+            }
+        }
+        t.print();
+        println!(
+            "Shape: ILP ≥ greedy precision: {} | ILP slower: {} ({:.0}x)\n",
+            ilp_p + 1e-9 >= greedy_p,
+            ilp_t > greedy_t,
+            ilp_t / greedy_t.max(1e-9)
+        );
+    }
+
+    println!("Paper (Table 6):");
+    let mut p = Table::new(["Dataset", "Method", "Precision", "#Extract.", "Run-time/doc"]);
+    p.row(["DEFIE-Wikipedia", "QKBfly", "0.65 ± 0.06", "69,630", "0.88 s"]);
+    p.row(["DEFIE-Wikipedia", "QKBfly-ilp", "0.66 ± 0.06", "69,630", "46.59 s"]);
+    p.row(["News", "QKBfly", "0.65 ± 0.06", "2,096", "1.43 s"]);
+    p.row(["News", "QKBfly-ilp", "0.67 ± 0.06", "2,096", "71.18 s"]);
+    p.row(["Wikia", "QKBfly", "0.54 ± 0.06", "917", "4.29 s"]);
+    p.row(["Wikia", "QKBfly-ilp", "0.55 ± 0.06", "917", "542.36 s"]);
+    p.print();
+    println!(
+        "\nPaper §7.2 also reports 13% / 24% / 71% out-of-repository entities; ours by design: \
+         wiki ~{}%, news ~{}%, wikia ~70%.",
+        13, 24
+    );
+}

@@ -1,0 +1,100 @@
+//! Shared experiment fixtures: the standard world, background statistics,
+//! evaluation corpora and system constructors.
+
+use qkb_corpus::background::{background_corpus, build_stats};
+use qkb_corpus::docgen::GoldCorpus;
+use qkb_corpus::world::WorldConfig;
+use qkb_corpus::World;
+use qkb_kb::{BackgroundStats, EntityRepository, PatternRepository};
+use qkbfly::{Qkbfly, QkbflyConfig, SolverKind, Variant};
+
+/// The standard fixture shared by the table harnesses.
+pub struct Fixture {
+    /// The world model.
+    pub world: World,
+    /// Background statistics computed by the real pipeline over the
+    /// background corpus.
+    pub stats_pages: usize,
+}
+
+/// Scale factor from the command line (`--scale N`, default 1): corpus
+/// sizes multiply by it. Keeps default runs fast while allowing
+/// paper-scale sweeps.
+pub fn scale() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Builds the standard world.
+pub fn build_fixture() -> Fixture {
+    Fixture {
+        world: World::generate(WorldConfig::standard()),
+        stats_pages: 120,
+    }
+}
+
+impl Fixture {
+    /// Background statistics (runs the real pipeline; cached per call
+    /// site).
+    pub fn stats(&self) -> BackgroundStats {
+        let bg = background_corpus(&self.world, self.stats_pages, 777);
+        build_stats(&self.world, &bg)
+    }
+
+    /// Fresh pattern repository with the world's paraphrases.
+    pub fn patterns(&self) -> PatternRepository {
+        let mut p = PatternRepository::standard();
+        qkb_corpus::render::extend_patterns(&mut p);
+        p
+    }
+
+    /// A QKBfly system in the given configuration.
+    pub fn system(&self, stats: BackgroundStats, variant: Variant, solver: SolverKind) -> Qkbfly {
+        Qkbfly::with_config(
+            clone_repo(&self.world),
+            self.patterns(),
+            stats,
+            QkbflyConfig {
+                variant,
+                solver,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Evaluation corpora.
+    pub fn wiki(&self, docs: usize, seed: u64) -> GoldCorpus {
+        qkb_corpus::docgen::wiki_corpus(&self.world, docs, seed)
+    }
+
+    /// News corpus.
+    pub fn news(&self, docs: usize, seed: u64) -> GoldCorpus {
+        qkb_corpus::docgen::news_corpus(&self.world, docs, seed)
+    }
+
+    /// Wikia corpus.
+    pub fn wikia(&self, docs: usize, seed: u64) -> GoldCorpus {
+        qkb_corpus::docgen::wikia_corpus(&self.world, docs, seed)
+    }
+
+    /// Reverb-style sentence corpus.
+    pub fn reverb(&self, sentences: usize, seed: u64) -> GoldCorpus {
+        qkb_corpus::docgen::reverb_corpus(&self.world, sentences, seed)
+    }
+}
+
+/// Rebuilds an owned entity repository from the world's snapshot (the
+/// repository is not `Clone`; regeneration is deterministic).
+pub fn clone_repo(world: &World) -> EntityRepository {
+    let mut repo = EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    repo
+}

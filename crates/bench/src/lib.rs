@@ -1,0 +1,18 @@
+//! # qkb-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper
+//! (`src/bin/table3.rs` … `src/bin/table9.rs`, ablations, `repro_all`),
+//! plus Criterion micro-benches under `benches/`.
+//!
+//! This library crate holds the shared machinery: world/corpus fixtures,
+//! the assessment protocol (automatic gold assessment with a simulated
+//! two-assessor agreement check and Wald confidence intervals), and table
+//! rendering with paper-vs-measured columns.
+
+pub mod assess;
+pub mod fixtures;
+pub mod report;
+
+pub use assess::{assess_extractions, assess_linked_extractions, assess_links, AssessSummary};
+pub use fixtures::{build_fixture, clone_repo, scale, Fixture};
+pub use report::{fmt_ci, fmt_ms, fmt_s, Table};

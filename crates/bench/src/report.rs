@@ -1,0 +1,88 @@
+//! Table rendering with paper-vs-measured columns.
+
+use std::time::Duration;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                s.push_str("| ");
+                s.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    s.push(' ');
+                }
+                s.push(' ');
+            }
+            s.push('|');
+            println!("{s}");
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(&sep);
+        for r in &self.rows {
+            line(r);
+        }
+    }
+}
+
+/// Formats `p ± ci`.
+pub fn fmt_ci(p: f64, ci: f64) -> String {
+    format!("{p:.2} ± {ci:.2}")
+}
+
+/// Formats a duration in milliseconds.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.1} ms", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a duration in seconds.
+pub fn fmt_s(d: Duration) -> String {
+    format!("{:.2} s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ci(0.671, 0.061), "0.67 ± 0.06");
+        assert_eq!(fmt_ms(Duration::from_micros(36_400)), "36.4 ms");
+        assert_eq!(fmt_s(Duration::from_millis(880)), "0.88 s");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        let mut t = Table::new(["Method", "Precision"]);
+        t.row(["QKBfly", "0.67 ± 0.06"]);
+        t.print();
+    }
+}

@@ -1,0 +1,166 @@
+//! Babelfy-lite: the NED component of the DEFIE baseline (§7.1, Table 4).
+//!
+//! Babelfy [36] is itself a graph-based densest-subgraph disambiguator,
+//! but it differs from QKBfly's algorithm in the respects the paper calls
+//! out: it uses no clause-level *type signatures* (the source of the
+//! Liverpool-city-vs-club errors), and it does not consider pronouns.
+//! This module reproduces that profile: candidate scoring by prior +
+//! context similarity, iteratively refined by pairwise coherence to the
+//! other mentions' current interpretations (a light densification), with
+//! pronouns ignored.
+
+use crate::densify::MentionResolution;
+use crate::graph::{NodeId, NodeKind, SemanticGraph};
+use crate::weights::WeightModel;
+use qkb_kb::{BackgroundStats, EntityId, EntityRepository};
+use qkb_util::FxHashMap;
+
+/// Number of coherence refinement rounds.
+const ROUNDS: usize = 2;
+
+/// Resolves noun-phrase mentions Babelfy-style (no pronouns, no type
+/// signatures).
+pub fn resolve_babelfy(
+    graph: &SemanticGraph,
+    mentions: &[NodeId],
+    model: &WeightModel,
+    stats: &BackgroundStats,
+    repo: &EntityRepository,
+) -> FxHashMap<NodeId, MentionResolution> {
+    // Local model without the ts feature regardless of configuration.
+    let local = WeightModel {
+        use_type_signatures: false,
+        ..model.clone()
+    };
+
+    let nps: Vec<NodeId> = mentions
+        .iter()
+        .copied()
+        .filter(|&n| matches!(graph.node(n), NodeKind::NounPhrase { .. }))
+        .collect();
+
+    // Initial assignment: best candidate by means weight.
+    let mut assignment: FxHashMap<NodeId, Option<EntityId>> = FxHashMap::default();
+    let mut cand_cache: FxHashMap<NodeId, Vec<EntityId>> = FxHashMap::default();
+    for &n in &nps {
+        let cands: Vec<EntityId> = graph.means_of(n).iter().map(|&(_, e)| e).collect();
+        let best = cands
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                local
+                    .means_weight(graph, stats, n, a)
+                    .partial_cmp(&local.means_weight(graph, stats, n, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        assignment.insert(n, best);
+        cand_cache.insert(n, cands);
+    }
+
+    // Refinement: re-score each candidate with coherence to the other
+    // mentions' current entities (the dense-subgraph flavour).
+    for _ in 0..ROUNDS {
+        let snapshot: Vec<EntityId> = assignment.values().filter_map(|e| *e).collect();
+        for &n in &nps {
+            let cands = &cand_cache[&n];
+            if cands.len() < 2 {
+                continue;
+            }
+            let mut best: Option<(f64, EntityId)> = None;
+            for &c in cands {
+                let mut score = local.means_weight(graph, stats, n, c);
+                for &other in &snapshot {
+                    if other != c {
+                        score += 0.3 * stats.coherence(c, other);
+                    }
+                }
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, c));
+                }
+            }
+            if let Some((_, c)) = best {
+                assignment.insert(n, Some(c));
+            }
+        }
+    }
+
+    // Confidences: weight share.
+    let mut out = FxHashMap::default();
+    for &n in &nps {
+        let cands = &cand_cache[&n];
+        let chosen = assignment[&n];
+        let weights: Vec<f64> = cands
+            .iter()
+            .map(|&c| local.means_weight(graph, stats, n, c).max(0.0))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let confidence = match chosen {
+            Some(c) if total > 0.0 => {
+                let idx = cands.iter().position(|&x| x == c).expect("chosen in cands");
+                (weights[idx] / total).clamp(0.0, 1.0)
+            }
+            Some(_) => 1.0 / cands.len().max(1) as f64,
+            None => 0.0,
+        };
+        out.insert(
+            n,
+            MentionResolution {
+                entity: chosen,
+                confidence,
+                antecedent: None,
+            },
+        );
+    }
+    let _ = repo;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, BuildConfig};
+    use qkb_kb::{Gender, StatsBuilder};
+    use qkb_nlp::Pipeline;
+    use qkb_openie::ClausIe;
+
+    #[test]
+    fn babelfy_resolves_unambiguous_and_ignores_pronouns() {
+        let mut repo = EntityRepository::new();
+        let actor = repo.type_system().get("ACTOR").expect("t");
+        let pitt = repo.add_entity("Brad Pitt", &["Pitt"], Gender::Male, vec![actor]);
+        let mut b = StatsBuilder::new();
+        b.add_anchor("Brad Pitt", pitt);
+        b.add_entity_article(pitt, ["actor", "film"]);
+        let stats = b.finalize();
+
+        let pipeline = Pipeline::with_gazetteer(repo.gazetteer());
+        let doc = pipeline.annotate("Brad Pitt is an actor. He supports the campaign.");
+        let clausie = ClausIe::new();
+        let clauses: Vec<Vec<qkb_openie::Clause>> =
+            doc.sentences.iter().map(|s| clausie.detect(s)).collect();
+        let built = build_graph(&doc, &clauses, &repo, &stats, BuildConfig::default());
+        let res = resolve_babelfy(
+            &built.graph,
+            &built.mentions,
+            &WeightModel::default(),
+            &stats,
+            &repo,
+        );
+        let np = built
+            .graph
+            .node_ids()
+            .find(|&n| {
+                matches!(built.graph.node(n), NodeKind::NounPhrase { text, .. } if text == "Brad Pitt")
+            })
+            .expect("mention");
+        assert_eq!(res[&np].entity, Some(pitt));
+        // pronouns absent from the output
+        let pron = built
+            .graph
+            .node_ids()
+            .find(|&n| matches!(built.graph.node(n), NodeKind::Pronoun { .. }));
+        if let Some(p) = pron {
+            assert!(!res.contains_key(&p));
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The semantic-graph representation of §3.
+//!
+//! Nodes are containers for clauses, noun phrases, pronouns and entity
+//! candidates; edges capture clause structure (`depends`), relation
+//! patterns (`relation`), candidate co-reference (`sameAs`) and candidate
+//! entity links (`means`). The graph is built per document: per-sentence
+//! subgraphs connected by cross-sentence `sameAs` edges.
+
+use qkb_kb::{EntityId, Gender};
+use qkb_nlp::NerTag;
+use qkb_util::define_id;
+use qkb_util::sparse::SparseVec;
+use qkb_util::FxHashMap;
+
+define_id!(NodeId, "identifies a node in a `SemanticGraph`");
+define_id!(EdgeId, "identifies an edge in a `SemanticGraph`");
+
+/// Node payloads (§3 "Nodes").
+#[derive(Clone, Debug)]
+pub enum NodeKind {
+    /// A clause detected by ClausIE.
+    Clause {
+        /// Sentence index within the document.
+        sentence: usize,
+        /// Clause type label (for rendering/debugging).
+        ctype: &'static str,
+        /// Lemmatized verb.
+        verb: String,
+    },
+    /// A noun-phrase (or time-expression) mention.
+    NounPhrase {
+        /// Sentence index.
+        sentence: usize,
+        /// Head token index within the sentence.
+        head: usize,
+        /// Surface text.
+        text: String,
+        /// NER label of the span.
+        ner: NerTag,
+        /// True for time expressions (normalized value in `text_norm`).
+        is_time: bool,
+        /// Normalized time value, when `is_time`.
+        time_value: Option<String>,
+        /// True if the phrase looks like a proper name (eligible to become
+        /// an emerging entity rather than a literal).
+        proper: bool,
+    },
+    /// A pronoun mention.
+    Pronoun {
+        /// Sentence index.
+        sentence: usize,
+        /// Token index.
+        head: usize,
+        /// Surface text ("he", "she", ...).
+        text: String,
+        /// Pronoun gender (for constraint (4)).
+        gender: Gender,
+    },
+    /// An entity candidate from the repository.
+    Entity {
+        /// Repository entity.
+        entity: EntityId,
+    },
+}
+
+impl NodeKind {
+    /// True for mention nodes (noun phrases and pronouns).
+    pub fn is_mention(&self) -> bool {
+        matches!(self, NodeKind::NounPhrase { .. } | NodeKind::Pronoun { .. })
+    }
+}
+
+/// Edge payloads (§3 "Edges").
+#[derive(Clone, Debug, PartialEq)]
+pub enum EdgeKind {
+    /// Clause-to-clause or clause-to-mention structural dependency.
+    Depends,
+    /// A relation pattern between two mention nodes.
+    Relation {
+        /// Lemmatized verb with optional preposition ("donate to").
+        pattern: String,
+    },
+    /// Candidate co-reference between two mentions.
+    SameAs,
+    /// Candidate entity link between a mention and an entity node.
+    Means,
+}
+
+/// One (undirected) edge.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// First endpoint.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Payload.
+    pub kind: EdgeKind,
+    /// Live flag — the densification algorithm removes edges by clearing
+    /// this (cheap, preserves ids).
+    pub alive: bool,
+}
+
+/// One node with adjacency.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Payload.
+    pub kind: NodeKind,
+    /// Incident edge ids.
+    pub edges: Vec<EdgeId>,
+    /// TF-IDF context vector (mention nodes only).
+    pub context: Option<SparseVec>,
+}
+
+/// The per-document semantic graph.
+#[derive(Debug, Default)]
+pub struct SemanticGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    entity_nodes: FxHashMap<EntityId, NodeId>,
+}
+
+impl SemanticGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            edges: Vec::new(),
+            context: None,
+        });
+        id
+    }
+
+    /// Adds (or reuses) the entity node for a repository entity.
+    pub fn entity_node(&mut self, entity: EntityId) -> NodeId {
+        if let Some(&id) = self.entity_nodes.get(&entity) {
+            return id;
+        }
+        let id = self.add_node(NodeKind::Entity { entity });
+        self.entity_nodes.insert(entity, id);
+        id
+    }
+
+    /// Sets a mention node's context vector.
+    pub fn set_context(&mut self, node: NodeId, ctx: SparseVec) {
+        self.nodes[node.index()].context = Some(ctx);
+    }
+
+    /// Context vector of a node, if set.
+    pub fn context(&self, node: NodeId) -> Option<&SparseVec> {
+        self.nodes[node.index()].context.as_ref()
+    }
+
+    /// Adds an edge between two nodes.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, kind: EdgeKind) -> EdgeId {
+        debug_assert_ne!(a, b, "self-loops are not allowed");
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge {
+            a,
+            b,
+            kind,
+            alive: true,
+        });
+        self.nodes[a.index()].edges.push(id);
+        self.nodes[b.index()].edges.push(id);
+        id
+    }
+
+    /// Node payload.
+    pub fn node(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Edge record.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Kills an edge (densification removal).
+    pub fn kill_edge(&mut self, id: EdgeId) {
+        self.edges[id.index()].alive = false;
+    }
+
+    /// Revives an edge (used by counterfactual scoring).
+    pub fn revive_edge(&mut self, id: EdgeId) {
+        self.edges[id.index()].alive = true;
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (including dead ones).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId::new)
+    }
+
+    /// Live incident edges of a node.
+    pub fn incident(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.nodes[node.index()]
+            .edges
+            .iter()
+            .copied()
+            .filter(move |&e| self.edges[e.index()].alive)
+    }
+
+    /// Live incident edges of a given kind-class.
+    pub fn incident_kind<'a>(
+        &'a self,
+        node: NodeId,
+        pred: impl Fn(&EdgeKind) -> bool + 'a,
+    ) -> impl Iterator<Item = EdgeId> + 'a {
+        self.incident(node)
+            .filter(move |&e| pred(&self.edges[e.index()].kind))
+    }
+
+    /// The other endpoint of an edge.
+    pub fn other(&self, edge: EdgeId, node: NodeId) -> NodeId {
+        let e = &self.edges[edge.index()];
+        if e.a == node {
+            e.b
+        } else {
+            e.a
+        }
+    }
+
+    /// Live `means` neighbours (entity candidates) of a mention node.
+    pub fn means_of(&self, mention: NodeId) -> Vec<(EdgeId, EntityId)> {
+        self.incident_kind(mention, |k| matches!(k, EdgeKind::Means))
+            .map(|e| {
+                let other = self.other(e, mention);
+                match self.node(other) {
+                    NodeKind::Entity { entity } => (e, *entity),
+                    _ => unreachable!("means edges always touch entity nodes"),
+                }
+            })
+            .collect()
+    }
+
+    /// Live `sameAs` neighbours of a mention node.
+    pub fn same_as_of(&self, mention: NodeId) -> Vec<(EdgeId, NodeId)> {
+        self.incident_kind(mention, |k| matches!(k, EdgeKind::SameAs))
+            .map(|e| (e, self.other(e, mention)))
+            .collect()
+    }
+
+    /// Live relation edges incident to a mention node.
+    pub fn relations_of(&self, mention: NodeId) -> Vec<EdgeId> {
+        self.incident_kind(mention, |k| matches!(k, EdgeKind::Relation { .. }))
+            .collect()
+    }
+
+    /// Pretty-prints the graph (Figure 2-style listing).
+    pub fn render(&self, repo: &qkb_kb::EntityRepository) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            match &n.kind {
+                NodeKind::Clause {
+                    sentence,
+                    ctype,
+                    verb,
+                } => {
+                    let _ = writeln!(out, "[{i}] clause s{sentence} {ctype} \"{verb}\"");
+                }
+                NodeKind::NounPhrase { sentence, text, ner, .. } => {
+                    let _ = writeln!(out, "[{i}] np s{sentence} \"{text}\" ({ner})");
+                }
+                NodeKind::Pronoun { sentence, text, .. } => {
+                    let _ = writeln!(out, "[{i}] pron s{sentence} \"{text}\"");
+                }
+                NodeKind::Entity { entity } => {
+                    let _ = writeln!(out, "[{i}] entity {}", repo.entity(*entity).canonical);
+                }
+            }
+        }
+        for e in &self.edges {
+            if !e.alive {
+                continue;
+            }
+            let label = match &e.kind {
+                EdgeKind::Depends => "depends".to_string(),
+                EdgeKind::Relation { pattern } => format!("relation \"{pattern}\""),
+                EdgeKind::SameAs => "sameAs".to_string(),
+                EdgeKind::Means => "means".to_string(),
+            };
+            let _ = writeln!(out, "  {} -- {label} -- {}", e.a.index(), e.b.index());
+        }
+        out
+    }
+}
+
+pub use self::EdgeId as GraphEdgeId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn np(g: &mut SemanticGraph, s: usize, text: &str) -> NodeId {
+        g.add_node(NodeKind::NounPhrase {
+            sentence: s,
+            head: 0,
+            text: text.into(),
+            ner: NerTag::Person,
+            is_time: false,
+            time_value: None,
+            proper: true,
+        })
+    }
+
+    #[test]
+    fn build_and_query_edges() {
+        let mut g = SemanticGraph::new();
+        let a = np(&mut g, 0, "Brad Pitt");
+        let b = np(&mut g, 1, "Pitt");
+        let e = g.entity_node(EntityId::new(7));
+        let same = g.add_edge(a, b, EdgeKind::SameAs);
+        g.add_edge(a, e, EdgeKind::Means);
+        g.add_edge(b, e, EdgeKind::Means);
+        assert_eq!(g.means_of(a).len(), 1);
+        assert_eq!(g.means_of(a)[0].1, EntityId::new(7));
+        assert_eq!(g.same_as_of(a), vec![(same, b)]);
+        assert_eq!(g.n_nodes(), 3);
+    }
+
+    #[test]
+    fn entity_nodes_are_shared() {
+        let mut g = SemanticGraph::new();
+        let e1 = g.entity_node(EntityId::new(3));
+        let e2 = g.entity_node(EntityId::new(3));
+        assert_eq!(e1, e2);
+        let e3 = g.entity_node(EntityId::new(4));
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn kill_and_revive() {
+        let mut g = SemanticGraph::new();
+        let a = np(&mut g, 0, "A");
+        let e = g.entity_node(EntityId::new(0));
+        let edge = g.add_edge(a, e, EdgeKind::Means);
+        assert_eq!(g.means_of(a).len(), 1);
+        g.kill_edge(edge);
+        assert!(g.means_of(a).is_empty());
+        g.revive_edge(edge);
+        assert_eq!(g.means_of(a).len(), 1);
+    }
+
+    #[test]
+    fn relation_edges_listed() {
+        let mut g = SemanticGraph::new();
+        let a = np(&mut g, 0, "A");
+        let b = np(&mut g, 0, "B");
+        g.add_edge(
+            a,
+            b,
+            EdgeKind::Relation {
+                pattern: "support".into(),
+            },
+        );
+        assert_eq!(g.relations_of(a).len(), 1);
+        assert_eq!(g.relations_of(b).len(), 1);
+    }
+}

@@ -1,0 +1,556 @@
+//! The end-to-end QKBfly system and its evaluation variants.
+//!
+//! * **QKBfly** (joint): stage 1 → greedy densification → canonicalization;
+//! * **QKBfly-pipeline**: three separate stages — extraction, per-mention
+//!   NED (type signatures omitted), recency-based CR (§7.1);
+//! * **QKBfly-noun**: no co-reference resolution at all (§7.1);
+//! * **QKBfly-ilp**: exact joint inference via the Appendix-A ILP (§7.2).
+//!
+//! `build_kb` is the paper's query-time entry point: documents in, a
+//! canonicalized on-the-fly KB out, with per-stage wall-clock timings
+//! (§7.1 reports <1 s/document with about half the time in
+//! pre-processing).
+
+use crate::build::{build_graph, BuildConfig};
+use crate::canonicalize::{canonicalize_into, CanonConfig, DocCanonOutput};
+use crate::densify::{
+    densify, resolve_independent, resolve_pronouns_by_recency, MentionResolution,
+};
+use crate::graph::{EdgeKind, NodeId, NodeKind, SemanticGraph};
+use crate::ilp::resolve_ilp;
+use crate::weights::WeightModel;
+use qkb_kb::{
+    BackgroundStats, EntityId, EntityRepository, Fact, OnTheFlyKb, PatternRepository,
+};
+use qkb_nlp::Pipeline as NlpPipeline;
+use qkb_openie::{ClausIe, Clause, Extraction};
+use qkb_util::FxHashMap;
+use std::time::{Duration, Instant};
+
+/// Architecture variant (Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Joint fact extraction + NED + CR (the QKBfly row).
+    Joint,
+    /// Separate stages, type signatures omitted (QKBfly-pipeline).
+    PipelineArch,
+    /// Fact extraction + NED only, no CR (QKBfly-noun).
+    NounOnly,
+}
+
+/// Inference backend for the joint variant (Table 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Greedy densest-subgraph approximation (Algorithm 1).
+    Greedy,
+    /// Exact 0-1 ILP (Appendix A).
+    Ilp,
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug)]
+pub struct QkbflyConfig {
+    /// Architecture variant.
+    pub variant: Variant,
+    /// Joint-inference backend.
+    pub solver: SolverKind,
+    /// Edge-weight hyper-parameters α₁..α₄.
+    pub alphas: [f64; 4],
+    /// Fact confidence threshold τ.
+    pub tau: f64,
+    /// Link-confidence floor below which clusters become emerging.
+    pub low_link: f64,
+    /// Backward pronoun window (sentences).
+    pub pronoun_window: usize,
+    /// Emit higher-arity facts.
+    pub emit_nary: bool,
+}
+
+impl Default for QkbflyConfig {
+    fn default() -> Self {
+        Self {
+            variant: Variant::Joint,
+            solver: SolverKind::Greedy,
+            alphas: WeightModel::default().alphas,
+            tau: 0.5,
+            low_link: 0.2,
+            pronoun_window: 5,
+            emit_nary: true,
+        }
+    }
+}
+
+/// Wall-clock breakdown per stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Tokenization, tagging, NER, time tagging, chunking, parsing,
+    /// clause detection.
+    pub preprocess: Duration,
+    /// Semantic-graph construction.
+    pub graph: Duration,
+    /// NED+CR inference.
+    pub resolve: Duration,
+    /// Canonicalization.
+    pub canonicalize: Duration,
+}
+
+impl StageTimings {
+    /// Total time.
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.graph + self.resolve + self.canonicalize
+    }
+
+    fn add(&mut self, other: &StageTimings) {
+        self.preprocess += other.preprocess;
+        self.graph += other.graph;
+        self.resolve += other.resolve;
+        self.canonicalize += other.canonicalize;
+    }
+}
+
+/// One surface extraction with provenance and the τ decision.
+#[derive(Clone, Debug)]
+pub struct ExtractionRecord {
+    /// Document index within the input set.
+    pub doc: usize,
+    /// The surface extraction (canonicalized subject/relation/args).
+    pub extraction: Extraction,
+    /// Whether the τ filter kept the corresponding fact.
+    pub kept: bool,
+    /// Resolved repository entity per slot (subject first, then args;
+    /// `None` for emerging entities and literals).
+    pub slot_entities: Vec<Option<EntityId>>,
+}
+
+/// One chosen entity link (for NED assessment).
+#[derive(Clone, Debug)]
+pub struct LinkRecord {
+    /// Document index.
+    pub doc: usize,
+    /// Sentence index.
+    pub sentence: usize,
+    /// Mention surface.
+    pub phrase: String,
+    /// Linked repository entity.
+    pub entity: EntityId,
+    /// Link confidence.
+    pub confidence: f64,
+}
+
+/// Per-document diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct DocResult {
+    /// Stage timings for this document.
+    pub timings: StageTimings,
+    /// Graph size (nodes, edges).
+    pub graph_size: (usize, usize),
+    /// ILP variable count, when the ILP backend ran.
+    pub ilp_variables: Option<usize>,
+}
+
+/// The result of building an on-the-fly KB.
+pub struct BuildResult<'a> {
+    /// The canonicalized KB.
+    pub kb: OnTheFlyKb,
+    /// All extraction records (assessment view).
+    pub records: Vec<ExtractionRecord>,
+    /// All link records (assessment view).
+    pub links: Vec<LinkRecord>,
+    /// Summed stage timings.
+    pub timings: StageTimings,
+    /// Per-document diagnostics.
+    pub per_doc: Vec<DocResult>,
+    patterns: &'a PatternRepository,
+}
+
+impl BuildResult<'_> {
+    /// Paper-style rendering of a fact from this KB.
+    pub fn render(&self, fact: &Fact) -> String {
+        self.kb.render_fact(fact, self.patterns)
+    }
+}
+
+/// The QKBfly system: owns its background repositories and configuration.
+pub struct Qkbfly {
+    repo: EntityRepository,
+    patterns: PatternRepository,
+    stats: BackgroundStats,
+    nlp: NlpPipeline,
+    clausie: ClausIe,
+    config: QkbflyConfig,
+}
+
+impl Qkbfly {
+    /// System with default configuration (joint greedy, τ = 0.5).
+    pub fn new(
+        repo: EntityRepository,
+        patterns: PatternRepository,
+        stats: BackgroundStats,
+    ) -> Self {
+        Self::with_config(repo, patterns, stats, QkbflyConfig::default())
+    }
+
+    /// System with explicit configuration.
+    pub fn with_config(
+        repo: EntityRepository,
+        patterns: PatternRepository,
+        stats: BackgroundStats,
+        config: QkbflyConfig,
+    ) -> Self {
+        let nlp = NlpPipeline::with_gazetteer(repo.gazetteer());
+        Self {
+            repo,
+            patterns,
+            stats,
+            nlp,
+            clausie: ClausIe::new(),
+            config,
+        }
+    }
+
+    /// The entity repository.
+    pub fn repo(&self) -> &EntityRepository {
+        &self.repo
+    }
+
+    /// The pattern repository.
+    pub fn patterns(&self) -> &PatternRepository {
+        &self.patterns
+    }
+
+    /// The background statistics.
+    pub fn stats(&self) -> &BackgroundStats {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QkbflyConfig {
+        &self.config
+    }
+
+    /// Mutable configuration (for harness sweeps).
+    pub fn config_mut(&mut self) -> &mut QkbflyConfig {
+        &mut self.config
+    }
+
+    fn weight_model(&self) -> WeightModel {
+        WeightModel {
+            alphas: self.config.alphas,
+            use_type_signatures: self.config.variant != Variant::PipelineArch,
+        }
+    }
+
+    /// Builds an on-the-fly KB from the input documents (the paper's
+    /// query-time path: documents were already retrieved for the query).
+    pub fn build_kb(&self, docs: &[String]) -> BuildResult<'_> {
+        let mut kb = OnTheFlyKb::new();
+        let mut records = Vec::new();
+        let mut links = Vec::new();
+        let mut timings = StageTimings::default();
+        let mut per_doc = Vec::with_capacity(docs.len());
+        for (d, text) in docs.iter().enumerate() {
+            let (out, diag) = self.process_doc(&mut kb, text, d as u32);
+            timings.add(&diag.timings);
+            for (extraction, kept, slot_entities) in out.extractions {
+                records.push(ExtractionRecord {
+                    doc: d,
+                    extraction,
+                    kept,
+                    slot_entities,
+                });
+            }
+            for (sentence, phrase, entity, confidence) in out.links {
+                links.push(LinkRecord {
+                    doc: d,
+                    sentence,
+                    phrase,
+                    entity,
+                    confidence,
+                });
+            }
+            per_doc.push(diag);
+        }
+        BuildResult {
+            kb,
+            records,
+            links,
+            timings,
+            per_doc,
+            patterns: &self.patterns,
+        }
+    }
+
+    /// Processes one document into the shared KB.
+    pub fn process_doc(
+        &self,
+        kb: &mut OnTheFlyKb,
+        text: &str,
+        doc_idx: u32,
+    ) -> (DocCanonOutput, DocResult) {
+        let mut diag = DocResult::default();
+
+        // --- pre-processing (the CoreNLP + MaltParser + ClausIE stack) ---
+        let t0 = Instant::now();
+        let doc = self.nlp.annotate(text);
+        let clauses: Vec<Vec<Clause>> = doc
+            .sentences
+            .iter()
+            .map(|s| self.clausie.detect(s))
+            .collect();
+        diag.timings.preprocess = t0.elapsed();
+
+        // --- stage 1: semantic graph ---
+        let t1 = Instant::now();
+        let mut built = build_graph(
+            &doc,
+            &clauses,
+            &self.repo,
+            &self.stats,
+            BuildConfig {
+                pronoun_window: self.config.pronoun_window,
+                use_pronouns: self.config.variant != Variant::NounOnly,
+            },
+        );
+        diag.timings.graph = t1.elapsed();
+        diag.graph_size = (built.graph.n_nodes(), built.graph.n_edges());
+
+        // --- stage 2: joint NED + CR ---
+        let t2 = Instant::now();
+        let model = self.weight_model();
+        let mentions = built.mentions.clone();
+        let outcome = match (self.config.variant, self.config.solver) {
+            (Variant::PipelineArch, _) => {
+                let mut res =
+                    resolve_independent(&built.graph, &mentions, &model, &self.stats);
+                resolve_pronouns_by_recency(&built.graph, &mentions, &mut res, &self.repo);
+                apply_resolutions(&mut built.graph, &mentions, &res);
+                crate::densify::DensifyOutcome {
+                    resolutions: res,
+                    objective: 0.0,
+                    removed_edges: 0,
+                }
+            }
+            (_, SolverKind::Ilp) => {
+                let out = resolve_ilp(&built.graph, &mentions, &model, &self.stats, &self.repo);
+                diag.ilp_variables = Some(out.n_variables);
+                apply_resolutions(&mut built.graph, &mentions, &out.resolutions);
+                crate::densify::DensifyOutcome {
+                    resolutions: out.resolutions,
+                    objective: out.objective,
+                    removed_edges: 0,
+                }
+            }
+            (_, SolverKind::Greedy) => {
+                densify(&mut built.graph, &mentions, &model, &self.stats, &self.repo)
+            }
+        };
+        diag.timings.resolve = t2.elapsed();
+
+        // --- stage 3: canonicalization ---
+        let t3 = Instant::now();
+        let out = canonicalize_into(
+            kb,
+            &built,
+            &outcome,
+            &self.repo,
+            &self.patterns,
+            CanonConfig {
+                tau: self.config.tau,
+                low_link: self.config.low_link,
+                emit_nary: self.config.emit_nary,
+            },
+            doc_idx,
+        );
+        diag.timings.canonicalize = t3.elapsed();
+        (out, diag)
+    }
+}
+
+/// Prunes the graph's `means`/`sameAs` edges to reflect externally computed
+/// resolutions (ILP and pipeline variants), so canonicalization sees the
+/// same clustered structure the greedy path produces.
+fn apply_resolutions(
+    graph: &mut SemanticGraph,
+    mentions: &[NodeId],
+    resolutions: &FxHashMap<NodeId, MentionResolution>,
+) {
+    // Means edges: keep only the chosen entity per noun phrase.
+    for &n in mentions {
+        if !matches!(graph.node(n), NodeKind::NounPhrase { .. }) {
+            continue;
+        }
+        let chosen = resolutions.get(&n).and_then(|r| r.entity);
+        let edges = graph.means_of(n);
+        for (edge, e) in edges {
+            if Some(e) != chosen {
+                graph.kill_edge(edge);
+            }
+        }
+    }
+    // Pronoun sameAs: keep only the chosen antecedent.
+    for &n in mentions {
+        if !matches!(graph.node(n), NodeKind::Pronoun { .. }) {
+            continue;
+        }
+        let antecedent = resolutions.get(&n).and_then(|r| r.antecedent);
+        for (edge, other) in graph.same_as_of(n) {
+            if Some(other) != antecedent {
+                graph.kill_edge(edge);
+            }
+        }
+    }
+    // NP–NP sameAs: split clusters whose members resolved differently.
+    for &n in mentions {
+        if !matches!(graph.node(n), NodeKind::NounPhrase { .. }) {
+            continue;
+        }
+        let ea = resolutions.get(&n).and_then(|r| r.entity);
+        for (edge, other) in graph.same_as_of(n) {
+            if !matches!(graph.node(other), NodeKind::NounPhrase { .. }) {
+                continue;
+            }
+            let eb = resolutions.get(&other).and_then(|r| r.entity);
+            if let (Some(a), Some(b)) = (ea, eb) {
+                if a != b {
+                    graph.kill_edge(edge);
+                }
+            }
+        }
+    }
+    // Cosmetic faithfulness to Algorithm 1: entity nodes left without any
+    // live means edge are implicitly removed (they are simply unreachable).
+    let _ = EdgeKind::Means;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_kb::{Gender, StatsBuilder};
+
+    fn system(variant: Variant, solver: SolverKind) -> Qkbfly {
+        let mut repo = EntityRepository::new();
+        let actor = repo.type_system().get("ACTOR").expect("t");
+        let org = repo.type_system().get("FOUNDATION").expect("t");
+        let pitt = repo.add_entity("Brad Pitt", &["Pitt"], Gender::Male, vec![actor]);
+        let one = repo.add_entity("ONE Campaign", &["the ONE Campaign"], Gender::Neutral, vec![org]);
+        let dpf = repo.add_entity("Daniel Pearl Foundation", &[], Gender::Neutral, vec![org]);
+        let mut b = StatsBuilder::new();
+        b.add_anchor("Brad Pitt", pitt);
+        b.add_anchor("Pitt", pitt);
+        b.add_anchor("ONE Campaign", one);
+        b.add_anchor("Daniel Pearl Foundation", dpf);
+        b.add_entity_article(pitt, ["actor", "film", "support", "donate"]);
+        b.add_entity_article(one, ["campaign", "poverty", "support"]);
+        b.add_entity_article(dpf, ["foundation", "journalist", "donate"]);
+        let stats = b.finalize();
+        let patterns = PatternRepository::standard();
+        Qkbfly::with_config(
+            repo,
+            patterns,
+            stats,
+            QkbflyConfig {
+                variant,
+                solver,
+                ..Default::default()
+            },
+        )
+    }
+
+    const FIG2: &str = "Brad Pitt is an actor and he supports the ONE Campaign. \
+         In 2002, Pitt donated $100,000 to the Daniel Pearl Foundation.";
+
+    #[test]
+    fn joint_greedy_builds_figure2_kb() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let result = sys.build_kb(&[FIG2.to_string()]);
+        assert!(result.kb.n_facts() >= 2, "facts: {}", result.kb.n_facts());
+        let rendered: Vec<String> =
+            result.kb.facts().iter().map(|f| result.render(f)).collect();
+        // The pronoun-mediated support fact must resolve to Brad Pitt.
+        assert!(
+            rendered
+                .iter()
+                .any(|r| r.contains("Brad Pitt") && r.contains("support")),
+            "rendered: {rendered:?}"
+        );
+        // The SVOA clause yields a quadruple.
+        assert!(
+            result.kb.facts().iter().any(|f| f.arity() == 4),
+            "rendered: {rendered:?}"
+        );
+        assert!(result.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn noun_only_produces_no_pronoun_facts() {
+        let sys = system(Variant::NounOnly, SolverKind::Greedy);
+        let result = sys.build_kb(&[FIG2.to_string()]);
+        // fewer extractions than the joint variant (the pronoun clause is
+        // dropped), but the donation fact remains
+        let rendered: Vec<String> =
+            result.kb.facts().iter().map(|f| result.render(f)).collect();
+        assert!(
+            rendered.iter().any(|r| r.contains("Daniel Pearl")),
+            "rendered: {rendered:?}"
+        );
+        let joint_sys = system(Variant::Joint, SolverKind::Greedy);
+        let joint = joint_sys.build_kb(&[FIG2.to_string()]);
+        assert!(result.records.len() <= joint.records.len());
+    }
+
+    #[test]
+    fn pipeline_variant_runs_and_links() {
+        let sys = system(Variant::PipelineArch, SolverKind::Greedy);
+        let result = sys.build_kb(&[FIG2.to_string()]);
+        assert!(!result.links.is_empty());
+        assert!(result.kb.n_facts() >= 1);
+    }
+
+    #[test]
+    fn ilp_variant_matches_joint_on_simple_input() {
+        let greedy_sys = system(Variant::Joint, SolverKind::Greedy);
+        let greedy = greedy_sys.build_kb(&[FIG2.to_string()]);
+        let ilp_sys = system(Variant::Joint, SolverKind::Ilp);
+        let ilp = ilp_sys.build_kb(&[FIG2.to_string()]);
+        assert!(ilp.per_doc[0].ilp_variables.is_some());
+        // Same subject resolution for the supports fact.
+        let has = |r: &BuildResult<'_>| {
+            r.kb
+                .facts()
+                .iter()
+                .map(|f| r.render(f))
+                .any(|s| s.contains("Brad Pitt") && s.contains("support"))
+        };
+        assert_eq!(has(&greedy), has(&ilp));
+    }
+
+    #[test]
+    fn timings_are_populated_per_stage() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let result = sys.build_kb(&[FIG2.to_string()]);
+        let t = &result.per_doc[0].timings;
+        assert!(t.preprocess > Duration::ZERO);
+        assert!(t.total() >= t.preprocess);
+        assert!(result.per_doc[0].graph_size.0 > 0);
+    }
+
+    #[test]
+    fn multiple_documents_share_linked_entities() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let result = sys.build_kb(&[
+            "Brad Pitt supported the ONE Campaign.".to_string(),
+            "Pitt donated $100,000 to the Daniel Pearl Foundation.".to_string(),
+        ]);
+        let pitt_entities: Vec<_> = result
+            .kb
+            .entities()
+            .iter()
+            .filter(|e| e.name.contains("Pitt"))
+            .collect();
+        assert_eq!(
+            pitt_entities.len(),
+            1,
+            "cross-document linking must reuse the repository entity"
+        );
+    }
+}

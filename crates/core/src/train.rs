@@ -1,0 +1,229 @@
+//! Hyper-parameter training (§4 "Hyper-Parameter Tuning").
+//!
+//! The paper annotates facts — pairs of entities with a relation pattern —
+//! and learns α₁..α₄ by maximizing the probability of the ground-truth
+//! pair, `prob = W(S) / W(G)`, with L-BFGS. Both `W(S)` (only the gold
+//! candidates kept) and `W(G)` (all candidates) are *linear* in α, so the
+//! log-likelihood gradient is exact and cheap. Positivity is enforced by
+//! the substitution α = exp(θ).
+
+use qkb_kb::{BackgroundStats, EntityId, EntityRepository};
+use qkb_ml::{lbfgs_minimize, LbfgsConfig};
+
+/// One annotated training fact: two mentions with candidate feature
+/// tuples and the gold candidate pair.
+#[derive(Clone, Debug)]
+pub struct TrainingPair {
+    /// Candidates of the subject mention: `(entity, prior, ctx-sim)`.
+    pub cands_a: Vec<(EntityId, f64, f64)>,
+    /// Candidates of the object mention.
+    pub cands_b: Vec<(EntityId, f64, f64)>,
+    /// The relation pattern between them.
+    pub pattern: String,
+    /// Gold entity pair.
+    pub gold: (EntityId, EntityId),
+}
+
+impl TrainingPair {
+    /// Feature vector of the sub-graph keeping only candidates `(i, j)`:
+    /// `(Σ priors, Σ sims, coh, ts)`.
+    fn pair_features(
+        &self,
+        i: usize,
+        j: usize,
+        stats: &BackgroundStats,
+        repo: &EntityRepository,
+    ) -> [f64; 4] {
+        let (ea, pa, sa) = self.cands_a[i];
+        let (eb, pb, sb) = self.cands_b[j];
+        let coh = stats.coherence(ea, eb);
+        let ts = stats.type_signature(repo.types_of(ea), repo.types_of(eb), &self.pattern);
+        [pa + pb, sa + sb, coh, ts]
+    }
+
+    /// Feature vector of the full graph `G` (all candidates).
+    fn full_features(&self, stats: &BackgroundStats, repo: &EntityRepository) -> [f64; 4] {
+        let mut f = [0.0; 4];
+        for &(_, p, s) in &self.cands_a {
+            f[0] += p;
+            f[1] += s;
+        }
+        for &(_, p, s) in &self.cands_b {
+            f[0] += p;
+            f[1] += s;
+        }
+        for &(ea, _, _) in &self.cands_a {
+            for &(eb, _, _) in &self.cands_b {
+                f[2] += stats.coherence(ea, eb);
+                f[3] += stats.type_signature(
+                    repo.types_of(ea),
+                    repo.types_of(eb),
+                    &self.pattern,
+                );
+            }
+        }
+        f
+    }
+
+    fn gold_indices(&self) -> Option<(usize, usize)> {
+        let i = self.cands_a.iter().position(|&(e, _, _)| e == self.gold.0)?;
+        let j = self.cands_b.iter().position(|&(e, _, _)| e == self.gold.1)?;
+        Some((i, j))
+    }
+}
+
+/// Fits α₁..α₄ by maximizing Σ log (W(S_gold)/W(G)) with L-BFGS.
+///
+/// Returns the default α when no example carries a usable gold pair.
+pub fn train_alphas(
+    pairs: &[TrainingPair],
+    stats: &BackgroundStats,
+    repo: &EntityRepository,
+    init: [f64; 4],
+) -> [f64; 4] {
+    // Precompute features.
+    let mut data: Vec<([f64; 4], [f64; 4])> = Vec::new(); // (gold, full)
+    for p in pairs {
+        let Some((i, j)) = p.gold_indices() else {
+            continue;
+        };
+        // The gold sub-graph also keeps the gold means edges only.
+        let gold_f = {
+            let mut f = p.pair_features(i, j, stats, repo);
+            // pair_features sums the gold priors/sims already; nothing to
+            // add for other candidates (their means edges are removed in S).
+            f[0] = p.cands_a[i].1 + p.cands_b[j].1;
+            f[1] = p.cands_a[i].2 + p.cands_b[j].2;
+            f
+        };
+        let full_f = p.full_features(stats, repo);
+        // Degenerate examples (zero full weight under any α) are skipped.
+        if full_f.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        data.push((gold_f, full_f));
+    }
+    if data.is_empty() {
+        return init;
+    }
+
+    const EPS: f64 = 1e-9;
+    let objective = |theta: &[f64]| -> (f64, Vec<f64>) {
+        let alpha: Vec<f64> = theta.iter().map(|t| t.exp()).collect();
+        let mut nll = 0.0;
+        let mut grad_alpha = [0.0f64; 4];
+        for (gold, full) in &data {
+            let ws: f64 = gold.iter().zip(&alpha).map(|(f, a)| f * a).sum::<f64>() + EPS;
+            let wg: f64 = full.iter().zip(&alpha).map(|(f, a)| f * a).sum::<f64>() + EPS;
+            nll -= (ws / wg).ln();
+            for k in 0..4 {
+                grad_alpha[k] -= gold[k] / ws - full[k] / wg;
+            }
+        }
+        // Mild L2 regularization towards ln α = 0 keeps scales bounded.
+        let l2 = 1e-3;
+        for t in theta {
+            nll += 0.5 * l2 * t * t;
+        }
+        // Chain rule: dθ = dα · α + regularizer.
+        let grad: Vec<f64> = (0..4)
+            .map(|k| grad_alpha[k] * alpha[k] + l2 * theta[k])
+            .collect();
+        (nll, grad)
+    };
+
+    let theta0: Vec<f64> = init.iter().map(|a| a.max(1e-3).ln()).collect();
+    let (theta, _, _) = lbfgs_minimize(
+        objective,
+        &theta0,
+        LbfgsConfig {
+            max_iters: 200,
+            ..Default::default()
+        },
+    );
+    let mut out = [0.0; 4];
+    for k in 0..4 {
+        out[k] = theta[k].exp();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_kb::{Gender, StatsBuilder};
+
+    /// A world where only the type signature separates the gold pair:
+    /// training must push α₄ up relative to its start.
+    #[test]
+    fn training_increases_discriminative_weight() {
+        let mut repo = EntityRepository::new();
+        let city_t = repo.type_system().get("CITY").expect("t");
+        let club_t = repo.type_system().get("FOOTBALL_CLUB").expect("t");
+        let fb_t = repo.type_system().get("FOOTBALLER").expect("t");
+        let city = repo.add_entity("Liverpool", &[], Gender::Neutral, vec![city_t]);
+        let club =
+            repo.add_entity("Liverpool F.C.", &["Liverpool"], Gender::Neutral, vec![club_t]);
+        let player = repo.add_entity("Marcus Keller", &[], Gender::Male, vec![fb_t]);
+        let mut b = StatsBuilder::new();
+        b.add_clause_signature(&[fb_t], &[club_t], "play for");
+        b.add_clause_signature(&[fb_t], &[club_t], "play for");
+        let stats = b.finalize();
+
+        // Prior prefers the WRONG candidate (the city); ts features must
+        // grow to compensate.
+        let pairs = vec![TrainingPair {
+            cands_a: vec![(player, 0.9, 0.1)],
+            cands_b: vec![(city, 0.75, 0.1), (club, 0.25, 0.1)],
+            pattern: "play for".into(),
+            gold: (player, club),
+        }];
+        let init = [1.0, 1.0, 1.0, 1.0];
+        let trained = train_alphas(&pairs, &stats, &repo, init);
+        assert!(
+            trained[3] > trained[0],
+            "α₄ (ts) should dominate α₁ (prior): {trained:?}"
+        );
+        for a in trained {
+            assert!(a > 0.0, "alphas stay positive: {trained:?}");
+        }
+    }
+
+    #[test]
+    fn returns_init_without_usable_examples() {
+        let repo = EntityRepository::new();
+        let stats = qkb_kb::BackgroundStats::empty();
+        let init = [0.5, 0.6, 0.7, 0.8];
+        let out = train_alphas(&[], &stats, &repo, init);
+        assert_eq!(out, init);
+    }
+
+    #[test]
+    fn likelihood_improves_over_training() {
+        let mut repo = EntityRepository::new();
+        let a_t = repo.type_system().get("ACTOR").expect("t");
+        let f_t = repo.type_system().get("FILM").expect("t");
+        let a1 = repo.add_entity("A One", &[], Gender::Male, vec![a_t]);
+        let a2 = repo.add_entity("A Two", &[], Gender::Male, vec![a_t]);
+        let f1 = repo.add_entity("Film One", &[], Gender::Neutral, vec![f_t]);
+        let mut b = StatsBuilder::new();
+        b.add_clause_signature(&[a_t], &[f_t], "star in");
+        b.add_entity_article(a1, ["film", "star"]);
+        b.add_entity_article(f1, ["film", "star"]);
+        let stats = b.finalize();
+        let pairs = vec![TrainingPair {
+            cands_a: vec![(a1, 0.3, 0.8), (a2, 0.7, 0.1)],
+            cands_b: vec![(f1, 1.0, 0.5)],
+            pattern: "star in".into(),
+            gold: (a1, f1),
+        }];
+        let init = [1.0, 0.1, 0.1, 0.1];
+        let trained = train_alphas(&pairs, &stats, &repo, init);
+        // The context-similarity weight must rise: the gold candidate wins
+        // on sim (0.8 vs 0.1) but loses on prior (0.3 vs 0.7).
+        assert!(
+            trained[1] > trained[0],
+            "α₂ should outgrow α₁: {trained:?}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Edge weights (§4).
+//!
+//! * means edge: `w(nᵢ, eᵢⱼ) = α₁·prior(nᵢ, eᵢⱼ) + α₂·sim(cxt(nᵢ), cxt(eᵢⱼ))`
+//! * relation edge: `w(nᵢ, nₜ, S) = α₃·Σ coh(eᵢⱼ, eₜₖ) + α₄·Σ ts(eᵢⱼ, eₜₖ, rᵢ,ₜ)`
+//!   summed over the candidate sets of the two endpoints in subgraph `S`.
+//!
+//! The type-signature term can be disabled (the QKBfly-pipeline variant of
+//! Tables 3–4 omits it, and the ablation bench measures its contribution).
+
+use crate::graph::{NodeId, NodeKind, SemanticGraph};
+use qkb_kb::{BackgroundStats, EntityId, EntityRepository};
+
+/// The α-parameterized weight model.
+#[derive(Clone, Debug)]
+pub struct WeightModel {
+    /// α₁..α₄ of §4.
+    pub alphas: [f64; 4],
+    /// Include the `ts` term (disabled in the pipeline variant).
+    pub use_type_signatures: bool,
+}
+
+impl Default for WeightModel {
+    fn default() -> Self {
+        // Trained defaults (see `train`); priors and context carry most of
+        // the signal, coherence and type signatures break ties.
+        Self {
+            alphas: [1.0, 0.6, 0.4, 0.8],
+            use_type_signatures: true,
+        }
+    }
+}
+
+impl WeightModel {
+    /// Weight of the means edge between mention `node` and candidate `e`.
+    pub fn means_weight(
+        &self,
+        graph: &SemanticGraph,
+        stats: &BackgroundStats,
+        node: NodeId,
+        e: EntityId,
+    ) -> f64 {
+        let text = match graph.node(node) {
+            NodeKind::NounPhrase { text, .. } => text.as_str(),
+            NodeKind::Pronoun { text, .. } => text.as_str(),
+            _ => return 0.0,
+        };
+        let prior = stats.prior(text, e);
+        let sim = graph
+            .context(node)
+            .map(|ctx| stats.mention_entity_sim(ctx, e))
+            .unwrap_or(0.0);
+        self.alphas[0] * prior + self.alphas[1] * sim
+    }
+
+    /// Pairwise candidate term of a relation edge: coherence plus (if
+    /// enabled) the type signature under `pattern`.
+    pub fn pair_weight(
+        &self,
+        stats: &BackgroundStats,
+        repo: &EntityRepository,
+        a: EntityId,
+        b: EntityId,
+        pattern: &str,
+    ) -> f64 {
+        let coh = stats.coherence(a, b);
+        let ts = if self.use_type_signatures {
+            stats.type_signature(repo.types_of(a), repo.types_of(b), pattern)
+        } else {
+            0.0
+        };
+        self.alphas[2] * coh + self.alphas[3] * ts
+    }
+
+    /// Full relation-edge weight for candidate sets `ca` × `cb`.
+    pub fn relation_weight(
+        &self,
+        stats: &BackgroundStats,
+        repo: &EntityRepository,
+        ca: &[EntityId],
+        cb: &[EntityId],
+        pattern: &str,
+    ) -> f64 {
+        let mut w = 0.0;
+        for &a in ca {
+            for &b in cb {
+                w += self.pair_weight(stats, repo, a, b, pattern);
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use qkb_kb::{Gender, StatsBuilder};
+    use qkb_nlp::NerTag;
+
+    fn fixture() -> (SemanticGraph, EntityRepository, BackgroundStats, NodeId) {
+        let mut repo = EntityRepository::new();
+        let city = repo.type_system().get("CITY").expect("t");
+        let club = repo.type_system().get("FOOTBALL_CLUB").expect("t");
+        let e_city = repo.add_entity("Liverpool", &[], Gender::Neutral, vec![city]);
+        let e_club = repo.add_entity("Liverpool F.C.", &["Liverpool"], Gender::Neutral, vec![club]);
+
+        let mut b = StatsBuilder::new();
+        for _ in 0..3 {
+            b.add_anchor("liverpool", e_city);
+        }
+        b.add_anchor("liverpool", e_club);
+        b.add_entity_article(e_city, ["port", "city", "england"]);
+        b.add_entity_article(e_club, ["club", "league", "match"]);
+        let stats = b.finalize();
+
+        let mut g = SemanticGraph::new();
+        let np = g.add_node(NodeKind::NounPhrase {
+            sentence: 0,
+            head: 0,
+            text: "Liverpool".into(),
+            ner: NerTag::Location,
+            is_time: false,
+            time_value: None,
+            proper: true,
+        });
+        g.set_context(np, stats.context_of(["club", "league"]));
+        let en = g.entity_node(e_club);
+        g.add_edge(np, en, EdgeKind::Means);
+        (g, repo, stats, np)
+    }
+
+    #[test]
+    fn means_weight_combines_prior_and_context() {
+        let (g, repo, stats, np) = fixture();
+        let e_city = repo.candidates("Liverpool")[0];
+        let e_club = repo.candidates("Liverpool")[1];
+        let m = WeightModel::default();
+        let w_city = m.means_weight(&g, &stats, np, e_city);
+        let w_club = m.means_weight(&g, &stats, np, e_club);
+        // Prior favours the city (3:1) but the sporting context should pull
+        // the club up; both weights must be positive.
+        assert!(w_city > 0.0 && w_club > 0.0);
+        // With the club-flavoured context, the club must beat a pure-prior
+        // ranking at α₂ high enough.
+        let ctx_heavy = WeightModel {
+            alphas: [0.1, 2.0, 0.4, 0.8],
+            use_type_signatures: true,
+        };
+        assert!(
+            ctx_heavy.means_weight(&g, &stats, np, e_club)
+                > ctx_heavy.means_weight(&g, &stats, np, e_city)
+        );
+    }
+
+    #[test]
+    fn type_signatures_can_be_disabled() {
+        let (_, repo, _, _) = fixture();
+        let mut b = StatsBuilder::new();
+        let fb = repo.type_system().get("FOOTBALLER").expect("t");
+        let cl = repo.type_system().get("FOOTBALL_CLUB").expect("t");
+        b.add_clause_signature(&[fb], &[cl], "play for");
+        let stats = b.finalize();
+        let e_city = repo.candidates("Liverpool")[0];
+        let e_club = repo.candidates("Liverpool")[1];
+        // A fake footballer entity is not needed: use the club itself as
+        // "subject" to exercise the ts lookup path.
+        let with = WeightModel::default();
+        let without = WeightModel {
+            use_type_signatures: false,
+            ..Default::default()
+        };
+        let w1 = with.pair_weight(&stats, &repo, e_club, e_club, "play for");
+        let w0 = without.pair_weight(&stats, &repo, e_club, e_club, "play for");
+        assert!(w1 >= w0);
+        let _ = e_city;
+    }
+
+    #[test]
+    fn relation_weight_sums_pairs() {
+        let (_, repo, stats, _) = fixture();
+        let cands = repo.candidates("Liverpool").to_vec();
+        let m = WeightModel::default();
+        let w_full = m.relation_weight(&stats, &repo, &cands, &cands, "play for");
+        let w_single = m.relation_weight(&stats, &repo, &cands[..1], &cands[..1], "play for");
+        assert!(w_full >= w_single);
+    }
+}

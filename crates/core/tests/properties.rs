@@ -1,0 +1,89 @@
+//! Property-based tests on the core invariants: densified graphs satisfy
+//! the paper's constraints (1)–(4), confidences are normalized, and the
+//! end-to-end pipeline is total over generated documents.
+
+use proptest::prelude::*;
+use qkb_corpus::world::{World, WorldConfig};
+use qkbfly::{NodeKind, Qkbfly, QkbflyConfig, SolverKind, Variant};
+
+fn system(world: &World) -> Qkbfly {
+    let bg = qkb_corpus::background::background_corpus(world, 10, 5);
+    let stats = qkb_corpus::background::build_stats(world, &bg);
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    let mut patterns = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut patterns);
+    Qkbfly::with_config(
+        repo,
+        patterns,
+        stats,
+        QkbflyConfig {
+            variant: Variant::Joint,
+            solver: SolverKind::Greedy,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any generated document, densification leaves a graph satisfying
+    /// constraints (1) and (2), and every fact confidence lies in [τ, 1].
+    #[test]
+    fn constraints_and_confidences_hold(doc_seed in 0u64..5000) {
+        let world = World::generate(WorldConfig::default());
+        let sys = system(&world);
+        let corpus = qkb_corpus::docgen::wiki_corpus(&world, 1, doc_seed);
+        let doc = &corpus.docs[0];
+
+        // Reproduce the internal stages to inspect the graph.
+        let nlp = qkb_nlp::Pipeline::with_gazetteer(world.repo.gazetteer());
+        let ann = nlp.annotate(&doc.text);
+        let clausie = qkb_openie::ClausIe::new();
+        let clauses: Vec<Vec<qkb_openie::Clause>> =
+            ann.sentences.iter().map(|s| clausie.detect(s)).collect();
+        let stats = sys.stats();
+        let mut built = qkbfly::build::build_graph(
+            &ann,
+            &clauses,
+            sys.repo(),
+            stats,
+            qkbfly::build::BuildConfig::default(),
+        );
+        let mentions = built.mentions.clone();
+        let outcome = qkbfly::densify::densify(
+            &mut built.graph,
+            &mentions,
+            &qkbfly::WeightModel::default(),
+            stats,
+            sys.repo(),
+        );
+        for n in built.graph.node_ids() {
+            match built.graph.node(n) {
+                NodeKind::NounPhrase { .. } => {
+                    prop_assert!(built.graph.means_of(n).len() <= 1, "constraint (1)");
+                }
+                NodeKind::Pronoun { .. } => {
+                    prop_assert!(built.graph.same_as_of(n).len() <= 1, "constraint (2)");
+                }
+                _ => {}
+            }
+        }
+        for res in outcome.resolutions.values() {
+            prop_assert!((0.0..=1.0).contains(&res.confidence));
+        }
+        prop_assert!(outcome.objective >= -1e-9);
+
+        // End-to-end: τ respected on kept facts.
+        let result = sys.build_kb(std::slice::from_ref(&doc.text));
+        for f in result.kb.facts() {
+            prop_assert!(f.confidence >= sys.config().tau - 1e-9);
+            prop_assert!(f.confidence <= 1.0 + 1e-9);
+            prop_assert!(f.arity() >= 3);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Background corpus (C) and statistics (S).
+//!
+//! §2.2: the background corpus is preprocessed with the *same* linguistic
+//! pipeline as query-time documents; clause components are mapped to
+//! entities via href links; from the result QKBfly computes anchor priors,
+//! entity context vectors, and clause-level type-signature statistics.
+//! This module does exactly that over generated pages whose gold mentions
+//! play the role of href anchors — the statistics pipeline is the real
+//! one (tokenizer, tagger, ClausIE), not a shortcut.
+
+use crate::docgen::{wiki_corpus, GoldCorpus, GoldDoc};
+use crate::gold::Assessor;
+use crate::world::World;
+use qkb_kb::{BackgroundStats, StatsBuilder, TypeId};
+use qkb_nlp::Pipeline;
+use qkb_openie::ClausIe;
+
+/// Generates the background corpus: `n_pages` Wikipedia-like pages over
+/// repository entities (anchor-annotated via gold mentions).
+pub fn background_corpus(world: &World, n_pages: usize, seed: u64) -> GoldCorpus {
+    wiki_corpus(world, n_pages, seed)
+}
+
+/// Runs the full pre-processing pipeline over the background corpus and
+/// accumulates the statistics the graph algorithm consumes.
+pub fn build_stats(world: &World, corpus: &GoldCorpus) -> BackgroundStats {
+    let pipeline = Pipeline::with_gazetteer(world.repo.gazetteer());
+    let clausie = ClausIe::new();
+    let assessor = Assessor::new(world);
+    let mut b = StatsBuilder::new();
+    let ts = world.repo.type_system();
+    let time_type: Vec<TypeId> = ts.get("TIME").into_iter().collect();
+
+    for doc in &corpus.docs {
+        let ann = pipeline.annotate(&doc.text);
+
+        // (a) Article tokens feed the main entity's context vector.
+        if let Some(main) = doc.main_entity {
+            if let Some(rid) = world.repo_id(main) {
+                let tokens: Vec<String> = ann
+                    .sentences
+                    .iter()
+                    .flat_map(|s| s.tokens.iter())
+                    .filter(|t| t.text.chars().any(|c| c.is_alphanumeric()))
+                    .map(|t| t.lemma.clone())
+                    .collect();
+                b.add_entity_article(rid, tokens.iter().map(String::as_str));
+            }
+        }
+
+        // (b) Every gold mention is an anchor; its sentence tokens also
+        // enrich the mentioned entity's context (the article-proxy for
+        // entities without own pages).
+        for m in &doc.mentions {
+            if m.pronoun {
+                continue;
+            }
+            let Some(rid) = world.repo_id(m.entity) else {
+                continue;
+            };
+            b.add_anchor(&m.phrase, rid);
+            if let Some(sentence) = ann.sentences.get(m.sentence) {
+                let tokens: Vec<String> = sentence
+                    .tokens
+                    .iter()
+                    .filter(|t| t.text.chars().any(|c| c.is_alphanumeric()))
+                    .map(|t| t.lemma.clone())
+                    .collect();
+                b.add_entity_article(rid, tokens.iter().map(String::as_str));
+            }
+        }
+
+        // (c) Clause-level type signatures: run ClausIE, map arguments to
+        // entities via the gold anchors, record (types, types, pattern).
+        // Pipeline sentence segmentation must agree with the renderer's.
+        if ann.sentences.len() != doc.sentences.len() {
+            continue;
+        }
+        for sentence in &ann.sentences {
+            for clause in clausie.detect(sentence) {
+                let subj_text = clause.subject.text(sentence);
+                let subj_types = entity_types(world, &assessor, doc, sentence.index, &subj_text);
+                let Some(subj_types) = subj_types else {
+                    continue;
+                };
+                for arg in clause.non_subject_args() {
+                    let arg_text = arg.text(sentence);
+                    let arg_types = if sentence.tokens[arg.head].ner == qkb_nlp::NerTag::Time {
+                        Some(time_type.clone())
+                    } else {
+                        entity_types(world, &assessor, doc, sentence.index, &arg_text)
+                    };
+                    let Some(arg_types) = arg_types else {
+                        continue;
+                    };
+                    let pattern = clause.relation_pattern(arg);
+                    b.add_clause_signature(&subj_types, &arg_types, &pattern);
+                }
+            }
+        }
+    }
+    b.finalize()
+}
+
+/// Types of the entity a phrase denotes per the gold anchors (None when
+/// unmapped — the paper only counts clauses whose arguments map to
+/// entities or names/times).
+fn entity_types(
+    world: &World,
+    assessor: &Assessor<'_>,
+    doc: &GoldDoc,
+    sentence: usize,
+    phrase: &str,
+) -> Option<Vec<TypeId>> {
+    let wid = assessor.gold_entity_of(doc, sentence, phrase)?;
+    let rid = world.repo_id(wid)?;
+    Some(world.repo.types_of(rid).to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn stats_have_priors_contexts_and_signatures() {
+        let world = World::generate(WorldConfig::default());
+        let corpus = background_corpus(&world, 12, 99);
+        let stats = build_stats(&world, &corpus);
+        assert!(stats.has_priors());
+        assert!(stats.n_entity_contexts() > 0);
+
+        // A mentioned entity should have prior mass on its canonical name.
+        let doc = &corpus.docs[0];
+        let m = doc
+            .mentions
+            .iter()
+            .find(|m| !m.pronoun && world.repo_id(m.entity).is_some())
+            .expect("a linked mention");
+        let rid = world.repo_id(m.entity).expect("linked");
+        assert!(stats.prior(&m.phrase, rid) > 0.0);
+    }
+
+    #[test]
+    fn ambiguous_alias_prior_splits() {
+        let world = World::generate(WorldConfig::default());
+        let corpus = background_corpus(&world, 30, 5);
+        let stats = build_stats(&world, &corpus);
+        // The club/city shared alias should have prior mass distributed
+        // over at least one of its candidates.
+        let club = world
+            .entities
+            .iter()
+            .find(|e| e.type_names == ["FOOTBALL_CLUB"] && e.aliases.len() > 1)
+            .expect("aliased club");
+        let alias = &club.aliases[1];
+        let cands = world.repo.candidates(alias);
+        assert!(cands.len() >= 2);
+        let total: f64 = cands.iter().map(|&c| stats.prior(alias, c)).sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn type_signatures_capture_play_for() {
+        let world = World::generate(WorldConfig::default());
+        let corpus = background_corpus(&world, 40, 11);
+        let stats = build_stats(&world, &corpus);
+        let ts = world.repo.type_system();
+        let footballer = ts.get("FOOTBALLER").expect("t");
+        let club = ts.get("FOOTBALL_CLUB").expect("t");
+        let city = ts.get("CITY").expect("t");
+        let sig_club = stats.type_signature(&[footballer], &[club], "play for");
+        let sig_city = stats.type_signature(&[footballer], &[city], "play for");
+        assert!(
+            sig_club > sig_city,
+            "play-for should prefer clubs: club={sig_club} city={sig_city}"
+        );
+    }
+}

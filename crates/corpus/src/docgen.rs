@@ -1,0 +1,469 @@
+//! Document builders: one generator per evaluation corpus of the paper.
+//!
+//! * Wikipedia-like pages (DEFIE-Wikipedia substitute, §7.1/§7.2) —
+//!   entity-centric biographies with pronouns, appositions, subordination;
+//! * news articles (News dataset substitute, §7.2) — event-centric, heavy
+//!   pronoun use, ~quarter emerging entities;
+//! * Wikia-like pages (§7.2) — long fiction recaps where ~70% of the
+//!   mentioned characters are out-of-repository;
+//! * Reverb-500 (§7.1, Table 5) — standalone sentences.
+
+use crate::gold::{GoldFactInstance, GoldMention};
+use crate::render::{
+    coordinate, render_fact, render_lead, render_negated, render_noise, subordinate,
+    with_apposition, RenderedSentence, SubjectMode,
+};
+use crate::world::{Domain, World, WorldEntityId};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Corpus flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DocKind {
+    /// Entity-centric encyclopedia page.
+    Wikipedia,
+    /// News article about a recent event.
+    News,
+    /// Fiction-recap page.
+    Wikia,
+    /// A standalone benchmark sentence.
+    Reverb,
+}
+
+/// One generated document with gold annotations.
+#[derive(Clone, Debug)]
+pub struct GoldDoc {
+    /// Corpus flavor.
+    pub kind: DocKind,
+    /// Title (page/article headline).
+    pub title: String,
+    /// The page's main entity, if entity-centric.
+    pub main_entity: Option<WorldEntityId>,
+    /// Full text.
+    pub text: String,
+    /// Sentence texts in order (what the pipeline will re-segment).
+    pub sentences: Vec<String>,
+    /// Gold entity mentions.
+    pub mentions: Vec<GoldMention>,
+    /// Gold fact instances.
+    pub instances: Vec<GoldFactInstance>,
+}
+
+/// A generated corpus.
+#[derive(Clone, Debug, Default)]
+pub struct GoldCorpus {
+    /// Documents in order.
+    pub docs: Vec<GoldDoc>,
+}
+
+impl GoldCorpus {
+    /// Total sentence count.
+    pub fn n_sentences(&self) -> usize {
+        self.docs.iter().map(|d| d.sentences.len()).sum()
+    }
+}
+
+/// Incrementally builds a document, assigning sentence indices.
+struct DocBuilder {
+    sentences: Vec<String>,
+    mentions: Vec<GoldMention>,
+    instances: Vec<GoldFactInstance>,
+}
+
+impl DocBuilder {
+    fn new() -> Self {
+        Self {
+            sentences: Vec::new(),
+            mentions: Vec::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, mut r: RenderedSentence) {
+        let idx = self.sentences.len();
+        for m in &mut r.mentions {
+            m.sentence = idx;
+        }
+        for i in &mut r.instances {
+            i.sentence = idx;
+        }
+        self.sentences.push(r.text);
+        self.mentions.extend(r.mentions);
+        self.instances.extend(r.instances);
+    }
+
+    fn finish(self, kind: DocKind, title: String, main: Option<WorldEntityId>) -> GoldDoc {
+        GoldDoc {
+            kind,
+            title,
+            main_entity: main,
+            text: self.sentences.join(" "),
+            sentences: self.sentences,
+            mentions: self.mentions,
+            instances: self.instances,
+        }
+    }
+}
+
+/// Facts whose subject is `e`, as indices into `world.facts`.
+fn fact_indices_of(world: &World, e: WorldEntityId, include_recent: bool) -> Vec<usize> {
+    world
+        .facts
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.subject == e && (include_recent || !f.recent))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Renders one entity page: lead + styled fact sentences + noise.
+fn entity_page(
+    world: &World,
+    main: WorldEntityId,
+    kind: DocKind,
+    include_recent: bool,
+    target_sentences: usize,
+    rng: &mut SmallRng,
+) -> GoldDoc {
+    let mut b = DocBuilder::new();
+    b.push(render_lead(world, main));
+    let mut facts = fact_indices_of(world, main, include_recent);
+    facts.shuffle(rng);
+    let mut mentioned_main = true; // lead mentions the subject
+
+    let mut i = 0usize;
+    while b.sentences.len() < target_sentences && i < facts.len() {
+        let f = facts[i];
+        let style = rng.gen_range(0..100);
+        match style {
+            // Pronoun subject (only once the subject is established).
+            0..=29 if mentioned_main => {
+                if let Some(r) = render_fact(world, f, SubjectMode::Pronoun, rng) {
+                    b.push(r);
+                }
+                i += 1;
+            }
+            // Coordination of two facts, second subject pronominalized.
+            30..=44 if i + 1 < facts.len() => {
+                let a = render_fact(world, f, SubjectMode::Alias, rng);
+                let c = render_fact(world, facts[i + 1], SubjectMode::Canonical, rng);
+                if let (Some(a), Some(c)) = (a, c) {
+                    b.push(coordinate(world, a, c));
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                mentioned_main = true;
+            }
+            // Subordinate lead-in.
+            45..=54 if i + 1 < facts.len() => {
+                let lead = render_fact(world, f, SubjectMode::Alias, rng);
+                let mainr = render_fact(world, facts[i + 1], SubjectMode::Canonical, rng);
+                if let (Some(l), Some(m)) = (lead, mainr) {
+                    b.push(subordinate(l, m, rng));
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                mentioned_main = true;
+            }
+            // Apposition after the subject.
+            55..=64 => {
+                if let Some(mut r) = render_fact(world, f, SubjectMode::Canonical, rng) {
+                    with_apposition(world, &mut r);
+                    b.push(r);
+                }
+                mentioned_main = true;
+                i += 1;
+            }
+            // Negated statement (asserts nothing).
+            65..=69 => {
+                if let Some(r) = render_negated(world, f, rng) {
+                    b.push(r);
+                }
+                mentioned_main = true;
+                i += 1;
+            }
+            // Plain with alias subject.
+            _ => {
+                let mode = if rng.gen_bool(0.5) {
+                    SubjectMode::Alias
+                } else {
+                    SubjectMode::Canonical
+                };
+                if let Some(r) = render_fact(world, f, mode, rng) {
+                    b.push(r);
+                }
+                mentioned_main = true;
+                i += 1;
+            }
+        }
+        // Interleave filler.
+        if rng.gen_bool(0.25) {
+            b.push(render_noise(rng));
+            mentioned_main = false;
+        }
+    }
+    while b.sentences.len() < target_sentences.min(4) {
+        b.push(render_noise(rng));
+    }
+    let title = world.entity(main).canonical.clone();
+    b.finish(kind, title, Some(main))
+}
+
+/// DEFIE-Wikipedia-style corpus: `n_docs` entity pages.
+pub fn wiki_corpus(world: &World, n_docs: usize, seed: u64) -> GoldCorpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let subjects: Vec<WorldEntityId> = world
+        .entities
+        .iter()
+        .filter(|e| {
+            !e.emerging
+                && !matches!(e.domain, Domain::News | Domain::Fiction)
+                && world.facts.iter().any(|f| f.subject == e.id && !f.recent)
+        })
+        .map(|e| e.id)
+        .collect();
+    let mut docs = Vec::with_capacity(n_docs);
+    for d in 0..n_docs {
+        let main = subjects[d % subjects.len().max(1)];
+        let target = rng.gen_range(8..=16);
+        docs.push(entity_page(world, main, DocKind::Wikipedia, false, target, &mut rng));
+    }
+    GoldCorpus { docs }
+}
+
+/// News corpus: event-centric articles around recent facts.
+pub fn news_corpus(world: &World, n_docs: usize, seed: u64) -> GoldCorpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let recent: Vec<usize> = world
+        .facts
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.recent)
+        .map(|(i, _)| i)
+        .collect();
+    let mut docs = Vec::with_capacity(n_docs);
+    for d in 0..n_docs {
+        let mut b = DocBuilder::new();
+        let &lead_fact = &recent[d % recent.len().max(1)];
+        // Headline sentence: the event, canonical names.
+        if let Some(r) = render_fact(world, lead_fact, SubjectMode::Canonical, &mut rng) {
+            b.push(r);
+        }
+        let subject = world.facts[lead_fact].subject;
+        // Follow-up: restate with pronoun; add background bio facts of the
+        // participants (known entities), filler quotes.
+        let mut pool: Vec<usize> = fact_indices_of(world, subject, true);
+        for f in &world.facts[lead_fact].args {
+            if let crate::world::GoldArg::Entity(e) = f {
+                pool.extend(fact_indices_of(world, *e, false));
+            }
+        }
+        pool.shuffle(&mut rng);
+        let target = rng.gen_range(10..=20);
+        let mut i = 0;
+        while b.sentences.len() < target && i < pool.len() {
+            let mode = if rng.gen_bool(0.4) {
+                SubjectMode::Pronoun
+            } else {
+                SubjectMode::Alias
+            };
+            if let Some(r) = render_fact(world, pool[i], mode, &mut rng) {
+                b.push(r);
+            }
+            if rng.gen_bool(0.3) {
+                b.push(render_noise(&mut rng));
+            }
+            i += 1;
+        }
+        let title = format!("Breaking: {}", world.entity(subject).canonical);
+        docs.push(b.finish(DocKind::News, title, Some(subject)));
+    }
+    GoldCorpus { docs }
+}
+
+/// Wikia corpus: long fiction recaps dominated by emerging characters.
+pub fn wikia_corpus(world: &World, n_docs: usize, seed: u64) -> GoldCorpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let fiction: Vec<usize> = world
+        .facts
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| world.entity(f.subject).domain == Domain::Fiction)
+        .map(|(i, _)| i)
+        .collect();
+    let mut docs = Vec::with_capacity(n_docs);
+    for d in 0..n_docs {
+        let mut b = DocBuilder::new();
+        let mut pool = fiction.clone();
+        pool.shuffle(&mut rng);
+        let target = rng.gen_range(40..=90); // Wikia pages are long (§7.2)
+        let mut i = 0;
+        while b.sentences.len() < target {
+            if pool.is_empty() {
+                b.push(render_noise(&mut rng));
+                continue;
+            }
+            let f = pool[i % pool.len()];
+            let mode = match rng.gen_range(0..3) {
+                0 => SubjectMode::Pronoun,
+                1 => SubjectMode::Alias,
+                _ => SubjectMode::Canonical,
+            };
+            if let Some(r) = render_fact(world, f, mode, &mut rng) {
+                b.push(r);
+            }
+            if rng.gen_bool(0.35) {
+                b.push(render_noise(&mut rng));
+            }
+            i += 1;
+        }
+        docs.push(b.finish(DocKind::Wikia, format!("Episode {d}"), None));
+    }
+    GoldCorpus { docs }
+}
+
+/// Reverb-style benchmark: standalone sentences (one per document).
+pub fn reverb_corpus(world: &World, n_sentences: usize, seed: u64) -> GoldCorpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let renderable: Vec<usize> = (0..world.facts.len()).collect();
+    let mut docs = Vec::with_capacity(n_sentences);
+    for s in 0..n_sentences {
+        let mut b = DocBuilder::new();
+        let f = renderable[rng.gen_range(0..renderable.len())];
+        match rng.gen_range(0..100) {
+            0..=59 => {
+                if let Some(r) = render_fact(world, f, SubjectMode::Canonical, &mut rng) {
+                    b.push(r);
+                }
+            }
+            60..=74 => {
+                if let Some(mut r) = render_fact(world, f, SubjectMode::Alias, &mut rng) {
+                    with_apposition(world, &mut r);
+                    b.push(r);
+                }
+            }
+            75..=89 => {
+                let g = renderable[rng.gen_range(0..renderable.len())];
+                let a = render_fact(world, f, SubjectMode::Alias, &mut rng);
+                let m = render_fact(world, g, SubjectMode::Canonical, &mut rng);
+                if let (Some(a), Some(m)) = (a, m) {
+                    b.push(subordinate(a, m, &mut rng));
+                }
+            }
+            _ => {
+                b.push(render_noise(&mut rng));
+            }
+        }
+        if b.sentences.is_empty() {
+            b.push(render_noise(&mut rng));
+        }
+        docs.push(b.finish(DocKind::Reverb, format!("s{s}"), None));
+    }
+    GoldCorpus { docs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn wiki_corpus_shape() {
+        let w = world();
+        let c = wiki_corpus(&w, 5, 1);
+        assert_eq!(c.docs.len(), 5);
+        for d in &c.docs {
+            assert!(d.kind == DocKind::Wikipedia);
+            assert!(d.sentences.len() >= 4, "page too short: {}", d.sentences.len());
+            assert!(d.main_entity.is_some());
+            assert!(!d.instances.is_empty());
+            // every instance's sentence index is valid
+            for inst in &d.instances {
+                assert!(inst.sentence < d.sentences.len());
+            }
+            for m in &d.mentions {
+                assert!(m.sentence < d.sentences.len());
+            }
+        }
+    }
+
+    #[test]
+    fn wiki_corpus_is_deterministic() {
+        let w = world();
+        let a = wiki_corpus(&w, 3, 9);
+        let b = wiki_corpus(&w, 3, 9);
+        assert_eq!(a.docs[2].text, b.docs[2].text);
+    }
+
+    #[test]
+    fn news_corpus_mentions_emerging() {
+        let w = world();
+        let c = news_corpus(&w, 6, 2);
+        let emerging_mentions = c
+            .docs
+            .iter()
+            .flat_map(|d| &d.mentions)
+            .filter(|m| w.entity(m.entity).emerging)
+            .count();
+        assert!(
+            emerging_mentions > 0,
+            "news must mention emerging entities"
+        );
+    }
+
+    #[test]
+    fn wikia_docs_are_long_and_emerging_heavy() {
+        let w = world();
+        let c = wikia_corpus(&w, 2, 3);
+        for d in &c.docs {
+            assert!(d.sentences.len() >= 40, "wikia pages are long");
+        }
+        let (emerging, total) = c
+            .docs
+            .iter()
+            .flat_map(|d| &d.mentions)
+            .filter(|m| !m.pronoun)
+            .fold((0usize, 0usize), |(e, t), m| {
+                (
+                    e + usize::from(w.entity(m.entity).emerging),
+                    t + 1,
+                )
+            });
+        let frac = emerging as f64 / total.max(1) as f64;
+        assert!(
+            frac > 0.4,
+            "wikia should be emerging-heavy, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn reverb_corpus_single_sentences() {
+        let w = world();
+        let c = reverb_corpus(&w, 50, 4);
+        assert_eq!(c.docs.len(), 50);
+        for d in &c.docs {
+            assert_eq!(d.sentences.len(), 1);
+            assert_eq!(d.kind, DocKind::Reverb);
+        }
+        assert_eq!(c.n_sentences(), 50);
+    }
+
+    #[test]
+    fn pronoun_mentions_exist_in_wiki() {
+        let w = world();
+        let c = wiki_corpus(&w, 10, 7);
+        let pronouns = c
+            .docs
+            .iter()
+            .flat_map(|d| &d.mentions)
+            .filter(|m| m.pronoun)
+            .count();
+        assert!(pronouns > 0, "styled pages should contain pronoun subjects");
+    }
+}

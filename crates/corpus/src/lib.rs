@@ -1,0 +1,35 @@
+//! # qkb-corpus
+//!
+//! Synthetic data substrate for the QKBfly reproduction. The paper
+//! evaluates on Wikipedia pages, news articles, Wikia pages, the Reverb-500
+//! sentence sample and Google-Trends questions — none of which can ship
+//! with a reproduction. This crate substitutes a **world model**: a closed
+//! universe of entities (with aliases, deliberate alias ambiguity, genders,
+//! types) and gold facts over them, from which every corpus is *rendered*:
+//!
+//! * [`world`] — entity/fact generation per domain (film, music, football,
+//!   politics, science) plus emerging entities and news events;
+//! * [`render`] — sentence realization of gold facts with paraphrase
+//!   templates, pronouns, appositions, subordinate clauses and noise;
+//! * [`docgen`] — document builders: Wikipedia-like, news, Wikia-like,
+//!   Reverb-500 (each mirrors the corresponding benchmark's profile);
+//! * [`gold`] — per-sentence gold annotations and the automatic assessor
+//!   that replaces the paper's two human judges;
+//! * [`background`] — the background corpus (C) and statistics (S): runs
+//!   the *real* pipeline (ClausIE included) over generated pages whose
+//!   entity mentions carry href-like gold links, exactly as §2.2 describes;
+//! * [`questions`] — WebQuestions-like training questions and
+//!   GoogleTrends-like test questions about emerging events.
+//!
+//! Everything is deterministic given the seed in [`world::WorldConfig`].
+
+pub mod background;
+pub mod docgen;
+pub mod gold;
+pub mod questions;
+pub mod render;
+pub mod world;
+
+pub use docgen::{DocKind, GoldCorpus, GoldDoc};
+pub use gold::{Assessor, GoldFactInstance, GoldMention};
+pub use world::{World, WorldConfig, WorldEntityId};

@@ -1,0 +1,292 @@
+//! Question generation: the WebQuestions-like training set (Appendix B)
+//! and the GoogleTrendsQuestions-like test set (§7.4).
+//!
+//! Trends questions target *recent* facts — events that exist only in the
+//! news corpus and are absent from any static KB snapshot. This is the
+//! property that makes the paper's QA-Freebase baseline collapse (0.096
+//! F1) and rewards on-the-fly construction. A subset of questions needs
+//! ternary facts ("Who plays X in Y?"), which separates QKBfly from its
+//! triples-only variant.
+
+use crate::world::{Domain, GoldArg, World, WorldEntityId};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// One benchmark question with its gold answers.
+#[derive(Clone, Debug)]
+pub struct Question {
+    /// Natural-language question text.
+    pub text: String,
+    /// Entities mentioned in the question (for retrieval).
+    pub entities: Vec<WorldEntityId>,
+    /// Gold answers: each answer is a set of acceptable surfaces.
+    pub gold: Vec<Vec<String>>,
+    /// Expected coarse answer types ("PERSON", "LOCATION", ...).
+    pub expected_types: Vec<&'static str>,
+    /// True if answering requires a higher-arity fact.
+    pub needs_ternary: bool,
+    /// True if the supporting fact is recent (news-only).
+    pub about_recent: bool,
+}
+
+/// Acceptable surfaces of an entity answer (all aliases + canonical).
+fn entity_answer(world: &World, id: WorldEntityId) -> Vec<String> {
+    world.entity(id).aliases.clone()
+}
+
+/// Builds a question from a fact, if a template exists for its relation.
+fn question_for_fact(world: &World, fact_idx: usize, rng: &mut SmallRng) -> Option<Question> {
+    let f = &world.facts[fact_idx];
+    let subj = world.entity(f.subject);
+    let sname = &subj.canonical;
+    let q = |text: String,
+             entities: Vec<WorldEntityId>,
+             gold: Vec<Vec<String>>,
+             expected_types: Vec<&'static str>,
+             needs_ternary: bool| {
+        Some(Question {
+            text,
+            entities,
+            gold,
+            expected_types,
+            needs_ternary,
+            about_recent: f.recent,
+        })
+    };
+    match (f.relation, f.args.as_slice()) {
+        ("born in", [GoldArg::Entity(city)]) => q(
+            format!("Where was {sname} born?"),
+            vec![f.subject],
+            vec![entity_answer(world, *city)],
+            vec!["LOCATION"],
+            false,
+        ),
+        ("married to", [GoldArg::Entity(spouse)]) => q(
+            format!("Who did {sname} marry?"),
+            vec![f.subject],
+            vec![entity_answer(world, *spouse)],
+            vec!["PERSON"],
+            false,
+        ),
+        ("divorce from", [GoldArg::Entity(spouse), ..]) => {
+            if rng.gen_bool(0.5) {
+                q(
+                    format!("Who did {sname} divorce?"),
+                    vec![f.subject],
+                    vec![entity_answer(world, *spouse)],
+                    vec!["PERSON"],
+                    false,
+                )
+            } else if let Some(GoldArg::Time(t)) = f.args.get(1) {
+                q(
+                    format!("When did {sname} file for divorce?"),
+                    vec![f.subject],
+                    vec![vec![t.clone()]],
+                    vec!["TIME"],
+                    true,
+                )
+            } else {
+                None
+            }
+        }
+        ("play in", [GoldArg::Entity(character), GoldArg::Entity(film)]) => q(
+            format!(
+                "Who plays {} in {}?",
+                world.entity(*character).canonical,
+                world.entity(*film).canonical
+            ),
+            vec![*character, *film],
+            vec![entity_answer(world, f.subject)],
+            vec!["PERSON"],
+            true,
+        ),
+        ("win", [GoldArg::Entity(award)]) => q(
+            format!("Which prize did {sname} win?"),
+            vec![f.subject],
+            vec![entity_answer(world, *award)],
+            vec!["MISC"],
+            false,
+        ),
+        ("win for", [GoldArg::Entity(award), ..]) => q(
+            format!("Which prize did {sname} receive?"),
+            vec![f.subject],
+            vec![entity_answer(world, *award)],
+            vec!["MISC"],
+            false,
+        ),
+        ("play for", [GoldArg::Entity(club)]) => q(
+            format!("Which club does {sname} play for?"),
+            vec![f.subject],
+            vec![entity_answer(world, *club)],
+            vec!["ORGANIZATION"],
+            false,
+        ),
+        ("shoot", [GoldArg::Entity(victim)]) => q(
+            format!("Who shot {}?", world.entity(*victim).canonical),
+            vec![*victim],
+            vec![entity_answer(world, f.subject)],
+            vec!["PERSON"],
+            false,
+        ),
+        ("accuse of", [GoldArg::Entity(target), ..]) => q(
+            format!("Who accused {}?", world.entity(*target).canonical),
+            vec![*target],
+            vec![entity_answer(world, f.subject)],
+            vec!["PERSON"],
+            false,
+        ),
+        ("donate to", [_, GoldArg::Entity(org)]) => q(
+            format!("Which foundation did {sname} donate to?"),
+            vec![f.subject],
+            vec![entity_answer(world, *org)],
+            vec!["ORGANIZATION"],
+            true,
+        ),
+        ("release", [GoldArg::Entity(album), ..]) => q(
+            format!("Which album did {sname} release?"),
+            vec![f.subject],
+            vec![entity_answer(world, *album)],
+            vec!["MISC"],
+            false,
+        ),
+        ("lead", [GoldArg::Entity(party)]) => q(
+            format!("Which party does {sname} lead?"),
+            vec![f.subject],
+            vec![entity_answer(world, *party)],
+            vec!["ORGANIZATION"],
+            false,
+        ),
+        ("study at", [GoldArg::Entity(uni)]) => q(
+            format!("Where did {sname} study?"),
+            vec![f.subject],
+            vec![entity_answer(world, *uni)],
+            vec!["ORGANIZATION"],
+            false,
+        ),
+        ("receive in from", [GoldArg::Entity(award), _, GoldArg::Entity(presenter)]) => q(
+            format!(
+                "Who presented {} to {sname}?",
+                world.entity(*award).canonical
+            ),
+            vec![f.subject, *award],
+            vec![entity_answer(world, *presenter)],
+            vec!["PERSON"],
+            true,
+        ),
+        _ => None,
+    }
+}
+
+/// WebQuestions-like training questions over *non-recent* facts about
+/// repository entities (the SVM's training signal, Appendix B).
+pub fn webquestions_train(world: &World, n: usize, seed: u64) -> Vec<Question> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut candidates: Vec<usize> = (0..world.facts.len())
+        .filter(|&i| {
+            let f = &world.facts[i];
+            !f.recent
+                && !world.entity(f.subject).emerging
+                && world.entity(f.subject).domain != Domain::Fiction
+        })
+        .collect();
+    candidates.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(n);
+    for &i in &candidates {
+        if out.len() >= n {
+            break;
+        }
+        if let Some(q) = question_for_fact(world, i, &mut rng) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// GoogleTrendsQuestions-like test set: questions about recent events
+/// (plus a ternary-heavy tail of film-role questions), as in §7.4.
+pub fn trends_test(world: &World, n: usize, seed: u64) -> Vec<Question> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut recent: Vec<usize> = (0..world.facts.len())
+        .filter(|&i| world.facts[i].recent)
+        .collect();
+    let mut ternary: Vec<usize> = (0..world.facts.len())
+        .filter(|&i| {
+            let f = &world.facts[i];
+            !f.recent && f.relation == "play in"
+        })
+        .collect();
+    recent.shuffle(&mut rng);
+    ternary.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(n);
+    // Two thirds recent events, one third ternary role questions.
+    for &i in recent.iter().cycle().take(recent.len().min(2 * n / 3)) {
+        if let Some(q) = question_for_fact(world, i, &mut rng) {
+            out.push(q);
+        }
+    }
+    for &i in &ternary {
+        if out.len() >= n {
+            break;
+        }
+        if let Some(q) = question_for_fact(world, i, &mut rng) {
+            out.push(q);
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn training_questions_have_gold() {
+        let w = World::generate(WorldConfig::default());
+        let qs = webquestions_train(&w, 30, 1);
+        assert!(qs.len() >= 10, "got {}", qs.len());
+        for q in &qs {
+            assert!(q.text.ends_with('?'));
+            assert!(!q.gold.is_empty());
+            assert!(!q.gold[0].is_empty());
+            assert!(!q.about_recent);
+        }
+    }
+
+    #[test]
+    fn trends_questions_cover_recent_and_ternary() {
+        let w = World::generate(WorldConfig::default());
+        let qs = trends_test(&w, 20, 2);
+        assert!(!qs.is_empty());
+        assert!(qs.iter().any(|q| q.about_recent), "recent events needed");
+        assert!(qs.iter().any(|q| q.needs_ternary), "ternary questions needed");
+    }
+
+    #[test]
+    fn play_in_question_asks_for_actor() {
+        let w = World::generate(WorldConfig::default());
+        let idx = w
+            .facts
+            .iter()
+            .position(|f| f.relation == "play in")
+            .expect("fact");
+        let mut rng = SmallRng::seed_from_u64(3);
+        let q = question_for_fact(&w, idx, &mut rng).expect("template");
+        assert!(q.text.starts_with("Who plays"));
+        assert!(q.needs_ternary);
+        let actor = &w.entity(w.facts[idx].subject).canonical;
+        assert!(q.gold[0].contains(actor));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = World::generate(WorldConfig::default());
+        let a = trends_test(&w, 10, 5);
+        let b = trends_test(&w, 10, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! Sentence realization of gold facts.
+//!
+//! Every relation of the world has paraphrase templates; rendering a fact
+//! produces the sentence text *plus* its gold annotations (entity mentions
+//! and fact instances), so the assessor can judge any extraction from the
+//! sentence. Difficulty is injected the way real text is difficult:
+//! pronoun subjects, appositions after the subject, subordinate lead-ins,
+//! coordinations, negated statements (which assert nothing), and filler
+//! sentences with literal-argument facts.
+
+use crate::gold::{GoldFactInstance, GoldMention, RenderedArg};
+use crate::world::{GoldArg, World, WorldEntityId};
+use qkb_kb::Gender;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One realized sentence with its gold annotations (sentence indices are
+/// assigned later by the document builder).
+#[derive(Clone, Debug, Default)]
+pub struct RenderedSentence {
+    /// Sentence text (ends with a period).
+    pub text: String,
+    /// Entity mentions in the sentence.
+    pub mentions: Vec<GoldMention>,
+    /// Fact instances the sentence asserts.
+    pub instances: Vec<GoldFactInstance>,
+}
+
+/// A sentence template: `text` uses `{S}` for the subject and `{0}`,
+/// `{1}`, … for arguments (`{T0}` renders a time argument with its
+/// preposition). `patterns[i]` is the relation pattern the template
+/// realizes *towards argument i* (the gold pattern for assessment).
+pub struct Template {
+    /// Format string.
+    pub text: &'static str,
+    /// Per-argument relation pattern.
+    pub patterns: &'static [&'static str],
+}
+
+/// A relation's rendering spec.
+pub struct RelationSpec {
+    /// Canonical relation key (as in `GoldFact::relation`).
+    pub key: &'static str,
+    /// Additional paraphrase patterns to register in the pattern
+    /// repository (beyond the seeded standard synsets).
+    pub paraphrases: &'static [&'static str],
+    /// Sentence templates.
+    pub templates: &'static [Template],
+}
+
+macro_rules! tpl {
+    ($text:expr, [$($p:expr),*]) => {
+        Template { text: $text, patterns: &[$($p),*] }
+    };
+}
+
+/// The rendering table for every world relation.
+pub const RELATIONS: &[RelationSpec] = &[
+    RelationSpec {
+        key: "located in",
+        paraphrases: &["lie in"],
+        templates: &[
+            tpl!("{S} is located in {0}.", ["be located in"]),
+            tpl!("{S} lies in {0}.", ["lie in"]),
+        ],
+    },
+    RelationSpec {
+        key: "support",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} supports {0}.", ["support"]),
+            tpl!("{S} has backed {0} for years.", ["back"]),
+            tpl!("{S} publicly endorsed {0}.", ["endorse"]),
+        ],
+    },
+    RelationSpec {
+        key: "donate to",
+        paraphrases: &["give to"],
+        templates: &[
+            tpl!("{S} donated {0} to {1}.", ["donate", "donate to"]),
+            tpl!("{S} gave {0} to {1}.", ["give", "give to"]),
+        ],
+    },
+    RelationSpec {
+        key: "study at",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} studied at {0}.", ["study at"]),
+            tpl!("{S} graduated from {0}.", ["graduate from"]),
+        ],
+    },
+    RelationSpec {
+        key: "married to",
+        paraphrases: &["marry in"],
+        templates: &[
+            tpl!("{S} married {0}.", ["marry"]),
+            tpl!("{S} wed {0}.", ["wed"]),
+            tpl!("{S} is married to {0}.", ["be married to"]),
+        ],
+    },
+    RelationSpec {
+        key: "divorce from",
+        paraphrases: &["file for on", "file for divorce from"],
+        templates: &[
+            tpl!("{S} divorced {0} {T1}.", ["divorce", "divorce"]),
+            tpl!("{S} filed for divorce from {0} {T1}.", ["file for divorce from", "file for divorce from"]),
+            tpl!("{S} split from {0} {T1}.", ["split from", "split from"]),
+        ],
+    },
+    RelationSpec {
+        key: "born in",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} was born in {0}.", ["bear in"]),
+            tpl!("{S} grew up in {0}.", ["grow in"]),
+        ],
+    },
+    RelationSpec {
+        key: "born on",
+        paraphrases: &["bear on"],
+        templates: &[tpl!("{S} was born {T0}.", ["bear on"])],
+    },
+    RelationSpec {
+        key: "play in",
+        paraphrases: &["play", "portray", "star as in"],
+        templates: &[
+            tpl!("{S} played {0} in {1}.", ["play", "play in"]),
+            tpl!("{S} starred as {0} in {1}.", ["star as", "star in"]),
+            tpl!("{S} portrayed {0} in {1}.", ["portray", "portray in"]),
+        ],
+    },
+    RelationSpec {
+        key: "act in",
+        paraphrases: &["act"],
+        templates: &[
+            tpl!("{S} acted in {0}.", ["act in"]),
+            tpl!("{S} starred in {0}.", ["star in"]),
+            tpl!("{S} appeared in {0}.", ["appear in"]),
+        ],
+    },
+    RelationSpec {
+        key: "win",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} won {0}.", ["win"]),
+            tpl!("{S} received {0}.", ["receive"]),
+            tpl!("{S} earned {0}.", ["earn"]),
+        ],
+    },
+    RelationSpec {
+        key: "win for",
+        paraphrases: &["win for", "receive for"],
+        templates: &[
+            tpl!("{S} won {0} for {1}.", ["win", "win for"]),
+            tpl!("{S} received {0} for {1}.", ["receive", "receive for"]),
+        ],
+    },
+    RelationSpec {
+        key: "release",
+        paraphrases: &["release in", "record in"],
+        templates: &[
+            tpl!("{S} released {0} {T1}.", ["release", "release in"]),
+            tpl!("{S} recorded {0} {T1}.", ["record", "record in"]),
+        ],
+    },
+    RelationSpec {
+        key: "receive in from",
+        paraphrases: &["receive from", "receive in"],
+        templates: &[
+            tpl!("{S} received {0} {T1} from {2}.", ["receive", "receive in", "receive from"]),
+            tpl!("{S} accepted {0} {T1} from {2}.", ["accept", "accept in", "accept from"]),
+        ],
+    },
+    RelationSpec {
+        key: "perform in",
+        paraphrases: &["perform with", "sing with"],
+        templates: &[
+            tpl!("{S} performed with {0}.", ["perform with"]),
+            tpl!("{S} sang with {0}.", ["sing with"]),
+        ],
+    },
+    RelationSpec {
+        key: "play for",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} plays for {0}.", ["play for"]),
+            tpl!("{S} signed for {0}.", ["sign for"]),
+            tpl!("{S} turned out for {0}.", ["turn for"]),
+        ],
+    },
+    RelationSpec {
+        key: "transfer to",
+        paraphrases: &["move to in", "join in"],
+        templates: &[
+            tpl!("{S} transferred to {0} {T1}.", ["transfer to", "transfer in"]),
+            tpl!("{S} moved to {0} {T1}.", ["move to", "move in"]),
+            tpl!("{S} joined {0} {T1}.", ["join", "join in"]),
+        ],
+    },
+    RelationSpec {
+        key: "score in",
+        paraphrases: &["score against"],
+        templates: &[
+            tpl!("{S} scored against {0}.", ["score against"]),
+            tpl!("{S} netted against {0}.", ["net against"]),
+        ],
+    },
+    RelationSpec {
+        key: "lead",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} leads {0}.", ["lead"]),
+            tpl!("{S} heads {0}.", ["head"]),
+            tpl!("{S} chairs {0}.", ["chair"]),
+        ],
+    },
+    RelationSpec {
+        key: "elected as",
+        paraphrases: &["elect in", "elected in"],
+        templates: &[
+            tpl!("{S} was elected in {0} {T1}.", ["elect in", "elect in"]),
+            tpl!("{S} won the election in {0} {T1}.", ["win in", "win in"]),
+        ],
+    },
+    RelationSpec {
+        key: "teach at",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} teaches at {0}.", ["teach at"]),
+            tpl!("{S} lectures at {0}.", ["lecture at"]),
+        ],
+    },
+    RelationSpec {
+        key: "accuse of",
+        paraphrases: &["accuse"],
+        templates: &[
+            tpl!("{S} accused {0} of {1}.", ["accuse", "accuse of"]),
+        ],
+    },
+    RelationSpec {
+        key: "shoot",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} shot {0}.", ["shoot"]),
+            tpl!("{S} gunned down {0}.", ["gun down"]),
+        ],
+    },
+    RelationSpec {
+        key: "defeat",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} defeated {0}.", ["defeat"]),
+            tpl!("{S} beat {0}.", ["beat"]),
+        ],
+    },
+    RelationSpec {
+        key: "live in",
+        paraphrases: &[],
+        templates: &[
+            tpl!("{S} lives in {0}.", ["live in"]),
+            tpl!("{S} resides in {0}.", ["reside in"]),
+        ],
+    },
+];
+
+/// Registers the rendering paraphrases in the pattern repository so
+/// canonicalization can map every rendered pattern to its synset.
+pub fn extend_patterns(repo: &mut qkb_kb::PatternRepository) {
+    for spec in RELATIONS {
+        // Collect every pattern any template realizes, plus declared
+        // paraphrases; attach them to the canonical synset.
+        let mut pats: Vec<&str> = spec.paraphrases.to_vec();
+        for t in spec.templates {
+            pats.extend_from_slice(t.patterns);
+        }
+        // Passive clause extraction yields "married to"/"located in" for
+        // templates declared as "be married to": register both forms.
+        let stripped: Vec<&str> = pats
+            .iter()
+            .filter_map(|p| p.strip_prefix("be "))
+            .collect();
+        pats.extend(stripped);
+        match repo.lookup(spec.key) {
+            Some(_) => {
+                // Synset exists (seeded): register leftover paraphrases as
+                // an extension synset with the same canonical name; lookup
+                // keeps first-sense wins so seeded patterns are unaffected.
+                let missing: Vec<&str> = pats
+                    .iter()
+                    .copied()
+                    .filter(|p| repo.lookup(p).is_none())
+                    .collect();
+                if !missing.is_empty() {
+                    repo.add_synset(spec.key, &missing);
+                }
+            }
+            None => {
+                repo.add_synset(spec.key, &pats);
+            }
+        }
+    }
+}
+
+/// Finds the rendering spec of a relation key.
+pub fn spec_of(key: &str) -> Option<&'static RelationSpec> {
+    RELATIONS.iter().find(|s| s.key == key)
+}
+
+/// How the subject of a rendered sentence is realized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubjectMode {
+    /// Canonical (full) name.
+    Canonical,
+    /// A shorter alias (surname etc.) — exercises `sameAs` string matching.
+    Alias,
+    /// A pronoun — exercises co-reference resolution.
+    Pronoun,
+}
+
+/// Subject pronoun for a gender.
+pub fn pronoun_for(g: Gender) -> &'static str {
+    match g {
+        Gender::Male => "he",
+        Gender::Female => "she",
+        _ => "it",
+    }
+}
+
+/// Picks a surface form for an entity.
+fn surface_for(world: &World, id: WorldEntityId, mode: SubjectMode, rng: &mut SmallRng) -> String {
+    let e = world.entity(id);
+    match mode {
+        SubjectMode::Canonical => e.canonical.clone(),
+        SubjectMode::Alias => {
+            if e.aliases.len() > 1 && rng.gen_bool(0.7) {
+                e.aliases[rng.gen_range(1..e.aliases.len())].clone()
+            } else {
+                e.canonical.clone()
+            }
+        }
+        SubjectMode::Pronoun => pronoun_for(e.gender).to_string(),
+    }
+}
+
+/// Renders an argument (with optional determiner for org-like names).
+fn arg_surface(world: &World, arg: &GoldArg, rng: &mut SmallRng) -> (String, Option<WorldEntityId>) {
+    match arg {
+        GoldArg::Entity(id) => {
+            let e = world.entity(*id);
+            let s = if e.aliases.len() > 1 && rng.gen_bool(0.3) {
+                e.aliases[rng.gen_range(1..e.aliases.len())].clone()
+            } else {
+                e.canonical.clone()
+            };
+            // Organizations commonly appear with "the".
+            let with_det = if e.type_names.contains(&"FOUNDATION") && rng.gen_bool(0.5) {
+                format!("the {s}")
+            } else {
+                s
+            };
+            (with_det, Some(*id))
+        }
+        GoldArg::Literal(s) => (s.clone(), None),
+        GoldArg::Time(t) => (t.clone(), None),
+    }
+}
+
+/// Time preposition: "on" for full dates, "in" for years/months.
+fn time_prep(t: &str) -> &'static str {
+    if t.contains(',') {
+        "on"
+    } else {
+        "in"
+    }
+}
+
+/// Renders one fact into a sentence (simple style).
+pub fn render_fact(
+    world: &World,
+    fact_idx: usize,
+    mode: SubjectMode,
+    rng: &mut SmallRng,
+) -> Option<RenderedSentence> {
+    let fact = &world.facts[fact_idx];
+    let spec = spec_of(fact.relation)?;
+    let tpl = &spec.templates[rng.gen_range(0..spec.templates.len())];
+    realize(world, fact_idx, tpl, mode, rng)
+}
+
+/// Renders the template into text + gold annotations.
+fn realize(
+    world: &World,
+    fact_idx: usize,
+    tpl: &Template,
+    mode: SubjectMode,
+    rng: &mut SmallRng,
+) -> Option<RenderedSentence> {
+    let fact = &world.facts[fact_idx];
+    if tpl.patterns.len() < fact.args.len() {
+        return None;
+    }
+    let subject_surface = surface_for(world, fact.subject, mode, rng);
+    let mut mentions = Vec::new();
+    mentions.push(GoldMention {
+        sentence: 0,
+        phrase: subject_surface.clone(),
+        entity: fact.subject,
+        pronoun: mode == SubjectMode::Pronoun,
+    });
+
+    let mut text = tpl.text.replace("{S}", &subject_surface);
+    let mut rendered_args = Vec::with_capacity(fact.args.len());
+    for (i, arg) in fact.args.iter().enumerate() {
+        let (surface, ent) = arg_surface(world, arg, rng);
+        let plain_slot = format!("{{{i}}}");
+        let time_slot = format!("{{T{i}}}");
+        if text.contains(&time_slot) {
+            let prep = time_prep(&surface);
+            text = text.replace(&time_slot, &format!("{prep} {surface}"));
+        } else {
+            text = text.replace(&plain_slot, &surface);
+        }
+        if let Some(e) = ent {
+            mentions.push(GoldMention {
+                sentence: 0,
+                phrase: surface.clone(),
+                entity: e,
+                pronoun: false,
+            });
+        }
+        rendered_args.push(RenderedArg {
+            arg: arg.clone(),
+            surface,
+            pattern: tpl.patterns[i].to_string(),
+        });
+    }
+    // Unfilled slots mean template/fact arity mismatch.
+    if text.contains('{') {
+        return None;
+    }
+    let instance = GoldFactInstance {
+        sentence: 0,
+        fact_idx,
+        subject: fact.subject,
+        subject_surface,
+        relation: fact.relation.to_string(),
+        args: rendered_args,
+        negated: false,
+    };
+    Some(RenderedSentence {
+        text,
+        mentions,
+        instances: vec![instance],
+    })
+}
+
+/// Renders a *negated* version of a fact — the sentence asserts nothing,
+/// so it carries a negated instance which the assessor treats as
+/// non-supporting (extractors that ignore negation lose precision here).
+pub fn render_negated(
+    world: &World,
+    fact_idx: usize,
+    rng: &mut SmallRng,
+) -> Option<RenderedSentence> {
+    let mut s = render_fact(world, fact_idx, SubjectMode::Canonical, rng)?;
+    // Negate the verb: crude but effective — "X married Y." ->
+    // "X never married Y."
+    let fact = &world.facts[fact_idx];
+    let subj = world.entity(fact.subject);
+    let surface = s
+        .mentions
+        .first()
+        .map(|m| m.phrase.clone())
+        .unwrap_or_else(|| subj.canonical.clone());
+    s.text = s.text.replacen(&surface, &format!("{surface} never"), 1);
+    for inst in &mut s.instances {
+        inst.negated = true;
+    }
+    Some(s)
+}
+
+/// Appends an apposition after the subject: "X, a famous actor, …".
+pub fn with_apposition(world: &World, s: &mut RenderedSentence) {
+    let Some(first) = s.mentions.first() else {
+        return;
+    };
+    if first.pronoun {
+        return;
+    }
+    let e = world.entity(first.entity);
+    let role = match e.type_names.first().copied() {
+        Some("ACTOR") => "a famous actor",
+        Some("MUSICAL_ARTIST") => "a popular singer",
+        Some("FOOTBALLER") => "a professional footballer",
+        Some("POLITICIAN") => "a prominent politician",
+        Some("SCIENTIST") => "a renowned scientist",
+        Some("CHARACTER") => "a beloved character",
+        _ => "a well-known figure",
+    };
+    let phrase = &first.phrase;
+    if let Some(pos) = s.text.find(phrase.as_str()) {
+        let insert_at = pos + phrase.len();
+        s.text.insert_str(insert_at, &format!(", {role},"));
+    }
+}
+
+/// Joins two rendered sentences into a coordination sharing discourse:
+/// "A … and B …" (second clause subject becomes a pronoun when genders
+/// allow and the subjects are the same entity).
+pub fn coordinate(world: &World, first: RenderedSentence, second: RenderedSentence) -> RenderedSentence {
+    let mut text1 = first.text.trim_end_matches('.').to_string();
+    let mut second_text = second.text.trim_end_matches('.').to_string();
+    // Same subject? use a pronoun in the second conjunct.
+    let mut second_mentions = second.mentions.clone();
+    if let (Some(m1), Some(m2)) = (first.mentions.first(), second.mentions.first()) {
+        if m1.entity == m2.entity && !m2.pronoun {
+            let pron = pronoun_for(world.entity(m2.entity).gender);
+            if second_text.starts_with(&m2.phrase) {
+                second_text = format!("{pron}{}", &second_text[m2.phrase.len()..]);
+                second_mentions[0].phrase = pron.to_string();
+                second_mentions[0].pronoun = true;
+            }
+        }
+    }
+    text1.push_str(" and ");
+    text1.push_str(&second_text);
+    text1.push('.');
+    let mut mentions = first.mentions;
+    mentions.extend(second_mentions);
+    let mut instances = first.instances;
+    instances.extend(second.instances);
+    RenderedSentence {
+        text: text1,
+        mentions,
+        instances,
+    }
+}
+
+/// Prefixes a subordinate lead-in: "After A …, B …." Both facts are gold.
+pub fn subordinate(lead: RenderedSentence, main: RenderedSentence, rng: &mut SmallRng) -> RenderedSentence {
+    let conj = ["After", "While", "Although", "Because"][rng.gen_range(0..4)];
+    let lead_text = lead.text.trim_end_matches('.').to_string();
+    let main_text = main.text.clone();
+    let text = format!("{conj} {}, {}", decapitalize(&lead_text), main_text);
+    let mut mentions = lead.mentions;
+    mentions.extend(main.mentions);
+    let mut instances = lead.instances;
+    instances.extend(main.instances);
+    RenderedSentence {
+        text,
+        mentions,
+        instances,
+    }
+}
+
+fn decapitalize(s: &str) -> String {
+    // Only decapitalize if the first word is not a proper name — here the
+    // lead always starts with a name or pronoun, so keep as is except for
+    // pronouns.
+    if s.starts_with("He ") || s.starts_with("She ") || s.starts_with("It ") {
+        let mut c = s.chars();
+        match c.next() {
+            Some(f) => f.to_lowercase().chain(c).collect(),
+            None => String::new(),
+        }
+    } else {
+        s.to_string()
+    }
+}
+
+/// Filler sentences: assert only literal-argument facts, so extractions
+/// from them are assessable (correct if they match, wrong if they
+/// hallucinate structure).
+const NOISE: &[(&str, &str, &str, &str)] = &[
+    // (subject, verb pattern, object, full text)
+    ("The audience", "cheer", "the performance", "The audience cheered the performance."),
+    ("Critics", "praise", "the performance", "Critics praised the performance."),
+    ("The fans", "celebrate", "the victory", "The fans celebrated the victory."),
+    ("The committee", "announce", "the decision", "The committee announced the decision."),
+    ("Reporters", "attend", "the ceremony", "Reporters attended the ceremony."),
+    ("The crowd", "fill", "the stadium", "The crowd filled the stadium."),
+    ("The jury", "review", "the nominations", "The jury reviewed the nominations."),
+    ("The newspaper", "publish", "the interview", "The newspaper published the interview."),
+];
+
+/// Renders a filler sentence with gold literal instances.
+pub fn render_noise(rng: &mut SmallRng) -> RenderedSentence {
+    let (subj, pattern, obj, text) = NOISE[rng.gen_range(0..NOISE.len())];
+    RenderedSentence {
+        text: text.to_string(),
+        mentions: Vec::new(),
+        instances: vec![GoldFactInstance {
+            sentence: 0,
+            fact_idx: usize::MAX,
+            subject: WorldEntityId::new(u32::MAX as usize),
+            subject_surface: subj.to_string(),
+            relation: String::new(),
+            args: vec![RenderedArg {
+                arg: GoldArg::Literal(obj.to_string()),
+                surface: obj.to_string(),
+                pattern: pattern.to_string(),
+            }],
+            negated: false,
+        }],
+    }
+}
+
+/// Lead sentence of an entity page: "X is a famous actor." (an SVC gold
+/// instance with a literal complement).
+pub fn render_lead(world: &World, id: WorldEntityId) -> RenderedSentence {
+    let e = world.entity(id);
+    let role = match e.type_names.first().copied() {
+        Some("ACTOR") => "an American actor",
+        Some("MUSICAL_ARTIST") => "a popular singer",
+        Some("FOOTBALLER") => "a professional footballer",
+        Some("POLITICIAN") => "a prominent politician",
+        Some("SCIENTIST") => "a renowned scientist",
+        Some("CHARACTER") => "a fictional character",
+        Some("FOOTBALL_CLUB") => "a professional football club",
+        Some("CITY") => "a large city",
+        Some("FOUNDATION") => "a charitable foundation",
+        Some("FILM") => "a feature film",
+        Some("ALBUM") => "a studio album",
+        Some("AWARD") => "a prestigious award",
+        Some("UNIVERSITY") => "a research university",
+        Some("BAND") => "a touring band",
+        Some("POLITICAL_PARTY") => "a political party",
+        Some("COUNTRY") => "a sovereign country",
+        _ => "a notable subject",
+    };
+    RenderedSentence {
+        text: format!("{} is {role}.", e.canonical),
+        mentions: vec![GoldMention {
+            sentence: 0,
+            phrase: e.canonical.clone(),
+            entity: id,
+            pronoun: false,
+        }],
+        instances: vec![GoldFactInstance {
+            sentence: 0,
+            fact_idx: usize::MAX,
+            subject: id,
+            subject_surface: e.canonical.clone(),
+            relation: String::new(),
+            args: vec![RenderedArg {
+                arg: GoldArg::Literal(role.to_string()),
+                surface: role.to_string(),
+                pattern: "be".to_string(),
+            }],
+            negated: false,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (World, SmallRng) {
+        (
+            World::generate(WorldConfig::default()),
+            SmallRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn every_relation_with_facts_renders() {
+        let (w, mut rng) = setup();
+        for (i, f) in w.facts.iter().enumerate() {
+            let r = render_fact(&w, i, SubjectMode::Canonical, &mut rng);
+            assert!(
+                r.is_some(),
+                "relation {} (arity {}) failed to render",
+                f.relation,
+                f.args.len()
+            );
+            let r = r.expect("checked");
+            assert!(!r.text.contains('{'), "unfilled slot in: {}", r.text);
+            assert!(r.text.ends_with('.'));
+            assert_eq!(r.instances.len(), 1);
+        }
+    }
+
+    #[test]
+    fn pronoun_mode_renders_pronoun_mention() {
+        let (w, mut rng) = setup();
+        let idx = w
+            .facts
+            .iter()
+            .position(|f| {
+                f.relation == "support" && w.entity(f.subject).gender == Gender::Female
+            })
+            .or_else(|| w.facts.iter().position(|f| f.relation == "support"))
+            .expect("a support fact");
+        let r = render_fact(&w, idx, SubjectMode::Pronoun, &mut rng).expect("renders");
+        assert!(r.mentions[0].pronoun);
+        assert!(["he", "she", "it"].contains(&r.mentions[0].phrase.as_str()));
+        assert!(r.text.starts_with(&r.mentions[0].phrase));
+    }
+
+    #[test]
+    fn negated_rendering_marks_instances() {
+        let (w, mut rng) = setup();
+        let idx = w
+            .facts
+            .iter()
+            .position(|f| f.relation == "married to")
+            .expect("a marriage");
+        let r = render_negated(&w, idx, &mut rng).expect("renders");
+        assert!(r.text.contains("never"), "got: {}", r.text);
+        assert!(r.instances[0].negated);
+    }
+
+    #[test]
+    fn apposition_inserted_after_subject() {
+        let (w, mut rng) = setup();
+        let idx = w
+            .facts
+            .iter()
+            .position(|f| f.relation == "born in")
+            .expect("fact");
+        let mut r = render_fact(&w, idx, SubjectMode::Canonical, &mut rng).expect("renders");
+        with_apposition(&w, &mut r);
+        assert!(r.text.contains(", a "), "got: {}", r.text);
+    }
+
+    #[test]
+    fn coordination_shares_subject_as_pronoun() {
+        let (w, mut rng) = setup();
+        // find two facts with the same subject
+        let mut by_subject = std::collections::HashMap::new();
+        let mut pair = None;
+        for (i, f) in w.facts.iter().enumerate() {
+            if let Some(&j) = by_subject.get(&f.subject) {
+                pair = Some((j, i));
+                break;
+            }
+            by_subject.insert(f.subject, i);
+        }
+        let (i, j) = pair.expect("shared-subject facts exist");
+        let a = render_fact(&w, i, SubjectMode::Canonical, &mut rng).expect("renders");
+        let b = render_fact(&w, j, SubjectMode::Canonical, &mut rng).expect("renders");
+        let c = coordinate(&w, a, b);
+        assert!(c.text.contains(" and "));
+        assert_eq!(c.instances.len(), 2);
+        assert!(
+            c.mentions.iter().skip(1).any(|m| m.pronoun),
+            "second conjunct subject should be a pronoun: {}",
+            c.text
+        );
+    }
+
+    #[test]
+    fn subordinate_prefix_keeps_both_instances() {
+        let (w, mut rng) = setup();
+        let a = render_fact(&w, 0, SubjectMode::Canonical, &mut rng).expect("renders");
+        let b = render_fact(&w, 1, SubjectMode::Canonical, &mut rng).expect("renders");
+        let s = subordinate(a, b, &mut rng);
+        assert_eq!(s.instances.len(), 2);
+        assert!(s.text.contains(", "));
+    }
+
+    #[test]
+    fn noise_and_lead_have_gold() {
+        let (w, mut rng) = setup();
+        let n = render_noise(&mut rng);
+        assert_eq!(n.instances.len(), 1);
+        assert!(n.instances[0].relation.is_empty());
+        let lead = render_lead(&w, WorldEntityId::new(0));
+        assert_eq!(lead.instances.len(), 1);
+        assert!(lead.text.contains(" is "));
+    }
+
+    #[test]
+    fn extend_patterns_registers_template_patterns() {
+        let (w, _) = setup();
+        // every template pattern must resolve to the canonical synset or an
+        // extension synset with the same canonical name
+        for spec in RELATIONS {
+            for t in spec.templates {
+                for p in t.patterns {
+                    let sid = w.patterns.lookup(p);
+                    assert!(sid.is_some(), "pattern {p} not registered");
+                }
+            }
+        }
+    }
+}

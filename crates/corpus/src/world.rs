@@ -1,0 +1,1032 @@
+//! The world model: a closed universe of entities and gold facts from
+//! which all corpora are rendered.
+//!
+//! The world plays three roles. (1) Its non-emerging entities form the
+//! entity-repository snapshot (the Yago substitute (E)). (2) Its relation
+//! paraphrases extend the pattern repository (the PATTY substitute (P)).
+//! (3) Its gold facts are what documents *say*, so extraction correctness
+//! is decidable automatically — replacing the paper's human assessors.
+//!
+//! Deliberate difficulty is built in: alias ambiguity (a city and a
+//! football club sharing a name, people sharing surnames), emerging
+//! entities absent from the repository snapshot (news figures, fiction
+//! characters), and relations whose argument types disambiguate
+//! ("play for" a club vs "live in" a city).
+
+use qkb_kb::{EntityRepository, Gender, PatternRepository};
+use qkb_util::define_id;
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+define_id!(WorldEntityId, "identifies an entity of the synthetic world");
+
+/// Entity domain (controls which corpora feature it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Domain {
+    /// Film/TV people and works.
+    Film,
+    /// Musicians, bands, albums.
+    Music,
+    /// Footballers, clubs, tournaments.
+    Football,
+    /// Politicians, parties, countries.
+    Politics,
+    /// Scientists, universities.
+    Science,
+    /// Cities, countries, venues.
+    Geo,
+    /// Foundations, charities, companies.
+    Org,
+    /// Awards and prizes.
+    Award,
+    /// News events and their (emerging) participants.
+    News,
+    /// Fiction characters (Wikia corpora; mostly emerging).
+    Fiction,
+}
+
+/// One world entity.
+#[derive(Clone, Debug)]
+pub struct WEntity {
+    /// Stable id.
+    pub id: WorldEntityId,
+    /// Canonical name.
+    pub canonical: String,
+    /// Aliases (canonical included).
+    pub aliases: Vec<String>,
+    /// Gender (Neutral for non-persons).
+    pub gender: Gender,
+    /// Type names in the standard type system.
+    pub type_names: Vec<&'static str>,
+    /// True if absent from the repository snapshot.
+    pub emerging: bool,
+    /// Domain.
+    pub domain: Domain,
+}
+
+impl WEntity {
+    /// True if the entity is a person(-like) entity.
+    pub fn is_person(&self) -> bool {
+        !matches!(self.gender, Gender::Neutral)
+    }
+}
+
+/// A gold fact argument.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GoldArg {
+    /// Another world entity.
+    Entity(WorldEntityId),
+    /// A string literal ("$100,000", "the lyrics").
+    Literal(String),
+    /// A time expression surface ("September 19, 2016").
+    Time(String),
+}
+
+/// One gold fact: subject, canonical relation key, further arguments.
+#[derive(Clone, Debug)]
+pub struct GoldFact {
+    /// Subject entity.
+    pub subject: WorldEntityId,
+    /// Canonical relation key (must exist in the pattern repository).
+    pub relation: &'static str,
+    /// Arguments in canonical order.
+    pub args: Vec<GoldArg>,
+    /// True for "recent" facts: only expressed in news corpora and absent
+    /// from any static-KB snapshot (drives the QA-Freebase failure mode).
+    pub recent: bool,
+}
+
+/// World-generation configuration.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Actors / musicians / footballers / politicians / scientists.
+    pub n_people_per_domain: usize,
+    /// Films (characters are derived: ~1 per film).
+    pub n_films: usize,
+    /// Albums.
+    pub n_albums: usize,
+    /// Football clubs (a third share a city's name — NED ambiguity).
+    pub n_clubs: usize,
+    /// Cities.
+    pub n_cities: usize,
+    /// Awards/prizes.
+    pub n_awards: usize,
+    /// Charities/foundations/companies.
+    pub n_orgs: usize,
+    /// Universities.
+    pub n_universities: usize,
+    /// News events (each brings 1–2 emerging people).
+    pub n_events: usize,
+    /// Fiction characters for Wikia corpora (mostly emerging).
+    pub n_characters: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            n_people_per_domain: 8,
+            n_films: 12,
+            n_albums: 6,
+            n_clubs: 6,
+            n_cities: 10,
+            n_awards: 6,
+            n_orgs: 6,
+            n_universities: 4,
+            n_events: 6,
+            n_characters: 10,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// The benchmark-scale configuration used by the table harnesses.
+    pub fn standard() -> Self {
+        Self {
+            seed: 42,
+            n_people_per_domain: 24,
+            n_films: 40,
+            n_albums: 20,
+            n_clubs: 12,
+            n_cities: 20,
+            n_awards: 12,
+            n_orgs: 12,
+            n_universities: 8,
+            n_events: 16,
+            n_characters: 30,
+        }
+    }
+}
+
+/// The generated world.
+pub struct World {
+    /// Generation config.
+    pub config: WorldConfig,
+    /// All entities.
+    pub entities: Vec<WEntity>,
+    /// All gold facts.
+    pub facts: Vec<GoldFact>,
+    /// Entity repository snapshot (non-emerging entities only).
+    pub repo: EntityRepository,
+    /// Pattern repository (seed synsets + world paraphrases).
+    pub patterns: PatternRepository,
+    repo_ids: Vec<Option<qkb_kb::EntityId>>,
+}
+
+impl World {
+    /// Entity record.
+    pub fn entity(&self, id: WorldEntityId) -> &WEntity {
+        &self.entities[id.index()]
+    }
+
+    /// Repository id of a world entity (None for emerging ones).
+    pub fn repo_id(&self, id: WorldEntityId) -> Option<qkb_kb::EntityId> {
+        self.repo_ids[id.index()]
+    }
+
+    /// Reverse lookup: world entity of a repository entity.
+    pub fn world_of_repo(&self, repo_id: qkb_kb::EntityId) -> Option<WorldEntityId> {
+        self.repo_ids
+            .iter()
+            .position(|&r| r == Some(repo_id))
+            .map(WorldEntityId::new)
+    }
+
+    /// All facts with the given subject.
+    pub fn facts_of(&self, subject: WorldEntityId) -> impl Iterator<Item = &GoldFact> {
+        self.facts.iter().filter(move |f| f.subject == subject)
+    }
+
+    /// Married gold pairs (for the §7.3 spouse experiment's distant
+    /// supervision, the DBpedia substitute).
+    pub fn spouse_pairs(&self) -> Vec<(WorldEntityId, WorldEntityId)> {
+        self.facts
+            .iter()
+            .filter(|f| f.relation == "married to" && !f.recent)
+            .filter_map(|f| match f.args.first() {
+                Some(GoldArg::Entity(o)) => Some((f.subject, *o)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Entities of a domain.
+    pub fn entities_of(&self, domain: Domain) -> Vec<WorldEntityId> {
+        self.entities
+            .iter()
+            .filter(|e| e.domain == domain)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Generates the world.
+    pub fn generate(config: WorldConfig) -> World {
+        Builder::new(config).build()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name material
+// ---------------------------------------------------------------------------
+
+const MALE_FIRST: &[&str] = &[
+    "Adam", "Brian", "Carl", "Daniel", "Edgar", "Felix", "Gordon", "Henry",
+    "Ivan", "Jonas", "Kevin", "Lucas", "Marcus", "Nolan", "Oscar", "Patrick",
+    "Quentin", "Robert", "Samuel", "Tobias", "Victor", "Walter", "Xavier",
+    "Martin", "Leon", "Hugo", "Oliver", "Peter", "Simon", "Thomas",
+];
+const FEMALE_FIRST: &[&str] = &[
+    "Alice", "Bella", "Clara", "Diana", "Elena", "Fiona", "Grace", "Hannah",
+    "Irene", "Julia", "Karen", "Laura", "Maria", "Nadia", "Olivia", "Paula",
+    "Quinn", "Rosa", "Sofia", "Teresa", "Ursula", "Vera", "Wendy", "Yvonne",
+    "Nora", "Stella", "Amelia", "Greta", "Ingrid", "Selma",
+];
+const SURNAMES: &[&str] = &[
+    "Ashworth", "Brennan", "Calloway", "Draper", "Ellison", "Fairbank",
+    "Garrison", "Hartley", "Ibsen", "Jarrett", "Kestrel", "Lockwood",
+    "Marlowe", "Norwood", "Osborne", "Prescott", "Quimby", "Ramsey",
+    "Sinclair", "Thackeray", "Underhill", "Vance", "Westbrook", "Yarrow",
+    "Harker", "Penhale", "Redgrave", "Stanhope", "Trevelyan", "Winslow",
+];
+const CITY_NAMES: &[&str] = &[
+    "Ashford", "Brackley", "Caldwell", "Dunmore", "Eastvale", "Farrow",
+    "Glenholm", "Harwick", "Ivybridge", "Kelsey", "Larkhill", "Milbrook",
+    "Northgate", "Oakhurst", "Pembly", "Quarrystone", "Ravensford",
+    "Southmere", "Thornbury", "Wexley",
+];
+const COUNTRY_NAMES: &[&str] = &[
+    "Valdoria", "Nortland", "Estmark", "Kareland", "Sudenia", "Westria",
+];
+const FILM_ADJ: &[&str] = &[
+    "Silent", "Crimson", "Golden", "Hidden", "Broken", "Distant", "Endless",
+    "Frozen", "Gilded", "Hollow", "Iron", "Jade",
+];
+const FILM_NOUN: &[&str] = &[
+    "Harbor", "Empire", "Garden", "Horizon", "Island", "Journey", "Kingdom",
+    "Lantern", "Meridian", "Nocturne", "Odyssey", "Paradox",
+];
+const ALBUM_WORDS: &[&str] = &[
+    "Midnight Letters", "Paper Rivers", "Electric Dawn", "Glass Stations",
+    "Northern Echoes", "Velvet Roads", "Amber Skies", "Silver Static",
+    "Hollow Crowns", "Painted Thunder", "Quiet Engines", "Wildfire Season",
+];
+const BAND_WORDS: &[&str] = &[
+    "The Velvet Foxes", "The Paper Kites", "Static Bloom", "The Night Pilots",
+    "Cobalt Choir", "The Lantern Club", "Glasshouse Parade", "The Tin Sparrows",
+];
+const AWARD_FIELDS: &[&str] = &[
+    "Literature", "Cinema", "Music", "Science", "Peace", "Drama",
+];
+const ORG_WORDS: &[&str] = &[
+    "Bright Futures Foundation", "Clearwater Trust", "Open Roads Initiative",
+    "Haven Relief Fund", "New Dawn Charity", "Lumen Health Alliance",
+    "Blue Orchard Fund", "Silverline Institute", "Harbor Light Society",
+    "Fieldstone Coalition", "Aurora Education Trust", "Evergreen Aid",
+];
+const UNIVERSITY_PREFIX: &[&str] = &[
+    "Northgate", "Ravensford", "Thornbury", "Wexley", "Ashford", "Milbrook",
+    "Kelsey", "Oakhurst",
+];
+const PARTY_WORDS: &[&str] = &[
+    "Unity Party", "Progress Alliance", "Liberty Movement", "Green Accord",
+    "National Forum", "Civic League",
+];
+const CHARACTER_FIRST: &[&str] = &[
+    "Arden", "Brynn", "Caspian", "Dorian", "Elowen", "Fenric", "Gwendal",
+    "Halric", "Isolde", "Joren", "Kaelith", "Lyra", "Maelor", "Nyssa",
+    "Orin", "Peregrine", "Quillon", "Ravenna", "Soren", "Thalia",
+];
+const CHARACTER_HOUSE: &[&str] = &[
+    "Vale", "Blackmoor", "Stormhold", "Wyrmbane", "Frostmere", "Ashenfell",
+    "Duskwater", "Ironvale", "Thornfield", "Greywick",
+];
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+struct Builder {
+    config: WorldConfig,
+    rng: SmallRng,
+    entities: Vec<WEntity>,
+    facts: Vec<GoldFact>,
+}
+
+impl Builder {
+    fn new(config: WorldConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            rng,
+            entities: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    fn add_entity(
+        &mut self,
+        canonical: String,
+        aliases: Vec<String>,
+        gender: Gender,
+        type_names: Vec<&'static str>,
+        emerging: bool,
+        domain: Domain,
+    ) -> WorldEntityId {
+        let id = WorldEntityId::new(self.entities.len());
+        let mut all = vec![canonical.clone()];
+        for a in aliases {
+            if !all.contains(&a) {
+                all.push(a);
+            }
+        }
+        self.entities.push(WEntity {
+            id,
+            canonical,
+            aliases: all,
+            gender,
+            type_names,
+            emerging,
+            domain,
+        });
+        id
+    }
+
+    fn person_name(&mut self, gender: Gender, surname_pool: &[&str]) -> (String, Vec<String>) {
+        let first = match gender {
+            Gender::Female => FEMALE_FIRST[self.rng.gen_range(0..FEMALE_FIRST.len())],
+            _ => MALE_FIRST[self.rng.gen_range(0..MALE_FIRST.len())],
+        };
+        let last = surname_pool[self.rng.gen_range(0..surname_pool.len())];
+        let full = format!("{first} {last}");
+        // Surname alias creates deliberate ambiguity when surnames repeat.
+        (full.clone(), vec![last.to_string(), full])
+    }
+
+    fn fact(&mut self, subject: WorldEntityId, relation: &'static str, args: Vec<GoldArg>) {
+        self.facts.push(GoldFact {
+            subject,
+            relation,
+            args,
+            recent: false,
+        });
+    }
+
+    fn recent_fact(&mut self, subject: WorldEntityId, relation: &'static str, args: Vec<GoldArg>) {
+        self.facts.push(GoldFact {
+            subject,
+            relation,
+            args,
+            recent: true,
+        });
+    }
+
+    fn year(&mut self, lo: i32, hi: i32) -> String {
+        format!("{}", self.rng.gen_range(lo..=hi))
+    }
+
+    fn full_date(&mut self, lo: i32, hi: i32) -> String {
+        const MONTHS: &[&str] = &[
+            "January", "February", "March", "April", "May", "June", "July",
+            "August", "September", "October", "November", "December",
+        ];
+        let m = MONTHS[self.rng.gen_range(0..12)];
+        let d = self.rng.gen_range(1..=28);
+        let y = self.rng.gen_range(lo..=hi);
+        format!("{m} {d}, {y}")
+    }
+
+    fn build(mut self) -> World {
+        let n = self.config.n_people_per_domain;
+
+        // --- geography ---
+        let cities: Vec<WorldEntityId> = (0..self.config.n_cities)
+            .map(|i| {
+                let name = CITY_NAMES[i % CITY_NAMES.len()].to_string();
+                self.add_entity(
+                    name,
+                    vec![],
+                    Gender::Neutral,
+                    vec!["CITY"],
+                    false,
+                    Domain::Geo,
+                )
+            })
+            .collect();
+        let countries: Vec<WorldEntityId> = COUNTRY_NAMES
+            .iter()
+            .map(|c| {
+                self.add_entity(
+                    c.to_string(),
+                    vec![],
+                    Gender::Neutral,
+                    vec!["COUNTRY"],
+                    false,
+                    Domain::Geo,
+                )
+            })
+            .collect();
+        for (i, &city) in cities.clone().iter().enumerate() {
+            let country = countries[i % countries.len()];
+            self.fact(city, "located in", vec![GoldArg::Entity(country)]);
+        }
+
+        // --- organizations / awards / universities ---
+        let orgs: Vec<WorldEntityId> = (0..self.config.n_orgs)
+            .map(|i| {
+                let name = ORG_WORDS[i % ORG_WORDS.len()].to_string();
+                let alias = name
+                    .split_whitespace()
+                    .take(2)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.add_entity(
+                    name,
+                    vec![alias],
+                    Gender::Neutral,
+                    vec!["FOUNDATION"],
+                    false,
+                    Domain::Org,
+                )
+            })
+            .collect();
+        let awards: Vec<WorldEntityId> = (0..self.config.n_awards)
+            .map(|i| {
+                let field = AWARD_FIELDS[i % AWARD_FIELDS.len()];
+                let name = if i < AWARD_FIELDS.len() {
+                    format!("National Prize in {field}")
+                } else {
+                    format!("Golden {} Award", FILM_NOUN[i % FILM_NOUN.len()])
+                };
+                self.add_entity(
+                    name.clone(),
+                    vec![],
+                    Gender::Neutral,
+                    vec!["AWARD"],
+                    false,
+                    Domain::Award,
+                )
+            })
+            .collect();
+        let universities: Vec<WorldEntityId> = (0..self.config.n_universities)
+            .map(|i| {
+                let name = format!("{} University", UNIVERSITY_PREFIX[i % UNIVERSITY_PREFIX.len()]);
+                self.add_entity(
+                    name,
+                    vec![],
+                    Gender::Neutral,
+                    vec!["UNIVERSITY"],
+                    false,
+                    Domain::Org,
+                )
+            })
+            .collect();
+
+        // --- football clubs (ambiguity: club alias = city name) ---
+        let clubs: Vec<WorldEntityId> = (0..self.config.n_clubs)
+            .map(|i| {
+                let city_name = CITY_NAMES[i % CITY_NAMES.len()];
+                let (canonical, aliases) = if i % 3 == 0 {
+                    // Shares its bare name with the city: the Liverpool case.
+                    (
+                        format!("{city_name} F.C."),
+                        vec![city_name.to_string()],
+                    )
+                } else if i % 3 == 1 {
+                    (format!("{city_name} United"), vec![format!("{city_name}")])
+                } else {
+                    (format!("{city_name} Rovers"), vec![])
+                };
+                self.add_entity(
+                    canonical,
+                    aliases,
+                    Gender::Neutral,
+                    vec!["FOOTBALL_CLUB"],
+                    false,
+                    Domain::Football,
+                )
+            })
+            .collect();
+
+        // --- films, characters, albums, bands, parties ---
+        let films: Vec<WorldEntityId> = (0..self.config.n_films)
+            .map(|i| {
+                let name = format!(
+                    "The {} {}",
+                    FILM_ADJ[i % FILM_ADJ.len()],
+                    FILM_NOUN[(i / FILM_ADJ.len() + i) % FILM_NOUN.len()]
+                );
+                let short = name
+                    .split_whitespace()
+                    .last()
+                    .expect("non-empty")
+                    .to_string();
+                self.add_entity(
+                    name,
+                    vec![short],
+                    Gender::Neutral,
+                    vec!["FILM"],
+                    false,
+                    Domain::Film,
+                )
+            })
+            .collect();
+        let film_characters: Vec<WorldEntityId> = (0..self.config.n_films.min(20))
+            .map(|i| {
+                let name = format!(
+                    "{} {}",
+                    CHARACTER_FIRST[i % CHARACTER_FIRST.len()],
+                    CHARACTER_HOUSE[(i / 2) % CHARACTER_HOUSE.len()]
+                );
+                let gender = if i % 2 == 0 { Gender::Male } else { Gender::Female };
+                self.add_entity(
+                    name.clone(),
+                    vec![name
+                        .split_whitespace()
+                        .next()
+                        .expect("non-empty")
+                        .to_string()],
+                    gender,
+                    vec!["CHARACTER"],
+                    false,
+                    Domain::Film,
+                )
+            })
+            .collect();
+        let albums: Vec<WorldEntityId> = (0..self.config.n_albums)
+            .map(|i| {
+                self.add_entity(
+                    ALBUM_WORDS[i % ALBUM_WORDS.len()].to_string(),
+                    vec![],
+                    Gender::Neutral,
+                    vec!["ALBUM"],
+                    false,
+                    Domain::Music,
+                )
+            })
+            .collect();
+        let bands: Vec<WorldEntityId> = BAND_WORDS
+            .iter()
+            .take((self.config.n_albums / 3).max(2))
+            .map(|b| {
+                self.add_entity(
+                    b.to_string(),
+                    vec![],
+                    Gender::Neutral,
+                    vec!["BAND"],
+                    false,
+                    Domain::Music,
+                )
+            })
+            .collect();
+        let parties: Vec<WorldEntityId> = PARTY_WORDS
+            .iter()
+            .map(|p| {
+                self.add_entity(
+                    p.to_string(),
+                    vec![],
+                    Gender::Neutral,
+                    vec!["POLITICAL_PARTY"],
+                    false,
+                    Domain::Politics,
+                )
+            })
+            .collect();
+
+        // --- people per domain ---
+        let mut actors = Vec::new();
+        let mut musicians = Vec::new();
+        let mut footballers = Vec::new();
+        let mut politicians = Vec::new();
+        let mut scientists = Vec::new();
+        for i in 0..n * 5 {
+            let gender = if self.rng.gen_bool(0.5) {
+                Gender::Male
+            } else {
+                Gender::Female
+            };
+            // Restrict surname pools per cohort so collisions happen.
+            let pool_start = (i * 7) % (SURNAMES.len() - 8);
+            let (canonical, aliases) =
+                self.person_name(gender, &SURNAMES[pool_start..pool_start + 8]);
+            let (ty, domain, bucket): (&'static str, Domain, usize) = match i % 5 {
+                0 => ("ACTOR", Domain::Film, 0),
+                1 => ("MUSICAL_ARTIST", Domain::Music, 1),
+                2 => ("FOOTBALLER", Domain::Football, 2),
+                3 => ("POLITICIAN", Domain::Politics, 3),
+                _ => ("SCIENTIST", Domain::Science, 4),
+            };
+            let id = self.add_entity(canonical, aliases, gender, vec![ty], false, domain);
+            match bucket {
+                0 => actors.push(id),
+                1 => musicians.push(id),
+                2 => footballers.push(id),
+                3 => politicians.push(id),
+                _ => scientists.push(id),
+            }
+        }
+
+        // --- biography facts shared by all people ---
+        let all_people: Vec<WorldEntityId> = actors
+            .iter()
+            .chain(&musicians)
+            .chain(&footballers)
+            .chain(&politicians)
+            .chain(&scientists)
+            .copied()
+            .collect();
+        for &p in &all_people {
+            let city = cities[self.rng.gen_range(0..cities.len())];
+            self.fact(p, "born in", vec![GoldArg::Entity(city)]);
+            let date = self.full_date(1940, 1995);
+            self.fact(p, "born on", vec![GoldArg::Time(date)]);
+            if self.rng.gen_bool(0.5) {
+                let org = orgs[self.rng.gen_range(0..orgs.len())];
+                self.fact(p, "support", vec![GoldArg::Entity(org)]);
+            }
+            if self.rng.gen_bool(0.35) {
+                let org = orgs[self.rng.gen_range(0..orgs.len())];
+                let amount = format!("${},000", self.rng.gen_range(10..500));
+                self.fact(
+                    p,
+                    "donate to",
+                    vec![GoldArg::Literal(amount), GoldArg::Entity(org)],
+                );
+            }
+            if self.rng.gen_bool(0.4) {
+                let uni = universities[self.rng.gen_range(0..universities.len())];
+                self.fact(p, "study at", vec![GoldArg::Entity(uni)]);
+            }
+        }
+
+        // --- marriages (within the whole cohort; used by §7.3) ---
+        let mut unmarried = all_people.clone();
+        unmarried.shuffle(&mut self.rng);
+        let n_couples = unmarried.len() / 3;
+        for i in 0..n_couples {
+            let a = unmarried[2 * i];
+            let b = unmarried[2 * i + 1];
+            self.fact(a, "married to", vec![GoldArg::Entity(b)]);
+            if self.rng.gen_bool(0.3) {
+                let date = self.full_date(2005, 2016);
+                self.fact(
+                    a,
+                    "divorce from",
+                    vec![GoldArg::Entity(b), GoldArg::Time(date)],
+                );
+            }
+        }
+
+        // --- domain facts ---
+        for (i, &a) in actors.iter().enumerate() {
+            let n_roles = self.rng.gen_range(1..=3);
+            for _ in 0..n_roles {
+                let film = films[self.rng.gen_range(0..films.len())];
+                if !film_characters.is_empty() && self.rng.gen_bool(0.7) {
+                    let ch = film_characters[self.rng.gen_range(0..film_characters.len())];
+                    self.fact(
+                        a,
+                        "play in",
+                        vec![GoldArg::Entity(ch), GoldArg::Entity(film)],
+                    );
+                } else {
+                    self.fact(a, "act in", vec![GoldArg::Entity(film)]);
+                }
+            }
+            if i % 3 == 0 {
+                let aw = awards[self.rng.gen_range(0..awards.len())];
+                self.fact(a, "win", vec![GoldArg::Entity(aw)]);
+            }
+        }
+        for (i, &m) in musicians.iter().enumerate() {
+            let album = albums[self.rng.gen_range(0..albums.len())];
+            let y = self.year(1970, 2015);
+            self.fact(m, "release", vec![GoldArg::Entity(album), GoldArg::Time(y)]);
+            if i % 2 == 0 {
+                let aw = awards[self.rng.gen_range(0..awards.len())];
+                let date = self.full_date(1990, 2016);
+                let presenter = all_people[self.rng.gen_range(0..all_people.len())];
+                self.fact(
+                    m,
+                    "receive in from",
+                    vec![
+                        GoldArg::Entity(aw),
+                        GoldArg::Time(date),
+                        GoldArg::Entity(presenter),
+                    ],
+                );
+            }
+            if i % 3 == 0 && !bands.is_empty() {
+                let band = bands[self.rng.gen_range(0..bands.len())];
+                self.fact(m, "perform in", vec![GoldArg::Entity(band)]);
+            }
+        }
+        for (i, &f) in footballers.iter().enumerate() {
+            let club = clubs[self.rng.gen_range(0..clubs.len())];
+            self.fact(f, "play for", vec![GoldArg::Entity(club)]);
+            if i % 2 == 0 {
+                let to = clubs[self.rng.gen_range(0..clubs.len())];
+                let y = self.year(2000, 2016);
+                self.fact(
+                    f,
+                    "transfer to",
+                    vec![GoldArg::Entity(to), GoldArg::Time(y)],
+                );
+            }
+            if i % 4 == 0 {
+                let club2 = clubs[self.rng.gen_range(0..clubs.len())];
+                self.fact(f, "score in", vec![GoldArg::Entity(club2)]);
+            }
+        }
+        for (i, &p) in politicians.iter().enumerate() {
+            let party = parties[self.rng.gen_range(0..parties.len())];
+            self.fact(p, "lead", vec![GoldArg::Entity(party)]);
+            if i % 2 == 0 {
+                let country = countries[self.rng.gen_range(0..countries.len())];
+                let y = self.year(1995, 2016);
+                self.fact(
+                    p,
+                    "elected as",
+                    vec![GoldArg::Entity(country), GoldArg::Time(y)],
+                );
+            }
+        }
+        for (i, &s) in scientists.iter().enumerate() {
+            let uni = universities[self.rng.gen_range(0..universities.len())];
+            self.fact(s, "teach at", vec![GoldArg::Entity(uni)]);
+            if i % 2 == 0 {
+                let aw = awards[self.rng.gen_range(0..awards.len())];
+                let reason = format!(
+                    "having revolutionized the study of {}",
+                    ["stellar chemistry", "deep oceans", "ancient languages", "neural circuits"]
+                        [self.rng.gen_range(0..4)]
+                );
+                self.fact(
+                    s,
+                    "win for",
+                    vec![GoldArg::Entity(aw), GoldArg::Literal(reason)],
+                );
+            }
+        }
+
+        // --- news events with emerging people ---
+        for i in 0..self.config.n_events {
+            let date = self.full_date(2015, 2016);
+            match i % 4 {
+                0 => {
+                    // Divorce filing (the Pitt/Jolie case).
+                    if let Some((a, b)) = self.pick_couple() {
+                        self.recent_fact(
+                            a,
+                            "divorce from",
+                            vec![GoldArg::Entity(b), GoldArg::Time(date)],
+                        );
+                    }
+                }
+                1 => {
+                    // Accusation by an emerging person.
+                    let gender = if self.rng.gen_bool(0.5) {
+                        Gender::Female
+                    } else {
+                        Gender::Male
+                    };
+                    let (name, aliases) = self.person_name(gender, SURNAMES);
+                    let accuser = self.add_entity(
+                        name,
+                        aliases,
+                        gender,
+                        vec!["PERSON"],
+                        true,
+                        Domain::News,
+                    );
+                    let target = all_people[self.rng.gen_range(0..all_people.len())];
+                    let claim = format!(
+                        "{} {}",
+                        ["harassing", "defrauding", "threatening", "groping"]
+                            [self.rng.gen_range(0..4)],
+                        ["a colleague", "an assistant", "a passenger", "a reporter"]
+                            [self.rng.gen_range(0..4)]
+                    );
+                    self.recent_fact(
+                        accuser,
+                        "accuse of",
+                        vec![GoldArg::Entity(target), GoldArg::Literal(claim)],
+                    );
+                }
+                2 => {
+                    // Shooting with an emerging officer (the Scott case).
+                    let (vname, valiases) = self.person_name(Gender::Male, SURNAMES);
+                    let victim = self.add_entity(
+                        vname,
+                        valiases,
+                        Gender::Male,
+                        vec!["PERSON"],
+                        true,
+                        Domain::News,
+                    );
+                    let (oname, oaliases) = self.person_name(Gender::Male, SURNAMES);
+                    let officer = self.add_entity(
+                        oname,
+                        oaliases,
+                        Gender::Male,
+                        vec!["PERSON"],
+                        true,
+                        Domain::News,
+                    );
+                    self.recent_fact(officer, "shoot", vec![GoldArg::Entity(victim)]);
+                }
+                _ => {
+                    // Late-career award (the Dylan case).
+                    let winner = all_people[self.rng.gen_range(0..all_people.len())];
+                    let aw = awards[self.rng.gen_range(0..awards.len())];
+                    let reason = format!(
+                        "having created new {} within the national tradition",
+                        ["poetic expressions", "musical forms", "dramatic idioms"]
+                            [self.rng.gen_range(0..3)]
+                    );
+                    self.recent_fact(
+                        winner,
+                        "win for",
+                        vec![GoldArg::Entity(aw), GoldArg::Literal(reason)],
+                    );
+                }
+            }
+        }
+
+        // --- fiction characters for Wikia corpora (mostly emerging) ---
+        let mut fiction: Vec<WorldEntityId> = Vec::new();
+        for i in 0..self.config.n_characters {
+            let name = format!(
+                "{} {}",
+                CHARACTER_FIRST[(i * 3 + 1) % CHARACTER_FIRST.len()],
+                CHARACTER_HOUSE[(i * 5 + 3) % CHARACTER_HOUSE.len()]
+            );
+            let gender = if i % 2 == 0 { Gender::Female } else { Gender::Male };
+            let emerging = i % 10 < 7; // ~70% out-of-repository (§7.2)
+            let id = self.add_entity(
+                name.clone(),
+                vec![name
+                    .split_whitespace()
+                    .next()
+                    .expect("non-empty")
+                    .to_string()],
+                gender,
+                vec!["CHARACTER"],
+                emerging,
+                Domain::Fiction,
+            );
+            fiction.push(id);
+        }
+        for i in 0..fiction.len() {
+            let a = fiction[i];
+            let b = fiction[(i + 1) % fiction.len()];
+            match i % 4 {
+                0 => self.fact(a, "married to", vec![GoldArg::Entity(b)]),
+                1 => self.fact(a, "defeat", vec![GoldArg::Entity(b)]),
+                2 => self.fact(a, "shoot", vec![GoldArg::Entity(b)]),
+                _ => {
+                    let city = cities[self.rng.gen_range(0..cities.len())];
+                    self.fact(a, "live in", vec![GoldArg::Entity(city)]);
+                }
+            }
+        }
+
+        // --- repositories ---
+        let mut repo = EntityRepository::new();
+        let mut repo_ids = vec![None; self.entities.len()];
+        for e in &self.entities {
+            if e.emerging {
+                continue;
+            }
+            let tids: Vec<qkb_kb::TypeId> = e
+                .type_names
+                .iter()
+                .map(|t| {
+                    repo.type_system()
+                        .get(t)
+                        .expect("world types exist in the standard system")
+                })
+                .collect();
+            let alias_refs: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+            let rid = repo.add_entity(&e.canonical, &alias_refs, e.gender, tids);
+            repo_ids[e.id.index()] = Some(rid);
+        }
+        let mut patterns = PatternRepository::standard();
+        crate::render::extend_patterns(&mut patterns);
+
+        World {
+            config: self.config,
+            entities: self.entities,
+            facts: self.facts,
+            repo,
+            patterns,
+            repo_ids,
+        }
+    }
+
+    fn pick_couple(&mut self) -> Option<(WorldEntityId, WorldEntityId)> {
+        let couples: Vec<(WorldEntityId, WorldEntityId)> = self
+            .facts
+            .iter()
+            .filter(|f| f.relation == "married to")
+            .filter_map(|f| match f.args.first() {
+                Some(GoldArg::Entity(o)) => Some((f.subject, *o)),
+                _ => None,
+            })
+            .collect();
+        if couples.is_empty() {
+            None
+        } else {
+            Some(couples[self.rng.gen_range(0..couples.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w1 = World::generate(WorldConfig::default());
+        let w2 = World::generate(WorldConfig::default());
+        assert_eq!(w1.entities.len(), w2.entities.len());
+        assert_eq!(w1.facts.len(), w2.facts.len());
+        assert_eq!(w1.entities[3].canonical, w2.entities[3].canonical);
+    }
+
+    #[test]
+    fn emerging_entities_absent_from_repo() {
+        let w = World::generate(WorldConfig::default());
+        let emerging: Vec<&WEntity> = w.entities.iter().filter(|e| e.emerging).collect();
+        assert!(!emerging.is_empty(), "news/fiction must create emerging entities");
+        for e in emerging {
+            assert!(w.repo_id(e.id).is_none());
+            assert!(
+                w.repo.candidates(&e.canonical).is_empty()
+                    || w.entities
+                        .iter()
+                        .any(|o| !o.emerging && o.aliases.contains(&e.canonical)),
+                "emerging canonical must not resolve unless colliding"
+            );
+        }
+    }
+
+    #[test]
+    fn repo_contains_non_emerging_with_aliases() {
+        let w = World::generate(WorldConfig::default());
+        let known = w.entities.iter().find(|e| !e.emerging).expect("some");
+        let rid = w.repo_id(known.id).expect("linked");
+        assert_eq!(w.repo.entity(rid).canonical, known.canonical);
+        assert_eq!(w.world_of_repo(rid), Some(known.id));
+    }
+
+    #[test]
+    fn ambiguous_club_city_alias_exists() {
+        let w = World::generate(WorldConfig::default());
+        let club = w
+            .entities
+            .iter()
+            .find(|e| e.type_names == ["FOOTBALL_CLUB"] && e.aliases.len() > 1)
+            .expect("an aliased club");
+        let bare = &club.aliases[1];
+        let cands = w.repo.candidates(bare);
+        assert!(
+            cands.len() >= 2,
+            "alias {bare} should be ambiguous, got {cands:?}"
+        );
+    }
+
+    #[test]
+    fn spouse_pairs_nonempty() {
+        let w = World::generate(WorldConfig::default());
+        assert!(!w.spouse_pairs().is_empty());
+    }
+
+    #[test]
+    fn recent_facts_exist_for_news() {
+        let w = World::generate(WorldConfig::default());
+        assert!(w.facts.iter().any(|f| f.recent));
+    }
+
+    #[test]
+    fn all_fact_relations_resolve_in_pattern_repo() {
+        let w = World::generate(WorldConfig::default());
+        for f in &w.facts {
+            assert!(
+                w.patterns.lookup(f.relation).is_some(),
+                "relation {} missing from pattern repository",
+                f.relation
+            );
+        }
+    }
+
+    #[test]
+    fn standard_config_is_bigger() {
+        let small = World::generate(WorldConfig::default());
+        let big = World::generate(WorldConfig::standard());
+        assert!(big.entities.len() > small.entities.len());
+        assert!(big.facts.len() > small.facts.len());
+    }
+}

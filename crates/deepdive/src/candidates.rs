@@ -1,0 +1,108 @@
+//! Spouse candidate generation: every pair of person mentions within one
+//! sentence (the DeepDive spouse example's candidate rule).
+
+use qkb_nlp::chunk::ChunkKind;
+use qkb_nlp::{AnnotatedDoc, NerTag};
+
+/// One candidate: a person-pair mention in a sentence.
+#[derive(Clone, Debug)]
+pub struct SpouseCandidate {
+    /// Document index.
+    pub doc: usize,
+    /// Sentence index within the document.
+    pub sentence: usize,
+    /// Surface of the first person mention.
+    pub a: String,
+    /// Surface of the second person mention.
+    pub b: String,
+    /// Head token index of the first mention.
+    pub a_head: usize,
+    /// Head token index of the second mention.
+    pub b_head: usize,
+    /// Token span between the two mentions (lemmas).
+    pub between: Vec<String>,
+}
+
+/// Extracts all person-pair candidates from an annotated document.
+pub fn spouse_candidates(doc_idx: usize, doc: &AnnotatedDoc) -> Vec<SpouseCandidate> {
+    let mut out = Vec::new();
+    for s in &doc.sentences {
+        let persons: Vec<(usize, usize, usize)> = s
+            .chunks
+            .iter()
+            .filter(|c| c.kind == ChunkKind::NounPhrase && c.ner == NerTag::Person)
+            .map(|c| (c.start, c.end, c.head(&s.tokens)))
+            .collect();
+        for i in 0..persons.len() {
+            for j in (i + 1)..persons.len() {
+                let (a_start, a_end, a_head) = persons[i];
+                let (b_start, _b_end, b_head) = persons[j];
+                if b_start <= a_end {
+                    continue; // overlapping spans
+                }
+                // DeepDive's example bounds the between-distance.
+                if b_start - a_end > 12 {
+                    continue;
+                }
+                let between: Vec<String> = (a_end..b_start)
+                    .map(|t| s.tokens[t].lemma.clone())
+                    .collect();
+                let text =
+                    |st: usize, en: usize| -> String {
+                        s.tokens[st..en]
+                            .iter()
+                            .map(|t| t.text.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    };
+                out.push(SpouseCandidate {
+                    doc: doc_idx,
+                    sentence: s.index,
+                    a: text(a_start, a_end),
+                    b: text(b_start, persons[j].1),
+                    a_head,
+                    b_head,
+                    between,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_nlp::{Gazetteer, Pipeline};
+
+    fn annotate(text: &str) -> AnnotatedDoc {
+        let mut g = Gazetteer::new();
+        g.insert("Brad Pitt", NerTag::Person);
+        g.insert("Angelina Jolie", NerTag::Person);
+        g.insert("Jennifer Aniston", NerTag::Person);
+        Pipeline::with_gazetteer(g).annotate(text)
+    }
+
+    #[test]
+    fn pairs_within_sentence() {
+        let doc = annotate("Brad Pitt married Angelina Jolie in 2014.");
+        let cands = spouse_candidates(0, &doc);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].a, "Brad Pitt");
+        assert_eq!(cands[0].b, "Angelina Jolie");
+        assert!(cands[0].between.contains(&"marry".to_string()));
+    }
+
+    #[test]
+    fn three_persons_give_three_pairs() {
+        let doc = annotate("Brad Pitt, Angelina Jolie and Jennifer Aniston attended the gala.");
+        let cands = spouse_candidates(0, &doc);
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn no_pairs_across_sentences() {
+        let doc = annotate("Brad Pitt attended. Angelina Jolie left early.");
+        assert!(spouse_candidates(0, &doc).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! The end-to-end DeepDive-style spouse extractor: distant supervision,
+//! logistic-regression training, marginal inference, and entity-pair
+//! aggregation by noisy-or.
+
+use crate::candidates::{spouse_candidates, SpouseCandidate};
+use crate::features::features;
+use qkb_ml::{FeatureHasher, LogisticRegression, SparseExample};
+use qkb_nlp::Pipeline;
+use qkb_util::text::normalize;
+use qkb_util::FxHashMap;
+use qkb_util::FxHashSet;
+
+/// An extracted spouse fact at entity-pair (surface) level.
+#[derive(Clone, Debug)]
+pub struct SpouseExtraction {
+    /// First person surface (representative mention).
+    pub a: String,
+    /// Second person surface.
+    pub b: String,
+    /// Aggregated confidence (noisy-or over supporting sentences).
+    pub confidence: f64,
+    /// Supporting `(doc, sentence)` occurrences.
+    pub support: Vec<(usize, usize)>,
+}
+
+/// The extractor. Train once with distant supervision, then extract.
+pub struct DeepDive {
+    nlp: Pipeline,
+    hasher: FeatureHasher,
+    model: Option<LogisticRegression>,
+}
+
+/// Normalized unordered pair key.
+fn pair_key(a: &str, b: &str) -> (String, String) {
+    let (na, nb) = (last_name(a), last_name(b));
+    if na <= nb {
+        (na, nb)
+    } else {
+        (nb, na)
+    }
+}
+
+/// Surname-level normalization (distant supervision matches on the most
+/// stable name component, as the DeepDive example does).
+fn last_name(s: &str) -> String {
+    normalize(s)
+        .split(' ')
+        .last()
+        .unwrap_or_default()
+        .to_string()
+}
+
+impl DeepDive {
+    /// Creates an extractor over an NER gazetteer (usually from the entity
+    /// repository).
+    pub fn new(gazetteer: qkb_nlp::Gazetteer) -> Self {
+        Self {
+            nlp: Pipeline::with_gazetteer(gazetteer),
+            hasher: FeatureHasher::new(1 << 14),
+            model: None,
+        }
+    }
+
+    /// Candidate generation over raw documents.
+    pub fn candidates(&self, docs: &[String]) -> Vec<SpouseCandidate> {
+        let mut out = Vec::new();
+        for (d, text) in docs.iter().enumerate() {
+            let ann = self.nlp.annotate(text);
+            out.extend(spouse_candidates(d, &ann));
+        }
+        out
+    }
+
+    /// Trains with distant supervision: candidates whose (normalized)
+    /// name pair appears in `positives` are positive examples, all others
+    /// negative (the classic DeepDive labelling rule).
+    pub fn train(&mut self, docs: &[String], positives: &[(String, String)], seed: u64) {
+        let pos_set: FxHashSet<(String, String)> = positives
+            .iter()
+            .map(|(a, b)| pair_key(a, b))
+            .collect();
+        let mut examples = Vec::new();
+        for c in self.candidates(docs) {
+            let label = pos_set.contains(&pair_key(&c.a, &c.b));
+            let fv = self.hasher.vectorize(features(&c).iter().map(String::as_str));
+            examples.push(SparseExample {
+                features: fv,
+                label,
+            });
+        }
+        if examples.is_empty() {
+            return;
+        }
+        self.model = Some(LogisticRegression::train(
+            &examples,
+            self.hasher.dim(),
+            12,
+            0.3,
+            1e-5,
+            seed,
+        ));
+    }
+
+    /// True if the extractor has been trained.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Extracts spouse pairs with confidence ≥ `tau`, aggregated at
+    /// name-pair level by noisy-or over sentence marginals.
+    pub fn extract(&self, docs: &[String], tau: f64) -> Vec<SpouseExtraction> {
+        let Some(model) = &self.model else {
+            return Vec::new();
+        };
+        let mut agg: FxHashMap<(String, String), SpouseExtraction> = FxHashMap::default();
+        for c in self.candidates(docs) {
+            let fv = self.hasher.vectorize(features(&c).iter().map(String::as_str));
+            let p = model.predict_proba(&fv);
+            if p < 0.05 {
+                continue;
+            }
+            let key = pair_key(&c.a, &c.b);
+            let entry = agg.entry(key).or_insert_with(|| SpouseExtraction {
+                a: c.a.clone(),
+                b: c.b.clone(),
+                confidence: 0.0,
+                support: Vec::new(),
+            });
+            // Prefer longer (fuller) name surfaces as representatives.
+            if c.a.len() > entry.a.len() {
+                entry.a = c.a.clone();
+            }
+            if c.b.len() > entry.b.len() {
+                entry.b = c.b.clone();
+            }
+            // noisy-or: 1 - Π (1 - p_i)
+            entry.confidence = 1.0 - (1.0 - entry.confidence) * (1.0 - p);
+            entry.support.push((c.doc, c.sentence));
+        }
+        let mut out: Vec<SpouseExtraction> = agg
+            .into_values()
+            .filter(|e| e.confidence >= tau)
+            .collect();
+        out.sort_by(|x, y| {
+            y.confidence
+                .partial_cmp(&x.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| x.a.cmp(&y.a))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_nlp::{Gazetteer, NerTag};
+
+    fn gazetteer() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        for name in [
+            "Brad Pitt",
+            "Angelina Jolie",
+            "Jennifer Aniston",
+            "George Clooney",
+            "Amal Clooney",
+            "Victor Marlowe",
+            "Clara Osborne",
+        ] {
+            g.insert(name, NerTag::Person);
+        }
+        g
+    }
+
+    fn training_docs() -> Vec<String> {
+        vec![
+            "Brad Pitt married Angelina Jolie in 2014.".to_string(),
+            "George Clooney wed Amal Clooney in Venice.".to_string(),
+            "Brad Pitt attended the premiere with Jennifer Aniston.".to_string(),
+            "George Clooney praised Jennifer Aniston at the gala.".to_string(),
+            "Victor Marlowe married Clara Osborne last spring.".to_string(),
+            "Victor Marlowe thanked Jennifer Aniston for the award.".to_string(),
+        ]
+    }
+
+    fn positives() -> Vec<(String, String)> {
+        vec![
+            ("Brad Pitt".to_string(), "Angelina Jolie".to_string()),
+            ("George Clooney".to_string(), "Amal Clooney".to_string()),
+            ("Victor Marlowe".to_string(), "Clara Osborne".to_string()),
+        ]
+    }
+
+    #[test]
+    fn learns_marriage_cues() {
+        let mut dd = DeepDive::new(gazetteer());
+        dd.train(&training_docs(), &positives(), 7);
+        assert!(dd.is_trained());
+        let test = vec![
+            "Brad Pitt married Angelina Jolie in 2014.".to_string(),
+            "George Clooney praised Jennifer Aniston at the gala.".to_string(),
+        ];
+        let ex = dd.extract(&test, 0.5);
+        assert!(
+            ex.iter().any(|e| e.a.contains("Pitt") || e.b.contains("Pitt")),
+            "married pair must be extracted: {ex:?}"
+        );
+        assert!(
+            !ex.iter()
+                .any(|e| e.a.contains("Aniston") || e.b.contains("Aniston")),
+            "non-married pair must be rejected: {ex:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_or_raises_confidence_with_support() {
+        let mut dd = DeepDive::new(gazetteer());
+        dd.train(&training_docs(), &positives(), 7);
+        let once = vec!["Victor Marlowe married Clara Osborne last spring.".to_string()];
+        let twice = vec![
+            "Victor Marlowe married Clara Osborne last spring.".to_string(),
+            "Victor Marlowe wed Clara Osborne in June.".to_string(),
+        ];
+        let c1 = dd.extract(&once, 0.1).first().map(|e| e.confidence).unwrap_or(0.0);
+        let c2 = dd.extract(&twice, 0.1).first().map(|e| e.confidence).unwrap_or(0.0);
+        assert!(c2 >= c1, "more support cannot lower confidence");
+    }
+
+    #[test]
+    fn untrained_extracts_nothing() {
+        let dd = DeepDive::new(gazetteer());
+        assert!(dd.extract(&training_docs(), 0.5).is_empty());
+    }
+}

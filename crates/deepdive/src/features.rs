@@ -1,0 +1,69 @@
+//! ddlib-style feature library for spouse candidates.
+
+use crate::candidates::SpouseCandidate;
+
+/// Marriage-lexicon cue words (ddlib's keyword features).
+const CUES: &[&str] = &[
+    "marry", "wed", "wife", "husband", "spouse", "divorce", "widow",
+    "engagement", "engage", "bride", "groom", "marriage",
+];
+
+/// Extracts the named binary features of a candidate.
+pub fn features(c: &SpouseCandidate) -> Vec<String> {
+    let mut f = Vec::with_capacity(c.between.len() * 2 + 8);
+    // Bag of between-words.
+    for w in &c.between {
+        if w.chars().any(|ch| ch.is_alphanumeric()) {
+            f.push(format!("btw:{w}"));
+        }
+    }
+    // Between-bigrams.
+    for pair in c.between.windows(2) {
+        f.push(format!("btw2:{}_{}", pair[0], pair[1]));
+    }
+    // Distance bucket.
+    let d = c.between.len();
+    f.push(format!("dist:{}", if d <= 2 { "short" } else if d <= 6 { "mid" } else { "long" }));
+    // Cue-word indicators.
+    for cue in CUES {
+        if c.between.iter().any(|w| w == cue) {
+            f.push(format!("cue:{cue}"));
+        }
+    }
+    // Pair-order marker (subject-first surface order).
+    f.push("order:ab".to_string());
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(between: &[&str]) -> SpouseCandidate {
+        SpouseCandidate {
+            doc: 0,
+            sentence: 0,
+            a: "A".into(),
+            b: "B".into(),
+            a_head: 0,
+            b_head: 5,
+            between: between.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn cue_features_fire() {
+        let f = features(&cand(&["marry"]));
+        assert!(f.contains(&"cue:marry".to_string()));
+        assert!(f.contains(&"btw:marry".to_string()));
+        assert!(f.contains(&"dist:short".to_string()));
+    }
+
+    #[test]
+    fn bigrams_and_distance() {
+        let f = features(&cand(&["be", "seen", "with", "the", "famous", "actor", "at"]));
+        assert!(f.contains(&"btw2:be_seen".to_string()));
+        assert!(f.contains(&"dist:long".to_string()));
+        assert!(!f.iter().any(|x| x.starts_with("cue:")));
+    }
+}

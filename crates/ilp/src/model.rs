@@ -1,0 +1,210 @@
+//! 0-1 ILP model construction.
+
+use qkb_util::define_id;
+
+define_id!(VarId, "identifies a binary decision variable of an `Ilp`");
+
+/// Comparison operator of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≤ b`.
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`.
+    Ge,
+    /// `Σ aᵢxᵢ = b`.
+    Eq,
+}
+
+/// One linear constraint over binary variables.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// `(variable, coefficient)` terms (coefficients may repeat variables;
+    /// they are aggregated on insertion).
+    pub terms: Vec<(VarId, f64)>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A 0-1 maximization problem.
+#[derive(Clone, Debug, Default)]
+pub struct Ilp {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Ilp {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a binary variable with the given objective coefficient
+    /// (maximization).
+    pub fn add_var(&mut self, obj_coeff: f64) -> VarId {
+        let id = VarId::new(self.objective.len());
+        self.objective.push(obj_coeff);
+        id
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Adds a constraint; duplicate variables in `terms` are aggregated.
+    ///
+    /// # Panics
+    /// Panics if a term references an unknown variable (programming error).
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], op: ConstraintOp, rhs: f64) {
+        let mut agg: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            assert!(v.index() < self.objective.len(), "unknown variable {v:?}");
+            match agg.iter_mut().find(|(w, _)| *w == v) {
+                Some(entry) => entry.1 += c,
+                None => agg.push((v, c)),
+            }
+        }
+        agg.retain(|&(_, c)| c != 0.0);
+        self.constraints.push(Constraint {
+            terms: agg,
+            op,
+            rhs,
+        });
+    }
+
+    /// Convenience: `Σ xᵢ = 1` over the given variables (choose exactly
+    /// one — the paper's constraint (1)).
+    pub fn exactly_one(&mut self, vars: &[VarId]) {
+        let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        self.add_constraint(&terms, ConstraintOp::Eq, 1.0);
+    }
+
+    /// Convenience: `Σ xᵢ ≤ 1` (choose at most one).
+    pub fn at_most_one(&mut self, vars: &[VarId]) {
+        let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        self.add_constraint(&terms, ConstraintOp::Le, 1.0);
+    }
+
+    /// Convenience: `y = a ∧ b` linearization for a product variable
+    /// (the joint-rel variables of Appendix A):
+    /// `y ≤ a`, `y ≤ b`, `y ≥ a + b − 1`.
+    pub fn and_constraint(&mut self, y: VarId, a: VarId, b: VarId) {
+        self.add_constraint(&[(y, 1.0), (a, -1.0)], ConstraintOp::Le, 0.0);
+        self.add_constraint(&[(y, 1.0), (b, -1.0)], ConstraintOp::Le, 0.0);
+        self.add_constraint(
+            &[(y, 1.0), (a, -1.0), (b, -1.0)],
+            ConstraintOp::Ge,
+            -1.0,
+        );
+    }
+
+    /// Convenience: `a = b` (the paper's sameAs coupling, constraint (2)).
+    pub fn equal(&mut self, a: VarId, b: VarId) {
+        self.add_constraint(&[(a, 1.0), (b, -1.0)], ConstraintOp::Eq, 0.0);
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective for a full assignment.
+    pub fn objective_value(&self, assignment: &[bool]) -> f64 {
+        self.objective
+            .iter()
+            .zip(assignment)
+            .filter(|&(_, &x)| x)
+            .map(|(&c, _)| c)
+            .sum()
+    }
+
+    /// Checks whether a full assignment satisfies all constraints.
+    pub fn is_feasible(&self, assignment: &[bool]) -> bool {
+        const EPS: f64 = 1e-9;
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .filter(|&&(v, _)| assignment[v.index()])
+                .map(|&(_, coef)| coef)
+                .sum();
+            match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + EPS,
+                ConstraintOp::Ge => lhs >= c.rhs - EPS,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= EPS,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut m = Ilp::new();
+        let a = m.add_var(2.0);
+        let b = m.add_var(3.0);
+        m.at_most_one(&[a, b]);
+        assert_eq!(m.n_vars(), 2);
+        assert!(m.is_feasible(&[true, false]));
+        assert!(!m.is_feasible(&[true, true]));
+        assert_eq!(m.objective_value(&[false, true]), 3.0);
+    }
+
+    #[test]
+    fn duplicate_terms_aggregate() {
+        let mut m = Ilp::new();
+        let a = m.add_var(1.0);
+        m.add_constraint(&[(a, 1.0), (a, 1.0)], ConstraintOp::Le, 1.0);
+        assert_eq!(m.constraints()[0].terms.len(), 1);
+        assert_eq!(m.constraints()[0].terms[0].1, 2.0);
+        assert!(!m.is_feasible(&[true]));
+    }
+
+    #[test]
+    fn and_linearization_truth_table() {
+        let mut m = Ilp::new();
+        let a = m.add_var(0.0);
+        let b = m.add_var(0.0);
+        let y = m.add_var(0.0);
+        m.and_constraint(y, a, b);
+        for (av, bv) in [(false, false), (false, true), (true, false), (true, true)] {
+            let yv = av && bv;
+            assert!(
+                m.is_feasible(&[av, bv, yv]),
+                "y = a AND b must be feasible for a={av} b={bv}"
+            );
+            assert!(
+                !m.is_feasible(&[av, bv, !yv]),
+                "y != a AND b must be infeasible for a={av} b={bv}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_coupling() {
+        let mut m = Ilp::new();
+        let a = m.add_var(0.0);
+        let b = m.add_var(0.0);
+        m.equal(a, b);
+        assert!(m.is_feasible(&[true, true]));
+        assert!(m.is_feasible(&[false, false]));
+        assert!(!m.is_feasible(&[true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_variable_panics() {
+        let mut m = Ilp::new();
+        m.add_constraint(&[(VarId::new(5), 1.0)], ConstraintOp::Le, 1.0);
+    }
+}

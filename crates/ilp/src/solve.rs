@@ -1,0 +1,410 @@
+//! Branch-and-bound solver for 0-1 maximization.
+
+use crate::model::{ConstraintOp, Ilp};
+
+/// Tri-state assignment during search.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Free,
+    Zero,
+    One,
+}
+
+/// Outcome status of a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proven optimal.
+    Optimal,
+    /// Node budget exhausted; best-found solution returned.
+    NodeLimit,
+    /// No feasible assignment exists.
+    Infeasible,
+}
+
+/// A solved assignment.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Variable values.
+    pub values: Vec<bool>,
+    /// Objective value.
+    pub objective: f64,
+    /// Solve status.
+    pub status: SolveStatus,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+/// The branch-and-bound solver.
+pub struct Solver {
+    node_limit: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Solver with the default node budget (generous: exactness matters
+    /// more than latency for the ILP comparison arm).
+    pub fn new() -> Self {
+        Self {
+            node_limit: 5_000_000,
+        }
+    }
+
+    /// Solver with an explicit node budget.
+    pub fn with_node_limit(node_limit: u64) -> Self {
+        Self { node_limit }
+    }
+
+    /// Maximizes the model; returns the best found assignment.
+    pub fn solve(&self, model: &Ilp) -> Solution {
+        let n = model.n_vars();
+        let mut state = SearchState {
+            model,
+            vals: vec![Val::Free; n],
+            best: None,
+            best_obj: f64::NEG_INFINITY,
+            nodes: 0,
+            node_limit: self.node_limit,
+            hit_limit: false,
+        };
+        // Branch order: descending |objective coefficient| — decide the
+        // most influential variables first.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            model.objective()[b]
+                .abs()
+                .partial_cmp(&model.objective()[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        state.branch(&order, 0);
+
+        match state.best {
+            Some(values) => Solution {
+                objective: model.objective_value(&values),
+                values,
+                status: if state.hit_limit {
+                    SolveStatus::NodeLimit
+                } else {
+                    SolveStatus::Optimal
+                },
+                nodes: state.nodes,
+            },
+            None => Solution {
+                values: vec![false; n],
+                objective: f64::NEG_INFINITY,
+                status: if state.hit_limit {
+                    SolveStatus::NodeLimit
+                } else {
+                    SolveStatus::Infeasible
+                },
+                nodes: state.nodes,
+            },
+        }
+    }
+}
+
+struct SearchState<'a> {
+    model: &'a Ilp,
+    vals: Vec<Val>,
+    best: Option<Vec<bool>>,
+    best_obj: f64,
+    nodes: u64,
+    node_limit: u64,
+    hit_limit: bool,
+}
+
+impl<'a> SearchState<'a> {
+    /// Admissible upper bound: value of fixed ones plus all positive
+    /// coefficients of free variables (LP-free but sound).
+    fn upper_bound(&self) -> f64 {
+        let obj = self.model.objective();
+        let mut ub = 0.0;
+        for (i, &v) in self.vals.iter().enumerate() {
+            match v {
+                Val::One => ub += obj[i],
+                Val::Free if obj[i] > 0.0 => ub += obj[i],
+                _ => {}
+            }
+        }
+        ub
+    }
+
+    /// Constraint propagation: returns false on proven infeasibility and
+    /// forces variables where only one value keeps a constraint satisfiable.
+    fn propagate(&mut self) -> bool {
+        const EPS: f64 = 1e-9;
+        loop {
+            let mut changed = false;
+            for c in self.model.constraints() {
+                // Achievable LHS range given current fixings.
+                let mut lo = 0.0;
+                let mut hi = 0.0;
+                for &(v, coef) in &c.terms {
+                    match self.vals[v.index()] {
+                        Val::One => {
+                            lo += coef;
+                            hi += coef;
+                        }
+                        Val::Zero => {}
+                        Val::Free => {
+                            if coef > 0.0 {
+                                hi += coef;
+                            } else {
+                                lo += coef;
+                            }
+                        }
+                    }
+                }
+                let (need_lo, need_hi) = match c.op {
+                    ConstraintOp::Le => (f64::NEG_INFINITY, c.rhs),
+                    ConstraintOp::Ge => (c.rhs, f64::INFINITY),
+                    ConstraintOp::Eq => (c.rhs, c.rhs),
+                };
+                if lo > need_hi + EPS || hi < need_lo - EPS {
+                    return false;
+                }
+                // Unit forcing: if flipping a free var to a value would
+                // break satisfiability, force the other value.
+                for &(v, coef) in &c.terms {
+                    if self.vals[v.index()] != Val::Free {
+                        continue;
+                    }
+                    // Try v = 1: the remaining range shifts.
+                    let (lo1, hi1) = if coef > 0.0 {
+                        (lo + coef, hi)
+                    } else {
+                        (lo, hi + coef)
+                    };
+                    let one_ok = !(lo1 > need_hi + EPS || hi1 < need_lo - EPS);
+                    // Try v = 0.
+                    let (lo0, hi0) = if coef > 0.0 {
+                        (lo, hi - coef)
+                    } else {
+                        (lo - coef, hi)
+                    };
+                    let zero_ok = !(lo0 > need_hi + EPS || hi0 < need_lo - EPS);
+                    match (one_ok, zero_ok) {
+                        (false, false) => return false,
+                        (true, false) => {
+                            self.vals[v.index()] = Val::One;
+                            changed = true;
+                        }
+                        (false, true) => {
+                            self.vals[v.index()] = Val::Zero;
+                            changed = true;
+                        }
+                        (true, true) => {}
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn branch(&mut self, order: &[usize], depth: usize) {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            self.hit_limit = true;
+            return;
+        }
+        let saved = self.vals.clone();
+        if !self.propagate() {
+            self.vals = saved;
+            return;
+        }
+        if self.upper_bound() <= self.best_obj + 1e-12 && self.best.is_some() {
+            self.vals = saved;
+            return;
+        }
+        // Find next free variable in branch order.
+        let next = order[depth.min(order.len().saturating_sub(1))..]
+            .iter()
+            .chain(order[..depth.min(order.len())].iter())
+            .copied()
+            .find(|&i| self.vals[i] == Val::Free);
+        let Some(i) = next else {
+            // Complete assignment.
+            let assignment: Vec<bool> = self.vals.iter().map(|&v| v == Val::One).collect();
+            if self.model.is_feasible(&assignment) {
+                let obj = self.model.objective_value(&assignment);
+                if obj > self.best_obj {
+                    self.best_obj = obj;
+                    self.best = Some(assignment);
+                }
+            }
+            self.vals = saved;
+            return;
+        };
+        // Value ordering: try the objective-improving value first.
+        let first_one = self.model.objective()[i] >= 0.0;
+        for &val in if first_one {
+            &[Val::One, Val::Zero]
+        } else {
+            &[Val::Zero, Val::One]
+        } {
+            self.vals[i] = val;
+            self.branch(order, depth + 1);
+            if self.hit_limit {
+                break;
+            }
+            // Restore everything propagate() may have forced below.
+            let keep = self.vals[i];
+            self.vals.copy_from_slice(&saved);
+            self.vals[i] = keep;
+        }
+        self.vals = saved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConstraintOp;
+
+    #[test]
+    fn unconstrained_picks_positive_coeffs() {
+        let mut m = Ilp::new();
+        let a = m.add_var(2.0);
+        let b = m.add_var(-1.0);
+        let c = m.add_var(3.0);
+        let _ = (a, b, c);
+        let sol = Solver::new().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.values, vec![true, false, true]);
+        assert_eq!(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // maximize 10a + 6b + 4c  s.t.  5a + 4b + 3c <= 8
+        let mut m = Ilp::new();
+        let a = m.add_var(10.0);
+        let b = m.add_var(6.0);
+        let c = m.add_var(4.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], ConstraintOp::Le, 8.0);
+        let sol = Solver::new().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.objective, 14.0); // a + c
+        assert_eq!(sol.values, vec![true, false, true]);
+    }
+
+    #[test]
+    fn exactly_one_assignment() {
+        // Two mentions, two candidates each; coherence favours (a1, b1).
+        let mut m = Ilp::new();
+        let a0 = m.add_var(0.5);
+        let a1 = m.add_var(0.4);
+        let b0 = m.add_var(0.3);
+        let b1 = m.add_var(0.35);
+        // joint bonus for (a1, b1)
+        let y = m.add_var(0.6);
+        m.exactly_one(&[a0, a1]);
+        m.exactly_one(&[b0, b1]);
+        m.and_constraint(y, a1, b1);
+        let sol = Solver::new().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        // (a1, b1, y) = 0.4 + 0.35 + 0.6 = 1.35 beats (a0, b0) = 0.8.
+        assert!(sol.values[1] && sol.values[3] && sol.values[4]);
+        assert!((sol.objective - 1.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Ilp::new();
+        let a = m.add_var(1.0);
+        m.add_constraint(&[(a, 1.0)], ConstraintOp::Ge, 2.0);
+        let sol = Solver::new().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn equality_coupling_respected() {
+        let mut m = Ilp::new();
+        let a = m.add_var(1.0);
+        let b = m.add_var(-0.5);
+        m.equal(a, b);
+        let sol = Solver::new().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        // a=b=1 gives 0.5 > 0 = a=b=0.
+        assert_eq!(sol.values, vec![true, true]);
+    }
+
+    #[test]
+    fn node_limit_returns_best_so_far() {
+        let mut m = Ilp::new();
+        let vars: Vec<_> = (0..30).map(|i| m.add_var(1.0 + (i % 3) as f64)).collect();
+        for w in vars.chunks(3) {
+            m.at_most_one(w);
+        }
+        let sol = Solver::with_node_limit(10).solve(&m);
+        assert_eq!(sol.status, SolveStatus::NodeLimit);
+    }
+
+    #[test]
+    fn negative_rhs_ge_constraints() {
+        let mut m = Ilp::new();
+        let a = m.add_var(1.0);
+        let b = m.add_var(1.0);
+        // a + b >= -1 is vacuous.
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], ConstraintOp::Ge, -1.0);
+        let sol = Solver::new().solve(&m);
+        assert_eq!(sol.objective, 2.0);
+    }
+
+    /// Exhaustive cross-check against brute force on random small models.
+    #[test]
+    fn matches_brute_force_on_random_models() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n = 2 + (trial % 8);
+            let mut m = Ilp::new();
+            let vars: Vec<_> = (0..n)
+                .map(|_| m.add_var(rng.gen_range(-5.0..5.0)))
+                .collect();
+            for _ in 0..(n / 2 + 1) {
+                let k = rng.gen_range(1..=n.min(3));
+                let mut terms = Vec::new();
+                for _ in 0..k {
+                    terms.push((
+                        vars[rng.gen_range(0..n)],
+                        rng.gen_range(-3.0f64..3.0).round(),
+                    ));
+                }
+                let op = match rng.gen_range(0..3) {
+                    0 => ConstraintOp::Le,
+                    1 => ConstraintOp::Ge,
+                    _ => ConstraintOp::Eq,
+                };
+                let rhs = rng.gen_range(-2.0f64..3.0).round();
+                m.add_constraint(&terms, op, rhs);
+            }
+            // Brute force.
+            let mut best = f64::NEG_INFINITY;
+            for mask in 0u32..(1 << n) {
+                let assign: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                if m.is_feasible(&assign) {
+                    best = best.max(m.objective_value(&assign));
+                }
+            }
+            let sol = Solver::new().solve(&m);
+            if best == f64::NEG_INFINITY {
+                assert_eq!(sol.status, SolveStatus::Infeasible, "trial {trial}");
+            } else {
+                assert_eq!(sol.status, SolveStatus::Optimal, "trial {trial}");
+                assert!(
+                    (sol.objective - best).abs() < 1e-6,
+                    "trial {trial}: got {} want {best}",
+                    sol.objective
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based test: the branch-and-bound solver is exact — it matches
+//! brute-force enumeration on arbitrary small 0-1 programs.
+
+use proptest::prelude::*;
+use qkb_ilp::{ConstraintOp, Ilp, Solver, SolveStatus};
+
+#[derive(Debug, Clone)]
+struct RandModel {
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<(usize, f64)>, u8, f64)>,
+}
+
+fn model_strategy() -> impl Strategy<Value = RandModel> {
+    (2usize..9).prop_flat_map(|n| {
+        let obj = proptest::collection::vec(-5.0f64..5.0, n..=n);
+        let cons = proptest::collection::vec(
+            (
+                proptest::collection::vec((0..n, -3.0f64..3.0), 1..4),
+                0u8..3,
+                -2.0f64..4.0,
+            ),
+            0..5,
+        );
+        (obj, cons).prop_map(|(objective, constraints)| RandModel {
+            objective,
+            constraints,
+        })
+    })
+}
+
+fn build(m: &RandModel) -> Ilp {
+    let mut ilp = Ilp::new();
+    let vars: Vec<_> = m.objective.iter().map(|&c| ilp.add_var(c)).collect();
+    for (terms, op, rhs) in &m.constraints {
+        let t: Vec<_> = terms
+            .iter()
+            .map(|&(i, c)| (vars[i], (c * 2.0).round() / 2.0))
+            .collect();
+        let op = match op {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        ilp.add_constraint(&t, op, (rhs * 2.0).round() / 2.0);
+    }
+    ilp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solver optimum equals brute force on every feasible model, and it
+    /// reports infeasibility exactly when brute force finds nothing.
+    #[test]
+    fn solver_is_exact(m in model_strategy()) {
+        let ilp = build(&m);
+        let n = ilp.n_vars();
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if ilp.is_feasible(&assign) {
+                best = best.max(ilp.objective_value(&assign));
+            }
+        }
+        let sol = Solver::new().solve(&ilp);
+        if best == f64::NEG_INFINITY {
+            prop_assert_eq!(sol.status, SolveStatus::Infeasible);
+        } else {
+            prop_assert_eq!(sol.status, SolveStatus::Optimal);
+            prop_assert!((sol.objective - best).abs() < 1e-6,
+                "solver {} vs brute force {}", sol.objective, best);
+            prop_assert!(ilp.is_feasible(&sol.values));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Entities of the background repository.
+
+use crate::types::TypeId;
+use qkb_util::define_id;
+
+define_id!(EntityId, "identifies an entity in an `EntityRepository`");
+
+/// Grammatical gender, used by constraint (4) of the densification
+/// objective: a pronoun may only co-refer with a PERSON entity of matching
+/// gender (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gender {
+    /// "he"/"him"/"his".
+    Male,
+    /// "she"/"her".
+    Female,
+    /// "it"/"its" (organizations, works, places).
+    Neutral,
+    /// No gender information in the repository.
+    Unknown,
+}
+
+impl Gender {
+    /// Does a pronoun of gender `pronoun` match an entity of gender `self`?
+    /// Unknown matches everything (the paper's constraint only fires when
+    /// the background KB *provides* gender information).
+    pub fn matches(self, pronoun: Gender) -> bool {
+        matches!(
+            (self, pronoun),
+            (Gender::Unknown, _)
+                | (_, Gender::Unknown)
+                | (Gender::Male, Gender::Male)
+                | (Gender::Female, Gender::Female)
+                | (Gender::Neutral, Gender::Neutral)
+        )
+    }
+}
+
+/// One known entity: canonical name, alias dictionary entry, gender and
+/// semantic types (the only Yago payload QKBfly uses, §2.2).
+#[derive(Clone, Debug)]
+pub struct Entity {
+    /// Stable id within the repository.
+    pub id: EntityId,
+    /// Canonical (page-title-like) name.
+    pub canonical: String,
+    /// Alias names, including the canonical one.
+    pub aliases: Vec<String>,
+    /// Gender, when known.
+    pub gender: Gender,
+    /// Semantic types (most specific first by convention).
+    pub types: Vec<TypeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gender_matching_rules() {
+        assert!(Gender::Male.matches(Gender::Male));
+        assert!(!Gender::Male.matches(Gender::Female));
+        assert!(Gender::Unknown.matches(Gender::Female));
+        assert!(Gender::Female.matches(Gender::Unknown));
+        assert!(!Gender::Neutral.matches(Gender::Male));
+    }
+}

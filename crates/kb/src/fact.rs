@@ -1,0 +1,92 @@
+//! Facts of the on-the-fly KB: canonicalized, n-ary, confidence-scored.
+
+use crate::kb::KbEntityId;
+use crate::pattern::RelationId;
+
+/// One argument slot of a fact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FactArg {
+    /// A (linked or emerging) entity of the on-the-fly KB.
+    Entity(KbEntityId),
+    /// A string literal that could not be linked ("actor", "$100,000") —
+    /// the paper keeps these as literal arguments (§3).
+    Literal(String),
+    /// A normalized time expression ("2016-09-19").
+    Time(String),
+}
+
+impl FactArg {
+    /// True if the slot holds an entity reference.
+    pub fn is_entity(&self) -> bool {
+        matches!(self, FactArg::Entity(_))
+    }
+}
+
+/// The relation slot: canonicalized into the pattern repository when
+/// possible, otherwise a new on-the-fly relation (§5).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelationRef {
+    /// A synset of the pattern repository.
+    Canonical(RelationId),
+    /// A new relation discovered on the fly (lemmatized pattern).
+    Novel(String),
+}
+
+/// Where a fact came from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Document index within the input set (D).
+    pub doc: u32,
+    /// Sentence index within the document.
+    pub sentence: u32,
+}
+
+/// One canonicalized fact: subject, relation, one or more further
+/// arguments (arity ≥ 3 counts subject + relation + args).
+#[derive(Clone, Debug)]
+pub struct Fact {
+    /// Subject slot.
+    pub subject: FactArg,
+    /// Relation slot.
+    pub relation: RelationRef,
+    /// Remaining arguments in clause order.
+    pub args: Vec<FactArg>,
+    /// Confidence score in [0, 1] (min over argument confidences, §4).
+    pub confidence: f64,
+    /// Source pointer.
+    pub provenance: Provenance,
+}
+
+impl Fact {
+    /// Fact arity (triple = 3, quadruple = 4, ...).
+    pub fn arity(&self) -> usize {
+        2 + self.args.len()
+    }
+
+    /// True for plain SPO triples.
+    pub fn is_triple(&self) -> bool {
+        self.args.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_counting() {
+        let f = Fact {
+            subject: FactArg::Literal("x".into()),
+            relation: RelationRef::Novel("play in".into()),
+            args: vec![
+                FactArg::Literal("Achilles".into()),
+                FactArg::Literal("Troy".into()),
+            ],
+            confidence: 0.9,
+            provenance: Provenance::default(),
+        };
+        assert_eq!(f.arity(), 4);
+        assert!(!f.is_triple());
+        assert!(!f.subject.is_entity());
+    }
+}

@@ -1,0 +1,353 @@
+//! The on-the-fly knowledge base (K).
+//!
+//! Holds the canonicalized output of a QKBfly run: entities that are either
+//! *linked* to the background repository or *emerging* (out-of-repository
+//! clusters of co-referring names, flagged with `*` in the paper's tables),
+//! plus the fact store with the subject/predicate/object and `Type:` search
+//! of the §6 demo.
+
+use crate::entity::EntityId;
+use crate::fact::{Fact, FactArg, RelationRef};
+use crate::pattern::PatternRepository;
+use crate::repo::EntityRepository;
+use qkb_util::define_id;
+use qkb_util::text::normalize;
+use qkb_util::FxHashMap;
+
+define_id!(KbEntityId, "identifies an entity within one `OnTheFlyKb`");
+
+/// Linked-vs-emerging status of a KB entity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KbEntityKind {
+    /// Linked to the entity repository.
+    Linked(EntityId),
+    /// Emerging: a new entity identified by its mention cluster (§5).
+    Emerging,
+}
+
+/// One entity of the on-the-fly KB.
+#[derive(Clone, Debug)]
+pub struct KbEntity {
+    /// Stable id within this KB.
+    pub id: KbEntityId,
+    /// Linked or emerging.
+    pub kind: KbEntityKind,
+    /// Display name (repository canonical name, or the longest mention of
+    /// an emerging cluster).
+    pub name: String,
+    /// Surface mentions collected for this entity.
+    pub mentions: Vec<String>,
+}
+
+impl KbEntity {
+    /// Paper-style rendering: emerging entities carry an asterisk.
+    pub fn display(&self) -> String {
+        match self.kind {
+            KbEntityKind::Linked(_) => self.name.clone(),
+            KbEntityKind::Emerging => format!("{}*", self.name),
+        }
+    }
+}
+
+/// The on-the-fly KB.
+#[derive(Debug, Default)]
+pub struct OnTheFlyKb {
+    entities: Vec<KbEntity>,
+    facts: Vec<Fact>,
+    by_repo_id: FxHashMap<EntityId, KbEntityId>,
+}
+
+impl OnTheFlyKb {
+    /// An empty KB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) the KB entity linked to repository entity `repo_id`.
+    pub fn add_linked(&mut self, repo_id: EntityId, name: &str) -> KbEntityId {
+        if let Some(&id) = self.by_repo_id.get(&repo_id) {
+            return id;
+        }
+        let id = KbEntityId::new(self.entities.len());
+        self.entities.push(KbEntity {
+            id,
+            kind: KbEntityKind::Linked(repo_id),
+            name: name.to_string(),
+            mentions: Vec::new(),
+        });
+        self.by_repo_id.insert(repo_id, id);
+        id
+    }
+
+    /// Adds an emerging entity from its mention cluster. The longest
+    /// mention becomes the display name.
+    pub fn add_emerging(&mut self, mentions: &[String]) -> KbEntityId {
+        let id = KbEntityId::new(self.entities.len());
+        let name = mentions
+            .iter()
+            .max_by_key(|m| m.len())
+            .cloned()
+            .unwrap_or_else(|| "unknown".to_string());
+        self.entities.push(KbEntity {
+            id,
+            kind: KbEntityKind::Emerging,
+            name,
+            mentions: mentions.to_vec(),
+        });
+        id
+    }
+
+    /// Records a surface mention for an entity.
+    pub fn add_mention(&mut self, id: KbEntityId, mention: &str) {
+        let e = &mut self.entities[id.index()];
+        if !e.mentions.iter().any(|m| m == mention) {
+            e.mentions.push(mention.to_string());
+        }
+    }
+
+    /// Adds a fact.
+    pub fn push_fact(&mut self, fact: Fact) {
+        self.facts.push(fact);
+    }
+
+    /// The entity record.
+    pub fn entity(&self, id: KbEntityId) -> &KbEntity {
+        &self.entities[id.index()]
+    }
+
+    /// All entities.
+    pub fn entities(&self) -> &[KbEntity] {
+        &self.entities
+    }
+
+    /// All facts.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Number of facts.
+    pub fn n_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Number of emerging entities.
+    pub fn n_emerging(&self) -> usize {
+        self.entities
+            .iter()
+            .filter(|e| e.kind == KbEntityKind::Emerging)
+            .count()
+    }
+
+    /// Display string of a fact argument.
+    pub fn display_arg(&self, arg: &FactArg) -> String {
+        match arg {
+            FactArg::Entity(id) => self.entity(*id).display(),
+            FactArg::Literal(s) => format!("\u{201c}{s}\u{201d}"),
+            FactArg::Time(t) => format!("\u{201c}{t}\u{201d}"),
+        }
+    }
+
+    /// Display string of a relation.
+    pub fn display_relation(&self, rel: &RelationRef, patterns: &PatternRepository) -> String {
+        match rel {
+            RelationRef::Canonical(id) => patterns.canonical(*id).to_string(),
+            RelationRef::Novel(p) => p.clone(),
+        }
+    }
+
+    /// Paper-style rendering of one fact: `⟨subject, relation, args…⟩`.
+    pub fn render_fact(&self, fact: &Fact, patterns: &PatternRepository) -> String {
+        let mut parts = vec![
+            self.display_arg(&fact.subject),
+            self.display_relation(&fact.relation, patterns),
+        ];
+        parts.extend(fact.args.iter().map(|a| self.display_arg(a)));
+        format!("⟨{}⟩", parts.join(", "))
+    }
+
+    /// Demo-style fact search (§6): substring filters on subject, predicate
+    /// and object; a subject/object filter of the form `Type:NAME` matches
+    /// linked entities whose types are subsumed by `NAME`.
+    pub fn search<'a>(
+        &'a self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        object: Option<&str>,
+        repo: &EntityRepository,
+        patterns: &PatternRepository,
+    ) -> Vec<&'a Fact> {
+        self.facts
+            .iter()
+            .filter(|f| {
+                if let Some(sf) = subject {
+                    if !self.arg_matches(&f.subject, sf, repo) {
+                        return false;
+                    }
+                }
+                if let Some(pf) = predicate {
+                    let rel = self.display_relation(&f.relation, patterns);
+                    if !contains_ci(&rel, pf) {
+                        return false;
+                    }
+                }
+                if let Some(of) = object {
+                    if !f.args.iter().any(|a| self.arg_matches(a, of, repo)) {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    fn arg_matches(&self, arg: &FactArg, filter: &str, repo: &EntityRepository) -> bool {
+        if let Some(type_name) = filter.strip_prefix("Type:") {
+            let ts = repo.type_system();
+            let wanted_name = type_name.trim().replace(' ', "_").to_uppercase();
+            let Some(wanted) = ts.get(&wanted_name) else {
+                return false;
+            };
+            if let FactArg::Entity(id) = arg {
+                if let KbEntityKind::Linked(repo_id) = self.entity(*id).kind {
+                    return repo
+                        .types_of(repo_id)
+                        .iter()
+                        .any(|&t| ts.is_subtype(t, wanted));
+                }
+            }
+            return false;
+        }
+        contains_ci(&self.display_arg(arg), filter)
+    }
+
+    /// Serializes the KB (entities and rendered facts) as JSON for
+    /// inspection artifacts.
+    pub fn to_json(&self, patterns: &PatternRepository) -> serde_json::Value {
+        serde_json::json!({
+            "n_entities": self.entities.len(),
+            "n_emerging": self.n_emerging(),
+            "n_facts": self.facts.len(),
+            "entities": self.entities.iter().map(|e| serde_json::json!({
+                "name": e.display(),
+                "emerging": e.kind == KbEntityKind::Emerging,
+                "mentions": e.mentions,
+            })).collect::<Vec<_>>(),
+            "facts": self.facts.iter().map(|f| serde_json::json!({
+                "rendered": self.render_fact(f, patterns),
+                "arity": f.arity(),
+                "confidence": f.confidence,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Case-insensitive substring match (on normalized text).
+fn contains_ci(haystack: &str, needle: &str) -> bool {
+    normalize(haystack).contains(&normalize(needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::Gender;
+    use crate::fact::Provenance;
+
+    fn setup() -> (OnTheFlyKb, EntityRepository, PatternRepository) {
+        let mut repo = EntityRepository::new();
+        let artist = repo.type_system().get("MUSICAL_ARTIST").expect("t");
+        let award = repo.type_system().get("AWARD").expect("t");
+        let dylan = repo.add_entity("Bob Dylan", &["Dylan"], Gender::Male, vec![artist]);
+        let nobel = repo.add_entity(
+            "Nobel Prize in Literature",
+            &["the Nobel Prize"],
+            Gender::Neutral,
+            vec![award],
+        );
+        let patterns = PatternRepository::standard();
+        let mut kb = OnTheFlyKb::new();
+        let d = kb.add_linked(dylan, "Bob Dylan");
+        let n = kb.add_linked(nobel, "Nobel Prize in Literature");
+        let win = patterns.lookup("win").expect("seeded");
+        kb.push_fact(Fact {
+            subject: FactArg::Entity(d),
+            relation: RelationRef::Canonical(win),
+            args: vec![FactArg::Entity(n)],
+            confidence: 0.9,
+            provenance: Provenance::default(),
+        });
+        let leeds = kb.add_emerging(&["Jessica Leeds".to_string()]);
+        kb.push_fact(Fact {
+            subject: FactArg::Entity(leeds),
+            relation: RelationRef::Novel("accuse of".into()),
+            args: vec![FactArg::Literal("groping".into())],
+            confidence: 0.7,
+            provenance: Provenance::default(),
+        });
+        (kb, repo, patterns)
+    }
+
+    #[test]
+    fn linked_entities_deduplicate() {
+        let (mut kb, repo, _) = setup();
+        let dylan = repo.candidates("Bob Dylan")[0];
+        let a = kb.add_linked(dylan, "Bob Dylan");
+        let b = kb.add_linked(dylan, "Bob Dylan");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn emerging_entity_display_has_asterisk() {
+        let (kb, _, _) = setup();
+        let e = kb
+            .entities()
+            .iter()
+            .find(|e| e.kind == KbEntityKind::Emerging)
+            .expect("emerging");
+        assert_eq!(e.display(), "Jessica Leeds*");
+        assert_eq!(kb.n_emerging(), 1);
+    }
+
+    #[test]
+    fn render_fact_paper_style() {
+        let (kb, _, patterns) = setup();
+        let rendered = kb.render_fact(&kb.facts()[0], &patterns);
+        assert_eq!(rendered, "⟨Bob Dylan, win, Nobel Prize in Literature⟩");
+    }
+
+    #[test]
+    fn search_by_substring() {
+        let (kb, repo, patterns) = setup();
+        let hits = kb.search(Some("dylan"), None, None, &repo, &patterns);
+        assert_eq!(hits.len(), 1);
+        let hits = kb.search(None, Some("accuse"), None, &repo, &patterns);
+        assert_eq!(hits.len(), 1);
+        let hits = kb.search(None, None, Some("nobel"), &repo, &patterns);
+        assert_eq!(hits.len(), 1);
+        let hits = kb.search(Some("nobody"), None, None, &repo, &patterns);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn type_search_uses_subsumption() {
+        let (kb, repo, patterns) = setup();
+        // MUSICAL_ARTIST ⊑ ARTIST ⊑ PERSON: all should match Dylan.
+        for t in ["Type:MUSICAL ARTIST", "Type:ARTIST", "Type:PERSON"] {
+            let hits = kb.search(Some(t), None, None, &repo, &patterns);
+            assert_eq!(hits.len(), 1, "filter {t}");
+        }
+        let hits = kb.search(Some("Type:ORGANIZATION"), None, None, &repo, &patterns);
+        assert!(hits.is_empty());
+        // Emerging entities never match type filters (no repository types).
+        let hits = kb.search(None, None, Some("Type:PERSON"), &repo, &patterns);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let (kb, _, patterns) = setup();
+        let v = kb.to_json(&patterns);
+        assert_eq!(v["n_facts"], 2);
+        assert_eq!(v["n_emerging"], 1);
+        assert!(v["facts"].as_array().expect("arr").len() == 2);
+    }
+}

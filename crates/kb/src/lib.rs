@@ -1,0 +1,34 @@
+//! # qkb-kb
+//!
+//! The knowledge-side substrates of QKBfly:
+//!
+//! * [`types`] — the semantic type system: the five coarse NER types plus
+//!   an infobox-derived fine-grained hierarchy with subsumption
+//!   (FOOTBALLER ⊑ ATHLETE ⊑ PERSON), mirroring §4 "Type Signatures";
+//! * [`entity`]/[`repo`] — the entity repository (E): known entities with
+//!   alias names and gender, the only information the paper takes from
+//!   Yago (§2.2);
+//! * [`pattern`] — the pattern repository (P): synsets of relational
+//!   paraphrases in the PATTY tradition (§5);
+//! * [`fact`]/[`kb`] — the on-the-fly KB (K): canonicalized n-ary facts
+//!   over linked and emerging entities, with the subject/predicate/object
+//!   and `Type:` search of the demo (§6);
+//! * [`stats`] — background statistics (S) computed from the background
+//!   corpus (C): anchor-link priors, TF-IDF context vectors, and
+//!   type-signature co-occurrence counts (§2.2, §4).
+
+pub mod entity;
+pub mod fact;
+pub mod kb;
+pub mod pattern;
+pub mod repo;
+pub mod stats;
+pub mod types;
+
+pub use entity::{Entity, EntityId, Gender};
+pub use fact::{Fact, FactArg, Provenance, RelationRef};
+pub use kb::{KbEntity, KbEntityId, KbEntityKind, OnTheFlyKb};
+pub use pattern::{PatternRepository, RelationId};
+pub use repo::EntityRepository;
+pub use stats::{BackgroundStats, StatsBuilder};
+pub use types::{TypeId, TypeSystem};

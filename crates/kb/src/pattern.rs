@@ -1,0 +1,204 @@
+//! The pattern repository (P): relational-paraphrase synsets (PATTY
+//! substitute).
+//!
+//! §5: "All node-edge-node triples that have the same node labels and have
+//! edge labels that belong to the same synset in PATTY are combined into a
+//! single triple." Patterns are the lemmatized verb plus optional
+//! preposition ("play in", "born in"); each synset carries a canonical
+//! relation name. Out-of-repository patterns become *new relations* — the
+//! paper's mechanism for capturing predicates no KB has.
+
+use qkb_util::define_id;
+use qkb_util::FxHashMap;
+
+define_id!(RelationId, "identifies a relation synset in a `PatternRepository`");
+
+/// One synset: a canonical relation name and its paraphrase patterns.
+#[derive(Clone, Debug)]
+pub struct Synset {
+    /// Stable id.
+    pub id: RelationId,
+    /// Canonical relation name ("play in", "married to").
+    pub canonical: String,
+    /// All paraphrase patterns, including the canonical one.
+    pub patterns: Vec<String>,
+}
+
+/// Seeded paraphrase clusters: `(canonical, paraphrases…)`. These cover
+/// the relations of the paper's examples and of the corpus generators;
+/// `qkb-corpus` extends the repository with the world's own paraphrases.
+const SEED: &[(&str, &[&str])] = &[
+    ("play in", &["act in", "star in", "have role in", "appear in", "portray in", "feature in"]),
+    ("married to", &["marry", "wed", "tie the knot with", "be wife of", "be husband of", "be spouse of", "be married to"]),
+    ("divorce from", &["divorce", "file for divorce from", "split from", "separate from"]),
+    ("born in", &["be born in", "bear in", "come into the world in"]),
+    ("born to", &["be born to", "bear to", "be son of", "be daughter of", "be child of"]),
+    ("die in", &["pass away in", "be killed in"]),
+    ("win", &["win for", "receive", "be awarded", "earn", "take home", "be honored with", "get"]),
+    ("receive in from", &["win in from", "be awarded in by", "accept in from"]),
+    ("support", &["back", "endorse", "champion"]),
+    ("donate to", &["give to", "contribute to"]),
+    ("found", &["establish", "create", "co-found", "set up", "launch", "start"]),
+    ("play for", &["sign for", "appear for", "turn out for", "feature for"]),
+    ("transfer to", &["move to", "sign with", "join"]),
+    ("score in", &["net in", "strike in"]),
+    ("coach", &["manage", "train", "lead", "head"]),
+    ("study at", &["graduate from", "attend", "be educated at", "enroll at"]),
+    ("work at", &["work for", "be employed by", "serve at", "join"]),
+    ("lead", &["head", "chair", "govern", "run", "direct"]),
+    ("elected as", &["be elected as", "become", "be appointed as", "be named as", "be chosen as"]),
+    ("release", &["put out", "publish", "drop", "issue", "record"]),
+    ("perform in", &["sing in", "play at", "perform at", "headline"]),
+    ("write", &["author", "compose", "pen"]),
+    ("direct", &["helm", "make"]),
+    ("accuse of", &["charge with", "allege"]),
+    ("shoot", &["shoot at", "fire at", "gun down"]),
+    ("live in", &["reside in", "stay in", "be based in", "move to"]),
+    ("located in", &["be located in", "lie in", "sit in", "be situated in"]),
+    ("capital of", &["be capital of"]),
+    ("adopt in", &["adopt"]),
+    ("nominate for", &["be nominated for", "be shortlisted for"]),
+    ("defeat", &["beat", "overcome", "win against", "defeat in"]),
+    ("own", &["possess", "hold", "acquire", "buy"]),
+    ("invest in", &["fund", "back financially", "put money into"]),
+    ("discover", &["find", "identify", "detect"]),
+    ("invent", &["devise", "develop", "design", "pioneer"]),
+    ("teach at", &["lecture at", "be professor at"]),
+    ("resign from", &["step down from", "quit", "leave", "retire from"]),
+];
+
+/// Alias-indexed pattern repository.
+#[derive(Debug, Default)]
+pub struct PatternRepository {
+    synsets: Vec<Synset>,
+    by_pattern: FxHashMap<String, RelationId>,
+}
+
+impl PatternRepository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The seeded repository (PATTY-like clusters for the evaluation
+    /// domains).
+    pub fn standard() -> Self {
+        let mut r = Self::new();
+        for &(canonical, paraphrases) in SEED {
+            let ps: Vec<&str> = paraphrases.to_vec();
+            r.add_synset(canonical, &ps);
+        }
+        r
+    }
+
+    /// Normalizes a pattern for lookup: lowercase, single spaces.
+    fn key(pattern: &str) -> String {
+        pattern
+            .split_whitespace()
+            .map(|w| w.to_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Adds a synset; returns its id. The canonical name is also a
+    /// pattern. Patterns already claimed by an earlier synset keep their
+    /// original assignment (first sense wins, as in PATTY's dominant
+    /// cluster).
+    pub fn add_synset(&mut self, canonical: &str, patterns: &[&str]) -> RelationId {
+        let id = RelationId::new(self.synsets.len());
+        let mut all = vec![canonical.to_string()];
+        all.extend(patterns.iter().map(|p| p.to_string()));
+        let mut kept = Vec::new();
+        for p in all {
+            let k = Self::key(&p);
+            if k.is_empty() {
+                continue;
+            }
+            self.by_pattern.entry(k).or_insert(id);
+            if !kept.contains(&p) {
+                kept.push(p);
+            }
+        }
+        self.synsets.push(Synset {
+            id,
+            canonical: canonical.to_string(),
+            patterns: kept,
+        });
+        id
+    }
+
+    /// Looks up the synset of a pattern.
+    pub fn lookup(&self, pattern: &str) -> Option<RelationId> {
+        self.by_pattern.get(&Self::key(pattern)).copied()
+    }
+
+    /// Canonical relation name of a synset.
+    pub fn canonical(&self, id: RelationId) -> &str {
+        &self.synsets[id.index()].canonical
+    }
+
+    /// The synset record.
+    pub fn synset(&self, id: RelationId) -> &Synset {
+        &self.synsets[id.index()]
+    }
+
+    /// Number of synsets.
+    pub fn len(&self) -> usize {
+        self.synsets.len()
+    }
+
+    /// True if no synset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.synsets.is_empty()
+    }
+
+    /// Total number of registered paraphrase patterns (the paper quotes
+    /// 127,811 for PATTY; ours is proportional to the world's relations).
+    pub fn n_patterns(&self) -> usize {
+        self.by_pattern.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paraphrases_share_synset() {
+        let r = PatternRepository::standard();
+        let a = r.lookup("play in").expect("seeded");
+        let b = r.lookup("act in").expect("seeded");
+        let c = r.lookup("star in").expect("seeded");
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(r.canonical(a), "play in");
+    }
+
+    #[test]
+    fn lookup_is_case_and_space_insensitive() {
+        let r = PatternRepository::standard();
+        assert_eq!(r.lookup("Play   In"), r.lookup("play in"));
+    }
+
+    #[test]
+    fn unknown_pattern_is_none() {
+        let r = PatternRepository::standard();
+        assert!(r.lookup("frobnicate with").is_none());
+    }
+
+    #[test]
+    fn first_sense_wins_on_conflicts() {
+        let mut r = PatternRepository::new();
+        let a = r.add_synset("win", &["receive"]);
+        let b = r.add_synset("receive in from", &["receive"]);
+        assert_eq!(r.lookup("receive"), Some(a));
+        assert_eq!(r.lookup("receive in from"), Some(b));
+    }
+
+    #[test]
+    fn distinct_relations_stay_distinct() {
+        let r = PatternRepository::standard();
+        assert_ne!(r.lookup("play in"), r.lookup("married to"));
+        assert!(r.n_patterns() > 50);
+    }
+}

@@ -1,0 +1,210 @@
+//! The entity repository (E): alias-indexed dictionary of known entities.
+//!
+//! QKBfly "merely harnesses [Yago's] knowledge about alias names of
+//! entities together with their gender attributes" (§2.2). This repository
+//! stores exactly that — plus semantic types, which feed the type-signature
+//! feature — and serves candidate sets for `means` edges.
+
+use crate::entity::{Entity, EntityId, Gender};
+use crate::types::{TypeId, TypeSystem};
+use qkb_util::text::normalize;
+use qkb_util::FxHashMap;
+
+/// Alias-indexed entity dictionary with its type system.
+#[derive(Debug)]
+pub struct EntityRepository {
+    entities: Vec<Entity>,
+    alias_index: FxHashMap<String, Vec<EntityId>>,
+    types: TypeSystem,
+}
+
+impl EntityRepository {
+    /// An empty repository over the standard type system.
+    pub fn new() -> Self {
+        Self::with_types(TypeSystem::standard())
+    }
+
+    /// An empty repository over a custom type system.
+    pub fn with_types(types: TypeSystem) -> Self {
+        Self {
+            entities: Vec::new(),
+            alias_index: FxHashMap::default(),
+            types,
+        }
+    }
+
+    /// Registers an entity; aliases are normalized into the index. The
+    /// canonical name is always also an alias.
+    pub fn add_entity(
+        &mut self,
+        canonical: &str,
+        aliases: &[&str],
+        gender: Gender,
+        types: Vec<TypeId>,
+    ) -> EntityId {
+        let id = EntityId::new(self.entities.len());
+        let mut all: Vec<String> = Vec::with_capacity(aliases.len() + 1);
+        all.push(canonical.to_string());
+        for a in aliases {
+            if !all.iter().any(|x| x == a) {
+                all.push((*a).to_string());
+            }
+        }
+        for a in &all {
+            let key = normalize(a);
+            if key.is_empty() {
+                continue;
+            }
+            let ids = self.alias_index.entry(key).or_default();
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        self.entities.push(Entity {
+            id,
+            canonical: canonical.to_string(),
+            aliases: all,
+            gender,
+            types,
+        });
+        id
+    }
+
+    /// Entity candidates whose alias dictionary contains `mention`
+    /// (normalized match). Order is registration order — deterministic.
+    pub fn candidates(&self, mention: &str) -> &[EntityId] {
+        self.alias_index
+            .get(&normalize(mention))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The entity record.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// Gender attribute.
+    pub fn gender(&self, id: EntityId) -> Gender {
+        self.entities[id.index()].gender
+    }
+
+    /// Semantic types of the entity.
+    pub fn types_of(&self, id: EntityId) -> &[TypeId] {
+        &self.entities[id.index()].types
+    }
+
+    /// The repository's type system.
+    pub fn type_system(&self) -> &TypeSystem {
+        &self.types
+    }
+
+    /// Mutable access (worlds extend the hierarchy while building).
+    pub fn type_system_mut(&mut self) -> &mut TypeSystem {
+        &mut self.types
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Iterates all entities.
+    pub fn iter(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.iter()
+    }
+
+    /// Builds an NER gazetteer over all aliases, typing each phrase by the
+    /// entity's coarse type (first registration wins on ambiguous aliases,
+    /// mirroring dominant-sense listing).
+    pub fn gazetteer(&self) -> qkb_nlp::Gazetteer {
+        let mut g = qkb_nlp::Gazetteer::new();
+        for e in &self.entities {
+            let coarse = e
+                .types
+                .first()
+                .map(|&t| self.types.coarse_ner(t))
+                .unwrap_or(crate::types::qkb_nlp_ner_tag::NerTagLike::Misc);
+            let tag = match coarse {
+                crate::types::qkb_nlp_ner_tag::NerTagLike::Person => qkb_nlp::NerTag::Person,
+                crate::types::qkb_nlp_ner_tag::NerTagLike::Organization => {
+                    qkb_nlp::NerTag::Organization
+                }
+                crate::types::qkb_nlp_ner_tag::NerTagLike::Location => qkb_nlp::NerTag::Location,
+                crate::types::qkb_nlp_ner_tag::NerTagLike::Time => qkb_nlp::NerTag::Time,
+                crate::types::qkb_nlp_ner_tag::NerTagLike::Misc => qkb_nlp::NerTag::Misc,
+            };
+            for a in &e.aliases {
+                g.insert(a, tag);
+            }
+        }
+        g
+    }
+}
+
+impl Default for EntityRepository {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repo() -> EntityRepository {
+        let mut r = EntityRepository::new();
+        let actor = r.type_system().get("ACTOR").expect("type");
+        let city = r.type_system().get("CITY").expect("type");
+        let club = r.type_system().get("FOOTBALL_CLUB").expect("type");
+        r.add_entity(
+            "Brad Pitt",
+            &["William Bradley Pitt", "Pitt"],
+            Gender::Male,
+            vec![actor],
+        );
+        r.add_entity("Liverpool", &[], Gender::Neutral, vec![city]);
+        r.add_entity("Liverpool F.C.", &["Liverpool"], Gender::Neutral, vec![club]);
+        r
+    }
+
+    #[test]
+    fn alias_lookup_finds_entity() {
+        let r = sample_repo();
+        let c = r.candidates("brad pitt");
+        assert_eq!(c.len(), 1);
+        assert_eq!(r.entity(c[0]).canonical, "Brad Pitt");
+        assert_eq!(r.candidates("PITT").len(), 1);
+        assert!(r.candidates("unknown person").is_empty());
+    }
+
+    #[test]
+    fn ambiguous_alias_returns_both_candidates() {
+        let r = sample_repo();
+        let c = r.candidates("Liverpool");
+        assert_eq!(c.len(), 2, "city and club share the alias");
+    }
+
+    #[test]
+    fn gender_and_types_accessible() {
+        let r = sample_repo();
+        let pitt = r.candidates("Brad Pitt")[0];
+        assert_eq!(r.gender(pitt), Gender::Male);
+        let actor = r.type_system().get("ACTOR").expect("t");
+        assert_eq!(r.types_of(pitt), &[actor]);
+    }
+
+    #[test]
+    fn gazetteer_types_roll_up() {
+        let r = sample_repo();
+        let g = r.gazetteer();
+        assert_eq!(g.get("brad pitt"), Some(qkb_nlp::NerTag::Person));
+        // first registration (the city) wins the ambiguous alias
+        assert_eq!(g.get("liverpool"), Some(qkb_nlp::NerTag::Location));
+    }
+}

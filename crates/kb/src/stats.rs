@@ -1,0 +1,300 @@
+//! Background statistics (S) extracted from the background corpus (C).
+//!
+//! §2.2/§4: from the (Wikipedia-like) background corpus QKBfly derives
+//! (i) anchor-link priors `prior(nᵢ, eᵢⱼ)`, (ii) TF-IDF context vectors for
+//! entities (tokens of the entity's article) compared against mention
+//! contexts by the weighted overlap coefficient, and (iii) type-signature
+//! statistics `ts(eᵢⱼ, eₜₖ, rᵢ,ₜ)`: the relative frequency of argument-type
+//! pairs under each clause-level relation pattern.
+
+use crate::entity::EntityId;
+use crate::types::TypeId;
+use qkb_util::sparse::{SparseVec, TfIdf};
+use qkb_util::{FxHashMap, Interner, Symbol};
+
+/// Accumulates corpus counts; [`StatsBuilder::finalize`] produces the
+/// read-only [`BackgroundStats`].
+#[derive(Default)]
+pub struct StatsBuilder {
+    tokens: Interner,
+    patterns: Interner,
+    idf: TfIdf,
+    entity_tokens: FxHashMap<EntityId, FxHashMap<Symbol, u32>>,
+    anchor_counts: FxHashMap<String, FxHashMap<EntityId, u32>>,
+    type_pair_counts: FxHashMap<(Symbol, TypeId, TypeId), u32>,
+    pattern_totals: FxHashMap<Symbol, u32>,
+}
+
+impl StatsBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the full text tokens of an entity's article (the entity
+    /// context vector source). Can be called repeatedly; counts accumulate.
+    pub fn add_entity_article<'a, I: IntoIterator<Item = &'a str>>(
+        &mut self,
+        e: EntityId,
+        tokens: I,
+    ) {
+        let counts = self.entity_tokens.entry(e).or_default();
+        let mut distinct = Vec::new();
+        for t in tokens {
+            let sym = self.tokens.intern(&t.to_lowercase());
+            let c = counts.entry(sym).or_insert(0);
+            if *c == 0 {
+                distinct.push(sym);
+            }
+            *c += 1;
+        }
+        self.idf.add_document(distinct);
+    }
+
+    /// Registers one anchor link: surface `alias` pointing to entity `e`.
+    pub fn add_anchor(&mut self, alias: &str, e: EntityId) {
+        let key = qkb_util::text::normalize(alias);
+        if key.is_empty() {
+            return;
+        }
+        *self
+            .anchor_counts
+            .entry(key)
+            .or_default()
+            .entry(e)
+            .or_insert(0) += 1;
+    }
+
+    /// Registers one clause observation: the argument-type sets of the two
+    /// arguments and the relation pattern between them. All type
+    /// combinations are counted (the paper sums over type combinations).
+    pub fn add_clause_signature(&mut self, t1: &[TypeId], t2: &[TypeId], pattern: &str) {
+        let p = self.patterns.intern(pattern);
+        for &a in t1 {
+            for &b in t2 {
+                *self.type_pair_counts.entry((p, a, b)).or_insert(0) += 1;
+                *self.pattern_totals.entry(p).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Freezes the accumulated counts into queryable statistics.
+    pub fn finalize(self) -> BackgroundStats {
+        let StatsBuilder {
+            tokens,
+            patterns,
+            idf,
+            entity_tokens,
+            anchor_counts,
+            type_pair_counts,
+            pattern_totals,
+        } = self;
+
+        // Entity context vectors, TF-IDF weighted.
+        let mut entity_ctx = FxHashMap::default();
+        for (e, counts) in entity_tokens {
+            let pairs: Vec<(Symbol, u32)> = counts.into_iter().collect();
+            entity_ctx.insert(e, idf.vectorize(&pairs));
+        }
+
+        // Priors: count(alias -> e) / count(alias).
+        let mut priors = FxHashMap::default();
+        for (alias, per_entity) in anchor_counts {
+            let total: u32 = per_entity.values().sum();
+            if total == 0 {
+                continue;
+            }
+            for (e, c) in per_entity {
+                priors.insert((alias.clone(), e), c as f64 / total as f64);
+            }
+        }
+
+        BackgroundStats {
+            tokens,
+            patterns,
+            idf,
+            entity_ctx,
+            priors,
+            type_pair_counts,
+            pattern_totals,
+        }
+    }
+}
+
+/// Read-only background statistics consumed by the graph algorithm.
+pub struct BackgroundStats {
+    tokens: Interner,
+    patterns: Interner,
+    idf: TfIdf,
+    entity_ctx: FxHashMap<EntityId, SparseVec>,
+    priors: FxHashMap<(String, EntityId), f64>,
+    type_pair_counts: FxHashMap<(Symbol, TypeId, TypeId), u32>,
+    pattern_totals: FxHashMap<Symbol, u32>,
+}
+
+impl BackgroundStats {
+    /// Empty statistics (all features return 0; useful for ablations).
+    pub fn empty() -> Self {
+        StatsBuilder::new().finalize()
+    }
+
+    /// `prior(nᵢ, eᵢⱼ)`: relative frequency of anchor `alias` linking to
+    /// `e`; 0 when the alias was never an anchor.
+    pub fn prior(&self, alias: &str, e: EntityId) -> f64 {
+        self.priors
+            .get(&(qkb_util::text::normalize(alias), e))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The entity's TF-IDF context vector, if its article was seen.
+    pub fn entity_context(&self, e: EntityId) -> Option<&SparseVec> {
+        self.entity_ctx.get(&e)
+    }
+
+    /// Builds a TF-IDF context vector for a bag of tokens (the sentence
+    /// context of a mention).
+    pub fn context_of<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> SparseVec {
+        let mut counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+        for t in tokens {
+            // Read-only lookup: out-of-vocabulary tokens cannot match any
+            // entity vector anyway, so they are dropped.
+            if let Some(sym) = self.tokens.get(&t.to_lowercase()) {
+                *counts.entry(sym).or_insert(0) += 1;
+            }
+        }
+        let pairs: Vec<(Symbol, u32)> = counts.into_iter().collect();
+        self.idf.vectorize(&pairs)
+    }
+
+    /// `sim(cxt(nᵢ), cxt(eᵢⱼ))`: weighted overlap between a mention
+    /// context and the entity's article vector.
+    pub fn mention_entity_sim(&self, mention_ctx: &SparseVec, e: EntityId) -> f64 {
+        match self.entity_ctx.get(&e) {
+            Some(ev) => mention_ctx.weighted_overlap(ev),
+            None => 0.0,
+        }
+    }
+
+    /// `coh(eᵢⱼ, eₜₖ)`: coherence of two entities = weighted overlap of
+    /// their context vectors.
+    pub fn coherence(&self, a: EntityId, b: EntityId) -> f64 {
+        match (self.entity_ctx.get(&a), self.entity_ctx.get(&b)) {
+            (Some(va), Some(vb)) => va.weighted_overlap(vb),
+            _ => 0.0,
+        }
+    }
+
+    /// `ts(eᵢⱼ, eₜₖ, r)`: relative frequency of the argument-type pairs of
+    /// the two entities under pattern `r`, summed over type combinations.
+    pub fn type_signature(&self, t1: &[TypeId], t2: &[TypeId], pattern: &str) -> f64 {
+        let Some(p) = self.patterns.get(pattern) else {
+            return 0.0;
+        };
+        let total = self.pattern_totals.get(&p).copied().unwrap_or(0);
+        if total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0u32;
+        for &a in t1 {
+            for &b in t2 {
+                hits += self
+                    .type_pair_counts
+                    .get(&(p, a, b))
+                    .copied()
+                    .unwrap_or(0);
+            }
+        }
+        hits as f64 / total as f64
+    }
+
+    /// True if any anchor statistics exist (sanity check for harnesses).
+    pub fn has_priors(&self) -> bool {
+        !self.priors.is_empty()
+    }
+
+    /// Number of entities with context vectors.
+    pub fn n_entity_contexts(&self) -> usize {
+        self.entity_ctx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(i: usize) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn priors_are_relative_frequencies() {
+        let mut b = StatsBuilder::new();
+        b.add_anchor("liverpool", eid(0)); // city
+        b.add_anchor("liverpool", eid(0));
+        b.add_anchor("liverpool", eid(0));
+        b.add_anchor("liverpool", eid(1)); // club
+        let s = b.finalize();
+        assert!((s.prior("Liverpool", eid(0)) - 0.75).abs() < 1e-12);
+        assert!((s.prior("liverpool", eid(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(s.prior("london", eid(0)), 0.0);
+        assert!(s.has_priors());
+    }
+
+    #[test]
+    fn context_similarity_prefers_matching_entity() {
+        let mut b = StatsBuilder::new();
+        b.add_entity_article(eid(0), ["football", "club", "premier", "league"]);
+        b.add_entity_article(eid(1), ["city", "port", "england", "mersey"]);
+        let s = b.finalize();
+        let mention = s.context_of(["club", "league", "match"]);
+        assert!(s.mention_entity_sim(&mention, eid(0)) > s.mention_entity_sim(&mention, eid(1)));
+    }
+
+    #[test]
+    fn coherence_between_related_entities() {
+        let mut b = StatsBuilder::new();
+        b.add_entity_article(eid(0), ["film", "actor", "hollywood"]);
+        b.add_entity_article(eid(1), ["film", "director", "hollywood"]);
+        b.add_entity_article(eid(2), ["goal", "striker", "stadium"]);
+        let s = b.finalize();
+        assert!(s.coherence(eid(0), eid(1)) > s.coherence(eid(0), eid(2)));
+        assert_eq!(s.coherence(eid(0), eid(99)), 0.0);
+    }
+
+    #[test]
+    fn type_signature_relative_frequency() {
+        let a = TypeId::new(0); // e.g. ACTOR
+        let f = TypeId::new(1); // e.g. FILM
+        let c = TypeId::new(2); // e.g. CITY
+        let mut b = StatsBuilder::new();
+        b.add_clause_signature(&[a], &[f], "play in");
+        b.add_clause_signature(&[a], &[f], "play in");
+        b.add_clause_signature(&[a], &[c], "play in");
+        let s = b.finalize();
+        assert!((s.type_signature(&[a], &[f], "play in") - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.type_signature(&[a], &[c], "play in") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.type_signature(&[a], &[f], "unknown rel"), 0.0);
+        assert_eq!(s.type_signature(&[c], &[c], "play in"), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_return_zeroes() {
+        let s = BackgroundStats::empty();
+        assert_eq!(s.prior("x", eid(0)), 0.0);
+        assert_eq!(s.coherence(eid(0), eid(1)), 0.0);
+        assert!(!s.has_priors());
+        assert_eq!(s.n_entity_contexts(), 0);
+        let v = s.context_of(["a", "b"]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn oov_tokens_dropped_from_mention_context() {
+        let mut b = StatsBuilder::new();
+        b.add_entity_article(eid(0), ["guitar"]);
+        let s = b.finalize();
+        let v = s.context_of(["guitar", "zzzunseen"]);
+        assert_eq!(v.nnz(), 1);
+    }
+}

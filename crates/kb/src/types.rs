@@ -1,0 +1,288 @@
+//! Semantic type system with subsumption.
+//!
+//! The paper extends the five general NER types with 167 prominent
+//! infobox-template types arranged in a manually built subsumption
+//! hierarchy (§4, "Type Signatures"). We embed a curated hierarchy of the
+//! same shape covering the generators' domains; it is extensible at
+//! runtime for out-of-inventory worlds.
+
+use qkb_util::define_id;
+use qkb_util::FxHashMap;
+
+define_id!(TypeId, "identifies a semantic type in a `TypeSystem`");
+
+/// A DAG of semantic types with subsumption queries.
+#[derive(Debug, Default)]
+pub struct TypeSystem {
+    names: Vec<String>,
+    parents: Vec<Vec<TypeId>>,
+    by_name: FxHashMap<String, TypeId>,
+}
+
+/// The embedded hierarchy: `(type, parents…)`. Roots are the five coarse
+/// NER types plus TIME.
+const STANDARD: &[(&str, &[&str])] = &[
+    ("PERSON", &[]),
+    ("ORGANIZATION", &[]),
+    ("LOCATION", &[]),
+    ("MISC", &[]),
+    ("TIME", &[]),
+    // person subtree
+    ("ATHLETE", &["PERSON"]),
+    ("FOOTBALLER", &["ATHLETE"]),
+    ("TENNIS_PLAYER", &["ATHLETE"]),
+    ("COACH", &["PERSON"]),
+    ("ARTIST", &["PERSON"]),
+    ("ACTOR", &["ARTIST"]),
+    ("MUSICAL_ARTIST", &["ARTIST"]),
+    ("WRITER", &["ARTIST"]),
+    ("DIRECTOR", &["ARTIST"]),
+    ("POLITICIAN", &["PERSON"]),
+    ("SCIENTIST", &["PERSON"]),
+    ("BUSINESS_PERSON", &["PERSON"]),
+    ("MODEL", &["PERSON"]),
+    ("JOURNALIST", &["PERSON"]),
+    ("CHARACTER", &["PERSON", "MISC"]),
+    // organization subtree
+    ("SPORTS_CLUB", &["ORGANIZATION"]),
+    ("FOOTBALL_CLUB", &["SPORTS_CLUB"]),
+    ("COMPANY", &["ORGANIZATION"]),
+    ("BAND", &["ORGANIZATION"]),
+    ("UNIVERSITY", &["ORGANIZATION"]),
+    ("FOUNDATION", &["ORGANIZATION"]),
+    ("POLITICAL_PARTY", &["ORGANIZATION"]),
+    ("RECORD_LABEL", &["COMPANY"]),
+    ("FILM_STUDIO", &["COMPANY"]),
+    ("NEWSPAPER", &["COMPANY"]),
+    // location subtree
+    ("CITY", &["LOCATION"]),
+    ("COUNTRY", &["LOCATION"]),
+    ("REGION", &["LOCATION"]),
+    ("STADIUM", &["LOCATION"]),
+    ("VENUE", &["LOCATION"]),
+    // misc subtree
+    ("CREATIVE_WORK", &["MISC"]),
+    ("FILM", &["CREATIVE_WORK"]),
+    ("TV_SERIES", &["CREATIVE_WORK"]),
+    ("ALBUM", &["CREATIVE_WORK"]),
+    ("SONG", &["CREATIVE_WORK"]),
+    ("BOOK", &["CREATIVE_WORK"]),
+    ("AWARD", &["MISC"]),
+    ("EVENT", &["MISC"]),
+    ("SPORTS_EVENT", &["EVENT"]),
+    ("ELECTION", &["EVENT"]),
+    ("ATTACK", &["EVENT"]),
+    ("CEREMONY", &["EVENT"]),
+    ("TOURNAMENT", &["SPORTS_EVENT"]),
+];
+
+impl TypeSystem {
+    /// An empty type system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The embedded standard hierarchy.
+    pub fn standard() -> Self {
+        let mut ts = Self::new();
+        for &(name, parents) in STANDARD {
+            let pids: Vec<TypeId> = parents
+                .iter()
+                .map(|p| ts.by_name.get(*p).copied().expect("parent registered first"))
+                .collect();
+            ts.register(name, &pids);
+        }
+        ts
+    }
+
+    /// Registers a type (idempotent by name); parents extend any existing
+    /// registration.
+    pub fn register(&mut self, name: &str, parents: &[TypeId]) -> TypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            for &p in parents {
+                if !self.parents[id.index()].contains(&p) {
+                    self.parents[id.index()].push(p);
+                }
+            }
+            return id;
+        }
+        let id = TypeId::new(self.names.len());
+        self.names.push(name.to_string());
+        self.parents.push(parents.to_vec());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Type id by name.
+    pub fn get(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a type.
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no type is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Transitive subsumption: is `sub` a subtype of (or equal to) `sup`?
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut stack = vec![sub];
+        let mut seen = vec![false; self.names.len()];
+        while let Some(t) = stack.pop() {
+            if t == sup {
+                return true;
+            }
+            for &p in &self.parents[t.index()] {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// All supertypes of `t`, including `t` itself.
+    pub fn ancestors(&self, t: TypeId) -> Vec<TypeId> {
+        let mut out = vec![t];
+        let mut stack = vec![t];
+        let mut seen = vec![false; self.names.len()];
+        seen[t.index()] = true;
+        while let Some(c) = stack.pop() {
+            for &p in &self.parents[c.index()] {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    out.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// The coarse NER tag a type rolls up to.
+    pub fn coarse_ner(&self, t: TypeId) -> qkb_nlp_ner_tag::NerTagLike {
+        for a in self.ancestors(t) {
+            match self.name(a) {
+                "PERSON" => return qkb_nlp_ner_tag::NerTagLike::Person,
+                "ORGANIZATION" => return qkb_nlp_ner_tag::NerTagLike::Organization,
+                "LOCATION" => return qkb_nlp_ner_tag::NerTagLike::Location,
+                "TIME" => return qkb_nlp_ner_tag::NerTagLike::Time,
+                _ => {}
+            }
+        }
+        qkb_nlp_ner_tag::NerTagLike::Misc
+    }
+}
+
+/// Minimal NER-tag mirror to avoid a dependency from `qkb-kb` on the NLP
+/// crate (the entity side only needs the coarse five-way split).
+pub mod qkb_nlp_ner_tag {
+    /// Coarse NER category (mirrors `qkb_nlp::NerTag` without the `O` tag).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum NerTagLike {
+        /// Person.
+        Person,
+        /// Organization.
+        Organization,
+        /// Location.
+        Location,
+        /// Other named entity.
+        Misc,
+        /// Time expression.
+        Time,
+    }
+
+    impl NerTagLike {
+        /// Paper-style label.
+        pub fn as_str(self) -> &'static str {
+            match self {
+                NerTagLike::Person => "PERSON",
+                NerTagLike::Organization => "ORGANIZATION",
+                NerTagLike::Location => "LOCATION",
+                NerTagLike::Misc => "MISC",
+                NerTagLike::Time => "TIME",
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_hierarchy_subsumption() {
+        let ts = TypeSystem::standard();
+        let footballer = ts.get("FOOTBALLER").expect("registered");
+        let athlete = ts.get("ATHLETE").expect("registered");
+        let person = ts.get("PERSON").expect("registered");
+        let org = ts.get("ORGANIZATION").expect("registered");
+        assert!(ts.is_subtype(footballer, athlete));
+        assert!(ts.is_subtype(footballer, person));
+        assert!(!ts.is_subtype(footballer, org));
+        assert!(!ts.is_subtype(person, footballer));
+        assert!(ts.is_subtype(person, person));
+    }
+
+    #[test]
+    fn multiple_inheritance() {
+        let ts = TypeSystem::standard();
+        let character = ts.get("CHARACTER").expect("registered");
+        let person = ts.get("PERSON").expect("registered");
+        let misc = ts.get("MISC").expect("registered");
+        assert!(ts.is_subtype(character, person));
+        assert!(ts.is_subtype(character, misc));
+    }
+
+    #[test]
+    fn coarse_ner_rollup() {
+        use qkb_nlp_ner_tag::NerTagLike;
+        let ts = TypeSystem::standard();
+        assert_eq!(
+            ts.coarse_ner(ts.get("FOOTBALLER").expect("t")),
+            NerTagLike::Person
+        );
+        assert_eq!(
+            ts.coarse_ner(ts.get("FOOTBALL_CLUB").expect("t")),
+            NerTagLike::Organization
+        );
+        assert_eq!(ts.coarse_ner(ts.get("FILM").expect("t")), NerTagLike::Misc);
+        assert_eq!(ts.coarse_ner(ts.get("CITY").expect("t")), NerTagLike::Location);
+    }
+
+    #[test]
+    fn register_is_idempotent_and_extensible() {
+        let mut ts = TypeSystem::standard();
+        let before = ts.len();
+        let person = ts.get("PERSON").expect("t");
+        let again = ts.register("PERSON", &[]);
+        assert_eq!(again, person);
+        assert_eq!(ts.len(), before);
+        let custom = ts.register("ASTRONAUT", &[person]);
+        assert!(ts.is_subtype(custom, person));
+        assert_eq!(ts.len(), before + 1);
+    }
+
+    #[test]
+    fn ancestors_include_self() {
+        let ts = TypeSystem::standard();
+        let film = ts.get("FILM").expect("t");
+        let anc = ts.ancestors(film);
+        assert!(anc.contains(&film));
+        assert!(anc.contains(&ts.get("CREATIVE_WORK").expect("t")));
+        assert!(anc.contains(&ts.get("MISC").expect("t")));
+    }
+}

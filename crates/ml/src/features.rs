@@ -1,0 +1,77 @@
+//! Hashing-trick feature vectorization.
+//!
+//! The QA classifier's features are binary token pairs `(x, y)` over an
+//! unbounded vocabulary (Appendix B); hashing them into a fixed-dimension
+//! space avoids a global feature dictionary while keeping training linear.
+
+use std::hash::{Hash, Hasher};
+
+/// Hashes string features into a fixed dimensionality.
+#[derive(Clone, Debug)]
+pub struct FeatureHasher {
+    dim: usize,
+}
+
+impl FeatureHasher {
+    /// A hasher with `dim` buckets (power of two recommended).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim }
+    }
+
+    /// The output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bucket index of a named feature.
+    pub fn index(&self, feature: &str) -> usize {
+        let mut h = qkb_util::FxHasher::default();
+        feature.hash(&mut h);
+        (h.finish() % self.dim as u64) as usize
+    }
+
+    /// Vectorizes a bag of binary features into sorted, deduplicated
+    /// `(index, value)` pairs (value 1.0; collisions keep value 1.0 —
+    /// binary semantics).
+    pub fn vectorize<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        features: I,
+    ) -> Vec<(u32, f32)> {
+        let mut idx: Vec<u32> = features
+            .into_iter()
+            .map(|f| self.index(f) as u32)
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        idx.into_iter().map(|i| (i, 1.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_in_range() {
+        let h = FeatureHasher::new(1 << 12);
+        let a = h.index("q:who|c:person");
+        assert_eq!(a, h.index("q:who|c:person"));
+        assert!(a < h.dim());
+    }
+
+    #[test]
+    fn vectorize_dedups_and_sorts() {
+        let h = FeatureHasher::new(64);
+        let v = h.vectorize(["x", "y", "x"]);
+        assert!(v.len() <= 2);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(v.iter().all(|&(_, val)| val == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        FeatureHasher::new(0);
+    }
+}

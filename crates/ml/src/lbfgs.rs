@@ -1,0 +1,203 @@
+//! Limited-memory BFGS minimization (two-loop recursion) with backtracking
+//! (Armijo) line search — the optimizer the paper uses to fit the α₁..α₄
+//! edge-weight hyper-parameters against annotated facts (§4, citing Liu &
+//! Nocedal [33]).
+
+/// Configuration for [`lbfgs_minimize`].
+#[derive(Clone, Copy, Debug)]
+pub struct LbfgsConfig {
+    /// History size `m` (pairs of (s, y) kept).
+    pub memory: usize,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Gradient-norm convergence tolerance.
+    pub tol: f64,
+    /// Initial step for the line search.
+    pub initial_step: f64,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        Self {
+            memory: 8,
+            max_iters: 100,
+            tol: 1e-6,
+            initial_step: 1.0,
+        }
+    }
+}
+
+/// Minimizes `f` starting from `x0`. `f` returns `(value, gradient)`.
+/// Returns `(x*, f(x*), iterations)`.
+pub fn lbfgs_minimize<F>(
+    mut f: F,
+    x0: &[f64],
+    config: LbfgsConfig,
+) -> (Vec<f64>, f64, usize)
+where
+    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+{
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let (mut fx, mut g) = f(&x);
+    let mut s_hist: Vec<Vec<f64>> = Vec::new();
+    let mut y_hist: Vec<Vec<f64>> = Vec::new();
+    let mut rho_hist: Vec<f64> = Vec::new();
+
+    for iter in 0..config.max_iters {
+        let gnorm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if gnorm < config.tol {
+            return (x, fx, iter);
+        }
+
+        // Two-loop recursion: d = -H g.
+        let mut q = g.clone();
+        let k = s_hist.len();
+        let mut alpha = vec![0.0; k];
+        for i in (0..k).rev() {
+            alpha[i] = rho_hist[i] * dot(&s_hist[i], &q);
+            axpy(&mut q, -alpha[i], &y_hist[i]);
+        }
+        // Initial Hessian scaling gamma = s·y / y·y.
+        let gamma = if k > 0 {
+            let sy = dot(&s_hist[k - 1], &y_hist[k - 1]);
+            let yy = dot(&y_hist[k - 1], &y_hist[k - 1]);
+            if yy > 0.0 {
+                sy / yy
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        for qi in q.iter_mut() {
+            *qi *= gamma;
+        }
+        for i in 0..k {
+            let beta = rho_hist[i] * dot(&y_hist[i], &q);
+            axpy(&mut q, alpha[i] - beta, &s_hist[i]);
+        }
+        let d: Vec<f64> = q.iter().map(|&v| -v).collect();
+
+        // Backtracking line search (Armijo).
+        let gd = dot(&g, &d);
+        let (step_dir, gd) = if gd >= 0.0 {
+            // Not a descent direction (numerical); fall back to -g.
+            let d: Vec<f64> = g.iter().map(|&v| -v).collect();
+            let gd = -g.iter().map(|v| v * v).sum::<f64>();
+            (d, gd)
+        } else {
+            (d, gd)
+        };
+        let mut step = config.initial_step;
+        let c1 = 1e-4;
+        let mut accepted = false;
+        let mut x_new = x.clone();
+        let mut fx_new = fx;
+        let mut g_new = g.clone();
+        for _ in 0..40 {
+            for i in 0..n {
+                x_new[i] = x[i] + step * step_dir[i];
+            }
+            let (fv, gv) = f(&x_new);
+            if fv <= fx + c1 * step * gd {
+                fx_new = fv;
+                g_new = gv;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            return (x, fx, iter);
+        }
+
+        // Update history.
+        let s: Vec<f64> = (0..n).map(|i| x_new[i] - x[i]).collect();
+        let y: Vec<f64> = (0..n).map(|i| g_new[i] - g[i]).collect();
+        let sy = dot(&s, &y);
+        if sy > 1e-12 {
+            if s_hist.len() == config.memory {
+                s_hist.remove(0);
+                y_hist.remove(0);
+                rho_hist.remove(0);
+            }
+            rho_hist.push(1.0 / sy);
+            s_hist.push(s);
+            y_hist.push(y);
+        }
+        x = x_new;
+        fx = fx_new;
+        g = g_new;
+    }
+    (x, fx, config.max_iters)
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x0-3)^2 + 2(x1+1)^2
+        let f = |x: &[f64]| {
+            let v = (x[0] - 3.0).powi(2) + 2.0 * (x[1] + 1.0).powi(2);
+            let g = vec![2.0 * (x[0] - 3.0), 4.0 * (x[1] + 1.0)];
+            (v, g)
+        };
+        let (x, fx, _) = lbfgs_minimize(f, &[0.0, 0.0], LbfgsConfig::default());
+        assert!((x[0] - 3.0).abs() < 1e-4, "x0 = {}", x[0]);
+        assert!((x[1] + 1.0).abs() < 1e-4, "x1 = {}", x[1]);
+        assert!(fx < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let f = |x: &[f64]| {
+            let a = 1.0 - x[0];
+            let b = x[1] - x[0] * x[0];
+            let v = a * a + 100.0 * b * b;
+            let g = vec![-2.0 * a - 400.0 * x[0] * b, 200.0 * b];
+            (v, g)
+        };
+        // Armijo-only backtracking (no Wolfe curvature check) needs more
+        // iterations on Rosenbrock's valley; ~700 observed.
+        let cfg = LbfgsConfig {
+            max_iters: 2000,
+            ..Default::default()
+        };
+        let (x, fx, _) = lbfgs_minimize(f, &[-1.2, 1.0], cfg);
+        assert!(fx < 1e-6, "fx = {fx}, x = {x:?}");
+        assert!((x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn converges_immediately_at_optimum() {
+        let f = |x: &[f64]| (x[0] * x[0], vec![2.0 * x[0]]);
+        let (_, fx, iters) = lbfgs_minimize(f, &[0.0], LbfgsConfig::default());
+        assert_eq!(iters, 0);
+        assert_eq!(fx, 0.0);
+    }
+
+    #[test]
+    fn high_dimensional_sum_of_squares() {
+        let f = |x: &[f64]| {
+            let v: f64 = x.iter().map(|v| v * v).sum();
+            let g: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+            (v, g)
+        };
+        let x0 = vec![1.0; 50];
+        let (_, fx, _) = lbfgs_minimize(f, &x0, LbfgsConfig::default());
+        assert!(fx < 1e-8);
+    }
+}

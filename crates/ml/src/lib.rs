@@ -1,0 +1,19 @@
+//! # qkb-ml
+//!
+//! Linear machine-learning substrate for the QKBfly reproduction:
+//!
+//! * [`features`] — hashing-trick feature vectorization (the binary
+//!   token-pair features of the QA classifier, Appendix B);
+//! * [`linear`] — logistic regression (DeepDive-style factor weights) and
+//!   a linear SVM trained by Pegasos (the Liblinear substitute of
+//!   Appendix B);
+//! * [`lbfgs`] — limited-memory BFGS (two-loop recursion), used to fit the
+//!   α₁..α₄ hyper-parameters of the edge-weight model (§4, citing [33]).
+
+pub mod features;
+pub mod lbfgs;
+pub mod linear;
+
+pub use features::FeatureHasher;
+pub use lbfgs::{lbfgs_minimize, LbfgsConfig};
+pub use linear::{LinearSvm, LogisticRegression, SparseExample};

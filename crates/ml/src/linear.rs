@@ -1,0 +1,217 @@
+//! Linear models over sparse features: logistic regression (SGD) and a
+//! linear SVM (Pegasos). Both are binary classifiers with dense weight
+//! vectors and sparse examples.
+
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// One training example: sparse features and a binary label.
+#[derive(Clone, Debug)]
+pub struct SparseExample {
+    /// Sorted `(index, value)` features.
+    pub features: Vec<(u32, f32)>,
+    /// Label: `true` = positive class.
+    pub label: bool,
+}
+
+fn dot(w: &[f64], x: &[(u32, f32)]) -> f64 {
+    x.iter()
+        .map(|&(i, v)| w[i as usize] * v as f64)
+        .sum::<f64>()
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// L2-regularized logistic regression trained by SGD.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Trains on `examples` with feature dimensionality `dim`.
+    ///
+    /// `epochs` passes of shuffled SGD with learning rate `lr` and L2
+    /// penalty `l2`; deterministic given `seed`.
+    pub fn train(
+        examples: &[SparseExample],
+        dim: usize,
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        seed: u64,
+    ) -> Self {
+        let mut w = vec![0.0f64; dim];
+        let mut b = 0.0f64;
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for epoch in 0..epochs {
+            order.shuffle(&mut rng);
+            let rate = lr / (1.0 + epoch as f64 * 0.3);
+            for &i in &order {
+                let ex = &examples[i];
+                let y = if ex.label { 1.0 } else { 0.0 };
+                let p = sigmoid(dot(&w, &ex.features) + b);
+                let g = p - y;
+                for &(j, v) in &ex.features {
+                    let j = j as usize;
+                    w[j] -= rate * (g * v as f64 + l2 * w[j]);
+                }
+                b -= rate * g;
+            }
+        }
+        Self { weights: w, bias: b }
+    }
+
+    /// P(positive | features).
+    pub fn predict_proba(&self, features: &[(u32, f32)]) -> f64 {
+        sigmoid(dot(&self.weights, features) + self.bias)
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict(&self, features: &[(u32, f32)]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// The learned weights (for factor-graph reuse).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+/// Linear SVM trained by the Pegasos sub-gradient method.
+#[derive(Clone, Debug)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Trains with regularization `lambda` for `iterations` stochastic
+    /// steps; deterministic given `seed`.
+    pub fn train(
+        examples: &[SparseExample],
+        dim: usize,
+        lambda: f64,
+        iterations: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!examples.is_empty(), "cannot train on an empty set");
+        let mut w = vec![0.0f64; dim];
+        let mut b = 0.0f64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for t in 1..=iterations {
+            let ex = &examples[rng.gen_range(0..examples.len())];
+            let y = if ex.label { 1.0 } else { -1.0 };
+            let eta = 1.0 / (lambda * t as f64);
+            let margin = y * (dot(&w, &ex.features) + b);
+            // w <- (1 - eta*lambda) w  [+ eta*y*x if margin violated]
+            let shrink = 1.0 - eta * lambda;
+            if shrink > 0.0 {
+                for wi in w.iter_mut() {
+                    *wi *= shrink;
+                }
+            }
+            if margin < 1.0 {
+                for &(j, v) in &ex.features {
+                    w[j as usize] += eta * y * v as f64;
+                }
+                b += eta * y * 0.1; // small unregularized bias step
+            }
+        }
+        Self { weights: w, bias: b }
+    }
+
+    /// Signed decision value (margin).
+    pub fn decision(&self, features: &[(u32, f32)]) -> f64 {
+        dot(&self.weights, features) + self.bias
+    }
+
+    /// Hard decision.
+    pub fn predict(&self, features: &[(u32, f32)]) -> bool {
+        self.decision(features) >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy set: positive iff feature 0 present.
+    fn toy(n: usize) -> Vec<SparseExample> {
+        (0..n)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                let mut features = vec![(if pos { 0 } else { 1 }, 1.0f32)];
+                // noise feature shared by both classes
+                features.push((2, 1.0));
+                features.sort_by_key(|&(j, _)| j);
+                SparseExample {
+                    features,
+                    label: pos,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn logreg_learns_separable_data() {
+        let data = toy(200);
+        let m = LogisticRegression::train(&data, 8, 20, 0.5, 1e-4, 42);
+        for ex in &data {
+            assert_eq!(m.predict(&ex.features), ex.label);
+        }
+        assert!(m.predict_proba(&[(0, 1.0)]) > 0.8);
+        assert!(m.predict_proba(&[(1, 1.0)]) < 0.2);
+    }
+
+    #[test]
+    fn logreg_probabilities_are_calibratedish() {
+        let data = toy(400);
+        let m = LogisticRegression::train(&data, 8, 30, 0.5, 1e-4, 1);
+        let p_pos = m.predict_proba(&[(0, 1.0), (2, 1.0)]);
+        let p_neg = m.predict_proba(&[(1, 1.0), (2, 1.0)]);
+        assert!(p_pos > 0.9, "got {p_pos}");
+        assert!(p_neg < 0.1, "got {p_neg}");
+    }
+
+    #[test]
+    fn svm_learns_separable_data() {
+        let data = toy(200);
+        let m = LinearSvm::train(&data, 8, 0.01, 4000, 7);
+        let correct = data
+            .iter()
+            .filter(|ex| m.predict(&ex.features) == ex.label)
+            .count();
+        assert!(correct >= 195, "only {correct}/200 correct");
+        assert!(m.decision(&[(0, 1.0)]) > m.decision(&[(1, 1.0)]));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = toy(50);
+        let a = LogisticRegression::train(&data, 8, 5, 0.5, 1e-4, 9);
+        let b = LogisticRegression::train(&data, 8, 5, 0.5, 1e-4, 9);
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn svm_rejects_empty_training_set() {
+        LinearSvm::train(&[], 4, 0.01, 10, 0);
+    }
+}

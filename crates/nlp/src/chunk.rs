@@ -1,0 +1,228 @@
+//! Noun-phrase chunking.
+//!
+//! Finds base noun phrases over the POS layer: an optional determiner /
+//! possessive, premodifiers (adjectives, numbers, nouns) and a nominal
+//! head. Pronouns chunk alone. Named-entity and time spans (provided by
+//! NER) are respected as atomic units so "Daniel Pearl Foundation" is one
+//! chunk even where POS alone would split it.
+
+use crate::ner::NerTag;
+use crate::pos::PosTag;
+use crate::token::Token;
+
+/// Kind of a detected chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// A base noun phrase (possibly a named entity).
+    NounPhrase,
+    /// A single pronoun ("he", "she"...).
+    Pronoun,
+    /// A time expression span.
+    Time,
+}
+
+/// A contiguous token span `[start, end)` forming one chunk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// What kind of chunk this is.
+    pub kind: ChunkKind,
+    /// Majority NER tag over the span (O if none).
+    pub ner: NerTag,
+}
+
+impl Chunk {
+    /// Index of the chunk's head token (last nominal token, or last token).
+    pub fn head(&self, tokens: &[Token]) -> usize {
+        (self.start..self.end)
+            .rev()
+            .find(|&i| tokens[i].pos.is_noun() || tokens[i].pos == PosTag::CD)
+            .unwrap_or(self.end - 1)
+    }
+
+    /// Surface text of the span.
+    pub fn text(&self, tokens: &[Token]) -> String {
+        tokens[self.start..self.end]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Chunks one sentence's tokens. `time_spans` are `[start, end)` spans from
+/// the time tagger; tokens inside them become `Time` chunks.
+pub fn chunk(tokens: &[Token], time_spans: &[(usize, usize)]) -> Vec<Chunk> {
+    let mut in_time = vec![false; tokens.len()];
+    for &(s, e) in time_spans {
+        for flag in in_time.iter_mut().take(e.min(tokens.len())).skip(s) {
+            *flag = true;
+        }
+    }
+
+    let mut chunks = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Time spans verbatim.
+        if in_time[i] {
+            let start = i;
+            while i < tokens.len() && in_time[i] {
+                i += 1;
+            }
+            chunks.push(Chunk {
+                start,
+                end: i,
+                kind: ChunkKind::Time,
+                ner: NerTag::Time,
+            });
+            continue;
+        }
+        let pos = tokens[i].pos;
+        // Pronouns chunk alone.
+        if pos == PosTag::PRP {
+            chunks.push(Chunk {
+                start: i,
+                end: i + 1,
+                kind: ChunkKind::Pronoun,
+                ner: NerTag::O,
+            });
+            i += 1;
+            continue;
+        }
+        // NER entity span: consume the maximal run of the same non-O tag,
+        // absorbing an immediately preceding determiner/possessive and any
+        // adjectives ("the ONE Campaign") not yet claimed by another chunk.
+        if tokens[i].ner != NerTag::O && tokens[i].ner != NerTag::Time {
+            let tag = tokens[i].ner;
+            let mut start = i;
+            let covered = chunks.last().map_or(0, |c: &Chunk| c.end);
+            while start > covered {
+                let p = tokens[start - 1].pos;
+                if p == PosTag::DT || p == PosTag::PRPS || p.is_adjective() {
+                    start -= 1;
+                } else {
+                    break;
+                }
+            }
+            while i < tokens.len() && tokens[i].ner == tag && !in_time[i] {
+                i += 1;
+            }
+            chunks.push(Chunk {
+                start,
+                end: i,
+                kind: ChunkKind::NounPhrase,
+                ner: tag,
+            });
+            continue;
+        }
+        // Base NP: (DT|PRP$)? (JJ|CD|NN*)* head-noun. Standalone numbers
+        // ("$100,000") form argument NPs of their own.
+        if pos == PosTag::DT
+            || pos == PosTag::PRPS
+            || pos.is_adjective()
+            || pos.is_noun()
+            || pos == PosTag::CD
+        {
+            let start = i;
+            let mut saw_noun = false;
+            let mut j = i;
+            while j < tokens.len() && !in_time[j] {
+                let p = tokens[j].pos;
+                let extendable = if j == start {
+                    p == PosTag::DT
+                        || p == PosTag::PRPS
+                        || p.is_adjective()
+                        || p.is_noun()
+                        || p == PosTag::CD
+                } else {
+                    p.is_adjective() || p.is_noun() || p == PosTag::CD
+                };
+                // Stop NP at a token that starts a new NER span.
+                if j > start && tokens[j].ner != NerTag::O {
+                    break;
+                }
+                if !extendable {
+                    break;
+                }
+                if p.is_noun() || p == PosTag::CD {
+                    saw_noun = true;
+                }
+                j += 1;
+            }
+            if saw_noun {
+                chunks.push(Chunk {
+                    start,
+                    end: j,
+                    kind: ChunkKind::NounPhrase,
+                    ner: NerTag::O,
+                });
+                i = j;
+                continue;
+            }
+            // Determiner/adjective run without a head: skip one token.
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::pipeline::tag_tokens;
+    use crate::token::tokenize;
+
+    fn chunks_of(text: &str) -> Vec<String> {
+        let lex = Lexicon::new();
+        let mut toks = tokenize(text);
+        tag_tokens(&lex, &mut toks);
+        let times = crate::time::tag_times(&toks);
+        let spans: Vec<(usize, usize)> = times.iter().map(|m| (m.start, m.end)).collect();
+        chunk(&toks, &spans)
+            .into_iter()
+            .map(|c| c.text(&toks))
+            .collect()
+    }
+
+    #[test]
+    fn simple_np_with_determiner() {
+        let cs = chunks_of("Brad Pitt is an actor.");
+        assert!(cs.contains(&"Brad Pitt".to_string()));
+        assert!(cs.contains(&"an actor".to_string()));
+    }
+
+    #[test]
+    fn pronoun_chunks_alone() {
+        let cs = chunks_of("He supports the campaign.");
+        assert_eq!(cs[0], "He");
+        assert!(cs.contains(&"the campaign".to_string()));
+    }
+
+    #[test]
+    fn time_span_is_single_chunk() {
+        let cs = chunks_of("She filed on September 19, 2016 in court.");
+        assert!(cs.iter().any(|c| c.starts_with("September")));
+    }
+
+    #[test]
+    fn adjective_premodifier_included() {
+        let cs = chunks_of("The famous actor won.");
+        assert!(cs.contains(&"The famous actor".to_string()));
+    }
+
+    #[test]
+    fn head_is_last_noun() {
+        let lex = Lexicon::new();
+        let mut toks = tokenize("the famous actor won");
+        tag_tokens(&lex, &mut toks);
+        let cs = chunk(&toks, &[]);
+        let head = cs[0].head(&toks);
+        assert_eq!(toks[head].text, "actor");
+    }
+}

@@ -1,0 +1,129 @@
+//! Lemmatization.
+//!
+//! The paper lemmatizes the verb constituent of each clause to form relation
+//! patterns ("the lemmatized verb (V) constituent of the clause with an
+//! optional preposition"). We lemmatize verbs via the lexicon's irregular
+//! table plus suffix rules, and nouns via singularization.
+
+use crate::lexicon::Lexicon;
+use crate::pos::PosTag;
+
+/// Lemmatizes a single token given its POS tag.
+pub fn lemmatize(lex: &Lexicon, lower: &str, pos: PosTag) -> String {
+    if pos.is_verb() {
+        if let Some((lemma, _)) = lex.verb_form(lower) {
+            return lemma;
+        }
+        // Unknown verb: generic suffix stripping.
+        return strip_verb_suffix(lower);
+    }
+    if matches!(pos, PosTag::NNS | PosTag::NNPS) {
+        if let Some(sing) = lex.singularize(lower) {
+            return sing;
+        }
+        return generic_singularize(lower);
+    }
+    lower.to_string()
+}
+
+/// Generic verb-suffix stripping for out-of-lexicon verbs.
+fn strip_verb_suffix(w: &str) -> String {
+    if let Some(stem) = w.strip_suffix("ies") {
+        return format!("{stem}y");
+    }
+    if let Some(stem) = w.strip_suffix("ing") {
+        if stem.len() >= 3 {
+            return undouble(stem);
+        }
+    }
+    if let Some(stem) = w.strip_suffix("ed") {
+        if stem.len() >= 2 {
+            return undouble(stem);
+        }
+    }
+    if let Some(stem) = w.strip_suffix("es") {
+        if stem.len() >= 2 {
+            return stem.to_string();
+        }
+    }
+    if let Some(stem) = w.strip_suffix('s') {
+        if stem.len() >= 2 {
+            return stem.to_string();
+        }
+    }
+    w.to_string()
+}
+
+/// Collapses a doubled final consonant ("starr" -> "star").
+fn undouble(stem: &str) -> String {
+    let b = stem.as_bytes();
+    if b.len() >= 2 && b[b.len() - 1] == b[b.len() - 2] && !is_vowel(b[b.len() - 1] as char) {
+        stem[..stem.len() - 1].to_string()
+    } else {
+        stem.to_string()
+    }
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+/// Generic plural stripping for out-of-lexicon nouns.
+fn generic_singularize(w: &str) -> String {
+    if let Some(stem) = w.strip_suffix("ies") {
+        return format!("{stem}y");
+    }
+    if let Some(stem) = w.strip_suffix("ses") {
+        return format!("{stem}s");
+    }
+    if let Some(stem) = w.strip_suffix('s') {
+        if stem.len() >= 2 && !stem.ends_with('s') {
+            return stem.to_string();
+        }
+    }
+    w.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_lemmatize_via_lexicon() {
+        let lex = Lexicon::new();
+        assert_eq!(lemmatize(&lex, "is", PosTag::VBZ), "be");
+        assert_eq!(lemmatize(&lex, "supported", PosTag::VBD), "support");
+        assert_eq!(lemmatize(&lex, "won", PosTag::VBD), "win");
+        assert_eq!(lemmatize(&lex, "born", PosTag::VBN), "bear");
+    }
+
+    #[test]
+    fn unknown_verbs_strip_suffixes() {
+        let lex = Lexicon::new();
+        assert_eq!(lemmatize(&lex, "zorbing", PosTag::VBG), "zorb");
+        assert_eq!(lemmatize(&lex, "zorbed", PosTag::VBD), "zorb");
+        assert_eq!(lemmatize(&lex, "zorbs", PosTag::VBZ), "zorb");
+    }
+
+    #[test]
+    fn plural_nouns_singularize() {
+        let lex = Lexicon::new();
+        assert_eq!(lemmatize(&lex, "actors", PosTag::NNS), "actor");
+        assert_eq!(lemmatize(&lex, "children", PosTag::NNS), "child");
+        assert_eq!(lemmatize(&lex, "glories", PosTag::NNS), "glory");
+    }
+
+    #[test]
+    fn other_tags_pass_through() {
+        let lex = Lexicon::new();
+        assert_eq!(lemmatize(&lex, "famous", PosTag::JJ), "famous");
+        assert_eq!(lemmatize(&lex, "pitt", PosTag::NNP), "pitt");
+    }
+
+    #[test]
+    fn undouble_consonants() {
+        let lex = Lexicon::new();
+        assert_eq!(lemmatize(&lex, "starred", PosTag::VBD), "star");
+        assert_eq!(lemmatize(&lex, "starring", PosTag::VBG), "star");
+    }
+}

@@ -1,0 +1,476 @@
+//! Embedded English lexicon: closed-class words, verb bases with irregular
+//! inflections, common nouns, and adjectives.
+//!
+//! The Stanford tagger the paper relies on is a trained maximum-entropy
+//! model; our substitute combines this lexicon with suffix and context rules
+//! (see [`crate::pipeline`]). The lexicon covers the full controlled
+//! vocabulary of the corpus generators (`qkb-corpus`) plus the vocabulary of
+//! every example sentence quoted in the paper, so tagging on the evaluation
+//! corpora is near-deterministic — analogous to running a well-trained
+//! tagger in-domain.
+
+use qkb_util::FxHashMap;
+use qkb_util::FxHashSet;
+
+/// Inflectional form of a verb token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerbForm {
+    /// Base / infinitive ("support").
+    Base,
+    /// Third-person singular present ("supports").
+    Pres3,
+    /// Simple past ("supported").
+    Past,
+    /// Past participle ("supported", "born").
+    PastPart,
+    /// Gerund / present participle ("supporting").
+    Gerund,
+}
+
+/// Closed-class word list: `(surface, tag)`.
+const CLOSED_CLASS: &[(&str, super::PosTag)] = {
+    use super::PosTag::*;
+    &[
+        // determiners
+        ("the", DT), ("a", DT), ("an", DT), ("this", DT), ("that", DT),
+        ("these", DT), ("those", DT), ("each", DT), ("every", DT),
+        ("some", DT), ("any", DT), ("no", DT), ("both", DT), ("all", DT),
+        ("another", DT),
+        // personal pronouns
+        ("he", PRP), ("she", PRP), ("it", PRP), ("they", PRP), ("i", PRP),
+        ("we", PRP), ("you", PRP), ("him", PRP), ("her", PRP), ("them", PRP),
+        ("us", PRP), ("me", PRP), ("himself", PRP), ("herself", PRP),
+        ("itself", PRP), ("themselves", PRP),
+        // possessive pronouns
+        ("his", PRPS), ("its", PRPS), ("their", PRPS), ("my", PRPS),
+        ("our", PRPS), ("your", PRPS),
+        // prepositions & subordinators
+        ("in", IN), ("on", IN), ("at", IN), ("by", IN), ("for", IN),
+        ("from", IN), ("with", IN), ("of", IN), ("about", IN), ("into", IN),
+        ("over", IN), ("under", IN), ("after", IN), ("before", IN),
+        ("during", IN), ("against", IN), ("between", IN), ("through", IN),
+        ("as", IN), ("because", IN), ("while", IN), ("since", IN),
+        ("until", IN), ("although", IN), ("though", IN), ("if", IN),
+        ("whether", IN), ("that", IN), ("near", IN), ("alongside", IN),
+        ("despite", IN), ("without", IN), ("within", IN), ("towards", IN),
+        ("toward", IN), ("upon", IN), ("amid", IN), ("across", IN),
+        // conjunctions
+        ("and", CC), ("or", CC), ("but", CC), ("nor", CC), ("yet", CC),
+        // modals
+        ("will", MD), ("would", MD), ("can", MD), ("could", MD),
+        ("may", MD), ("might", MD), ("shall", MD), ("should", MD),
+        ("must", MD),
+        // wh-words
+        ("who", WP), ("whom", WP), ("what", WP), ("whoever", WP),
+        ("which", WDT), ("whose", WDT),
+        ("where", WRB), ("when", WRB), ("why", WRB), ("how", WRB),
+        // adverbs (frequent, incl. negation and temporal cues)
+        ("not", RB), ("n't", RB), ("also", RB), ("then", RB), ("now", RB),
+        ("later", RB), ("soon", RB), ("never", RB), ("always", RB),
+        ("often", RB), ("already", RB), ("still", RB), ("again", RB),
+        ("there", EX), ("here", RB), ("recently", RB), ("currently", RB),
+        ("subsequently", RB), ("previously", RB), ("eventually", RB),
+        ("together", RB), ("once", RB), ("twice", RB), ("ago", RB),
+        ("very", RB), ("only", RB), ("just", RB), ("too", RB), ("well", RB),
+        ("shortly", RB), ("publicly", RB), ("officially", RB),
+        ("reportedly", RB), ("initially", RB), ("finally", RB),
+        ("meanwhile", RB), ("however", RB), ("moreover", RB),
+        // verb particles
+        ("up", RB), ("down", RB), ("out", RB), ("off", RB), ("away", RB),
+    ]
+};
+
+/// Irregular verb table: `(form, lemma, form-kind)`. Regular inflections are
+/// recovered by suffix stripping in [`Lexicon::verb_form`].
+const IRREGULAR_VERBS: &[(&str, &str, VerbForm)] = {
+    use VerbForm::*;
+    &[
+        ("is", "be", Pres3), ("are", "be", Base), ("am", "be", Base),
+        ("was", "be", Past), ("were", "be", Past), ("been", "be", PastPart),
+        ("being", "be", Gerund), ("be", "be", Base),
+        ("has", "have", Pres3), ("have", "have", Base), ("had", "have", Past),
+        ("having", "have", Gerund),
+        ("does", "do", Pres3), ("do", "do", Base), ("did", "do", Past),
+        ("done", "do", PastPart), ("doing", "do", Gerund),
+        ("won", "win", Past), ("wins", "win", Pres3), ("winning", "win", Gerund),
+        ("win", "win", Base),
+        ("wrote", "write", Past), ("written", "write", PastPart),
+        ("sang", "sing", Past), ("sung", "sing", PastPart),
+        ("led", "lead", Past), ("leads", "lead", Pres3), ("leading", "lead", Gerund),
+        ("left", "leave", Past), ("leaves", "leave", Pres3),
+        ("made", "make", Past), ("makes", "make", Pres3), ("making", "make", Gerund),
+        ("took", "take", Past), ("taken", "take", PastPart), ("taking", "take", Gerund),
+        ("gave", "give", Past), ("given", "give", PastPart), ("giving", "give", Gerund),
+        ("got", "get", Past), ("gotten", "get", PastPart), ("getting", "get", Gerund),
+        ("said", "say", Past), ("says", "say", Pres3), ("saying", "say", Gerund),
+        ("held", "hold", Past), ("holds", "hold", Pres3), ("holding", "hold", Gerund),
+        ("met", "meet", Past), ("meets", "meet", Pres3), ("meeting", "meet", Gerund),
+        ("ran", "run", Past), ("runs", "run", Pres3), ("running", "run", Gerund),
+        ("began", "begin", Past), ("begun", "begin", PastPart),
+        ("beginning", "begin", Gerund),
+        ("grew", "grow", Past), ("grown", "grow", PastPart),
+        ("knew", "know", Past), ("known", "know", PastPart),
+        ("became", "become", Past), ("become", "become", Base),
+        ("becomes", "become", Pres3), ("becoming", "become", Gerund),
+        ("born", "bear", PastPart), ("bore", "bear", Past), ("bears", "bear", Pres3),
+        ("shot", "shoot", Past), ("shoots", "shoot", Pres3),
+        ("shooting", "shoot", Gerund),
+        ("forgot", "forget", Past), ("forgotten", "forget", PastPart),
+        ("forgets", "forget", Pres3), ("forgetting", "forget", Gerund),
+        ("sold", "sell", Past), ("sells", "sell", Pres3), ("selling", "sell", Gerund),
+        ("bought", "buy", Past), ("buys", "buy", Pres3), ("buying", "buy", Gerund),
+        ("built", "build", Past), ("builds", "build", Pres3),
+        ("building", "build", Gerund),
+        ("spent", "spend", Past), ("spends", "spend", Pres3),
+        ("taught", "teach", Past), ("teaches", "teach", Pres3),
+        ("caught", "catch", Past), ("catches", "catch", Pres3),
+        ("fought", "fight", Past), ("fights", "fight", Pres3),
+        ("beat", "beat", Past), ("beats", "beat", Pres3), ("beaten", "beat", PastPart),
+        ("died", "die", Past), ("dies", "die", Pres3), ("dying", "die", Gerund),
+        ("wed", "wed", Past), ("weds", "wed", Pres3), ("wedding", "wed", Gerund),
+        ("paid", "pay", Past), ("pays", "pay", Pres3), ("paying", "pay", Gerund),
+        ("drew", "draw", Past), ("drawn", "draw", PastPart),
+        ("flew", "fly", Past), ("flown", "fly", PastPart), ("flies", "fly", Pres3),
+        ("went", "go", Past), ("gone", "go", PastPart), ("goes", "go", Pres3),
+        ("going", "go", Gerund),
+        ("came", "come", Past), ("come", "come", Base), ("comes", "come", Pres3),
+        ("coming", "come", Gerund),
+        ("saw", "see", Past), ("seen", "see", PastPart), ("sees", "see", Pres3),
+        ("lost", "lose", Past), ("loses", "lose", Pres3), ("losing", "lose", Gerund),
+        ("found", "find", Past), ("finds", "find", Pres3), ("finding", "find", Gerund),
+        ("felt", "feel", Past), ("feels", "feel", Pres3),
+        ("kept", "keep", Past), ("keeps", "keep", Pres3),
+        ("sent", "send", Past), ("sends", "send", Pres3),
+    ]
+};
+
+/// Verb bases whose regular inflections the tagger should recognize.
+const VERB_BASES: &[&str] = &[
+    "act", "play", "star", "appear", "support", "donate", "marry",
+    "divorce", "file", "receive", "direct", "record", "release",
+    "establish", "create", "invent", "discover", "develop", "design",
+    "portray", "feature", "cast", "date", "split", "separate", "sue",
+    "charge", "arrest", "sentence", "convict", "injure", "kill", "attack",
+    "protest", "resign", "retire", "return", "tour", "headline", "move",
+    "live", "work", "study", "graduate", "teach", "coach", "score", "sign",
+    "transfer", "accuse", "perform", "adopt", "name", "call", "announce",
+    "report", "defeat", "visit", "open", "close", "own", "head", "chair",
+    "govern", "elect", "appoint", "serve", "represent", "produce",
+    "compose", "publish", "earn", "gain", "host", "attend", "celebrate",
+    "honor", "award", "nominate", "premiere", "debut", "launch", "found",
+    "join", "captain", "manage", "present", "deliver", "introduce",
+    "complete", "finish", "start", "help", "want", "plan", "agree",
+    "claim", "confirm", "deny", "reveal", "describe", "praise",
+    "criticize", "dedicate", "grant", "bestow", "collaborate", "partner",
+    "co-found", "expand", "acquire", "merge", "invest", "raise", "grope",
+    "love", "like", "thank", "engage", "propose", "include", "remain",
+    "stay", "reside", "participate", "compete", "qualify", "advance",
+    "relegate", "promote", "train", "recruit", "hire", "fire", "suspend",
+    "ban", "fine", "revolutionize", "fill", "cheer", "praise",
+    "celebrate", "announce", "attend", "review", "publish", "locate",
+    "grow", "lie", "net", "turn", "endorse", "accept", "split", "gun",
+    "reside", "lecture", "chair", "back", "give", "step", "strike",
+];
+
+/// Common nouns (mostly the generators' controlled vocabulary).
+const COMMON_NOUNS: &[&str] = &[
+    "actor", "actress", "singer", "musician", "band", "album", "song",
+    "film", "movie", "series", "episode", "club", "team", "player",
+    "footballer", "striker", "goalkeeper", "midfielder", "defender",
+    "coach", "manager", "city", "country", "capital", "president",
+    "minister", "politician", "scientist", "researcher", "university",
+    "company", "founder", "ceo", "wife", "husband", "ex-wife",
+    "ex-husband", "father", "mother", "son", "daughter", "child",
+    "children", "brother", "sister", "award", "prize", "ceremony",
+    "concert", "attack", "election", "campaign", "foundation", "charity",
+    "director", "writer", "author", "book", "novel", "character", "role",
+    "warrior", "mountaineer", "lyric", "lyrics", "year", "month", "day",
+    "people", "woman", "man", "officer", "police", "airplane", "divorce",
+    "marriage", "wedding", "record", "tournament", "championship",
+    "league", "match", "game", "goal", "season", "studio", "label",
+    "tour", "fan", "audience", "critic", "review", "premiere", "stadium",
+    "arena", "venue", "event", "festival", "gala", "museum", "gallery",
+    "painting", "artist", "poem", "poetry", "literature", "medal",
+    "honor", "accolade", "degree", "professor", "physicist", "chemist",
+    "economist", "model", "businessman", "businesswoman", "entrepreneur",
+    "investor", "startup", "product", "phone", "car", "rocket",
+    "satellite", "spacecraft", "mission", "war", "battle", "treaty",
+    "summit", "scandal", "trial", "court", "judge", "lawyer", "verdict",
+    "prison", "hospital", "doctor", "nurse", "disease", "vaccine",
+    "drug", "virus", "question", "answer", "fact", "knowledge", "base",
+    "news", "article", "page", "document", "source", "journalist",
+    "analyst", "engineer", "architect", "birthplace", "hometown",
+    "career", "debut", "transfer", "contract", "cup", "final",
+    "semifinal", "derby", "rival", "victory", "defeat", "draw",
+    "anthem", "single", "chart", "hit", "genre", "dancer", "producer",
+    "screenwriter", "trilogy", "sequel", "cast", "crew", "scene",
+    "script", "studio", "box", "office", "nomination", "jury", "laureate",
+    "speech", "lecture", "paper", "thesis", "theory", "experiment",
+    "laboratory", "institute", "academy", "school", "college", "faculty",
+    "department", "chairman", "chancellor", "senator", "governor",
+    "mayor", "parliament", "congress", "party", "coalition", "cabinet",
+    "policy", "reform", "law", "bill", "referendum", "vote", "voter",
+    "campaigner", "activist", "protester", "crowd", "supporter",
+];
+
+/// Adjectives (open-class cues for the generators' renderings).
+const ADJECTIVES: &[&str] = &[
+    "famous", "american", "british", "german", "french", "english",
+    "spanish", "italian", "swedish", "russian", "chinese", "japanese",
+    "young", "old", "new", "former", "current", "first", "second",
+    "third", "last", "best", "great", "popular", "successful",
+    "professional", "international", "national", "local", "major",
+    "minor", "early", "late", "recent", "next", "previous", "top",
+    "leading", "renowned", "acclaimed", "legendary", "iconic",
+    "influential", "controversial", "prominent", "veteran", "rising",
+    "emerging", "beloved", "award-winning", "chart-topping",
+    "record-breaking", "long", "short", "big", "small", "high", "low",
+    "own", "several", "many", "few", "other", "such", "same", "different",
+];
+
+/// Irregular plural nouns: `(plural, singular)`.
+const IRREGULAR_PLURALS: &[(&str, &str)] = &[
+    ("children", "child"),
+    ("people", "person"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("wives", "wife"),
+    ("lives", "life"),
+    ("feet", "foot"),
+    ("series", "series"),
+    ("media", "medium"),
+];
+
+/// The embedded lexicon: lookup structures built once and shared.
+pub struct Lexicon {
+    closed: FxHashMap<&'static str, super::PosTag>,
+    verb_bases: FxHashSet<&'static str>,
+    irregular_verbs: FxHashMap<&'static str, (&'static str, VerbForm)>,
+    common_nouns: FxHashSet<&'static str>,
+    adjectives: FxHashSet<&'static str>,
+    irregular_plurals: FxHashMap<&'static str, &'static str>,
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lexicon {
+    /// Builds the lexicon from the embedded tables.
+    pub fn new() -> Self {
+        let mut closed = FxHashMap::default();
+        for &(w, t) in CLOSED_CLASS {
+            closed.insert(w, t);
+        }
+        let mut irregular_verbs = FxHashMap::default();
+        for &(f, l, k) in IRREGULAR_VERBS {
+            irregular_verbs.insert(f, (l, k));
+        }
+        let mut irregular_plurals = FxHashMap::default();
+        for &(p, s) in IRREGULAR_PLURALS {
+            irregular_plurals.insert(p, s);
+        }
+        Self {
+            closed,
+            verb_bases: VERB_BASES.iter().copied().collect(),
+            irregular_verbs,
+            common_nouns: COMMON_NOUNS.iter().copied().collect(),
+            adjectives: ADJECTIVES.iter().copied().collect(),
+            irregular_plurals,
+        }
+    }
+
+    /// Closed-class tag for a lowercase word, if any. Note "that"/"her" are
+    /// ambiguous; the table holds the majority tag and context rules adjust.
+    pub fn closed_class(&self, lower: &str) -> Option<super::PosTag> {
+        self.closed.get(lower).copied()
+    }
+
+    /// Recognizes a (possibly inflected) verb, returning `(lemma, form)`.
+    pub fn verb_form(&self, lower: &str) -> Option<(String, VerbForm)> {
+        if let Some(&(lemma, kind)) = self.irregular_verbs.get(lower) {
+            return Some((lemma.to_string(), kind));
+        }
+        if self.verb_bases.contains(lower) {
+            return Some((lower.to_string(), VerbForm::Base));
+        }
+        // Regular inflections by suffix stripping against known bases.
+        let try_base = |cand: String, form: VerbForm| -> Option<(String, VerbForm)> {
+            if self.verb_bases.contains(cand.as_str()) {
+                Some((cand, form))
+            } else {
+                None
+            }
+        };
+        if let Some(stem) = lower.strip_suffix("ies") {
+            if let Some(hit) = try_base(format!("{stem}y"), VerbForm::Pres3) {
+                return Some(hit);
+            }
+        }
+        if let Some(stem) = lower.strip_suffix("es") {
+            if let Some(hit) = try_base(stem.to_string(), VerbForm::Pres3) {
+                return Some(hit);
+            }
+        }
+        if let Some(stem) = lower.strip_suffix('s') {
+            if let Some(hit) = try_base(stem.to_string(), VerbForm::Pres3) {
+                return Some(hit);
+            }
+        }
+        if let Some(stem) = lower.strip_suffix("ied") {
+            if let Some(hit) = try_base(format!("{stem}y"), VerbForm::Past) {
+                return Some(hit);
+            }
+        }
+        if let Some(stem) = lower.strip_suffix("ed") {
+            if let Some(hit) = try_base(stem.to_string(), VerbForm::Past) {
+                return Some(hit);
+            }
+            // doubled final consonant: "starred" -> "star"
+            if stem.len() >= 2 && stem.as_bytes()[stem.len() - 1] == stem.as_bytes()[stem.len() - 2]
+            {
+                if let Some(hit) = try_base(stem[..stem.len() - 1].to_string(), VerbForm::Past) {
+                    return Some(hit);
+                }
+            }
+            if let Some(hit) = try_base(format!("{stem}e"), VerbForm::Past) {
+                return Some(hit);
+            }
+        }
+        if let Some(stem) = lower.strip_suffix("ing") {
+            if let Some(hit) = try_base(stem.to_string(), VerbForm::Gerund) {
+                return Some(hit);
+            }
+            if stem.len() >= 2 && stem.as_bytes()[stem.len() - 1] == stem.as_bytes()[stem.len() - 2]
+            {
+                if let Some(hit) = try_base(stem[..stem.len() - 1].to_string(), VerbForm::Gerund) {
+                    return Some(hit);
+                }
+            }
+            if let Some(hit) = try_base(format!("{stem}e"), VerbForm::Gerund) {
+                return Some(hit);
+            }
+        }
+        if let Some(stem) = lower.strip_suffix('d') {
+            if let Some(hit) = try_base(stem.to_string(), VerbForm::Past) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    /// True if the lowercase word is a known common noun (singular form).
+    pub fn is_common_noun(&self, lower: &str) -> bool {
+        self.common_nouns.contains(lower)
+    }
+
+    /// Singularizes a noun if it is a known plural (irregular table or a
+    /// regular `-s`/`-es` of a known noun). Returns `None` for non-plurals.
+    pub fn singularize(&self, lower: &str) -> Option<String> {
+        if let Some(&s) = self.irregular_plurals.get(lower) {
+            return Some(s.to_string());
+        }
+        if let Some(stem) = lower.strip_suffix("ies") {
+            let cand = format!("{stem}y");
+            if self.common_nouns.contains(cand.as_str()) {
+                return Some(cand);
+            }
+        }
+        if let Some(stem) = lower.strip_suffix("es") {
+            if self.common_nouns.contains(stem) {
+                return Some(stem.to_string());
+            }
+        }
+        if let Some(stem) = lower.strip_suffix('s') {
+            if self.common_nouns.contains(stem) {
+                return Some(stem.to_string());
+            }
+        }
+        None
+    }
+
+    /// True if the lowercase word is a known adjective.
+    pub fn is_adjective(&self, lower: &str) -> bool {
+        self.adjectives.contains(lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PosTag;
+
+    #[test]
+    fn closed_class_lookup() {
+        let lex = Lexicon::new();
+        assert_eq!(lex.closed_class("the"), Some(PosTag::DT));
+        assert_eq!(lex.closed_class("he"), Some(PosTag::PRP));
+        assert_eq!(lex.closed_class("zzz"), None);
+    }
+
+    #[test]
+    fn irregular_verbs_resolve() {
+        let lex = Lexicon::new();
+        assert_eq!(
+            lex.verb_form("was"),
+            Some(("be".to_string(), VerbForm::Past))
+        );
+        assert_eq!(
+            lex.verb_form("born"),
+            Some(("bear".to_string(), VerbForm::PastPart))
+        );
+        assert_eq!(
+            lex.verb_form("won"),
+            Some(("win".to_string(), VerbForm::Past))
+        );
+    }
+
+    #[test]
+    fn regular_inflections_resolve() {
+        let lex = Lexicon::new();
+        assert_eq!(
+            lex.verb_form("supports"),
+            Some(("support".to_string(), VerbForm::Pres3))
+        );
+        assert_eq!(
+            lex.verb_form("donated"),
+            Some(("donate".to_string(), VerbForm::Past))
+        );
+        assert_eq!(
+            lex.verb_form("starred"),
+            Some(("star".to_string(), VerbForm::Past))
+        );
+        assert_eq!(
+            lex.verb_form("marries"),
+            Some(("marry".to_string(), VerbForm::Pres3))
+        );
+        assert_eq!(
+            lex.verb_form("married"),
+            Some(("marry".to_string(), VerbForm::Past))
+        );
+        assert_eq!(
+            lex.verb_form("playing"),
+            Some(("play".to_string(), VerbForm::Gerund))
+        );
+        assert_eq!(lex.verb_form("actor"), None);
+    }
+
+    #[test]
+    fn noun_lookup_and_singularization() {
+        let lex = Lexicon::new();
+        assert!(lex.is_common_noun("actor"));
+        assert_eq!(lex.singularize("actors"), Some("actor".to_string()));
+        assert_eq!(lex.singularize("children"), Some("child".to_string()));
+        assert_eq!(lex.singularize("actor"), None);
+        assert_eq!(lex.singularize("cities"), Some("city".to_string()));
+    }
+
+    #[test]
+    fn adjective_lookup() {
+        let lex = Lexicon::new();
+        assert!(lex.is_adjective("famous"));
+        assert!(!lex.is_adjective("donate"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # qkb-nlp
+//!
+//! The linguistic pre-processing pipeline QKBfly runs over both the
+//! background corpus (C) and the query-time input documents (D):
+//! tokenization, sentence splitting, part-of-speech tagging, lemmatization,
+//! noun-phrase chunking, named-entity recognition and time tagging
+//! (the paper uses Stanford CoreNLP [34] and SUTime [10]; this crate is the
+//! from-scratch Rust substitute described in DESIGN.md §1).
+//!
+//! The output of [`Pipeline::annotate`] is an [`AnnotatedDoc`] whose
+//! sentences carry per-token POS/lemma/NER layers plus noun-phrase chunks
+//! and normalized time expressions — exactly the layers the dependency
+//! parsers (`qkb-parse`), clause detector (`qkb-openie`) and semantic-graph
+//! builder (`qkbfly`) consume.
+
+pub mod chunk;
+pub mod lemma;
+pub mod lexicon;
+pub mod ner;
+pub mod pipeline;
+pub mod pos;
+pub mod sentence;
+pub mod time;
+pub mod token;
+
+pub use chunk::{Chunk, ChunkKind};
+pub use ner::{Gazetteer, NerTag};
+pub use pipeline::{AnnotatedDoc, Pipeline, Sentence};
+pub use pos::PosTag;
+pub use time::{TimeMention, TimeValue};
+pub use token::Token;

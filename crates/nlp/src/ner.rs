@@ -1,0 +1,200 @@
+//! Named-entity recognition.
+//!
+//! The paper uses the Stanford NER tagger with the standard coarse types
+//! (PERSON, ORGANIZATION, LOCATION, MISC) plus TIME from SUTime. Our
+//! substitute combines a gazetteer (built from the entity repository's alias
+//! dictionary — mirroring how the real system's NER is effectively in-domain
+//! for Wikipedia text) with capitalization/shape heuristics and
+//! organization/location suffix cues for out-of-gazetteer names.
+
+use qkb_util::text::{is_all_caps, is_capitalized, normalize};
+use qkb_util::FxHashMap;
+
+/// Coarse named-entity types (the paper's five general NER types).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NerTag {
+    /// Not part of a named entity.
+    O,
+    /// Person name.
+    Person,
+    /// Organization (company, club, foundation, band...).
+    Organization,
+    /// Location (city, country...).
+    Location,
+    /// Other named entity (films, songs, awards...).
+    Misc,
+    /// Time expression (delegated to the time tagger).
+    Time,
+}
+
+impl NerTag {
+    /// Paper-style label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NerTag::O => "O",
+            NerTag::Person => "PERSON",
+            NerTag::Organization => "ORGANIZATION",
+            NerTag::Location => "LOCATION",
+            NerTag::Misc => "MISC",
+            NerTag::Time => "TIME",
+        }
+    }
+}
+
+impl std::fmt::Display for NerTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A phrase gazetteer mapping normalized multi-token names to NER types.
+///
+/// Lookup is longest-match-first over token n-grams, capped at
+/// `max_tokens`. Construction is typically from an entity repository's
+/// alias dictionary (see `qkb-kb`).
+#[derive(Default, Debug)]
+pub struct Gazetteer {
+    phrases: FxHashMap<String, NerTag>,
+    max_tokens: usize,
+}
+
+impl Gazetteer {
+    /// Creates an empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a phrase with its type (normalized internally).
+    pub fn insert(&mut self, phrase: &str, tag: NerTag) {
+        let norm = normalize(phrase);
+        if norm.is_empty() {
+            return;
+        }
+        let n_tokens = norm.split(' ').count();
+        self.max_tokens = self.max_tokens.max(n_tokens);
+        // First registration wins: alias dictionaries list the dominant
+        // sense first, and ambiguity is resolved later by NED, not NER.
+        self.phrases.entry(norm).or_insert(tag);
+    }
+
+    /// Looks up a normalized phrase.
+    pub fn get(&self, phrase: &str) -> Option<NerTag> {
+        self.phrases.get(&normalize(phrase)).copied()
+    }
+
+    /// Longest registered phrase length in tokens.
+    pub fn max_tokens(&self) -> usize {
+        self.max_tokens
+    }
+
+    /// Number of registered phrases.
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// True if no phrase is registered.
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+}
+
+/// Organization suffix cues ("Liverpool F.C.", "ONE Campaign", "Pearl
+/// Foundation", "Apple Inc.").
+const ORG_SUFFIXES: &[&str] = &[
+    "f.c.", "fc", "inc.", "inc", "ltd.", "ltd", "co.", "corp", "corp.",
+    "foundation", "campaign", "university", "institute", "academy",
+    "company", "club", "united", "city", "association", "committee",
+    "party", "band", "orchestra", "ministry", "department", "agency",
+    "council", "league", "federation", "group", "studios", "records",
+];
+
+/// Person title cues preceding a name ("President Obama", "Mr Scott").
+const PERSON_TITLES: &[&str] = &[
+    "mr", "mr.", "mrs", "mrs.", "ms", "ms.", "dr", "dr.", "president",
+    "minister", "senator", "governor", "king", "queen", "prince",
+    "princess", "sir", "pope", "coach", "captain", "professor", "judge",
+];
+
+/// Heuristically types a capitalized token span that missed the gazetteer.
+///
+/// `prev_lower` is the lowercased token preceding the span (if any).
+pub fn heuristic_type(span_tokens: &[&str], prev_lower: Option<&str>) -> NerTag {
+    let last_lower = span_tokens
+        .last()
+        .map(|t| t.to_lowercase())
+        .unwrap_or_default();
+    if ORG_SUFFIXES.contains(&last_lower.as_str()) {
+        return NerTag::Organization;
+    }
+    if span_tokens.iter().any(|t| is_all_caps(t) && t.len() >= 2) {
+        // Acronym inside the span ("ONE Campaign", "BBC") -> organization.
+        return NerTag::Organization;
+    }
+    if let Some(prev) = prev_lower {
+        if PERSON_TITLES.contains(&prev) {
+            return NerTag::Person;
+        }
+    }
+    // Two-plus capitalized alphabetic tokens most often name a person in
+    // running text; single tokens are ambiguous -> MISC.
+    let alpha_caps = span_tokens
+        .iter()
+        .filter(|t| is_capitalized(t) && t.chars().all(|c| c.is_alphabetic() || c == '-'))
+        .count();
+    if alpha_caps >= 2 {
+        NerTag::Person
+    } else {
+        NerTag::Misc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gazetteer_insert_and_lookup() {
+        let mut g = Gazetteer::new();
+        g.insert("Brad Pitt", NerTag::Person);
+        g.insert("Liverpool F.C.", NerTag::Organization);
+        assert_eq!(g.get("brad pitt"), Some(NerTag::Person));
+        assert_eq!(g.get("BRAD PITT"), Some(NerTag::Person));
+        assert_eq!(g.get("liverpool f.c"), Some(NerTag::Organization));
+        assert_eq!(g.get("unknown"), None);
+        assert_eq!(g.max_tokens(), 2);
+    }
+
+    #[test]
+    fn first_registration_wins() {
+        let mut g = Gazetteer::new();
+        g.insert("Liverpool", NerTag::Location);
+        g.insert("Liverpool", NerTag::Organization);
+        assert_eq!(g.get("liverpool"), Some(NerTag::Location));
+    }
+
+    #[test]
+    fn org_suffix_heuristic() {
+        assert_eq!(
+            heuristic_type(&["Daniel", "Pearl", "Foundation"], None),
+            NerTag::Organization
+        );
+        assert_eq!(
+            heuristic_type(&["ONE", "Campaign"], None),
+            NerTag::Organization
+        );
+    }
+
+    #[test]
+    fn person_heuristics() {
+        assert_eq!(
+            heuristic_type(&["Jessica", "Leeds"], None),
+            NerTag::Person
+        );
+        assert_eq!(heuristic_type(&["Scott"], Some("mr")), NerTag::Person);
+    }
+
+    #[test]
+    fn single_unknown_token_is_misc() {
+        assert_eq!(heuristic_type(&["Troy"], None), NerTag::Misc);
+    }
+}

@@ -1,0 +1,490 @@
+//! The end-to-end annotation pipeline (CoreNLP substitute): tokenize →
+//! split sentences → POS-tag (lexicon + suffix + Brill-style context
+//! rules) → lemmatize → time-tag → NER (gazetteer + heuristics) → chunk.
+
+use crate::chunk::{chunk, Chunk};
+use crate::lemma::lemmatize;
+use crate::lexicon::{Lexicon, VerbForm};
+use crate::ner::{heuristic_type, Gazetteer, NerTag};
+use crate::pos::PosTag;
+use crate::sentence::split_sentences;
+use crate::time::{tag_times, TimeMention};
+use crate::token::{tokenize, Token};
+use qkb_util::text::{is_capitalized, is_numeric_like};
+
+/// One annotated sentence.
+#[derive(Clone, Debug)]
+pub struct Sentence {
+    /// Sentence index within the document.
+    pub index: usize,
+    /// Annotated tokens.
+    pub tokens: Vec<Token>,
+    /// Noun-phrase / pronoun / time chunks.
+    pub chunks: Vec<Chunk>,
+    /// Normalized time mentions.
+    pub times: Vec<TimeMention>,
+}
+
+impl Sentence {
+    /// Surface text reassembled from tokens (single-spaced).
+    pub fn text(&self) -> String {
+        self.tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// A fully annotated document.
+#[derive(Clone, Debug, Default)]
+pub struct AnnotatedDoc {
+    /// Sentences in order.
+    pub sentences: Vec<Sentence>,
+}
+
+impl AnnotatedDoc {
+    /// Total token count across sentences.
+    pub fn n_tokens(&self) -> usize {
+        self.sentences.iter().map(|s| s.tokens.len()).sum()
+    }
+}
+
+/// The annotation pipeline. Construction is cheap relative to use; share
+/// one instance per corpus run.
+pub struct Pipeline {
+    lexicon: Lexicon,
+    gazetteer: Gazetteer,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// Pipeline with an empty gazetteer (NER falls back to heuristics).
+    pub fn new() -> Self {
+        Self {
+            lexicon: Lexicon::new(),
+            gazetteer: Gazetteer::new(),
+        }
+    }
+
+    /// Pipeline with an entity gazetteer (usually from the entity
+    /// repository's alias dictionary).
+    pub fn with_gazetteer(gazetteer: Gazetteer) -> Self {
+        Self {
+            lexicon: Lexicon::new(),
+            gazetteer,
+        }
+    }
+
+    /// Access to the embedded lexicon (shared with parser/lemmatizer users).
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Runs the full pipeline on raw text.
+    pub fn annotate(&self, text: &str) -> AnnotatedDoc {
+        let all_tokens = tokenize(text);
+        let ranges = split_sentences(&all_tokens);
+        let mut sentences = Vec::with_capacity(ranges.len());
+        for (idx, (s, e)) in ranges.into_iter().enumerate() {
+            let mut toks: Vec<Token> = all_tokens[s..e].to_vec();
+            tag_tokens(&self.lexicon, &mut toks);
+            let times = tag_times(&toks);
+            apply_time_ner(&mut toks, &times);
+            apply_gazetteer_ner(&self.gazetteer, &mut toks);
+            apply_heuristic_ner(&mut toks);
+            let time_spans: Vec<(usize, usize)> =
+                times.iter().map(|m| (m.start, m.end)).collect();
+            let chunks = chunk(&toks, &time_spans);
+            sentences.push(Sentence {
+                index: idx,
+                tokens: toks,
+                chunks,
+                times,
+            });
+        }
+        AnnotatedDoc { sentences }
+    }
+}
+
+/// POS-tags and lemmatizes one sentence's tokens in place.
+///
+/// Public because the chunker/parser unit tests and the corpus statistics
+/// builder drive it directly.
+pub fn tag_tokens(lex: &Lexicon, toks: &mut [Token]) {
+    // Pass 1: context-free assignment.
+    for i in 0..toks.len() {
+        toks[i].pos = initial_tag(lex, &toks[i].text, i == 0);
+    }
+    // Pass 2: context repair rules (Brill-style).
+    for i in 0..toks.len() {
+        let lower = toks[i].lower();
+        let prev = i.checked_sub(1).map(|j| toks[j].pos);
+        let prev_lemma: Option<String> = i.checked_sub(1).map(|j| toks[j].lower());
+        let next = toks.get(i + 1).map(|t| t.pos);
+
+        // "to" + base verb = TO; "to" + NP = IN.
+        if lower == "to" {
+            toks[i].pos = match next {
+                Some(p) if p.is_verb() => PosTag::TO,
+                _ => PosTag::IN,
+            };
+        }
+        // "that" after a verb or at clause boundary is a complementizer.
+        if lower == "that" {
+            let next_is_np_start = matches!(
+                next,
+                Some(PosTag::DT) | Some(PosTag::NN) | Some(PosTag::NNS) | Some(PosTag::NNP)
+                    | Some(PosTag::JJ) | Some(PosTag::CD)
+            );
+            toks[i].pos = if prev.is_some_and(|p| p.is_verb()) || !next_is_np_start {
+                PosTag::IN
+            } else {
+                PosTag::DT
+            };
+        }
+        // "her": possessive before a nominal, pronoun otherwise.
+        if lower == "her" {
+            let next_nominal = matches!(
+                next,
+                Some(p) if p.is_noun() || p.is_adjective() || p == PosTag::CD
+            );
+            toks[i].pos = if next_nominal { PosTag::PRPS } else { PosTag::PRP };
+        }
+        // After a modal or TO, a verb-capable token is base form.
+        if matches!(prev, Some(PosTag::MD) | Some(PosTag::TO)) && toks[i].pos.is_verb() {
+            toks[i].pos = PosTag::VB;
+        }
+        // After have-forms, past becomes past participle.
+        if toks[i].pos == PosTag::VBD {
+            if let Some(pl) = &prev_lemma {
+                if matches!(pl.as_str(), "has" | "have" | "had" | "having") {
+                    toks[i].pos = PosTag::VBN;
+                }
+                // Passive: be-form + -ed.
+                if matches!(
+                    pl.as_str(),
+                    "is" | "are" | "was" | "were" | "been" | "being" | "be"
+                ) {
+                    toks[i].pos = PosTag::VBN;
+                }
+            }
+        }
+        // Prepositions take nominal objects: a finite-verb reading directly
+        // after IN is a noun in disguise ("filed for divorce").
+        if matches!(prev, Some(PosTag::IN))
+            && matches!(toks[i].pos, PosTag::VBP | PosTag::VBZ)
+        {
+            toks[i].pos = if lower.ends_with('s') && lex.singularize(&lower).is_some() {
+                PosTag::NNS
+            } else {
+                PosTag::NN
+            };
+        }
+        // Determiner/adjective/possessive followed by a "verb" reading is a
+        // noun in disguise ("the record", "his support").
+        if toks[i].pos.is_verb()
+            && matches!(prev, Some(PosTag::DT) | Some(PosTag::PRPS) | Some(PosTag::JJ))
+        {
+            toks[i].pos = if lower.ends_with('s') && lex.singularize(&lower).is_some() {
+                PosTag::NNS
+            } else {
+                PosTag::NN
+            };
+        }
+    }
+    // Pass 3: lemmas.
+    for t in toks.iter_mut() {
+        t.lemma = lemmatize(lex, &t.lower(), t.pos);
+    }
+}
+
+/// Context-free tag for a single token.
+fn initial_tag(lex: &Lexicon, text: &str, sentence_initial: bool) -> PosTag {
+    if text.chars().all(|c| c.is_ascii_punctuation()) && !text.is_empty() {
+        return match text {
+            "'s" => PosTag::POS,
+            _ => PosTag::PUNCT,
+        };
+    }
+    if text == "'s" || text == "’s" {
+        return PosTag::POS;
+    }
+    if is_numeric_like(text) {
+        return PosTag::CD;
+    }
+    let lower = text.to_lowercase();
+    if let Some(tag) = lex.closed_class(&lower) {
+        return tag;
+    }
+    if let Some((_, form)) = lex.verb_form(&lower) {
+        // Capitalized mid-sentence beats verb reading ("Mark" vs "mark").
+        if is_capitalized(text) && !sentence_initial {
+            return PosTag::NNP;
+        }
+        return match form {
+            VerbForm::Base => PosTag::VBP,
+            VerbForm::Pres3 => PosTag::VBZ,
+            VerbForm::Past => PosTag::VBD,
+            VerbForm::PastPart => PosTag::VBN,
+            VerbForm::Gerund => PosTag::VBG,
+        };
+    }
+    if lex.is_common_noun(&lower) {
+        if is_capitalized(text) && !sentence_initial {
+            return PosTag::NNP;
+        }
+        return PosTag::NN;
+    }
+    if lex.singularize(&lower).is_some() {
+        return PosTag::NNS;
+    }
+    if lex.is_adjective(&lower) {
+        return PosTag::JJ;
+    }
+    if is_capitalized(text) {
+        return PosTag::NNP;
+    }
+    // Suffix fallbacks.
+    if lower.ends_with("ly") {
+        return PosTag::RB;
+    }
+    if lower.ends_with("ing") {
+        return PosTag::VBG;
+    }
+    if lower.ends_with("ed") {
+        return PosTag::VBD;
+    }
+    if lower.ends_with("tion")
+        || lower.ends_with("ment")
+        || lower.ends_with("ness")
+        || lower.ends_with("ity")
+        || lower.ends_with("ism")
+        || lower.ends_with("ist")
+        || lower.ends_with("er")
+        || lower.ends_with("or")
+    {
+        return PosTag::NN;
+    }
+    if lower.ends_with('s') && lower.len() > 3 {
+        return PosTag::NNS;
+    }
+    if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive")
+        || lower.ends_with("al")
+    {
+        return PosTag::JJ;
+    }
+    PosTag::NN
+}
+
+/// Marks tokens inside recognized time mentions with the TIME NER tag.
+fn apply_time_ner(toks: &mut [Token], times: &[TimeMention]) {
+    let n = toks.len();
+    for m in times {
+        for t in toks.iter_mut().take(m.end.min(n)).skip(m.start) {
+            t.ner = NerTag::Time;
+        }
+    }
+}
+
+/// Longest-match gazetteer NER over token n-grams. Spans must start with a
+/// capitalized token (alias dictionaries index canonical capitalized names)
+/// and must not overlap time mentions.
+fn apply_gazetteer_ner(gaz: &Gazetteer, toks: &mut [Token]) {
+    if gaz.is_empty() {
+        return;
+    }
+    let max_len = gaz.max_tokens().min(6).max(1);
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].ner != NerTag::O || !is_capitalized(&toks[i].text) {
+            i += 1;
+            continue;
+        }
+        let mut matched = 0usize;
+        let mut tag = NerTag::O;
+        let upper = (i + max_len).min(toks.len());
+        for j in (i + 1..=upper).rev() {
+            if toks[i..j].iter().any(|t| t.ner != NerTag::O) {
+                continue;
+            }
+            // Spans must not end in punctuation (normalization would let
+            // "Liverpool ." match the "Liverpool" alias).
+            if toks[j - 1]
+                .text
+                .chars()
+                .all(|c| c.is_ascii_punctuation())
+            {
+                continue;
+            }
+            let phrase = toks[i..j]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if let Some(t) = gaz.get(&phrase) {
+                matched = j - i;
+                tag = t;
+                break;
+            }
+        }
+        if matched > 0 {
+            for t in toks.iter_mut().take(i + matched).skip(i) {
+                t.ner = tag;
+            }
+            i += matched;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Types leftover maximal NNP runs with shape heuristics.
+fn apply_heuristic_ner(toks: &mut [Token]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].ner == NerTag::O && toks[i].pos.is_proper_noun() {
+            let start = i;
+            while i < toks.len() && toks[i].ner == NerTag::O && toks[i].pos.is_proper_noun() {
+                i += 1;
+            }
+            let span: Vec<&str> = toks[start..i].iter().map(|t| t.text.as_str()).collect();
+            let prev = start.checked_sub(1).map(|j| toks[j].lower());
+            let tag = heuristic_type(&span, prev.as_deref());
+            for t in toks.iter_mut().take(i).skip(start) {
+                t.ner = tag;
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagged(text: &str) -> Vec<(String, PosTag)> {
+        let p = Pipeline::new();
+        let doc = p.annotate(text);
+        doc.sentences[0]
+            .tokens
+            .iter()
+            .map(|t| (t.text.clone(), t.pos))
+            .collect()
+    }
+
+    #[test]
+    fn tags_copula_sentence() {
+        let ts = tagged("Brad Pitt is an actor.");
+        assert_eq!(ts[0].1, PosTag::NNP);
+        assert_eq!(ts[1].1, PosTag::NNP);
+        assert_eq!(ts[2].1, PosTag::VBZ);
+        assert_eq!(ts[3].1, PosTag::DT);
+        assert_eq!(ts[4].1, PosTag::NN);
+    }
+
+    #[test]
+    fn tags_svo_with_pronoun() {
+        let ts = tagged("He supports the ONE Campaign.");
+        assert_eq!(ts[0].1, PosTag::PRP);
+        assert_eq!(ts[1].1, PosTag::VBZ);
+        assert_eq!(ts[2].1, PosTag::DT);
+    }
+
+    #[test]
+    fn passive_participle_after_be() {
+        let ts = tagged("He was born to William Pitt.");
+        let born = ts.iter().find(|(w, _)| w == "born").expect("born tagged");
+        assert_eq!(born.1, PosTag::VBN);
+    }
+
+    #[test]
+    fn to_before_verb_is_to_before_np_is_in() {
+        let ts = tagged("He wants to donate money to the foundation.");
+        let to_idx: Vec<PosTag> = ts
+            .iter()
+            .filter(|(w, _)| w == "to")
+            .map(|&(_, p)| p)
+            .collect();
+        assert_eq!(to_idx, vec![PosTag::TO, PosTag::IN]);
+    }
+
+    #[test]
+    fn determiner_verb_noun_ambiguity() {
+        let ts = tagged("She released the record in May.");
+        let record = ts.iter().find(|(w, _)| w == "record").expect("found");
+        assert_eq!(record.1, PosTag::NN);
+    }
+
+    #[test]
+    fn possessive_clitic_tagged_pos() {
+        let ts = tagged("Pitt 's ex-wife arrived.");
+        assert_eq!(ts[1].1, PosTag::POS);
+    }
+
+    #[test]
+    fn gazetteer_overrides_heuristic() {
+        let mut g = Gazetteer::new();
+        g.insert("Liverpool", NerTag::Location);
+        let p = Pipeline::with_gazetteer(g);
+        let doc = p.annotate("He moved to Liverpool.");
+        let liv = doc.sentences[0]
+            .tokens
+            .iter()
+            .find(|t| t.text == "Liverpool")
+            .expect("found");
+        assert_eq!(liv.ner, NerTag::Location);
+    }
+
+    #[test]
+    fn heuristic_person_for_two_caps() {
+        let p = Pipeline::new();
+        let doc = p.annotate("Yesterday Jessica Leeds accused him.");
+        let tok = doc.sentences[0]
+            .tokens
+            .iter()
+            .find(|t| t.text == "Jessica")
+            .expect("found");
+        assert_eq!(tok.ner, NerTag::Person);
+    }
+
+    #[test]
+    fn time_ner_applied() {
+        let p = Pipeline::new();
+        let doc = p.annotate("She filed for divorce on September 19, 2016.");
+        let sep = doc.sentences[0]
+            .tokens
+            .iter()
+            .find(|t| t.text == "September")
+            .expect("found");
+        assert_eq!(sep.ner, NerTag::Time);
+        assert_eq!(doc.sentences[0].times.len(), 1);
+    }
+
+    #[test]
+    fn multi_sentence_document() {
+        let p = Pipeline::new();
+        let doc = p.annotate("Brad Pitt is an actor. He supports the ONE Campaign.");
+        assert_eq!(doc.sentences.len(), 2);
+        assert_eq!(doc.sentences[1].index, 1);
+        assert!(doc.n_tokens() > 8);
+    }
+
+    #[test]
+    fn lemmas_filled() {
+        let p = Pipeline::new();
+        let doc = p.annotate("He supported the campaign.");
+        let sup = doc.sentences[0]
+            .tokens
+            .iter()
+            .find(|t| t.text == "supported")
+            .expect("found");
+        assert_eq!(sup.lemma, "support");
+    }
+}

@@ -1,0 +1,185 @@
+//! Part-of-speech tag inventory (Penn-Treebank subset) and helpers.
+//!
+//! The clause detector only needs the coarse distinctions of the PTB set:
+//! verb forms (for the V constituent and auxiliaries), noun forms (for S/O
+//! arguments), adjectives/adverbs (complements/adverbials), prepositions
+//! (adverbial PPs and relation-pattern suffixes) and pronouns (co-reference).
+
+/// Penn-Treebank-style part-of-speech tags (the subset used downstream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum PosTag {
+    /// Singular/mass noun ("actor").
+    NN,
+    /// Plural noun ("actors").
+    NNS,
+    /// Singular proper noun ("Pitt").
+    NNP,
+    /// Plural proper noun ("Alps").
+    NNPS,
+    /// Personal pronoun ("he", "she", "they").
+    PRP,
+    /// Possessive pronoun ("his", "her").
+    PRPS,
+    /// Determiner ("the", "an").
+    DT,
+    /// Adjective ("famous").
+    JJ,
+    /// Comparative adjective ("bigger").
+    JJR,
+    /// Superlative adjective ("biggest").
+    JJS,
+    /// Adverb ("recently").
+    RB,
+    /// Base-form verb ("support").
+    VB,
+    /// Past-tense verb ("supported").
+    VBD,
+    /// Gerund/present participle ("supporting").
+    VBG,
+    /// Past participle ("supported" after auxiliary).
+    VBN,
+    /// Non-3rd-person present ("support" after "they").
+    VBP,
+    /// 3rd-person singular present ("supports").
+    VBZ,
+    /// Modal ("will", "can").
+    MD,
+    /// Preposition / subordinating conjunction ("in", "to", "that").
+    IN,
+    /// Infinitival "to".
+    TO,
+    /// Coordinating conjunction ("and").
+    CC,
+    /// Cardinal number ("100,000", "2016").
+    CD,
+    /// Wh-pronoun ("who", "what").
+    WP,
+    /// Wh-determiner ("which").
+    WDT,
+    /// Wh-adverb ("where", "when").
+    WRB,
+    /// Existential "there".
+    EX,
+    /// Possessive clitic "'s".
+    POS,
+    /// Punctuation.
+    PUNCT,
+    /// Anything else (symbols, foreign words, interjections).
+    SYM,
+}
+
+impl PosTag {
+    /// Any verbal tag (finite or non-finite).
+    #[inline]
+    pub fn is_verb(self) -> bool {
+        matches!(
+            self,
+            PosTag::VB | PosTag::VBD | PosTag::VBG | PosTag::VBN | PosTag::VBP | PosTag::VBZ
+        )
+    }
+
+    /// Finite verb forms that can head a clause's V constituent.
+    #[inline]
+    pub fn is_finite_verb(self) -> bool {
+        matches!(self, PosTag::VBD | PosTag::VBP | PosTag::VBZ)
+    }
+
+    /// Any nominal tag.
+    #[inline]
+    pub fn is_noun(self) -> bool {
+        matches!(
+            self,
+            PosTag::NN | PosTag::NNS | PosTag::NNP | PosTag::NNPS
+        )
+    }
+
+    /// Proper-noun tags.
+    #[inline]
+    pub fn is_proper_noun(self) -> bool {
+        matches!(self, PosTag::NNP | PosTag::NNPS)
+    }
+
+    /// Adjective tags.
+    #[inline]
+    pub fn is_adjective(self) -> bool {
+        matches!(self, PosTag::JJ | PosTag::JJR | PosTag::JJS)
+    }
+
+    /// Tags that may occur inside a base noun phrase.
+    #[inline]
+    pub fn can_be_in_np(self) -> bool {
+        self.is_noun() || self.is_adjective() || matches!(self, PosTag::DT | PosTag::CD)
+    }
+
+    /// Human-readable PTB string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PosTag::NN => "NN",
+            PosTag::NNS => "NNS",
+            PosTag::NNP => "NNP",
+            PosTag::NNPS => "NNPS",
+            PosTag::PRP => "PRP",
+            PosTag::PRPS => "PRP$",
+            PosTag::DT => "DT",
+            PosTag::JJ => "JJ",
+            PosTag::JJR => "JJR",
+            PosTag::JJS => "JJS",
+            PosTag::RB => "RB",
+            PosTag::VB => "VB",
+            PosTag::VBD => "VBD",
+            PosTag::VBG => "VBG",
+            PosTag::VBN => "VBN",
+            PosTag::VBP => "VBP",
+            PosTag::VBZ => "VBZ",
+            PosTag::MD => "MD",
+            PosTag::IN => "IN",
+            PosTag::TO => "TO",
+            PosTag::CC => "CC",
+            PosTag::CD => "CD",
+            PosTag::WP => "WP",
+            PosTag::WDT => "WDT",
+            PosTag::WRB => "WRB",
+            PosTag::EX => "EX",
+            PosTag::POS => "POS",
+            PosTag::PUNCT => "PUNCT",
+            PosTag::SYM => "SYM",
+        }
+    }
+}
+
+impl std::fmt::Display for PosTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_classification() {
+        assert!(PosTag::VBZ.is_verb());
+        assert!(PosTag::VBZ.is_finite_verb());
+        assert!(PosTag::VBG.is_verb());
+        assert!(!PosTag::VBG.is_finite_verb());
+        assert!(!PosTag::NN.is_verb());
+    }
+
+    #[test]
+    fn noun_and_np_membership() {
+        assert!(PosTag::NNP.is_noun());
+        assert!(PosTag::NNP.is_proper_noun());
+        assert!(!PosTag::NN.is_proper_noun());
+        assert!(PosTag::DT.can_be_in_np());
+        assert!(PosTag::CD.can_be_in_np());
+        assert!(!PosTag::IN.can_be_in_np());
+    }
+
+    #[test]
+    fn display_matches_ptb() {
+        assert_eq!(PosTag::PRPS.to_string(), "PRP$");
+        assert_eq!(PosTag::VBD.to_string(), "VBD");
+    }
+}

@@ -1,0 +1,90 @@
+//! Sentence splitting over the token stream.
+//!
+//! Splits at `.` `!` `?` tokens, with care for abbreviation periods (kept
+//! inside their token by the tokenizer) and closing quotes that belong to
+//! the finished sentence.
+
+use crate::token::Token;
+
+/// Groups a token stream into sentences (each a contiguous token range).
+/// Returns index ranges `[start, end)` into the token slice.
+pub fn split_sentences(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_sentence_end() {
+            let mut end = i + 1;
+            // Pull a trailing closing quote/bracket into this sentence.
+            while end < tokens.len()
+                && matches!(tokens[end].text.as_str(), "\"" | "”" | ")" | "]")
+            {
+                end += 1;
+            }
+            if end > start {
+                out.push((start, end));
+            }
+            start = end;
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    if start < tokens.len() {
+        out.push((start, tokens.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn sentences(text: &str) -> Vec<Vec<String>> {
+        let toks = tokenize(text);
+        split_sentences(&toks)
+            .into_iter()
+            .map(|(s, e)| toks[s..e].iter().map(|t| t.text.clone()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn splits_two_sentences() {
+        let s = sentences("Brad Pitt is an actor. He supports the ONE Campaign.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].first().unwrap(), "Brad");
+        assert_eq!(s[1].first().unwrap(), "He");
+    }
+
+    #[test]
+    fn no_trailing_period_still_one_sentence() {
+        let s = sentences("Bob Dylan won the Nobel Prize");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn question_and_exclamation() {
+        let s = sentences("Who shot him? Nobody knows!");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn abbreviation_does_not_split() {
+        let s = sentences("Liverpool F.C. won the match. The fans celebrated.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains(&"F.C.".to_string()));
+    }
+
+    #[test]
+    fn closing_quote_attaches_to_sentence() {
+        let s = sentences("She said \"yes.\" He left.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].last().unwrap(), "\"");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sentences("").is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Time-expression recognition and normalization (SUTime substitute).
+//!
+//! Recognizes the date shapes the corpora produce and the paper quotes:
+//! "September 19, 2016", "17 December 1936", "May 2012", "2008",
+//! "November 2013", "the 1980s". Each match is normalized to a partial
+//! [`TimeValue`] (year, optional month, optional day).
+
+use crate::token::Token;
+
+/// A (possibly partial) normalized calendar value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimeValue {
+    /// Four-digit year.
+    pub year: i32,
+    /// 1-based month, if mentioned.
+    pub month: Option<u8>,
+    /// 1-based day of month, if mentioned.
+    pub day: Option<u8>,
+    /// True for decade expressions ("the 1980s").
+    pub decade: bool,
+}
+
+impl std::fmt::Display for TimeValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.decade {
+            return write!(f, "{}s", self.year);
+        }
+        match (self.month, self.day) {
+            (Some(m), Some(d)) => write!(f, "{:04}-{:02}-{:02}", self.year, m, d),
+            (Some(m), None) => write!(f, "{:04}-{:02}", self.year, m),
+            _ => write!(f, "{:04}", self.year),
+        }
+    }
+}
+
+/// A recognized time mention: token span `[start, end)` plus its value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeMention {
+    /// First token index of the mention.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// Normalized value.
+    pub value: TimeValue,
+}
+
+const MONTHS: &[(&str, u8)] = &[
+    ("january", 1), ("february", 2), ("march", 3), ("april", 4),
+    ("may", 5), ("june", 6), ("july", 7), ("august", 8),
+    ("september", 9), ("october", 10), ("november", 11), ("december", 12),
+];
+
+fn month_of(lower: &str) -> Option<u8> {
+    MONTHS
+        .iter()
+        .find(|&&(m, _)| m == lower)
+        .map(|&(_, n)| n)
+}
+
+fn parse_year(text: &str) -> Option<i32> {
+    if text.len() == 4 && text.chars().all(|c| c.is_ascii_digit()) {
+        let y: i32 = text.parse().ok()?;
+        if (1000..=2999).contains(&y) {
+            return Some(y);
+        }
+    }
+    None
+}
+
+fn parse_day(text: &str) -> Option<u8> {
+    let core = text.trim_end_matches(|c| matches!(c, 's' | 't' | 'h' | 'n' | 'd' | 'r'));
+    if core.is_empty() || core.len() > 2 {
+        return None;
+    }
+    let d: u8 = core.parse().ok()?;
+    (1..=31).contains(&d).then_some(d)
+}
+
+/// Scans a token slice for time expressions, longest-match-first.
+pub fn tag_times(tokens: &[Token]) -> Vec<TimeMention> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let lower = tokens[i].lower();
+        // "September 19, 2016" | "September 2016" | "September 19"
+        if let Some(m) = month_of(&lower) {
+            // Month Day , Year
+            if i + 3 < tokens.len()
+                && parse_day(&tokens[i + 1].text).is_some()
+                && tokens[i + 2].text == ","
+                && parse_year(&tokens[i + 3].text).is_some()
+            {
+                out.push(TimeMention {
+                    start: i,
+                    end: i + 4,
+                    value: TimeValue {
+                        year: parse_year(&tokens[i + 3].text).expect("checked"),
+                        month: Some(m),
+                        day: parse_day(&tokens[i + 1].text),
+                        decade: false,
+                    },
+                });
+                i += 4;
+                continue;
+            }
+            // Month Year
+            if i + 1 < tokens.len() {
+                if let Some(y) = parse_year(&tokens[i + 1].text) {
+                    out.push(TimeMention {
+                        start: i,
+                        end: i + 2,
+                        value: TimeValue {
+                            year: y,
+                            month: Some(m),
+                            day: None,
+                            decade: false,
+                        },
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+            // Month Day (no year)
+            if i + 1 < tokens.len() && parse_day(&tokens[i + 1].text).is_some() {
+                out.push(TimeMention {
+                    start: i,
+                    end: i + 2,
+                    value: TimeValue {
+                        year: 0,
+                        month: Some(m),
+                        day: parse_day(&tokens[i + 1].text),
+                        decade: false,
+                    },
+                });
+                i += 2;
+                continue;
+            }
+        }
+        // "17 December 1936" / "19 September"
+        if parse_day(&tokens[i].text).is_some() && i + 1 < tokens.len() {
+            if let Some(m) = month_of(&tokens[i + 1].lower()) {
+                if i + 2 < tokens.len() {
+                    if let Some(y) = parse_year(&tokens[i + 2].text) {
+                        out.push(TimeMention {
+                            start: i,
+                            end: i + 3,
+                            value: TimeValue {
+                                year: y,
+                                month: Some(m),
+                                day: parse_day(&tokens[i].text),
+                                decade: false,
+                            },
+                        });
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(TimeMention {
+                    start: i,
+                    end: i + 2,
+                    value: TimeValue {
+                        year: 0,
+                        month: Some(m),
+                        day: parse_day(&tokens[i].text),
+                        decade: false,
+                    },
+                });
+                i += 2;
+                continue;
+            }
+        }
+        // "the 1980s"
+        if lower.len() == 5 && lower.ends_with('s') {
+            if let Some(y) = parse_year(&lower[..4]) {
+                if y % 10 == 0 {
+                    out.push(TimeMention {
+                        start: i,
+                        end: i + 1,
+                        value: TimeValue {
+                            year: y,
+                            month: None,
+                            day: None,
+                            decade: true,
+                        },
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // Bare year "2008"
+        if let Some(y) = parse_year(&tokens[i].text) {
+            out.push(TimeMention {
+                start: i,
+                end: i + 1,
+                value: TimeValue {
+                    year: y,
+                    month: None,
+                    day: None,
+                    decade: false,
+                },
+            });
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn mentions(text: &str) -> Vec<(String, TimeValue)> {
+        let toks = tokenize(text);
+        tag_times(&toks)
+            .into_iter()
+            .map(|m| {
+                let words: Vec<&str> =
+                    toks[m.start..m.end].iter().map(|t| t.text.as_str()).collect();
+                (words.join(" "), m.value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn us_style_full_date() {
+        let ms = mentions("She filed on September 19, 2016 in court.");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].1.to_string(), "2016-09-19");
+    }
+
+    #[test]
+    fn european_style_full_date() {
+        let ms = mentions("born on 17 December 1936.");
+        assert_eq!(ms[0].1.to_string(), "1936-12-17");
+    }
+
+    #[test]
+    fn month_year() {
+        let ms = mentions("He received the medal in May 2012.");
+        assert_eq!(ms[0].1.to_string(), "2012-05");
+    }
+
+    #[test]
+    fn bare_year_and_decade() {
+        let ms = mentions("In 2008 and in the 1980s.");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].1.to_string(), "2008");
+        assert!(ms[1].1.decade);
+        assert_eq!(ms[1].1.to_string(), "1980s");
+    }
+
+    #[test]
+    fn non_year_number_not_time() {
+        let ms = mentions("He donated $100,000 to the cause.");
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn may_as_month_only_with_date_context() {
+        // "may" as a modal must not be tagged: it only matches followed by
+        // a year/day, which "may win" does not provide.
+        let ms = mentions("She may win the prize.");
+        assert!(ms.is_empty());
+    }
+}

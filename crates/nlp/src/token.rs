@@ -1,0 +1,298 @@
+//! Tokenization.
+//!
+//! A rule-based tokenizer in the PTB tradition: splits on whitespace,
+//! separates punctuation, keeps numbers with internal separators together
+//! ("100,000", "3.5"), keeps currency-prefixed amounts together ("$100,000"
+//! stays one token so it can become a literal argument as in the paper's
+//! SVOO example), splits the possessive clitic `'s`, and keeps hyphenated
+//! and abbreviated words ("ex-wife", "F.C.") intact.
+
+use crate::ner::NerTag;
+use crate::pos::PosTag;
+
+/// One token with character offsets into the source text and its
+/// annotation layers (filled by later pipeline stages).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Surface form as it appears in the text.
+    pub text: String,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// Part-of-speech tag (filled by the tagger; `SYM` until then).
+    pub pos: PosTag,
+    /// Lemma (filled by the lemmatizer; lowercased surface until then).
+    pub lemma: String,
+    /// Named-entity tag (filled by NER; `O` until then).
+    pub ner: NerTag,
+}
+
+impl Token {
+    /// Creates an unannotated token.
+    pub fn new(text: &str, start: usize) -> Self {
+        Self {
+            text: text.to_string(),
+            start,
+            end: start + text.len(),
+            pos: PosTag::SYM,
+            lemma: text.to_lowercase(),
+            ner: NerTag::O,
+        }
+    }
+
+    /// Lowercased surface form.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// True if the token is sentence-final punctuation.
+    pub fn is_sentence_end(&self) -> bool {
+        matches!(self.text.as_str(), "." | "!" | "?")
+    }
+}
+
+/// True for characters that always split off as their own token.
+fn is_break_punct(c: char) -> bool {
+    matches!(
+        c,
+        ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '“' | '”'
+            | '—' | '…'
+    )
+}
+
+/// Tokenizes `text`, producing tokens with byte offsets.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    while i < n {
+        let c = text[i..].chars().next().expect("in-bounds char");
+        let clen = c.len_utf8();
+        if c.is_whitespace() {
+            i += clen;
+            continue;
+        }
+        if is_break_punct(c) {
+            tokens.push(Token::new(&text[i..i + clen], i));
+            i += clen;
+            continue;
+        }
+        // Currency-prefixed number: "$100,000".
+        if (c == '$' || c == '€' || c == '£') && i + clen < n {
+            let rest = &text[i + clen..];
+            let num_len = leading_number_len(rest);
+            if num_len > 0 {
+                let end = i + clen + num_len;
+                tokens.push(Token::new(&text[i..end], i));
+                i = end;
+                continue;
+            }
+            tokens.push(Token::new(&text[i..i + clen], i));
+            i += clen;
+            continue;
+        }
+        // Bare number with separators; a trailing 's' is kept for decades
+        // ("1980s") and ordinal suffixes stay with the number ("19th").
+        if c.is_ascii_digit() {
+            let mut num_len = leading_number_len(&text[i..]);
+            let rest = &text[i + num_len..];
+            for suffix in ["s", "st", "nd", "rd", "th"] {
+                if rest.starts_with(suffix)
+                    && rest[suffix.len()..]
+                        .chars()
+                        .next()
+                        .map_or(true, |d| !d.is_alphanumeric())
+                {
+                    num_len += suffix.len();
+                    break;
+                }
+            }
+            tokens.push(Token::new(&text[i..i + num_len], i));
+            i += num_len;
+            continue;
+        }
+        // Apostrophe handling: "'s" clitic, otherwise part of the word
+        // ("O'Brien", "A-Gonna").
+        if c == '\'' || c == '’' {
+            let rest = &text[i + clen..];
+            if rest.starts_with('s')
+                && rest[1..]
+                    .chars()
+                    .next()
+                    .map_or(true, |d| !d.is_alphanumeric())
+            {
+                tokens.push(Token::new(&text[i..i + clen + 1], i));
+                i += clen + 1;
+                continue;
+            }
+            tokens.push(Token::new(&text[i..i + clen], i));
+            i += clen;
+            continue;
+        }
+        // Word: letters, digits, hyphens, internal periods/apostrophes.
+        let start = i;
+        let mut j = i;
+        while j < n {
+            let d = text[j..].chars().next().expect("in-bounds char");
+            let dlen = d.len_utf8();
+            let keep = d.is_alphanumeric()
+                || d == '-'
+                || d == '_'
+                || (d == '.' && looks_like_abbrev(text, start, j))
+                || ((d == '\'' || d == '’') && {
+                    // internal apostrophe not starting a clitic
+                    let rest = &text[j + dlen..];
+                    let next_alpha = rest.chars().next().is_some_and(|e| e.is_alphanumeric());
+                    let is_clitic = rest.starts_with('s')
+                        && rest[1..]
+                            .chars()
+                            .next()
+                            .map_or(true, |e| !e.is_alphanumeric());
+                    next_alpha && !is_clitic
+                });
+            if !keep {
+                break;
+            }
+            j += dlen;
+        }
+        if j == start {
+            // Unrecognized symbol: emit as-is.
+            tokens.push(Token::new(&text[i..i + clen], i));
+            i += clen;
+            continue;
+        }
+        // Trailing sentence period: split it off unless part of abbreviation.
+        let mut word = &text[start..j];
+        if word.ends_with('.') && !word_is_abbrev(word) {
+            word = &word[..word.len() - 1];
+            j -= 1;
+        }
+        if !word.is_empty() {
+            tokens.push(Token::new(word, start));
+        }
+        i = j;
+        // Sentence-final period just skipped? Emit it.
+        if i < n && text[i..].starts_with('.') {
+            tokens.push(Token::new(".", i));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Length (in bytes) of a leading number with `,`/`.` separators; the
+/// trailing separator is excluded ("100,000." -> "100,000").
+fn leading_number_len(s: &str) -> usize {
+    let mut len = 0usize;
+    for (idx, c) in s.char_indices() {
+        if c.is_ascii_digit() {
+            len = idx + 1;
+        } else if (c == ',' || c == '.')
+            && s[idx + 1..].chars().next().is_some_and(|d| d.is_ascii_digit())
+        {
+            // separator followed by digit: keep going
+        } else {
+            break;
+        }
+    }
+    len
+}
+
+/// Inside-word period heuristic: previous char is a single capital or the
+/// word so far contains a period already ("F.C.", "U.S.").
+fn looks_like_abbrev(text: &str, start: usize, at: usize) -> bool {
+    let sofar = &text[start..at];
+    if sofar.is_empty() {
+        return false;
+    }
+    let parts: Vec<&str> = sofar.split('.').collect();
+    parts
+        .iter()
+        .all(|p| p.len() <= 2 && p.chars().all(|c| c.is_uppercase()))
+}
+
+/// Whole-word abbreviation check ("F.C.", "U.S.", "Inc." stays intact —
+/// for the latter we accept a short capitalized stem).
+fn word_is_abbrev(word: &str) -> bool {
+    let stem = &word[..word.len() - 1];
+    if stem.contains('.') {
+        return true;
+    }
+    matches!(stem, "Inc" | "Ltd" | "Co" | "Mr" | "Mrs" | "Ms" | "Dr" | "Jr" | "Sr" | "St")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_simple_sentence() {
+        assert_eq!(
+            words("Brad Pitt is an actor."),
+            vec!["Brad", "Pitt", "is", "an", "actor", "."]
+        );
+    }
+
+    #[test]
+    fn keeps_currency_amount_together() {
+        assert_eq!(
+            words("Pitt donated $100,000 to the foundation."),
+            vec!["Pitt", "donated", "$100,000", "to", "the", "foundation", "."]
+        );
+    }
+
+    #[test]
+    fn splits_possessive_clitic() {
+        assert_eq!(
+            words("Pitt's ex-wife Angelina Jolie"),
+            vec!["Pitt", "'s", "ex-wife", "Angelina", "Jolie"]
+        );
+    }
+
+    #[test]
+    fn keeps_abbreviations() {
+        assert_eq!(words("Liverpool F.C. won."), vec!["Liverpool", "F.C.", "won", "."]);
+    }
+
+    #[test]
+    fn separates_commas_and_quotes() {
+        assert_eq!(
+            words("\"Troy\", a film,"),
+            vec!["\"", "Troy", "\"", ",", "a", "film", ","]
+        );
+    }
+
+    #[test]
+    fn numbers_and_dates() {
+        assert_eq!(
+            words("born on 17 December 1936."),
+            vec!["born", "on", "17", "December", "1936", "."]
+        );
+    }
+
+    #[test]
+    fn offsets_roundtrip() {
+        let text = "He won, again.";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn internal_apostrophe_kept() {
+        assert_eq!(words("O'Brien sang"), vec!["O'Brien", "sang"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the NLP pipeline: offsets, segmentation and
+//! annotation invariants over arbitrary text.
+
+use proptest::prelude::*;
+use qkb_nlp::{Pipeline, PosTag};
+
+proptest! {
+    /// Token offsets always slice back to the token's surface.
+    #[test]
+    fn token_offsets_roundtrip(text in "[A-Za-z0-9 ,.'$-]{0,120}") {
+        for t in qkb_nlp::token::tokenize(&text) {
+            prop_assert_eq!(&text[t.start..t.end], t.text.as_str());
+        }
+    }
+
+    /// Sentence ranges tile the token stream without overlap.
+    #[test]
+    fn sentences_tile_tokens(text in "[A-Za-z ,.!?]{0,160}") {
+        let toks = qkb_nlp::token::tokenize(&text);
+        let ranges = qkb_nlp::sentence::split_sentences(&toks);
+        let mut covered = 0usize;
+        for (s, e) in &ranges {
+            prop_assert!(s <= e);
+            prop_assert!(*s >= covered, "ranges must not overlap");
+            covered = *e;
+        }
+        prop_assert!(covered <= toks.len());
+        if !toks.is_empty() {
+            prop_assert_eq!(covered, toks.len(), "every token belongs to a sentence");
+        }
+    }
+
+    /// The full pipeline never panics and assigns a POS to every token.
+    #[test]
+    fn pipeline_total_on_arbitrary_text(text in "\\PC{0,200}") {
+        let p = Pipeline::new();
+        let doc = p.annotate(&text);
+        for s in &doc.sentences {
+            for t in &s.tokens {
+                // Lemma is always non-empty for non-empty tokens.
+                prop_assert!(t.text.is_empty() || !t.lemma.is_empty());
+            }
+            // Chunks are in-bounds and non-overlapping.
+            let mut last_end = 0usize;
+            for c in &s.chunks {
+                prop_assert!(c.start < c.end);
+                prop_assert!(c.end <= s.tokens.len());
+                prop_assert!(c.start >= last_end);
+                last_end = c.end;
+            }
+        }
+    }
+
+    /// Parsers always produce a forest (no cycles) over any tagged input.
+    #[test]
+    fn greedy_parser_always_forest(text in "[A-Za-z ,.]{0,150}") {
+        let p = Pipeline::new();
+        let doc = p.annotate(&text);
+        let parser = qkb_parse::GreedyParser::new();
+        for s in &doc.sentences {
+            let tree = parser.parse(s);
+            prop_assert!(tree.is_forest());
+            prop_assert_eq!(tree.len(), s.tokens.len());
+        }
+    }
+
+    /// Chart parser likewise (with its greedy fallback path).
+    #[test]
+    fn chart_parser_always_forest(text in "[A-Za-z ,.]{0,100}") {
+        let p = Pipeline::new();
+        let doc = p.annotate(&text);
+        let parser = qkb_parse::ChartParser::new();
+        for s in &doc.sentences {
+            let tree = parser.parse(s);
+            prop_assert!(tree.is_forest());
+        }
+    }
+
+    /// Verb tags only appear on alphabetic tokens.
+    #[test]
+    fn verb_tags_are_alphabetic(text in "[A-Za-z0-9 ,.]{0,120}") {
+        let p = Pipeline::new();
+        for s in p.annotate(&text).sentences {
+            for t in &s.tokens {
+                if t.pos.is_verb() {
+                    prop_assert!(t.text.chars().any(|c| c.is_alphabetic()));
+                }
+                if t.pos == PosTag::CD {
+                    prop_assert!(t.text.chars().any(|c| c.is_ascii_digit()));
+                }
+            }
+        }
+    }
+}

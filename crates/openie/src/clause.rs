@@ -1,0 +1,177 @@
+//! Clause representation (Quirk et al.'s seven clause types).
+
+use qkb_nlp::Sentence;
+
+/// The seven clause types of English (§3 of the paper, following [44]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClauseType {
+    /// Subject–verb ("he sleeps").
+    SV,
+    /// Subject–verb–adverbial ("he lives in Missouri").
+    SVA,
+    /// Subject–verb–complement ("Brad Pitt is an actor").
+    SVC,
+    /// Subject–verb–object ("he supports the ONE Campaign").
+    SVO,
+    /// Subject–verb–object–object ("they gave him an award").
+    SVOO,
+    /// Subject–verb–object–adverbial ("Pitt donated $100,000 to the DPF").
+    SVOA,
+    /// Subject–verb–object–complement ("they elected him president").
+    SVOC,
+}
+
+impl ClauseType {
+    /// Paper-style label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClauseType::SV => "SV",
+            ClauseType::SVA => "SVA",
+            ClauseType::SVC => "SVC",
+            ClauseType::SVO => "SVO",
+            ClauseType::SVOO => "SVOO",
+            ClauseType::SVOA => "SVOA",
+            ClauseType::SVOC => "SVOC",
+        }
+    }
+}
+
+impl std::fmt::Display for ClauseType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Role of an argument within its clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArgKind {
+    /// The S constituent.
+    Subject,
+    /// A direct object.
+    Object,
+    /// An indirect object.
+    IndirectObject,
+    /// A subject or object complement (copular attribute, predicative).
+    Complement,
+    /// An adverbial, optionally introduced by a preposition.
+    Adverbial,
+}
+
+/// One argument of a clause: a token span with a designated head.
+#[derive(Clone, Debug)]
+pub struct Argument {
+    /// Token indices belonging to the argument (sorted).
+    pub tokens: Vec<usize>,
+    /// The argument's head token.
+    pub head: usize,
+    /// Constituent role.
+    pub kind: ArgKind,
+    /// Introducing preposition (lemmatized), if any ("to", "in").
+    pub prep: Option<String>,
+}
+
+impl Argument {
+    /// Surface text of the argument (head-span tokens joined).
+    pub fn text(&self, s: &Sentence) -> String {
+        self.tokens
+            .iter()
+            .map(|&i| s.tokens[i].text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// One detected clause: the n-ary fact skeleton of §3.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    /// Main verb token index.
+    pub verb: usize,
+    /// All tokens of the verb group (auxiliaries, negation, main verb).
+    pub verb_tokens: Vec<usize>,
+    /// Lemmatized relation head (the verb lemma).
+    pub verb_lemma: String,
+    /// Clause type.
+    pub ctype: ClauseType,
+    /// The S constituent (absent only for malformed clauses that the
+    /// detector then drops).
+    pub subject: Argument,
+    /// O constituents in order (0–2).
+    pub objects: Vec<Argument>,
+    /// C constituent, if any.
+    pub complement: Option<Argument>,
+    /// A constituents (each possibly with a preposition).
+    pub adverbials: Vec<Argument>,
+    /// Index of the clause this one depends on (subordinate/relative/
+    /// conjunct), within the same sentence's clause list.
+    pub parent: Option<usize>,
+    /// True if the verb group is negated.
+    pub negated: bool,
+}
+
+impl Clause {
+    /// The relation pattern for an argument: the lemmatized verb plus the
+    /// argument's preposition if it has one ("donate to", "play in"),
+    /// exactly the relation-edge labels of §3.
+    pub fn relation_pattern(&self, arg: &Argument) -> String {
+        match &arg.prep {
+            Some(p) => format!("{} {}", self.verb_lemma, p),
+            None => self.verb_lemma.clone(),
+        }
+    }
+
+    /// All non-subject arguments in clause order (objects, complement,
+    /// adverbials) — the candidate O/C/A slots of the n-ary fact.
+    pub fn non_subject_args(&self) -> Vec<&Argument> {
+        let mut out: Vec<&Argument> = self.objects.iter().collect();
+        if let Some(c) = &self.complement {
+            out.push(c);
+        }
+        out.extend(self.adverbials.iter());
+        out
+    }
+
+    /// Arity of the emitted fact: subject + relation + non-subject args.
+    pub fn arity(&self) -> usize {
+        2 + self.non_subject_args().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arg(kind: ArgKind, prep: Option<&str>) -> Argument {
+        Argument {
+            tokens: vec![0],
+            head: 0,
+            kind,
+            prep: prep.map(String::from),
+        }
+    }
+
+    #[test]
+    fn relation_pattern_includes_prep() {
+        let c = Clause {
+            verb: 1,
+            verb_tokens: vec![1],
+            verb_lemma: "donate".into(),
+            ctype: ClauseType::SVOA,
+            subject: arg(ArgKind::Subject, None),
+            objects: vec![arg(ArgKind::Object, None)],
+            complement: None,
+            adverbials: vec![arg(ArgKind::Adverbial, Some("to"))],
+            parent: None,
+            negated: false,
+        };
+        assert_eq!(c.relation_pattern(&c.adverbials[0]), "donate to");
+        assert_eq!(c.relation_pattern(&c.objects[0]), "donate");
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c.non_subject_args().len(), 2);
+    }
+
+    #[test]
+    fn clause_type_labels() {
+        assert_eq!(ClauseType::SVOO.to_string(), "SVOO");
+        assert_eq!(ClauseType::SV.as_str(), "SV");
+    }
+}

@@ -1,0 +1,429 @@
+//! ClausIE re-implementation: clause detection over dependency trees.
+//!
+//! Maps every main verb of a parsed sentence to one [`Clause`], assembling
+//! its S/V/O/C/A constituents from the verb's dependents and classifying the
+//! clause into one of the seven types. Subjects are inherited across
+//! conjunction and control (shared-subject coordination, xcomp chains) and
+//! recovered from relative-clause antecedents — the behaviours that let the
+//! original ClausIE out-extract pattern-based systems on complex sentences.
+
+use crate::clause::{ArgKind, Argument, Clause, ClauseType};
+use qkb_parse::{DepLabel, DepTree, ParserBackend};
+use qkb_nlp::{PosTag, Sentence};
+
+/// The clause detector. Cheap to construct; holds only configuration.
+pub struct ClausIe {
+    backend: ParserBackend,
+}
+
+impl Default for ClausIe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClausIe {
+    /// Detector with the greedy (Malt-like) parser — QKBfly's configuration.
+    pub fn new() -> Self {
+        Self {
+            backend: ParserBackend::Greedy,
+        }
+    }
+
+    /// Detector with an explicit parser backend (`Chart` reproduces the
+    /// original ClausIE-on-Stanford configuration of Table 5).
+    pub fn with_backend(backend: ParserBackend) -> Self {
+        Self { backend }
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> ParserBackend {
+        self.backend
+    }
+
+    /// Parses the sentence and detects its clauses.
+    pub fn detect(&self, s: &Sentence) -> Vec<Clause> {
+        let tree = qkb_parse::parse_sentence(self.backend, s);
+        self.detect_with_tree(s, &tree)
+    }
+
+    /// Detects clauses over an existing parse.
+    pub fn detect_with_tree(&self, s: &Sentence, tree: &DepTree) -> Vec<Clause> {
+        let n = s.tokens.len();
+        // Clause verbs: verbal tokens that are roots or carry a clausal
+        // label. Auxiliaries (label Aux) never head clauses.
+        let mut verbs: Vec<usize> = (0..n)
+            .filter(|&i| {
+                s.tokens[i].pos.is_verb()
+                    && matches!(
+                        tree.label(i),
+                        DepLabel::Root
+                            | DepLabel::Conj
+                            | DepLabel::Advcl
+                            | DepLabel::Ccomp
+                            | DepLabel::Rcmod
+                            | DepLabel::Xcomp
+                    )
+            })
+            .collect();
+        verbs.sort_unstable();
+
+        let verb_rank: qkb_util::FxHashMap<usize, usize> =
+            verbs.iter().enumerate().map(|(r, &v)| (v, r)).collect();
+
+        let mut clauses = Vec::with_capacity(verbs.len());
+        for &v in &verbs {
+            if let Some(c) = self.build_clause(s, tree, v, &verb_rank) {
+                clauses.push(c);
+            }
+        }
+        clauses
+    }
+
+    fn build_clause(
+        &self,
+        s: &Sentence,
+        tree: &DepTree,
+        v: usize,
+        verb_rank: &qkb_util::FxHashMap<usize, usize>,
+    ) -> Option<Clause> {
+        // --- verb group ---
+        let mut verb_tokens = vec![v];
+        let mut negated = false;
+        for c in tree.children(v) {
+            match tree.label(c) {
+                DepLabel::Aux => verb_tokens.push(c),
+                DepLabel::Neg => {
+                    verb_tokens.push(c);
+                    negated = true;
+                }
+                _ => {}
+            }
+        }
+        verb_tokens.sort_unstable();
+
+        // --- subject ---
+        let subject_head = self.find_subject(s, tree, v)?;
+        let subject = self.nominal_argument(s, tree, subject_head, ArgKind::Subject, None);
+
+        // --- objects / complements / adverbials ---
+        let mut objects = Vec::new();
+        let mut complement = None;
+        let mut adverbials = Vec::new();
+        let mut iobj: Option<Argument> = None;
+        for c in tree.children(v) {
+            match tree.label(c) {
+                DepLabel::Obj => {
+                    objects.push(self.nominal_argument(s, tree, c, ArgKind::Object, None));
+                }
+                DepLabel::Iobj => {
+                    iobj = Some(self.nominal_argument(
+                        s,
+                        tree,
+                        c,
+                        ArgKind::IndirectObject,
+                        None,
+                    ));
+                }
+                DepLabel::Attr | DepLabel::Acomp => {
+                    complement =
+                        Some(self.nominal_argument(s, tree, c, ArgKind::Complement, None));
+                }
+                DepLabel::Prep => {
+                    let prep_lemma = s.tokens[c].lemma.clone();
+                    if let Some(pobj) = tree.child_with(c, DepLabel::Pobj) {
+                        adverbials.push(self.nominal_argument(
+                            s,
+                            tree,
+                            pobj,
+                            ArgKind::Adverbial,
+                            Some(prep_lemma),
+                        ));
+                    }
+                }
+                DepLabel::Tmod => {
+                    adverbials.push(self.nominal_argument(s, tree, c, ArgKind::Adverbial, None));
+                }
+                _ => {}
+            }
+        }
+        // Ditransitive ordering: indirect object precedes direct object.
+        if let Some(io) = iobj {
+            objects.insert(0, io);
+        }
+
+        // --- classification ---
+        let is_copula = s.tokens[v].lemma == "be";
+        let ctype = if objects.len() >= 2 {
+            ClauseType::SVOO
+        } else if objects.len() == 1 && complement.is_some() {
+            ClauseType::SVOC
+        } else if objects.len() == 1 && !adverbials.is_empty() {
+            ClauseType::SVOA
+        } else if objects.len() == 1 {
+            ClauseType::SVO
+        } else if complement.is_some() {
+            ClauseType::SVC
+        } else if !adverbials.is_empty() {
+            ClauseType::SVA
+        } else {
+            ClauseType::SV
+        };
+        let _ = is_copula;
+
+        // --- parent clause ---
+        let parent = {
+            let mut cur = tree.head(v);
+            let mut found = None;
+            while let Some(h) = cur {
+                if let Some(&r) = verb_rank.get(&h) {
+                    found = Some(r);
+                    break;
+                }
+                cur = tree.head(h);
+            }
+            found
+        };
+
+        Some(Clause {
+            verb: v,
+            verb_tokens,
+            verb_lemma: s.tokens[v].lemma.clone(),
+            ctype,
+            subject,
+            objects,
+            complement,
+            adverbials,
+            parent,
+            negated,
+        })
+    }
+
+    /// Subject of verb `v`: its own Subj child; the relative-clause
+    /// antecedent when the Subj is a wh-word; otherwise inherited from the
+    /// governing verb (shared-subject coordination, xcomp control).
+    fn find_subject(&self, s: &Sentence, tree: &DepTree, v: usize) -> Option<usize> {
+        if let Some(subj) = tree.child_with(v, DepLabel::Subj) {
+            if matches!(s.tokens[subj].pos, PosTag::WP | PosTag::WDT) {
+                // Relative clause: antecedent is what the clause modifies.
+                if tree.label(v) == DepLabel::Rcmod {
+                    return tree.head(v);
+                }
+            }
+            return Some(subj);
+        }
+        // Inherit through Conj / Xcomp / Advcl chains.
+        let mut cur = v;
+        let mut hops = 0;
+        while hops < 8 {
+            let h = tree.head(cur)?;
+            if s.tokens[h].pos.is_verb() {
+                if let Some(subj) = tree.child_with(h, DepLabel::Subj) {
+                    if !matches!(s.tokens[subj].pos, PosTag::WP | PosTag::WDT) {
+                        return Some(subj);
+                    }
+                    return tree.head(h);
+                }
+                cur = h;
+            } else if tree.label(v) == DepLabel::Rcmod {
+                // Clause modifies a noun: that noun is the subject.
+                return Some(h);
+            } else {
+                cur = h;
+            }
+            hops += 1;
+        }
+        None
+    }
+
+    /// Builds a nominal argument around `head`: the head plus its NP-
+    /// internal dependents (determiners, modifiers, compounds, possessors,
+    /// embedded "of"-PPs). Clausal material is excluded.
+    fn nominal_argument(
+        &self,
+        s: &Sentence,
+        tree: &DepTree,
+        head: usize,
+        kind: ArgKind,
+        prep: Option<String>,
+    ) -> Argument {
+        let mut tokens = vec![head];
+        let mut stack = vec![head];
+        while let Some(h) = stack.pop() {
+            for c in tree.children(h) {
+                let keep = matches!(
+                    tree.label(c),
+                    DepLabel::Det
+                        | DepLabel::Amod
+                        | DepLabel::Compound
+                        | DepLabel::NumMod
+                        | DepLabel::Poss
+                        | DepLabel::Case
+                ) || (tree.label(c) == DepLabel::Prep && s.tokens[c].lemma == "of")
+                    || (tree.label(c) == DepLabel::Pobj && s.tokens[h].lemma == "of");
+                if keep {
+                    tokens.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        Argument {
+            tokens,
+            head,
+            kind,
+            prep,
+        }
+    }
+}
+
+impl crate::extraction::Extractor for ClausIe {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            // Table 5 rows: the chart backend is the original ClausIE
+            // configuration; the greedy backend is QKBfly's Open IE.
+            ParserBackend::Chart => "ClausIE",
+            ParserBackend::Greedy => "QKBfly",
+        }
+    }
+
+    fn extract(&self, s: &Sentence) -> Vec<crate::extraction::Extraction> {
+        let mut out = Vec::new();
+        for c in self.detect(s) {
+            let conf = crate::extraction::clause_confidence(&c);
+            out.extend(crate::extraction::clause_extractions(s, &c, true, conf));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_nlp::Pipeline;
+
+    fn clauses(text: &str) -> (Sentence, Vec<Clause>) {
+        let p = Pipeline::new();
+        let doc = p.annotate(text);
+        let s = doc.sentences.into_iter().next().expect("one sentence");
+        let cs = ClausIe::new().detect(&s);
+        (s, cs)
+    }
+
+    #[test]
+    fn svc_clause_detected() {
+        let (s, cs) = clauses("Brad Pitt is an actor.");
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ctype, ClauseType::SVC);
+        assert_eq!(cs[0].subject.text(&s), "Brad Pitt");
+        assert_eq!(
+            cs[0].complement.as_ref().expect("complement").text(&s),
+            "an actor"
+        );
+        assert_eq!(cs[0].verb_lemma, "be");
+    }
+
+    #[test]
+    fn svo_clause_detected() {
+        let (s, cs) = clauses("He supports the ONE Campaign.");
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ctype, ClauseType::SVO);
+        assert_eq!(cs[0].objects[0].text(&s), "the ONE Campaign");
+    }
+
+    #[test]
+    fn svoa_quadruple_from_donation() {
+        let (s, cs) = clauses("Pitt donated $100,000 to the Daniel Pearl Foundation.");
+        assert_eq!(cs.len(), 1);
+        let c = &cs[0];
+        assert_eq!(c.ctype, ClauseType::SVOA);
+        assert_eq!(c.objects[0].text(&s), "$100,000");
+        assert_eq!(c.adverbials[0].text(&s), "the Daniel Pearl Foundation");
+        assert_eq!(c.adverbials[0].prep.as_deref(), Some("to"));
+        assert_eq!(c.relation_pattern(&c.adverbials[0]), "donate to");
+        assert_eq!(c.arity(), 4);
+    }
+
+    #[test]
+    fn two_clauses_with_coordination() {
+        let (s, cs) = clauses("Brad Pitt is an actor and he supports the ONE Campaign.");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].ctype, ClauseType::SVC);
+        assert_eq!(cs[1].ctype, ClauseType::SVO);
+        assert_eq!(cs[1].subject.text(&s), "he");
+    }
+
+    #[test]
+    fn shared_subject_inherited() {
+        let (s, cs) = clauses("Pitt acted and directed.");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[1].subject.text(&s), "Pitt");
+        assert_eq!(cs[1].parent, Some(0));
+    }
+
+    #[test]
+    fn relative_clause_subject_is_antecedent() {
+        let (s, cs) = clauses("The striker who scored the goal celebrated.");
+        let scored = cs
+            .iter()
+            .find(|c| c.verb_lemma == "score")
+            .expect("relative clause found");
+        assert_eq!(s.tokens[scored.subject.head].text, "striker");
+    }
+
+    #[test]
+    fn subordinate_clause_has_parent() {
+        let (_, cs) = clauses("He resigned because the team lost the final.");
+        assert_eq!(cs.len(), 2);
+        let sub = cs.iter().find(|c| c.verb_lemma == "lose").expect("found");
+        assert!(sub.parent.is_some());
+    }
+
+    #[test]
+    fn negation_flag() {
+        let (_, cs) = clauses("He did not support the campaign.");
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].negated);
+    }
+
+    #[test]
+    fn passive_sva() {
+        let (s, cs) = clauses("He was born in Missouri.");
+        assert_eq!(cs.len(), 1);
+        let c = &cs[0];
+        assert_eq!(c.verb_lemma, "bear");
+        assert_eq!(c.ctype, ClauseType::SVA);
+        assert_eq!(c.adverbials[0].prep.as_deref(), Some("in"));
+        assert_eq!(c.adverbials[0].text(&s), "Missouri");
+    }
+
+    #[test]
+    fn ditransitive_svoo() {
+        let (s, cs) = clauses("The club gave the coach a contract.");
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ctype, ClauseType::SVOO);
+        assert_eq!(cs[0].objects.len(), 2);
+        assert_eq!(cs[0].objects[0].text(&s), "the coach");
+        assert_eq!(cs[0].objects[1].text(&s), "a contract");
+    }
+
+    #[test]
+    fn chart_backend_also_detects() {
+        let p = Pipeline::new();
+        let doc = p.annotate("He supports the campaign.");
+        let s = &doc.sentences[0];
+        let cs = ClausIe::with_backend(ParserBackend::Chart).detect(s);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].verb_lemma, "support");
+    }
+
+    #[test]
+    fn possessive_inside_argument_span() {
+        let (s, cs) = clauses("Pitt 's ex-wife supported the charity.");
+        assert_eq!(cs.len(), 1);
+        let subj_text = cs[0].subject.text(&s);
+        assert!(subj_text.contains("ex-wife"), "got: {subj_text}");
+        assert!(subj_text.contains("Pitt"), "got: {subj_text}");
+    }
+}

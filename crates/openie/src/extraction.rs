@@ -1,0 +1,211 @@
+//! The shared Open-IE extraction representation and the `Extractor` trait
+//! implemented by ClausIE, ReVerb, Ollie and Open IE 4.2 (Table 5).
+
+use crate::clause::{Clause, ClauseType};
+use qkb_nlp::Sentence;
+
+/// One (possibly n-ary) surface extraction: subject, relation phrase, and
+/// one or more argument phrases, none of them canonicalized (that is
+/// QKBfly's job downstream).
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// Sentence index within the document.
+    pub sentence: usize,
+    /// Subject phrase.
+    pub subject: String,
+    /// Subject head token index.
+    pub subject_head: usize,
+    /// Relation phrase (lemmatized verb, optional preposition).
+    pub relation: String,
+    /// Argument phrases in clause order.
+    pub args: Vec<String>,
+    /// Head token index of each argument.
+    pub arg_heads: Vec<usize>,
+    /// Extractor-assigned confidence in [0, 1].
+    pub confidence: f64,
+}
+
+impl Extraction {
+    /// Total arity: subject + relation + arguments (a triple has arity 3).
+    pub fn arity(&self) -> usize {
+        2 + self.args.len()
+    }
+
+    /// True for plain subject-relation-object triples.
+    pub fn is_triple(&self) -> bool {
+        self.args.len() == 1
+    }
+
+    /// Paper-style angle-bracket rendering.
+    pub fn render(&self) -> String {
+        let mut parts = vec![self.subject.clone(), self.relation.clone()];
+        parts.extend(self.args.iter().cloned());
+        format!("⟨{}⟩", parts.join(", "))
+    }
+}
+
+/// A sentence-level Open IE system.
+pub trait Extractor {
+    /// Human-readable system name (as it appears in Table 5).
+    fn name(&self) -> &'static str;
+
+    /// Extracts from one annotated sentence.
+    fn extract(&self, sentence: &Sentence) -> Vec<Extraction>;
+
+    /// Extracts from a whole document, tagging sentence indices.
+    fn extract_doc(&self, doc: &qkb_nlp::AnnotatedDoc) -> Vec<Extraction> {
+        let mut out = Vec::new();
+        for s in &doc.sentences {
+            let mut ex = self.extract(s);
+            for e in &mut ex {
+                e.sentence = s.index;
+            }
+            out.extend(ex);
+        }
+        out
+    }
+}
+
+/// Converts one clause into its extractions:
+/// * the full n-ary extraction (all O/C/A slots), and
+/// * one binary triple per non-subject argument (with the argument's
+///   relation pattern), which is how the semantic graph's relation edges
+///   arise in §3.
+///
+/// `emit_nary` controls whether the n-ary tuple is included (ClausIE and
+/// QKBfly emit it; DEFIE-style systems do not).
+pub fn clause_extractions(
+    s: &Sentence,
+    clause: &Clause,
+    emit_nary: bool,
+    confidence: f64,
+) -> Vec<Extraction> {
+    let mut out = Vec::new();
+    let subject = clause.subject.text(s);
+    let subject_head = clause.subject.head;
+    let non_subj = clause.non_subject_args();
+    if non_subj.is_empty() {
+        // SV clause: unary statement, rendered as a triple with an empty
+        // object slot is useless for KB purposes — skip.
+        return out;
+    }
+    // Binary triples per argument.
+    for arg in &non_subj {
+        out.push(Extraction {
+            sentence: s.index,
+            subject: subject.clone(),
+            subject_head,
+            relation: clause.relation_pattern(arg),
+            args: vec![arg.text(s)],
+            arg_heads: vec![arg.head],
+            confidence,
+        });
+    }
+    // The n-ary tuple for SVOO/SVOA/SVOC (arity > 3).
+    if emit_nary && non_subj.len() >= 2 {
+        let relation = {
+            // Combined pattern: verb plus the prepositions in order
+            // ("donate to", "play in").
+            let preps: Vec<&str> = non_subj
+                .iter()
+                .filter_map(|a| a.prep.as_deref())
+                .collect();
+            if preps.is_empty() {
+                clause.verb_lemma.clone()
+            } else {
+                format!("{} {}", clause.verb_lemma, preps.join(" "))
+            }
+        };
+        out.push(Extraction {
+            sentence: s.index,
+            subject,
+            subject_head,
+            relation,
+            args: non_subj.iter().map(|a| a.text(s)).collect(),
+            arg_heads: non_subj.iter().map(|a| a.head).collect(),
+            confidence,
+        });
+    }
+    out
+}
+
+/// Baseline confidence heuristic shared by clause-based extractors: longer
+/// clauses and clause types with more slots are harder, subordinate clauses
+/// are harder still.
+pub fn clause_confidence(clause: &Clause) -> f64 {
+    let mut c: f64 = match clause.ctype {
+        ClauseType::SV | ClauseType::SVC | ClauseType::SVO => 0.9,
+        ClauseType::SVA | ClauseType::SVOO => 0.8,
+        ClauseType::SVOA | ClauseType::SVOC => 0.75,
+    };
+    if clause.parent.is_some() {
+        c -= 0.1;
+    }
+    if clause.negated {
+        c -= 0.05;
+    }
+    c.clamp(0.05, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clausie::ClausIe;
+    use qkb_nlp::Pipeline;
+
+    #[test]
+    fn triple_and_nary_from_svoa() {
+        let p = Pipeline::new();
+        let doc = p.annotate("Pitt donated $100,000 to the Daniel Pearl Foundation.");
+        let s = &doc.sentences[0];
+        let cs = ClausIe::new().detect(s);
+        let ex = clause_extractions(s, &cs[0], true, 0.8);
+        // two binary triples + one quadruple
+        assert_eq!(ex.len(), 3);
+        let quad = ex.iter().find(|e| e.arity() == 4).expect("quadruple");
+        assert_eq!(quad.relation, "donate to");
+        assert_eq!(quad.args.len(), 2);
+        let binary: Vec<&Extraction> = ex.iter().filter(|e| e.is_triple()).collect();
+        assert_eq!(binary.len(), 2);
+        assert!(binary.iter().any(|e| e.relation == "donate"));
+        assert!(binary.iter().any(|e| e.relation == "donate to"));
+    }
+
+    #[test]
+    fn sv_clause_emits_nothing() {
+        let p = Pipeline::new();
+        let doc = p.annotate("He resigned.");
+        let s = &doc.sentences[0];
+        let cs = ClausIe::new().detect(s);
+        assert_eq!(cs.len(), 1);
+        let ex = clause_extractions(s, &cs[0], true, 0.9);
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn confidence_decreases_for_subordinate() {
+        let p = Pipeline::new();
+        let doc = p.annotate("He resigned because the team lost the final.");
+        let s = &doc.sentences[0];
+        let cs = ClausIe::new().detect(s);
+        let main = cs.iter().find(|c| c.parent.is_none()).expect("main");
+        let sub = cs.iter().find(|c| c.parent.is_some()).expect("sub");
+        assert!(clause_confidence(sub) < clause_confidence(main) + 0.2);
+    }
+
+    #[test]
+    fn render_uses_angle_brackets() {
+        let e = Extraction {
+            sentence: 0,
+            subject: "Brad Pitt".into(),
+            subject_head: 0,
+            relation: "play in".into(),
+            args: vec!["Achilles".into(), "Troy".into()],
+            arg_heads: vec![3, 5],
+            confidence: 0.9,
+        };
+        assert_eq!(e.render(), "⟨Brad Pitt, play in, Achilles, Troy⟩");
+        assert_eq!(e.arity(), 4);
+        assert!(!e.is_triple());
+    }
+}

@@ -1,0 +1,26 @@
+//! # qkb-openie
+//!
+//! Clause-based Open Information Extraction: a re-implementation of
+//! ClausIE [13] (the paper's extraction workhorse) on top of the
+//! `qkb-parse` dependency trees, plus the Open-IE baselines of Table 5:
+//! ReVerb [20], Ollie [35] and Open IE 4.2.
+//!
+//! Following Quirk et al. [44], a clause is one subject (S), one verb (V),
+//! an optional object (O), an optional complement (C) and any number of
+//! adverbials (A); only seven constituent combinations occur in English —
+//! SV, SVA, SVC, SVO, SVOO, SVOA, SVOC — and each clause confirms exactly
+//! one n-ary fact with those constituents as arguments (§3 of the paper).
+
+pub mod clause;
+pub mod clausie;
+pub mod extraction;
+pub mod ollie;
+pub mod openie4;
+pub mod reverb;
+
+pub use clause::{ArgKind, Argument, Clause, ClauseType};
+pub use clausie::ClausIe;
+pub use extraction::{Extraction, Extractor};
+pub use ollie::Ollie;
+pub use openie4::OpenIe4;
+pub use reverb::Reverb;

@@ -1,0 +1,161 @@
+//! Ollie baseline [35]: dependency-pattern extraction, including
+//! noun-mediated relations, but with looser argument constraints than
+//! ClausIE — reproducing its Table 5 profile (many extractions, lowest
+//! precision among the compared systems).
+
+use crate::extraction::{Extraction, Extractor};
+use qkb_parse::{DepLabel, GreedyParser};
+use qkb_nlp::{PosTag, Sentence};
+
+/// The Ollie-style extractor.
+#[derive(Default)]
+pub struct Ollie;
+
+impl Ollie {
+    /// Creates the extractor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Extractor for Ollie {
+    fn name(&self) -> &'static str {
+        "Ollie"
+    }
+
+    fn extract(&self, s: &Sentence) -> Vec<Extraction> {
+        let tree = GreedyParser::new().parse(s);
+        let n = s.tokens.len();
+        let mut out = Vec::new();
+
+        for v in 0..n {
+            if !s.tokens[v].pos.is_verb() {
+                continue;
+            }
+            // Pattern 1: nsubj(V, S) + dobj(V, O) — core verbal triple.
+            let subj = tree.child_with(v, DepLabel::Subj);
+            let objs: Vec<usize> = tree
+                .children(v)
+                .filter(|&c| {
+                    matches!(
+                        tree.label(c),
+                        DepLabel::Obj | DepLabel::Iobj | DepLabel::Attr | DepLabel::Acomp
+                    )
+                })
+                .collect();
+            if let Some(sb) = subj {
+                for &o in &objs {
+                    out.push(self.make(s, sb, s.tokens[v].lemma.clone(), o, 0.65));
+                }
+                // Pattern 2: prep arcs, relation = verb + prep. Unlike
+                // ClausIE, Ollie attaches every PP to the verb — including
+                // noun-attached ones — which costs precision.
+                for c in 0..n {
+                    if s.tokens[c].pos == PosTag::IN || s.tokens[c].pos == PosTag::TO {
+                        if let Some(pobj) = tree.child_with(c, DepLabel::Pobj) {
+                            // only PPs in this verb's neighbourhood
+                            if c > v && c < v + 12 {
+                                let rel =
+                                    format!("{} {}", s.tokens[v].lemma, s.tokens[c].lemma);
+                                out.push(self.make(s, sb, rel, pobj, 0.55));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Pattern 3: noun-mediated — possessive + apposition
+        // ("Pitt's ex-wife Angelina Jolie" -> ⟨Jolie, be ex-wife of, Pitt⟩).
+        for h in 0..n {
+            if let Some(poss) = tree.child_with(h, DepLabel::Poss) {
+                if s.tokens[h].pos == PosTag::NN {
+                    if let Some(appos) = tree.child_with(h, DepLabel::Appos) {
+                        let rel = format!("be {} of", s.tokens[h].lemma);
+                        out.push(self.make(s, appos, rel, poss, 0.5));
+                    }
+                }
+            }
+            // Loose apposition pattern: NP , NP -> ⟨NP1, be, NP2⟩. Fires on
+            // parentheticals too, a known Ollie noise source.
+            if let Some(appos) = tree.child_with(h, DepLabel::Appos) {
+                if s.tokens[h].pos.is_noun() {
+                    out.push(self.make(s, h, "be".to_string(), appos, 0.4));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Ollie {
+    fn make(
+        &self,
+        s: &Sentence,
+        subj_head: usize,
+        relation: String,
+        obj_head: usize,
+        confidence: f64,
+    ) -> Extraction {
+        Extraction {
+            sentence: s.index,
+            subject: phrase_around(s, subj_head),
+            subject_head: subj_head,
+            relation,
+            args: vec![phrase_around(s, obj_head)],
+            arg_heads: vec![obj_head],
+            confidence,
+        }
+    }
+}
+
+/// Ollie's looser argument spans: the containing chunk if one exists, the
+/// bare token otherwise.
+fn phrase_around(s: &Sentence, head: usize) -> String {
+    for c in &s.chunks {
+        if head >= c.start && head < c.end {
+            return c.text(&s.tokens);
+        }
+    }
+    s.tokens[head].text.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_nlp::Pipeline;
+
+    fn extract(text: &str) -> Vec<Extraction> {
+        let p = Pipeline::new();
+        let doc = p.annotate(text);
+        Ollie::new().extract(&doc.sentences[0])
+    }
+
+    #[test]
+    fn verbal_triple() {
+        let ex = extract("He supports the ONE Campaign.");
+        assert!(ex.iter().any(|e| e.relation == "support"));
+    }
+
+    #[test]
+    fn prep_relation_included() {
+        let ex = extract("Pitt donated $100,000 to the foundation.");
+        assert!(ex.iter().any(|e| e.relation == "donate to"));
+    }
+
+    #[test]
+    fn noun_mediated_possessive() {
+        let ex = extract("Pitt 's ex-wife Angelina Jolie filed for divorce.");
+        assert!(
+            ex.iter().any(|e| e.relation.contains("ex-wife")),
+            "extractions: {:?}",
+            ex.iter().map(|e| e.render()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn produces_more_noise_than_clausie() {
+        // The loose appositive pattern fires on parenthetical appositions.
+        let ex = extract("Brad Pitt, an American actor, supported the campaign.");
+        assert!(ex.iter().any(|e| e.relation == "be"));
+    }
+}

@@ -1,0 +1,468 @@
+//! CKY chart parser over a compact PCFG (Stanford-parser substitute).
+//!
+//! The original ClausIE runs on the Stanford constituency parser; QKBfly
+//! replaced it with MaltParser for speed (§3). To reproduce that trade-off
+//! structurally, this module implements genuine chart parsing: a CNF-ish
+//! PCFG (binary rules + unary promotions) over POS preterminals, Viterbi
+//! decoding in O(n³·|G|), and head-percolation conversion of the best parse
+//! into the shared [`DepTree`] representation. When no spanning parse
+//! exists the parser falls back to the greedy backend (the chart time has
+//! already been paid, as with real parsers' fallback modes).
+
+use crate::dep::{DepLabel, DepTree};
+use crate::greedy::GreedyParser;
+use qkb_nlp::{PosTag, Sentence};
+
+/// Grammar nonterminals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Nt {
+    Top,
+    S,
+    Np,
+    Nbar,
+    Vp,
+    Pp,
+    Adjp,
+    Advp,
+    Sbar,
+}
+
+const N_NT: usize = 9;
+
+fn nt_idx(nt: Nt) -> usize {
+    match nt {
+        Nt::Top => 0,
+        Nt::S => 1,
+        Nt::Np => 2,
+        Nt::Nbar => 3,
+        Nt::Vp => 4,
+        Nt::Pp => 5,
+        Nt::Adjp => 6,
+        Nt::Advp => 7,
+        Nt::Sbar => 8,
+    }
+}
+
+/// Which child of a binary rule carries the head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HeadSide {
+    Left,
+    Right,
+}
+
+/// A binary rule `parent -> left right` with log-probability, head side and
+/// the dependency label assigned to the non-head child's head token.
+struct BinRule {
+    parent: Nt,
+    left: Nt,
+    right: Nt,
+    logp: f64,
+    head: HeadSide,
+    dep: DepLabel,
+}
+
+/// A unary rule `parent -> child` (single application per cell pass).
+struct UnRule {
+    parent: Nt,
+    child: Nt,
+    logp: f64,
+}
+
+fn binary_rules() -> Vec<BinRule> {
+    use HeadSide::*;
+    use Nt::*;
+    let r = |parent, left, right, p: f64, head, dep| BinRule {
+        parent,
+        left,
+        right,
+        logp: (p as f64).ln(),
+        head,
+        dep,
+    };
+    vec![
+        // Noun phrases.
+        r(Np, Nt::Np, Pp, 0.15, Left, DepLabel::Prep),
+        r(Nbar, Adjp, Nbar, 0.25, Right, DepLabel::Amod),
+        r(Nbar, Nbar, Nbar, 0.10, Right, DepLabel::Compound),
+        r(Np, Np, Np, 0.03, Left, DepLabel::Appos),
+        // Prepositional phrases.
+        r(Pp, Pp, Np, 0.9, Left, DepLabel::Pobj), // PP here is bare IN first
+        // Verb phrases.
+        r(Vp, Vp, Np, 0.35, Left, DepLabel::Obj),
+        r(Vp, Vp, Pp, 0.25, Left, DepLabel::Prep),
+        r(Vp, Vp, Adjp, 0.10, Left, DepLabel::Acomp),
+        r(Vp, Vp, Advp, 0.05, Left, DepLabel::Advmod),
+        r(Vp, Advp, Vp, 0.04, Right, DepLabel::Advmod),
+        r(Vp, Vp, Vp, 0.08, Right, DepLabel::Aux), // aux chains: "was born"
+        r(Vp, Vp, Sbar, 0.06, Left, DepLabel::Ccomp),
+        // Clauses.
+        r(S, Np, Vp, 0.9, Right, DepLabel::Subj),
+        r(Sbar, Pp, S, 0.3, Right, DepLabel::Mark), // bare-IN as mark
+        r(S, S, Sbar, 0.05, Left, DepLabel::Advcl),
+        r(S, S, S, 0.02, Left, DepLabel::Conj),
+        r(Top, S, S, 0.05, Left, DepLabel::Conj),
+        // NP-attached relative-ish clause.
+        r(Np, Np, S, 0.02, Left, DepLabel::Rcmod),
+    ]
+}
+
+fn unary_rules() -> Vec<UnRule> {
+    use Nt::*;
+    let r = |parent, child, p: f64| UnRule {
+        parent,
+        child,
+        logp: (p as f64).ln(),
+    };
+    vec![
+        r(Np, Nbar, 0.6),
+        r(Top, S, 0.9),
+        r(S, Vp, 0.05), // imperative / fragment
+    ]
+}
+
+/// Preterminal assignment: `(nonterminal, log-prob)` for one POS tag.
+fn preterminals(pos: PosTag, lemma: &str) -> Vec<(Nt, f64)> {
+    use Nt::*;
+    match pos {
+        p if p.is_noun() => vec![(Nbar, 0.0)],
+        PosTag::CD => vec![(Nbar, (0.8f64).ln())],
+        PosTag::PRP | PosTag::EX => vec![(Np, 0.0)],
+        PosTag::WP | PosTag::WDT => vec![(Np, (0.5f64).ln())],
+        p if p.is_verb() => {
+            // Auxiliaries prefer to combine as VP->VP VP heads.
+            let p0 = if matches!(lemma, "be" | "have" | "do") {
+                (0.9f64).ln()
+            } else {
+                0.0
+            };
+            vec![(Vp, p0)]
+        }
+        PosTag::MD => vec![(Vp, (0.7f64).ln())],
+        p if p.is_adjective() => vec![(Adjp, 0.0)],
+        PosTag::RB => vec![(Advp, 0.0)],
+        PosTag::IN | PosTag::TO => vec![(Pp, (0.9f64).ln())],
+        // DT/PRP$/POS/CC/punct handled by pre-grouping; give them NP-opener
+        // status so lone determiners don't break the parse.
+        PosTag::DT | PosTag::PRPS => vec![(Nbar, (0.05f64).ln())],
+        _ => vec![(Nbar, (0.01f64).ln())],
+    }
+}
+
+/// Back-pointer for Viterbi reconstruction.
+#[derive(Clone, Copy)]
+enum Back {
+    /// Leaf (token index).
+    Leaf(usize),
+    /// Binary split: (split point, left nt, right nt, rule index).
+    Bin(usize, usize, usize, usize),
+    /// Unary promotion: child nt.
+    Un(usize),
+}
+
+/// The chart parser.
+pub struct ChartParser {
+    bins: Vec<BinRule>,
+    uns: Vec<UnRule>,
+}
+
+impl Default for ChartParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChartParser {
+    /// Builds the parser with the embedded grammar.
+    pub fn new() -> Self {
+        Self {
+            bins: binary_rules(),
+            uns: unary_rules(),
+        }
+    }
+
+    /// Parses one sentence; falls back to the greedy parser when the chart
+    /// has no spanning analysis.
+    pub fn parse(&self, s: &Sentence) -> DepTree {
+        let keep: Vec<usize> = (0..s.tokens.len())
+            .filter(|&i| {
+                !matches!(
+                    s.tokens[i].pos,
+                    PosTag::PUNCT | PosTag::POS | PosTag::CC | PosTag::DT | PosTag::PRPS
+                )
+            })
+            .collect();
+        let n = keep.len();
+        if n == 0 || n > 60 {
+            // Degenerate or pathologically long: greedy handles it.
+            return GreedyParser::new().parse(s);
+        }
+
+        // chart[start][len-1][nt] = (score, back)
+        let mut score = vec![f64::NEG_INFINITY; n * n * N_NT];
+        let mut back: Vec<Option<Back>> = vec![None; n * n * N_NT];
+        let at = |st: usize, len: usize, nt: usize| (st * n + (len - 1)) * N_NT + nt;
+
+        // Leaves + unary closure.
+        for (pos_in_chart, &ti) in keep.iter().enumerate() {
+            for (nt, p) in preterminals(s.tokens[ti].pos, &s.tokens[ti].lemma) {
+                let idx = at(pos_in_chart, 1, nt_idx(nt));
+                if p > score[idx] {
+                    score[idx] = p;
+                    back[idx] = Some(Back::Leaf(ti));
+                }
+            }
+            self.apply_unaries(&mut score, &mut back, pos_in_chart, 1, n, &at);
+        }
+
+        // CKY main loops.
+        for len in 2..=n {
+            for st in 0..=(n - len) {
+                for split in 1..len {
+                    for (ri, rule) in self.bins.iter().enumerate() {
+                        let ls = score[at(st, split, nt_idx(rule.left))];
+                        if ls == f64::NEG_INFINITY {
+                            continue;
+                        }
+                        let rs = score[at(st + split, len - split, nt_idx(rule.right))];
+                        if rs == f64::NEG_INFINITY {
+                            continue;
+                        }
+                        let cand = ls + rs + rule.logp;
+                        let idx = at(st, len, nt_idx(rule.parent));
+                        if cand > score[idx] {
+                            score[idx] = cand;
+                            back[idx] =
+                                Some(Back::Bin(split, nt_idx(rule.left), nt_idx(rule.right), ri));
+                        }
+                    }
+                }
+                self.apply_unaries(&mut score, &mut back, st, len, n, &at);
+            }
+        }
+
+        // Best spanning symbol: TOP, then S.
+        let goal = [Nt::Top, Nt::S, Nt::Vp, Nt::Np]
+            .into_iter()
+            .map(nt_idx)
+            .find(|&g| score[at(0, n, g)] > f64::NEG_INFINITY);
+        let Some(goal) = goal else {
+            return GreedyParser::new().parse(s);
+        };
+
+        let mut tree = DepTree::new(s.tokens.len());
+        let root_tok = self.extract(&back, 0, n, goal, n, &at, &mut tree);
+        if let Some(r) = root_tok {
+            if tree.head(r).is_none() {
+                tree.set_root(r);
+            }
+        }
+        // Reattach the tokens excluded from the chart with surface rules.
+        self.attach_excluded(s, &keep, root_tok, &mut tree);
+        if !tree.is_forest() {
+            return GreedyParser::new().parse(s);
+        }
+        // Relabel copular objects: VP(be) + NP is Attr, not Obj.
+        relabel_copula(s, &mut tree);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_unaries(
+        &self,
+        score: &mut [f64],
+        back: &mut [Option<Back>],
+        st: usize,
+        len: usize,
+        _n: usize,
+        at: &dyn Fn(usize, usize, usize) -> usize,
+    ) {
+        // Two passes are enough for our shallow unary chains.
+        for _ in 0..2 {
+            for rule in &self.uns {
+                let cs = score[at(st, len, nt_idx(rule.child))];
+                if cs == f64::NEG_INFINITY {
+                    continue;
+                }
+                let cand = cs + rule.logp;
+                let idx = at(st, len, nt_idx(rule.parent));
+                if cand > score[idx] {
+                    score[idx] = cand;
+                    back[idx] = Some(Back::Un(nt_idx(rule.child)));
+                }
+            }
+        }
+    }
+
+    /// Recursively walks back-pointers, emitting dependency arcs; returns
+    /// the head token of the span.
+    #[allow(clippy::too_many_arguments)]
+    fn extract(
+        &self,
+        back: &[Option<Back>],
+        st: usize,
+        len: usize,
+        nt: usize,
+        n: usize,
+        at: &dyn Fn(usize, usize, usize) -> usize,
+        tree: &mut DepTree,
+    ) -> Option<usize> {
+        match back[at(st, len, nt)]? {
+            Back::Leaf(tok) => Some(tok),
+            Back::Un(child) => self.extract(back, st, len, child, n, at, tree),
+            Back::Bin(split, lnt, rnt, ri) => {
+                let lh = self.extract(back, st, split, lnt, n, at, tree);
+                let rh = self.extract(back, st + split, len - split, rnt, n, at, tree);
+                let rule = &self.bins[ri];
+                match (lh, rh) {
+                    (Some(l), Some(r)) => match rule.head {
+                        HeadSide::Left => {
+                            tree.attach(r, l, rule.dep);
+                            Some(l)
+                        }
+                        HeadSide::Right => {
+                            tree.attach(l, r, rule.dep);
+                            Some(r)
+                        }
+                    },
+                    (Some(l), None) => Some(l),
+                    (None, Some(r)) => Some(r),
+                    (None, None) => None,
+                }
+            }
+        }
+    }
+
+    /// Attaches punctuation, determiners, possessives and conjunctions that
+    /// were stripped before charting.
+    fn attach_excluded(
+        &self,
+        s: &Sentence,
+        keep: &[usize],
+        root: Option<usize>,
+        tree: &mut DepTree,
+    ) {
+        let kept: std::collections::HashSet<usize> = keep.iter().copied().collect();
+        for i in 0..s.tokens.len() {
+            if kept.contains(&i) || tree.head(i).is_some() {
+                continue;
+            }
+            let label = match s.tokens[i].pos {
+                PosTag::PUNCT => DepLabel::Punct,
+                PosTag::DT => DepLabel::Det,
+                PosTag::PRPS => DepLabel::Poss,
+                PosTag::POS => DepLabel::Case,
+                PosTag::CC => DepLabel::Cc,
+                _ => DepLabel::Dep,
+            };
+            // Attach determiners/possessives to the next kept nominal;
+            // everything else to the nearest kept token or root.
+            let target = if matches!(label, DepLabel::Det | DepLabel::Poss) {
+                (i + 1..s.tokens.len()).find(|&j| s.tokens[j].pos.is_noun())
+            } else {
+                None
+            };
+            let target = target
+                .or_else(|| keep.iter().copied().find(|&j| j > i))
+                .or(root)
+                .or_else(|| keep.first().copied());
+            if let Some(t) = target {
+                if t != i {
+                    tree.attach(i, t, label);
+                }
+            }
+        }
+    }
+}
+
+/// Rewrites `Obj` arcs on copular verbs into `Attr` (the clause detector
+/// distinguishes SVC from SVO through this).
+fn relabel_copula(s: &Sentence, tree: &mut DepTree) {
+    let n = s.tokens.len();
+    let mut fixes = Vec::new();
+    for i in 0..n {
+        if let Some(h) = tree.head(i) {
+            if tree.label(i) == DepLabel::Obj && s.tokens[h].lemma == "be" {
+                fixes.push((i, h));
+            }
+        }
+    }
+    for (i, h) in fixes {
+        tree.attach(i, h, DepLabel::Attr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_nlp::Pipeline;
+
+    fn parse(text: &str) -> (Sentence, DepTree) {
+        let p = Pipeline::new();
+        let doc = p.annotate(text);
+        let s = doc.sentences.into_iter().next().expect("one sentence");
+        let t = ChartParser::new().parse(&s);
+        (s, t)
+    }
+
+    fn tok_idx(s: &Sentence, w: &str) -> usize {
+        s.tokens
+            .iter()
+            .position(|t| t.text == w)
+            .unwrap_or_else(|| panic!("token {w} missing"))
+    }
+
+    #[test]
+    fn copula_sentence_has_subject_and_attr() {
+        let (s, t) = parse("Brad Pitt is an actor.");
+        let pitt = tok_idx(&s, "Pitt");
+        let is = tok_idx(&s, "is");
+        assert_eq!(t.head(pitt), Some(is));
+        assert_eq!(t.label(pitt), DepLabel::Subj);
+        let actor = tok_idx(&s, "actor");
+        assert_eq!(t.label(actor), DepLabel::Attr);
+    }
+
+    #[test]
+    fn svo_object_found() {
+        let (s, t) = parse("He supports the ONE Campaign.");
+        let v = tok_idx(&s, "supports");
+        let he = tok_idx(&s, "He");
+        assert_eq!(t.head(he), Some(v));
+        assert!(t
+            .children(v)
+            .any(|c| t.label(c) == DepLabel::Obj || t.label(c) == DepLabel::Attr));
+    }
+
+    #[test]
+    fn pp_attaches() {
+        let (s, t) = parse("Pitt donated money to the foundation.");
+        let to = tok_idx(&s, "to");
+        assert!(t.head(to).is_some());
+        let fnd = tok_idx(&s, "foundation");
+        assert_eq!(t.head(fnd), Some(to));
+        assert_eq!(t.label(fnd), DepLabel::Pobj);
+    }
+
+    #[test]
+    fn all_tokens_attached_forest() {
+        let (_, t) = parse("The famous actor supported the campaign in May 2012.");
+        assert!(t.is_forest());
+        assert_eq!(t.roots().len(), 1);
+    }
+
+    #[test]
+    fn fallback_on_fragment() {
+        // Verbless fragment cannot reach TOP/S; greedy fallback applies.
+        let (_, t) = parse("The Nobel Prize in Literature.");
+        assert!(t.is_forest());
+    }
+
+    #[test]
+    fn aux_chain_head_is_content_verb() {
+        let (s, t) = parse("He was born in Missouri.");
+        let was = tok_idx(&s, "was");
+        let born = tok_idx(&s, "born");
+        assert_eq!(t.head(was), Some(born));
+        assert_eq!(t.label(was), DepLabel::Aux);
+    }
+}

@@ -1,0 +1,240 @@
+//! Dependency-tree representation shared by both parser backends.
+
+/// Dependency labels (a compact Stanford-typed-dependencies-like set; only
+/// the distinctions the clause detector needs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepLabel {
+    /// Sentence root.
+    Root,
+    /// Nominal subject.
+    Subj,
+    /// Direct object.
+    Obj,
+    /// Indirect object (first bare NP of a ditransitive).
+    Iobj,
+    /// Copular complement ("is an actor").
+    Attr,
+    /// Adjectival complement ("is famous").
+    Acomp,
+    /// Open clausal complement ("wants to donate").
+    Xcomp,
+    /// Finite clausal complement ("said that ...").
+    Ccomp,
+    /// Adverbial clause ("because ...", "while ...").
+    Advcl,
+    /// Relative clause modifier on a noun.
+    Rcmod,
+    /// Preposition attached to a predicate or noun.
+    Prep,
+    /// Object of a preposition.
+    Pobj,
+    /// Determiner.
+    Det,
+    /// Adjectival modifier.
+    Amod,
+    /// Noun compound modifier.
+    Compound,
+    /// Numeric modifier.
+    NumMod,
+    /// Possessive modifier ("Pitt 's ex-wife").
+    Poss,
+    /// The possessive clitic itself.
+    Case,
+    /// Apposition ("his ex-wife Angelina Jolie").
+    Appos,
+    /// Adverbial modifier.
+    Advmod,
+    /// Temporal modifier (time chunk attached to a predicate).
+    Tmod,
+    /// Auxiliary verb.
+    Aux,
+    /// Negation.
+    Neg,
+    /// Coordinating conjunction token.
+    Cc,
+    /// Conjunct (second verb/NP of a coordination).
+    Conj,
+    /// Subordinator/complementizer token ("that", "because").
+    Mark,
+    /// Punctuation.
+    Punct,
+    /// Unclassified dependency.
+    Dep,
+}
+
+/// A dependency tree over one sentence: `heads[i]` is the head token of
+/// token `i` (`None` for the root), `labels[i]` its relation to that head.
+#[derive(Clone, Debug)]
+pub struct DepTree {
+    heads: Vec<Option<usize>>,
+    labels: Vec<DepLabel>,
+}
+
+impl DepTree {
+    /// An unattached tree over `n` tokens (every token provisionally `Dep`).
+    pub fn new(n: usize) -> Self {
+        Self {
+            heads: vec![None; n],
+            labels: vec![DepLabel::Dep; n],
+        }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// True if the sentence has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Head of token `i`, if attached.
+    #[inline]
+    pub fn head(&self, i: usize) -> Option<usize> {
+        self.heads[i]
+    }
+
+    /// Label of token `i` relative to its head.
+    #[inline]
+    pub fn label(&self, i: usize) -> DepLabel {
+        self.labels[i]
+    }
+
+    /// Attaches `child` to `head` with `label` unless it would create a
+    /// cycle or self-loop; returns whether the attachment happened.
+    pub fn attach(&mut self, child: usize, head: usize, label: DepLabel) -> bool {
+        if child == head || self.is_ancestor(child, head) {
+            return false;
+        }
+        self.heads[child] = Some(head);
+        self.labels[child] = label;
+        true
+    }
+
+    /// Marks `i` as a root (label Root, no head).
+    pub fn set_root(&mut self, i: usize) {
+        self.heads[i] = None;
+        self.labels[i] = DepLabel::Root;
+    }
+
+    /// True if `anc` is an ancestor of `node` (or equal).
+    pub fn is_ancestor(&self, anc: usize, node: usize) -> bool {
+        let mut cur = Some(node);
+        let mut steps = 0;
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.heads[c];
+            steps += 1;
+            if steps > self.heads.len() {
+                // Defensive: malformed cycle; treat as ancestor to refuse
+                // further attachments into it.
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Children of `i` in token order.
+    pub fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.heads
+            .iter()
+            .enumerate()
+            .filter(move |&(_, h)| *h == Some(i))
+            .map(|(c, _)| c)
+    }
+
+    /// Children of `i` carrying `label`.
+    pub fn children_with(&self, i: usize, label: DepLabel) -> Vec<usize> {
+        self.children(i).filter(|&c| self.labels[c] == label).collect()
+    }
+
+    /// First child of `i` with `label`, if any.
+    pub fn child_with(&self, i: usize, label: DepLabel) -> Option<usize> {
+        self.children(i).find(|&c| self.labels[c] == label)
+    }
+
+    /// All tokens with no head (roots of the forest).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.heads[i].is_none()).collect()
+    }
+
+    /// Checks structural well-formedness: no self-loops, no cycles.
+    pub fn is_forest(&self) -> bool {
+        for start in 0..self.len() {
+            let mut cur = Some(start);
+            let mut steps = 0;
+            while let Some(c) = cur {
+                cur = self.heads[c];
+                steps += 1;
+                if steps > self.len() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Token indices of the subtree rooted at `i` (inclusive), sorted.
+    pub fn subtree(&self, i: usize) -> Vec<usize> {
+        let mut out = vec![i];
+        let mut stack = vec![i];
+        while let Some(h) = stack.pop() {
+            for c in self.children(h) {
+                out.push(c);
+                stack.push(c);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_and_query() {
+        let mut t = DepTree::new(3);
+        assert!(t.attach(0, 1, DepLabel::Subj));
+        assert!(t.attach(2, 1, DepLabel::Obj));
+        t.set_root(1);
+        assert_eq!(t.head(0), Some(1));
+        assert_eq!(t.label(0), DepLabel::Subj);
+        assert_eq!(t.children(1).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(t.child_with(1, DepLabel::Obj), Some(2));
+        assert_eq!(t.roots(), vec![1]);
+    }
+
+    #[test]
+    fn cycle_refused() {
+        let mut t = DepTree::new(3);
+        assert!(t.attach(0, 1, DepLabel::Dep));
+        assert!(t.attach(1, 2, DepLabel::Dep));
+        assert!(!t.attach(2, 0, DepLabel::Dep), "would close a cycle");
+        assert!(!t.attach(1, 1, DepLabel::Dep), "self-loop");
+        assert!(t.is_forest());
+    }
+
+    #[test]
+    fn subtree_collects_descendants() {
+        let mut t = DepTree::new(4);
+        t.attach(0, 1, DepLabel::Det);
+        t.attach(1, 2, DepLabel::Subj);
+        t.attach(3, 2, DepLabel::Obj);
+        assert_eq!(t.subtree(2), vec![0, 1, 2, 3]);
+        assert_eq!(t.subtree(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = DepTree::new(0);
+        assert!(t.is_empty());
+        assert!(t.is_forest());
+        assert!(t.roots().is_empty());
+    }
+}

@@ -1,0 +1,691 @@
+//! Greedy deterministic dependency parser (MaltParser substitute).
+//!
+//! A linear-time, left-to-right parser in the Malt tradition: instead of a
+//! trained classifier it uses deterministic attachment rules over the POS,
+//! chunk and NER layers. The passes are:
+//!
+//! 1. chunk-internal arcs (determiners, modifiers, compounds → chunk head);
+//! 2. verb-group detection (auxiliary chains, negation, adverbs);
+//! 3. clause segmentation around main verbs (subjects; coordination;
+//!    subordination via marks; relative clauses);
+//! 4. right-side argument attachment (objects, copular complements,
+//!    prepositional phrases, infinitival complements, time modifiers);
+//! 5. possessives and appositions;
+//! 6. root selection and leftover cleanup.
+
+use crate::dep::{DepLabel, DepTree};
+use qkb_nlp::chunk::ChunkKind;
+use qkb_nlp::{PosTag, Sentence};
+
+/// The greedy parser (stateless; construction is free).
+#[derive(Default)]
+pub struct GreedyParser;
+
+/// Per-token derived info used during parsing.
+struct Ctx {
+    /// chunk index covering each token, if any.
+    chunk_of: Vec<Option<usize>>,
+    /// chunk head token index for each chunk.
+    chunk_head: Vec<usize>,
+    /// chunk kind for each chunk.
+    chunk_kind: Vec<ChunkKind>,
+}
+
+impl GreedyParser {
+    /// Creates a parser.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Parses one annotated sentence into a dependency tree.
+    pub fn parse(&self, s: &Sentence) -> DepTree {
+        let n = s.tokens.len();
+        let mut tree = DepTree::new(n);
+        if n == 0 {
+            return tree;
+        }
+        let ctx = build_ctx(s);
+
+        attach_chunk_internal(s, &ctx, &mut tree);
+        let main_verbs = attach_verb_groups(s, &mut tree);
+        attach_possessives(s, &ctx, &mut tree);
+        // Appositions bind before clause structure so "Pitt's ex-wife
+        // Angelina Jolie" forms one nominal before subject attachment.
+        attach_appositions(s, &ctx, &mut tree);
+        attach_clauses(s, &ctx, &main_verbs, &mut tree);
+        finalize(s, &main_verbs, &mut tree);
+        debug_assert!(tree.is_forest(), "greedy parser must produce a forest");
+        tree
+    }
+}
+
+fn build_ctx(s: &Sentence) -> Ctx {
+    let n = s.tokens.len();
+    let mut chunk_of = vec![None; n];
+    let mut chunk_head = Vec::with_capacity(s.chunks.len());
+    let mut chunk_kind = Vec::with_capacity(s.chunks.len());
+    for (ci, c) in s.chunks.iter().enumerate() {
+        for t in c.start..c.end.min(n) {
+            chunk_of[t] = Some(ci);
+        }
+        chunk_head.push(c.head(&s.tokens));
+        chunk_kind.push(c.kind);
+    }
+    Ctx {
+        chunk_of,
+        chunk_head,
+        chunk_kind,
+    }
+}
+
+/// Pass 1: arcs inside each chunk point at the chunk head.
+fn attach_chunk_internal(s: &Sentence, ctx: &Ctx, tree: &mut DepTree) {
+    for (ci, c) in s.chunks.iter().enumerate() {
+        let head = ctx.chunk_head[ci];
+        for i in c.start..c.end {
+            if i == head {
+                continue;
+            }
+            let label = match s.tokens[i].pos {
+                PosTag::DT => DepLabel::Det,
+                PosTag::PRPS => DepLabel::Poss,
+                p if p.is_adjective() => DepLabel::Amod,
+                PosTag::CD => DepLabel::NumMod,
+                p if p.is_noun() => DepLabel::Compound,
+                // Entity-internal function words ("Nobel Prize in
+                // Literature") stay part of the argument span.
+                _ => DepLabel::Compound,
+            };
+            tree.attach(i, head, label);
+        }
+    }
+}
+
+/// Pass 2: verb groups. In a maximal run of verbal/modal tokens (adverbs
+/// and negation allowed inside), the last verb is the group's main verb;
+/// everything earlier becomes Aux/Neg/Advmod on it. Returns main verbs.
+fn attach_verb_groups(s: &Sentence, tree: &mut DepTree) -> Vec<usize> {
+    let n = s.tokens.len();
+    let mut main_verbs = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let pos = s.tokens[i].pos;
+        if pos.is_verb() || pos == PosTag::MD {
+            // Extend the run.
+            let start = i;
+            let mut members = vec![i];
+            let mut j = i + 1;
+            while j < n {
+                let p = s.tokens[j].pos;
+                if p.is_verb() || p == PosTag::MD {
+                    members.push(j);
+                    j += 1;
+                } else if p == PosTag::RB || p == PosTag::TO {
+                    // allow "has recently won", "wants to donate" chains
+                    // only if a verb follows.
+                    let next_is_verb = s
+                        .tokens
+                        .get(j + 1)
+                        .is_some_and(|t| t.pos.is_verb() || t.pos == PosTag::MD);
+                    if next_is_verb {
+                        members.push(j);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let _ = start;
+            // Split at TO: "wants to donate" = two groups linked by Xcomp.
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new()];
+            for &m in &members {
+                if s.tokens[m].pos == PosTag::TO {
+                    groups.push(Vec::new());
+                } else {
+                    groups.last_mut().expect("non-empty").push(m);
+                }
+            }
+            groups.retain(|g| g.iter().any(|&m| s.tokens[m].pos.is_verb()));
+            let mut prev_main: Option<usize> = None;
+            for g in &groups {
+                let main = *g
+                    .iter()
+                    .rev()
+                    .find(|&&m| s.tokens[m].pos.is_verb())
+                    .expect("group has a verb");
+                for &m in g {
+                    if m == main {
+                        continue;
+                    }
+                    let label = match s.tokens[m].pos {
+                        PosTag::MD => DepLabel::Aux,
+                        PosTag::RB if s.tokens[m].lower() == "not" => DepLabel::Neg,
+                        PosTag::RB => DepLabel::Advmod,
+                        p if p.is_verb() => DepLabel::Aux,
+                        _ => DepLabel::Dep,
+                    };
+                    tree.attach(m, main, label);
+                }
+                if let Some(pm) = prev_main {
+                    tree.attach(main, pm, DepLabel::Xcomp);
+                } else {
+                    main_verbs.push(main);
+                }
+                prev_main = Some(main);
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    main_verbs
+}
+
+/// Pass 3 helper: possessive pattern `NP1 's NP2` (and `PRP$ NP`, already
+/// chunk-internal). The clitic becomes Case on NP1's head; NP1's head gets
+/// a Poss arc to NP2's head.
+fn attach_possessives(s: &Sentence, ctx: &Ctx, tree: &mut DepTree) {
+    let n = s.tokens.len();
+    for i in 0..n {
+        if s.tokens[i].pos != PosTag::POS {
+            continue;
+        }
+        let Some(owner_chunk) = i.checked_sub(1).and_then(|j| ctx.chunk_of[j]) else {
+            continue;
+        };
+        // Owned head: head of the chunk starting right after the clitic.
+        let Some(owned_chunk) = ctx.chunk_of.get(i + 1).copied().flatten() else {
+            continue;
+        };
+        let owner_head = ctx.chunk_head[owner_chunk];
+        let owned_head = ctx.chunk_head[owned_chunk];
+        tree.attach(i, owner_head, DepLabel::Case);
+        tree.attach(owner_head, owned_head, DepLabel::Poss);
+    }
+}
+
+/// Subordinator words that introduce adverbial clauses.
+fn is_subordinator(lower: &str) -> bool {
+    matches!(
+        lower,
+        "because" | "while" | "although" | "though" | "since" | "after" | "before" | "when"
+            | "if" | "until" | "whether" | "as"
+    )
+}
+
+/// Pass 3+4: clause segmentation, subjects and right-side arguments.
+fn attach_clauses(s: &Sentence, ctx: &Ctx, main_verbs: &[usize], tree: &mut DepTree) {
+    let n = s.tokens.len();
+    let mut is_main = vec![false; n];
+    for &v in main_verbs {
+        is_main[v] = true;
+    }
+
+    for (vi, &v) in main_verbs.iter().enumerate() {
+        // --- subject search (leftwards) ---
+        let mut subj: Option<usize> = None;
+        let mut rel_marker: Option<usize> = None;
+        let mut mark: Option<usize> = None;
+        let clause_left = if vi == 0 { 0 } else { main_verbs[vi - 1] + 1 };
+        let mut k = v;
+        while k > clause_left {
+            k -= 1;
+            let tok = &s.tokens[k];
+            match tok.pos {
+                PosTag::WP | PosTag::WDT => {
+                    rel_marker = Some(k);
+                    break;
+                }
+                PosTag::IN if is_subordinator(&tok.lower()) || tok.lower() == "that" => {
+                    mark = Some(k);
+                    // keep any subject already found between mark and verb
+                    break;
+                }
+                p if (p.is_noun() || p == PosTag::PRP || p == PosTag::CD) => {
+                    // Only chunk heads count as candidate subjects; keep the
+                    // NEAREST one ("In 2002, Pitt donated ..." must pick
+                    // Pitt, not the fronted time adjunct), but keep
+                    // scanning left for a possible mark.
+                    if subj.is_none() {
+                        if let Some(ci) = ctx.chunk_of[k] {
+                            let h = ctx.chunk_head[ci];
+                            // A true preposition marks a PP object, but a
+                            // subordinator ("because the team lost") marks
+                            // a clause whose subject follows it.
+                            let in_pp = s.chunks[ci].start > 0 && {
+                                let prev = &s.tokens[s.chunks[ci].start - 1];
+                                prev.pos == PosTag::IN
+                                    && !is_subordinator(&prev.lower())
+                                    && prev.lower() != "that"
+                            };
+                            let is_time = ctx.chunk_kind[ci] == ChunkKind::Time;
+                            if h == k && tree.head(k).is_none() && !in_pp && !is_time {
+                                subj = Some(k);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Relative clause: "the man who won ..." — WP/WDT is the subject
+        // placeholder, clause attaches to the preceding noun.
+        if let Some(rm) = rel_marker {
+            tree.attach(rm, v, DepLabel::Subj);
+            // antecedent: nearest chunk head left of the marker
+            let mut a = rm;
+            while a > 0 {
+                a -= 1;
+                if let Some(ci) = ctx.chunk_of[a] {
+                    let h = ctx.chunk_head[ci];
+                    if h == a {
+                        tree.attach(v, h, DepLabel::Rcmod);
+                        break;
+                    }
+                }
+            }
+        } else if let Some(sb) = subj {
+            tree.attach(sb, v, DepLabel::Subj);
+        } else if vi > 0 {
+            // Shared subject coordination: "Pitt acted and directed."
+            let prev = main_verbs[vi - 1];
+            if let Some(ps) = tree.child_with(prev, DepLabel::Subj) {
+                let _ = ps; // subject stays on the first conjunct
+            }
+            tree.attach(v, prev, DepLabel::Conj);
+        }
+
+        // Subordinate clause marking.
+        if let Some(m) = mark {
+            tree.attach(m, v, DepLabel::Mark);
+            if vi > 0 {
+                let prev = main_verbs[vi - 1];
+                let label = if s.tokens[m].lower() == "that" {
+                    DepLabel::Ccomp
+                } else {
+                    DepLabel::Advcl
+                };
+                tree.attach(v, prev, label);
+            }
+        }
+
+        // A later clause verb with its own subject and no subordinator is a
+        // coordinate clause ("Pitt is an actor and he supports X").
+        if vi > 0 && tree.head(v).is_none() {
+            tree.attach(v, main_verbs[vi - 1], DepLabel::Conj);
+        }
+
+        // --- right-side arguments ---
+        let right_end = main_verbs
+            .get(vi + 1)
+            .map(|&nv| clause_boundary_before(s, v, nv))
+            .unwrap_or(n);
+        attach_right_args(s, ctx, v, right_end, tree);
+    }
+
+    // CC tokens between verb conjuncts.
+    for i in 0..n {
+        if s.tokens[i].pos == PosTag::CC && tree.head(i).is_none() {
+            // attach to the nearest following main verb, else preceding one
+            let target = main_verbs
+                .iter()
+                .copied()
+                .find(|&v| v > i)
+                .or_else(|| main_verbs.iter().copied().rev().find(|&v| v < i));
+            if let Some(t) = target {
+                tree.attach(i, t, DepLabel::Cc);
+            }
+        }
+    }
+}
+
+/// Where does verb `v`'s right argument region end before the next verb?
+/// At the next verb's own pre-field start: its subject/mark area. We simply
+/// cut at the last comma or CC or subordinator before the next verb, else
+/// directly before the next verb's leftmost dependent-ish token.
+fn clause_boundary_before(s: &Sentence, v: usize, next_verb: usize) -> usize {
+    let mut boundary = next_verb;
+    let mut k = next_verb;
+    while k > v + 1 {
+        k -= 1;
+        let tok = &s.tokens[k];
+        if tok.text == "," || tok.pos == PosTag::CC || is_subordinator(&tok.lower()) {
+            boundary = k;
+            break;
+        }
+        // A chunk containing position just before next verb may be its
+        // subject: exclude it from v's field.
+        if tok.pos.is_noun() || tok.pos == PosTag::PRP {
+            boundary = k;
+        }
+        if k <= v + 1 {
+            break;
+        }
+    }
+    boundary.max(v + 1)
+}
+
+/// Attaches objects/complements/PPs between `v+1` and `end` to verb `v`.
+fn attach_right_args(s: &Sentence, ctx: &Ctx, v: usize, end: usize, tree: &mut DepTree) {
+    let n = s.tokens.len();
+    let end = end.min(n);
+    let is_copula = s.tokens[v].lemma == "be";
+    let mut bare_nps: Vec<usize> = Vec::new();
+    let mut i = v + 1;
+    let mut pending_prep: Option<usize> = None;
+
+    while i < end {
+        let tok = &s.tokens[i];
+        match tok.pos {
+            PosTag::IN | PosTag::TO => {
+                // Preposition: attach to verb (default) or to the
+                // immediately preceding noun for "of".
+                let attach_to = if tok.lower() == "of" && i > 0 && s.tokens[i - 1].pos.is_noun() {
+                    i - 1
+                } else {
+                    v
+                };
+                tree.attach(i, attach_to, DepLabel::Prep);
+                pending_prep = Some(i);
+                i += 1;
+            }
+            PosTag::RB => {
+                tree.attach(i, v, DepLabel::Advmod);
+                i += 1;
+            }
+            p if p.is_adjective() => {
+                // Predicative adjective only if not inside an NP chunk.
+                let inside_np = ctx.chunk_of[i]
+                    .is_some_and(|ci| ctx.chunk_head[ci] != i && ctx.chunk_kind[ci] == ChunkKind::NounPhrase);
+                if !inside_np && tree.head(i).is_none() {
+                    tree.attach(i, v, DepLabel::Acomp);
+                }
+                i += 1;
+            }
+            _ => {
+                if let Some(ci) = ctx.chunk_of[i] {
+                    let h = ctx.chunk_head[ci];
+                    let chunk_end = s.chunks[ci].end;
+                    if h >= i && tree.head(h).is_none() {
+                        let label = if ctx.chunk_kind[ci] == ChunkKind::Time {
+                            // Time chunks modify the predicate.
+                            if let Some(p) = pending_prep {
+                                tree.attach(h, p, DepLabel::Pobj);
+                                pending_prep = None;
+                                i = chunk_end;
+                                continue;
+                            }
+                            tree.attach(h, v, DepLabel::Tmod);
+                            i = chunk_end;
+                            continue;
+                        } else if let Some(p) = pending_prep {
+                            pending_prep = None;
+                            tree.attach(h, p, DepLabel::Pobj);
+                            i = chunk_end;
+                            continue;
+                        } else if is_copula && bare_nps.is_empty() {
+                            DepLabel::Attr
+                        } else {
+                            DepLabel::Obj
+                        };
+                        tree.attach(h, v, label);
+                        bare_nps.push(h);
+                    }
+                    i = chunk_end.max(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Ditransitive relabel: V NP NP -> first NP is Iobj, second stays Obj.
+    if !is_copula && bare_nps.len() >= 2 {
+        tree.attach(bare_nps[0], v, DepLabel::Iobj);
+    }
+}
+
+/// Pass 5: apposition — `NP1 NP2` where NP2 is a PERSON/ORG/... name
+/// directly following a common-noun chunk ("his ex-wife Angelina Jolie"),
+/// or `NP1 , NP2 ,` parentheticals.
+fn attach_appositions(s: &Sentence, ctx: &Ctx, tree: &mut DepTree) {
+    for ci in 0..s.chunks.len().saturating_sub(1) {
+        let c1 = &s.chunks[ci];
+        let c2 = &s.chunks[ci + 1];
+        if c1.kind != ChunkKind::NounPhrase || c2.kind != ChunkKind::NounPhrase {
+            continue;
+        }
+        let h1 = ctx.chunk_head[ci];
+        let h2 = ctx.chunk_head[ci + 1];
+        // Direct adjacency: role-noun + name.
+        if c2.start == c1.end
+            && s.tokens[h1].pos == PosTag::NN
+            && s.tokens[h2].pos.is_proper_noun()
+            && tree.head(h2).is_none()
+        {
+            tree.attach(h2, h1, DepLabel::Appos);
+        }
+        // Comma-separated parenthetical: NP1 , NP2
+        if c2.start == c1.end + 1
+            && s.tokens[c1.end].text == ","
+            && tree.head(h2).is_none()
+            && s.tokens[h2].pos.is_noun()
+        {
+            tree.attach(h2, h1, DepLabel::Appos);
+        }
+    }
+}
+
+/// Pass 6: root selection, punctuation, leftovers.
+fn finalize(s: &Sentence, main_verbs: &[usize], tree: &mut DepTree) {
+    let n = s.tokens.len();
+    let root = main_verbs.first().copied().or_else(|| {
+        // Verbless fragment: first chunk head or first token.
+        s.chunks.first().map(|c| c.head(&s.tokens))
+    });
+    if let Some(r) = root {
+        if tree.head(r).is_none() {
+            tree.set_root(r);
+        }
+        for i in 0..n {
+            if i != r && tree.head(i).is_none() {
+                let label = if s.tokens[i].pos == PosTag::PUNCT {
+                    DepLabel::Punct
+                } else {
+                    DepLabel::Dep
+                };
+                tree.attach(i, r, label);
+            }
+        }
+    }
+    // Secondary verbs still unattached become conjuncts of the root.
+    for &v in main_verbs.iter().skip(1) {
+        if tree.head(v).is_none() {
+            if let Some(r) = root {
+                tree.attach(v, r, DepLabel::Conj);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_nlp::Pipeline;
+
+    fn parse(text: &str) -> (Sentence, DepTree) {
+        let p = Pipeline::new();
+        let doc = p.annotate(text);
+        let s = doc.sentences.into_iter().next().expect("one sentence");
+        let t = GreedyParser::new().parse(&s);
+        (s, t)
+    }
+
+    fn tok_idx(s: &Sentence, w: &str) -> usize {
+        s.tokens.iter().position(|t| t.text == w).unwrap_or_else(|| {
+            panic!("token {w} not found in {:?}", s.text())
+        })
+    }
+
+    #[test]
+    fn svc_copula() {
+        let (s, t) = parse("Brad Pitt is an actor.");
+        let is = tok_idx(&s, "is");
+        let pitt = tok_idx(&s, "Pitt");
+        let actor = tok_idx(&s, "actor");
+        assert_eq!(t.label(pitt), DepLabel::Subj);
+        assert_eq!(t.head(pitt), Some(is));
+        assert_eq!(t.label(actor), DepLabel::Attr);
+        assert_eq!(t.head(actor), Some(is));
+        assert_eq!(t.label(is), DepLabel::Root);
+    }
+
+    #[test]
+    fn svo_pronoun_subject() {
+        let (s, t) = parse("He supports the ONE Campaign.");
+        let he = tok_idx(&s, "He");
+        let v = tok_idx(&s, "supports");
+        assert_eq!(t.head(he), Some(v));
+        assert_eq!(t.label(he), DepLabel::Subj);
+        let campaign = tok_idx(&s, "Campaign");
+        assert_eq!(t.head(campaign), Some(v));
+        assert_eq!(t.label(campaign), DepLabel::Obj);
+    }
+
+    #[test]
+    fn svoo_with_pp() {
+        let (s, t) = parse("Pitt donated $100,000 to the Daniel Pearl Foundation.");
+        let v = tok_idx(&s, "donated");
+        let amount = tok_idx(&s, "$100,000");
+        let to = tok_idx(&s, "to");
+        let fnd = tok_idx(&s, "Foundation");
+        assert_eq!(t.head(amount), Some(v));
+        assert_eq!(t.label(amount), DepLabel::Obj);
+        assert_eq!(t.head(to), Some(v));
+        assert_eq!(t.label(to), DepLabel::Prep);
+        assert_eq!(t.head(fnd), Some(to));
+        assert_eq!(t.label(fnd), DepLabel::Pobj);
+    }
+
+    #[test]
+    fn passive_with_agent() {
+        let (s, t) = parse("He was born to William Pitt.");
+        let born = tok_idx(&s, "born");
+        let was = tok_idx(&s, "was");
+        assert_eq!(t.label(was), DepLabel::Aux);
+        assert_eq!(t.head(was), Some(born));
+        let he = tok_idx(&s, "He");
+        assert_eq!(t.label(he), DepLabel::Subj);
+        let to = tok_idx(&s, "to");
+        assert_eq!(t.label(to), DepLabel::Prep);
+    }
+
+    #[test]
+    fn coordination_of_clauses() {
+        let (s, t) = parse("Brad Pitt is an actor and he supports the ONE Campaign.");
+        let is = tok_idx(&s, "is");
+        let sup = tok_idx(&s, "supports");
+        let he = tok_idx(&s, "he");
+        assert_eq!(t.label(is), DepLabel::Root);
+        assert_eq!(t.head(he), Some(sup));
+        assert_eq!(t.label(he), DepLabel::Subj);
+    }
+
+    #[test]
+    fn shared_subject_coordination() {
+        let (s, t) = parse("Pitt acted and directed.");
+        let acted = tok_idx(&s, "acted");
+        let directed = tok_idx(&s, "directed");
+        assert_eq!(t.head(directed), Some(acted));
+        assert_eq!(t.label(directed), DepLabel::Conj);
+    }
+
+    #[test]
+    fn possessive_structure() {
+        let (s, t) = parse("Pitt 's ex-wife supported the charity.");
+        let pitt = tok_idx(&s, "Pitt");
+        let exwife = tok_idx(&s, "ex-wife");
+        assert_eq!(t.head(pitt), Some(exwife));
+        assert_eq!(t.label(pitt), DepLabel::Poss);
+    }
+
+    #[test]
+    fn apposition_role_name() {
+        let (s, t) = parse("His ex-wife Angelina Jolie filed for divorce.");
+        let jolie = tok_idx(&s, "Jolie");
+        let exwife = tok_idx(&s, "ex-wife");
+        assert_eq!(t.head(jolie), Some(exwife));
+        assert_eq!(t.label(jolie), DepLabel::Appos);
+    }
+
+    #[test]
+    fn time_modifier() {
+        let (s, t) = parse("She filed for divorce on September 19, 2016.");
+        let filed = tok_idx(&s, "filed");
+        let on = tok_idx(&s, "on");
+        assert_eq!(t.head(on), Some(filed));
+        // The time chunk's head token ("2016") hangs off the preposition;
+        // "September" is chunk-internal.
+        let year = tok_idx(&s, "2016");
+        assert_eq!(t.head(year), Some(on));
+        assert_eq!(t.label(year), DepLabel::Pobj);
+    }
+
+    #[test]
+    fn subordinate_clause() {
+        let (s, t) = parse("He resigned because the team lost the final.");
+        let resigned = tok_idx(&s, "resigned");
+        let lost = tok_idx(&s, "lost");
+        let because = tok_idx(&s, "because");
+        assert_eq!(t.head(lost), Some(resigned));
+        assert_eq!(t.label(lost), DepLabel::Advcl);
+        assert_eq!(t.head(because), Some(lost));
+        assert_eq!(t.label(because), DepLabel::Mark);
+        let team = tok_idx(&s, "team");
+        assert_eq!(t.head(team), Some(lost));
+        assert_eq!(t.label(team), DepLabel::Subj);
+    }
+
+    #[test]
+    fn relative_clause() {
+        let (s, t) = parse("The striker who scored the goal celebrated.");
+        let scored = tok_idx(&s, "scored");
+        let striker = tok_idx(&s, "striker");
+        let who = tok_idx(&s, "who");
+        assert_eq!(t.head(who), Some(scored));
+        assert_eq!(t.label(who), DepLabel::Subj);
+        assert_eq!(t.head(scored), Some(striker));
+        assert_eq!(t.label(scored), DepLabel::Rcmod);
+    }
+
+    #[test]
+    fn every_token_attached_and_forest() {
+        let (s, t) = parse("Brad Pitt, an American actor, supports the ONE Campaign.");
+        assert!(t.is_forest());
+        let roots = t.roots();
+        assert_eq!(roots.len(), 1, "single root expected: {:?}", s.text());
+    }
+
+    #[test]
+    fn ditransitive_relabel() {
+        let (s, t) = parse("The club gave the coach a contract.");
+        let gave = tok_idx(&s, "gave");
+        let coach = tok_idx(&s, "coach");
+        let contract = tok_idx(&s, "contract");
+        assert_eq!(t.head(coach), Some(gave));
+        assert_eq!(t.label(coach), DepLabel::Iobj);
+        assert_eq!(t.label(contract), DepLabel::Obj);
+    }
+
+    #[test]
+    fn xcomp_chain() {
+        let (s, t) = parse("She wants to donate money.");
+        let wants = tok_idx(&s, "wants");
+        let donate = tok_idx(&s, "donate");
+        assert_eq!(t.head(donate), Some(wants));
+        assert_eq!(t.label(donate), DepLabel::Xcomp);
+    }
+}

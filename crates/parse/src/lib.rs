@@ -1,0 +1,43 @@
+//! # qkb-parse
+//!
+//! Dependency parsing substrates for the QKBfly reproduction.
+//!
+//! The paper's ClausIE originally runs on the Stanford (chart/constituency)
+//! parser; QKBfly swaps in the MaltParser for speed (§2.1, §3). Both
+//! parser families are re-implemented here from scratch:
+//!
+//! * [`greedy`] — a deterministic, linear-time, left-to-right dependency
+//!   parser in the Malt tradition (rule-driven rather than
+//!   classifier-driven; single pass over chunk heads and verb groups).
+//! * [`chart`] — a CKY chart parser over a compact PCFG with head
+//!   percolation, converting the Viterbi constituency parse to the same
+//!   dependency representation. Cubic time in sentence length, which is
+//!   what makes the original ClausIE configuration slow in Table 5.
+//!
+//! Both produce a [`DepTree`] over one sentence's tokens; the clause
+//! detector in `qkb-openie` consumes that representation.
+
+pub mod chart;
+pub mod dep;
+pub mod greedy;
+
+pub use chart::ChartParser;
+pub use dep::{DepLabel, DepTree};
+pub use greedy::GreedyParser;
+
+/// Which parser backend to use (the Table 5 ablation axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParserBackend {
+    /// Greedy linear-time parser (MaltParser substitute) — QKBfly's choice.
+    Greedy,
+    /// CKY chart parser (Stanford substitute) — original ClausIE's choice.
+    Chart,
+}
+
+/// Parses one annotated sentence with the chosen backend.
+pub fn parse_sentence(backend: ParserBackend, sentence: &qkb_nlp::Sentence) -> DepTree {
+    match backend {
+        ParserBackend::Greedy => GreedyParser::new().parse(sentence),
+        ParserBackend::Chart => ChartParser::new().parse(sentence),
+    }
+}

@@ -1,0 +1,114 @@
+//! QA evaluation: macro-averaged precision/recall/F1 (§7.4).
+
+use qkb_corpus::questions::Question;
+use qkb_util::stats::{macro_prf, Prf};
+use qkb_util::text::{is_token_suffix, normalize};
+
+/// Does a predicted answer surface match any surface of a gold answer?
+pub fn answers_match(predicted: &str, gold_surfaces: &[String]) -> bool {
+    let p = normalize(predicted);
+    if p.is_empty() {
+        return false;
+    }
+    gold_surfaces.iter().any(|g| {
+        let g = normalize(g);
+        g == p || is_token_suffix(&p, &g) || is_token_suffix(&g, &p) || {
+            // time answers: year containment
+            let year = g
+                .split(|c: char| !c.is_ascii_digit())
+                .find(|t| t.len() == 4);
+            year.is_some_and(|y| p.contains(y))
+        }
+    })
+}
+
+/// Per-question and aggregate results.
+#[derive(Debug, Default)]
+pub struct QaEvaluation {
+    /// Per-question P/R/F1.
+    pub per_question: Vec<Prf>,
+    /// Macro average.
+    pub macro_avg: Prf,
+}
+
+/// Evaluates predicted answer sets against gold (each gold answer is a
+/// set of acceptable surfaces; standard set P/R per question, then
+/// macro-averaged).
+pub fn evaluate(questions: &[Question], predictions: &[Vec<String>]) -> QaEvaluation {
+    assert_eq!(
+        questions.len(),
+        predictions.len(),
+        "one prediction set per question"
+    );
+    let mut per_question = Vec::with_capacity(questions.len());
+    for (q, preds) in questions.iter().zip(predictions) {
+        let mut matched_gold = vec![false; q.gold.len()];
+        let mut correct = 0usize;
+        for p in preds {
+            let hit = q
+                .gold
+                .iter()
+                .enumerate()
+                .find(|(gi, g)| !matched_gold[*gi] && answers_match(p, g));
+            if let Some((gi, _)) = hit {
+                matched_gold[gi] = true;
+                correct += 1;
+            }
+        }
+        per_question.push(Prf::from_counts(correct, preds.len(), q.gold.len()));
+    }
+    let macro_avg = macro_prf(&per_question);
+    QaEvaluation {
+        per_question,
+        macro_avg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(gold: &[&[&str]]) -> Question {
+        Question {
+            text: "?".into(),
+            entities: vec![],
+            gold: gold
+                .iter()
+                .map(|g| g.iter().map(|s| s.to_string()).collect())
+                .collect(),
+            expected_types: vec![],
+            needs_ternary: false,
+            about_recent: false,
+        }
+    }
+
+    #[test]
+    fn surface_matching_rules() {
+        assert!(answers_match("Buenos Aires", &["Buenos Aires".into()]));
+        assert!(answers_match("Vinson", &["Brently Vinson".into()]));
+        assert!(answers_match("September 19, 2016", &["2016".into()]));
+        assert!(!answers_match("Paris", &["Buenos Aires".into()]));
+        assert!(!answers_match("", &["x".into()]));
+    }
+
+    #[test]
+    fn evaluation_counts_sets() {
+        let questions = vec![q(&[&["Buenos Aires"]]), q(&[&["Brently Vinson"]])];
+        let predictions = vec![
+            vec!["Buenos Aires".to_string()],
+            vec!["a black officer".to_string(), "Brently Vinson".to_string()],
+        ];
+        let e = evaluate(&questions, &predictions);
+        assert!((e.per_question[0].f1 - 1.0).abs() < 1e-9);
+        assert!((e.per_question[1].precision - 0.5).abs() < 1e-9);
+        assert!((e.per_question[1].recall - 1.0).abs() < 1e-9);
+        assert!(e.macro_avg.f1 > 0.8);
+    }
+
+    #[test]
+    fn empty_predictions_score_zero() {
+        let questions = vec![q(&[&["x"]])];
+        let e = evaluate(&questions, &[vec![]]);
+        assert_eq!(e.macro_avg.f1, 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # qkb-qa
+//!
+//! Ad-hoc question answering over on-the-fly KBs (§7.4 and Appendix B):
+//! given a natural-language question, detect its entities, retrieve
+//! relevant documents, build a question-specific KB with QKBfly, collect
+//! typed answer candidates from the KB, and rank them with an SVM trained
+//! on WebQuestions-style data. Baselines: the triples-only variant, the
+//! text-centric Sentence-Answers method, and QA over a static KB snapshot
+//! (the QA-Freebase analogue, which fails on emerging facts and
+//! non-mainstream predicates).
+
+pub mod eval;
+pub mod question;
+pub mod retrieve;
+pub mod system;
+
+pub use eval::{answers_match, evaluate, QaEvaluation};
+pub use question::{expected_types, QuestionAnalysis};
+pub use retrieve::Bm25Index;
+pub use system::{QaMethod, QaSystem};

@@ -1,0 +1,160 @@
+//! Question analysis: entity detection and expected-answer typing
+//! (Appendix B, step 1 and the step-3 type filter).
+
+use qkb_kb::EntityRepository;
+use qkb_util::text::normalize;
+
+/// Analysis of one question.
+#[derive(Clone, Debug, Default)]
+pub struct QuestionAnalysis {
+    /// Lowercased content tokens (wh-word and stop words removed).
+    pub content_tokens: Vec<String>,
+    /// Detected entity mentions (longest dictionary matches).
+    pub entity_mentions: Vec<String>,
+    /// Expected coarse answer types ("PERSON", "LOCATION", ...).
+    pub expected_types: Vec<&'static str>,
+    /// The wh-word, if any.
+    pub wh: Option<String>,
+}
+
+const STOP: &[&str] = &[
+    "the", "a", "an", "of", "in", "on", "at", "to", "for", "did", "do",
+    "does", "is", "was", "were", "are", "be", "by", "with", "from",
+];
+
+/// Expected coarse answer types for a wh-word and its following token
+/// ("Who" → PERSON/CHARACTER/ORGANIZATION per Appendix B; "Where" →
+/// locations and institutions; "When" → times; "Which X" → the type of X).
+pub fn expected_types(wh: &str, next: Option<&str>) -> Vec<&'static str> {
+    match wh {
+        "who" | "whom" => vec!["PERSON", "CHARACTER", "ORGANIZATION"],
+        "where" => vec!["LOCATION", "ORGANIZATION"],
+        "when" => vec!["TIME"],
+        "which" | "what" => match next.unwrap_or("") {
+            "club" | "team" | "party" | "foundation" | "company" | "band"
+            | "university" | "organization" => vec!["ORGANIZATION"],
+            "city" | "country" | "place" => vec!["LOCATION"],
+            "prize" | "award" | "album" | "film" | "movie" | "song" | "book" => {
+                vec!["MISC"]
+            }
+            "year" | "date" | "day" => vec!["TIME"],
+            "actor" | "actress" | "singer" | "player" | "person" => vec!["PERSON"],
+            _ => vec!["PERSON", "ORGANIZATION", "LOCATION", "MISC"],
+        },
+        _ => vec!["PERSON", "ORGANIZATION", "LOCATION", "MISC", "TIME"],
+    }
+}
+
+/// Analyzes a question against the entity repository's alias dictionary.
+pub fn analyze(question: &str, repo: &EntityRepository) -> QuestionAnalysis {
+    let words: Vec<String> = question
+        .split(|c: char| !c.is_alphanumeric() && c != '\'')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_string())
+        .collect();
+    let lowered: Vec<String> = words.iter().map(|w| w.to_lowercase()).collect();
+
+    let wh = lowered
+        .first()
+        .filter(|w| matches!(w.as_str(), "who" | "whom" | "where" | "when" | "which" | "what" | "how" | "why"))
+        .cloned();
+    let expected = expected_types(
+        wh.as_deref().unwrap_or(""),
+        lowered.get(1).map(String::as_str),
+    );
+
+    // Longest-match entity detection over the alias dictionary.
+    let mut entity_mentions = Vec::new();
+    let mut covered = vec![false; words.len()];
+    let max_len = 5usize;
+    let mut i = 0usize;
+    while i < words.len() {
+        let mut matched = 0usize;
+        for j in (i + 1..=(i + max_len).min(words.len())).rev() {
+            let phrase = words[i..j].join(" ");
+            if !repo.candidates(&phrase).is_empty() {
+                matched = j - i;
+                entity_mentions.push(phrase);
+                break;
+            }
+        }
+        if matched > 0 {
+            for c in covered.iter_mut().take(i + matched).skip(i) {
+                *c = true;
+            }
+            i += matched;
+        } else {
+            i += 1;
+        }
+    }
+
+    let content_tokens: Vec<String> = lowered
+        .iter()
+        .enumerate()
+        .filter(|&(i, w)| {
+            !covered[i]
+                && Some(w) != wh.as_ref()
+                && !STOP.contains(&w.as_str())
+        })
+        .map(|(_, w)| normalize(w))
+        .filter(|w| !w.is_empty())
+        .collect();
+
+    QuestionAnalysis {
+        content_tokens,
+        entity_mentions,
+        expected_types: expected,
+        wh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_kb::Gender;
+
+    fn repo() -> EntityRepository {
+        let mut r = EntityRepository::new();
+        let artist = r.type_system().get("MUSICAL_ARTIST").expect("t");
+        let character = r.type_system().get("CHARACTER").expect("t");
+        let film = r.type_system().get("FILM").expect("t");
+        r.add_entity("Bob Dylan", &["Dylan"], Gender::Male, vec![artist]);
+        r.add_entity("Han Solo", &[], Gender::Male, vec![character]);
+        r.add_entity("The Force Awakens", &[], Gender::Neutral, vec![film]);
+        r
+    }
+
+    #[test]
+    fn detects_entities_and_wh() {
+        let a = analyze("Who did Bob Dylan marry?", &repo());
+        assert_eq!(a.wh.as_deref(), Some("who"));
+        assert_eq!(a.entity_mentions, vec!["Bob Dylan"]);
+        assert!(a.content_tokens.contains(&"marry".to_string()));
+        assert!(a.expected_types.contains(&"PERSON"));
+    }
+
+    #[test]
+    fn ternary_question_finds_both_entities() {
+        let a = analyze("Who plays Han Solo in The Force Awakens?", &repo());
+        assert!(a.entity_mentions.contains(&"Han Solo".to_string()));
+        assert!(a
+            .entity_mentions
+            .iter()
+            .any(|m| m.contains("Force Awakens")));
+    }
+
+    #[test]
+    fn where_and_when_typing() {
+        assert_eq!(expected_types("when", None), vec!["TIME"]);
+        assert!(expected_types("where", None).contains(&"LOCATION"));
+        assert_eq!(expected_types("which", Some("club")), vec!["ORGANIZATION"]);
+        assert_eq!(expected_types("which", Some("prize")), vec!["MISC"]);
+    }
+
+    #[test]
+    fn stop_words_removed() {
+        let a = analyze("Where was Bob Dylan born?", &repo());
+        assert!(!a.content_tokens.contains(&"was".to_string()));
+        assert!(a.content_tokens.contains(&"born".to_string()));
+    }
+}

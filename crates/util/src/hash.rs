@@ -1,0 +1,130 @@
+//! Fast, non-cryptographic hashing for interned symbols and small keys.
+//!
+//! The default `SipHash` hasher of the standard library is robust against
+//! HashDoS but slow for the short integer keys that dominate this workspace
+//! (interned symbols, entity ids, node ids). This module provides the
+//! well-known `Fx` multiply-xor hash used by rustc, plus map/set aliases.
+//! All inputs are trusted (generated corpora), so HashDoS is not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc `Fx` hash (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-xor hasher (the `FxHash` algorithm).
+///
+/// Quality is low but entirely sufficient for table lookup of integer keys
+/// and short strings; speed is substantially higher than SipHash.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "a" and "a\0" differ.
+            buf[7] = rem.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Convenience constructor mirroring `HashMap::with_capacity`.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Convenience constructor mirroring `HashSet::with_capacity`.
+pub fn fx_set_with_capacity<K>(cap: usize) -> FxHashSet<K> {
+    FxHashSet::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_small_keys_hash_differently() {
+        let hashes: Vec<u64> = (0u64..1000).map(hash_of).collect();
+        let unique: FxHashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(unique.len(), 1000);
+    }
+
+    #[test]
+    fn string_tail_disambiguation() {
+        assert_ne!(hash_of("a"), hash_of("a\0"));
+        assert_ne!(hash_of("abcdefg"), hash_of("abcdefgh"));
+        assert_ne!(hash_of(""), hash_of("\0"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<&str, u32> = fx_map_with_capacity(4);
+        m.insert("alpha", 1);
+        m.insert("beta", 2);
+        assert_eq!(m.get("alpha"), Some(&1));
+        assert_eq!(m.get("beta"), Some(&2));
+        assert_eq!(m.get("gamma"), None);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of("knowledge base"), hash_of("knowledge base"));
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+    }
+}

@@ -1,0 +1,72 @@
+//! Typed index newtypes.
+//!
+//! Nearly every structure in this workspace is arena-like (vectors of nodes,
+//! entities, facts, tokens) indexed by small integers. Raw `usize` indices
+//! invite cross-arena mixups, so each arena gets its own id type via
+//! [`define_id!`]. Ids are `u32` internally (see "Smaller Integers" in the
+//! Rust performance guide) and convert to `usize` only at use sites.
+
+/// Defines a `u32`-backed index newtype with the standard trait surface.
+///
+/// ```
+/// qkb_util::define_id!(PersonId, "identifies a person in some arena");
+/// let p = PersonId::new(7);
+/// assert_eq!(p.index(), 7);
+/// assert_eq!(format!("{p:?}"), "PersonId(7)");
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    ($name:ident, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index for slice access.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    define_id!(TestId, "test id");
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = TestId::new(3);
+        let b = TestId::from(9usize);
+        assert!(a < b);
+        assert_eq!(b.index(), 9);
+        assert_eq!(format!("{a:?}"), "TestId(3)");
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        let mut m = crate::FxHashMap::<TestId, &str>::default();
+        m.insert(TestId::new(1), "one");
+        assert_eq!(m[&TestId::new(1)], "one");
+    }
+}

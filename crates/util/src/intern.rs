@@ -1,0 +1,150 @@
+//! String interning.
+//!
+//! Tokens, lemmas, POS tags, entity aliases and relation patterns are
+//! compared and hashed billions of times across corpus statistics and graph
+//! densification. Interning replaces `String` comparisons with `u32`
+//! comparisons and shrinks every downstream structure.
+
+use crate::hash::FxHashMap;
+
+/// An interned string: a dense `u32` handle into an [`Interner`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index of the symbol (dense, starting at 0).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Strings are stored once; [`Interner::intern`] returns a stable
+/// [`Symbol`]. Resolution is O(1) slice indexing. The interner is not
+/// thread-safe by design — each pipeline owns one (wrap in a lock only at
+/// the application boundary if sharing is required).
+#[derive(Default)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: crate::hash::fx_map_with_capacity(cap),
+            strings: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `s`, returning its symbol (allocating only on first sight).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range — a programming error, not a data error.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if no string has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+impl std::fmt::Debug for Interner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.strings.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("brad pitt");
+        let b = i.intern("brad pitt");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_resolvable() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        i.intern("present");
+        assert!(i.get("present").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_order_matches_interning_order() {
+        let mut i = Interner::new();
+        for w in ["x", "y", "z"] {
+            i.intern(w);
+        }
+        let collected: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["x", "y", "z"]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # qkb-util
+//!
+//! Shared infrastructure for the QKBfly reproduction: typed identifiers,
+//! fast hashing, string interning, sparse vectors with the similarity
+//! measures used by the paper (weighted overlap coefficient, TF-IDF), and
+//! the evaluation statistics reported in the paper's experiment section
+//! (Wald confidence intervals, Cohen's kappa, precision/recall curves,
+//! macro-averaged P/R/F1).
+//!
+//! Everything in this crate is deterministic and allocation-conscious: these
+//! types sit on the hot paths of graph densification and corpus statistics.
+
+pub mod hash;
+pub mod ids;
+pub mod intern;
+pub mod sparse;
+pub mod stats;
+pub mod text;
+pub mod topk;
+
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, Symbol};
+pub use sparse::SparseVec;
+pub use stats::{
+    cohens_kappa, macro_prf, pr_curve, precision_at, wald_interval, PrPoint, Prf,
+};
+pub use topk::TopK;

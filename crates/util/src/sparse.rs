@@ -1,0 +1,258 @@
+//! Sparse vectors and the similarity measures of the paper.
+//!
+//! Section 4 of the paper weighs `means` edges by the similarity of TF-IDF
+//! context vectors using the *weighted overlap coefficient*
+//!
+//! ```text
+//! sim(u, v) = Σ_k min(u_k, v_k) / min(Σ_k u_k, Σ_k v_k)
+//! ```
+//!
+//! and weighs `relation` edges by entity-entity *coherence*, computed with
+//! the same measure. Context vectors have tens-to-hundreds of non-zeros, so
+//! a sorted coordinate representation with merge-style intersection is the
+//! right trade-off.
+
+use crate::intern::Symbol;
+
+/// A sparse vector over interned-symbol dimensions, sorted by dimension.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(Symbol, f64)>,
+    sum: f64,
+}
+
+impl SparseVec {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from arbitrary (possibly duplicated, unsorted) pairs; weights
+    /// for duplicate dimensions are summed. Non-positive weights are kept
+    /// only if they remain positive after aggregation.
+    pub fn from_pairs(mut pairs: Vec<(Symbol, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(d, _)| d);
+        let mut entries: Vec<(Symbol, f64)> = Vec::with_capacity(pairs.len());
+        for (d, w) in pairs {
+            match entries.last_mut() {
+                Some(last) if last.0 == d => last.1 += w,
+                _ => entries.push((d, w)),
+            }
+        }
+        entries.retain(|&(_, w)| w > 0.0);
+        let sum = entries.iter().map(|&(_, w)| w).sum();
+        Self { entries, sum }
+    }
+
+    /// Number of non-zero dimensions.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all weights (the denominator ingredient of weighted overlap).
+    pub fn weight_sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Weight of dimension `d`, or 0.
+    pub fn get(&self, d: Symbol) -> f64 {
+        match self.entries.binary_search_by_key(&d, |&(dim, _)| dim) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates `(dimension, weight)` in dimension order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Σ_k min(self_k, other_k), by sorted merge. O(nnz_a + nnz_b).
+    pub fn min_overlap(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut acc = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1.min(b[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// The paper's weighted overlap coefficient; 0 for empty vectors.
+    pub fn weighted_overlap(&self, other: &SparseVec) -> f64 {
+        let denom = self.sum.min(other.sum);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (self.min_overlap(other) / denom).clamp(0.0, 1.0)
+    }
+
+    /// Cosine similarity (used by some baselines for comparison ablations).
+    pub fn cosine(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut dot = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let na: f64 = a.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Accumulates raw term counts and document frequencies to build TF-IDF
+/// weighted [`SparseVec`]s, as the paper does for noun-phrase and entity
+/// context vectors.
+#[derive(Default, Debug)]
+pub struct TfIdf {
+    doc_freq: crate::FxHashMap<Symbol, u32>,
+    n_docs: u32,
+}
+
+impl TfIdf {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one document's *distinct* terms.
+    pub fn add_document<I: IntoIterator<Item = Symbol>>(&mut self, distinct_terms: I) {
+        self.n_docs += 1;
+        for t in distinct_terms {
+            *self.doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of registered documents.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + N / (1 + df))`.
+    pub fn idf(&self, term: Symbol) -> f64 {
+        let df = self.doc_freq.get(&term).copied().unwrap_or(0) as f64;
+        (1.0 + self.n_docs as f64 / (1.0 + df)).ln()
+    }
+
+    /// Builds a TF-IDF vector from raw term counts.
+    pub fn vectorize(&self, counts: &[(Symbol, u32)]) -> SparseVec {
+        SparseVec::from_pairs(
+            counts
+                .iter()
+                .map(|&(t, c)| (t, c as f64 * self.idf(t)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.iter().map(|&(d, w)| (sym(d), w)).collect())
+    }
+
+    #[test]
+    fn from_pairs_dedups_and_sorts() {
+        let x = v(&[(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(x.nnz(), 2);
+        assert_eq!(x.get(sym(3)), 1.5);
+        assert_eq!(x.get(sym(1)), 2.0);
+        assert!((x.weight_sum() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_weights_are_dropped() {
+        let x = v(&[(1, -1.0), (2, 0.0), (3, 2.0)]);
+        assert_eq!(x.nnz(), 1);
+        assert_eq!(x.get(sym(3)), 2.0);
+    }
+
+    #[test]
+    fn weighted_overlap_matches_paper_formula() {
+        // u = {a:2, b:1}, v = {a:1, c:4}; overlap = min(2,1) = 1;
+        // denom = min(3, 5) = 3  =>  sim = 1/3.
+        let u = v(&[(0, 2.0), (1, 1.0)]);
+        let w = v(&[(0, 1.0), (2, 4.0)]);
+        assert!((u.weighted_overlap(&w) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_vectors_have_overlap_one() {
+        let u = v(&[(0, 2.0), (5, 3.0)]);
+        assert!((u.weighted_overlap(&u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_vectors_have_overlap_zero() {
+        let u = v(&[(0, 2.0)]);
+        let w = v(&[(1, 2.0)]);
+        assert_eq!(u.weighted_overlap(&w), 0.0);
+        assert_eq!(u.cosine(&w), 0.0);
+    }
+
+    #[test]
+    fn empty_vector_similarity_is_zero() {
+        let u = v(&[]);
+        let w = v(&[(1, 2.0)]);
+        assert_eq!(u.weighted_overlap(&w), 0.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        let u = v(&[(0, 1.0), (1, 2.0)]);
+        let w = v(&[(0, 2.0), (1, 4.0)]);
+        assert!((u.cosine(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfidf_downweights_ubiquitous_terms() {
+        let mut m = TfIdf::new();
+        // "the" appears in all 4 docs, "dylan" in 1.
+        for _ in 0..4 {
+            m.add_document([sym(0)]);
+        }
+        m.add_document([sym(1)]);
+        assert!(m.idf(sym(1)) > m.idf(sym(0)));
+        let vec = m.vectorize(&[(sym(0), 10), (sym(1), 1)]);
+        assert!(vec.get(sym(0)) > 0.0);
+    }
+
+    #[test]
+    fn tfidf_unseen_term_gets_max_idf() {
+        let mut m = TfIdf::new();
+        m.add_document([sym(0)]);
+        assert!(m.idf(sym(99)) >= m.idf(sym(0)));
+    }
+}

@@ -1,0 +1,287 @@
+//! Evaluation statistics used throughout the paper's experiment section:
+//! Wald confidence intervals for assessed precision (Tables 3–6), Cohen's
+//! kappa for inter-assessor agreement (§7.1), precision-recall curves
+//! (Figure 5), precision@k (Table 7), and macro-averaged P/R/F1 (Table 9).
+
+/// Precision/recall/F1 triple.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Computes P/R/F1 from counts of correct, predicted and gold items.
+    pub fn from_counts(correct: usize, predicted: usize, gold: usize) -> Self {
+        let precision = if predicted == 0 {
+            0.0
+        } else {
+            correct as f64 / predicted as f64
+        };
+        let recall = if gold == 0 {
+            0.0
+        } else {
+            correct as f64 / gold as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// 95% Wald confidence interval half-width for a proportion `p` over `n`
+/// Bernoulli assessments: `z * sqrt(p(1-p)/n)` with `z = 1.96`.
+///
+/// The paper reports all precision values "with Wald confidence intervals
+/// at 95%". Returns 0 for `n == 0`.
+pub fn wald_interval(p: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    1.96 * (p.clamp(0.0, 1.0) * (1.0 - p.clamp(0.0, 1.0)) / n as f64).sqrt()
+}
+
+/// Cohen's kappa for two binary assessors over the same items.
+///
+/// `a` and `b` are the per-item judgements of the two assessors. The paper
+/// reports κ = 0.7 between its two human assessors; we use this to verify
+/// our simulated-noisy-assessor pair sits in the same agreement regime.
+///
+/// Returns `None` if the slices differ in length or are empty, and 1.0 when
+/// expected agreement is 1 (degenerate marginals with perfect agreement).
+pub fn cohens_kappa(a: &[bool], b: &[bool]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let n = a.len() as f64;
+    let mut both_yes = 0.0;
+    let mut both_no = 0.0;
+    let mut a_yes = 0.0;
+    let mut b_yes = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if x && y {
+            both_yes += 1.0;
+        }
+        if !x && !y {
+            both_no += 1.0;
+        }
+        if x {
+            a_yes += 1.0;
+        }
+        if y {
+            b_yes += 1.0;
+        }
+    }
+    let po = (both_yes + both_no) / n;
+    let pe = (a_yes / n) * (b_yes / n) + (1.0 - a_yes / n) * (1.0 - b_yes / n);
+    if (1.0 - pe).abs() < 1e-12 {
+        return Some(1.0);
+    }
+    Some((po - pe) / (1.0 - pe))
+}
+
+/// A point of a precision-recall-style curve over a ranked result list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrPoint {
+    /// Number of extractions considered (rank prefix size).
+    pub k: usize,
+    /// Precision within the top-k prefix.
+    pub precision: f64,
+    /// Recall within the top-k prefix, relative to `gold_total` if known.
+    pub recall: f64,
+}
+
+/// Builds the Figure-5-style curve: items must be sorted by descending
+/// confidence; `correct[i]` says whether item `i` is a true extraction.
+/// `gold_total` is the number of gold items for recall (use `None` to get
+/// recall relative to total correct extractions, as the paper's
+/// "#Extractions" x-axis effectively does).
+pub fn pr_curve(correct: &[bool], gold_total: Option<usize>) -> Vec<PrPoint> {
+    let total_correct = correct.iter().filter(|&&c| c).count();
+    let denom = gold_total.unwrap_or(total_correct).max(1);
+    let mut hits = 0usize;
+    let mut out = Vec::with_capacity(correct.len());
+    for (i, &c) in correct.iter().enumerate() {
+        if c {
+            hits += 1;
+        }
+        out.push(PrPoint {
+            k: i + 1,
+            precision: hits as f64 / (i + 1) as f64,
+            recall: hits as f64 / denom as f64,
+        });
+    }
+    out
+}
+
+/// Precision among the first `k` ranked items (Table 7's "Precision" at
+/// "#Extractions" levels). Returns `None` if fewer than `k` items exist —
+/// mirroring the paper's dash for DeepDive at 250 extractions.
+pub fn precision_at(correct: &[bool], k: usize) -> Option<f64> {
+    if correct.len() < k || k == 0 {
+        return None;
+    }
+    let hits = correct[..k].iter().filter(|&&c| c).count();
+    Some(hits as f64 / k as f64)
+}
+
+/// Macro-averaged P/R/F1 across per-question evaluations (Table 9):
+/// each question contributes its own P/R/F1; the average is unweighted.
+pub fn macro_prf(per_question: &[Prf]) -> Prf {
+    if per_question.is_empty() {
+        return Prf::default();
+    }
+    let n = per_question.len() as f64;
+    Prf {
+        precision: per_question.iter().map(|p| p.precision).sum::<f64>() / n,
+        recall: per_question.iter().map(|p| p.recall).sum::<f64>() / n,
+        f1: per_question.iter().map(|p| p.f1).sum::<f64>() / n,
+    }
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation; 0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// 95% confidence half-width for a mean (normal approximation), as used for
+/// the paper's runtime "± " columns.
+pub fn mean_ci95(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * stddev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Welch's t statistic for two independent samples (the paper reports a
+/// t-test with p = 0.01 for the ILP-vs-greedy precision gap).
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (stddev(a).powi(2), stddev(b).powi(2));
+    let se = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if se == 0.0 {
+        0.0
+    } else {
+        (ma - mb) / se
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_from_counts_basic() {
+        let p = Prf::from_counts(3, 4, 6);
+        assert!((p.precision - 0.75).abs() < 1e-12);
+        assert!((p.recall - 0.5).abs() < 1e-12);
+        assert!((p.f1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_handles_zero_denominators() {
+        assert_eq!(Prf::from_counts(0, 0, 0), Prf::default());
+        let p = Prf::from_counts(0, 5, 0);
+        assert_eq!(p.precision, 0.0);
+        assert_eq!(p.recall, 0.0);
+        assert_eq!(p.f1, 0.0);
+    }
+
+    #[test]
+    fn wald_interval_matches_hand_computation() {
+        // p = 0.62, n = 200 -> 1.96 * sqrt(0.62*0.38/200) ≈ 0.0673,
+        // the order of the paper's ±0.06 columns.
+        let w = wald_interval(0.62, 200);
+        assert!((w - 0.0673).abs() < 1e-3);
+        assert_eq!(wald_interval(0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn kappa_perfect_agreement_is_one() {
+        let a = [true, false, true, true];
+        assert!((cohens_kappa(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_independent_assessors_near_zero() {
+        // Checkerboard vs half-half split: observed agreement equals chance.
+        let a = [true, true, false, false];
+        let b = [true, false, true, false];
+        let k = cohens_kappa(&a, &b).unwrap();
+        assert!(k.abs() < 1e-9);
+    }
+
+    #[test]
+    fn kappa_rejects_mismatched_lengths() {
+        assert!(cohens_kappa(&[true], &[true, false]).is_none());
+        assert!(cohens_kappa(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let correct = [true, true, false, true, false];
+        let curve = pr_curve(&correct, Some(4));
+        assert_eq!(curve.len(), 5);
+        assert!((curve[0].precision - 1.0).abs() < 1e-12);
+        assert!((curve[4].recall - 0.75).abs() < 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+    }
+
+    #[test]
+    fn precision_at_k_and_dash_semantics() {
+        let correct = [true, false, true];
+        assert_eq!(precision_at(&correct, 2), Some(0.5));
+        assert_eq!(precision_at(&correct, 4), None); // paper's "—"
+        assert_eq!(precision_at(&correct, 0), None);
+    }
+
+    #[test]
+    fn macro_prf_averages_per_question() {
+        let qs = [Prf::from_counts(1, 1, 1), Prf::from_counts(0, 1, 1)];
+        let m = macro_prf(&qs);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_stddev_ci() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((stddev(&xs) - 1.2909944487358056).abs() < 1e-9);
+        assert!(mean_ci95(&xs) > 0.0);
+        assert_eq!(mean_ci95(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn welch_t_distinguishes_separated_samples() {
+        let a = [10.0, 10.1, 9.9, 10.05];
+        let b = [1.0, 1.1, 0.9, 1.05];
+        assert!(welch_t(&a, &b) > 10.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Small text utilities shared by the NLP pipeline, NER gazetteers and
+//! alias matching (normalization, casing tests, simple edit distance).
+
+/// Lowercases and collapses internal whitespace; strips leading/trailing
+/// punctuation. Used to normalize alias names for dictionary lookup.
+pub fn normalize(s: &str) -> String {
+    let trimmed = s.trim_matches(|c: char| c.is_ascii_punctuation() || c.is_whitespace());
+    let mut out = String::with_capacity(trimmed.len());
+    let mut last_space = false;
+    for ch in trimmed.chars() {
+        if ch.is_whitespace() {
+            if !last_space && !out.is_empty() {
+                out.push(' ');
+            }
+            last_space = true;
+        } else {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    out
+}
+
+/// True if the first alphabetic character is uppercase.
+pub fn is_capitalized(s: &str) -> bool {
+    s.chars()
+        .find(|c| c.is_alphabetic())
+        .is_some_and(|c| c.is_uppercase())
+}
+
+/// True if every alphabetic character is uppercase and there is at least one.
+pub fn is_all_caps(s: &str) -> bool {
+    let mut saw = false;
+    for c in s.chars() {
+        if c.is_alphabetic() {
+            saw = true;
+            if c.is_lowercase() {
+                return false;
+            }
+        }
+    }
+    saw
+}
+
+/// True if `s` looks like a number (digits with optional separators,
+/// currency or percent adornments) — used for literal arguments like
+/// "$100,000" in the paper's SVOO example.
+pub fn is_numeric_like(s: &str) -> bool {
+    let core = s.trim_matches(|c: char| "$€£%+-".contains(c));
+    if core.is_empty() {
+        return false;
+    }
+    core.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+        && core.chars().any(|c| c.is_ascii_digit())
+}
+
+/// Levenshtein edit distance with early-exit band; O(|a|·|b|) worst case.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Token-level suffix test: does `shorter` match the trailing tokens of
+/// `longer`? ("Pitt" matches "Brad Pitt"). Matching is case-insensitive.
+/// This is the string-matching rule the paper uses to seed `sameAs` edges
+/// between noun phrases with the same NER label.
+pub fn is_token_suffix(shorter: &str, longer: &str) -> bool {
+    let s: Vec<String> = shorter.split_whitespace().map(normalize).collect();
+    let l: Vec<String> = longer.split_whitespace().map(normalize).collect();
+    if s.is_empty() || s.len() > l.len() {
+        return false;
+    }
+    l[l.len() - s.len()..] == s[..]
+}
+
+/// Token-level prefix test: does `shorter` match the leading tokens of
+/// `longer`? ("Brynn" matches "Brynn Wyrmbane" — given-name co-reference.)
+pub fn is_token_prefix(shorter: &str, longer: &str) -> bool {
+    let s: Vec<String> = shorter.split_whitespace().map(normalize).collect();
+    let l: Vec<String> = longer.split_whitespace().map(normalize).collect();
+    if s.is_empty() || s.len() > l.len() {
+        return false;
+    }
+    l[..s.len()] == s[..]
+}
+
+/// Title-cases a single lowercase word (for generator rendering).
+pub fn title_case(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_and_collapses() {
+        assert_eq!(normalize("  Brad   PITT. "), "brad pitt");
+        assert_eq!(normalize("\"Troy\""), "troy");
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn capitalization_checks() {
+        assert!(is_capitalized("Brad"));
+        assert!(!is_capitalized("brad"));
+        assert!(is_capitalized("\"Troy"));
+        assert!(is_all_caps("ONE"));
+        assert!(!is_all_caps("One"));
+        assert!(!is_all_caps("123"));
+    }
+
+    #[test]
+    fn numeric_like_matches_paper_literals() {
+        assert!(is_numeric_like("$100,000"));
+        assert!(is_numeric_like("1936"));
+        assert!(is_numeric_like("3.5"));
+        assert!(!is_numeric_like("Troy"));
+        assert!(!is_numeric_like("$"));
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("pitt", "pitt"), 0);
+    }
+
+    #[test]
+    fn token_suffix_matches_surname() {
+        assert!(is_token_suffix("Pitt", "Brad Pitt"));
+        assert!(is_token_suffix("pitt", "Brad PITT"));
+        assert!(!is_token_suffix("Brad", "Brad Pitt"));
+        assert!(!is_token_suffix("Angelina Jolie", "Jolie"));
+        assert!(is_token_suffix("Brad Pitt", "Brad Pitt"));
+    }
+
+    #[test]
+    fn title_case_word() {
+        assert_eq!(title_case("dylan"), "Dylan");
+        assert_eq!(title_case(""), "");
+    }
+}

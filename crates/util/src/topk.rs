@@ -1,0 +1,152 @@
+//! Bounded top-k selection by score.
+//!
+//! Used by document retrieval (top-k BM25 hits) and by the demo's fact
+//! search. Keeps the k best items in a min-heap; O(n log k).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry ordered by ascending score so the heap root is the
+/// current worst of the kept items.
+struct Entry<T> {
+    score: f64,
+    item: T,
+    seq: u64,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the minimum on top.
+        // Ties broken by insertion order (earlier wins, i.e. stays).
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq).reverse())
+    }
+}
+
+/// A fixed-capacity collector of the `k` highest-scoring items.
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> TopK<T> {
+    /// Creates a collector that keeps the `k` best items (`k == 0` keeps none).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+            seq: 0,
+        }
+    }
+
+    /// Offers an item; it is kept only if it beats the current k-th best.
+    /// NaN scores are rejected.
+    pub fn push(&mut self, score: f64, item: T) {
+        if self.k == 0 || score.is_nan() {
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { score, item, seq });
+            return;
+        }
+        // Strictly better than the current minimum? Replace it. Equal scores
+        // keep the earlier item for determinism.
+        if let Some(min) = self.heap.peek() {
+            if score > min.score {
+                self.heap.pop();
+                self.heap.push(Entry { score, item, seq });
+            }
+        }
+    }
+
+    /// Number of currently kept items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the collector, returning items sorted by descending score
+    /// (ties by earlier insertion first).
+    pub fn into_sorted(self) -> Vec<(f64, T)> {
+        let mut v: Vec<Entry<T>> = self.heap.into_vec();
+        v.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then(a.seq.cmp(&b.seq))
+        });
+        v.into_iter().map(|e| (e.score, e.item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (s, i) in [(1.0, "a"), (5.0, "b"), (3.0, "c"), (4.0, "d"), (2.0, "e")] {
+            t.push(s, i);
+        }
+        let out = t.into_sorted();
+        let items: Vec<&str> = out.iter().map(|&(_, i)| i).collect();
+        assert_eq!(items, vec!["b", "d", "c"]);
+    }
+
+    #[test]
+    fn fewer_than_k_returns_all_sorted() {
+        let mut t = TopK::new(10);
+        t.push(1.0, 1);
+        t.push(2.0, 2);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, 2);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut t = TopK::new(0);
+        t.push(10.0, "x");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn nan_scores_rejected() {
+        let mut t = TopK::new(2);
+        t.push(f64::NAN, "bad");
+        t.push(1.0, "good");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ties_prefer_earlier_insertion() {
+        let mut t = TopK::new(2);
+        t.push(1.0, "first");
+        t.push(1.0, "second");
+        t.push(1.0, "third");
+        let items: Vec<&str> = t.into_sorted().into_iter().map(|(_, i)| i).collect();
+        assert_eq!(items, vec!["first", "second"]);
+    }
+}

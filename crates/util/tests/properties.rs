@@ -1,0 +1,91 @@
+//! Property-based tests for the core data structures.
+
+use proptest::prelude::*;
+use qkb_util::sparse::SparseVec;
+use qkb_util::{Interner, Symbol, TopK};
+
+fn sparse_vec() -> impl Strategy<Value = SparseVec> {
+    proptest::collection::vec((0u32..64, 0.01f64..10.0), 0..20)
+        .prop_map(|pairs| SparseVec::from_pairs(pairs.into_iter().map(|(d, w)| (Symbol(d), w)).collect()))
+}
+
+proptest! {
+    /// Weighted overlap is symmetric and bounded in [0, 1].
+    #[test]
+    fn overlap_symmetric_and_bounded(a in sparse_vec(), b in sparse_vec()) {
+        let ab = a.weighted_overlap(&b);
+        let ba = b.weighted_overlap(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// Self-similarity of a non-empty vector is exactly 1.
+    #[test]
+    fn self_overlap_is_one(a in sparse_vec()) {
+        prop_assume!(!a.is_empty());
+        prop_assert!((a.weighted_overlap(&a) - 1.0).abs() < 1e-9);
+    }
+
+    /// min-overlap never exceeds either weight sum.
+    #[test]
+    fn min_overlap_bounded_by_sums(a in sparse_vec(), b in sparse_vec()) {
+        let m = a.min_overlap(&b);
+        prop_assert!(m <= a.weight_sum() + 1e-9);
+        prop_assert!(m <= b.weight_sum() + 1e-9);
+        prop_assert!(m >= 0.0);
+    }
+
+    /// TopK returns exactly the k largest scores, sorted descending.
+    #[test]
+    fn topk_matches_sort(scores in proptest::collection::vec(-100.0f64..100.0, 0..50), k in 0usize..10) {
+        let mut t = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            t.push(s, i);
+        }
+        let got: Vec<f64> = t.into_sorted().into_iter().map(|(s, _)| s).collect();
+        let mut want = scores.clone();
+        want.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    /// Interning is stable: same string, same symbol; resolve round-trips.
+    #[test]
+    fn intern_roundtrip(words in proptest::collection::vec("[a-z]{1,8}", 1..30)) {
+        let mut i = Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(i.resolve(*s), w.as_str());
+            prop_assert_eq!(i.intern(w), *s);
+        }
+    }
+
+    /// normalize is idempotent.
+    #[test]
+    fn normalize_idempotent(s in "\\PC{0,40}") {
+        let once = qkb_util::text::normalize(&s);
+        let twice = qkb_util::text::normalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Wald intervals are within [0, 0.5] half-width for valid inputs.
+    #[test]
+    fn wald_interval_bounded(p in 0.0f64..=1.0, n in 1usize..10_000) {
+        let w = qkb_util::wald_interval(p, n);
+        prop_assert!(w >= 0.0);
+        prop_assert!(w <= 1.0);
+    }
+
+    /// PR curves have non-decreasing recall and k.
+    #[test]
+    fn pr_curve_monotone(correct in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let curve = qkb_util::pr_curve(&correct, None);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].recall >= w[0].recall);
+            prop_assert!(w[1].k == w[0].k + 1);
+        }
+    }
+}

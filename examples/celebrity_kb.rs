@@ -1,0 +1,61 @@
+//! Tables 1 & 2: an on-the-fly KB built from a generated celebrity page
+//! and from news articles — entities & mentions, relations & patterns,
+//! binary and higher-arity facts, with emerging entities flagged `*`.
+//!
+//! Run: `cargo run --example celebrity_kb`
+
+use qkb_corpus::world::{Domain, World, WorldConfig};
+use qkb_kb::KbEntityKind;
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let bg = qkb_corpus::background::background_corpus(&world, 40, 7);
+    let stats = qkb_corpus::background::build_stats(&world, &bg);
+
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    let mut patterns = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut patterns);
+    let system = qkbfly::Qkbfly::new(repo, patterns, stats);
+
+    // --- Table 1 style: one celebrity page ---
+    let actor = world.entities_of(Domain::Film)[0];
+    let page = qkb_corpus::docgen::wiki_corpus(&world, 40, 11)
+        .docs
+        .into_iter()
+        .find(|d| d.main_entity == Some(actor))
+        .unwrap_or_else(|| qkb_corpus::docgen::wiki_corpus(&world, 1, 11).docs.remove(0));
+    println!("== Page: {} ==", page.title);
+    let result = system.build_kb(&[page.text.clone()]);
+
+    println!("\nEntities & Mentions:");
+    for e in result.kb.entities().iter().take(8) {
+        let mentions: Vec<&str> = e.mentions.iter().map(String::as_str).collect();
+        println!("  {} -> {:?}", e.display(), mentions);
+    }
+    println!("\nFacts (binary and higher-arity):");
+    for f in result.kb.facts().iter().take(10) {
+        println!("  {}", result.render(f));
+    }
+    let emerging = result
+        .kb
+        .entities()
+        .iter()
+        .filter(|e| e.kind == KbEntityKind::Emerging)
+        .count();
+    println!("\n({emerging} emerging entities flagged with *)");
+
+    // --- Table 2 style: news articles with recent facts ---
+    println!("\n== News (recent facts absent from any static KB) ==");
+    let news = qkb_corpus::docgen::news_corpus(&world, 3, 12);
+    for doc in &news.docs {
+        let r = system.build_kb(&[doc.text.clone()]);
+        println!("\n{}:", doc.title);
+        for f in r.kb.facts().iter().take(3) {
+            println!("  {}", r.render(f));
+        }
+    }
+}

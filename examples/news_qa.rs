@@ -1,0 +1,39 @@
+//! Ad-hoc QA on emerging events (§7.4): questions whose answers exist only
+//! in fresh news are answered from a question-specific on-the-fly KB,
+//! while a static-KB lookup comes back empty.
+//!
+//! Run: `cargo run --example news_qa`
+
+use qkb_corpus::questions::{trends_test, webquestions_train};
+use qkb_corpus::world::{World, WorldConfig};
+use qkb_qa::{QaMethod, QaSystem};
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let bg = qkb_corpus::background::background_corpus(&world, 30, 5);
+    let stats = qkb_corpus::background::build_stats(&world, &bg);
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    let mut patterns = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut patterns);
+    let qkb = qkbfly::Qkbfly::new(repo, patterns, stats);
+
+    let mut docs = qkb_corpus::docgen::wiki_corpus(&world, 25, 31).docs;
+    docs.extend(qkb_corpus::docgen::news_corpus(&world, 12, 32).docs);
+    let mut system = QaSystem::new(&world, docs, qkb);
+
+    let train = webquestions_train(&world, 15, 33);
+    println!("training the answer classifier on {} questions ...", train.len());
+    system.train(&train, 34);
+
+    let questions = trends_test(&world, 8, 35);
+    for q in &questions {
+        println!("\nQ: {} {}", q.text, if q.about_recent { "(emerging event)" } else { "" });
+        println!("   gold: {:?}", q.gold.first().map(|g| &g[0]));
+        println!("   on-the-fly KB: {:?}", system.answer(q, QaMethod::Qkbfly));
+        println!("   static KB:     {:?}", system.answer(q, QaMethod::StaticKb));
+    }
+}

@@ -1,0 +1,69 @@
+//! Figures 3 & 4: the §6 demo as a CLI — choose a query, build an
+//! on-the-fly KB from retrieved documents, then filter facts by subject /
+//! predicate / object, including `Type:` search.
+//!
+//! Run: `cargo run --example ondemand_cli -- "Bob Dylan"`
+//!      `cargo run --example ondemand_cli -- <query> [subject-filter] [predicate-filter]`
+//! With a `Type:` prefix the subject filter matches by semantic type, e.g.
+//! `cargo run --example ondemand_cli -- music Type:MUSICAL_ARTIST release`
+
+use qkb_corpus::world::{World, WorldConfig};
+use qkb_qa::Bm25Index;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let query = args.first().cloned().unwrap_or_else(|| "prize".to_string());
+    let subject_filter = args.get(1).cloned();
+    let predicate_filter = args.get(2).cloned();
+
+    let world = World::generate(WorldConfig::default());
+    let bg = qkb_corpus::background::background_corpus(&world, 40, 7);
+    let stats = qkb_corpus::background::build_stats(&world, &bg);
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    let mut patterns = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut patterns);
+
+    // The document source: generated wiki + news corpus with BM25 retrieval
+    // (the demo's en.wikipedia.org / bbc.com selector).
+    let mut docs = qkb_corpus::docgen::wiki_corpus(&world, 30, 21).docs;
+    docs.extend(qkb_corpus::docgen::news_corpus(&world, 10, 22).docs);
+    let index = Bm25Index::build(docs.iter().map(|d| (d.title.as_str(), d.text.as_str())));
+
+    let hits = index.search(&query, 5);
+    println!("query: {query:?} -> {} documents (LOG:)", hits.len());
+    for &(d, score) in &hits {
+        println!("  {:.2}  {}", score, docs[d].title);
+    }
+
+    let texts: Vec<String> = hits.iter().map(|&(d, _)| docs[d].text.clone()).collect();
+    let system = qkbfly::Qkbfly::new(repo, patterns, stats);
+    let result = system.build_kb(&texts);
+    println!(
+        "\nbuilt on-the-fly KB: {} facts, {} entities ({} emerging)",
+        result.kb.n_facts(),
+        result.kb.entities().len(),
+        result.kb.n_emerging()
+    );
+
+    let matches = result.kb.search(
+        subject_filter.as_deref(),
+        predicate_filter.as_deref(),
+        None,
+        system.repo(),
+        system.patterns(),
+    );
+    println!(
+        "\nShow {} out of {} facts (subject={:?}, predicate={:?}):",
+        matches.len().min(15),
+        result.kb.n_facts(),
+        subject_filter,
+        predicate_filter
+    );
+    for f in matches.into_iter().take(15) {
+        println!("  {}", result.render(f));
+    }
+}

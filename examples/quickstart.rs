@@ -1,0 +1,63 @@
+//! Quickstart: build an on-the-fly KB from raw text with a tiny
+//! hand-rolled entity repository — the paper's Figure 2 sentences.
+//!
+//! Run: `cargo run --example quickstart`
+
+use qkb_kb::{EntityRepository, Gender, PatternRepository, StatsBuilder};
+use qkbfly::Qkbfly;
+
+fn main() {
+    // Background repositories (normally generated from a world model or
+    // loaded from dumps; here: three entities, a few anchors).
+    let mut repo = EntityRepository::new();
+    let actor = repo.type_system().get("ACTOR").expect("standard type");
+    let org = repo.type_system().get("FOUNDATION").expect("standard type");
+    let pitt = repo.add_entity(
+        "Brad Pitt",
+        &["William Bradley Pitt", "Pitt"],
+        Gender::Male,
+        vec![actor],
+    );
+    let one = repo.add_entity("ONE Campaign", &[], Gender::Neutral, vec![org]);
+    let dpf = repo.add_entity("Daniel Pearl Foundation", &[], Gender::Neutral, vec![org]);
+
+    let mut stats = StatsBuilder::new();
+    stats.add_anchor("Brad Pitt", pitt);
+    stats.add_anchor("Pitt", pitt);
+    stats.add_anchor("ONE Campaign", one);
+    stats.add_anchor("Daniel Pearl Foundation", dpf);
+    stats.add_entity_article(pitt, ["actor", "film", "donate", "support"]);
+    stats.add_entity_article(one, ["campaign", "poverty", "support"]);
+    stats.add_entity_article(dpf, ["foundation", "journalist", "donate"]);
+
+    let system = Qkbfly::new(repo, PatternRepository::standard(), stats.finalize());
+
+    let docs = vec![
+        "Brad Pitt is an actor and he supports the ONE Campaign. \
+         In 2002, Pitt donated $100,000 to the Daniel Pearl Foundation."
+            .to_string(),
+    ];
+    let result = system.build_kb(&docs);
+
+    println!(
+        "on-the-fly KB: {} entities ({} emerging), {} facts\n",
+        result.kb.entities().len(),
+        result.kb.n_emerging(),
+        result.kb.n_facts()
+    );
+    for fact in result.kb.facts() {
+        println!(
+            "  {}   (confidence {:.2}, arity {})",
+            result.render(fact),
+            fact.confidence,
+            fact.arity()
+        );
+    }
+    println!(
+        "\nstage timings: preprocess {:?}, graph {:?}, resolve {:?}, canonicalize {:?}",
+        result.timings.preprocess,
+        result.timings.graph,
+        result.timings.resolve,
+        result.timings.canonicalize
+    );
+}

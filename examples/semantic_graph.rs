@@ -1,0 +1,62 @@
+//! Figure 2: the semantic graph built from the paper's two example
+//! sentences — clause, noun-phrase, pronoun and entity nodes with
+//! depends / relation / sameAs / means edges.
+//!
+//! Run: `cargo run --example semantic_graph`
+
+use qkb_kb::{BackgroundStats, EntityRepository, Gender};
+use qkb_nlp::Pipeline;
+use qkb_openie::ClausIe;
+use qkbfly::build::{build_graph, BuildConfig};
+
+fn main() {
+    let mut repo = EntityRepository::new();
+    let actor = repo.type_system().get("ACTOR").expect("type");
+    let org = repo.type_system().get("FOUNDATION").expect("type");
+    repo.add_entity(
+        "Brad Pitt",
+        &["William Bradley Pitt", "Pitt"],
+        Gender::Male,
+        vec![actor],
+    );
+    repo.add_entity("ONE Campaign", &[], Gender::Neutral, vec![org]);
+    repo.add_entity("Daniel Pearl Foundation", &[], Gender::Neutral, vec![org]);
+
+    let text = "Brad Pitt is an actor and he supports the ONE Campaign. \
+                In 2002, Pitt donated $100,000 to the Daniel Pearl Foundation.";
+    println!("input:\n  {text}\n");
+
+    let nlp = Pipeline::with_gazetteer(repo.gazetteer());
+    let doc = nlp.annotate(text);
+    let clausie = ClausIe::new();
+    let clauses: Vec<Vec<qkb_openie::Clause>> =
+        doc.sentences.iter().map(|s| clausie.detect(s)).collect();
+
+    println!("clauses:");
+    for (s, cs) in clauses.iter().enumerate() {
+        for c in cs {
+            let args: Vec<String> = c
+                .non_subject_args()
+                .iter()
+                .map(|a| format!("\"{}\"", a.text(&doc.sentences[s])))
+                .collect();
+            println!(
+                "  s{s} {}: \"{}\" --{}--> [{}]",
+                c.ctype,
+                c.subject.text(&doc.sentences[s]),
+                c.verb_lemma,
+                args.join(", ")
+            );
+        }
+    }
+
+    let built = build_graph(
+        &doc,
+        &clauses,
+        &repo,
+        &BackgroundStats::empty(),
+        BuildConfig::default(),
+    );
+    println!("\nsemantic graph (Figure 2):");
+    print!("{}", built.graph.render(&repo));
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: world → corpora → background stats →
+//! QKBfly → on-the-fly KB, plus the evaluation machinery.
+
+use qkb_corpus::world::{World, WorldConfig};
+use qkb_corpus::Assessor;
+use qkbfly::{Qkbfly, QkbflyConfig, SolverKind, Variant};
+
+fn repo_of(world: &World) -> qkb_kb::EntityRepository {
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    repo
+}
+
+fn patterns_of() -> qkb_kb::PatternRepository {
+    let mut p = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut p);
+    p
+}
+
+fn system(world: &World, variant: Variant, solver: SolverKind) -> Qkbfly {
+    let bg = qkb_corpus::background::background_corpus(world, 30, 5);
+    let stats = qkb_corpus::background::build_stats(world, &bg);
+    Qkbfly::with_config(
+        repo_of(world),
+        patterns_of(),
+        stats,
+        QkbflyConfig {
+            variant,
+            solver,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn end_to_end_kb_construction_on_generated_pages() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::wiki_corpus(&world, 8, 77);
+    let sys = system(&world, Variant::Joint, SolverKind::Greedy);
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let result = sys.build_kb(&texts);
+    assert!(result.kb.n_facts() > 10, "facts: {}", result.kb.n_facts());
+    assert!(!result.links.is_empty());
+    // Every kept fact's confidence respects τ.
+    for f in result.kb.facts() {
+        assert!(f.confidence >= sys.config().tau - 1e-9);
+    }
+}
+
+#[test]
+fn assessed_precision_is_reasonable_for_joint_variant() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::wiki_corpus(&world, 10, 78);
+    let sys = system(&world, Variant::Joint, SolverKind::Greedy);
+    let assessor = Assessor::new(&world);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for doc in &corpus.docs {
+        let result = sys.build_kb(std::slice::from_ref(&doc.text));
+        for r in &result.records {
+            if !r.kept || !r.extraction.is_triple() {
+                continue;
+            }
+            total += 1;
+            if assessor.extraction_correct_linked(doc, &r.extraction, &r.slot_entities) {
+                correct += 1;
+            }
+        }
+    }
+    assert!(total > 20, "too few extractions: {total}");
+    let precision = correct as f64 / total as f64;
+    assert!(
+        precision > 0.6,
+        "joint precision {precision:.2} below sanity floor"
+    );
+}
+
+#[test]
+fn variants_order_extraction_volume() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::wiki_corpus(&world, 6, 79);
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let joint_sys = system(&world, Variant::Joint, SolverKind::Greedy);
+    let joint = joint_sys.build_kb(&texts);
+    let noun_sys = system(&world, Variant::NounOnly, SolverKind::Greedy);
+    let noun = noun_sys.build_kb(&texts);
+    // No-CR drops the pronoun-mediated extractions.
+    assert!(joint.records.len() >= noun.records.len());
+}
+
+#[test]
+fn ilp_and_greedy_agree_on_most_links() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::wiki_corpus(&world, 3, 80);
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let greedy_sys = system(&world, Variant::Joint, SolverKind::Greedy);
+    let greedy = greedy_sys.build_kb(&texts);
+    let ilp_sys = system(&world, Variant::Joint, SolverKind::Ilp);
+    let ilp = ilp_sys.build_kb(&texts);
+    assert!(!greedy.links.is_empty() && !ilp.links.is_empty());
+    // Compare link decisions on shared (doc, sentence, phrase) keys.
+    let key = |l: &qkbfly::LinkRecord| (l.doc, l.sentence, l.phrase.clone());
+    let gm: std::collections::HashMap<_, _> =
+        greedy.links.iter().map(|l| (key(l), l.entity)).collect();
+    let mut same = 0usize;
+    let mut both = 0usize;
+    for l in &ilp.links {
+        if let Some(&e) = gm.get(&key(l)) {
+            both += 1;
+            if e == l.entity {
+                same += 1;
+            }
+        }
+    }
+    assert!(both > 0);
+    assert!(
+        same as f64 / both as f64 > 0.8,
+        "greedy and exact inference should mostly agree ({same}/{both})"
+    );
+}
+
+#[test]
+fn emerging_entities_survive_canonicalization() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::news_corpus(&world, 6, 81);
+    let sys = system(&world, Variant::Joint, SolverKind::Greedy);
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let result = sys.build_kb(&texts);
+    assert!(
+        result.kb.n_emerging() > 0,
+        "news corpora introduce out-of-repository entities"
+    );
+}
+
+#[test]
+fn deepdive_and_qkbfly_both_find_spouses() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::wiki_corpus(&world, 20, 82);
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+
+    let mut dd = qkb_deepdive::DeepDive::new(world.repo.gazetteer());
+    let positives: Vec<(String, String)> = world
+        .spouse_pairs()
+        .into_iter()
+        .map(|(a, b)| {
+            (
+                world.entity(a).canonical.clone(),
+                world.entity(b).canonical.clone(),
+            )
+        })
+        .collect();
+    assert!(!positives.is_empty());
+    dd.train(&texts, &positives, 83);
+    let dd_out = dd.extract(&texts, 0.5);
+    assert!(!dd_out.is_empty(), "DeepDive finds spouse mentions");
+
+    let sys = system(&world, Variant::Joint, SolverKind::Greedy);
+    let result = sys.build_kb(&texts);
+    let patterns = patterns_of();
+    let married = patterns.lookup("married to").expect("synset");
+    let married_name = patterns.canonical(married).to_string();
+    let qk_married = result
+        .kb
+        .facts()
+        .iter()
+        .filter(|f| match &f.relation {
+            qkb_kb::RelationRef::Canonical(id) => patterns.canonical(*id) == married_name,
+            qkb_kb::RelationRef::Novel(p) => p.starts_with("marry"),
+        })
+        .count();
+    assert!(qk_married > 0, "QKBfly extracts married-to facts too");
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = qkb_corpus::docgen::wiki_corpus(&world, 3, 84);
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let sys_a = system(&world, Variant::Joint, SolverKind::Greedy);
+    let a = sys_a.build_kb(&texts);
+    let sys_b = system(&world, Variant::Joint, SolverKind::Greedy);
+    let b = sys_b.build_kb(&texts);
+    assert_eq!(a.kb.n_facts(), b.kb.n_facts());
+    assert_eq!(a.records.len(), b.records.len());
+}
