@@ -50,7 +50,10 @@ fn openie_runtime(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("openie_per_sentence");
     let systems: Vec<(&str, Box<dyn Extractor>)> = vec![
-        ("clausie_chart", Box::new(ClausIe::with_backend(ParserBackend::Chart))),
+        (
+            "clausie_chart",
+            Box::new(ClausIe::with_backend(ParserBackend::Chart)),
+        ),
         ("qkbfly_greedy", Box::new(ClausIe::new())),
         ("reverb", Box::new(Reverb::new())),
         ("ollie", Box::new(Ollie::new())),

@@ -109,13 +109,7 @@ fn summarize(verdicts: Vec<bool>, total: usize, rng: &mut SmallRng) -> AssessSum
     let judge = |rng: &mut SmallRng| -> Vec<bool> {
         verdicts
             .iter()
-            .map(|&v| {
-                if rng.gen_bool(ASSESSOR_NOISE) {
-                    !v
-                } else {
-                    v
-                }
-            })
+            .map(|&v| if rng.gen_bool(ASSESSOR_NOISE) { !v } else { v })
             .collect()
     };
     let a = judge(rng);
@@ -136,8 +130,8 @@ mod tests {
     use super::*;
     use qkb_corpus::world::WorldConfig;
     use qkb_corpus::World;
-    use qkb_openie::{ClausIe, Extractor};
     use qkb_nlp::Pipeline;
+    use qkb_openie::{ClausIe, Extractor};
 
     #[test]
     fn assessment_pipeline_on_reverb_sample() {

@@ -5,7 +5,7 @@
 
 use qkb_bench::{assess_linked_extractions, build_fixture, fmt_ci, Table};
 use qkb_corpus::Assessor;
-use qkbfly::{QkbflyConfig, Qkbfly};
+use qkbfly::{Qkbfly, QkbflyConfig};
 
 fn main() {
     println!("== Ablation: confidence threshold τ ==\n");
@@ -18,7 +18,10 @@ fn main() {
             qkb_bench::clone_repo(&fx.world),
             fx.patterns(),
             fx.stats(),
-            QkbflyConfig { tau, ..Default::default() },
+            QkbflyConfig {
+                tau,
+                ..Default::default()
+            },
         );
         let mut records = Vec::new();
         for (d, doc) in corpus.docs.iter().enumerate() {
@@ -30,7 +33,11 @@ fn main() {
             }
         }
         let s = assess_linked_extractions(&assessor, &corpus.docs, &records, 200, 17);
-        t.row([format!("{tau:.2}"), fmt_ci(s.precision, s.ci), s.n_extractions.to_string()]);
+        t.row([
+            format!("{tau:.2}"),
+            fmt_ci(s.precision, s.ci),
+            s.n_extractions.to_string(),
+        ]);
     }
     t.print();
     println!("\nExpected shape: precision non-decreasing in τ, volume decreasing.");

@@ -6,7 +6,7 @@
 
 use qkb_bench::{assess_links, build_fixture, fmt_ci, Table};
 use qkb_corpus::Assessor;
-use qkbfly::{QkbflyConfig, Qkbfly, Variant};
+use qkbfly::{Qkbfly, QkbflyConfig, Variant};
 
 fn main() {
     println!("== Ablation: type signatures in the joint model ==\n");
@@ -16,13 +16,19 @@ fn main() {
     let mut t = Table::new(["Configuration", "NED precision", "#Links"]);
     for (name, variant) in [
         ("joint + type signatures", Variant::Joint),
-        ("joint - type signatures (pipeline weights)", Variant::PipelineArch),
+        (
+            "joint - type signatures (pipeline weights)",
+            Variant::PipelineArch,
+        ),
     ] {
         let sys = Qkbfly::with_config(
             qkb_bench::clone_repo(&fx.world),
             fx.patterns(),
             fx.stats(),
-            QkbflyConfig { variant, ..Default::default() },
+            QkbflyConfig {
+                variant,
+                ..Default::default()
+            },
         );
         let mut links = Vec::new();
         for (d, doc) in corpus.docs.iter().enumerate() {
@@ -32,7 +38,11 @@ fn main() {
             }
         }
         let s = assess_links(&assessor, &corpus.docs, &links, 200, 18);
-        t.row([name.to_string(), fmt_ci(s.precision, s.ci), s.n_extractions.to_string()]);
+        t.row([
+            name.to_string(),
+            fmt_ci(s.precision, s.ci),
+            s.n_extractions.to_string(),
+        ]);
     }
     t.print();
 }

@@ -1,0 +1,140 @@
+//! **Batch-throughput microbench** — serial vs parallel `build_kb` over a
+//! multi-document batch, with a determinism cross-check (the parallel KB
+//! must be byte-identical to the serial one).
+//!
+//! Run: `cargo run -p qkb_bench --release --bin bench_parallel
+//!       [-- --quick] [-- --docs N] [-- --threads N] [-- --out FILE.json]`
+//!
+//! `--quick` shrinks the batch and repetition count for the CI
+//! bench-smoke job. The JSON report (default `BENCH_parallel.json`)
+//! feeds the benchmark trajectory tracked across PRs.
+
+use qkb_bench::{build_fixture, Table};
+use qkb_util::json::Value;
+use qkbfly::{Qkbfly, SolverKind, Variant};
+use std::time::Instant;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Stable rendering of the canonicalized KB for the determinism check.
+fn kb_fingerprint(sys: &Qkbfly, docs: &[String]) -> (String, usize) {
+    let result = sys.build_kb(docs);
+    (
+        result.kb.to_json(sys.patterns()).to_string(),
+        result.kb.n_facts(),
+    )
+}
+
+fn timed_reps(sys: &Qkbfly, docs: &[String], reps: usize) -> f64 {
+    // One warmup build, then the best-of-reps wall clock (robust against
+    // scheduler noise on shared CI runners).
+    let _ = sys.build_kb(docs);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let result = sys.build_kb(docs);
+        std::hint::black_box(result.kb.n_facts());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = arg_flag("--quick") || std::env::var("QKB_BENCH_QUICK").as_deref() == Ok("1");
+    let n_docs: usize = arg_value("--docs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 8 } else { 64 });
+    let threads: usize = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let reps = if quick { 2 } else { 5 };
+
+    println!("== build_kb batch throughput: serial vs parallel ==\n");
+    let fx = build_fixture();
+    let stats = fx.stats();
+    // Fold several generated pages into each batch document so per-document
+    // cost is in news-article territory (the regime §7.1 reports on);
+    // thread-spawn overhead must be negligible against real documents.
+    let pages_per_doc = if quick { 4 } else { 8 };
+    let corpus = fx.wiki(n_docs * pages_per_doc, 4242);
+    let docs: Vec<String> = corpus
+        .docs
+        .chunks(pages_per_doc)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|d| d.text.as_str())
+                .collect::<Vec<_>>()
+                .join("\n\n")
+        })
+        .collect();
+
+    // One system; clones share the repositories, so flipping `parallelism`
+    // on a cheap handle compares identical state.
+    let mut serial = fx.system(stats, Variant::Joint, SolverKind::Greedy);
+    serial.config_mut().parallelism = 1;
+    let mut parallel = serial.clone();
+    parallel.config_mut().parallelism = threads;
+    let workers = qkb_util::effective_parallelism(threads);
+
+    // Determinism cross-check before timing anything.
+    let (serial_fp, n_facts) = kb_fingerprint(&serial, &docs);
+    let (parallel_fp, _) = kb_fingerprint(&parallel, &docs);
+    assert_eq!(
+        serial_fp, parallel_fp,
+        "parallel KB diverged from the serial KB — determinism bug"
+    );
+    println!(
+        "determinism: OK ({} docs -> {} facts, identical KB at {} workers)\n",
+        docs.len(),
+        n_facts,
+        workers
+    );
+
+    let serial_s = timed_reps(&serial, &docs, reps);
+    let parallel_s = timed_reps(&parallel, &docs, reps);
+    let speedup = serial_s / parallel_s;
+
+    let mut table = Table::new(["Mode", "Workers", "Batch wall-clock", "Docs/s"]);
+    table.row([
+        "serial".to_string(),
+        "1".to_string(),
+        format!("{:.3} s", serial_s),
+        format!("{:.1}", docs.len() as f64 / serial_s),
+    ]);
+    table.row([
+        "parallel".to_string(),
+        workers.to_string(),
+        format!("{:.3} s", parallel_s),
+        format!("{:.1}", docs.len() as f64 / parallel_s),
+    ]);
+    table.print();
+    println!("\nspeedup: {speedup:.2}x (quick={quick})");
+
+    let report = Value::object()
+        .with("bench", "build_kb_parallel")
+        .with("quick", quick)
+        .with("docs", docs.len())
+        .with("workers", workers)
+        .with("reps", reps)
+        .with("n_facts", n_facts)
+        .with("serial_s", serial_s)
+        .with("parallel_s", parallel_s)
+        .with("speedup", speedup)
+        .with("docs_per_s_serial", docs.len() as f64 / serial_s)
+        .with("docs_per_s_parallel", docs.len() as f64 / parallel_s)
+        .with("deterministic", true);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write JSON report");
+    println!("report written to {out_path}");
+}

@@ -32,7 +32,10 @@ fn main() {
                         r.extraction.confidence,
                         r.extraction.sentence,
                         r.extraction.render(),
-                        doc.sentences.get(r.extraction.sentence).map(String::as_str).unwrap_or("?")
+                        doc.sentences
+                            .get(r.extraction.sentence)
+                            .map(String::as_str)
+                            .unwrap_or("?")
                     );
                     shown += 1;
                 }
@@ -47,15 +50,28 @@ fn main() {
                         r.extraction.confidence,
                         r.extraction.sentence,
                         r.extraction.render(),
-                        doc.sentences.get(r.extraction.sentence).map(String::as_str).unwrap_or("?")
+                        doc.sentences
+                            .get(r.extraction.sentence)
+                            .map(String::as_str)
+                            .unwrap_or("?")
                     );
-                    for inst in doc.instances.iter().filter(|i| i.sentence == r.extraction.sentence) {
+                    for inst in doc
+                        .instances
+                        .iter()
+                        .filter(|i| i.sentence == r.extraction.sentence)
+                    {
                         println!(
                             "  gold: subj='{}' rel='{}' pattern(s)={:?} args={:?} neg={}",
                             inst.subject_surface,
                             inst.relation,
-                            inst.args.iter().map(|a| a.pattern.as_str()).collect::<Vec<_>>(),
-                            inst.args.iter().map(|a| a.surface.as_str()).collect::<Vec<_>>(),
+                            inst.args
+                                .iter()
+                                .map(|a| a.pattern.as_str())
+                                .collect::<Vec<_>>(),
+                            inst.args
+                                .iter()
+                                .map(|a| a.surface.as_str())
+                                .collect::<Vec<_>>(),
                             inst.negated
                         );
                     }
@@ -63,5 +79,8 @@ fn main() {
             }
         }
     }
-    println!("\nkept={total} wrong={wrong} dropped={dropped} precision={:.3}", 1.0 - wrong as f64 / total as f64);
+    println!(
+        "\nkept={total} wrong={wrong} dropped={dropped} precision={:.3}",
+        1.0 - wrong as f64 / total as f64
+    );
 }

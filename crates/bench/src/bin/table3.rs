@@ -5,7 +5,9 @@
 //!
 //! Run: `cargo run -p qkb-bench --release --bin table3 [-- --scale N]`
 
-use qkb_bench::{assess_extractions, assess_linked_extractions, build_fixture, fmt_ci, fmt_ms, scale, Table};
+use qkb_bench::{
+    assess_extractions, assess_linked_extractions, build_fixture, fmt_ci, fmt_ms, scale, Table,
+};
 use qkb_corpus::Assessor;
 use qkb_openie::Extraction;
 use qkbfly::{Qkbfly, SolverKind, Variant};
@@ -132,11 +134,39 @@ fn main() {
     t.print();
 
     println!("\nPaper (Table 3, for shape comparison):");
-    let mut p = Table::new(["Method", "Triple P", "#Triples", "N-ary P", "#N-ary", "Run-time/doc"]);
+    let mut p = Table::new([
+        "Method",
+        "Triple P",
+        "#Triples",
+        "N-ary P",
+        "#N-ary",
+        "Run-time/doc",
+    ]);
     p.row(["DEFIE", "0.62 ± 0.06", "39,684", "—", "—", "unknown"]);
-    p.row(["QKBfly", "0.67 ± 0.06", "44,605", "0.63 ± 0.06", "25,025", "0.88 s"]);
-    p.row(["QKBfly-pipeline", "0.62 ± 0.06", "44,605", "0.58 ± 0.06", "25,025", "0.85 s"]);
-    p.row(["QKBfly-noun", "0.73 ± 0.06", "33,400", "0.68 ± 0.06", "16,626", "0.76 s"]);
+    p.row([
+        "QKBfly",
+        "0.67 ± 0.06",
+        "44,605",
+        "0.63 ± 0.06",
+        "25,025",
+        "0.88 s",
+    ]);
+    p.row([
+        "QKBfly-pipeline",
+        "0.62 ± 0.06",
+        "44,605",
+        "0.58 ± 0.06",
+        "25,025",
+        "0.85 s",
+    ]);
+    p.row([
+        "QKBfly-noun",
+        "0.73 ± 0.06",
+        "33,400",
+        "0.68 ± 0.06",
+        "16,626",
+        "0.76 s",
+    ]);
     p.print();
 
     // Shape checks the harness asserts (who wins, roughly by how much).
@@ -146,7 +176,10 @@ fn main() {
     let noun_p = results[3].triples.precision;
     println!("\nShape: joint>pipeline: {}", joint_p > pipe_p);
     println!("Shape: noun-only highest precision: {}", noun_p >= joint_p);
-    println!("Shape: all QKBfly variants ≥ DEFIE precision: {}", joint_p >= defie_p);
+    println!(
+        "Shape: all QKBfly variants ≥ DEFIE precision: {}",
+        joint_p >= defie_p
+    );
     println!(
         "Shape: joint extracts more than noun-only: {}",
         results[1].triples.n_extractions > results[3].triples.n_extractions

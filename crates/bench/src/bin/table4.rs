@@ -28,7 +28,10 @@ fn main() {
                 links.push((d, s, phrase, e));
             }
         }
-        rows.push(("DEFIE (Babelfy)", assess_links(&assessor, &corpus.docs, &links, 200, 41)));
+        rows.push((
+            "DEFIE (Babelfy)",
+            assess_links(&assessor, &corpus.docs, &links, 200, 41),
+        ));
     }
 
     for (name, variant) in [
@@ -64,7 +67,14 @@ fn main() {
     p.row(["QKBfly-pipeline", "0.80 ± 0.05", "50,026"]);
     p.print();
 
-    let (babelfy, joint, pipeline) = (rows[0].1.precision, rows[1].1.precision, rows[2].1.precision);
+    let (babelfy, joint, pipeline) = (
+        rows[0].1.precision,
+        rows[1].1.precision,
+        rows[2].1.precision,
+    );
     println!("\nShape: joint ≥ Babelfy: {}", joint >= babelfy);
-    println!("Shape: joint > pipeline (type signatures): {}", joint > pipeline);
+    println!(
+        "Shape: joint > pipeline (type signatures): {}",
+        joint > pipeline
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
     let nlp = qkb_nlp::Pipeline::with_gazetteer(repo.gazetteer());
 
     let systems: Vec<(&str, Box<dyn Extractor>)> = vec![
-        ("ClausIE", Box::new(ClausIe::with_backend(ParserBackend::Chart))),
+        (
+            "ClausIE",
+            Box::new(ClausIe::with_backend(ParserBackend::Chart)),
+        ),
         ("QKBfly", Box::new(ClausIe::new())),
         ("Reverb", Box::new(Reverb::new())),
         ("Ollie", Box::new(Ollie::new())),

@@ -33,7 +33,10 @@ fn main() {
         let mut ilp_p = 0.0;
         let mut greedy_t = 0.0;
         let mut ilp_t = 0.0;
-        for (mname, solver) in [("QKBfly", SolverKind::Greedy), ("QKBfly-ilp", SolverKind::Ilp)] {
+        for (mname, solver) in [
+            ("QKBfly", SolverKind::Greedy),
+            ("QKBfly-ilp", SolverKind::Ilp),
+        ] {
             let sys = fx.system(fx.stats(), Variant::Joint, solver);
             let mut records = Vec::new();
             let mut times = Vec::new();
@@ -73,9 +76,27 @@ fn main() {
     }
 
     println!("Paper (Table 6):");
-    let mut p = Table::new(["Dataset", "Method", "Precision", "#Extract.", "Run-time/doc"]);
-    p.row(["DEFIE-Wikipedia", "QKBfly", "0.65 ± 0.06", "69,630", "0.88 s"]);
-    p.row(["DEFIE-Wikipedia", "QKBfly-ilp", "0.66 ± 0.06", "69,630", "46.59 s"]);
+    let mut p = Table::new([
+        "Dataset",
+        "Method",
+        "Precision",
+        "#Extract.",
+        "Run-time/doc",
+    ]);
+    p.row([
+        "DEFIE-Wikipedia",
+        "QKBfly",
+        "0.65 ± 0.06",
+        "69,630",
+        "0.88 s",
+    ]);
+    p.row([
+        "DEFIE-Wikipedia",
+        "QKBfly-ilp",
+        "0.66 ± 0.06",
+        "69,630",
+        "46.59 s",
+    ]);
     p.row(["News", "QKBfly", "0.65 ± 0.06", "2,096", "1.43 s"]);
     p.row(["News", "QKBfly-ilp", "0.67 ± 0.06", "2,096", "71.18 s"]);
     p.row(["Wikia", "QKBfly", "0.54 ± 0.06", "917", "4.29 s"]);

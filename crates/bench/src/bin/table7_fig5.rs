@@ -16,7 +16,7 @@ fn key(a: &str, b: &str) -> (String, String) {
     let last = |s: &str| {
         normalize(s)
             .split(' ')
-            .last()
+            .next_back()
             .unwrap_or_default()
             .to_string()
     };
@@ -43,12 +43,7 @@ fn main() {
         .world
         .spouse_pairs()
         .into_iter()
-        .map(|(a, b)| {
-            key(
-                &fx.world.entity(a).canonical,
-                &fx.world.entity(b).canonical,
-            )
-        })
+        .map(|(a, b)| key(&fx.world.entity(a).canonical, &fx.world.entity(b).canonical))
         .collect();
 
     // --- DeepDive ---
@@ -79,8 +74,10 @@ fn main() {
     // ranking). ---
     let t1 = Instant::now();
     let sys = {
-        let mut cfg = qkbfly::QkbflyConfig::default();
-        cfg.tau = 0.0; // rank by confidence; precision@k slices the list
+        let cfg = qkbfly::QkbflyConfig {
+            tau: 0.0, // rank by confidence; precision@k slices the list
+            ..Default::default()
+        };
         qkbfly::Qkbfly::with_config(
             qkb_bench::clone_repo(&fx.world),
             fx.patterns(),

@@ -21,7 +21,10 @@ fn main() {
     let mut system = QaSystem::new(&fx.world, docs, qkb);
 
     let train = webquestions_train(&fx.world, 40 * s, 93);
-    println!("training the answer classifier on {} questions ...", train.len());
+    println!(
+        "training the answer classifier on {} questions ...",
+        train.len()
+    );
     system.train(&train, 94);
 
     let test = trends_test(&fx.world, 50 * s, 95);
@@ -35,8 +38,7 @@ fn main() {
         ("Sentence-Answers", QaMethod::SentenceAnswers),
         ("QA-Static-KB", QaMethod::StaticKb),
     ] {
-        let predictions: Vec<Vec<String>> =
-            test.iter().map(|q| system.answer(q, method)).collect();
+        let predictions: Vec<Vec<String>> = test.iter().map(|q| system.answer(q, method)).collect();
         let e = evaluate(&test, &predictions);
         t.row([
             name.to_string(),

@@ -19,9 +19,15 @@ fn main() {
     // the gradient).
     let mut pairs = Vec::new();
     for f in fx.world.facts.iter().take(400) {
-        let Some(subj_repo) = fx.world.repo_id(f.subject) else { continue };
-        let Some(GoldArg::Entity(obj)) = f.args.first() else { continue };
-        let Some(obj_repo) = fx.world.repo_id(*obj) else { continue };
+        let Some(subj_repo) = fx.world.repo_id(f.subject) else {
+            continue;
+        };
+        let Some(GoldArg::Entity(obj)) = f.args.first() else {
+            continue;
+        };
+        let Some(obj_repo) = fx.world.repo_id(*obj) else {
+            continue;
+        };
         let subj_alias = &fx.world.entity(f.subject).aliases[0];
         let obj_entity = fx.world.entity(*obj);
         let obj_alias = obj_entity.aliases.last().expect("alias");
@@ -47,5 +53,8 @@ fn main() {
     let trained = train_alphas(&pairs, &stats, &repo, init);
     println!("alpha (prior, context, coherence, type-signature):");
     println!("  init:    {init:?}");
-    println!("  trained: [{:.3}, {:.3}, {:.3}, {:.3}]", trained[0], trained[1], trained[2], trained[3]);
+    println!(
+        "  trained: [{:.3}, {:.3}, {:.3}, {:.3}]",
+        trained[0], trained[1], trained[2], trained[3]
+    );
 }

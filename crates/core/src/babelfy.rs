@@ -44,15 +44,12 @@ pub fn resolve_babelfy(
     let mut cand_cache: FxHashMap<NodeId, Vec<EntityId>> = FxHashMap::default();
     for &n in &nps {
         let cands: Vec<EntityId> = graph.means_of(n).iter().map(|&(_, e)| e).collect();
-        let best = cands
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                local
-                    .means_weight(graph, stats, n, a)
-                    .partial_cmp(&local.means_weight(graph, stats, n, b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+        let best = cands.iter().copied().max_by(|&a, &b| {
+            local
+                .means_weight(graph, stats, n, a)
+                .partial_cmp(&local.means_weight(graph, stats, n, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         assignment.insert(n, best);
         cand_cache.insert(n, cands);
     }

@@ -393,7 +393,16 @@ fn possessive_relations(
         let owner_span: Vec<usize> = owner_span_of(toks, owner_head);
         let name_span: Vec<usize> = (name_start..k).collect();
         let owner = mention_node(
-            g, index, mentions, repo, stats, sentence, s_idx, &owner_span, owner_head, config,
+            g,
+            index,
+            mentions,
+            repo,
+            stats,
+            sentence,
+            s_idx,
+            &owner_span,
+            owner_head,
+            config,
         );
         let name = mention_node(
             g,
@@ -564,14 +573,19 @@ mod tests {
             Gender::Male,
             vec![actor],
         );
-        repo.add_entity("ONE Campaign", &["the ONE Campaign"], Gender::Neutral, vec![org]);
         repo.add_entity(
-            "Daniel Pearl Foundation",
-            &[],
+            "ONE Campaign",
+            &["the ONE Campaign"],
             Gender::Neutral,
             vec![org],
         );
-        repo.add_entity("Achilles", &["warrior Achilles"], Gender::Male, vec![character]);
+        repo.add_entity("Daniel Pearl Foundation", &[], Gender::Neutral, vec![org]);
+        repo.add_entity(
+            "Achilles",
+            &["warrior Achilles"],
+            Gender::Male,
+            vec![character],
+        );
         repo.add_entity("Troy", &[], Gender::Neutral, vec![film]);
         repo
     }
@@ -581,8 +595,7 @@ mod tests {
         let pipeline = Pipeline::with_gazetteer(repo.gazetteer());
         let doc = pipeline.annotate(text);
         let clausie = ClausIe::new();
-        let clauses: Vec<Vec<Clause>> =
-            doc.sentences.iter().map(|s| clausie.detect(s)).collect();
+        let clauses: Vec<Vec<Clause>> = doc.sentences.iter().map(|s| clausie.detect(s)).collect();
         let stats = BackgroundStats::empty();
         let built = build_graph(&doc, &clauses, &repo, &stats, BuildConfig::default());
         (built, repo)
@@ -621,15 +634,14 @@ mod tests {
 
     #[test]
     fn same_as_links_pitt_variants() {
-        let (built, _repo) = build(
-            "Brad Pitt is an actor. Pitt donated $100,000 to the Daniel Pearl Foundation.",
-        );
+        let (built, _repo) =
+            build("Brad Pitt is an actor. Pitt donated $100,000 to the Daniel Pearl Foundation.");
         let g = &built.graph;
         let full = g
             .node_ids()
-            .find(|&n| {
-                matches!(g.node(n), NodeKind::NounPhrase { text, .. } if text == "Brad Pitt")
-            })
+            .find(
+                |&n| matches!(g.node(n), NodeKind::NounPhrase { text, .. } if text == "Brad Pitt"),
+            )
             .expect("full name node");
         let linked = g.same_as_of(full);
         assert!(
@@ -644,9 +656,9 @@ mod tests {
     fn time_mentions_carry_values() {
         let (built, _) = build("Pitt donated $100,000 to the Daniel Pearl Foundation in 2002.");
         let g = &built.graph;
-        let time_node = g.node_ids().find(|&n| {
-            matches!(g.node(n), NodeKind::NounPhrase { is_time: true, .. })
-        });
+        let time_node = g
+            .node_ids()
+            .find(|&n| matches!(g.node(n), NodeKind::NounPhrase { is_time: true, .. }));
         assert!(time_node.is_some(), "a time mention node must exist");
         if let NodeKind::NounPhrase { time_value, .. } = g.node(time_node.expect("some")) {
             assert_eq!(time_value.as_deref(), Some("2002"));
@@ -659,8 +671,7 @@ mod tests {
         let pipeline = Pipeline::with_gazetteer(repo.gazetteer());
         let doc = pipeline.annotate("Brad Pitt is an actor. He supports the ONE Campaign.");
         let clausie = ClausIe::new();
-        let clauses: Vec<Vec<Clause>> =
-            doc.sentences.iter().map(|s| clausie.detect(s)).collect();
+        let clauses: Vec<Vec<Clause>> = doc.sentences.iter().map(|s| clausie.detect(s)).collect();
         let stats = BackgroundStats::empty();
         let built = build_graph(
             &doc,

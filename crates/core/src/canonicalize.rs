@@ -72,8 +72,7 @@ pub fn canonicalize_into(
     let mut out = DocCanonOutput::default();
 
     // --- mention clusters over surviving sameAs edges ---
-    let mut parent: FxHashMap<NodeId, NodeId> =
-        built.mentions.iter().map(|&n| (n, n)).collect();
+    let mut parent: FxHashMap<NodeId, NodeId> = built.mentions.iter().map(|&n| (n, n)).collect();
     fn find(parent: &mut FxHashMap<NodeId, NodeId>, mut x: NodeId) -> NodeId {
         while parent[&x] != x {
             let p = parent[&x];
@@ -109,9 +108,10 @@ pub fn canonicalize_into(
     }
     for (&root, nodes) in &members {
         // Time mentions stand alone.
-        if let Some(&t) = nodes.iter().find(|&&n| {
-            matches!(g.node(n), NodeKind::NounPhrase { is_time: true, .. })
-        }) {
+        if let Some(&t) = nodes
+            .iter()
+            .find(|&&n| matches!(g.node(n), NodeKind::NounPhrase { is_time: true, .. }))
+        {
             if let NodeKind::NounPhrase {
                 time_value: Some(v),
                 ..
@@ -133,9 +133,9 @@ pub fn canonicalize_into(
                 _ => None,
             })
             .collect();
-        let any_proper = nodes.iter().any(|&n| {
-            matches!(g.node(n), NodeKind::NounPhrase { proper: true, .. })
-        });
+        let any_proper = nodes
+            .iter()
+            .any(|&n| matches!(g.node(n), NodeKind::NounPhrase { proper: true, .. }));
         // §5: clusters that link only with very low confidence — or whose
         // fullest name contradicts the linked entity's alias dictionary —
         // are treated as *new* (emerging) entities.
@@ -146,10 +146,7 @@ pub fn canonicalize_into(
                 .filter(|t| t.split_whitespace().count() >= 2)
                 .any(|t| {
                     !aliases.iter().any(|a| {
-                        let (na, nt) = (
-                            qkb_util::text::normalize(a),
-                            qkb_util::text::normalize(t),
-                        );
+                        let (na, nt) = (qkb_util::text::normalize(a), qkb_util::text::normalize(t));
                         na == nt
                             || qkb_util::text::is_token_suffix(&nt, &na)
                             || qkb_util::text::is_token_suffix(&na, &nt)
@@ -505,9 +502,7 @@ mod tests {
         let support = kb
             .facts()
             .iter()
-            .find(|f| {
-                kb.render_fact(f, &patterns).contains("support")
-            })
+            .find(|f| kb.render_fact(f, &patterns).contains("support"))
             .expect("support fact");
         match &support.subject {
             FactArg::Entity(id) => {
@@ -587,10 +582,11 @@ mod tests {
             "Pitt joined the Daniel Pearl Foundation in 2002.",
             CanonConfig::default(),
         );
-        let has_time = kb
-            .facts()
-            .iter()
-            .any(|f| f.args.iter().any(|a| matches!(a, FactArg::Time(t) if t == "2002")));
+        let has_time = kb.facts().iter().any(|f| {
+            f.args
+                .iter()
+                .any(|a| matches!(a, FactArg::Time(t) if t == "2002"))
+        });
         assert!(has_time, "facts: {}", kb.n_facts());
     }
 }

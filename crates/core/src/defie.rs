@@ -170,15 +170,18 @@ mod tests {
             &repo,
             &stats,
         );
-        assert!(out
-            .extractions
-            .iter()
-            .all(|e| e.is_triple()), "DEFIE yields only triples");
+        assert!(
+            out.extractions.iter().all(|e| e.is_triple()),
+            "DEFIE yields only triples"
+        );
         // the subordinate clause ("team lost final") is not extracted
         assert!(
             !out.extractions.iter().any(|e| e.relation.contains("lose")),
             "{:?}",
-            out.extractions.iter().map(|e| e.render()).collect::<Vec<_>>()
+            out.extractions
+                .iter()
+                .map(|e| e.render())
+                .collect::<Vec<_>>()
         );
     }
 

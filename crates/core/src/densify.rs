@@ -244,10 +244,7 @@ impl<'a> Engine<'a> {
                 // is a PERSON of the wrong gender can never be chosen.
                 let group = &groups[gid];
                 let viable = group.cands.is_empty()
-                    || group
-                        .cands
-                        .iter()
-                        .any(|c| gender_ok(repo, c.e, gender));
+                    || group.cands.iter().any(|c| gender_ok(repo, c.e, gender));
                 if viable {
                     targets.push(TargetState {
                         edge,
@@ -724,7 +721,11 @@ mod tests {
         (repo, b.finalize())
     }
 
-    fn run(text: &str, repo: &EntityRepository, stats: &BackgroundStats) -> (crate::build::BuiltGraph, DensifyOutcome) {
+    fn run(
+        text: &str,
+        repo: &EntityRepository,
+        stats: &BackgroundStats,
+    ) -> (crate::build::BuiltGraph, DensifyOutcome) {
         let pipeline = Pipeline::with_gazetteer(repo.gazetteer());
         let doc = pipeline.annotate(text);
         let clausie = ClausIe::new();

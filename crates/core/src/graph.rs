@@ -279,7 +279,12 @@ impl SemanticGraph {
                 } => {
                     let _ = writeln!(out, "[{i}] clause s{sentence} {ctype} \"{verb}\"");
                 }
-                NodeKind::NounPhrase { sentence, text, ner, .. } => {
+                NodeKind::NounPhrase {
+                    sentence,
+                    text,
+                    ner,
+                    ..
+                } => {
                     let _ = writeln!(out, "[{i}] np s{sentence} \"{text}\" ({ner})");
                 }
                 NodeKind::Pronoun { sentence, text, .. } => {

@@ -45,9 +45,7 @@ pub fn resolve_ilp(
     let mut cand_vars: FxHashMap<NodeId, Vec<(EntityId, VarId)>> = FxHashMap::default();
     for &n in mentions {
         let cands: Vec<EntityId> = match graph.node(n) {
-            NodeKind::NounPhrase { .. } => {
-                graph.means_of(n).iter().map(|&(_, e)| e).collect()
-            }
+            NodeKind::NounPhrase { .. } => graph.means_of(n).iter().map(|&(_, e)| e).collect(),
             NodeKind::Pronoun { gender, .. } => {
                 let mut out = Vec::new();
                 for (_, t) in graph.same_as_of(n) {
@@ -101,11 +99,7 @@ pub fn resolve_ilp(
             for &(e, v) in va {
                 match vb.iter().find(|&&(e2, _)| e2 == e) {
                     Some(&(_, v2)) => ilp.equal(v, v2),
-                    None => ilp.add_constraint(
-                        &[(v, 1.0)],
-                        qkb_ilp::ConstraintOp::Eq,
-                        0.0,
-                    ),
+                    None => ilp.add_constraint(&[(v, 1.0)], qkb_ilp::ConstraintOp::Eq, 0.0),
                 }
             }
             for &(e, v2) in vb {

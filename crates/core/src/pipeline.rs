@@ -11,20 +11,21 @@
 //! (§7.1 reports <1 s/document with about half the time in
 //! pre-processing).
 
+use crate::build::BuiltGraph;
 use crate::build::{build_graph, BuildConfig};
 use crate::canonicalize::{canonicalize_into, CanonConfig, DocCanonOutput};
+use crate::densify::DensifyOutcome;
 use crate::densify::{
     densify, resolve_independent, resolve_pronouns_by_recency, MentionResolution,
 };
 use crate::graph::{EdgeKind, NodeId, NodeKind, SemanticGraph};
 use crate::ilp::resolve_ilp;
 use crate::weights::WeightModel;
-use qkb_kb::{
-    BackgroundStats, EntityId, EntityRepository, Fact, OnTheFlyKb, PatternRepository,
-};
+use qkb_kb::{BackgroundStats, EntityId, EntityRepository, Fact, OnTheFlyKb, PatternRepository};
 use qkb_nlp::Pipeline as NlpPipeline;
 use qkb_openie::{ClausIe, Clause, Extraction};
 use qkb_util::FxHashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Architecture variant (Table 3).
@@ -64,6 +65,11 @@ pub struct QkbflyConfig {
     pub pronoun_window: usize,
     /// Emit higher-arity facts.
     pub emit_nary: bool,
+    /// Worker threads for the per-document phase of [`Qkbfly::build_kb`]:
+    /// `0` uses all available cores, `1` is the fully serial path. The
+    /// canonicalized KB is byte-identical for every setting (per-document
+    /// outputs are merged in document order).
+    pub parallelism: usize,
 }
 
 impl Default for QkbflyConfig {
@@ -76,6 +82,7 @@ impl Default for QkbflyConfig {
             low_link: 0.2,
             pronoun_window: 5,
             emit_nary: true,
+            parallelism: 0,
         }
     }
 }
@@ -170,13 +177,34 @@ impl BuildResult<'_> {
     }
 }
 
-/// The QKBfly system: owns its background repositories and configuration.
+/// The output of the pure per-document phase (preprocessing, semantic
+/// graph, joint NED+CR) — everything that can run concurrently across
+/// the documents of a batch. Feed it to [`Qkbfly::merge_doc`] in document
+/// order to obtain the canonicalized KB.
+pub struct DocStage1 {
+    /// The densified per-document semantic graph.
+    pub built: BuiltGraph,
+    /// Resolutions chosen by the inference backend.
+    pub outcome: DensifyOutcome,
+    /// Diagnostics accumulated so far (preprocess/graph/resolve timings;
+    /// the canonicalize slot is filled by the merge phase).
+    pub diag: DocResult,
+}
+
+/// The QKBfly system: shares its background repositories (`Arc`, read-only
+/// at query time) across worker threads and cloned handles, plus the
+/// per-system configuration.
+///
+/// Cloning is cheap — repositories, background statistics and the NLP
+/// pipeline are reference-counted, only the configuration is copied — so a
+/// serving layer can hand each request thread its own handle.
+#[derive(Clone)]
 pub struct Qkbfly {
-    repo: EntityRepository,
-    patterns: PatternRepository,
-    stats: BackgroundStats,
-    nlp: NlpPipeline,
-    clausie: ClausIe,
+    repo: Arc<EntityRepository>,
+    patterns: Arc<PatternRepository>,
+    stats: Arc<BackgroundStats>,
+    nlp: Arc<NlpPipeline>,
+    clausie: Arc<ClausIe>,
     config: QkbflyConfig,
 }
 
@@ -199,11 +227,11 @@ impl Qkbfly {
     ) -> Self {
         let nlp = NlpPipeline::with_gazetteer(repo.gazetteer());
         Self {
-            repo,
-            patterns,
-            stats,
-            nlp,
-            clausie: ClausIe::new(),
+            repo: Arc::new(repo),
+            patterns: Arc::new(patterns),
+            stats: Arc::new(stats),
+            nlp: Arc::new(nlp),
+            clausie: Arc::new(ClausIe::new()),
             config,
         }
     }
@@ -242,33 +270,57 @@ impl Qkbfly {
 
     /// Builds an on-the-fly KB from the input documents (the paper's
     /// query-time path: documents were already retrieved for the query).
+    ///
+    /// The per-document phase ([`Qkbfly::process_doc_stage1`]) fans out
+    /// over [`QkbflyConfig::parallelism`] worker threads; the merge phase
+    /// ([`Qkbfly::merge_doc`]) then folds the per-document outputs into
+    /// the shared KB **in document order**, so the result is byte-identical
+    /// to the serial path for any worker count.
     pub fn build_kb(&self, docs: &[String]) -> BuildResult<'_> {
+        let workers = qkb_util::effective_parallelism(self.config.parallelism);
+
         let mut kb = OnTheFlyKb::new();
         let mut records = Vec::new();
         let mut links = Vec::new();
         let mut timings = StageTimings::default();
         let mut per_doc = Vec::with_capacity(docs.len());
-        for (d, text) in docs.iter().enumerate() {
-            let (out, diag) = self.process_doc(&mut kb, text, d as u32);
-            timings.add(&diag.timings);
-            for (extraction, kept, slot_entities) in out.extractions {
-                records.push(ExtractionRecord {
-                    doc: d,
-                    extraction,
-                    kept,
-                    slot_entities,
+        {
+            let mut fold = |d: usize, stage1: DocStage1| {
+                let (out, diag) = self.merge_doc(&mut kb, stage1, d as u32);
+                timings.add(&diag.timings);
+                for (extraction, kept, slot_entities) in out.extractions {
+                    records.push(ExtractionRecord {
+                        doc: d,
+                        extraction,
+                        kept,
+                        slot_entities,
+                    });
+                }
+                for (sentence, phrase, entity, confidence) in out.links {
+                    links.push(LinkRecord {
+                        doc: d,
+                        sentence,
+                        phrase,
+                        entity,
+                        confidence,
+                    });
+                }
+                per_doc.push(diag);
+            };
+            if workers <= 1 || docs.len() <= 1 {
+                // Serial path: process-and-merge one document at a time, so
+                // only a single document's stage-1 state is ever resident.
+                for (d, text) in docs.iter().enumerate() {
+                    fold(d, self.process_doc_stage1(text));
+                }
+            } else {
+                let stage1 = qkb_util::par_map_ordered(docs, workers, |_, text| {
+                    self.process_doc_stage1(text)
                 });
+                for (d, doc_stage1) in stage1.into_iter().enumerate() {
+                    fold(d, doc_stage1);
+                }
             }
-            for (sentence, phrase, entity, confidence) in out.links {
-                links.push(LinkRecord {
-                    doc: d,
-                    sentence,
-                    phrase,
-                    entity,
-                    confidence,
-                });
-            }
-            per_doc.push(diag);
         }
         BuildResult {
             kb,
@@ -280,13 +332,11 @@ impl Qkbfly {
         }
     }
 
-    /// Processes one document into the shared KB.
-    pub fn process_doc(
-        &self,
-        kb: &mut OnTheFlyKb,
-        text: &str,
-        doc_idx: u32,
-    ) -> (DocCanonOutput, DocResult) {
+    /// The pure per-document phase: NLP preprocessing, clause detection,
+    /// semantic-graph construction and joint NED+CR inference. Reads only
+    /// the shared repositories — safe to run concurrently for the
+    /// documents of a batch.
+    pub fn process_doc_stage1(&self, text: &str) -> DocStage1 {
         let mut diag = DocResult::default();
 
         // --- pre-processing (the CoreNLP + MaltParser + ClausIE stack) ---
@@ -320,8 +370,7 @@ impl Qkbfly {
         let mentions = built.mentions.clone();
         let outcome = match (self.config.variant, self.config.solver) {
             (Variant::PipelineArch, _) => {
-                let mut res =
-                    resolve_independent(&built.graph, &mentions, &model, &self.stats);
+                let mut res = resolve_independent(&built.graph, &mentions, &model, &self.stats);
                 resolve_pronouns_by_recency(&built.graph, &mentions, &mut res, &self.repo);
                 apply_resolutions(&mut built.graph, &mentions, &res);
                 crate::densify::DensifyOutcome {
@@ -346,7 +395,27 @@ impl Qkbfly {
         };
         diag.timings.resolve = t2.elapsed();
 
-        // --- stage 3: canonicalization ---
+        DocStage1 {
+            built,
+            outcome,
+            diag,
+        }
+    }
+
+    /// The merge phase: canonicalizes one document's stage-1 output into
+    /// the shared KB. Must be called in document order for deterministic
+    /// KB identifiers.
+    pub fn merge_doc(
+        &self,
+        kb: &mut OnTheFlyKb,
+        stage1: DocStage1,
+        doc_idx: u32,
+    ) -> (DocCanonOutput, DocResult) {
+        let DocStage1 {
+            built,
+            outcome,
+            mut diag,
+        } = stage1;
         let t3 = Instant::now();
         let out = canonicalize_into(
             kb,
@@ -364,7 +433,29 @@ impl Qkbfly {
         diag.timings.canonicalize = t3.elapsed();
         (out, diag)
     }
+
+    /// Processes one document into the shared KB (stage 1 + merge in one
+    /// step — the serial building block, kept for harnesses that stream
+    /// documents one at a time).
+    pub fn process_doc(
+        &self,
+        kb: &mut OnTheFlyKb,
+        text: &str,
+        doc_idx: u32,
+    ) -> (DocCanonOutput, DocResult) {
+        let stage1 = self.process_doc_stage1(text);
+        self.merge_doc(kb, stage1, doc_idx)
+    }
 }
+
+// The batch fan-out borrows `&Qkbfly` from worker threads; keep the whole
+// system (and the shared-read structures it hands out) `Send + Sync` by
+// construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Qkbfly>();
+    assert_send_sync::<DocStage1>();
+};
 
 /// Prunes the graph's `means`/`sameAs` edges to reflect externally computed
 /// resolutions (ILP and pipeline variants), so canonicalization sees the
@@ -432,7 +523,12 @@ mod tests {
         let actor = repo.type_system().get("ACTOR").expect("t");
         let org = repo.type_system().get("FOUNDATION").expect("t");
         let pitt = repo.add_entity("Brad Pitt", &["Pitt"], Gender::Male, vec![actor]);
-        let one = repo.add_entity("ONE Campaign", &["the ONE Campaign"], Gender::Neutral, vec![org]);
+        let one = repo.add_entity(
+            "ONE Campaign",
+            &["the ONE Campaign"],
+            Gender::Neutral,
+            vec![org],
+        );
         let dpf = repo.add_entity("Daniel Pearl Foundation", &[], Gender::Neutral, vec![org]);
         let mut b = StatsBuilder::new();
         b.add_anchor("Brad Pitt", pitt);
@@ -464,8 +560,7 @@ mod tests {
         let sys = system(Variant::Joint, SolverKind::Greedy);
         let result = sys.build_kb(&[FIG2.to_string()]);
         assert!(result.kb.n_facts() >= 2, "facts: {}", result.kb.n_facts());
-        let rendered: Vec<String> =
-            result.kb.facts().iter().map(|f| result.render(f)).collect();
+        let rendered: Vec<String> = result.kb.facts().iter().map(|f| result.render(f)).collect();
         // The pronoun-mediated support fact must resolve to Brad Pitt.
         assert!(
             rendered
@@ -487,8 +582,7 @@ mod tests {
         let result = sys.build_kb(&[FIG2.to_string()]);
         // fewer extractions than the joint variant (the pronoun clause is
         // dropped), but the donation fact remains
-        let rendered: Vec<String> =
-            result.kb.facts().iter().map(|f| result.render(f)).collect();
+        let rendered: Vec<String> = result.kb.facts().iter().map(|f| result.render(f)).collect();
         assert!(
             rendered.iter().any(|r| r.contains("Daniel Pearl")),
             "rendered: {rendered:?}"
@@ -515,8 +609,7 @@ mod tests {
         assert!(ilp.per_doc[0].ilp_variables.is_some());
         // Same subject resolution for the supports fact.
         let has = |r: &BuildResult<'_>| {
-            r.kb
-                .facts()
+            r.kb.facts()
                 .iter()
                 .map(|f| r.render(f))
                 .any(|s| s.contains("Brad Pitt") && s.contains("support"))

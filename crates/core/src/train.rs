@@ -55,19 +55,21 @@ impl TrainingPair {
         for &(ea, _, _) in &self.cands_a {
             for &(eb, _, _) in &self.cands_b {
                 f[2] += stats.coherence(ea, eb);
-                f[3] += stats.type_signature(
-                    repo.types_of(ea),
-                    repo.types_of(eb),
-                    &self.pattern,
-                );
+                f[3] += stats.type_signature(repo.types_of(ea), repo.types_of(eb), &self.pattern);
             }
         }
         f
     }
 
     fn gold_indices(&self) -> Option<(usize, usize)> {
-        let i = self.cands_a.iter().position(|&(e, _, _)| e == self.gold.0)?;
-        let j = self.cands_b.iter().position(|&(e, _, _)| e == self.gold.1)?;
+        let i = self
+            .cands_a
+            .iter()
+            .position(|&(e, _, _)| e == self.gold.0)?;
+        let j = self
+            .cands_b
+            .iter()
+            .position(|&(e, _, _)| e == self.gold.1)?;
         Some((i, j))
     }
 }
@@ -162,8 +164,12 @@ mod tests {
         let club_t = repo.type_system().get("FOOTBALL_CLUB").expect("t");
         let fb_t = repo.type_system().get("FOOTBALLER").expect("t");
         let city = repo.add_entity("Liverpool", &[], Gender::Neutral, vec![city_t]);
-        let club =
-            repo.add_entity("Liverpool F.C.", &["Liverpool"], Gender::Neutral, vec![club_t]);
+        let club = repo.add_entity(
+            "Liverpool F.C.",
+            &["Liverpool"],
+            Gender::Neutral,
+            vec![club_t],
+        );
         let player = repo.add_entity("Marcus Keller", &[], Gender::Male, vec![fb_t]);
         let mut b = StatsBuilder::new();
         b.add_clause_signature(&[fb_t], &[club_t], "play for");
@@ -221,9 +227,6 @@ mod tests {
         let trained = train_alphas(&pairs, &stats, &repo, init);
         // The context-similarity weight must rise: the gold candidate wins
         // on sim (0.8 vs 0.1) but loses on prior (0.3 vs 0.7).
-        assert!(
-            trained[1] > trained[0],
-            "α₂ should outgrow α₁: {trained:?}"
-        );
+        assert!(trained[1] > trained[0], "α₂ should outgrow α₁: {trained:?}");
     }
 }

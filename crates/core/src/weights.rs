@@ -102,7 +102,12 @@ mod tests {
         let city = repo.type_system().get("CITY").expect("t");
         let club = repo.type_system().get("FOOTBALL_CLUB").expect("t");
         let e_city = repo.add_entity("Liverpool", &[], Gender::Neutral, vec![city]);
-        let e_club = repo.add_entity("Liverpool F.C.", &["Liverpool"], Gender::Neutral, vec![club]);
+        let e_club = repo.add_entity(
+            "Liverpool F.C.",
+            &["Liverpool"],
+            Gender::Neutral,
+            vec![club],
+        );
 
         let mut b = StatsBuilder::new();
         for _ in 0..3 {

@@ -228,7 +228,14 @@ pub fn wiki_corpus(world: &World, n_docs: usize, seed: u64) -> GoldCorpus {
     for d in 0..n_docs {
         let main = subjects[d % subjects.len().max(1)];
         let target = rng.gen_range(8..=16);
-        docs.push(entity_page(world, main, DocKind::Wikipedia, false, target, &mut rng));
+        docs.push(entity_page(
+            world,
+            main,
+            DocKind::Wikipedia,
+            false,
+            target,
+            &mut rng,
+        ));
     }
     GoldCorpus { docs }
 }
@@ -380,7 +387,11 @@ mod tests {
         assert_eq!(c.docs.len(), 5);
         for d in &c.docs {
             assert!(d.kind == DocKind::Wikipedia);
-            assert!(d.sentences.len() >= 4, "page too short: {}", d.sentences.len());
+            assert!(
+                d.sentences.len() >= 4,
+                "page too short: {}",
+                d.sentences.len()
+            );
             assert!(d.main_entity.is_some());
             assert!(!d.instances.is_empty());
             // every instance's sentence index is valid
@@ -411,10 +422,7 @@ mod tests {
             .flat_map(|d| &d.mentions)
             .filter(|m| w.entity(m.entity).emerging)
             .count();
-        assert!(
-            emerging_mentions > 0,
-            "news must mention emerging entities"
-        );
+        assert!(emerging_mentions > 0, "news must mention emerging entities");
     }
 
     #[test]
@@ -430,16 +438,10 @@ mod tests {
             .flat_map(|d| &d.mentions)
             .filter(|m| !m.pronoun)
             .fold((0usize, 0usize), |(e, t), m| {
-                (
-                    e + usize::from(w.entity(m.entity).emerging),
-                    t + 1,
-                )
+                (e + usize::from(w.entity(m.entity).emerging), t + 1)
             });
         let frac = emerging as f64 / total.max(1) as f64;
-        assert!(
-            frac > 0.4,
-            "wikia should be emerging-heavy, got {frac:.2}"
-        );
+        assert!(frac > 0.4, "wikia should be emerging-heavy, got {frac:.2}");
     }
 
     #[test]

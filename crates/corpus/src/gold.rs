@@ -408,12 +408,7 @@ mod tests {
             .expect("fact");
         let doc = doc_from(&w, idx, SubjectMode::Canonical);
         let inst = &doc.instances[0];
-        let ex = extraction(
-            0,
-            &inst.subject_surface,
-            "marry",
-            &[&inst.args[0].surface],
-        );
+        let ex = extraction(0, &inst.subject_surface, "marry", &[&inst.args[0].surface]);
         let a = Assessor::new(&w);
         assert!(!a.extraction_correct(&doc, &ex));
     }
@@ -485,9 +480,7 @@ mod tests {
         let idx = w
             .facts
             .iter()
-            .position(|f| {
-                f.relation == "born in" && w.repo_id(f.subject).is_some()
-            })
+            .position(|f| f.relation == "born in" && w.repo_id(f.subject).is_some())
             .expect("fact");
         let doc = doc_from(&w, idx, SubjectMode::Canonical);
         let inst = &doc.instances[0];

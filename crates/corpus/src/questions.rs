@@ -260,7 +260,10 @@ mod tests {
         let qs = trends_test(&w, 20, 2);
         assert!(!qs.is_empty());
         assert!(qs.iter().any(|q| q.about_recent), "recent events needed");
-        assert!(qs.iter().any(|q| q.needs_ternary), "ternary questions needed");
+        assert!(
+            qs.iter().any(|q| q.needs_ternary),
+            "ternary questions needed"
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ pub const RELATIONS: &[RelationSpec] = &[
         paraphrases: &["file for on", "file for divorce from"],
         templates: &[
             tpl!("{S} divorced {0} {T1}.", ["divorce", "divorce"]),
-            tpl!("{S} filed for divorce from {0} {T1}.", ["file for divorce from", "file for divorce from"]),
+            tpl!(
+                "{S} filed for divorce from {0} {T1}.",
+                ["file for divorce from", "file for divorce from"]
+            ),
             tpl!("{S} split from {0} {T1}.", ["split from", "split from"]),
         ],
     },
@@ -167,8 +170,14 @@ pub const RELATIONS: &[RelationSpec] = &[
         key: "receive in from",
         paraphrases: &["receive from", "receive in"],
         templates: &[
-            tpl!("{S} received {0} {T1} from {2}.", ["receive", "receive in", "receive from"]),
-            tpl!("{S} accepted {0} {T1} from {2}.", ["accept", "accept in", "accept from"]),
+            tpl!(
+                "{S} received {0} {T1} from {2}.",
+                ["receive", "receive in", "receive from"]
+            ),
+            tpl!(
+                "{S} accepted {0} {T1} from {2}.",
+                ["accept", "accept in", "accept from"]
+            ),
         ],
     },
     RelationSpec {
@@ -192,7 +201,10 @@ pub const RELATIONS: &[RelationSpec] = &[
         key: "transfer to",
         paraphrases: &["move to in", "join in"],
         templates: &[
-            tpl!("{S} transferred to {0} {T1}.", ["transfer to", "transfer in"]),
+            tpl!(
+                "{S} transferred to {0} {T1}.",
+                ["transfer to", "transfer in"]
+            ),
             tpl!("{S} moved to {0} {T1}.", ["move to", "move in"]),
             tpl!("{S} joined {0} {T1}.", ["join", "join in"]),
         ],
@@ -233,9 +245,7 @@ pub const RELATIONS: &[RelationSpec] = &[
     RelationSpec {
         key: "accuse of",
         paraphrases: &["accuse"],
-        templates: &[
-            tpl!("{S} accused {0} of {1}.", ["accuse", "accuse of"]),
-        ],
+        templates: &[tpl!("{S} accused {0} of {1}.", ["accuse", "accuse of"])],
     },
     RelationSpec {
         key: "shoot",
@@ -275,10 +285,7 @@ pub fn extend_patterns(repo: &mut qkb_kb::PatternRepository) {
         }
         // Passive clause extraction yields "married to"/"located in" for
         // templates declared as "be married to": register both forms.
-        let stripped: Vec<&str> = pats
-            .iter()
-            .filter_map(|p| p.strip_prefix("be "))
-            .collect();
+        let stripped: Vec<&str> = pats.iter().filter_map(|p| p.strip_prefix("be ")).collect();
         pats.extend(stripped);
         match repo.lookup(spec.key) {
             Some(_) => {
@@ -343,7 +350,11 @@ fn surface_for(world: &World, id: WorldEntityId, mode: SubjectMode, rng: &mut Sm
 }
 
 /// Renders an argument (with optional determiner for org-like names).
-fn arg_surface(world: &World, arg: &GoldArg, rng: &mut SmallRng) -> (String, Option<WorldEntityId>) {
+fn arg_surface(
+    world: &World,
+    arg: &GoldArg,
+    rng: &mut SmallRng,
+) -> (String, Option<WorldEntityId>) {
     match arg {
         GoldArg::Entity(id) => {
             let e = world.entity(*id);
@@ -507,7 +518,11 @@ pub fn with_apposition(world: &World, s: &mut RenderedSentence) {
 /// Joins two rendered sentences into a coordination sharing discourse:
 /// "A … and B …" (second clause subject becomes a pronoun when genders
 /// allow and the subjects are the same entity).
-pub fn coordinate(world: &World, first: RenderedSentence, second: RenderedSentence) -> RenderedSentence {
+pub fn coordinate(
+    world: &World,
+    first: RenderedSentence,
+    second: RenderedSentence,
+) -> RenderedSentence {
     let mut text1 = first.text.trim_end_matches('.').to_string();
     let mut second_text = second.text.trim_end_matches('.').to_string();
     // Same subject? use a pronoun in the second conjunct.
@@ -537,7 +552,11 @@ pub fn coordinate(world: &World, first: RenderedSentence, second: RenderedSenten
 }
 
 /// Prefixes a subordinate lead-in: "After A …, B …." Both facts are gold.
-pub fn subordinate(lead: RenderedSentence, main: RenderedSentence, rng: &mut SmallRng) -> RenderedSentence {
+pub fn subordinate(
+    lead: RenderedSentence,
+    main: RenderedSentence,
+    rng: &mut SmallRng,
+) -> RenderedSentence {
     let conj = ["After", "While", "Although", "Because"][rng.gen_range(0..4)];
     let lead_text = lead.text.trim_end_matches('.').to_string();
     let main_text = main.text.clone();
@@ -573,14 +592,54 @@ fn decapitalize(s: &str) -> String {
 /// hallucinate structure).
 const NOISE: &[(&str, &str, &str, &str)] = &[
     // (subject, verb pattern, object, full text)
-    ("The audience", "cheer", "the performance", "The audience cheered the performance."),
-    ("Critics", "praise", "the performance", "Critics praised the performance."),
-    ("The fans", "celebrate", "the victory", "The fans celebrated the victory."),
-    ("The committee", "announce", "the decision", "The committee announced the decision."),
-    ("Reporters", "attend", "the ceremony", "Reporters attended the ceremony."),
-    ("The crowd", "fill", "the stadium", "The crowd filled the stadium."),
-    ("The jury", "review", "the nominations", "The jury reviewed the nominations."),
-    ("The newspaper", "publish", "the interview", "The newspaper published the interview."),
+    (
+        "The audience",
+        "cheer",
+        "the performance",
+        "The audience cheered the performance.",
+    ),
+    (
+        "Critics",
+        "praise",
+        "the performance",
+        "Critics praised the performance.",
+    ),
+    (
+        "The fans",
+        "celebrate",
+        "the victory",
+        "The fans celebrated the victory.",
+    ),
+    (
+        "The committee",
+        "announce",
+        "the decision",
+        "The committee announced the decision.",
+    ),
+    (
+        "Reporters",
+        "attend",
+        "the ceremony",
+        "Reporters attended the ceremony.",
+    ),
+    (
+        "The crowd",
+        "fill",
+        "the stadium",
+        "The crowd filled the stadium.",
+    ),
+    (
+        "The jury",
+        "review",
+        "the nominations",
+        "The jury reviewed the nominations.",
+    ),
+    (
+        "The newspaper",
+        "publish",
+        "the interview",
+        "The newspaper published the interview.",
+    ),
 ];
 
 /// Renders a filler sentence with gold literal instances.
@@ -689,9 +748,7 @@ mod tests {
         let idx = w
             .facts
             .iter()
-            .position(|f| {
-                f.relation == "support" && w.entity(f.subject).gender == Gender::Female
-            })
+            .position(|f| f.relation == "support" && w.entity(f.subject).gender == Gender::Female)
             .or_else(|| w.facts.iter().position(|f| f.relation == "support"))
             .expect("a support fact");
         let r = render_fact(&w, idx, SubjectMode::Pronoun, &mut rng).expect("renders");

@@ -232,75 +232,171 @@ impl World {
 // ---------------------------------------------------------------------------
 
 const MALE_FIRST: &[&str] = &[
-    "Adam", "Brian", "Carl", "Daniel", "Edgar", "Felix", "Gordon", "Henry",
-    "Ivan", "Jonas", "Kevin", "Lucas", "Marcus", "Nolan", "Oscar", "Patrick",
-    "Quentin", "Robert", "Samuel", "Tobias", "Victor", "Walter", "Xavier",
-    "Martin", "Leon", "Hugo", "Oliver", "Peter", "Simon", "Thomas",
+    "Adam", "Brian", "Carl", "Daniel", "Edgar", "Felix", "Gordon", "Henry", "Ivan", "Jonas",
+    "Kevin", "Lucas", "Marcus", "Nolan", "Oscar", "Patrick", "Quentin", "Robert", "Samuel",
+    "Tobias", "Victor", "Walter", "Xavier", "Martin", "Leon", "Hugo", "Oliver", "Peter", "Simon",
+    "Thomas",
 ];
 const FEMALE_FIRST: &[&str] = &[
-    "Alice", "Bella", "Clara", "Diana", "Elena", "Fiona", "Grace", "Hannah",
-    "Irene", "Julia", "Karen", "Laura", "Maria", "Nadia", "Olivia", "Paula",
-    "Quinn", "Rosa", "Sofia", "Teresa", "Ursula", "Vera", "Wendy", "Yvonne",
-    "Nora", "Stella", "Amelia", "Greta", "Ingrid", "Selma",
+    "Alice", "Bella", "Clara", "Diana", "Elena", "Fiona", "Grace", "Hannah", "Irene", "Julia",
+    "Karen", "Laura", "Maria", "Nadia", "Olivia", "Paula", "Quinn", "Rosa", "Sofia", "Teresa",
+    "Ursula", "Vera", "Wendy", "Yvonne", "Nora", "Stella", "Amelia", "Greta", "Ingrid", "Selma",
 ];
 const SURNAMES: &[&str] = &[
-    "Ashworth", "Brennan", "Calloway", "Draper", "Ellison", "Fairbank",
-    "Garrison", "Hartley", "Ibsen", "Jarrett", "Kestrel", "Lockwood",
-    "Marlowe", "Norwood", "Osborne", "Prescott", "Quimby", "Ramsey",
-    "Sinclair", "Thackeray", "Underhill", "Vance", "Westbrook", "Yarrow",
-    "Harker", "Penhale", "Redgrave", "Stanhope", "Trevelyan", "Winslow",
+    "Ashworth",
+    "Brennan",
+    "Calloway",
+    "Draper",
+    "Ellison",
+    "Fairbank",
+    "Garrison",
+    "Hartley",
+    "Ibsen",
+    "Jarrett",
+    "Kestrel",
+    "Lockwood",
+    "Marlowe",
+    "Norwood",
+    "Osborne",
+    "Prescott",
+    "Quimby",
+    "Ramsey",
+    "Sinclair",
+    "Thackeray",
+    "Underhill",
+    "Vance",
+    "Westbrook",
+    "Yarrow",
+    "Harker",
+    "Penhale",
+    "Redgrave",
+    "Stanhope",
+    "Trevelyan",
+    "Winslow",
 ];
 const CITY_NAMES: &[&str] = &[
-    "Ashford", "Brackley", "Caldwell", "Dunmore", "Eastvale", "Farrow",
-    "Glenholm", "Harwick", "Ivybridge", "Kelsey", "Larkhill", "Milbrook",
-    "Northgate", "Oakhurst", "Pembly", "Quarrystone", "Ravensford",
-    "Southmere", "Thornbury", "Wexley",
+    "Ashford",
+    "Brackley",
+    "Caldwell",
+    "Dunmore",
+    "Eastvale",
+    "Farrow",
+    "Glenholm",
+    "Harwick",
+    "Ivybridge",
+    "Kelsey",
+    "Larkhill",
+    "Milbrook",
+    "Northgate",
+    "Oakhurst",
+    "Pembly",
+    "Quarrystone",
+    "Ravensford",
+    "Southmere",
+    "Thornbury",
+    "Wexley",
 ];
 const COUNTRY_NAMES: &[&str] = &[
     "Valdoria", "Nortland", "Estmark", "Kareland", "Sudenia", "Westria",
 ];
 const FILM_ADJ: &[&str] = &[
-    "Silent", "Crimson", "Golden", "Hidden", "Broken", "Distant", "Endless",
-    "Frozen", "Gilded", "Hollow", "Iron", "Jade",
+    "Silent", "Crimson", "Golden", "Hidden", "Broken", "Distant", "Endless", "Frozen", "Gilded",
+    "Hollow", "Iron", "Jade",
 ];
 const FILM_NOUN: &[&str] = &[
-    "Harbor", "Empire", "Garden", "Horizon", "Island", "Journey", "Kingdom",
-    "Lantern", "Meridian", "Nocturne", "Odyssey", "Paradox",
+    "Harbor", "Empire", "Garden", "Horizon", "Island", "Journey", "Kingdom", "Lantern", "Meridian",
+    "Nocturne", "Odyssey", "Paradox",
 ];
 const ALBUM_WORDS: &[&str] = &[
-    "Midnight Letters", "Paper Rivers", "Electric Dawn", "Glass Stations",
-    "Northern Echoes", "Velvet Roads", "Amber Skies", "Silver Static",
-    "Hollow Crowns", "Painted Thunder", "Quiet Engines", "Wildfire Season",
+    "Midnight Letters",
+    "Paper Rivers",
+    "Electric Dawn",
+    "Glass Stations",
+    "Northern Echoes",
+    "Velvet Roads",
+    "Amber Skies",
+    "Silver Static",
+    "Hollow Crowns",
+    "Painted Thunder",
+    "Quiet Engines",
+    "Wildfire Season",
 ];
 const BAND_WORDS: &[&str] = &[
-    "The Velvet Foxes", "The Paper Kites", "Static Bloom", "The Night Pilots",
-    "Cobalt Choir", "The Lantern Club", "Glasshouse Parade", "The Tin Sparrows",
+    "The Velvet Foxes",
+    "The Paper Kites",
+    "Static Bloom",
+    "The Night Pilots",
+    "Cobalt Choir",
+    "The Lantern Club",
+    "Glasshouse Parade",
+    "The Tin Sparrows",
 ];
-const AWARD_FIELDS: &[&str] = &[
-    "Literature", "Cinema", "Music", "Science", "Peace", "Drama",
-];
+const AWARD_FIELDS: &[&str] = &["Literature", "Cinema", "Music", "Science", "Peace", "Drama"];
 const ORG_WORDS: &[&str] = &[
-    "Bright Futures Foundation", "Clearwater Trust", "Open Roads Initiative",
-    "Haven Relief Fund", "New Dawn Charity", "Lumen Health Alliance",
-    "Blue Orchard Fund", "Silverline Institute", "Harbor Light Society",
-    "Fieldstone Coalition", "Aurora Education Trust", "Evergreen Aid",
+    "Bright Futures Foundation",
+    "Clearwater Trust",
+    "Open Roads Initiative",
+    "Haven Relief Fund",
+    "New Dawn Charity",
+    "Lumen Health Alliance",
+    "Blue Orchard Fund",
+    "Silverline Institute",
+    "Harbor Light Society",
+    "Fieldstone Coalition",
+    "Aurora Education Trust",
+    "Evergreen Aid",
 ];
 const UNIVERSITY_PREFIX: &[&str] = &[
-    "Northgate", "Ravensford", "Thornbury", "Wexley", "Ashford", "Milbrook",
-    "Kelsey", "Oakhurst",
+    "Northgate",
+    "Ravensford",
+    "Thornbury",
+    "Wexley",
+    "Ashford",
+    "Milbrook",
+    "Kelsey",
+    "Oakhurst",
 ];
 const PARTY_WORDS: &[&str] = &[
-    "Unity Party", "Progress Alliance", "Liberty Movement", "Green Accord",
-    "National Forum", "Civic League",
+    "Unity Party",
+    "Progress Alliance",
+    "Liberty Movement",
+    "Green Accord",
+    "National Forum",
+    "Civic League",
 ];
 const CHARACTER_FIRST: &[&str] = &[
-    "Arden", "Brynn", "Caspian", "Dorian", "Elowen", "Fenric", "Gwendal",
-    "Halric", "Isolde", "Joren", "Kaelith", "Lyra", "Maelor", "Nyssa",
-    "Orin", "Peregrine", "Quillon", "Ravenna", "Soren", "Thalia",
+    "Arden",
+    "Brynn",
+    "Caspian",
+    "Dorian",
+    "Elowen",
+    "Fenric",
+    "Gwendal",
+    "Halric",
+    "Isolde",
+    "Joren",
+    "Kaelith",
+    "Lyra",
+    "Maelor",
+    "Nyssa",
+    "Orin",
+    "Peregrine",
+    "Quillon",
+    "Ravenna",
+    "Soren",
+    "Thalia",
 ];
 const CHARACTER_HOUSE: &[&str] = &[
-    "Vale", "Blackmoor", "Stormhold", "Wyrmbane", "Frostmere", "Ashenfell",
-    "Duskwater", "Ironvale", "Thornfield", "Greywick",
+    "Vale",
+    "Blackmoor",
+    "Stormhold",
+    "Wyrmbane",
+    "Frostmere",
+    "Ashenfell",
+    "Duskwater",
+    "Ironvale",
+    "Thornfield",
+    "Greywick",
 ];
 
 // ---------------------------------------------------------------------------
@@ -388,8 +484,18 @@ impl Builder {
 
     fn full_date(&mut self, lo: i32, hi: i32) -> String {
         const MONTHS: &[&str] = &[
-            "January", "February", "March", "April", "May", "June", "July",
-            "August", "September", "October", "November", "December",
+            "January",
+            "February",
+            "March",
+            "April",
+            "May",
+            "June",
+            "July",
+            "August",
+            "September",
+            "October",
+            "November",
+            "December",
         ];
         let m = MONTHS[self.rng.gen_range(0..12)];
         let d = self.rng.gen_range(1..=28);
@@ -471,7 +577,10 @@ impl Builder {
             .collect();
         let universities: Vec<WorldEntityId> = (0..self.config.n_universities)
             .map(|i| {
-                let name = format!("{} University", UNIVERSITY_PREFIX[i % UNIVERSITY_PREFIX.len()]);
+                let name = format!(
+                    "{} University",
+                    UNIVERSITY_PREFIX[i % UNIVERSITY_PREFIX.len()]
+                );
                 self.add_entity(
                     name,
                     vec![],
@@ -489,10 +598,7 @@ impl Builder {
                 let city_name = CITY_NAMES[i % CITY_NAMES.len()];
                 let (canonical, aliases) = if i % 3 == 0 {
                     // Shares its bare name with the city: the Liverpool case.
-                    (
-                        format!("{city_name} F.C."),
-                        vec![city_name.to_string()],
-                    )
+                    (format!("{city_name} F.C."), vec![city_name.to_string()])
                 } else if i % 3 == 1 {
                     (format!("{city_name} United"), vec![format!("{city_name}")])
                 } else {
@@ -539,7 +645,11 @@ impl Builder {
                     CHARACTER_FIRST[i % CHARACTER_FIRST.len()],
                     CHARACTER_HOUSE[(i / 2) % CHARACTER_HOUSE.len()]
                 );
-                let gender = if i % 2 == 0 { Gender::Male } else { Gender::Female };
+                let gender = if i % 2 == 0 {
+                    Gender::Male
+                } else {
+                    Gender::Female
+                };
                 self.add_entity(
                     name.clone(),
                     vec![name
@@ -759,8 +869,12 @@ impl Builder {
                 let aw = awards[self.rng.gen_range(0..awards.len())];
                 let reason = format!(
                     "having revolutionized the study of {}",
-                    ["stellar chemistry", "deep oceans", "ancient languages", "neural circuits"]
-                        [self.rng.gen_range(0..4)]
+                    [
+                        "stellar chemistry",
+                        "deep oceans",
+                        "ancient languages",
+                        "neural circuits"
+                    ][self.rng.gen_range(0..4)]
                 );
                 self.fact(
                     s,
@@ -792,14 +906,8 @@ impl Builder {
                         Gender::Male
                     };
                     let (name, aliases) = self.person_name(gender, SURNAMES);
-                    let accuser = self.add_entity(
-                        name,
-                        aliases,
-                        gender,
-                        vec!["PERSON"],
-                        true,
-                        Domain::News,
-                    );
+                    let accuser =
+                        self.add_entity(name, aliases, gender, vec!["PERSON"], true, Domain::News);
                     let target = all_people[self.rng.gen_range(0..all_people.len())];
                     let claim = format!(
                         "{} {}",
@@ -862,7 +970,11 @@ impl Builder {
                 CHARACTER_FIRST[(i * 3 + 1) % CHARACTER_FIRST.len()],
                 CHARACTER_HOUSE[(i * 5 + 3) % CHARACTER_HOUSE.len()]
             );
-            let gender = if i % 2 == 0 { Gender::Female } else { Gender::Male };
+            let gender = if i % 2 == 0 {
+                Gender::Female
+            } else {
+                Gender::Male
+            };
             let emerging = i % 10 < 7; // ~70% out-of-repository (§7.2)
             let id = self.add_entity(
                 name.clone(),
@@ -960,7 +1072,10 @@ mod tests {
     fn emerging_entities_absent_from_repo() {
         let w = World::generate(WorldConfig::default());
         let emerging: Vec<&WEntity> = w.entities.iter().filter(|e| e.emerging).collect();
-        assert!(!emerging.is_empty(), "news/fiction must create emerging entities");
+        assert!(
+            !emerging.is_empty(),
+            "news/fiction must create emerging entities"
+        );
         for e in emerging {
             assert!(w.repo_id(e.id).is_none());
             assert!(

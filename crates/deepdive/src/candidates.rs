@@ -47,14 +47,13 @@ pub fn spouse_candidates(doc_idx: usize, doc: &AnnotatedDoc) -> Vec<SpouseCandid
                 let between: Vec<String> = (a_end..b_start)
                     .map(|t| s.tokens[t].lemma.clone())
                     .collect();
-                let text =
-                    |st: usize, en: usize| -> String {
-                        s.tokens[st..en]
-                            .iter()
-                            .map(|t| t.text.as_str())
-                            .collect::<Vec<_>>()
-                            .join(" ")
-                    };
+                let text = |st: usize, en: usize| -> String {
+                    s.tokens[st..en]
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
                 out.push(SpouseCandidate {
                     doc: doc_idx,
                     sentence: s.index,

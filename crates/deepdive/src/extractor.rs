@@ -45,7 +45,7 @@ fn pair_key(a: &str, b: &str) -> (String, String) {
 fn last_name(s: &str) -> String {
     normalize(s)
         .split(' ')
-        .last()
+        .next_back()
         .unwrap_or_default()
         .to_string()
 }
@@ -75,14 +75,14 @@ impl DeepDive {
     /// name pair appears in `positives` are positive examples, all others
     /// negative (the classic DeepDive labelling rule).
     pub fn train(&mut self, docs: &[String], positives: &[(String, String)], seed: u64) {
-        let pos_set: FxHashSet<(String, String)> = positives
-            .iter()
-            .map(|(a, b)| pair_key(a, b))
-            .collect();
+        let pos_set: FxHashSet<(String, String)> =
+            positives.iter().map(|(a, b)| pair_key(a, b)).collect();
         let mut examples = Vec::new();
         for c in self.candidates(docs) {
             let label = pos_set.contains(&pair_key(&c.a, &c.b));
-            let fv = self.hasher.vectorize(features(&c).iter().map(String::as_str));
+            let fv = self
+                .hasher
+                .vectorize(features(&c).iter().map(String::as_str));
             examples.push(SparseExample {
                 features: fv,
                 label,
@@ -114,7 +114,9 @@ impl DeepDive {
         };
         let mut agg: FxHashMap<(String, String), SpouseExtraction> = FxHashMap::default();
         for c in self.candidates(docs) {
-            let fv = self.hasher.vectorize(features(&c).iter().map(String::as_str));
+            let fv = self
+                .hasher
+                .vectorize(features(&c).iter().map(String::as_str));
             let p = model.predict_proba(&fv);
             if p < 0.05 {
                 continue;
@@ -137,10 +139,8 @@ impl DeepDive {
             entry.confidence = 1.0 - (1.0 - entry.confidence) * (1.0 - p);
             entry.support.push((c.doc, c.sentence));
         }
-        let mut out: Vec<SpouseExtraction> = agg
-            .into_values()
-            .filter(|e| e.confidence >= tau)
-            .collect();
+        let mut out: Vec<SpouseExtraction> =
+            agg.into_values().filter(|e| e.confidence >= tau).collect();
         out.sort_by(|x, y| {
             y.confidence
                 .partial_cmp(&x.confidence)
@@ -202,7 +202,8 @@ mod tests {
         ];
         let ex = dd.extract(&test, 0.5);
         assert!(
-            ex.iter().any(|e| e.a.contains("Pitt") || e.b.contains("Pitt")),
+            ex.iter()
+                .any(|e| e.a.contains("Pitt") || e.b.contains("Pitt")),
             "married pair must be extracted: {ex:?}"
         );
         assert!(
@@ -221,8 +222,16 @@ mod tests {
             "Victor Marlowe married Clara Osborne last spring.".to_string(),
             "Victor Marlowe wed Clara Osborne in June.".to_string(),
         ];
-        let c1 = dd.extract(&once, 0.1).first().map(|e| e.confidence).unwrap_or(0.0);
-        let c2 = dd.extract(&twice, 0.1).first().map(|e| e.confidence).unwrap_or(0.0);
+        let c1 = dd
+            .extract(&once, 0.1)
+            .first()
+            .map(|e| e.confidence)
+            .unwrap_or(0.0);
+        let c2 = dd
+            .extract(&twice, 0.1)
+            .first()
+            .map(|e| e.confidence)
+            .unwrap_or(0.0);
         assert!(c2 >= c1, "more support cannot lower confidence");
     }
 

@@ -4,8 +4,18 @@ use crate::candidates::SpouseCandidate;
 
 /// Marriage-lexicon cue words (ddlib's keyword features).
 const CUES: &[&str] = &[
-    "marry", "wed", "wife", "husband", "spouse", "divorce", "widow",
-    "engagement", "engage", "bride", "groom", "marriage",
+    "marry",
+    "wed",
+    "wife",
+    "husband",
+    "spouse",
+    "divorce",
+    "widow",
+    "engagement",
+    "engage",
+    "bride",
+    "groom",
+    "marriage",
 ];
 
 /// Extracts the named binary features of a candidate.
@@ -23,7 +33,16 @@ pub fn features(c: &SpouseCandidate) -> Vec<String> {
     }
     // Distance bucket.
     let d = c.between.len();
-    f.push(format!("dist:{}", if d <= 2 { "short" } else if d <= 6 { "mid" } else { "long" }));
+    f.push(format!(
+        "dist:{}",
+        if d <= 2 {
+            "short"
+        } else if d <= 6 {
+            "mid"
+        } else {
+            "long"
+        }
+    ));
     // Cue-word indicators.
     for cue in CUES {
         if c.between.iter().any(|w| w == cue) {
@@ -61,7 +80,9 @@ mod tests {
 
     #[test]
     fn bigrams_and_distance() {
-        let f = features(&cand(&["be", "seen", "with", "the", "famous", "actor", "at"]));
+        let f = features(&cand(&[
+            "be", "seen", "with", "the", "famous", "actor", "at",
+        ]));
         assert!(f.contains(&"btw2:be_seen".to_string()));
         assert!(f.contains(&"dist:long".to_string()));
         assert!(!f.iter().any(|x| x.starts_with("cue:")));

@@ -19,4 +19,4 @@ pub mod model;
 pub mod solve;
 
 pub use model::{Constraint, ConstraintOp, Ilp, VarId};
-pub use solve::{SolveStatus, Solution, Solver};
+pub use solve::{Solution, SolveStatus, Solver};

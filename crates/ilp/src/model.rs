@@ -98,11 +98,7 @@ impl Ilp {
     pub fn and_constraint(&mut self, y: VarId, a: VarId, b: VarId) {
         self.add_constraint(&[(y, 1.0), (a, -1.0)], ConstraintOp::Le, 0.0);
         self.add_constraint(&[(y, 1.0), (b, -1.0)], ConstraintOp::Le, 0.0);
-        self.add_constraint(
-            &[(y, 1.0), (a, -1.0), (b, -1.0)],
-            ConstraintOp::Ge,
-            -1.0,
-        );
+        self.add_constraint(&[(y, 1.0), (a, -1.0), (b, -1.0)], ConstraintOp::Ge, -1.0);
     }
 
     /// Convenience: `a = b` (the paper's sameAs coupling, constraint (2)).

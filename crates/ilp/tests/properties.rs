@@ -2,12 +2,15 @@
 //! brute-force enumeration on arbitrary small 0-1 programs.
 
 use proptest::prelude::*;
-use qkb_ilp::{ConstraintOp, Ilp, Solver, SolveStatus};
+use qkb_ilp::{ConstraintOp, Ilp, SolveStatus, Solver};
+
+/// One random constraint: weighted terms, an operator code, and the rhs.
+type RandConstraint = (Vec<(usize, f64)>, u8, f64);
 
 #[derive(Debug, Clone)]
 struct RandModel {
     objective: Vec<f64>,
-    constraints: Vec<(Vec<(usize, f64)>, u8, f64)>,
+    constraints: Vec<RandConstraint>,
 }
 
 fn model_strategy() -> impl Strategy<Value = RandModel> {

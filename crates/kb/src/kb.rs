@@ -222,22 +222,33 @@ impl OnTheFlyKb {
 
     /// Serializes the KB (entities and rendered facts) as JSON for
     /// inspection artifacts.
-    pub fn to_json(&self, patterns: &PatternRepository) -> serde_json::Value {
-        serde_json::json!({
-            "n_entities": self.entities.len(),
-            "n_emerging": self.n_emerging(),
-            "n_facts": self.facts.len(),
-            "entities": self.entities.iter().map(|e| serde_json::json!({
-                "name": e.display(),
-                "emerging": e.kind == KbEntityKind::Emerging,
-                "mentions": e.mentions,
-            })).collect::<Vec<_>>(),
-            "facts": self.facts.iter().map(|f| serde_json::json!({
-                "rendered": self.render_fact(f, patterns),
-                "arity": f.arity(),
-                "confidence": f.confidence,
-            })).collect::<Vec<_>>(),
-        })
+    pub fn to_json(&self, patterns: &PatternRepository) -> qkb_util::json::Value {
+        use qkb_util::json::Value;
+        Value::object()
+            .with("n_entities", self.entities.len())
+            .with("n_emerging", self.n_emerging())
+            .with("n_facts", self.facts.len())
+            .with(
+                "entities",
+                Value::array(self.entities.iter().map(|e| {
+                    Value::object()
+                        .with("name", e.display())
+                        .with("emerging", e.kind == KbEntityKind::Emerging)
+                        .with(
+                            "mentions",
+                            Value::array(e.mentions.iter().map(|m| Value::from(m.as_str()))),
+                        )
+                })),
+            )
+            .with(
+                "facts",
+                Value::array(self.facts.iter().map(|f| {
+                    Value::object()
+                        .with("rendered", self.render_fact(f, patterns))
+                        .with("arity", f.arity())
+                        .with("confidence", f.confidence)
+                })),
+            )
     }
 }
 

@@ -32,3 +32,18 @@ pub use pattern::{PatternRepository, RelationId};
 pub use repo::EntityRepository;
 pub use stats::{BackgroundStats, StatsBuilder};
 pub use types::{TypeId, TypeSystem};
+
+// The repositories and background statistics are built once (ingest time)
+// and only read at query time; the batch-parallel `build_kb` fan-out and
+// any multi-threaded serving layer rely on them staying `Send + Sync`
+// shared-read structures. Keep this a compile-time guarantee: interior
+// mutability added to any of them will fail here, at the crate that owns
+// the type.
+const _: () = {
+    const fn assert_shared_read<T: Send + Sync>() {}
+    assert_shared_read::<EntityRepository>();
+    assert_shared_read::<PatternRepository>();
+    assert_shared_read::<BackgroundStats>();
+    assert_shared_read::<TypeSystem>();
+    assert_shared_read::<OnTheFlyKb>();
+};

@@ -11,7 +11,10 @@
 use qkb_util::define_id;
 use qkb_util::FxHashMap;
 
-define_id!(RelationId, "identifies a relation synset in a `PatternRepository`");
+define_id!(
+    RelationId,
+    "identifies a relation synset in a `PatternRepository`"
+);
 
 /// One synset: a canonical relation name and its paraphrase patterns.
 #[derive(Clone, Debug)]
@@ -28,33 +31,128 @@ pub struct Synset {
 /// the relations of the paper's examples and of the corpus generators;
 /// `qkb-corpus` extends the repository with the world's own paraphrases.
 const SEED: &[(&str, &[&str])] = &[
-    ("play in", &["act in", "star in", "have role in", "appear in", "portray in", "feature in"]),
-    ("married to", &["marry", "wed", "tie the knot with", "be wife of", "be husband of", "be spouse of", "be married to"]),
-    ("divorce from", &["divorce", "file for divorce from", "split from", "separate from"]),
-    ("born in", &["be born in", "bear in", "come into the world in"]),
-    ("born to", &["be born to", "bear to", "be son of", "be daughter of", "be child of"]),
+    (
+        "play in",
+        &[
+            "act in",
+            "star in",
+            "have role in",
+            "appear in",
+            "portray in",
+            "feature in",
+        ],
+    ),
+    (
+        "married to",
+        &[
+            "marry",
+            "wed",
+            "tie the knot with",
+            "be wife of",
+            "be husband of",
+            "be spouse of",
+            "be married to",
+        ],
+    ),
+    (
+        "divorce from",
+        &[
+            "divorce",
+            "file for divorce from",
+            "split from",
+            "separate from",
+        ],
+    ),
+    (
+        "born in",
+        &["be born in", "bear in", "come into the world in"],
+    ),
+    (
+        "born to",
+        &[
+            "be born to",
+            "bear to",
+            "be son of",
+            "be daughter of",
+            "be child of",
+        ],
+    ),
     ("die in", &["pass away in", "be killed in"]),
-    ("win", &["win for", "receive", "be awarded", "earn", "take home", "be honored with", "get"]),
-    ("receive in from", &["win in from", "be awarded in by", "accept in from"]),
+    (
+        "win",
+        &[
+            "win for",
+            "receive",
+            "be awarded",
+            "earn",
+            "take home",
+            "be honored with",
+            "get",
+        ],
+    ),
+    (
+        "receive in from",
+        &["win in from", "be awarded in by", "accept in from"],
+    ),
     ("support", &["back", "endorse", "champion"]),
     ("donate to", &["give to", "contribute to"]),
-    ("found", &["establish", "create", "co-found", "set up", "launch", "start"]),
-    ("play for", &["sign for", "appear for", "turn out for", "feature for"]),
+    (
+        "found",
+        &[
+            "establish",
+            "create",
+            "co-found",
+            "set up",
+            "launch",
+            "start",
+        ],
+    ),
+    (
+        "play for",
+        &["sign for", "appear for", "turn out for", "feature for"],
+    ),
     ("transfer to", &["move to", "sign with", "join"]),
     ("score in", &["net in", "strike in"]),
     ("coach", &["manage", "train", "lead", "head"]),
-    ("study at", &["graduate from", "attend", "be educated at", "enroll at"]),
-    ("work at", &["work for", "be employed by", "serve at", "join"]),
+    (
+        "study at",
+        &["graduate from", "attend", "be educated at", "enroll at"],
+    ),
+    (
+        "work at",
+        &["work for", "be employed by", "serve at", "join"],
+    ),
     ("lead", &["head", "chair", "govern", "run", "direct"]),
-    ("elected as", &["be elected as", "become", "be appointed as", "be named as", "be chosen as"]),
-    ("release", &["put out", "publish", "drop", "issue", "record"]),
-    ("perform in", &["sing in", "play at", "perform at", "headline"]),
+    (
+        "elected as",
+        &[
+            "be elected as",
+            "become",
+            "be appointed as",
+            "be named as",
+            "be chosen as",
+        ],
+    ),
+    (
+        "release",
+        &["put out", "publish", "drop", "issue", "record"],
+    ),
+    (
+        "perform in",
+        &["sing in", "play at", "perform at", "headline"],
+    ),
     ("write", &["author", "compose", "pen"]),
     ("direct", &["helm", "make"]),
     ("accuse of", &["charge with", "allege"]),
     ("shoot", &["shoot at", "fire at", "gun down"]),
-    ("live in", &["reside in", "stay in", "be based in", "move to"]),
-    ("located in", &["be located in", "lie in", "sit in", "be situated in"]),
+    (
+        "live in",
+        &["reside in", "stay in", "be based in", "move to"],
+    ),
+    (
+        "located in",
+        &["be located in", "lie in", "sit in", "be situated in"],
+    ),
     ("capital of", &["be capital of"]),
     ("adopt in", &["adopt"]),
     ("nominate for", &["be nominated for", "be shortlisted for"]),
@@ -64,7 +162,10 @@ const SEED: &[(&str, &[&str])] = &[
     ("discover", &["find", "identify", "detect"]),
     ("invent", &["devise", "develop", "design", "pioneer"]),
     ("teach at", &["lecture at", "be professor at"]),
-    ("resign from", &["step down from", "quit", "leave", "retire from"]),
+    (
+        "resign from",
+        &["step down from", "quit", "leave", "retire from"],
+    ),
 ];
 
 /// Alias-indexed pattern repository.

@@ -169,7 +169,12 @@ mod tests {
             vec![actor],
         );
         r.add_entity("Liverpool", &[], Gender::Neutral, vec![city]);
-        r.add_entity("Liverpool F.C.", &["Liverpool"], Gender::Neutral, vec![club]);
+        r.add_entity(
+            "Liverpool F.C.",
+            &["Liverpool"],
+            Gender::Neutral,
+            vec![club],
+        );
         r
     }
 

@@ -198,11 +198,7 @@ impl BackgroundStats {
         let mut hits = 0u32;
         for &a in t1 {
             for &b in t2 {
-                hits += self
-                    .type_pair_counts
-                    .get(&(p, a, b))
-                    .copied()
-                    .unwrap_or(0);
+                hits += self.type_pair_counts.get(&(p, a, b)).copied().unwrap_or(0);
             }
         }
         hits as f64 / total as f64

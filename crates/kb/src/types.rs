@@ -88,7 +88,12 @@ impl TypeSystem {
         for &(name, parents) in STANDARD {
             let pids: Vec<TypeId> = parents
                 .iter()
-                .map(|p| ts.by_name.get(*p).copied().expect("parent registered first"))
+                .map(|p| {
+                    ts.by_name
+                        .get(*p)
+                        .copied()
+                        .expect("parent registered first")
+                })
                 .collect();
             ts.register(name, &pids);
         }
@@ -260,7 +265,10 @@ mod tests {
             NerTagLike::Organization
         );
         assert_eq!(ts.coarse_ner(ts.get("FILM").expect("t")), NerTagLike::Misc);
-        assert_eq!(ts.coarse_ner(ts.get("CITY").expect("t")), NerTagLike::Location);
+        assert_eq!(
+            ts.coarse_ner(ts.get("CITY").expect("t")),
+            NerTagLike::Location
+        );
     }
 
     #[test]

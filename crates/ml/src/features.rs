@@ -34,14 +34,8 @@ impl FeatureHasher {
     /// Vectorizes a bag of binary features into sorted, deduplicated
     /// `(index, value)` pairs (value 1.0; collisions keep value 1.0 —
     /// binary semantics).
-    pub fn vectorize<'a, I: IntoIterator<Item = &'a str>>(
-        &self,
-        features: I,
-    ) -> Vec<(u32, f32)> {
-        let mut idx: Vec<u32> = features
-            .into_iter()
-            .map(|f| self.index(f) as u32)
-            .collect();
+    pub fn vectorize<'a, I: IntoIterator<Item = &'a str>>(&self, features: I) -> Vec<(u32, f32)> {
+        let mut idx: Vec<u32> = features.into_iter().map(|f| self.index(f) as u32).collect();
         idx.sort_unstable();
         idx.dedup();
         idx.into_iter().map(|i| (i, 1.0)).collect()

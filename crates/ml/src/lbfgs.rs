@@ -29,11 +29,7 @@ impl Default for LbfgsConfig {
 
 /// Minimizes `f` starting from `x0`. `f` returns `(value, gradient)`.
 /// Returns `(x*, f(x*), iterations)`.
-pub fn lbfgs_minimize<F>(
-    mut f: F,
-    x0: &[f64],
-    config: LbfgsConfig,
-) -> (Vec<f64>, f64, usize)
+pub fn lbfgs_minimize<F>(mut f: F, x0: &[f64], config: LbfgsConfig) -> (Vec<f64>, f64, usize)
 where
     F: FnMut(&[f64]) -> (f64, Vec<f64>),
 {

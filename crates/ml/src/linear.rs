@@ -68,7 +68,10 @@ impl LogisticRegression {
                 b -= rate * g;
             }
         }
-        Self { weights: w, bias: b }
+        Self {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// P(positive | features).
@@ -132,7 +135,10 @@ impl LinearSvm {
                 b += eta * y * 0.1; // small unregularized bias step
             }
         }
-        Self { weights: w, bias: b }
+        Self {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Signed decision value (margin).

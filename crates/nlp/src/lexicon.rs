@@ -32,51 +32,156 @@ const CLOSED_CLASS: &[(&str, super::PosTag)] = {
     use super::PosTag::*;
     &[
         // determiners
-        ("the", DT), ("a", DT), ("an", DT), ("this", DT), ("that", DT),
-        ("these", DT), ("those", DT), ("each", DT), ("every", DT),
-        ("some", DT), ("any", DT), ("no", DT), ("both", DT), ("all", DT),
+        ("the", DT),
+        ("a", DT),
+        ("an", DT),
+        ("this", DT),
+        ("that", DT),
+        ("these", DT),
+        ("those", DT),
+        ("each", DT),
+        ("every", DT),
+        ("some", DT),
+        ("any", DT),
+        ("no", DT),
+        ("both", DT),
+        ("all", DT),
         ("another", DT),
         // personal pronouns
-        ("he", PRP), ("she", PRP), ("it", PRP), ("they", PRP), ("i", PRP),
-        ("we", PRP), ("you", PRP), ("him", PRP), ("her", PRP), ("them", PRP),
-        ("us", PRP), ("me", PRP), ("himself", PRP), ("herself", PRP),
-        ("itself", PRP), ("themselves", PRP),
+        ("he", PRP),
+        ("she", PRP),
+        ("it", PRP),
+        ("they", PRP),
+        ("i", PRP),
+        ("we", PRP),
+        ("you", PRP),
+        ("him", PRP),
+        ("her", PRP),
+        ("them", PRP),
+        ("us", PRP),
+        ("me", PRP),
+        ("himself", PRP),
+        ("herself", PRP),
+        ("itself", PRP),
+        ("themselves", PRP),
         // possessive pronouns
-        ("his", PRPS), ("its", PRPS), ("their", PRPS), ("my", PRPS),
-        ("our", PRPS), ("your", PRPS),
+        ("his", PRPS),
+        ("its", PRPS),
+        ("their", PRPS),
+        ("my", PRPS),
+        ("our", PRPS),
+        ("your", PRPS),
         // prepositions & subordinators
-        ("in", IN), ("on", IN), ("at", IN), ("by", IN), ("for", IN),
-        ("from", IN), ("with", IN), ("of", IN), ("about", IN), ("into", IN),
-        ("over", IN), ("under", IN), ("after", IN), ("before", IN),
-        ("during", IN), ("against", IN), ("between", IN), ("through", IN),
-        ("as", IN), ("because", IN), ("while", IN), ("since", IN),
-        ("until", IN), ("although", IN), ("though", IN), ("if", IN),
-        ("whether", IN), ("that", IN), ("near", IN), ("alongside", IN),
-        ("despite", IN), ("without", IN), ("within", IN), ("towards", IN),
-        ("toward", IN), ("upon", IN), ("amid", IN), ("across", IN),
+        ("in", IN),
+        ("on", IN),
+        ("at", IN),
+        ("by", IN),
+        ("for", IN),
+        ("from", IN),
+        ("with", IN),
+        ("of", IN),
+        ("about", IN),
+        ("into", IN),
+        ("over", IN),
+        ("under", IN),
+        ("after", IN),
+        ("before", IN),
+        ("during", IN),
+        ("against", IN),
+        ("between", IN),
+        ("through", IN),
+        ("as", IN),
+        ("because", IN),
+        ("while", IN),
+        ("since", IN),
+        ("until", IN),
+        ("although", IN),
+        ("though", IN),
+        ("if", IN),
+        ("whether", IN),
+        ("that", IN),
+        ("near", IN),
+        ("alongside", IN),
+        ("despite", IN),
+        ("without", IN),
+        ("within", IN),
+        ("towards", IN),
+        ("toward", IN),
+        ("upon", IN),
+        ("amid", IN),
+        ("across", IN),
         // conjunctions
-        ("and", CC), ("or", CC), ("but", CC), ("nor", CC), ("yet", CC),
+        ("and", CC),
+        ("or", CC),
+        ("but", CC),
+        ("nor", CC),
+        ("yet", CC),
         // modals
-        ("will", MD), ("would", MD), ("can", MD), ("could", MD),
-        ("may", MD), ("might", MD), ("shall", MD), ("should", MD),
+        ("will", MD),
+        ("would", MD),
+        ("can", MD),
+        ("could", MD),
+        ("may", MD),
+        ("might", MD),
+        ("shall", MD),
+        ("should", MD),
         ("must", MD),
         // wh-words
-        ("who", WP), ("whom", WP), ("what", WP), ("whoever", WP),
-        ("which", WDT), ("whose", WDT),
-        ("where", WRB), ("when", WRB), ("why", WRB), ("how", WRB),
+        ("who", WP),
+        ("whom", WP),
+        ("what", WP),
+        ("whoever", WP),
+        ("which", WDT),
+        ("whose", WDT),
+        ("where", WRB),
+        ("when", WRB),
+        ("why", WRB),
+        ("how", WRB),
         // adverbs (frequent, incl. negation and temporal cues)
-        ("not", RB), ("n't", RB), ("also", RB), ("then", RB), ("now", RB),
-        ("later", RB), ("soon", RB), ("never", RB), ("always", RB),
-        ("often", RB), ("already", RB), ("still", RB), ("again", RB),
-        ("there", EX), ("here", RB), ("recently", RB), ("currently", RB),
-        ("subsequently", RB), ("previously", RB), ("eventually", RB),
-        ("together", RB), ("once", RB), ("twice", RB), ("ago", RB),
-        ("very", RB), ("only", RB), ("just", RB), ("too", RB), ("well", RB),
-        ("shortly", RB), ("publicly", RB), ("officially", RB),
-        ("reportedly", RB), ("initially", RB), ("finally", RB),
-        ("meanwhile", RB), ("however", RB), ("moreover", RB),
+        ("not", RB),
+        ("n't", RB),
+        ("also", RB),
+        ("then", RB),
+        ("now", RB),
+        ("later", RB),
+        ("soon", RB),
+        ("never", RB),
+        ("always", RB),
+        ("often", RB),
+        ("already", RB),
+        ("still", RB),
+        ("again", RB),
+        ("there", EX),
+        ("here", RB),
+        ("recently", RB),
+        ("currently", RB),
+        ("subsequently", RB),
+        ("previously", RB),
+        ("eventually", RB),
+        ("together", RB),
+        ("once", RB),
+        ("twice", RB),
+        ("ago", RB),
+        ("very", RB),
+        ("only", RB),
+        ("just", RB),
+        ("too", RB),
+        ("well", RB),
+        ("shortly", RB),
+        ("publicly", RB),
+        ("officially", RB),
+        ("reportedly", RB),
+        ("initially", RB),
+        ("finally", RB),
+        ("meanwhile", RB),
+        ("however", RB),
+        ("moreover", RB),
         // verb particles
-        ("up", RB), ("down", RB), ("out", RB), ("off", RB), ("away", RB),
+        ("up", RB),
+        ("down", RB),
+        ("out", RB),
+        ("off", RB),
+        ("away", RB),
     ]
 };
 
@@ -85,147 +190,607 @@ const CLOSED_CLASS: &[(&str, super::PosTag)] = {
 const IRREGULAR_VERBS: &[(&str, &str, VerbForm)] = {
     use VerbForm::*;
     &[
-        ("is", "be", Pres3), ("are", "be", Base), ("am", "be", Base),
-        ("was", "be", Past), ("were", "be", Past), ("been", "be", PastPart),
-        ("being", "be", Gerund), ("be", "be", Base),
-        ("has", "have", Pres3), ("have", "have", Base), ("had", "have", Past),
+        ("is", "be", Pres3),
+        ("are", "be", Base),
+        ("am", "be", Base),
+        ("was", "be", Past),
+        ("were", "be", Past),
+        ("been", "be", PastPart),
+        ("being", "be", Gerund),
+        ("be", "be", Base),
+        ("has", "have", Pres3),
+        ("have", "have", Base),
+        ("had", "have", Past),
         ("having", "have", Gerund),
-        ("does", "do", Pres3), ("do", "do", Base), ("did", "do", Past),
-        ("done", "do", PastPart), ("doing", "do", Gerund),
-        ("won", "win", Past), ("wins", "win", Pres3), ("winning", "win", Gerund),
+        ("does", "do", Pres3),
+        ("do", "do", Base),
+        ("did", "do", Past),
+        ("done", "do", PastPart),
+        ("doing", "do", Gerund),
+        ("won", "win", Past),
+        ("wins", "win", Pres3),
+        ("winning", "win", Gerund),
         ("win", "win", Base),
-        ("wrote", "write", Past), ("written", "write", PastPart),
-        ("sang", "sing", Past), ("sung", "sing", PastPart),
-        ("led", "lead", Past), ("leads", "lead", Pres3), ("leading", "lead", Gerund),
-        ("left", "leave", Past), ("leaves", "leave", Pres3),
-        ("made", "make", Past), ("makes", "make", Pres3), ("making", "make", Gerund),
-        ("took", "take", Past), ("taken", "take", PastPart), ("taking", "take", Gerund),
-        ("gave", "give", Past), ("given", "give", PastPart), ("giving", "give", Gerund),
-        ("got", "get", Past), ("gotten", "get", PastPart), ("getting", "get", Gerund),
-        ("said", "say", Past), ("says", "say", Pres3), ("saying", "say", Gerund),
-        ("held", "hold", Past), ("holds", "hold", Pres3), ("holding", "hold", Gerund),
-        ("met", "meet", Past), ("meets", "meet", Pres3), ("meeting", "meet", Gerund),
-        ("ran", "run", Past), ("runs", "run", Pres3), ("running", "run", Gerund),
-        ("began", "begin", Past), ("begun", "begin", PastPart),
+        ("wrote", "write", Past),
+        ("written", "write", PastPart),
+        ("sang", "sing", Past),
+        ("sung", "sing", PastPart),
+        ("led", "lead", Past),
+        ("leads", "lead", Pres3),
+        ("leading", "lead", Gerund),
+        ("left", "leave", Past),
+        ("leaves", "leave", Pres3),
+        ("made", "make", Past),
+        ("makes", "make", Pres3),
+        ("making", "make", Gerund),
+        ("took", "take", Past),
+        ("taken", "take", PastPart),
+        ("taking", "take", Gerund),
+        ("gave", "give", Past),
+        ("given", "give", PastPart),
+        ("giving", "give", Gerund),
+        ("got", "get", Past),
+        ("gotten", "get", PastPart),
+        ("getting", "get", Gerund),
+        ("said", "say", Past),
+        ("says", "say", Pres3),
+        ("saying", "say", Gerund),
+        ("held", "hold", Past),
+        ("holds", "hold", Pres3),
+        ("holding", "hold", Gerund),
+        ("met", "meet", Past),
+        ("meets", "meet", Pres3),
+        ("meeting", "meet", Gerund),
+        ("ran", "run", Past),
+        ("runs", "run", Pres3),
+        ("running", "run", Gerund),
+        ("began", "begin", Past),
+        ("begun", "begin", PastPart),
         ("beginning", "begin", Gerund),
-        ("grew", "grow", Past), ("grown", "grow", PastPart),
-        ("knew", "know", Past), ("known", "know", PastPart),
-        ("became", "become", Past), ("become", "become", Base),
-        ("becomes", "become", Pres3), ("becoming", "become", Gerund),
-        ("born", "bear", PastPart), ("bore", "bear", Past), ("bears", "bear", Pres3),
-        ("shot", "shoot", Past), ("shoots", "shoot", Pres3),
+        ("grew", "grow", Past),
+        ("grown", "grow", PastPart),
+        ("knew", "know", Past),
+        ("known", "know", PastPart),
+        ("became", "become", Past),
+        ("become", "become", Base),
+        ("becomes", "become", Pres3),
+        ("becoming", "become", Gerund),
+        ("born", "bear", PastPart),
+        ("bore", "bear", Past),
+        ("bears", "bear", Pres3),
+        ("shot", "shoot", Past),
+        ("shoots", "shoot", Pres3),
         ("shooting", "shoot", Gerund),
-        ("forgot", "forget", Past), ("forgotten", "forget", PastPart),
-        ("forgets", "forget", Pres3), ("forgetting", "forget", Gerund),
-        ("sold", "sell", Past), ("sells", "sell", Pres3), ("selling", "sell", Gerund),
-        ("bought", "buy", Past), ("buys", "buy", Pres3), ("buying", "buy", Gerund),
-        ("built", "build", Past), ("builds", "build", Pres3),
+        ("forgot", "forget", Past),
+        ("forgotten", "forget", PastPart),
+        ("forgets", "forget", Pres3),
+        ("forgetting", "forget", Gerund),
+        ("sold", "sell", Past),
+        ("sells", "sell", Pres3),
+        ("selling", "sell", Gerund),
+        ("bought", "buy", Past),
+        ("buys", "buy", Pres3),
+        ("buying", "buy", Gerund),
+        ("built", "build", Past),
+        ("builds", "build", Pres3),
         ("building", "build", Gerund),
-        ("spent", "spend", Past), ("spends", "spend", Pres3),
-        ("taught", "teach", Past), ("teaches", "teach", Pres3),
-        ("caught", "catch", Past), ("catches", "catch", Pres3),
-        ("fought", "fight", Past), ("fights", "fight", Pres3),
-        ("beat", "beat", Past), ("beats", "beat", Pres3), ("beaten", "beat", PastPart),
-        ("died", "die", Past), ("dies", "die", Pres3), ("dying", "die", Gerund),
-        ("wed", "wed", Past), ("weds", "wed", Pres3), ("wedding", "wed", Gerund),
-        ("paid", "pay", Past), ("pays", "pay", Pres3), ("paying", "pay", Gerund),
-        ("drew", "draw", Past), ("drawn", "draw", PastPart),
-        ("flew", "fly", Past), ("flown", "fly", PastPart), ("flies", "fly", Pres3),
-        ("went", "go", Past), ("gone", "go", PastPart), ("goes", "go", Pres3),
+        ("spent", "spend", Past),
+        ("spends", "spend", Pres3),
+        ("taught", "teach", Past),
+        ("teaches", "teach", Pres3),
+        ("caught", "catch", Past),
+        ("catches", "catch", Pres3),
+        ("fought", "fight", Past),
+        ("fights", "fight", Pres3),
+        ("beat", "beat", Past),
+        ("beats", "beat", Pres3),
+        ("beaten", "beat", PastPart),
+        ("died", "die", Past),
+        ("dies", "die", Pres3),
+        ("dying", "die", Gerund),
+        ("wed", "wed", Past),
+        ("weds", "wed", Pres3),
+        ("wedding", "wed", Gerund),
+        ("paid", "pay", Past),
+        ("pays", "pay", Pres3),
+        ("paying", "pay", Gerund),
+        ("drew", "draw", Past),
+        ("drawn", "draw", PastPart),
+        ("flew", "fly", Past),
+        ("flown", "fly", PastPart),
+        ("flies", "fly", Pres3),
+        ("went", "go", Past),
+        ("gone", "go", PastPart),
+        ("goes", "go", Pres3),
         ("going", "go", Gerund),
-        ("came", "come", Past), ("come", "come", Base), ("comes", "come", Pres3),
+        ("came", "come", Past),
+        ("come", "come", Base),
+        ("comes", "come", Pres3),
         ("coming", "come", Gerund),
-        ("saw", "see", Past), ("seen", "see", PastPart), ("sees", "see", Pres3),
-        ("lost", "lose", Past), ("loses", "lose", Pres3), ("losing", "lose", Gerund),
-        ("found", "find", Past), ("finds", "find", Pres3), ("finding", "find", Gerund),
-        ("felt", "feel", Past), ("feels", "feel", Pres3),
-        ("kept", "keep", Past), ("keeps", "keep", Pres3),
-        ("sent", "send", Past), ("sends", "send", Pres3),
+        ("saw", "see", Past),
+        ("seen", "see", PastPart),
+        ("sees", "see", Pres3),
+        ("lost", "lose", Past),
+        ("loses", "lose", Pres3),
+        ("losing", "lose", Gerund),
+        ("found", "find", Past),
+        ("finds", "find", Pres3),
+        ("finding", "find", Gerund),
+        ("felt", "feel", Past),
+        ("feels", "feel", Pres3),
+        ("kept", "keep", Past),
+        ("keeps", "keep", Pres3),
+        ("sent", "send", Past),
+        ("sends", "send", Pres3),
     ]
 };
 
 /// Verb bases whose regular inflections the tagger should recognize.
 const VERB_BASES: &[&str] = &[
-    "act", "play", "star", "appear", "support", "donate", "marry",
-    "divorce", "file", "receive", "direct", "record", "release",
-    "establish", "create", "invent", "discover", "develop", "design",
-    "portray", "feature", "cast", "date", "split", "separate", "sue",
-    "charge", "arrest", "sentence", "convict", "injure", "kill", "attack",
-    "protest", "resign", "retire", "return", "tour", "headline", "move",
-    "live", "work", "study", "graduate", "teach", "coach", "score", "sign",
-    "transfer", "accuse", "perform", "adopt", "name", "call", "announce",
-    "report", "defeat", "visit", "open", "close", "own", "head", "chair",
-    "govern", "elect", "appoint", "serve", "represent", "produce",
-    "compose", "publish", "earn", "gain", "host", "attend", "celebrate",
-    "honor", "award", "nominate", "premiere", "debut", "launch", "found",
-    "join", "captain", "manage", "present", "deliver", "introduce",
-    "complete", "finish", "start", "help", "want", "plan", "agree",
-    "claim", "confirm", "deny", "reveal", "describe", "praise",
-    "criticize", "dedicate", "grant", "bestow", "collaborate", "partner",
-    "co-found", "expand", "acquire", "merge", "invest", "raise", "grope",
-    "love", "like", "thank", "engage", "propose", "include", "remain",
-    "stay", "reside", "participate", "compete", "qualify", "advance",
-    "relegate", "promote", "train", "recruit", "hire", "fire", "suspend",
-    "ban", "fine", "revolutionize", "fill", "cheer", "praise",
-    "celebrate", "announce", "attend", "review", "publish", "locate",
-    "grow", "lie", "net", "turn", "endorse", "accept", "split", "gun",
-    "reside", "lecture", "chair", "back", "give", "step", "strike",
+    "act",
+    "play",
+    "star",
+    "appear",
+    "support",
+    "donate",
+    "marry",
+    "divorce",
+    "file",
+    "receive",
+    "direct",
+    "record",
+    "release",
+    "establish",
+    "create",
+    "invent",
+    "discover",
+    "develop",
+    "design",
+    "portray",
+    "feature",
+    "cast",
+    "date",
+    "split",
+    "separate",
+    "sue",
+    "charge",
+    "arrest",
+    "sentence",
+    "convict",
+    "injure",
+    "kill",
+    "attack",
+    "protest",
+    "resign",
+    "retire",
+    "return",
+    "tour",
+    "headline",
+    "move",
+    "live",
+    "work",
+    "study",
+    "graduate",
+    "teach",
+    "coach",
+    "score",
+    "sign",
+    "transfer",
+    "accuse",
+    "perform",
+    "adopt",
+    "name",
+    "call",
+    "announce",
+    "report",
+    "defeat",
+    "visit",
+    "open",
+    "close",
+    "own",
+    "head",
+    "chair",
+    "govern",
+    "elect",
+    "appoint",
+    "serve",
+    "represent",
+    "produce",
+    "compose",
+    "publish",
+    "earn",
+    "gain",
+    "host",
+    "attend",
+    "celebrate",
+    "honor",
+    "award",
+    "nominate",
+    "premiere",
+    "debut",
+    "launch",
+    "found",
+    "join",
+    "captain",
+    "manage",
+    "present",
+    "deliver",
+    "introduce",
+    "complete",
+    "finish",
+    "start",
+    "help",
+    "want",
+    "plan",
+    "agree",
+    "claim",
+    "confirm",
+    "deny",
+    "reveal",
+    "describe",
+    "praise",
+    "criticize",
+    "dedicate",
+    "grant",
+    "bestow",
+    "collaborate",
+    "partner",
+    "co-found",
+    "expand",
+    "acquire",
+    "merge",
+    "invest",
+    "raise",
+    "grope",
+    "love",
+    "like",
+    "thank",
+    "engage",
+    "propose",
+    "include",
+    "remain",
+    "stay",
+    "reside",
+    "participate",
+    "compete",
+    "qualify",
+    "advance",
+    "relegate",
+    "promote",
+    "train",
+    "recruit",
+    "hire",
+    "fire",
+    "suspend",
+    "ban",
+    "fine",
+    "revolutionize",
+    "fill",
+    "cheer",
+    "praise",
+    "celebrate",
+    "announce",
+    "attend",
+    "review",
+    "publish",
+    "locate",
+    "grow",
+    "lie",
+    "net",
+    "turn",
+    "endorse",
+    "accept",
+    "split",
+    "gun",
+    "reside",
+    "lecture",
+    "chair",
+    "back",
+    "give",
+    "step",
+    "strike",
 ];
 
 /// Common nouns (mostly the generators' controlled vocabulary).
 const COMMON_NOUNS: &[&str] = &[
-    "actor", "actress", "singer", "musician", "band", "album", "song",
-    "film", "movie", "series", "episode", "club", "team", "player",
-    "footballer", "striker", "goalkeeper", "midfielder", "defender",
-    "coach", "manager", "city", "country", "capital", "president",
-    "minister", "politician", "scientist", "researcher", "university",
-    "company", "founder", "ceo", "wife", "husband", "ex-wife",
-    "ex-husband", "father", "mother", "son", "daughter", "child",
-    "children", "brother", "sister", "award", "prize", "ceremony",
-    "concert", "attack", "election", "campaign", "foundation", "charity",
-    "director", "writer", "author", "book", "novel", "character", "role",
-    "warrior", "mountaineer", "lyric", "lyrics", "year", "month", "day",
-    "people", "woman", "man", "officer", "police", "airplane", "divorce",
-    "marriage", "wedding", "record", "tournament", "championship",
-    "league", "match", "game", "goal", "season", "studio", "label",
-    "tour", "fan", "audience", "critic", "review", "premiere", "stadium",
-    "arena", "venue", "event", "festival", "gala", "museum", "gallery",
-    "painting", "artist", "poem", "poetry", "literature", "medal",
-    "honor", "accolade", "degree", "professor", "physicist", "chemist",
-    "economist", "model", "businessman", "businesswoman", "entrepreneur",
-    "investor", "startup", "product", "phone", "car", "rocket",
-    "satellite", "spacecraft", "mission", "war", "battle", "treaty",
-    "summit", "scandal", "trial", "court", "judge", "lawyer", "verdict",
-    "prison", "hospital", "doctor", "nurse", "disease", "vaccine",
-    "drug", "virus", "question", "answer", "fact", "knowledge", "base",
-    "news", "article", "page", "document", "source", "journalist",
-    "analyst", "engineer", "architect", "birthplace", "hometown",
-    "career", "debut", "transfer", "contract", "cup", "final",
-    "semifinal", "derby", "rival", "victory", "defeat", "draw",
-    "anthem", "single", "chart", "hit", "genre", "dancer", "producer",
-    "screenwriter", "trilogy", "sequel", "cast", "crew", "scene",
-    "script", "studio", "box", "office", "nomination", "jury", "laureate",
-    "speech", "lecture", "paper", "thesis", "theory", "experiment",
-    "laboratory", "institute", "academy", "school", "college", "faculty",
-    "department", "chairman", "chancellor", "senator", "governor",
-    "mayor", "parliament", "congress", "party", "coalition", "cabinet",
-    "policy", "reform", "law", "bill", "referendum", "vote", "voter",
-    "campaigner", "activist", "protester", "crowd", "supporter",
+    "actor",
+    "actress",
+    "singer",
+    "musician",
+    "band",
+    "album",
+    "song",
+    "film",
+    "movie",
+    "series",
+    "episode",
+    "club",
+    "team",
+    "player",
+    "footballer",
+    "striker",
+    "goalkeeper",
+    "midfielder",
+    "defender",
+    "coach",
+    "manager",
+    "city",
+    "country",
+    "capital",
+    "president",
+    "minister",
+    "politician",
+    "scientist",
+    "researcher",
+    "university",
+    "company",
+    "founder",
+    "ceo",
+    "wife",
+    "husband",
+    "ex-wife",
+    "ex-husband",
+    "father",
+    "mother",
+    "son",
+    "daughter",
+    "child",
+    "children",
+    "brother",
+    "sister",
+    "award",
+    "prize",
+    "ceremony",
+    "concert",
+    "attack",
+    "election",
+    "campaign",
+    "foundation",
+    "charity",
+    "director",
+    "writer",
+    "author",
+    "book",
+    "novel",
+    "character",
+    "role",
+    "warrior",
+    "mountaineer",
+    "lyric",
+    "lyrics",
+    "year",
+    "month",
+    "day",
+    "people",
+    "woman",
+    "man",
+    "officer",
+    "police",
+    "airplane",
+    "divorce",
+    "marriage",
+    "wedding",
+    "record",
+    "tournament",
+    "championship",
+    "league",
+    "match",
+    "game",
+    "goal",
+    "season",
+    "studio",
+    "label",
+    "tour",
+    "fan",
+    "audience",
+    "critic",
+    "review",
+    "premiere",
+    "stadium",
+    "arena",
+    "venue",
+    "event",
+    "festival",
+    "gala",
+    "museum",
+    "gallery",
+    "painting",
+    "artist",
+    "poem",
+    "poetry",
+    "literature",
+    "medal",
+    "honor",
+    "accolade",
+    "degree",
+    "professor",
+    "physicist",
+    "chemist",
+    "economist",
+    "model",
+    "businessman",
+    "businesswoman",
+    "entrepreneur",
+    "investor",
+    "startup",
+    "product",
+    "phone",
+    "car",
+    "rocket",
+    "satellite",
+    "spacecraft",
+    "mission",
+    "war",
+    "battle",
+    "treaty",
+    "summit",
+    "scandal",
+    "trial",
+    "court",
+    "judge",
+    "lawyer",
+    "verdict",
+    "prison",
+    "hospital",
+    "doctor",
+    "nurse",
+    "disease",
+    "vaccine",
+    "drug",
+    "virus",
+    "question",
+    "answer",
+    "fact",
+    "knowledge",
+    "base",
+    "news",
+    "article",
+    "page",
+    "document",
+    "source",
+    "journalist",
+    "analyst",
+    "engineer",
+    "architect",
+    "birthplace",
+    "hometown",
+    "career",
+    "debut",
+    "transfer",
+    "contract",
+    "cup",
+    "final",
+    "semifinal",
+    "derby",
+    "rival",
+    "victory",
+    "defeat",
+    "draw",
+    "anthem",
+    "single",
+    "chart",
+    "hit",
+    "genre",
+    "dancer",
+    "producer",
+    "screenwriter",
+    "trilogy",
+    "sequel",
+    "cast",
+    "crew",
+    "scene",
+    "script",
+    "studio",
+    "box",
+    "office",
+    "nomination",
+    "jury",
+    "laureate",
+    "speech",
+    "lecture",
+    "paper",
+    "thesis",
+    "theory",
+    "experiment",
+    "laboratory",
+    "institute",
+    "academy",
+    "school",
+    "college",
+    "faculty",
+    "department",
+    "chairman",
+    "chancellor",
+    "senator",
+    "governor",
+    "mayor",
+    "parliament",
+    "congress",
+    "party",
+    "coalition",
+    "cabinet",
+    "policy",
+    "reform",
+    "law",
+    "bill",
+    "referendum",
+    "vote",
+    "voter",
+    "campaigner",
+    "activist",
+    "protester",
+    "crowd",
+    "supporter",
 ];
 
 /// Adjectives (open-class cues for the generators' renderings).
 const ADJECTIVES: &[&str] = &[
-    "famous", "american", "british", "german", "french", "english",
-    "spanish", "italian", "swedish", "russian", "chinese", "japanese",
-    "young", "old", "new", "former", "current", "first", "second",
-    "third", "last", "best", "great", "popular", "successful",
-    "professional", "international", "national", "local", "major",
-    "minor", "early", "late", "recent", "next", "previous", "top",
-    "leading", "renowned", "acclaimed", "legendary", "iconic",
-    "influential", "controversial", "prominent", "veteran", "rising",
-    "emerging", "beloved", "award-winning", "chart-topping",
-    "record-breaking", "long", "short", "big", "small", "high", "low",
-    "own", "several", "many", "few", "other", "such", "same", "different",
+    "famous",
+    "american",
+    "british",
+    "german",
+    "french",
+    "english",
+    "spanish",
+    "italian",
+    "swedish",
+    "russian",
+    "chinese",
+    "japanese",
+    "young",
+    "old",
+    "new",
+    "former",
+    "current",
+    "first",
+    "second",
+    "third",
+    "last",
+    "best",
+    "great",
+    "popular",
+    "successful",
+    "professional",
+    "international",
+    "national",
+    "local",
+    "major",
+    "minor",
+    "early",
+    "late",
+    "recent",
+    "next",
+    "previous",
+    "top",
+    "leading",
+    "renowned",
+    "acclaimed",
+    "legendary",
+    "iconic",
+    "influential",
+    "controversial",
+    "prominent",
+    "veteran",
+    "rising",
+    "emerging",
+    "beloved",
+    "award-winning",
+    "chart-topping",
+    "record-breaking",
+    "long",
+    "short",
+    "big",
+    "small",
+    "high",
+    "low",
+    "own",
+    "several",
+    "many",
+    "few",
+    "other",
+    "such",
+    "same",
+    "different",
 ];
 
 /// Irregular plural nouns: `(plural, singular)`.

@@ -29,3 +29,11 @@ pub use pipeline::{AnnotatedDoc, Pipeline, Sentence};
 pub use pos::PosTag;
 pub use time::{TimeMention, TimeValue};
 pub use token::Token;
+
+// `Pipeline::annotate` takes `&self` and keeps no per-call state, so one
+// pipeline instance is shared by all workers of a parallel `build_kb`
+// batch. Guarantee that at compile time.
+const _: () = {
+    const fn assert_shared_read<T: Send + Sync>() {}
+    assert_shared_read::<Pipeline>();
+};

@@ -101,18 +101,64 @@ impl Gazetteer {
 /// Organization suffix cues ("Liverpool F.C.", "ONE Campaign", "Pearl
 /// Foundation", "Apple Inc.").
 const ORG_SUFFIXES: &[&str] = &[
-    "f.c.", "fc", "inc.", "inc", "ltd.", "ltd", "co.", "corp", "corp.",
-    "foundation", "campaign", "university", "institute", "academy",
-    "company", "club", "united", "city", "association", "committee",
-    "party", "band", "orchestra", "ministry", "department", "agency",
-    "council", "league", "federation", "group", "studios", "records",
+    "f.c.",
+    "fc",
+    "inc.",
+    "inc",
+    "ltd.",
+    "ltd",
+    "co.",
+    "corp",
+    "corp.",
+    "foundation",
+    "campaign",
+    "university",
+    "institute",
+    "academy",
+    "company",
+    "club",
+    "united",
+    "city",
+    "association",
+    "committee",
+    "party",
+    "band",
+    "orchestra",
+    "ministry",
+    "department",
+    "agency",
+    "council",
+    "league",
+    "federation",
+    "group",
+    "studios",
+    "records",
 ];
 
 /// Person title cues preceding a name ("President Obama", "Mr Scott").
 const PERSON_TITLES: &[&str] = &[
-    "mr", "mr.", "mrs", "mrs.", "ms", "ms.", "dr", "dr.", "president",
-    "minister", "senator", "governor", "king", "queen", "prince",
-    "princess", "sir", "pope", "coach", "captain", "professor", "judge",
+    "mr",
+    "mr.",
+    "mrs",
+    "mrs.",
+    "ms",
+    "ms.",
+    "dr",
+    "dr.",
+    "president",
+    "minister",
+    "senator",
+    "governor",
+    "king",
+    "queen",
+    "prince",
+    "princess",
+    "sir",
+    "pope",
+    "coach",
+    "captain",
+    "professor",
+    "judge",
 ];
 
 /// Heuristically types a capitalized token span that missed the gazetteer.
@@ -186,10 +232,7 @@ mod tests {
 
     #[test]
     fn person_heuristics() {
-        assert_eq!(
-            heuristic_type(&["Jessica", "Leeds"], None),
-            NerTag::Person
-        );
+        assert_eq!(heuristic_type(&["Jessica", "Leeds"], None), NerTag::Person);
         assert_eq!(heuristic_type(&["Scott"], Some("mr")), NerTag::Person);
     }
 

@@ -98,8 +98,7 @@ impl Pipeline {
             apply_time_ner(&mut toks, &times);
             apply_gazetteer_ner(&self.gazetteer, &mut toks);
             apply_heuristic_ner(&mut toks);
-            let time_spans: Vec<(usize, usize)> =
-                times.iter().map(|m| (m.start, m.end)).collect();
+            let time_spans: Vec<(usize, usize)> = times.iter().map(|m| (m.start, m.end)).collect();
             let chunks = chunk(&toks, &time_spans);
             sentences.push(Sentence {
                 index: idx,
@@ -118,8 +117,8 @@ impl Pipeline {
 /// builder drive it directly.
 pub fn tag_tokens(lex: &Lexicon, toks: &mut [Token]) {
     // Pass 1: context-free assignment.
-    for i in 0..toks.len() {
-        toks[i].pos = initial_tag(lex, &toks[i].text, i == 0);
+    for (i, tok) in toks.iter_mut().enumerate() {
+        tok.pos = initial_tag(lex, &tok.text, i == 0);
     }
     // Pass 2: context repair rules (Brill-style).
     for i in 0..toks.len() {
@@ -139,8 +138,12 @@ pub fn tag_tokens(lex: &Lexicon, toks: &mut [Token]) {
         if lower == "that" {
             let next_is_np_start = matches!(
                 next,
-                Some(PosTag::DT) | Some(PosTag::NN) | Some(PosTag::NNS) | Some(PosTag::NNP)
-                    | Some(PosTag::JJ) | Some(PosTag::CD)
+                Some(PosTag::DT)
+                    | Some(PosTag::NN)
+                    | Some(PosTag::NNS)
+                    | Some(PosTag::NNP)
+                    | Some(PosTag::JJ)
+                    | Some(PosTag::CD)
             );
             toks[i].pos = if prev.is_some_and(|p| p.is_verb()) || !next_is_np_start {
                 PosTag::IN
@@ -154,7 +157,11 @@ pub fn tag_tokens(lex: &Lexicon, toks: &mut [Token]) {
                 next,
                 Some(p) if p.is_noun() || p.is_adjective() || p == PosTag::CD
             );
-            toks[i].pos = if next_nominal { PosTag::PRPS } else { PosTag::PRP };
+            toks[i].pos = if next_nominal {
+                PosTag::PRPS
+            } else {
+                PosTag::PRP
+            };
         }
         // After a modal or TO, a verb-capable token is base form.
         if matches!(prev, Some(PosTag::MD) | Some(PosTag::TO)) && toks[i].pos.is_verb() {
@@ -177,9 +184,7 @@ pub fn tag_tokens(lex: &Lexicon, toks: &mut [Token]) {
         }
         // Prepositions take nominal objects: a finite-verb reading directly
         // after IN is a noun in disguise ("filed for divorce").
-        if matches!(prev, Some(PosTag::IN))
-            && matches!(toks[i].pos, PosTag::VBP | PosTag::VBZ)
-        {
+        if matches!(prev, Some(PosTag::IN)) && matches!(toks[i].pos, PosTag::VBP | PosTag::VBZ) {
             toks[i].pos = if lower.ends_with('s') && lex.singularize(&lower).is_some() {
                 PosTag::NNS
             } else {
@@ -189,7 +194,10 @@ pub fn tag_tokens(lex: &Lexicon, toks: &mut [Token]) {
         // Determiner/adjective/possessive followed by a "verb" reading is a
         // noun in disguise ("the record", "his support").
         if toks[i].pos.is_verb()
-            && matches!(prev, Some(PosTag::DT) | Some(PosTag::PRPS) | Some(PosTag::JJ))
+            && matches!(
+                prev,
+                Some(PosTag::DT) | Some(PosTag::PRPS) | Some(PosTag::JJ)
+            )
         {
             toks[i].pos = if lower.ends_with('s') && lex.singularize(&lower).is_some() {
                 PosTag::NNS
@@ -274,7 +282,9 @@ fn initial_tag(lex: &Lexicon, text: &str, sentence_initial: bool) -> PosTag {
     if lower.ends_with('s') && lower.len() > 3 {
         return PosTag::NNS;
     }
-    if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive")
+    if lower.ends_with("ous")
+        || lower.ends_with("ful")
+        || lower.ends_with("ive")
         || lower.ends_with("al")
     {
         return PosTag::JJ;
@@ -299,7 +309,7 @@ fn apply_gazetteer_ner(gaz: &Gazetteer, toks: &mut [Token]) {
     if gaz.is_empty() {
         return;
     }
-    let max_len = gaz.max_tokens().min(6).max(1);
+    let max_len = gaz.max_tokens().clamp(1, 6);
     let mut i = 0usize;
     while i < toks.len() {
         if toks[i].ner != NerTag::O || !is_capitalized(&toks[i].text) {
@@ -315,11 +325,7 @@ fn apply_gazetteer_ner(gaz: &Gazetteer, toks: &mut [Token]) {
             }
             // Spans must not end in punctuation (normalization would let
             // "Liverpool ." match the "Liverpool" alias).
-            if toks[j - 1]
-                .text
-                .chars()
-                .all(|c| c.is_ascii_punctuation())
-            {
+            if toks[j - 1].text.chars().all(|c| c.is_ascii_punctuation()) {
                 continue;
             }
             let phrase = toks[i..j]

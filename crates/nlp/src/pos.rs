@@ -88,10 +88,7 @@ impl PosTag {
     /// Any nominal tag.
     #[inline]
     pub fn is_noun(self) -> bool {
-        matches!(
-            self,
-            PosTag::NN | PosTag::NNS | PosTag::NNP | PosTag::NNPS
-        )
+        matches!(self, PosTag::NN | PosTag::NNS | PosTag::NNP | PosTag::NNPS)
     }
 
     /// Proper-noun tags.

@@ -16,8 +16,7 @@ pub fn split_sentences(tokens: &[Token]) -> Vec<(usize, usize)> {
         if tokens[i].is_sentence_end() {
             let mut end = i + 1;
             // Pull a trailing closing quote/bracket into this sentence.
-            while end < tokens.len()
-                && matches!(tokens[end].text.as_str(), "\"" | "”" | ")" | "]")
+            while end < tokens.len() && matches!(tokens[end].text.as_str(), "\"" | "”" | ")" | "]")
             {
                 end += 1;
             }

@@ -45,16 +45,22 @@ pub struct TimeMention {
 }
 
 const MONTHS: &[(&str, u8)] = &[
-    ("january", 1), ("february", 2), ("march", 3), ("april", 4),
-    ("may", 5), ("june", 6), ("july", 7), ("august", 8),
-    ("september", 9), ("october", 10), ("november", 11), ("december", 12),
+    ("january", 1),
+    ("february", 2),
+    ("march", 3),
+    ("april", 4),
+    ("may", 5),
+    ("june", 6),
+    ("july", 7),
+    ("august", 8),
+    ("september", 9),
+    ("october", 10),
+    ("november", 11),
+    ("december", 12),
 ];
 
 fn month_of(lower: &str) -> Option<u8> {
-    MONTHS
-        .iter()
-        .find(|&&(m, _)| m == lower)
-        .map(|&(_, n)| n)
+    MONTHS.iter().find(|&&(m, _)| m == lower).map(|&(_, n)| n)
 }
 
 fn parse_year(text: &str) -> Option<i32> {
@@ -68,7 +74,7 @@ fn parse_year(text: &str) -> Option<i32> {
 }
 
 fn parse_day(text: &str) -> Option<u8> {
-    let core = text.trim_end_matches(|c| matches!(c, 's' | 't' | 'h' | 'n' | 'd' | 'r'));
+    let core = text.trim_end_matches(['s', 't', 'h', 'n', 'd', 'r']);
     if core.is_empty() || core.len() > 2 {
         return None;
     }
@@ -218,8 +224,10 @@ mod tests {
         tag_times(&toks)
             .into_iter()
             .map(|m| {
-                let words: Vec<&str> =
-                    toks[m.start..m.end].iter().map(|t| t.text.as_str()).collect();
+                let words: Vec<&str> = toks[m.start..m.end]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect();
                 (words.join(" "), m.value)
             })
             .collect()

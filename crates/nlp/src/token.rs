@@ -56,8 +56,21 @@ impl Token {
 fn is_break_punct(c: char) -> bool {
     matches!(
         c,
-        ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '“' | '”'
-            | '—' | '…'
+        ',' | ';'
+            | ':'
+            | '!'
+            | '?'
+            | '('
+            | ')'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '"'
+            | '“'
+            | '”'
+            | '—'
+            | '…'
     )
 }
 
@@ -104,7 +117,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                     && rest[suffix.len()..]
                         .chars()
                         .next()
-                        .map_or(true, |d| !d.is_alphanumeric())
+                        .is_none_or(|d| !d.is_alphanumeric())
                 {
                     num_len += suffix.len();
                     break;
@@ -122,7 +135,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                 && rest[1..]
                     .chars()
                     .next()
-                    .map_or(true, |d| !d.is_alphanumeric())
+                    .is_none_or(|d| !d.is_alphanumeric())
             {
                 tokens.push(Token::new(&text[i..i + clen + 1], i));
                 i += clen + 1;
@@ -150,7 +163,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                         && rest[1..]
                             .chars()
                             .next()
-                            .map_or(true, |e| !e.is_alphanumeric());
+                            .is_none_or(|e| !e.is_alphanumeric());
                     next_alpha && !is_clitic
                 });
             if !keep {
@@ -191,7 +204,10 @@ fn leading_number_len(s: &str) -> usize {
         if c.is_ascii_digit() {
             len = idx + 1;
         } else if (c == ',' || c == '.')
-            && s[idx + 1..].chars().next().is_some_and(|d| d.is_ascii_digit())
+            && s[idx + 1..]
+                .chars()
+                .next()
+                .is_some_and(|d| d.is_ascii_digit())
         {
             // separator followed by digit: keep going
         } else {
@@ -221,7 +237,10 @@ fn word_is_abbrev(word: &str) -> bool {
     if stem.contains('.') {
         return true;
     }
-    matches!(stem, "Inc" | "Ltd" | "Co" | "Mr" | "Mrs" | "Ms" | "Dr" | "Jr" | "Sr" | "St")
+    matches!(
+        stem,
+        "Inc" | "Ltd" | "Co" | "Mr" | "Mrs" | "Ms" | "Dr" | "Jr" | "Sr" | "St"
+    )
 }
 
 #[cfg(test)]
@@ -244,7 +263,15 @@ mod tests {
     fn keeps_currency_amount_together() {
         assert_eq!(
             words("Pitt donated $100,000 to the foundation."),
-            vec!["Pitt", "donated", "$100,000", "to", "the", "foundation", "."]
+            vec![
+                "Pitt",
+                "donated",
+                "$100,000",
+                "to",
+                "the",
+                "foundation",
+                "."
+            ]
         );
     }
 
@@ -258,7 +285,10 @@ mod tests {
 
     #[test]
     fn keeps_abbreviations() {
-        assert_eq!(words("Liverpool F.C. won."), vec!["Liverpool", "F.C.", "won", "."]);
+        assert_eq!(
+            words("Liverpool F.C. won."),
+            vec!["Liverpool", "F.C.", "won", "."]
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! original ClausIE out-extract pattern-based systems on complex sentences.
 
 use crate::clause::{ArgKind, Argument, Clause, ClauseType};
-use qkb_parse::{DepLabel, DepTree, ParserBackend};
 use qkb_nlp::{PosTag, Sentence};
+use qkb_parse::{DepLabel, DepTree, ParserBackend};
 
 /// The clause detector. Cheap to construct; holds only configuration.
 pub struct ClausIe {
@@ -117,17 +117,10 @@ impl ClausIe {
                     objects.push(self.nominal_argument(s, tree, c, ArgKind::Object, None));
                 }
                 DepLabel::Iobj => {
-                    iobj = Some(self.nominal_argument(
-                        s,
-                        tree,
-                        c,
-                        ArgKind::IndirectObject,
-                        None,
-                    ));
+                    iobj = Some(self.nominal_argument(s, tree, c, ArgKind::IndirectObject, None));
                 }
                 DepLabel::Attr | DepLabel::Acomp => {
-                    complement =
-                        Some(self.nominal_argument(s, tree, c, ArgKind::Complement, None));
+                    complement = Some(self.nominal_argument(s, tree, c, ArgKind::Complement, None));
                 }
                 DepLabel::Prep => {
                     let prep_lemma = s.tokens[c].lemma.clone();

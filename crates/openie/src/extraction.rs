@@ -106,10 +106,7 @@ pub fn clause_extractions(
         let relation = {
             // Combined pattern: verb plus the prepositions in order
             // ("donate to", "play in").
-            let preps: Vec<&str> = non_subj
-                .iter()
-                .filter_map(|a| a.prep.as_deref())
-                .collect();
+            let preps: Vec<&str> = non_subj.iter().filter_map(|a| a.prep.as_deref()).collect();
             if preps.is_empty() {
                 clause.verb_lemma.clone()
             } else {

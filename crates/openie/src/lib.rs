@@ -24,3 +24,10 @@ pub use extraction::{Extraction, Extractor};
 pub use ollie::Ollie;
 pub use openie4::OpenIe4;
 pub use reverb::Reverb;
+
+// Clause detection is stateless per call; the parallel `build_kb` batch
+// shares one extractor across workers.
+const _: () = {
+    const fn assert_shared_read<T: Send + Sync>() {}
+    assert_shared_read::<ClausIe>();
+};

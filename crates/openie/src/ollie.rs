@@ -4,8 +4,8 @@
 //! precision among the compared systems).
 
 use crate::extraction::{Extraction, Extractor};
-use qkb_parse::{DepLabel, GreedyParser};
 use qkb_nlp::{PosTag, Sentence};
+use qkb_parse::{DepLabel, GreedyParser};
 
 /// The Ollie-style extractor.
 #[derive(Default)]
@@ -55,8 +55,7 @@ impl Extractor for Ollie {
                         if let Some(pobj) = tree.child_with(c, DepLabel::Pobj) {
                             // only PPs in this verb's neighbourhood
                             if c > v && c < v + 12 {
-                                let rel =
-                                    format!("{} {}", s.tokens[v].lemma, s.tokens[c].lemma);
+                                let rel = format!("{} {}", s.tokens[v].lemma, s.tokens[c].lemma);
                                 out.push(self.make(s, sb, rel, pobj, 0.55));
                             }
                         }

@@ -87,9 +87,8 @@ impl Extractor for Reverb {
                 // Arguments must be adjacent-ish to the relation (published
                 // constraint keeps precision up).
                 if i - l.end <= 2 && r.start - rel_end <= 2 {
-                    let relation: Vec<&str> = (i..rel_end)
-                        .map(|t| s.tokens[t].lemma.as_str())
-                        .collect();
+                    let relation: Vec<&str> =
+                        (i..rel_end).map(|t| s.tokens[t].lemma.as_str()).collect();
                     let mut confidence: f64 = 0.7;
                     // Heuristic confidence in the spirit of ReVerb's
                     // logistic-regression ranker.

@@ -75,7 +75,7 @@ fn binary_rules() -> Vec<BinRule> {
         parent,
         left,
         right,
-        logp: (p as f64).ln(),
+        logp: p.ln(),
         head,
         dep,
     };
@@ -111,7 +111,7 @@ fn unary_rules() -> Vec<UnRule> {
     let r = |parent, child, p: f64| UnRule {
         parent,
         child,
-        logp: (p as f64).ln(),
+        logp: p.ln(),
     };
     vec![
         r(Np, Nbar, 0.6),
@@ -250,7 +250,7 @@ impl ChartParser {
         };
 
         let mut tree = DepTree::new(s.tokens.len());
-        let root_tok = self.extract(&back, 0, n, goal, n, &at, &mut tree);
+        let root_tok = self.extract(&back, 0, n, goal, &at, &mut tree);
         if let Some(r) = root_tok {
             if tree.head(r).is_none() {
                 tree.set_root(r);
@@ -302,16 +302,15 @@ impl ChartParser {
         st: usize,
         len: usize,
         nt: usize,
-        n: usize,
         at: &dyn Fn(usize, usize, usize) -> usize,
         tree: &mut DepTree,
     ) -> Option<usize> {
         match back[at(st, len, nt)]? {
             Back::Leaf(tok) => Some(tok),
-            Back::Un(child) => self.extract(back, st, len, child, n, at, tree),
+            Back::Un(child) => self.extract(back, st, len, child, at, tree),
             Back::Bin(split, lnt, rnt, ri) => {
-                let lh = self.extract(back, st, split, lnt, n, at, tree);
-                let rh = self.extract(back, st + split, len - split, rnt, n, at, tree);
+                let lh = self.extract(back, st, split, lnt, at, tree);
+                let rh = self.extract(back, st + split, len - split, rnt, at, tree);
                 let rule = &self.bins[ri];
                 match (lh, rh) {
                     (Some(l), Some(r)) => match rule.head {

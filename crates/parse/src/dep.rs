@@ -148,7 +148,9 @@ impl DepTree {
 
     /// Children of `i` carrying `label`.
     pub fn children_with(&self, i: usize, label: DepLabel) -> Vec<usize> {
-        self.children(i).filter(|&c| self.labels[c] == label).collect()
+        self.children(i)
+            .filter(|&c| self.labels[c] == label)
+            .collect()
     }
 
     /// First child of `i` with `label`, if any.
@@ -158,7 +160,9 @@ impl DepTree {
 
     /// All tokens with no head (roots of the forest).
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.heads[i].is_none()).collect()
+        (0..self.len())
+            .filter(|&i| self.heads[i].is_none())
+            .collect()
     }
 
     /// Checks structural well-formedness: no self-loops, no cycles.

@@ -65,8 +65,8 @@ fn build_ctx(s: &Sentence) -> Ctx {
     let mut chunk_head = Vec::with_capacity(s.chunks.len());
     let mut chunk_kind = Vec::with_capacity(s.chunks.len());
     for (ci, c) in s.chunks.iter().enumerate() {
-        for t in c.start..c.end.min(n) {
-            chunk_of[t] = Some(ci);
+        for slot in chunk_of.iter_mut().take(c.end.min(n)).skip(c.start) {
+            *slot = Some(ci);
         }
         chunk_head.push(c.head(&s.tokens));
         chunk_kind.push(c.kind);
@@ -210,8 +210,18 @@ fn attach_possessives(s: &Sentence, ctx: &Ctx, tree: &mut DepTree) {
 fn is_subordinator(lower: &str) -> bool {
     matches!(
         lower,
-        "because" | "while" | "although" | "though" | "since" | "after" | "before" | "when"
-            | "if" | "until" | "whether" | "as"
+        "because"
+            | "while"
+            | "although"
+            | "though"
+            | "since"
+            | "after"
+            | "before"
+            | "when"
+            | "if"
+            | "until"
+            | "whether"
+            | "as"
     )
 }
 
@@ -243,27 +253,27 @@ fn attach_clauses(s: &Sentence, ctx: &Ctx, main_verbs: &[usize], tree: &mut DepT
                     // keep any subject already found between mark and verb
                     break;
                 }
-                p if (p.is_noun() || p == PosTag::PRP || p == PosTag::CD) => {
+                p if (p.is_noun() || p == PosTag::PRP || p == PosTag::CD)
                     // Only chunk heads count as candidate subjects; keep the
                     // NEAREST one ("In 2002, Pitt donated ..." must pick
                     // Pitt, not the fronted time adjunct), but keep
                     // scanning left for a possible mark.
-                    if subj.is_none() {
-                        if let Some(ci) = ctx.chunk_of[k] {
-                            let h = ctx.chunk_head[ci];
-                            // A true preposition marks a PP object, but a
-                            // subordinator ("because the team lost") marks
-                            // a clause whose subject follows it.
-                            let in_pp = s.chunks[ci].start > 0 && {
-                                let prev = &s.tokens[s.chunks[ci].start - 1];
-                                prev.pos == PosTag::IN
-                                    && !is_subordinator(&prev.lower())
-                                    && prev.lower() != "that"
-                            };
-                            let is_time = ctx.chunk_kind[ci] == ChunkKind::Time;
-                            if h == k && tree.head(k).is_none() && !in_pp && !is_time {
-                                subj = Some(k);
-                            }
+                    && subj.is_none() =>
+                {
+                    if let Some(ci) = ctx.chunk_of[k] {
+                        let h = ctx.chunk_head[ci];
+                        // A true preposition marks a PP object, but a
+                        // subordinator ("because the team lost") marks
+                        // a clause whose subject follows it.
+                        let in_pp = s.chunks[ci].start > 0 && {
+                            let prev = &s.tokens[s.chunks[ci].start - 1];
+                            prev.pos == PosTag::IN
+                                && !is_subordinator(&prev.lower())
+                                && prev.lower() != "that"
+                        };
+                        let is_time = ctx.chunk_kind[ci] == ChunkKind::Time;
+                        if h == k && tree.head(k).is_none() && !in_pp && !is_time {
+                            subj = Some(k);
                         }
                     }
                 }
@@ -398,8 +408,9 @@ fn attach_right_args(s: &Sentence, ctx: &Ctx, v: usize, end: usize, tree: &mut D
             }
             p if p.is_adjective() => {
                 // Predicative adjective only if not inside an NP chunk.
-                let inside_np = ctx.chunk_of[i]
-                    .is_some_and(|ci| ctx.chunk_head[ci] != i && ctx.chunk_kind[ci] == ChunkKind::NounPhrase);
+                let inside_np = ctx.chunk_of[i].is_some_and(|ci| {
+                    ctx.chunk_head[ci] != i && ctx.chunk_kind[ci] == ChunkKind::NounPhrase
+                });
                 if !inside_np && tree.head(i).is_none() {
                     tree.attach(i, v, DepLabel::Acomp);
                 }
@@ -525,9 +536,10 @@ mod tests {
     }
 
     fn tok_idx(s: &Sentence, w: &str) -> usize {
-        s.tokens.iter().position(|t| t.text == w).unwrap_or_else(|| {
-            panic!("token {w} not found in {:?}", s.text())
-        })
+        s.tokens
+            .iter()
+            .position(|t| t.text == w)
+            .unwrap_or_else(|| panic!("token {w} not found in {:?}", s.text()))
     }
 
     #[test]

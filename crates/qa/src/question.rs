@@ -18,8 +18,8 @@ pub struct QuestionAnalysis {
 }
 
 const STOP: &[&str] = &[
-    "the", "a", "an", "of", "in", "on", "at", "to", "for", "did", "do",
-    "does", "is", "was", "were", "are", "be", "by", "with", "from",
+    "the", "a", "an", "of", "in", "on", "at", "to", "for", "did", "do", "does", "is", "was",
+    "were", "are", "be", "by", "with", "from",
 ];
 
 /// Expected coarse answer types for a wh-word and its following token
@@ -31,8 +31,8 @@ pub fn expected_types(wh: &str, next: Option<&str>) -> Vec<&'static str> {
         "where" => vec!["LOCATION", "ORGANIZATION"],
         "when" => vec!["TIME"],
         "which" | "what" => match next.unwrap_or("") {
-            "club" | "team" | "party" | "foundation" | "company" | "band"
-            | "university" | "organization" => vec!["ORGANIZATION"],
+            "club" | "team" | "party" | "foundation" | "company" | "band" | "university"
+            | "organization" => vec!["ORGANIZATION"],
             "city" | "country" | "place" => vec!["LOCATION"],
             "prize" | "award" | "album" | "film" | "movie" | "song" | "book" => {
                 vec!["MISC"]
@@ -56,7 +56,12 @@ pub fn analyze(question: &str, repo: &EntityRepository) -> QuestionAnalysis {
 
     let wh = lowered
         .first()
-        .filter(|w| matches!(w.as_str(), "who" | "whom" | "where" | "when" | "which" | "what" | "how" | "why"))
+        .filter(|w| {
+            matches!(
+                w.as_str(),
+                "who" | "whom" | "where" | "when" | "which" | "what" | "how" | "why"
+            )
+        })
         .cloned();
     let expected = expected_types(
         wh.as_deref().unwrap_or(""),
@@ -91,11 +96,7 @@ pub fn analyze(question: &str, repo: &EntityRepository) -> QuestionAnalysis {
     let content_tokens: Vec<String> = lowered
         .iter()
         .enumerate()
-        .filter(|&(i, w)| {
-            !covered[i]
-                && Some(w) != wh.as_ref()
-                && !STOP.contains(&w.as_str())
-        })
+        .filter(|&(i, w)| !covered[i] && Some(w) != wh.as_ref() && !STOP.contains(&w.as_str()))
         .map(|(_, w)| normalize(w))
         .filter(|w| !w.is_empty())
         .collect();

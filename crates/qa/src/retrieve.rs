@@ -114,8 +114,14 @@ mod tests {
 
     fn index() -> Bm25Index {
         Bm25Index::build([
-            ("Bob Dylan", "Bob Dylan released the album and won the prize."),
-            ("Liverpool F.C.", "The club won the league. The striker scored."),
+            (
+                "Bob Dylan",
+                "Bob Dylan released the album and won the prize.",
+            ),
+            (
+                "Liverpool F.C.",
+                "The club won the league. The striker scored.",
+            ),
             ("Ashford", "The city lies in the north. Its port is busy."),
         ])
     }

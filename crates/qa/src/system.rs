@@ -46,8 +46,14 @@ struct Candidate {
 /// role-in-film quadruples, divorce filings) is "missing from the KB",
 /// mirroring the paper's motivation.
 const STATIC_PREDICATES: &[&str] = &[
-    "born in", "born on", "married to", "play for", "lead", "study at",
-    "located in", "teach at",
+    "born in",
+    "born on",
+    "married to",
+    "play for",
+    "lead",
+    "study at",
+    "located in",
+    "teach at",
 ];
 
 /// The QA system over a fixed corpus and a QKBfly instance.
@@ -94,10 +100,7 @@ impl<'w> QaSystem<'w> {
     }
 
     fn build_question_kb(&self, doc_ids: &[usize], emit_nary: bool) -> OnTheFlyKb {
-        let texts: Vec<String> = doc_ids
-            .iter()
-            .map(|&d| self.docs[d].text.clone())
-            .collect();
+        let texts: Vec<String> = doc_ids.iter().map(|&d| self.docs[d].text.clone()).collect();
         // Reconfigure arity per method without mutating self.
         if emit_nary == self.qkbfly.config().emit_nary {
             self.qkbfly.build_kb(&texts).kb
@@ -126,21 +129,12 @@ impl<'w> QaSystem<'w> {
             &qkb_corpus::background::background_corpus(self.world, 0, 0),
         );
         let _ = stats; // empty stats would hurt: reuse weights via config only
-        Qkbfly::with_config(
-            repo,
-            patterns,
-            qkb_kb::BackgroundStats::empty(),
-            cfg,
-        )
+        Qkbfly::with_config(repo, patterns, qkb_kb::BackgroundStats::empty(), cfg)
     }
 
     /// Candidates from a question-specific KB (Appendix B step 3): every
     /// fact touching a question entity contributes its other arguments.
-    fn kb_candidates(
-        &self,
-        kb: &OnTheFlyKb,
-        analysis: &QuestionAnalysis,
-    ) -> Vec<Candidate> {
+    fn kb_candidates(&self, kb: &OnTheFlyKb, analysis: &QuestionAnalysis) -> Vec<Candidate> {
         let mut out: Vec<Candidate> = Vec::new();
         let q_mentions: Vec<String> = analysis
             .entity_mentions
@@ -184,7 +178,11 @@ impl<'w> QaSystem<'w> {
                 if matches_q(s) || s.is_empty() {
                     continue;
                 }
-                let arg = if i == 0 { &fact.subject } else { &fact.args[i - 1] };
+                let arg = if i == 0 {
+                    &fact.subject
+                } else {
+                    &fact.args[i - 1]
+                };
                 let type_ok = self.type_compatible(kb, arg, s, &analysis.expected_types);
                 out.push(Candidate {
                     surface: s.clone(),
@@ -276,8 +274,7 @@ impl<'w> QaSystem<'w> {
                     .filter(|w| !w.is_empty())
                     .map(|w| w.to_string())
                     .collect();
-                let evidence: Vec<String> =
-                    tokens.iter().map(|t| t.to_lowercase()).collect();
+                let evidence: Vec<String> = tokens.iter().map(|t| t.to_lowercase()).collect();
                 // Capitalized n-grams (length 1–3) as candidates.
                 let mut i = 1usize; // skip sentence-initial token
                 while i < tokens.len() {
@@ -400,8 +397,7 @@ impl<'w> QaSystem<'w> {
                 if doc_ids.is_empty() {
                     return Vec::new();
                 }
-                let kb =
-                    self.build_question_kb(&doc_ids, method == QaMethod::Qkbfly);
+                let kb = self.build_question_kb(&doc_ids, method == QaMethod::Qkbfly);
                 let cands = self.kb_candidates(&kb, &analysis);
                 self.rank(&analysis, cands, self.kb_clf.as_ref())
             }
@@ -580,6 +576,10 @@ mod tests {
             }
         }
         // The on-the-fly method should produce answers for most questions.
-        assert!(answered >= test.len() / 2, "answered {answered}/{}", test.len());
+        assert!(
+            answered >= test.len() / 2,
+            "answered {answered}/{}",
+            test.len()
+        );
     }
 }

@@ -13,6 +13,8 @@
 pub mod hash;
 pub mod ids;
 pub mod intern;
+pub mod json;
+pub mod par;
 pub mod sparse;
 pub mod stats;
 pub mod text;
@@ -20,8 +22,7 @@ pub mod topk;
 
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
+pub use par::{effective_parallelism, par_map_ordered};
 pub use sparse::SparseVec;
-pub use stats::{
-    cohens_kappa, macro_prf, pr_curve, precision_at, wald_interval, PrPoint, Prf,
-};
+pub use stats::{cohens_kappa, macro_prf, pr_curve, precision_at, wald_interval, PrPoint, Prf};
 pub use topk::TopK;

@@ -1,0 +1,131 @@
+//! Deterministic fork–join parallelism over document batches.
+//!
+//! The build image cannot fetch `rayon`, so this is a small scoped-thread
+//! work-stealing executor with the one property the KB builder needs:
+//! **output order is input order**, regardless of which worker processes
+//! which item or in what order they finish. Workers pull the next item
+//! index from a shared atomic counter (dynamic load balancing — document
+//! lengths vary wildly), tag each result with its index, and the results
+//! are reassembled positionally after the join.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a `parallelism` knob: `0` means "all available cores",
+/// anything else is taken literally.
+pub fn effective_parallelism(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` on up to `workers` scoped threads
+/// and returns the results **in input order**.
+///
+/// `f` receives `(index, &item)`. With `workers <= 1` (or a single item)
+/// this degrades to a plain in-place loop with no thread spawns, so the
+/// serial configuration pays zero overhead.
+///
+/// Panics in `f` are propagated to the caller after all workers have
+/// stopped (scoped threads join on scope exit).
+pub fn par_map_ordered<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1, 2, 3, 8] {
+            let out = par_map_ordered(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_ordered(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map_ordered(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effective_parallelism_resolves_zero() {
+        assert!(effective_parallelism(0) >= 1);
+        assert_eq!(effective_parallelism(3), 3);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_ordered(&items, 8, |_, &x| {
+            // Vary per-item runtime so completion order scrambles.
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map_ordered(&items, 4, |_, &x| {
+            if x == 9 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

@@ -52,7 +52,8 @@ pub fn is_numeric_like(s: &str) -> bool {
     if core.is_empty() {
         return false;
     }
-    core.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+    core.chars()
+        .all(|c| c.is_ascii_digit() || c == ',' || c == '.')
         && core.chars().any(|c| c.is_ascii_digit())
 }
 

@@ -5,8 +5,9 @@ use qkb_util::sparse::SparseVec;
 use qkb_util::{Interner, Symbol, TopK};
 
 fn sparse_vec() -> impl Strategy<Value = SparseVec> {
-    proptest::collection::vec((0u32..64, 0.01f64..10.0), 0..20)
-        .prop_map(|pairs| SparseVec::from_pairs(pairs.into_iter().map(|(d, w)| (Symbol(d), w)).collect()))
+    proptest::collection::vec((0u32..64, 0.01f64..10.0), 0..20).prop_map(|pairs| {
+        SparseVec::from_pairs(pairs.into_iter().map(|(d, w)| (Symbol(d), w)).collect())
+    })
 }
 
 proptest! {

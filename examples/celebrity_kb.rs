@@ -27,9 +27,13 @@ fn main() {
         .docs
         .into_iter()
         .find(|d| d.main_entity == Some(actor))
-        .unwrap_or_else(|| qkb_corpus::docgen::wiki_corpus(&world, 1, 11).docs.remove(0));
+        .unwrap_or_else(|| {
+            qkb_corpus::docgen::wiki_corpus(&world, 1, 11)
+                .docs
+                .remove(0)
+        });
     println!("== Page: {} ==", page.title);
-    let result = system.build_kb(&[page.text.clone()]);
+    let result = system.build_kb(std::slice::from_ref(&page.text));
 
     println!("\nEntities & Mentions:");
     for e in result.kb.entities().iter().take(8) {
@@ -52,7 +56,7 @@ fn main() {
     println!("\n== News (recent facts absent from any static KB) ==");
     let news = qkb_corpus::docgen::news_corpus(&world, 3, 12);
     for doc in &news.docs {
-        let r = system.build_kb(&[doc.text.clone()]);
+        let r = system.build_kb(std::slice::from_ref(&doc.text));
         println!("\n{}:", doc.title);
         for f in r.kb.facts().iter().take(3) {
             println!("  {}", r.render(f));

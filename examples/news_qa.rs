@@ -26,14 +26,28 @@ fn main() {
     let mut system = QaSystem::new(&world, docs, qkb);
 
     let train = webquestions_train(&world, 15, 33);
-    println!("training the answer classifier on {} questions ...", train.len());
+    println!(
+        "training the answer classifier on {} questions ...",
+        train.len()
+    );
     system.train(&train, 34);
 
     let questions = trends_test(&world, 8, 35);
     for q in &questions {
-        println!("\nQ: {} {}", q.text, if q.about_recent { "(emerging event)" } else { "" });
+        println!(
+            "\nQ: {} {}",
+            q.text,
+            if q.about_recent {
+                "(emerging event)"
+            } else {
+                ""
+            }
+        );
         println!("   gold: {:?}", q.gold.first().map(|g| &g[0]));
         println!("   on-the-fly KB: {:?}", system.answer(q, QaMethod::Qkbfly));
-        println!("   static KB:     {:?}", system.answer(q, QaMethod::StaticKb));
+        println!(
+            "   static KB:     {:?}",
+            system.answer(q, QaMethod::StaticKb)
+        );
     }
 }

@@ -32,11 +32,9 @@ fn main() {
 
     let system = Qkbfly::new(repo, PatternRepository::standard(), stats.finalize());
 
-    let docs = vec![
-        "Brad Pitt is an actor and he supports the ONE Campaign. \
+    let docs = vec!["Brad Pitt is an actor and he supports the ONE Campaign. \
          In 2002, Pitt donated $100,000 to the Daniel Pearl Foundation."
-            .to_string(),
-    ];
+        .to_string()];
     let result = system.build_kb(&docs);
 
     println!(

@@ -1,0 +1,169 @@
+//! Minimal offline shim for the `criterion` crate.
+//!
+//! Runs each benchmark closure for a fixed measurement budget and prints
+//! mean wall-clock per iteration to stdout. No statistical analysis, no
+//! HTML reports, no command-line filtering. Honors `QKB_BENCH_QUICK=1`
+//! for a reduced budget (used by the CI bench-smoke job).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+
+    /// Id with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Drives iteration of one benchmark body.
+pub struct Bencher {
+    /// Measurement budget for this benchmark.
+    budget: Duration,
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_s: f64,
+    /// Iterations performed.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly within the measurement budget and records the
+    /// mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup call.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            std::hint::black_box(f());
+            n += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / n as f64;
+        self.iterations = n;
+    }
+}
+
+fn budget() -> Duration {
+    if std::env::var("QKB_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(500)
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        budget: budget(),
+        mean_s: 0.0,
+        iterations: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench {label}: {:.3} ms/iter ({} iterations)",
+        b.mean_s * 1e3,
+        b.iterations
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sample-size hint; accepted for API compatibility, unused.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that receives an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,372 @@
+//! Strategies: deterministic value generators.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic test RNG (xorshift64* seeded from the test name).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded from the test name, so every run generates the same
+    /// case sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: if h == 0 { 0x9E37_79B9_7F4A_7C15 } else { h },
+        }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn below_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// `&str` strategies are interpreted as a regex subset (like proptest's
+/// string strategies): a sequence of atoms — character classes
+/// (`[A-Za-z0-9 ,.]`, trailing `-` literal), `\PC` (any printable
+/// non-control char), escaped chars, plain chars — each with an optional
+/// `{m,n}` / `{n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// Explicit candidate characters.
+    Class(Vec<char>),
+    /// `\PC`: any printable character (sampled from printable ASCII plus
+    /// a few multi-byte code points to exercise UTF-8 handling).
+    AnyPrintable,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => return out,
+            '-' => {
+                // Range if between two chars, literal otherwise.
+                match (prev, chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        let (lo, hi) = (lo as u32, hi as u32);
+                        for v in lo..=hi {
+                            if let Some(ch) = char::from_u32(v) {
+                                if ch as u32 != lo {
+                                    out.push(ch);
+                                }
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        out.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    out.push(esc);
+                    prev = Some(esc);
+                }
+            }
+            other => {
+                out.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(0);
+            let hi = hi.trim().parse().unwrap_or(lo);
+            (lo, hi.max(lo))
+        }
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    }
+}
+
+/// Printable sample pool for `\PC` (kept small and deterministic; includes
+/// multi-byte characters so offset arithmetic gets exercised).
+const PRINTABLE_EXTRA: &[char] = &['é', 'ü', 'ß', 'λ', '中', '“', '—', '🙂'];
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC` — consume the property letter.
+                    chars.next();
+                    Atom::AnyPrintable
+                }
+                Some(esc) => Atom::Class(vec![esc]),
+                None => break,
+            },
+            other => Atom::Class(vec![other]),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        atoms.push((atom, lo, hi));
+    }
+    let mut out = String::new();
+    for (atom, lo, hi) in atoms {
+        let n = rng.below_inclusive(lo, hi);
+        for _ in 0..n {
+            match &atom {
+                Atom::Class(set) => {
+                    if !set.is_empty() {
+                        out.push(set[rng.below_inclusive(0, set.len() - 1)]);
+                    }
+                }
+                Atom::AnyPrintable => {
+                    // Mostly printable ASCII, occasionally multi-byte.
+                    if rng.below_inclusive(0, 9) == 0 {
+                        out.push(
+                            PRINTABLE_EXTRA[rng.below_inclusive(0, PRINTABLE_EXTRA.len() - 1)],
+                        );
+                    } else {
+                        out.push(
+                            char::from_u32(rng.below_inclusive(0x20, 0x7E) as u32)
+                                .expect("printable ascii"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_class_pattern_respected() {
+        let mut rng = TestRng::for_test("char_class");
+        for _ in 0..50 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        let mut rng = TestRng::for_test("class_lit");
+        for _ in 0..50 {
+            let s = "[A-Za-z0-9 ,.'$-]{0,20}".generate(&mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.'$-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn any_printable_has_no_control_chars() {
+        let mut rng = TestRng::for_test("printable");
+        for _ in 0..50 {
+            let s = "\\PC{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..100 {
+            let (a, b) = (0u32..64, 0.01f64..10.0).generate(&mut rng);
+            assert!(a < 64);
+            assert!((0.01..10.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_lengths() {
+        let strat = (2usize..9).prop_flat_map(|n| crate::collection::vec(0u8..10, n..=n));
+        let mut rng = TestRng::for_test("flat_map");
+        for _ in 0..30 {
+            let v = strat.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Test-runner types: configuration and per-case outcomes.
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — generate another one.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Per-case outcome: `Ok(())` on success.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset: case count only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the single-core CI
+        // budget reasonable while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
