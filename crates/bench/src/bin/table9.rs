@@ -18,7 +18,7 @@ fn main() {
     docs.extend(fx.news(30 * s, 92).docs);
 
     let qkb = Qkbfly::new(qkb_bench::clone_repo(&fx.world), fx.patterns(), fx.stats());
-    let mut system = QaSystem::new(&fx.world, docs, qkb);
+    let mut system = QaSystem::new(fx.world.clone(), docs, qkb);
 
     let train = webquestions_train(&fx.world, 40 * s, 93);
     println!(

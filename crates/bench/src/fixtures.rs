@@ -7,11 +7,12 @@ use qkb_corpus::world::WorldConfig;
 use qkb_corpus::World;
 use qkb_kb::{BackgroundStats, EntityRepository, PatternRepository};
 use qkbfly::{Qkbfly, QkbflyConfig, SolverKind, Variant};
+use std::sync::Arc;
 
 /// The standard fixture shared by the table harnesses.
 pub struct Fixture {
-    /// The world model.
-    pub world: World,
+    /// The world model (`Arc` so serving engines can co-own it).
+    pub world: Arc<World>,
     /// Background statistics computed by the real pipeline over the
     /// background corpus.
     pub stats_pages: usize,
@@ -33,7 +34,7 @@ pub fn scale() -> usize {
 /// Builds the standard world.
 pub fn build_fixture() -> Fixture {
     Fixture {
-        world: World::generate(WorldConfig::standard()),
+        world: Arc::new(World::generate(WorldConfig::standard())),
         stats_pages: 120,
     }
 }

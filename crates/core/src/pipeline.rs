@@ -25,6 +25,7 @@ use qkb_kb::{BackgroundStats, EntityId, EntityRepository, Fact, OnTheFlyKb, Patt
 use qkb_nlp::Pipeline as NlpPipeline;
 use qkb_openie::{ClausIe, Clause, Extraction};
 use qkb_util::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -113,6 +114,17 @@ impl StageTimings {
         self.resolve += other.resolve;
         self.canonicalize += other.canonicalize;
     }
+
+    /// Per-stage wall-clock in microseconds, for serving metrics and
+    /// benchmark reports.
+    pub fn to_json(&self) -> qkb_util::json::Value {
+        qkb_util::json::Value::object()
+            .with("preprocess_us", self.preprocess.as_micros() as f64)
+            .with("graph_us", self.graph.as_micros() as f64)
+            .with("resolve_us", self.resolve.as_micros() as f64)
+            .with("canonicalize_us", self.canonicalize.as_micros() as f64)
+            .with("total_us", self.total().as_micros() as f64)
+    }
 }
 
 /// One surface extraction with provenance and the τ decision.
@@ -191,6 +203,34 @@ pub struct DocStage1 {
     pub diag: DocResult,
 }
 
+/// Cumulative build counters, shared by every clone of a system handle.
+///
+/// Monotonic and lock-free; the serving layer reads them for its stats
+/// snapshot, and tests use them as a hook to prove request coalescing
+/// (K concurrent identical queries must trigger exactly one build).
+#[derive(Debug, Default)]
+pub struct BuildCounters {
+    builds: AtomicU64,
+    docs: AtomicU64,
+}
+
+impl BuildCounters {
+    /// KB builds started so far (a grouped build counts once per group).
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Documents fed through the per-document phase so far.
+    pub fn docs(&self) -> u64 {
+        self.docs.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, builds: u64, docs: u64) {
+        self.builds.fetch_add(builds, Ordering::Relaxed);
+        self.docs.fetch_add(docs, Ordering::Relaxed);
+    }
+}
+
 /// The QKBfly system: shares its background repositories (`Arc`, read-only
 /// at query time) across worker threads and cloned handles, plus the
 /// per-system configuration.
@@ -205,6 +245,7 @@ pub struct Qkbfly {
     stats: Arc<BackgroundStats>,
     nlp: Arc<NlpPipeline>,
     clausie: Arc<ClausIe>,
+    counters: Arc<BuildCounters>,
     config: QkbflyConfig,
 }
 
@@ -232,6 +273,7 @@ impl Qkbfly {
             stats: Arc::new(stats),
             nlp: Arc::new(nlp),
             clausie: Arc::new(ClausIe::new()),
+            counters: Arc::new(BuildCounters::default()),
             config,
         }
     }
@@ -261,6 +303,28 @@ impl Qkbfly {
         &mut self.config
     }
 
+    /// A new handle with the given per-document worker count, sharing the
+    /// repositories with `self`. The builder-style counterpart of
+    /// `config_mut().parallelism = n` for shared (`&Qkbfly`) handles —
+    /// serving shards tune their build fan-out without mutable access.
+    pub fn with_parallelism(&self, workers: usize) -> Self {
+        self.with_config_override(|c| c.parallelism = workers)
+    }
+
+    /// A new handle with arbitrary configuration overrides applied on top
+    /// of `self`'s configuration. Repositories, statistics and build
+    /// counters stay shared with the parent handle.
+    pub fn with_config_override(&self, adjust: impl FnOnce(&mut QkbflyConfig)) -> Self {
+        let mut out = self.clone();
+        adjust(&mut out.config);
+        out
+    }
+
+    /// Cumulative build counters shared across all clones of this handle.
+    pub fn counters(&self) -> &BuildCounters {
+        &self.counters
+    }
+
     fn weight_model(&self) -> WeightModel {
         WeightModel {
             alphas: self.config.alphas,
@@ -277,50 +341,79 @@ impl Qkbfly {
     /// the shared KB **in document order**, so the result is byte-identical
     /// to the serial path for any worker count.
     pub fn build_kb(&self, docs: &[String]) -> BuildResult<'_> {
+        self.counters.record(1, docs.len() as u64);
         let workers = qkb_util::effective_parallelism(self.config.parallelism);
+        if workers <= 1 || docs.len() <= 1 {
+            // Serial path: process-and-merge one document at a time, so
+            // only a single document's stage-1 state is ever resident.
+            self.assemble(docs.iter().map(|text| self.process_doc_stage1(text)))
+        } else {
+            let stage1 =
+                qkb_util::par_map_ordered(docs, workers, |_, text| self.process_doc_stage1(text));
+            self.assemble(stage1.into_iter())
+        }
+    }
 
+    /// Builds one on-the-fly KB **per document group**, fanning the pure
+    /// per-document phase out over the union of all groups' documents.
+    ///
+    /// This is the admission-batching entry point of the serving layer:
+    /// several queued queries (each with its own retrieved-document set)
+    /// share one parallel fan-out instead of paying the ramp-up per query.
+    /// Each group is merged independently in its own document order, so
+    /// every returned `BuildResult` is **byte-identical** to what
+    /// `build_kb` would produce for that group alone.
+    pub fn build_kb_grouped(&self, groups: &[Vec<String>]) -> Vec<BuildResult<'_>> {
+        let total_docs: usize = groups.iter().map(Vec::len).sum();
+        self.counters.record(groups.len() as u64, total_docs as u64);
+        let workers = qkb_util::effective_parallelism(self.config.parallelism);
+        if workers <= 1 || total_docs <= 1 {
+            return groups
+                .iter()
+                .map(|docs| self.assemble(docs.iter().map(|text| self.process_doc_stage1(text))))
+                .collect();
+        }
+        // Flatten all groups' documents into one work list, fan out once,
+        // then split the ordered stage-1 outputs back per group.
+        let flat: Vec<&String> = groups.iter().flatten().collect();
+        let mut stage1 =
+            qkb_util::par_map_ordered(&flat, workers, |_, text| self.process_doc_stage1(text))
+                .into_iter();
+        groups
+            .iter()
+            .map(|docs| self.assemble(stage1.by_ref().take(docs.len())))
+            .collect()
+    }
+
+    /// Folds per-document stage-1 outputs, **in document order**, into one
+    /// canonicalized KB with its assessment records and diagnostics.
+    fn assemble(&self, stage1_seq: impl Iterator<Item = DocStage1>) -> BuildResult<'_> {
         let mut kb = OnTheFlyKb::new();
         let mut records = Vec::new();
         let mut links = Vec::new();
         let mut timings = StageTimings::default();
-        let mut per_doc = Vec::with_capacity(docs.len());
-        {
-            let mut fold = |d: usize, stage1: DocStage1| {
-                let (out, diag) = self.merge_doc(&mut kb, stage1, d as u32);
-                timings.add(&diag.timings);
-                for (extraction, kept, slot_entities) in out.extractions {
-                    records.push(ExtractionRecord {
-                        doc: d,
-                        extraction,
-                        kept,
-                        slot_entities,
-                    });
-                }
-                for (sentence, phrase, entity, confidence) in out.links {
-                    links.push(LinkRecord {
-                        doc: d,
-                        sentence,
-                        phrase,
-                        entity,
-                        confidence,
-                    });
-                }
-                per_doc.push(diag);
-            };
-            if workers <= 1 || docs.len() <= 1 {
-                // Serial path: process-and-merge one document at a time, so
-                // only a single document's stage-1 state is ever resident.
-                for (d, text) in docs.iter().enumerate() {
-                    fold(d, self.process_doc_stage1(text));
-                }
-            } else {
-                let stage1 = qkb_util::par_map_ordered(docs, workers, |_, text| {
-                    self.process_doc_stage1(text)
+        let mut per_doc = Vec::new();
+        for (d, stage1) in stage1_seq.enumerate() {
+            let (out, diag) = self.merge_doc(&mut kb, stage1, d as u32);
+            timings.add(&diag.timings);
+            for (extraction, kept, slot_entities) in out.extractions {
+                records.push(ExtractionRecord {
+                    doc: d,
+                    extraction,
+                    kept,
+                    slot_entities,
                 });
-                for (d, doc_stage1) in stage1.into_iter().enumerate() {
-                    fold(d, doc_stage1);
-                }
             }
+            for (sentence, phrase, entity, confidence) in out.links {
+                links.push(LinkRecord {
+                    doc: d,
+                    sentence,
+                    phrase,
+                    entity,
+                    confidence,
+                });
+            }
+            per_doc.push(diag);
         }
         BuildResult {
             kb,
@@ -625,6 +718,47 @@ mod tests {
         assert!(t.preprocess > Duration::ZERO);
         assert!(t.total() >= t.preprocess);
         assert!(result.per_doc[0].graph_size.0 > 0);
+    }
+
+    #[test]
+    fn grouped_build_matches_individual_builds() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let groups = vec![
+            vec![FIG2.to_string()],
+            vec![
+                "Brad Pitt supported the ONE Campaign.".to_string(),
+                "Pitt donated $100,000 to the Daniel Pearl Foundation.".to_string(),
+            ],
+            vec![],
+        ];
+        for workers in [1usize, 4] {
+            let handle = sys.with_parallelism(workers);
+            let grouped = handle.build_kb_grouped(&groups);
+            assert_eq!(grouped.len(), groups.len());
+            for (result, docs) in grouped.iter().zip(&groups) {
+                let solo = sys.build_kb(docs);
+                assert_eq!(
+                    result.kb.to_json(sys.patterns()).to_string(),
+                    solo.kb.to_json(sys.patterns()).to_string(),
+                    "grouped KB must be byte-identical to a solo build"
+                );
+                assert_eq!(result.records.len(), solo.records.len());
+                assert_eq!(result.per_doc.len(), docs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        assert_eq!(sys.counters().builds(), 0);
+        let _ = sys.build_kb(&[FIG2.to_string()]);
+        let clone = sys.with_parallelism(2);
+        let _ = clone.build_kb_grouped(&[vec![FIG2.to_string()], vec![FIG2.to_string()]]);
+        // 1 direct build + 2 groups, all visible through either handle.
+        assert_eq!(sys.counters().builds(), 3);
+        assert_eq!(clone.counters().builds(), 3);
+        assert_eq!(sys.counters().docs(), 3);
     }
 
     #[test]

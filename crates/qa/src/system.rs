@@ -19,6 +19,7 @@ use qkb_kb::{FactArg, KbEntityKind, OnTheFlyKb};
 use qkb_ml::{FeatureHasher, LinearSvm, SparseExample};
 use qkb_util::text::{is_capitalized, is_token_suffix, normalize};
 use qkbfly::Qkbfly;
+use std::sync::Arc;
 
 /// QA method under evaluation (Table 9 rows).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,8 +58,12 @@ const STATIC_PREDICATES: &[&str] = &[
 ];
 
 /// The QA system over a fixed corpus and a QKBfly instance.
-pub struct QaSystem<'w> {
-    world: &'w World,
+///
+/// Owns its world snapshot behind an `Arc`, so the whole system is a
+/// self-contained `Send + Sync` engine a serving layer can share across
+/// request threads (`qkb-serve` wraps it behind its `QueryEngine` trait).
+pub struct QaSystem {
+    world: Arc<World>,
     docs: Vec<GoldDoc>,
     index: Bm25Index,
     qkbfly: Qkbfly,
@@ -69,9 +74,9 @@ pub struct QaSystem<'w> {
     pub top_k: usize,
 }
 
-impl<'w> QaSystem<'w> {
+impl QaSystem {
     /// Creates the system over a searchable corpus.
-    pub fn new(world: &'w World, docs: Vec<GoldDoc>, qkbfly: Qkbfly) -> Self {
+    pub fn new(world: Arc<World>, docs: Vec<GoldDoc>, qkbfly: Qkbfly) -> Self {
         let index = Bm25Index::build(docs.iter().map(|d| (d.title.as_str(), d.text.as_str())));
         Self {
             world,
@@ -90,8 +95,20 @@ impl<'w> QaSystem<'w> {
         &self.qkbfly
     }
 
-    fn retrieve(&self, question: &Question) -> Vec<usize> {
-        let query = format!("{} {}", question.text, question.text);
+    /// The world snapshot the system answers against.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Number of searchable documents.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Retrieves the top-k document ids for a free-text query (question
+    /// text or an entity seed). This is step 1 of the serving path.
+    pub fn retrieve_docs(&self, query_text: &str) -> Vec<usize> {
+        let query = format!("{query_text} {query_text}");
         self.index
             .search(&query, self.top_k)
             .into_iter()
@@ -99,37 +116,53 @@ impl<'w> QaSystem<'w> {
             .collect()
     }
 
+    /// The full texts of the given documents, in the given order — the
+    /// input to `Qkbfly::build_kb` and the identity the serving layer
+    /// fingerprints its fragment cache on.
+    pub fn doc_texts(&self, doc_ids: &[usize]) -> Vec<String> {
+        doc_ids.iter().map(|&d| self.docs[d].text.clone()).collect()
+    }
+
+    /// Stable fingerprint of the given documents' texts (equal to
+    /// `fingerprint_seq` over [`QaSystem::doc_texts`], without
+    /// materializing the texts) — the serving layer's fragment-cache key.
+    pub fn doc_fingerprint(&self, doc_ids: &[usize]) -> u64 {
+        qkb_util::fingerprint_seq(doc_ids.iter().map(|&d| self.docs[d].text.as_str()))
+    }
+
+    /// Answers a free-text question against an already-built KB fragment
+    /// (step 3 of the serving path: candidates + SVM ranking only). The
+    /// output is deterministic in `(question_text, kb)`, which is what
+    /// makes cached-fragment answers byte-identical to cold-build answers.
+    pub fn answer_in_kb(&self, question_text: &str, kb: &OnTheFlyKb) -> Vec<String> {
+        let analysis = analyze(question_text, &self.world.repo);
+        self.answer_analyzed(&analysis, kb)
+    }
+
+    fn answer_analyzed(&self, analysis: &QuestionAnalysis, kb: &OnTheFlyKb) -> Vec<String> {
+        let cands = self.kb_candidates(kb, analysis);
+        self.rank(analysis, cands, self.kb_clf.as_ref())
+    }
+
+    fn retrieve(&self, question: &Question) -> Vec<usize> {
+        self.retrieve_docs(&question.text)
+    }
+
     fn build_question_kb(&self, doc_ids: &[usize], emit_nary: bool) -> OnTheFlyKb {
-        let texts: Vec<String> = doc_ids.iter().map(|&d| self.docs[d].text.clone()).collect();
-        // Reconfigure arity per method without mutating self.
+        let texts = self.doc_texts(doc_ids);
+        // Reconfigure arity per method without mutating self: handles are
+        // cheap clones sharing the loaded repositories. (The triples
+        // variant previously rebuilt a fresh system with *empty*
+        // background stats for lack of such an override; it now shares
+        // the real stats, so both variants differ only in arity.)
         if emit_nary == self.qkbfly.config().emit_nary {
             self.qkbfly.build_kb(&texts).kb
         } else {
-            let mut cfg = self.qkbfly.config().clone();
-            cfg.emit_nary = emit_nary;
-            // Rebuilding the system is cheap relative to extraction.
-            let sys = self.qkbfly_with(cfg);
-            sys.build_kb(&texts).kb
+            self.qkbfly
+                .with_config_override(|c| c.emit_nary = emit_nary)
+                .build_kb(&texts)
+                .kb
         }
-    }
-
-    fn qkbfly_with(&self, cfg: qkbfly::QkbflyConfig) -> Qkbfly {
-        // The repositories are shared by value-clone through regeneration:
-        // QKBfly owns them, so we construct a fresh instance from the world
-        // (deterministic and side-effect free).
-        let mut repo = qkb_kb::EntityRepository::new();
-        for e in self.world.repo.iter() {
-            let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
-            repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
-        }
-        let mut patterns = qkb_kb::PatternRepository::standard();
-        qkb_corpus::render::extend_patterns(&mut patterns);
-        let stats = qkb_corpus::background::build_stats(
-            self.world,
-            &qkb_corpus::background::background_corpus(self.world, 0, 0),
-        );
-        let _ = stats; // empty stats would hurt: reuse weights via config only
-        Qkbfly::with_config(repo, patterns, qkb_kb::BackgroundStats::empty(), cfg)
     }
 
     /// Candidates from a question-specific KB (Appendix B step 3): every
@@ -398,8 +431,9 @@ impl<'w> QaSystem<'w> {
                     return Vec::new();
                 }
                 let kb = self.build_question_kb(&doc_ids, method == QaMethod::Qkbfly);
-                let cands = self.kb_candidates(&kb, &analysis);
-                self.rank(&analysis, cands, self.kb_clf.as_ref())
+                // Same path the serving layer's `answer_in_kb` takes, so a
+                // served answer is byte-identical to this offline one.
+                self.answer_analyzed(&analysis, &kb)
             }
         }
     }
@@ -506,6 +540,12 @@ impl<'w> QaSystem<'w> {
     }
 }
 
+// The serving layer shares one QaSystem across its worker shards.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QaSystem>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,7 +553,7 @@ mod tests {
     use qkb_corpus::questions::{trends_test, webquestions_train};
     use qkb_corpus::world::WorldConfig;
 
-    fn setup(world: &World) -> QaSystem<'_> {
+    fn setup(world: &Arc<World>) -> QaSystem {
         let mut docs = wiki_corpus(world, 20, 3).docs;
         docs.extend(news_corpus(world, 10, 4).docs);
         let bg = qkb_corpus::background::background_corpus(world, 20, 5);
@@ -526,12 +566,12 @@ mod tests {
         let mut patterns = qkb_kb::PatternRepository::standard();
         qkb_corpus::render::extend_patterns(&mut patterns);
         let qkb = Qkbfly::new(repo, patterns, stats);
-        QaSystem::new(world, docs, qkb)
+        QaSystem::new(world.clone(), docs, qkb)
     }
 
     #[test]
     fn retrieval_and_candidates_flow() {
-        let world = World::generate(WorldConfig::default());
+        let world = Arc::new(World::generate(WorldConfig::default()));
         let sys = setup(&world);
         let qs = webquestions_train(&world, 5, 9);
         assert!(!qs.is_empty());
@@ -543,7 +583,7 @@ mod tests {
 
     #[test]
     fn static_kb_answers_mainstream_but_not_recent() {
-        let world = World::generate(WorldConfig::default());
+        let world = Arc::new(World::generate(WorldConfig::default()));
         let sys = setup(&world);
         // A born-in training question should be answerable statically.
         let train = webquestions_train(&world, 40, 9);
@@ -563,7 +603,7 @@ mod tests {
 
     #[test]
     fn training_then_answering_improves_over_nothing() {
-        let world = World::generate(WorldConfig::default());
+        let world = Arc::new(World::generate(WorldConfig::default()));
         let mut sys = setup(&world);
         let train = webquestions_train(&world, 12, 9);
         sys.train(&train, 11);

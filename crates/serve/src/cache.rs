@@ -1,0 +1,207 @@
+//! The sharded KB-fragment cache.
+//!
+//! A bounded LRU ([`qkb_util::LruCache`]) split across independently
+//! locked shards, keyed by the fingerprint of a query's retrieved-document
+//! set. Overlapping queries — or repeats of a popular one — reuse the
+//! constructed [`KbFragment`] instead of re-running extraction, which is
+//! where the serving layer's throughput win comes from.
+
+use crate::engine::KbFragment;
+use qkb_util::LruCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache counter snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheCounters {
+    /// Lookups that found a fragment.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Fragments evicted by capacity pressure.
+    pub evictions: u64,
+    /// Fragments currently cached.
+    pub entries: usize,
+    /// Total capacity across shards.
+    pub capacity: usize,
+}
+
+impl CacheCounters {
+    /// Hits over lookups (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, bounded, counted LRU over `Arc<KbFragment>`.
+pub struct FragmentCache {
+    shards: Vec<Mutex<LruCache<u64, Arc<KbFragment>>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl FragmentCache {
+    /// A cache holding at most `capacity` fragments, spread over
+    /// `shards` independently locked LRUs (capacity 0 disables caching;
+    /// shards are clamped to `1..=capacity.max(1)`). Per-shard capacities
+    /// sum exactly to `capacity`; a key-skewed workload can therefore
+    /// evict before the *total* is reached — the price of lock sharding.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let (base, extra) = (capacity / shards, capacity % shards);
+        Self {
+            shards: (0..shards)
+                .map(|i| Mutex::new(LruCache::new(base + usize::from(i < extra))))
+                .collect(),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the configured capacity is non-zero.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<LruCache<u64, Arc<KbFragment>>> {
+        // Keys are already fingerprints; fold the high bits so shard
+        // choice uses entropy the per-shard LRU map doesn't.
+        &self.shards[((key >> 32) ^ key) as usize % self.shards.len()]
+    }
+
+    /// Counted lookup; promotes the fragment on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<KbFragment>> {
+        let got = self
+            .shard(key)
+            .lock()
+            .expect("cache shard")
+            .get(&key)
+            .cloned();
+        match got {
+            Some(f) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(f)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Uncounted lookup (used inside the coalescing claim; the caller's
+    /// fast path already counted this logical lookup — see
+    /// [`FragmentCache::reclassify_miss_as_hit`] for the race case).
+    pub fn peek_get(&self, key: u64) -> Option<Arc<KbFragment>> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Corrects the counters when a lookup counted as a miss turned out
+    /// to be a hit after all (another shard published the fragment
+    /// between the counted fast-path miss and the in-flight claim).
+    pub fn reclassify_miss_as_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Inserts a fragment, counting any capacity eviction.
+    pub fn insert(&self, key: u64, fragment: Arc<KbFragment>) {
+        let evicted = self
+            .shard(key)
+            .lock()
+            .expect("cache shard")
+            .insert(key, fragment);
+        if let Some((old_key, _)) = evicted {
+            // Replacing the same key is a refresh, not an eviction.
+            if old_key != key {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Cached fragments right now.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_kb::OnTheFlyKb;
+    use qkbfly::StageTimings;
+
+    fn frag() -> Arc<KbFragment> {
+        Arc::new(KbFragment {
+            kb: OnTheFlyKb::new(),
+            timings: StageTimings::default(),
+            n_docs: 0,
+        })
+    }
+
+    #[test]
+    fn counts_hits_misses_evictions() {
+        let c = FragmentCache::new(1, 4);
+        assert!(c.get(1).is_none());
+        c.insert(1, frag());
+        assert!(c.get(1).is_some());
+        c.insert(2, frag()); // evicts 1 (single slot after clamping)
+        assert!(c.get(1).is_none());
+        let k = c.counters();
+        assert_eq!(k.hits, 1);
+        assert_eq!(k.misses, 2);
+        assert_eq!(k.evictions, 1);
+        assert_eq!(k.entries, 1);
+        assert!((k.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = FragmentCache::new(0, 8);
+        assert!(!c.is_enabled());
+        c.insert(7, frag());
+        assert!(c.get(7).is_none());
+        assert_eq!(c.counters().evictions, 0);
+    }
+
+    #[test]
+    fn refresh_same_key_is_not_an_eviction() {
+        let c = FragmentCache::new(2, 1);
+        c.insert(5, frag());
+        c.insert(5, frag());
+        assert_eq!(c.counters().evictions, 0);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! The engine abstraction the server runs on, and its [`QaSystem`] glue.
+//!
+//! The server owns scheduling (sharding, coalescing, caching, batching)
+//! and delegates the three semantic steps of the paper's query-time path
+//! to an engine: retrieve documents for a query, build a KB fragment from
+//! them, extract answers from a fragment. `qkb_qa::QaSystem` is the
+//! production engine; tests can supply stubs.
+
+use crate::request::{QueryKind, QueryRequest};
+use qkb_kb::OnTheFlyKb;
+use qkb_qa::QaSystem;
+use qkbfly::{Qkbfly, StageTimings};
+
+/// One constructed on-the-fly KB with its build diagnostics — the unit the
+/// fragment cache stores and overlapping queries share.
+pub struct KbFragment {
+    /// The canonicalized KB.
+    pub kb: OnTheFlyKb,
+    /// Per-stage build wall clock.
+    pub timings: StageTimings,
+    /// Documents the fragment was built from.
+    pub n_docs: usize,
+}
+
+/// The semantic backend of the server.
+///
+/// All methods take `&self` and are called concurrently from every worker
+/// shard; engines must be internally immutable at serve time (the QKBfly
+/// repositories already are — see ARCHITECTURE.md).
+pub trait QueryEngine: Send + Sync + 'static {
+    /// The QKBfly handle fragments are built with. Worker shards clone it
+    /// (cheap, `Arc`-shared repositories) and apply their own
+    /// `with_parallelism` override, and its shared [`qkbfly::BuildCounters`]
+    /// are the test hook proving coalescing.
+    fn qkbfly(&self) -> &Qkbfly;
+
+    /// Top-k document ids for a query (retrieval step).
+    fn retrieve(&self, request: &QueryRequest) -> Vec<usize>;
+
+    /// Full texts of the given documents, in the given order. Their
+    /// fingerprint is the fragment-cache key.
+    fn doc_texts(&self, doc_ids: &[usize]) -> Vec<String>;
+
+    /// The fragment-cache key: a stable fingerprint of the documents'
+    /// texts. Must equal `fingerprint_seq(doc_texts(doc_ids))`; engines
+    /// should override to avoid materializing the texts on the cache-hit
+    /// fast path.
+    fn doc_fingerprint(&self, doc_ids: &[usize]) -> u64 {
+        qkb_util::fingerprint_seq(self.doc_texts(doc_ids).iter())
+    }
+
+    /// Answers for a request against a built fragment. Must be
+    /// deterministic in `(request, fragment)` — the cache-hit/cold-build
+    /// byte-identity contract rests on this.
+    fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String>;
+}
+
+/// Engines can be shared: several servers (e.g. a baseline and a cached
+/// configuration under benchmark) may serve from one loaded system.
+impl<E: QueryEngine> QueryEngine for std::sync::Arc<E> {
+    fn qkbfly(&self) -> &Qkbfly {
+        (**self).qkbfly()
+    }
+
+    fn retrieve(&self, request: &QueryRequest) -> Vec<usize> {
+        (**self).retrieve(request)
+    }
+
+    fn doc_texts(&self, doc_ids: &[usize]) -> Vec<String> {
+        (**self).doc_texts(doc_ids)
+    }
+
+    fn doc_fingerprint(&self, doc_ids: &[usize]) -> u64 {
+        (**self).doc_fingerprint(doc_ids)
+    }
+
+    fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String> {
+        (**self).answer(request, fragment)
+    }
+}
+
+impl QueryEngine for QaSystem {
+    fn qkbfly(&self) -> &Qkbfly {
+        QaSystem::qkbfly(self)
+    }
+
+    fn retrieve(&self, request: &QueryRequest) -> Vec<usize> {
+        self.retrieve_docs(&request.text)
+    }
+
+    fn doc_texts(&self, doc_ids: &[usize]) -> Vec<String> {
+        QaSystem::doc_texts(self, doc_ids)
+    }
+
+    fn doc_fingerprint(&self, doc_ids: &[usize]) -> u64 {
+        QaSystem::doc_fingerprint(self, doc_ids)
+    }
+
+    fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String> {
+        match request.kind {
+            QueryKind::Question => self.answer_in_kb(&request.text, &fragment.kb),
+            QueryKind::EntitySeed => fragment
+                .kb
+                .search(
+                    Some(&request.text),
+                    None,
+                    None,
+                    self.qkbfly().repo(),
+                    self.qkbfly().patterns(),
+                )
+                .into_iter()
+                .map(|f| fragment.kb.render_fact(f, self.qkbfly().patterns()))
+                .collect(),
+        }
+    }
+}
+
+// Fragments are shared across shards through the cache; the engine is
+// shared by every worker thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KbFragment>();
+    assert_send_sync::<QaSystem>();
+};

@@ -1,0 +1,42 @@
+//! # qkb-serve
+//!
+//! A sharded query-serving front-end for on-the-fly knowledge-base
+//! construction. The paper's premise makes the *serving* path the
+//! production hot loop — KB fragments are built at query time — so this
+//! crate turns the batch machinery of `qkbfly` + `qkb_qa` into a
+//! long-running server:
+//!
+//! * [`QkbServer`] — N worker shards over an admission queue, each shard
+//!   holding a cheaply cloned `Qkbfly` handle;
+//! * **request coalescing** — concurrent identical normalized queries
+//!   share one in-flight build (in-batch grouping plus a global in-flight
+//!   table across shards);
+//! * **fragment cache** — a sharded bounded LRU keyed by the fingerprint
+//!   of the query's retrieved-document set, so overlapping queries reuse
+//!   constructed fragments (hit/miss/evict counters included);
+//! * **admission batching** — a time/count window groups queued distinct
+//!   queries into one `build_kb_grouped` call, exploiting the parallel
+//!   per-document fan-out;
+//! * [`ServeStats`] — p50/p95 latency, throughput, cache hit rate and
+//!   per-stage build time snapshots.
+//!
+//! Everything is built on `std::sync` channels, mutexes and threads —
+//! the offline vendor tree has no async runtime — mirroring the style of
+//! `qkb_util::par_map_ordered`.
+//!
+//! Determinism contract: fragments come from the deterministic grouped
+//! build and answers are a pure function of `(request, fragment)`, so a
+//! cache-hit or coalesced answer is **byte-identical** to a cold build's
+//! at any shard count (`tests/serving.rs` enforces this).
+
+pub mod cache;
+pub mod engine;
+pub mod request;
+pub mod server;
+pub mod stats;
+
+pub use cache::{CacheCounters, FragmentCache};
+pub use engine::{KbFragment, QueryEngine};
+pub use request::{QueryKind, QueryRequest, QueryResponse, Served};
+pub use server::{QkbServer, ServeClient, ServeConfig};
+pub use stats::ServeStats;

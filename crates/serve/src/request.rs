@@ -1,0 +1,95 @@
+//! Request and response types of the serving front-end.
+
+use qkb_util::text::normalize;
+use std::time::Duration;
+
+/// What kind of knowledge the client is asking for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// A natural-language question; the response carries ranked answers.
+    Question,
+    /// An entity seed (a name); the response carries the fragment's facts
+    /// about that entity, rendered in the paper's notation.
+    EntitySeed,
+}
+
+/// One query accepted by [`crate::QkbServer`].
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// Request kind.
+    pub kind: QueryKind,
+    /// Question text or entity name.
+    pub text: String,
+}
+
+impl QueryRequest {
+    /// A natural-language question request.
+    pub fn question(text: impl Into<String>) -> Self {
+        Self {
+            kind: QueryKind::Question,
+            text: text.into(),
+        }
+    }
+
+    /// An entity-seed request.
+    pub fn entity(name: impl Into<String>) -> Self {
+        Self {
+            kind: QueryKind::EntitySeed,
+            text: name.into(),
+        }
+    }
+
+    /// The coalescing identity of this request: kind-tagged normalized
+    /// text, so "Who SHOT Keith Scott?" and "who shot keith scott" share
+    /// one in-flight build while a question and an entity seed with the
+    /// same surface do not.
+    pub fn normalized_key(&self) -> String {
+        let tag = match self.kind {
+            QueryKind::Question => 'q',
+            QueryKind::EntitySeed => 'e',
+        };
+        format!("{tag}:{}", normalize(&self.text))
+    }
+}
+
+/// How the server obtained the KB fragment behind a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// The fragment was built from scratch for this batch.
+    ColdBuild,
+    /// The fragment came out of the fragment cache.
+    CacheHit,
+    /// The request piggybacked on another worker's in-flight build.
+    Coalesced,
+}
+
+/// The server's reply to one [`QueryRequest`].
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Ranked answers (questions) or rendered facts (entity seeds).
+    pub answers: Vec<String>,
+    /// How the backing fragment was obtained.
+    pub served: Served,
+    /// Fingerprint of the retrieved-document set (the fragment-cache key).
+    pub fragment_key: u64,
+    /// Documents behind the fragment.
+    pub n_docs: usize,
+    /// Facts in the fragment.
+    pub n_facts: usize,
+    /// Queue-to-reply wall clock.
+    pub latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_key_folds_case_and_tags_kind() {
+        let a = QueryRequest::question("Who shot Keith Scott?");
+        let b = QueryRequest::question("who shot KEITH SCOTT?");
+        assert_eq!(a.normalized_key(), b.normalized_key());
+        let e = QueryRequest::entity("who shot keith scott");
+        assert_ne!(a.normalized_key(), e.normalized_key());
+    }
+}

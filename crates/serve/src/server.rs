@@ -1,0 +1,679 @@
+//! The sharded serving front-end.
+//!
+//! ```text
+//!  clients ──► admission queue ──► N worker shards (cloned Qkbfly handle each)
+//!                  │                   │
+//!                  │ batch window      ├─ group batch by normalized query
+//!                  │ (time/count)      ├─ fragment cache?  ── hit ──► answer
+//!                  ▼                   ├─ in-flight table? ── wait ─► answer
+//!            [j1 j2 j3 …]             └─ one grouped build_kb for all misses
+//! ```
+//!
+//! Scheduling properties:
+//! * **admission batching** — a worker drains up to `batch_max` queued
+//!   requests within `batch_window` of the first, then builds every missing
+//!   fragment in **one** `build_kb_grouped` call, sharing PR 1's
+//!   per-document fan-out across distinct queries;
+//! * **request coalescing** — identical normalized queries in one batch
+//!   collapse to a single group, and a group whose fragment is already
+//!   being built by another shard waits on that build instead of starting
+//!   a redundant one (a global in-flight table keyed like the cache);
+//! * **fragment reuse** — the sharded LRU [`FragmentCache`] is keyed by
+//!   the fingerprint of the retrieved-document set, so *different*
+//!   questions that retrieve the same documents share one fragment;
+//! * **determinism** — fragments are built by the deterministic grouped
+//!   build and answers are a pure function of `(request, fragment)`, so a
+//!   cache-hit answer is byte-identical to a cold-build answer at any
+//!   shard count.
+
+use crate::cache::FragmentCache;
+use crate::engine::{KbFragment, QueryEngine};
+use crate::request::{QueryRequest, QueryResponse, Served};
+use crate::stats::{ServeMetrics, ServeStats};
+use qkb_util::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving-layer configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker shards (each holds a cloned `Qkbfly` handle);
+    /// `0` = one per available core, capped at 8.
+    pub shards: usize,
+    /// Fragment-cache capacity in fragments; `0` disables the cache.
+    pub cache_capacity: usize,
+    /// Lock shards inside the fragment cache.
+    pub cache_shards: usize,
+    /// Maximum requests drained into one admission batch.
+    pub batch_max: usize,
+    /// How long a worker holds a batch open after its first request.
+    pub batch_window: Duration,
+    /// Share in-flight builds across shards (off reproduces the
+    /// redundant-build baseline for benchmarks).
+    pub coalesce: bool,
+    /// `QkbflyConfig::parallelism` override for each shard's builds;
+    /// shards already run in parallel, so the default of 1 avoids
+    /// oversubscribing cores.
+    pub build_parallelism: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            cache_capacity: 128,
+            cache_shards: 8,
+            batch_max: 8,
+            batch_window: Duration::from_millis(2),
+            coalesce: true,
+            build_parallelism: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_shards(&self) -> usize {
+        if self.shards != 0 {
+            self.shards
+        } else {
+            qkb_util::effective_parallelism(0).min(8)
+        }
+    }
+}
+
+/// One enqueued request with its reply channel.
+struct Job {
+    request: QueryRequest,
+    key: String,
+    enqueued: Instant,
+    reply: mpsc::Sender<QueryResponse>,
+}
+
+/// A Condvar-fronted MPMC queue with batch draining.
+struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl AdmissionQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; fails once the queue is closed.
+    fn push(&self, job: Job) -> Result<(), ()> {
+        let mut state = self.state.lock().expect("admission queue");
+        if state.closed {
+            return Err(());
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next batch: waits for a first job, then keeps
+    /// draining until `max` jobs are in hand or `window` has elapsed.
+    /// Returns an empty vec only when the queue is closed and drained.
+    fn pop_batch(&self, max: usize, window: Duration) -> Vec<Job> {
+        let mut state = self.state.lock().expect("admission queue");
+        loop {
+            if let Some(first) = state.jobs.pop_front() {
+                let mut batch = vec![first];
+                let deadline = Instant::now() + window;
+                while batch.len() < max {
+                    if let Some(job) = state.jobs.pop_front() {
+                        batch.push(job);
+                        continue;
+                    }
+                    if state.closed {
+                        break;
+                    }
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (s, timeout) = self
+                        .cond
+                        .wait_timeout(state, left)
+                        .expect("admission queue");
+                    state = s;
+                    if timeout.timed_out() && state.jobs.is_empty() {
+                        break;
+                    }
+                }
+                return batch;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self.cond.wait(state).expect("admission queue");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("admission queue").closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// State of one in-flight fragment build.
+enum SlotState {
+    /// The leader is still building.
+    Pending,
+    /// Built and published.
+    Done(Arc<KbFragment>),
+    /// The leader died (panicked) before publishing; followers must
+    /// build for themselves.
+    Abandoned,
+}
+
+/// One fragment build in progress somewhere in the server.
+struct InFlightSlot {
+    result: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl InFlightSlot {
+    /// Blocks until the leader publishes; `None` means the leader died
+    /// and the caller should build the fragment itself.
+    fn wait(&self) -> Option<Arc<KbFragment>> {
+        let mut result = self.result.lock().expect("in-flight slot");
+        loop {
+            match &*result {
+                SlotState::Pending => {}
+                SlotState::Done(frag) => return Some(frag.clone()),
+                SlotState::Abandoned => return None,
+            }
+            result = self.ready.wait(result).expect("in-flight slot");
+        }
+    }
+}
+
+/// Outcome of asking the in-flight table who owns a fragment key.
+enum Claim {
+    /// The fragment is already cached — no build needed.
+    Cached(Arc<KbFragment>),
+    /// The caller owns the build.
+    Leader,
+    /// Another shard is building it; wait on the slot.
+    Follower(Arc<InFlightSlot>),
+}
+
+/// Global registry of fragment builds in progress, keyed like the cache.
+///
+/// The cache check inside [`InFlightTable::claim`] and the cache insert
+/// inside [`InFlightTable::publish`] both run under the table lock, so a
+/// key is always either cached, in flight, or claimable — a completed
+/// build can never fall between a shard's cache miss and its claim.
+struct InFlightTable {
+    map: Mutex<FxHashMap<u64, Arc<InFlightSlot>>>,
+}
+
+impl InFlightTable {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    fn claim(&self, key: u64, cache: &FragmentCache) -> Claim {
+        let mut map = self.map.lock().expect("in-flight table");
+        if let Some(slot) = map.get(&key) {
+            return Claim::Follower(slot.clone());
+        }
+        if let Some(frag) = cache.peek_get(key) {
+            return Claim::Cached(frag);
+        }
+        map.insert(
+            key,
+            Arc::new(InFlightSlot {
+                result: Mutex::new(SlotState::Pending),
+                ready: Condvar::new(),
+            }),
+        );
+        Claim::Leader
+    }
+
+    fn publish(&self, key: u64, fragment: Arc<KbFragment>, cache: &FragmentCache) {
+        let mut map = self.map.lock().expect("in-flight table");
+        cache.insert(key, fragment.clone());
+        if let Some(slot) = map.remove(&key) {
+            let mut result = slot.result.lock().expect("in-flight slot");
+            *result = SlotState::Done(fragment);
+            drop(result);
+            slot.ready.notify_all();
+        }
+    }
+
+    /// Releases claims whose leader is unwinding: still-pending slots
+    /// flip to `Abandoned` so followers fall back to building themselves
+    /// instead of waiting forever. Keys already published are no-ops.
+    fn abandon(&self, keys: impl IntoIterator<Item = u64>) {
+        let mut map = self.map.lock().expect("in-flight table");
+        for key in keys {
+            if let Some(slot) = map.remove(&key) {
+                let mut result = slot.result.lock().expect("in-flight slot");
+                *result = SlotState::Abandoned;
+                drop(result);
+                slot.ready.notify_all();
+            }
+        }
+    }
+}
+
+struct Shared<E> {
+    engine: Arc<E>,
+    config: ServeConfig,
+    queue: AdmissionQueue,
+    cache: FragmentCache,
+    inflight: InFlightTable,
+    metrics: ServeMetrics,
+}
+
+impl<E: QueryEngine> Shared<E> {
+    /// `None` when the server has shut down (or a worker died with the
+    /// request in hand).
+    fn try_query(&self, request: QueryRequest) -> Option<QueryResponse> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            key: request.normalized_key(),
+            request,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        self.queue.push(job).ok()?;
+        rx.recv().ok()
+    }
+
+    fn query(&self, request: QueryRequest) -> QueryResponse {
+        self.try_query(request)
+            .expect("query submitted to a shut-down server")
+    }
+}
+
+/// The sharded query-serving front-end over a [`QueryEngine`].
+pub struct QkbServer<E: QueryEngine> {
+    shared: Arc<Shared<E>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cheap cloneable submission handle for client threads.
+pub struct ServeClient<E: QueryEngine> {
+    shared: Arc<Shared<E>>,
+}
+
+impl<E: QueryEngine> Clone for ServeClient<E> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<E: QueryEngine> ServeClient<E> {
+    /// Submits one query and blocks until its response.
+    ///
+    /// Panics if the server has shut down — clients racing a graceful
+    /// drain should use [`ServeClient::try_query`].
+    pub fn query(&self, request: QueryRequest) -> QueryResponse {
+        self.shared.query(request)
+    }
+
+    /// Like [`ServeClient::query`], but returns `None` once the server
+    /// has shut down instead of panicking.
+    pub fn try_query(&self, request: QueryRequest) -> Option<QueryResponse> {
+        self.shared.try_query(request)
+    }
+}
+
+impl<E: QueryEngine> QkbServer<E> {
+    /// Starts the worker shards and returns the running server.
+    pub fn start(engine: E, config: ServeConfig) -> Self {
+        let shards = config.resolved_shards();
+        let shared = Arc::new(Shared {
+            cache: FragmentCache::new(config.cache_capacity, config.cache_shards),
+            engine: Arc::new(engine),
+            queue: AdmissionQueue::new(),
+            inflight: InFlightTable::new(),
+            metrics: ServeMetrics::new(),
+            config,
+        });
+        let workers = (0..shards)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || run_shard(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The engine the server answers from.
+    pub fn engine(&self) -> &E {
+        &self.shared.engine
+    }
+
+    /// A submission handle usable from any thread.
+    pub fn client(&self) -> ServeClient<E> {
+        ServeClient {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Submits one query and blocks until its response.
+    pub fn query(&self, request: QueryRequest) -> QueryResponse {
+        self.shared.query(request)
+    }
+
+    /// A stats snapshot (latency percentiles, throughput, cache counters).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.metrics.snapshot(self.shared.cache.counters())
+    }
+
+    /// Stops accepting queries, drains the queue, joins the shards.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already abandoned its in-flight
+            // claims and dropped its reply senders; swallowing the join
+            // error here avoids a double panic out of Drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<E: QueryEngine> Drop for QkbServer<E> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One batch group: all queued requests sharing a normalized query key.
+struct Group {
+    jobs: Vec<Job>,
+}
+
+/// How a group's fragment was (or will be) obtained. `Waiting` keeps the
+/// retrieved doc ids so the follower can rebuild if the leader dies.
+enum Resolution {
+    Ready(Arc<KbFragment>, Served, u64),
+    Waiting(Arc<InFlightSlot>, u64, Vec<usize>),
+}
+
+fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
+    let config = &shared.config;
+    // The shard's own build handle: cheap clone, shared repositories and
+    // counters, private parallelism knob — no `&mut` on a shared handle.
+    let qkb = shared
+        .engine
+        .qkbfly()
+        .with_parallelism(config.build_parallelism);
+    loop {
+        let jobs = shared
+            .queue
+            .pop_batch(config.batch_max, config.batch_window);
+        if jobs.is_empty() {
+            return; // closed and drained
+        }
+
+        // --- coalesce identical queries within the batch ---
+        let mut groups: Vec<Group> = Vec::new();
+        let mut by_key: FxHashMap<String, usize> = FxHashMap::default();
+        for job in jobs {
+            match by_key.get(&job.key) {
+                Some(&g) => groups[g].jobs.push(job),
+                None => {
+                    by_key.insert(job.key.clone(), groups.len());
+                    groups.push(Group { jobs: vec![job] });
+                }
+            }
+        }
+        let n_jobs: usize = groups.iter().map(|g| g.jobs.len()).sum();
+        shared
+            .metrics
+            .note_batch(n_jobs as u64, groups.len() as u64);
+
+        // --- resolve each group (cache / in-flight / build), then run
+        // one grouped build for every miss. The whole section is
+        // unwind-guarded: if anything in it panics, every still-pending
+        // in-flight claim this shard took is abandoned so follower
+        // shards fall back to building instead of waiting forever. ---
+        let mut claimed: Vec<u64> = Vec::new();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut resolutions: Vec<Option<Resolution>> = Vec::with_capacity(groups.len());
+            let mut build_meta: Vec<(usize, u64)> = Vec::new();
+            let mut doc_groups: Vec<Vec<String>> = Vec::new();
+            for (gi, group) in groups.iter().enumerate() {
+                let doc_ids = shared.engine.retrieve(&group.jobs[0].request);
+                // Key without materializing texts: the cache-hit fast
+                // path stays allocation-light.
+                let fkey = shared.engine.doc_fingerprint(&doc_ids);
+                // Counted fast path; with coalescing on, a miss is
+                // re-checked race-free under the in-flight lock.
+                if let Some(frag) = shared.cache.get(fkey) {
+                    resolutions.push(Some(Resolution::Ready(frag, Served::CacheHit, fkey)));
+                    continue;
+                }
+                if !config.coalesce {
+                    build_meta.push((gi, fkey));
+                    doc_groups.push(shared.engine.doc_texts(&doc_ids));
+                    resolutions.push(None);
+                    continue;
+                }
+                match shared.inflight.claim(fkey, &shared.cache) {
+                    Claim::Cached(frag) => {
+                        // Another shard published between our counted
+                        // miss and the claim.
+                        shared.cache.reclassify_miss_as_hit();
+                        resolutions.push(Some(Resolution::Ready(frag, Served::CacheHit, fkey)));
+                    }
+                    Claim::Leader => {
+                        claimed.push(fkey);
+                        build_meta.push((gi, fkey));
+                        doc_groups.push(shared.engine.doc_texts(&doc_ids));
+                        resolutions.push(None);
+                    }
+                    Claim::Follower(slot) => {
+                        shared.metrics.note_inflight_coalesced();
+                        resolutions.push(Some(Resolution::Waiting(slot, fkey, doc_ids)));
+                    }
+                }
+            }
+
+            // Admission batching: one grouped build for every miss.
+            if !build_meta.is_empty() {
+                let results = qkb.build_kb_grouped(&doc_groups);
+                let mut round_timings = qkbfly::StageTimings::default();
+                let total_docs: usize = doc_groups.iter().map(Vec::len).sum();
+                for (&(gi, fkey), result) in build_meta.iter().zip(results) {
+                    round_timings.preprocess += result.timings.preprocess;
+                    round_timings.graph += result.timings.graph;
+                    round_timings.resolve += result.timings.resolve;
+                    round_timings.canonicalize += result.timings.canonicalize;
+                    let fragment = Arc::new(KbFragment {
+                        kb: result.kb,
+                        timings: result.timings,
+                        n_docs: result.per_doc.len(),
+                    });
+                    if config.coalesce {
+                        shared
+                            .inflight
+                            .publish(fkey, fragment.clone(), &shared.cache);
+                    } else {
+                        shared.cache.insert(fkey, fragment.clone());
+                    }
+                    resolutions[gi] = Some(Resolution::Ready(fragment, Served::ColdBuild, fkey));
+                }
+                shared.metrics.note_build_round(
+                    build_meta.len() as u64,
+                    total_docs as u64,
+                    round_timings,
+                );
+            }
+            resolutions
+        }));
+        let resolutions = match unwound {
+            Ok(resolutions) => resolutions,
+            Err(payload) => {
+                // Published keys are no-ops; pending ones wake followers.
+                shared.inflight.abandon(claimed);
+                std::panic::resume_unwind(payload);
+            }
+        };
+
+        // --- answer and reply, one group at a time ---
+        for (group, resolution) in groups.into_iter().zip(resolutions) {
+            let (fragment, served, fkey) = match resolution.expect("every group resolved") {
+                Resolution::Ready(f, s, k) => (f, s, k),
+                Resolution::Waiting(slot, k, doc_ids) => match slot.wait() {
+                    Some(f) => (f, Served::Coalesced, k),
+                    None => {
+                        // The leader died before publishing. Build solo
+                        // (deterministic, so a duplicate is benign) and
+                        // publish for any other stranded followers.
+                        let texts = shared.engine.doc_texts(&doc_ids);
+                        let result = qkb.build_kb(&texts);
+                        let fragment = Arc::new(KbFragment {
+                            kb: result.kb,
+                            timings: result.timings,
+                            n_docs: result.per_doc.len(),
+                        });
+                        shared
+                            .metrics
+                            .note_build_round(1, texts.len() as u64, result.timings);
+                        shared.inflight.publish(k, fragment.clone(), &shared.cache);
+                        (fragment, Served::ColdBuild, k)
+                    }
+                },
+            };
+            // Identical normalized queries may still differ in raw text;
+            // compute answers once per distinct raw text.
+            let mut memo: FxHashMap<String, Vec<String>> = FxHashMap::default();
+            for job in group.jobs {
+                let answers = memo
+                    .entry(job.request.text.clone())
+                    .or_insert_with(|| shared.engine.answer(&job.request, &fragment))
+                    .clone();
+                let latency = job.enqueued.elapsed();
+                shared.metrics.note_request(latency);
+                // A closed reply channel just means the client gave up.
+                let _ = job.reply.send(QueryResponse {
+                    answers,
+                    served,
+                    fragment_key: fkey,
+                    n_docs: fragment.n_docs,
+                    n_facts: fragment.kb.n_facts(),
+                    latency,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(key: &str) -> Job {
+        let (tx, _rx) = mpsc::channel();
+        Job {
+            request: QueryRequest::question(key),
+            key: key.to_string(),
+            enqueued: Instant::now(),
+            reply: tx,
+        }
+    }
+
+    #[test]
+    fn queue_batches_up_to_max() {
+        let q = AdmissionQueue::new();
+        for i in 0..5 {
+            q.push(job(&format!("k{i}"))).expect("open");
+        }
+        let batch = q.pop_batch(3, Duration::from_millis(5));
+        assert_eq!(batch.len(), 3);
+        let batch = q.pop_batch(3, Duration::from_millis(5));
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn queue_close_drains_then_ends() {
+        let q = AdmissionQueue::new();
+        q.push(job("a")).expect("open");
+        q.close();
+        assert!(q.push(job("b")).is_err());
+        assert_eq!(q.pop_batch(4, Duration::ZERO).len(), 1);
+        assert!(q.pop_batch(4, Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn queue_window_collects_late_arrivals() {
+        let q = Arc::new(AdmissionQueue::new());
+        q.push(job("first")).expect("open");
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.push(job("late")).expect("open");
+        });
+        let batch = q.pop_batch(8, Duration::from_millis(300));
+        pusher.join().expect("pusher");
+        assert_eq!(batch.len(), 2, "late arrival inside the window joins");
+    }
+
+    #[test]
+    fn inflight_claim_leader_then_follower() {
+        let table = InFlightTable::new();
+        let cache = FragmentCache::new(4, 1);
+        assert!(matches!(table.claim(9, &cache), Claim::Leader));
+        let follower = table.claim(9, &cache);
+        assert!(matches!(follower, Claim::Follower(_)));
+        let frag = Arc::new(KbFragment {
+            kb: qkb_kb::OnTheFlyKb::new(),
+            timings: qkbfly::StageTimings::default(),
+            n_docs: 0,
+        });
+        table.publish(9, frag, &cache);
+        // Follower observes the published fragment without blocking.
+        if let Claim::Follower(slot) = follower {
+            assert_eq!(slot.wait().expect("published").n_docs, 0);
+        }
+        // After publication the key is cached, not claimable.
+        assert!(matches!(table.claim(9, &cache), Claim::Cached(_)));
+    }
+
+    #[test]
+    fn abandoned_claims_wake_followers_with_none() {
+        let table = InFlightTable::new();
+        let cache = FragmentCache::new(4, 1);
+        assert!(matches!(table.claim(3, &cache), Claim::Leader));
+        let follower = table.claim(3, &cache);
+        table.abandon([3]);
+        if let Claim::Follower(slot) = follower {
+            assert!(slot.wait().is_none(), "follower must see the abandonment");
+        } else {
+            panic!("expected follower");
+        }
+        // The key is claimable again after abandonment.
+        assert!(matches!(table.claim(3, &cache), Claim::Leader));
+        // Abandoning an unclaimed/published key is a no-op.
+        table.abandon([99]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Serving metrics: lock-free counters while serving, a consistent-enough
+//! [`ServeStats`] snapshot on demand (p50/p95 latency, throughput, cache
+//! hit rate, per-stage build time).
+
+use crate::cache::CacheCounters;
+use qkb_util::json::Value;
+use qkbfly::StageTimings;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Latency samples kept for percentile snapshots; beyond this the
+/// counters stay exact but new samples are dropped (a closed-loop bench
+/// never gets near it).
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+/// Shared interior-mutable metrics sink the worker shards write into.
+pub(crate) struct ServeMetrics {
+    started: Instant,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    build_rounds: AtomicU64,
+    cold_builds: AtomicU64,
+    docs_built: AtomicU64,
+    batch_coalesced: AtomicU64,
+    inflight_coalesced: AtomicU64,
+    build_preprocess_us: AtomicU64,
+    build_graph_us: AtomicU64,
+    build_resolve_us: AtomicU64,
+    build_canonicalize_us: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl ServeMetrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            build_rounds: AtomicU64::new(0),
+            cold_builds: AtomicU64::new(0),
+            docs_built: AtomicU64::new(0),
+            batch_coalesced: AtomicU64::new(0),
+            inflight_coalesced: AtomicU64::new(0),
+            build_preprocess_us: AtomicU64::new(0),
+            build_graph_us: AtomicU64::new(0),
+            build_resolve_us: AtomicU64::new(0),
+            build_canonicalize_us: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn note_batch(&self, jobs: u64, groups: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        // Requests beyond the first of each identical-query group were
+        // coalesced at admission.
+        self.batch_coalesced
+            .fetch_add(jobs - groups, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_build_round(&self, groups: u64, docs: u64, timings: StageTimings) {
+        self.build_rounds.fetch_add(1, Ordering::Relaxed);
+        self.cold_builds.fetch_add(groups, Ordering::Relaxed);
+        self.docs_built.fetch_add(docs, Ordering::Relaxed);
+        self.build_preprocess_us
+            .fetch_add(timings.preprocess.as_micros() as u64, Ordering::Relaxed);
+        self.build_graph_us
+            .fetch_add(timings.graph.as_micros() as u64, Ordering::Relaxed);
+        self.build_resolve_us
+            .fetch_add(timings.resolve.as_micros() as u64, Ordering::Relaxed);
+        self.build_canonicalize_us
+            .fetch_add(timings.canonicalize.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_inflight_coalesced(&self) {
+        self.inflight_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_request(&self, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut samples = self.latencies_us.lock().expect("latency sink");
+        if samples.len() < MAX_LATENCY_SAMPLES {
+            samples.push(latency.as_micros() as u64);
+        }
+    }
+
+    pub(crate) fn snapshot(&self, cache: CacheCounters) -> ServeStats {
+        let samples = {
+            let mut s = self.latencies_us.lock().expect("latency sink").clone();
+            s.sort_unstable();
+            s
+        };
+        let pct = |q: f64| -> f64 {
+            if samples.is_empty() {
+                return 0.0;
+            }
+            let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+            samples[idx] as f64 / 1000.0
+        };
+        let mean_ms = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1000.0
+        };
+        let elapsed = self.started.elapsed();
+        let requests = self.requests.load(Ordering::Relaxed);
+        ServeStats {
+            requests,
+            elapsed,
+            throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency_p50_ms: pct(0.50),
+            latency_p95_ms: pct(0.95),
+            latency_mean_ms: mean_ms,
+            cache,
+            batches: self.batches.load(Ordering::Relaxed),
+            build_rounds: self.build_rounds.load(Ordering::Relaxed),
+            cold_builds: self.cold_builds.load(Ordering::Relaxed),
+            docs_built: self.docs_built.load(Ordering::Relaxed),
+            batch_coalesced: self.batch_coalesced.load(Ordering::Relaxed),
+            inflight_coalesced: self.inflight_coalesced.load(Ordering::Relaxed),
+            build_timings: StageTimings {
+                preprocess: Duration::from_micros(self.build_preprocess_us.load(Ordering::Relaxed)),
+                graph: Duration::from_micros(self.build_graph_us.load(Ordering::Relaxed)),
+                resolve: Duration::from_micros(self.build_resolve_us.load(Ordering::Relaxed)),
+                canonicalize: Duration::from_micros(
+                    self.build_canonicalize_us.load(Ordering::Relaxed),
+                ),
+            },
+        }
+    }
+}
+
+/// A point-in-time view of the server's health.
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Time since the server started.
+    pub elapsed: Duration,
+    /// Requests per second over the server's lifetime.
+    pub throughput_rps: f64,
+    /// Median queue-to-reply latency (ms).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile queue-to-reply latency (ms).
+    pub latency_p95_ms: f64,
+    /// Mean queue-to-reply latency (ms).
+    pub latency_mean_ms: f64,
+    /// Fragment-cache counters.
+    pub cache: CacheCounters,
+    /// Admission batches processed.
+    pub batches: u64,
+    /// Grouped `build_kb` rounds executed.
+    pub build_rounds: u64,
+    /// Fragments built cold (one per distinct missing query).
+    pub cold_builds: u64,
+    /// Documents fed through the extraction pipeline.
+    pub docs_built: u64,
+    /// Requests that shared a fragment with an identical query in the
+    /// same admission batch.
+    pub batch_coalesced: u64,
+    /// Query groups that piggybacked on another shard's in-flight build.
+    pub inflight_coalesced: u64,
+    /// Summed per-stage build wall clock across all cold builds.
+    pub build_timings: StageTimings,
+}
+
+impl ServeStats {
+    /// Fragment-cache hit rate over all lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// JSON rendering for benchmark reports and dashboards.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("requests", self.requests)
+            .with("elapsed_s", self.elapsed.as_secs_f64())
+            .with("throughput_rps", self.throughput_rps)
+            .with("latency_p50_ms", self.latency_p50_ms)
+            .with("latency_p95_ms", self.latency_p95_ms)
+            .with("latency_mean_ms", self.latency_mean_ms)
+            .with("cache_hits", self.cache.hits)
+            .with("cache_misses", self.cache.misses)
+            .with("cache_evictions", self.cache.evictions)
+            .with("cache_entries", self.cache.entries)
+            .with("cache_hit_rate", self.cache_hit_rate())
+            .with("batches", self.batches)
+            .with("build_rounds", self.build_rounds)
+            .with("cold_builds", self.cold_builds)
+            .with("docs_built", self.docs_built)
+            .with("batch_coalesced", self.batch_coalesced)
+            .with("inflight_coalesced", self.inflight_coalesced)
+            .with("build_timings", self.build_timings.to_json())
+    }
+}

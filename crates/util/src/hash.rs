@@ -77,6 +77,42 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<Fx
 /// `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
 
+/// A stable 64-bit content fingerprint of a byte string.
+///
+/// Deterministic across runs, platforms and processes (unlike the default
+/// `RandomState` hashes), so it can serve as a cache key or a cross-run
+/// identity check. Not collision-resistant against adversaries — inputs
+/// here are trusted corpus content.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.write_u64(bytes.len() as u64);
+    h.finish()
+}
+
+/// A stable order-sensitive fingerprint of a sequence of strings.
+///
+/// Each part is length-delimited before mixing, so `["ab", "c"]` and
+/// `["a", "bc"]` fingerprint differently; the empty sequence has a
+/// well-defined value. Used by the serving layer to key KB-fragment
+/// caches on a query's retrieved-document set.
+pub fn fingerprint_seq<I, S>(parts: I) -> u64
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut h = FxHasher::default();
+    let mut n = 0u64;
+    for part in parts {
+        let s = part.as_ref().as_bytes();
+        h.write_u64(s.len() as u64);
+        h.write(s);
+        n += 1;
+    }
+    h.write_u64(n);
+    h.finish()
+}
+
 /// Convenience constructor mirroring `HashMap::with_capacity`.
 pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
     FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
@@ -126,5 +162,21 @@ mod tests {
     fn deterministic_across_instances() {
         assert_eq!(hash_of("knowledge base"), hash_of("knowledge base"));
         assert_eq!(hash_of(42u64), hash_of(42u64));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        assert_eq!(fingerprint64(b"doc one"), fingerprint64(b"doc one"));
+        assert_ne!(fingerprint64(b"doc one"), fingerprint64(b"doc two"));
+        assert_eq!(
+            fingerprint_seq(["a", "b"]),
+            fingerprint_seq(["a".to_string(), "b".to_string()])
+        );
+        // Order- and boundary-sensitive.
+        assert_ne!(fingerprint_seq(["a", "b"]), fingerprint_seq(["b", "a"]));
+        assert_ne!(fingerprint_seq(["ab", "c"]), fingerprint_seq(["a", "bc"]));
+        assert_ne!(fingerprint_seq(["x"]), fingerprint_seq(["x", ""]));
+        let empty: [&str; 0] = [];
+        let _ = fingerprint_seq(empty);
     }
 }

@@ -14,14 +14,16 @@ pub mod hash;
 pub mod ids;
 pub mod intern;
 pub mod json;
+pub mod lru;
 pub mod par;
 pub mod sparse;
 pub mod stats;
 pub mod text;
 pub mod topk;
 
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{fingerprint64, fingerprint_seq, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
+pub use lru::LruCache;
 pub use par::{effective_parallelism, par_map_ordered};
 pub use sparse::SparseVec;
 pub use stats::{cohens_kappa, macro_prf, pr_curve, precision_at, wald_interval, PrPoint, Prf};

@@ -1,0 +1,298 @@
+//! A generic bounded LRU cache.
+//!
+//! Backing store is a slab of entries threaded onto an intrusive doubly
+//! linked list (most-recent at the head), with an [`FxHashMap`] index from
+//! key to slab slot. All operations are O(1); freed slots are recycled, so
+//! no allocation happens once the slab reaches capacity.
+//!
+//! This is the building block of the serving layer's KB-fragment cache
+//! (`qkb-serve`), but it is fully generic and reusable anywhere a bounded
+//! recency-evicting map is needed.
+
+use crate::hash::FxHashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded least-recently-used cache.
+///
+/// `insert` and `get` both count as a "use" and move the entry to the
+/// front of the recency order; when an insert would exceed the capacity,
+/// the least-recently-used entry is evicted and returned to the caller.
+/// A capacity of `0` disables the cache entirely: every insert is
+/// immediately "evicted" back to the caller and lookups always miss.
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, usize>,
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if `key` is cached. Does **not** touch the recency order.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks up `key` and, on a hit, marks the entry most-recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &slot = self.map.get(key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        Some(&self.entry(slot).value)
+    }
+
+    /// Looks up `key` without touching the recency order.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&slot| &self.entry(slot).value)
+    }
+
+    /// Inserts (or replaces) `key → value`, making it most-recently used.
+    ///
+    /// Returns the entry that had to leave: the previous value under the
+    /// same key, the evicted LRU pair when the cache was full, or the
+    /// input itself when the capacity is zero.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.entry_mut(slot).value, value);
+            self.detach(slot);
+            self.attach_front(slot);
+            return Some((key, old));
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s] = Some(entry);
+                s
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+        evicted
+    }
+
+    /// Removes and returns the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        self.detach(slot);
+        self.free.push(slot);
+        let entry = self.slab[slot].take().expect("live tail slot");
+        self.map.remove(&entry.key);
+        Some((entry.key, entry.value))
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.map.remove(key)?;
+        self.detach(slot);
+        self.free.push(slot);
+        let entry = self.slab[slot].take().expect("live slot for mapped key");
+        Some(entry.value)
+    }
+
+    /// Drops every entry; capacity is kept.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most- to least-recently used (for inspection and tests).
+    pub fn keys_mru(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut at = self.head;
+        while at != NIL {
+            let e = self.entry(at);
+            out.push(e.key.clone());
+            at = e.next;
+        }
+        out
+    }
+
+    fn entry(&self, slot: usize) -> &Entry<K, V> {
+        self.slab[slot].as_ref().expect("live slot")
+    }
+
+    fn entry_mut(&mut self, slot: usize) -> &mut Entry<K, V> {
+        self.slab[slot].as_mut().expect("live slot")
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = {
+            let e = self.entry(slot);
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.entry_mut(prev).next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entry_mut(next).prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        let e = self.entry_mut(slot);
+        e.prev = NIL;
+        e.next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(slot);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.insert(1, "one").is_none());
+        assert!(c.insert(2, "two").is_none());
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&2), Some(&"two"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get(&1), Some(&10));
+        let evicted = c.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.keys_mru(), vec![3, 1]);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_promotes() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), Some((1, 10)));
+        assert_eq!(c.keys_mru(), vec![1, 2]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(c.insert(1, 10), Some((1, 10)));
+        assert!(c.get(&1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn pop_and_remove() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.pop_lru(), Some((1, 10)));
+        assert_eq!(c.remove(&3), Some(30));
+        assert_eq!(c.remove(&3), None);
+        assert_eq!(c.keys_mru(), vec![2]);
+        // Freed slots are recycled.
+        c.insert(4, 40);
+        c.insert(5, 50);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.keys_mru(), vec![5, 4, 2]);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.peek(&1), Some(&10));
+        // 1 is still LRU despite the peek.
+        assert_eq!(c.insert(3, 30), Some((1, 10)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&1).is_none());
+        c.insert(2, 20);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use qkb_util::sparse::SparseVec;
-use qkb_util::{Interner, Symbol, TopK};
+use qkb_util::{Interner, LruCache, Symbol, TopK};
 
 fn sparse_vec() -> impl Strategy<Value = SparseVec> {
     proptest::collection::vec((0u32..64, 0.01f64..10.0), 0..20).prop_map(|pairs| {
@@ -88,5 +88,76 @@ proptest! {
             prop_assert!(w[1].recall >= w[0].recall);
             prop_assert!(w[1].k == w[0].k + 1);
         }
+    }
+
+    /// LRU matches a naive reference model: same hits, same values, same
+    /// eviction order, capacity never exceeded.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec((0u8..2, 0u32..12, 0u32..1000), 0..200),
+    ) {
+        let mut lru: LruCache<u32, u32> = LruCache::new(capacity);
+        // Reference: Vec of (key, value), front = most-recently used.
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    // insert
+                    let got = lru.insert(key, value);
+                    let expected = if let Some(pos) =
+                        model.iter().position(|(k, _)| *k == key)
+                    {
+                        let old = model.remove(pos);
+                        model.insert(0, (key, value));
+                        Some(old)
+                    } else if model.len() >= capacity {
+                        let evicted = model.pop();
+                        model.insert(0, (key, value));
+                        evicted
+                    } else {
+                        model.insert(0, (key, value));
+                        None
+                    };
+                    prop_assert_eq!(got, expected);
+                }
+                _ => {
+                    // get
+                    let got = lru.get(&key).copied();
+                    let expected = model.iter().position(|(k, _)| *k == key).map(|pos| {
+                        let e = model.remove(pos);
+                        model.insert(0, e);
+                        model[0].1
+                    });
+                    prop_assert_eq!(got, expected);
+                }
+            }
+            prop_assert!(lru.len() <= capacity);
+            prop_assert_eq!(lru.len(), model.len());
+            let mru: Vec<u32> = model.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(lru.keys_mru(), mru);
+        }
+    }
+
+    /// Draining an LRU via pop_lru yields entries oldest-first and empties
+    /// the cache.
+    #[test]
+    fn lru_drain_order(keys in proptest::collection::vec(0u32..64, 0..40), capacity in 1usize..10) {
+        let mut lru: LruCache<u32, u32> = LruCache::new(capacity);
+        let mut model: Vec<u32> = Vec::new();
+        for k in keys {
+            lru.insert(k, k * 3);
+            model.retain(|&m| m != k);
+            model.insert(0, k);
+            model.truncate(capacity);
+        }
+        let mut drained = Vec::new();
+        while let Some((k, v)) = lru.pop_lru() {
+            prop_assert_eq!(v, k * 3);
+            drained.push(k);
+        }
+        model.reverse();
+        prop_assert_eq!(drained, model);
+        prop_assert!(lru.is_empty());
     }
 }

@@ -9,7 +9,7 @@ use qkb_corpus::world::{World, WorldConfig};
 use qkb_qa::{QaMethod, QaSystem};
 
 fn main() {
-    let world = World::generate(WorldConfig::default());
+    let world = std::sync::Arc::new(World::generate(WorldConfig::default()));
     let bg = qkb_corpus::background::background_corpus(&world, 30, 5);
     let stats = qkb_corpus::background::build_stats(&world, &bg);
     let mut repo = qkb_kb::EntityRepository::new();
@@ -23,7 +23,7 @@ fn main() {
 
     let mut docs = qkb_corpus::docgen::wiki_corpus(&world, 25, 31).docs;
     docs.extend(qkb_corpus::docgen::news_corpus(&world, 12, 32).docs);
-    let mut system = QaSystem::new(&world, docs, qkb);
+    let mut system = QaSystem::new(world.clone(), docs, qkb);
 
     let train = webquestions_train(&world, 15, 33);
     println!(
