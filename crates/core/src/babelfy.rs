@@ -1,6 +1,6 @@
 //! Babelfy-lite: the NED component of the DEFIE baseline (§7.1, Table 4).
 //!
-//! Babelfy [36] is itself a graph-based densest-subgraph disambiguator,
+//! Babelfy \[36\] is itself a graph-based densest-subgraph disambiguator,
 //! but it differs from QKBfly's algorithm in the respects the paper calls
 //! out: it uses no clause-level *type signatures* (the source of the
 //! Liverpool-city-vs-club errors), and it does not consider pronouns.

@@ -1,4 +1,4 @@
-//! DEFIE baseline [8] (§7.1, Tables 3–4).
+//! DEFIE baseline \[8\] (§7.1, Tables 3–4).
 //!
 //! DEFIE is a two-stage pipeline: Open IE over syntactic-semantic parses,
 //! followed by NED with Babelfy. It was "optimized for short sentences

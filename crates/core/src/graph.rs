@@ -201,6 +201,36 @@ impl SemanticGraph {
         self.edges.len()
     }
 
+    /// Approximate heap footprint in bytes, for cost-aware caches that
+    /// hold graphs. Counts the node/edge slabs, adjacency lists, context
+    /// vectors and the strings inside node/edge payloads; close enough
+    /// for weighted eviction, not an exact allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.edges.capacity() * std::mem::size_of::<Edge>()
+            + self.entity_nodes.len() * std::mem::size_of::<(EntityId, NodeId)>() * 2;
+        for node in &self.nodes {
+            bytes += node.edges.capacity() * std::mem::size_of::<EdgeId>();
+            if let Some(ctx) = &node.context {
+                bytes += ctx.nnz() * std::mem::size_of::<(qkb_util::Symbol, f64)>();
+            }
+            bytes += match &node.kind {
+                NodeKind::Clause { verb, .. } => verb.capacity(),
+                NodeKind::NounPhrase {
+                    text, time_value, ..
+                } => text.capacity() + time_value.as_ref().map_or(0, String::capacity),
+                NodeKind::Pronoun { text, .. } => text.capacity(),
+                NodeKind::Entity { .. } => 0,
+            };
+        }
+        for edge in &self.edges {
+            if let EdgeKind::Relation { pattern } = &edge.kind {
+                bytes += pattern.capacity();
+            }
+        }
+        bytes
+    }
+
     /// All node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
         (0..self.nodes.len()).map(NodeId::new)

@@ -11,8 +11,7 @@
 //! (§7.1 reports <1 s/document with about half the time in
 //! pre-processing).
 
-use crate::build::BuiltGraph;
-use crate::build::{build_graph, BuildConfig};
+use crate::build::{build_graph, BuildConfig, BuiltGraph, GraphArg, GraphClause};
 use crate::canonicalize::{canonicalize_into, CanonConfig, DocCanonOutput};
 use crate::densify::DensifyOutcome;
 use crate::densify::{
@@ -193,6 +192,12 @@ impl BuildResult<'_> {
 /// graph, joint NED+CR) — everything that can run concurrently across
 /// the documents of a batch. Feed it to [`Qkbfly::merge_doc`] in document
 /// order to obtain the canonicalized KB.
+///
+/// The artifact is fully owned (no borrowed lifetimes) and depends only
+/// on the document text and the system configuration — not on the
+/// document's position in a batch — so it can sit behind an
+/// `Arc<DocStage1>` in a per-document cache and be re-merged into any
+/// number of fragments ([`Qkbfly::assemble_from`]).
 pub struct DocStage1 {
     /// The densified per-document semantic graph.
     pub built: BuiltGraph,
@@ -201,6 +206,109 @@ pub struct DocStage1 {
     /// Diagnostics accumulated so far (preprocess/graph/resolve timings;
     /// the canonicalize slot is filled by the merge phase).
     pub diag: DocResult,
+}
+
+impl DocStage1 {
+    /// Approximate heap footprint in bytes — the eviction weight for
+    /// byte-bounded stage-1 caches. Dominated by the semantic graph;
+    /// clause projections, mention lists and resolutions are estimated
+    /// from their counts.
+    pub fn approx_bytes(&self) -> usize {
+        let clause_bytes: usize = self
+            .built
+            .clauses
+            .iter()
+            .map(|c| {
+                std::mem::size_of::<GraphClause>()
+                    + c.verb_lemma.capacity()
+                    + c.args.capacity() * std::mem::size_of::<GraphArg>()
+                    + c.args.iter().map(|a| a.pattern.capacity()).sum::<usize>()
+            })
+            .sum();
+        let extra_bytes: usize = self
+            .built
+            .extra_relations
+            .iter()
+            .map(|(_, _, pattern, _)| {
+                pattern.capacity() + std::mem::size_of::<(NodeId, NodeId, String, usize)>()
+            })
+            .sum();
+        std::mem::size_of::<Self>()
+            + self.built.graph.approx_bytes()
+            + clause_bytes
+            + extra_bytes
+            + self.built.mentions.capacity() * std::mem::size_of::<NodeId>()
+            + self.outcome.resolutions.len()
+                * (std::mem::size_of::<NodeId>() + std::mem::size_of::<MentionResolution>())
+                * 2
+    }
+}
+
+/// A compute-or-lookup source of per-document stage-1 artifacts.
+///
+/// [`Qkbfly::build_kb_with`] and [`Qkbfly::build_kb_grouped_with`] ask a
+/// provider for each document's artifact instead of unconditionally
+/// running [`Qkbfly::process_doc_stage1`]; a caching provider (the
+/// serving layer's per-document LRU) returns memoized artifacts for
+/// documents it has seen. Because stage 1 is a pure function of the
+/// document text under a fixed configuration, any provider that returns
+/// `qkb.process_doc_stage1(text)` — fresh or memoized — preserves the
+/// byte-identity of the assembled KB with a cold build.
+///
+/// Providers are called concurrently from the per-document fan-out and
+/// must be `Sync`.
+pub trait Stage1Provider: Sync {
+    /// The stage-1 artifact for one document text (computed or cached).
+    fn provide(&self, qkb: &Qkbfly, text: &str) -> Arc<DocStage1>;
+}
+
+/// The trivial provider: always computes. `build_kb(docs)` is exactly
+/// `build_kb_with(&ComputeStage1, docs)`.
+pub struct ComputeStage1;
+
+impl Stage1Provider for ComputeStage1 {
+    fn provide(&self, qkb: &Qkbfly, text: &str) -> Arc<DocStage1> {
+        Arc::new(qkb.process_doc_stage1(text))
+    }
+}
+
+/// Streaming compute-or-lookup for the serial build paths: documents
+/// that occur more than once in the batch are memoized so duplicates
+/// share one artifact (and one provide call), while unique documents —
+/// the overwhelmingly common case — pass straight through without being
+/// retained, preserving the serial paths' one-artifact-resident memory
+/// profile.
+struct SeqProvider<'a, P: ?Sized> {
+    qkb: &'a Qkbfly,
+    provider: &'a P,
+    /// Occurrence count per text; only texts counted > 1 are memoized.
+    occurrences: FxHashMap<&'a str, u32>,
+    memo: FxHashMap<&'a str, Arc<DocStage1>>,
+}
+
+impl<'a, P: Stage1Provider + ?Sized> SeqProvider<'a, P> {
+    fn new(qkb: &'a Qkbfly, provider: &'a P, texts: impl Iterator<Item = &'a String>) -> Self {
+        let mut occurrences: FxHashMap<&'a str, u32> = FxHashMap::default();
+        for text in texts {
+            *occurrences.entry(text.as_str()).or_insert(0) += 1;
+        }
+        Self {
+            qkb,
+            provider,
+            occurrences,
+            memo: FxHashMap::default(),
+        }
+    }
+
+    fn provide(&mut self, text: &'a str) -> Arc<DocStage1> {
+        if self.occurrences.get(text).copied().unwrap_or(0) <= 1 {
+            return self.provider.provide(self.qkb, text);
+        }
+        self.memo
+            .entry(text)
+            .or_insert_with(|| self.provider.provide(self.qkb, text))
+            .clone()
+    }
 }
 
 /// Cumulative build counters, shared by every clone of a system handle.
@@ -212,6 +320,7 @@ pub struct DocStage1 {
 pub struct BuildCounters {
     builds: AtomicU64,
     docs: AtomicU64,
+    stage1_computed: AtomicU64,
 }
 
 impl BuildCounters {
@@ -220,14 +329,27 @@ impl BuildCounters {
         self.builds.load(Ordering::Relaxed)
     }
 
-    /// Documents fed through the per-document phase so far.
+    /// Documents fed through builds so far (assembled or computed).
     pub fn docs(&self) -> u64 {
         self.docs.load(Ordering::Relaxed)
+    }
+
+    /// Stage-1 computations actually executed ([`Qkbfly::process_doc_stage1`]
+    /// runs). With a caching [`Stage1Provider`], this lags [`BuildCounters::docs`]
+    /// by exactly the documents served from cache — the test hook proving
+    /// incremental reuse (two overlapping queries must add `|union|`, not
+    /// `|A| + |B|`).
+    pub fn stage1_computed(&self) -> u64 {
+        self.stage1_computed.load(Ordering::Relaxed)
     }
 
     fn record(&self, builds: u64, docs: u64) {
         self.builds.fetch_add(builds, Ordering::Relaxed);
         self.docs.fetch_add(docs, Ordering::Relaxed);
+    }
+
+    fn record_stage1(&self) {
+        self.stage1_computed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -341,16 +463,33 @@ impl Qkbfly {
     /// the shared KB **in document order**, so the result is byte-identical
     /// to the serial path for any worker count.
     pub fn build_kb(&self, docs: &[String]) -> BuildResult<'_> {
+        self.build_kb_with(&ComputeStage1, docs)
+    }
+
+    /// [`Qkbfly::build_kb`] with stage-1 artifacts drawn from `provider`
+    /// (compute-or-lookup) instead of always computed. Duplicate documents
+    /// within the batch are provided once and share one artifact.
+    ///
+    /// **Invariant:** for any provider that honors the [`Stage1Provider`]
+    /// contract, the result is byte-identical to a cold `build_kb` over
+    /// the same documents in the same order — the merge phase alone
+    /// assigns document indices and canonical KB identifiers.
+    pub fn build_kb_with(
+        &self,
+        provider: &(impl Stage1Provider + ?Sized),
+        docs: &[String],
+    ) -> BuildResult<'_> {
         self.counters.record(1, docs.len() as u64);
         let workers = qkb_util::effective_parallelism(self.config.parallelism);
         if workers <= 1 || docs.len() <= 1 {
-            // Serial path: process-and-merge one document at a time, so
-            // only a single document's stage-1 state is ever resident.
-            self.assemble(docs.iter().map(|text| self.process_doc_stage1(text)))
+            // Serial path: provide-and-merge one document at a time —
+            // only duplicated documents' artifacts are retained for
+            // sharing, so an all-distinct batch keeps a single
+            // document's stage-1 state resident.
+            let mut seq = SeqProvider::new(self, provider, docs.iter());
+            self.assemble(docs.iter().map(move |text| seq.provide(text)))
         } else {
-            let stage1 =
-                qkb_util::par_map_ordered(docs, workers, |_, text| self.process_doc_stage1(text));
-            self.assemble(stage1.into_iter())
+            self.assemble(self.provide_all(provider, docs.iter(), workers).into_iter())
         }
     }
 
@@ -364,37 +503,95 @@ impl Qkbfly {
     /// every returned `BuildResult` is **byte-identical** to what
     /// `build_kb` would produce for that group alone.
     pub fn build_kb_grouped(&self, groups: &[Vec<String>]) -> Vec<BuildResult<'_>> {
+        self.build_kb_grouped_with(&ComputeStage1, groups)
+    }
+
+    /// [`Qkbfly::build_kb_grouped`] with stage-1 artifacts drawn from
+    /// `provider`. The union of all groups' documents is de-duplicated
+    /// first, so a document retrieved by several queued queries runs (or
+    /// is looked up) exactly once per batch, and every group is assembled
+    /// from the shared artifacts. Byte-identity with per-group cold
+    /// builds holds as for [`Qkbfly::build_kb_with`].
+    pub fn build_kb_grouped_with(
+        &self,
+        provider: &(impl Stage1Provider + ?Sized),
+        groups: &[Vec<String>],
+    ) -> Vec<BuildResult<'_>> {
         let total_docs: usize = groups.iter().map(Vec::len).sum();
         self.counters.record(groups.len() as u64, total_docs as u64);
         let workers = qkb_util::effective_parallelism(self.config.parallelism);
         if workers <= 1 || total_docs <= 1 {
+            // Serial path: stream provide-and-merge group by group,
+            // sharing artifacts across the batch's duplicate documents
+            // without materializing the whole union.
+            let mut seq = SeqProvider::new(self, provider, groups.iter().flatten());
             return groups
                 .iter()
-                .map(|docs| self.assemble(docs.iter().map(|text| self.process_doc_stage1(text))))
+                .map(|docs| self.assemble(docs.iter().map(|text| seq.provide(text))))
                 .collect();
         }
-        // Flatten all groups' documents into one work list, fan out once,
-        // then split the ordered stage-1 outputs back per group.
-        let flat: Vec<&String> = groups.iter().flatten().collect();
-        let mut stage1 =
-            qkb_util::par_map_ordered(&flat, workers, |_, text| self.process_doc_stage1(text))
-                .into_iter();
+        let mut stage1 = self
+            .provide_all(provider, groups.iter().flatten(), workers)
+            .into_iter();
         groups
             .iter()
             .map(|docs| self.assemble(stage1.by_ref().take(docs.len())))
             .collect()
     }
 
+    /// Assembles one on-the-fly KB from already-provided stage-1
+    /// artifacts, merged **in slice order** — the incremental-construction
+    /// entry point. The artifacts are shared, not consumed: the same
+    /// `Arc<DocStage1>` can appear in any number of assemblies (and any
+    /// position), and the output is byte-identical to a cold
+    /// [`Qkbfly::build_kb`] over the same documents in the same order.
+    pub fn assemble_from(&self, stage1: &[Arc<DocStage1>]) -> BuildResult<'_> {
+        self.counters.record(1, stage1.len() as u64);
+        self.assemble(stage1.iter().cloned())
+    }
+
+    /// Provides stage-1 artifacts for `texts` in order, de-duplicated by
+    /// text: each distinct document is provided exactly once (fanned out
+    /// over `workers` threads when it pays) and duplicates share the Arc.
+    fn provide_all<'t>(
+        &self,
+        provider: &(impl Stage1Provider + ?Sized),
+        texts: impl Iterator<Item = &'t String>,
+        workers: usize,
+    ) -> Vec<Arc<DocStage1>> {
+        let texts: Vec<&String> = texts.collect();
+        let mut unique: Vec<&String> = Vec::new();
+        let mut slot_of: FxHashMap<&str, usize> = FxHashMap::default();
+        let slots: Vec<usize> = texts
+            .iter()
+            .map(|text| {
+                *slot_of.entry(text.as_str()).or_insert_with(|| {
+                    unique.push(text);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let provided: Vec<Arc<DocStage1>> = if workers <= 1 || unique.len() <= 1 {
+            unique
+                .iter()
+                .map(|text| provider.provide(self, text))
+                .collect()
+        } else {
+            qkb_util::par_map_ordered(&unique, workers, |_, text| provider.provide(self, text))
+        };
+        slots.into_iter().map(|s| provided[s].clone()).collect()
+    }
+
     /// Folds per-document stage-1 outputs, **in document order**, into one
     /// canonicalized KB with its assessment records and diagnostics.
-    fn assemble(&self, stage1_seq: impl Iterator<Item = DocStage1>) -> BuildResult<'_> {
+    fn assemble(&self, stage1_seq: impl Iterator<Item = Arc<DocStage1>>) -> BuildResult<'_> {
         let mut kb = OnTheFlyKb::new();
         let mut records = Vec::new();
         let mut links = Vec::new();
         let mut timings = StageTimings::default();
         let mut per_doc = Vec::new();
         for (d, stage1) in stage1_seq.enumerate() {
-            let (out, diag) = self.merge_doc(&mut kb, stage1, d as u32);
+            let (out, diag) = self.merge_doc_ref(&mut kb, &stage1, d as u32);
             timings.add(&diag.timings);
             for (extraction, kept, slot_entities) in out.extractions {
                 records.push(ExtractionRecord {
@@ -430,6 +627,7 @@ impl Qkbfly {
     /// the shared repositories — safe to run concurrently for the
     /// documents of a batch.
     pub fn process_doc_stage1(&self, text: &str) -> DocStage1 {
+        self.counters.record_stage1();
         let mut diag = DocResult::default();
 
         // --- pre-processing (the CoreNLP + MaltParser + ClausIE stack) ---
@@ -504,16 +702,24 @@ impl Qkbfly {
         stage1: DocStage1,
         doc_idx: u32,
     ) -> (DocCanonOutput, DocResult) {
-        let DocStage1 {
-            built,
-            outcome,
-            mut diag,
-        } = stage1;
+        self.merge_doc_ref(kb, &stage1, doc_idx)
+    }
+
+    /// [`Qkbfly::merge_doc`] over a borrowed artifact: the stage-1 output
+    /// is read, not consumed, so one cached `Arc<DocStage1>` can be merged
+    /// into any number of KBs.
+    pub fn merge_doc_ref(
+        &self,
+        kb: &mut OnTheFlyKb,
+        stage1: &DocStage1,
+        doc_idx: u32,
+    ) -> (DocCanonOutput, DocResult) {
+        let mut diag = stage1.diag.clone();
         let t3 = Instant::now();
         let out = canonicalize_into(
             kb,
-            &built,
-            &outcome,
+            &stage1.built,
+            &stage1.outcome,
             &self.repo,
             &self.patterns,
             CanonConfig {
@@ -746,6 +952,77 @@ mod tests {
                 assert_eq!(result.per_doc.len(), docs.len());
             }
         }
+    }
+
+    #[test]
+    fn assemble_from_matches_cold_build_in_any_order() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let docs = vec![
+            FIG2.to_string(),
+            "Brad Pitt supported the ONE Campaign.".to_string(),
+            "Pitt donated $100,000 to the Daniel Pearl Foundation.".to_string(),
+        ];
+        let stage1: Vec<Arc<DocStage1>> = docs
+            .iter()
+            .map(|t| Arc::new(sys.process_doc_stage1(t)))
+            .collect();
+        let kb_json = |r: &BuildResult<'_>| r.kb.to_json(sys.patterns()).to_string();
+        // Same order: assembled == cold, byte for byte.
+        let assembled = sys.assemble_from(&stage1);
+        let cold = sys.build_kb(&docs);
+        assert_eq!(kb_json(&assembled), kb_json(&cold));
+        assert_eq!(assembled.records.len(), cold.records.len());
+        // Reversed order: the same Arcs re-merge into the reversed build.
+        let rev: Vec<Arc<DocStage1>> = stage1.iter().rev().cloned().collect();
+        let rev_docs: Vec<String> = docs.iter().rev().cloned().collect();
+        assert_eq!(
+            kb_json(&sys.assemble_from(&rev)),
+            kb_json(&sys.build_kb(&rev_docs))
+        );
+        // A subset sharing artifacts with the full set still matches.
+        let pair = [stage1[0].clone(), stage1[2].clone()];
+        let pair_docs = vec![docs[0].clone(), docs[2].clone()];
+        assert_eq!(
+            kb_json(&sys.assemble_from(&pair)),
+            kb_json(&sys.build_kb(&pair_docs))
+        );
+    }
+
+    #[test]
+    fn duplicate_documents_in_a_batch_compute_stage1_once() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let before = sys.counters().stage1_computed();
+        let grouped = sys.build_kb_grouped(&[
+            vec![FIG2.to_string()],
+            vec![FIG2.to_string(), FIG2.to_string()],
+        ]);
+        assert_eq!(
+            sys.counters().stage1_computed() - before,
+            1,
+            "the grouped union must be de-duplicated"
+        );
+        // Both groups are still byte-identical to their solo builds.
+        let solo = sys.build_kb(&[FIG2.to_string(), FIG2.to_string()]);
+        assert_eq!(
+            grouped[1].kb.to_json(sys.patterns()).to_string(),
+            solo.kb.to_json(sys.patterns()).to_string()
+        );
+        assert_eq!(sys.counters().docs() - 3, solo.per_doc.len() as u64);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_document_size() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let small = sys.process_doc_stage1("Brad Pitt is an actor.");
+        let big_text = format!("{FIG2} {FIG2} {FIG2} {FIG2}");
+        let big = sys.process_doc_stage1(&big_text);
+        assert!(small.approx_bytes() > 0);
+        assert!(
+            big.approx_bytes() > small.approx_bytes(),
+            "bigger documents must weigh more: {} vs {}",
+            big.approx_bytes(),
+            small.approx_bytes()
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use qkb_corpus::world::{World, WorldConfig};
-use qkbfly::{NodeKind, Qkbfly, QkbflyConfig, SolverKind, Variant};
+use qkbfly::{DocStage1, NodeKind, Qkbfly, QkbflyConfig, SolverKind, Variant};
+use std::sync::Arc;
 
 fn system(world: &World) -> Qkbfly {
     let bg = qkb_corpus::background::background_corpus(world, 10, 5);
@@ -84,6 +85,53 @@ proptest! {
             prop_assert!(f.confidence >= sys.config().tau - 1e-9);
             prop_assert!(f.confidence <= 1.0 + 1e-9);
             prop_assert!(f.arity() >= 3);
+        }
+    }
+
+    /// Incremental-construction invariant: a KB assembled from memoized
+    /// per-document stage-1 artifacts is byte-identical to a cold
+    /// `build_kb` over the same documents in the same order — for random
+    /// document subsets, random orders, and every parallelism setting.
+    #[test]
+    fn assembled_kb_is_byte_identical_to_cold_build(
+        corpus_seed in 0u64..500,
+        picks in proptest::collection::vec(0usize..6, 1..6),
+    ) {
+        let world = World::generate(WorldConfig::default());
+        let sys = system(&world);
+        let pool: Vec<String> = qkb_corpus::docgen::wiki_corpus(&world, 6, corpus_seed)
+            .docs
+            .iter()
+            .map(|d| d.text.clone())
+            .collect();
+        // `picks` is an arbitrary multiset/order over the pool: subsets,
+        // permutations and repeats all arise from the same generator.
+        let docs: Vec<String> = picks.iter().map(|&i| pool[i % pool.len()].clone()).collect();
+        // Stage 1 memoized once per distinct document, like a cache would.
+        let mut memo: std::collections::HashMap<&str, Arc<DocStage1>> =
+            std::collections::HashMap::new();
+        let stage1: Vec<Arc<DocStage1>> = docs
+            .iter()
+            .map(|t| {
+                memo.entry(t.as_str())
+                    .or_insert_with(|| Arc::new(sys.process_doc_stage1(t)))
+                    .clone()
+            })
+            .collect();
+        let assembled = sys.assemble_from(&stage1);
+        let assembled_json = assembled.kb.to_json(sys.patterns()).to_string();
+        for parallelism in [1usize, 2, 8] {
+            let handle = sys.with_parallelism(parallelism);
+            let cold = handle.build_kb(&docs);
+            prop_assert_eq!(
+                &assembled_json,
+                &cold.kb.to_json(sys.patterns()).to_string(),
+                "assembled KB diverged from cold build at parallelism {}",
+                parallelism
+            );
+            prop_assert_eq!(assembled.records.len(), cold.records.len());
+            prop_assert_eq!(assembled.links.len(), cold.links.len());
+            prop_assert_eq!(assembled.per_doc.len(), cold.per_doc.len());
         }
     }
 }

@@ -1,6 +1,6 @@
 //! # qkb-deepdive
 //!
-//! A DeepDive-style per-relation extractor [57] for the paper's §7.3
+//! A DeepDive-style per-relation extractor \[57\] for the paper's §7.3
 //! spouse experiment: candidate generation over person-pair mentions,
 //! a ddlib-like feature library, distant supervision from known married
 //! pairs (the DBpedia substitute), logistic-regression factor weights

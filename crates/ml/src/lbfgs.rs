@@ -1,7 +1,7 @@
 //! Limited-memory BFGS minimization (two-loop recursion) with backtracking
 //! (Armijo) line search — the optimizer the paper uses to fit the α₁..α₄
 //! edge-weight hyper-parameters against annotated facts (§4, citing Liu &
-//! Nocedal [33]).
+//! Nocedal \[33\]).
 
 /// Configuration for [`lbfgs_minimize`].
 #[derive(Clone, Copy, Debug)]

@@ -8,7 +8,7 @@
 //!   a linear SVM trained by Pegasos (the Liblinear substitute of
 //!   Appendix B);
 //! * [`lbfgs`] — limited-memory BFGS (two-loop recursion), used to fit the
-//!   α₁..α₄ hyper-parameters of the edge-weight model (§4, citing [33]).
+//!   α₁..α₄ hyper-parameters of the edge-weight model (§4, citing \[33\]).
 
 pub mod features;
 pub mod lbfgs;

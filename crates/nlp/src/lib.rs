@@ -4,7 +4,7 @@
 //! background corpus (C) and the query-time input documents (D):
 //! tokenization, sentence splitting, part-of-speech tagging, lemmatization,
 //! noun-phrase chunking, named-entity recognition and time tagging
-//! (the paper uses Stanford CoreNLP [34] and SUTime [10]; this crate is the
+//! (the paper uses Stanford CoreNLP \[34\] and SUTime \[10\]; this crate is the
 //! from-scratch Rust substitute described in DESIGN.md §1).
 //!
 //! The output of [`Pipeline::annotate`] is an [`AnnotatedDoc`] whose

@@ -2,7 +2,7 @@
 
 use qkb_nlp::Sentence;
 
-/// The seven clause types of English (§3 of the paper, following [44]).
+/// The seven clause types of English (§3 of the paper, following \[44\]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ClauseType {
     /// Subject–verb ("he sleeps").

@@ -1,11 +1,11 @@
 //! # qkb-openie
 //!
 //! Clause-based Open Information Extraction: a re-implementation of
-//! ClausIE [13] (the paper's extraction workhorse) on top of the
+//! ClausIE \[13\] (the paper's extraction workhorse) on top of the
 //! `qkb-parse` dependency trees, plus the Open-IE baselines of Table 5:
-//! ReVerb [20], Ollie [35] and Open IE 4.2.
+//! ReVerb \[20\], Ollie \[35\] and Open IE 4.2.
 //!
-//! Following Quirk et al. [44], a clause is one subject (S), one verb (V),
+//! Following Quirk et al. \[44\], a clause is one subject (S), one verb (V),
 //! an optional object (O), an optional complement (C) and any number of
 //! adverbials (A); only seven constituent combinations occur in English —
 //! SV, SVA, SVC, SVO, SVOO, SVOA, SVOC — and each clause confirms exactly

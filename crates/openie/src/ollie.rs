@@ -1,4 +1,4 @@
-//! Ollie baseline [35]: dependency-pattern extraction, including
+//! Ollie baseline \[35\]: dependency-pattern extraction, including
 //! noun-mediated relations, but with looser argument constraints than
 //! ClausIE — reproducing its Table 5 profile (many extractions, lowest
 //! precision among the compared systems).

@@ -1,4 +1,4 @@
-//! ReVerb baseline [20]: purely POS-pattern-based binary extraction.
+//! ReVerb baseline \[20\]: purely POS-pattern-based binary extraction.
 //!
 //! The published pattern constrains relation phrases to
 //! `V | V P | V W* P` where `V` is a verb (with optional adverb/particle),

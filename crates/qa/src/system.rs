@@ -18,7 +18,7 @@ use qkb_corpus::GoldDoc;
 use qkb_kb::{FactArg, KbEntityKind, OnTheFlyKb};
 use qkb_ml::{FeatureHasher, LinearSvm, SparseExample};
 use qkb_util::text::{is_capitalized, is_token_suffix, normalize};
-use qkbfly::Qkbfly;
+use qkbfly::{Qkbfly, Stage1Provider};
 use std::sync::Arc;
 
 /// QA method under evaluation (Table 9 rows).
@@ -128,6 +128,21 @@ impl QaSystem {
     /// materializing the texts) — the serving layer's fragment-cache key.
     pub fn doc_fingerprint(&self, doc_ids: &[usize]) -> u64 {
         qkb_util::fingerprint_seq(doc_ids.iter().map(|&d| self.docs[d].text.as_str()))
+    }
+
+    /// Builds the KB fragment for the given retrieved documents, drawing
+    /// per-document stage-1 artifacts from `provider` — the incremental
+    /// offline entry point (step 2 of the serving path). With
+    /// `qkbfly::ComputeStage1` this is the plain cold build; with a
+    /// caching provider (e.g. `qkb-serve`'s stage-1 LRU) only never-seen
+    /// documents run stage 1, and the output is byte-identical either way.
+    pub fn build_kb_for_docs_with(
+        &self,
+        provider: &(impl Stage1Provider + ?Sized),
+        doc_ids: &[usize],
+    ) -> OnTheFlyKb {
+        let texts = self.doc_texts(doc_ids);
+        self.qkbfly.build_kb_with(provider, &texts).kb
     }
 
     /// Answers a free-text question against an already-built KB fragment

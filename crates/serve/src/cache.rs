@@ -1,15 +1,16 @@
-//! The sharded KB-fragment cache.
+//! The sharded KB-fragment cache (tier two of the serving cache).
 //!
-//! A bounded LRU ([`qkb_util::LruCache`]) split across independently
-//! locked shards, keyed by the fingerprint of a query's retrieved-document
-//! set. Overlapping queries — or repeats of a popular one — reuse the
-//! constructed [`KbFragment`] instead of re-running extraction, which is
-//! where the serving layer's throughput win comes from.
+//! A bounded LRU ([`qkb_util::LruCache`] behind the crate's shared
+//! sharded-store machinery) keyed by the fingerprint of a query's
+//! retrieved-document set. Repeats of a popular query — or different
+//! questions that retrieve the same documents — reuse the constructed
+//! [`KbFragment`] without any rebuild; queries whose sets merely
+//! *overlap* fall through to the per-document stage-1 tier
+//! ([`crate::Stage1Cache`]).
 
 use crate::engine::KbFragment;
-use qkb_util::LruCache;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sharded::ShardedLru;
+use std::sync::Arc;
 
 /// Cache counter snapshot.
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,11 +41,8 @@ impl CacheCounters {
 
 /// A sharded, bounded, counted LRU over `Arc<KbFragment>`.
 pub struct FragmentCache {
-    shards: Vec<Mutex<LruCache<u64, Arc<KbFragment>>>>,
+    store: ShardedLru<Arc<KbFragment>>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl FragmentCache {
@@ -54,16 +52,9 @@ impl FragmentCache {
     /// sum exactly to `capacity`; a key-skewed workload can therefore
     /// evict before the *total* is reached — the price of lock sharding.
     pub fn new(capacity: usize, shards: usize) -> Self {
-        let shards = shards.clamp(1, capacity.max(1));
-        let (base, extra) = (capacity / shards, capacity % shards);
         Self {
-            shards: (0..shards)
-                .map(|i| Mutex::new(LruCache::new(base + usize::from(i < extra))))
-                .collect(),
+            store: ShardedLru::entry_bounded(capacity, shards),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -72,72 +63,36 @@ impl FragmentCache {
         self.capacity > 0
     }
 
-    fn shard(&self, key: u64) -> &Mutex<LruCache<u64, Arc<KbFragment>>> {
-        // Keys are already fingerprints; fold the high bits so shard
-        // choice uses entropy the per-shard LRU map doesn't.
-        &self.shards[((key >> 32) ^ key) as usize % self.shards.len()]
-    }
-
     /// Counted lookup; promotes the fragment on a hit.
     pub fn get(&self, key: u64) -> Option<Arc<KbFragment>> {
-        let got = self
-            .shard(key)
-            .lock()
-            .expect("cache shard")
-            .get(&key)
-            .cloned();
-        match got {
-            Some(f) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(f)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        self.store.get(key)
     }
 
-    /// Uncounted lookup (used inside the coalescing claim; the caller's
-    /// fast path already counted this logical lookup — see
-    /// [`FragmentCache::reclassify_miss_as_hit`] for the race case).
+    /// Uncounted, non-promoting lookup (used inside the coalescing claim;
+    /// the caller's fast path already counted this logical lookup and
+    /// promoted on its hit — see [`FragmentCache::reclassify_miss_as_hit`]
+    /// for the race case). Does **not** perturb the LRU order.
     pub fn peek_get(&self, key: u64) -> Option<Arc<KbFragment>> {
-        self.shard(key)
-            .lock()
-            .expect("cache shard")
-            .get(&key)
-            .cloned()
+        self.store.peek(key)
     }
 
     /// Corrects the counters when a lookup counted as a miss turned out
     /// to be a hit after all (another shard published the fragment
     /// between the counted fast-path miss and the in-flight claim).
     pub fn reclassify_miss_as_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        self.misses.fetch_sub(1, Ordering::Relaxed);
+        self.store.reclassify_miss_as_hit()
     }
 
-    /// Inserts a fragment, counting any capacity eviction.
+    /// Inserts a fragment, counting capacity evictions (a same-key
+    /// replacement is a refresh and a bounced-back insert lost nothing
+    /// cached; neither counts).
     pub fn insert(&self, key: u64, fragment: Arc<KbFragment>) {
-        let evicted = self
-            .shard(key)
-            .lock()
-            .expect("cache shard")
-            .insert(key, fragment);
-        if let Some((old_key, _)) = evicted {
-            // Replacing the same key is a refresh, not an eviction.
-            if old_key != key {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.store.insert_weighted(key, fragment, 1);
     }
 
     /// Cached fragments right now.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard").len())
-            .sum()
+        self.store.len()
     }
 
     /// True when nothing is cached.
@@ -147,11 +102,12 @@ impl FragmentCache {
 
     /// Counter snapshot.
     pub fn counters(&self) -> CacheCounters {
+        let totals = self.store.totals();
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.len(),
+            hits: totals.hits,
+            misses: totals.misses,
+            evictions: totals.evictions,
+            entries: totals.entries,
             capacity: self.capacity,
         }
     }
@@ -203,5 +159,25 @@ mod tests {
         c.insert(5, frag());
         assert_eq!(c.counters().evictions, 0);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn peek_get_does_not_perturb_lru_order() {
+        let c = FragmentCache::new(2, 1);
+        c.insert(1, frag());
+        c.insert(2, frag());
+        // A promoting get would make key 1 most-recent; peek must not.
+        assert!(c.peek_get(1).is_some());
+        c.insert(3, frag());
+        assert!(
+            c.peek_get(1).is_none(),
+            "key 1 stayed least-recent after the peek, so it must be evicted"
+        );
+        assert!(c.peek_get(2).is_some());
+        // Contrast: a real get promotes.
+        assert!(c.get(2).is_some());
+        c.insert(4, frag());
+        assert!(c.peek_get(2).is_some(), "promoted key must survive");
+        assert!(c.peek_get(3).is_none(), "unpromoted key must be evicted");
     }
 }

@@ -9,17 +9,32 @@
 use crate::request::{QueryKind, QueryRequest};
 use qkb_kb::OnTheFlyKb;
 use qkb_qa::QaSystem;
-use qkbfly::{Qkbfly, StageTimings};
+use qkbfly::{BuildResult, Qkbfly, StageTimings};
 
 /// One constructed on-the-fly KB with its build diagnostics — the unit the
 /// fragment cache stores and overlapping queries share.
 pub struct KbFragment {
     /// The canonicalized KB.
     pub kb: OnTheFlyKb,
-    /// Per-stage build wall clock.
+    /// Per-stage build wall clock. For fragments assembled from cached
+    /// stage-1 artifacts the preprocess/graph/resolve slots carry the
+    /// *original* compute cost (the artifact's provenance), not this
+    /// build's wall clock — only canonicalize was paid again.
     pub timings: StageTimings,
     /// Documents the fragment was built from.
     pub n_docs: usize,
+}
+
+impl KbFragment {
+    /// Wraps one build (cold, grouped or assembled) as a cacheable
+    /// fragment.
+    pub fn from_result(result: BuildResult<'_>) -> Self {
+        Self {
+            n_docs: result.per_doc.len(),
+            kb: result.kb,
+            timings: result.timings,
+        }
+    }
 }
 
 /// The semantic backend of the server.

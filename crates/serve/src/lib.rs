@@ -11,9 +11,13 @@
 //! * **request coalescing** — concurrent identical normalized queries
 //!   share one in-flight build (in-batch grouping plus a global in-flight
 //!   table across shards);
-//! * **fragment cache** — a sharded bounded LRU keyed by the fingerprint
-//!   of the query's retrieved-document set, so overlapping queries reuse
-//!   constructed fragments (hit/miss/evict counters included);
+//! * **two-tier cache** — a sharded bounded LRU fragment cache keyed by
+//!   the fingerprint of the query's retrieved-document set (exact-set
+//!   reuse), fronted by a byte-bounded per-document stage-1 cache
+//!   ([`Stage1Cache`]): queries whose retrieved sets merely *overlap*
+//!   assemble their fragment from memoized per-document artifacts via
+//!   `Qkbfly::build_kb_grouped_with`, re-running stage 1 only for
+//!   never-seen documents (hit/miss/evict counters on both tiers);
 //! * **admission batching** — a time/count window groups queued distinct
 //!   queries into one `build_kb_grouped` call, exploiting the parallel
 //!   per-document fan-out;
@@ -33,10 +37,13 @@ pub mod cache;
 pub mod engine;
 pub mod request;
 pub mod server;
+mod sharded;
+pub mod stage1_cache;
 pub mod stats;
 
 pub use cache::{CacheCounters, FragmentCache};
 pub use engine::{KbFragment, QueryEngine};
 pub use request::{QueryKind, QueryRequest, QueryResponse, Served};
 pub use server::{QkbServer, ServeClient, ServeConfig};
+pub use stage1_cache::{Stage1Cache, Stage1Counters};
 pub use stats::ServeStats;

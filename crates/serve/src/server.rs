@@ -21,14 +21,21 @@
 //! * **fragment reuse** — the sharded LRU [`FragmentCache`] is keyed by
 //!   the fingerprint of the retrieved-document set, so *different*
 //!   questions that retrieve the same documents share one fragment;
+//! * **incremental construction** — a per-document stage-1 cache
+//!   ([`Stage1Cache`], byte-bounded) sits in front of the fragment
+//!   cache: a fragment miss whose documents overlap earlier queries is
+//!   *assembled* from memoized stage-1 artifacts, running the expensive
+//!   per-document phase only for documents never seen before;
 //! * **determinism** — fragments are built by the deterministic grouped
-//!   build and answers are a pure function of `(request, fragment)`, so a
-//!   cache-hit answer is byte-identical to a cold-build answer at any
-//!   shard count.
+//!   build (assembled fragments are byte-identical to cold ones) and
+//!   answers are a pure function of `(request, fragment)`, so a
+//!   cache-hit or assembled answer is byte-identical to a cold-build
+//!   answer at any shard count.
 
 use crate::cache::FragmentCache;
 use crate::engine::{KbFragment, QueryEngine};
 use crate::request::{QueryRequest, QueryResponse, Served};
+use crate::stage1_cache::Stage1Cache;
 use crate::stats::{ServeMetrics, ServeStats};
 use qkb_util::FxHashMap;
 use std::collections::VecDeque;
@@ -47,6 +54,12 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Lock shards inside the fragment cache.
     pub cache_shards: usize,
+    /// Per-document stage-1 cache capacity in approximate bytes; `0`
+    /// disables tier one (every fragment miss becomes a fully cold
+    /// build — the PR 2 behavior).
+    pub stage1_cache_bytes: u64,
+    /// Lock shards inside the stage-1 cache.
+    pub stage1_cache_shards: usize,
     /// Maximum requests drained into one admission batch.
     pub batch_max: usize,
     /// How long a worker holds a batch open after its first request.
@@ -66,6 +79,8 @@ impl Default for ServeConfig {
             shards: 0,
             cache_capacity: 128,
             cache_shards: 8,
+            stage1_cache_bytes: 64 << 20,
+            stage1_cache_shards: 8,
             batch_max: 8,
             batch_window: Duration::from_millis(2),
             coalesce: true,
@@ -281,6 +296,7 @@ struct Shared<E> {
     config: ServeConfig,
     queue: AdmissionQueue,
     cache: FragmentCache,
+    stage1: Stage1Cache,
     inflight: InFlightTable,
     metrics: ServeMetrics,
 }
@@ -347,6 +363,7 @@ impl<E: QueryEngine> QkbServer<E> {
         let shards = config.resolved_shards();
         let shared = Arc::new(Shared {
             cache: FragmentCache::new(config.cache_capacity, config.cache_shards),
+            stage1: Stage1Cache::new(config.stage1_cache_bytes, config.stage1_cache_shards),
             engine: Arc::new(engine),
             queue: AdmissionQueue::new(),
             inflight: InFlightTable::new(),
@@ -379,9 +396,12 @@ impl<E: QueryEngine> QkbServer<E> {
         self.shared.query(request)
     }
 
-    /// A stats snapshot (latency percentiles, throughput, cache counters).
+    /// A stats snapshot (latency percentiles, throughput, both cache
+    /// tiers' counters).
     pub fn stats(&self) -> ServeStats {
-        self.shared.metrics.snapshot(self.shared.cache.counters())
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.counters(), self.shared.stage1.counters())
     }
 
     /// Stops accepting queries, drains the queue, joins the shards.
@@ -498,9 +518,21 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                 }
             }
 
-            // Admission batching: one grouped build for every miss.
+            // Admission batching: one grouped build for every miss. The
+            // union of the groups' documents is de-duplicated against the
+            // per-document stage-1 cache inside `build_kb_grouped_with` —
+            // only true misses run stage 1, and every group is assembled
+            // from the shared artifacts.
             if !build_meta.is_empty() {
-                let results = qkb.build_kb_grouped(&doc_groups);
+                // Classify before building: a group whose documents are
+                // already (partly) in the stage-1 cache is *assembled*
+                // rather than fully cold. Probes don't touch LRU order or
+                // hit counters.
+                let assembled_groups = doc_groups
+                    .iter()
+                    .filter(|docs| docs.iter().any(|t| shared.stage1.contains_text(t)))
+                    .count() as u64;
+                let results = qkb.build_kb_grouped_with(&shared.stage1, &doc_groups);
                 let mut round_timings = qkbfly::StageTimings::default();
                 let total_docs: usize = doc_groups.iter().map(Vec::len).sum();
                 for (&(gi, fkey), result) in build_meta.iter().zip(results) {
@@ -508,11 +540,7 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                     round_timings.graph += result.timings.graph;
                     round_timings.resolve += result.timings.resolve;
                     round_timings.canonicalize += result.timings.canonicalize;
-                    let fragment = Arc::new(KbFragment {
-                        kb: result.kb,
-                        timings: result.timings,
-                        n_docs: result.per_doc.len(),
-                    });
+                    let fragment = Arc::new(KbFragment::from_result(result));
                     if config.coalesce {
                         shared
                             .inflight
@@ -524,6 +552,7 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                 }
                 shared.metrics.note_build_round(
                     build_meta.len() as u64,
+                    assembled_groups,
                     total_docs as u64,
                     round_timings,
                 );
@@ -550,15 +579,14 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                         // (deterministic, so a duplicate is benign) and
                         // publish for any other stranded followers.
                         let texts = shared.engine.doc_texts(&doc_ids);
-                        let result = qkb.build_kb(&texts);
-                        let fragment = Arc::new(KbFragment {
-                            kb: result.kb,
-                            timings: result.timings,
-                            n_docs: result.per_doc.len(),
-                        });
+                        let assembled =
+                            u64::from(texts.iter().any(|t| shared.stage1.contains_text(t)));
+                        let result = qkb.build_kb_with(&shared.stage1, &texts);
+                        let timings = result.timings;
+                        let fragment = Arc::new(KbFragment::from_result(result));
                         shared
                             .metrics
-                            .note_build_round(1, texts.len() as u64, result.timings);
+                            .note_build_round(1, assembled, texts.len() as u64, timings);
                         shared.inflight.publish(k, fragment.clone(), &shared.cache);
                         (fragment, Served::ColdBuild, k)
                     }

@@ -1,0 +1,145 @@
+//! The sharded counted LRU machinery shared by both cache tiers.
+//!
+//! [`crate::FragmentCache`] (entry-bounded, tier two) and
+//! [`crate::Stage1Cache`] (byte-bounded, tier one) are thin typed
+//! wrappers over this store: a [`qkb_util::LruCache`] split across
+//! independently locked shards, keyed by a 64-bit fingerprint, with
+//! lock-free hit/miss/eviction counters. Keeping the machinery in one
+//! place means shard selection, counted lookups and eviction accounting
+//! cannot drift apart between the tiers.
+
+use qkb_util::LruCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Raw counter totals across all shards.
+pub(crate) struct ShardedTotals {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub weight: u64,
+}
+
+/// A sharded, bounded, counted LRU over fingerprint keys.
+pub(crate) struct ShardedLru<V> {
+    shards: Vec<Mutex<LruCache<u64, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// A store bounded by **entry count**, split so per-shard capacities
+    /// sum exactly to `capacity` (shards are clamped to
+    /// `1..=capacity.max(1)`; capacity 0 disables caching).
+    pub fn entry_bounded(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let (base, extra) = (capacity / shards, capacity % shards);
+        Self::from_caches((0..shards).map(|i| LruCache::new(base + usize::from(i < extra))))
+    }
+
+    /// A store bounded by **total weight** (approximate bytes), split so
+    /// per-shard budgets sum exactly to `capacity` (shards are clamped
+    /// to at least 1; capacity 0 disables caching).
+    pub fn weight_bounded(capacity: u64, shards: usize) -> Self {
+        let shards = shards.max(1) as u64;
+        let (base, extra) = (capacity / shards, capacity % shards);
+        Self::from_caches((0..shards).map(|i| LruCache::weighted(base + u64::from(i < extra))))
+    }
+
+    fn from_caches(caches: impl Iterator<Item = LruCache<u64, V>>) -> Self {
+        Self {
+            shards: caches.map(Mutex::new).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<LruCache<u64, V>> {
+        // Keys are already fingerprints; fold the high bits so shard
+        // choice uses entropy the per-shard LRU map doesn't.
+        &self.shards[((key >> 32) ^ key) as usize % self.shards.len()]
+    }
+
+    /// Counted lookup; promotes the entry on a hit.
+    pub fn get(&self, key: u64) -> Option<V> {
+        match self.lookup(key, true) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Uncounted lookup that does **not** perturb the LRU order.
+    pub fn peek(&self, key: u64) -> Option<V> {
+        self.lookup(key, false)
+    }
+
+    /// The one lookup primitive: `touch` decides whether a hit is
+    /// promoted in the recency order.
+    fn lookup(&self, key: u64, touch: bool) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        if touch {
+            shard.get(&key).cloned()
+        } else {
+            shard.peek(&key).cloned()
+        }
+    }
+
+    /// Corrects the counters when a lookup counted as a miss turned out
+    /// to be a hit after all (another thread published the value between
+    /// the counted fast-path miss and a locked re-check).
+    pub fn reclassify_miss_as_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Inserts `key → value` carrying `weight`, counting capacity
+    /// evictions. A same-key replacement is a refresh and an insert
+    /// bounced straight back out (zero capacity, or heavier than a
+    /// shard's whole weight budget) is not an eviction — in neither
+    /// case was a cached entry lost.
+    pub fn insert_weighted(&self, key: u64, value: V, weight: u64) {
+        let outcome = self
+            .shard(key)
+            .lock()
+            .expect("cache shard")
+            .insert_weighted(key, value, weight);
+        let evicted_others = outcome.evicted.iter().filter(|(k, _)| *k != key).count() as u64;
+        self.evictions.fetch_add(evicted_others, Ordering::Relaxed);
+    }
+
+    /// Entries cached right now.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// Counter totals plus current entry/weight occupancy.
+    pub fn totals(&self) -> ShardedTotals {
+        let (entries, weight) = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard");
+                (shard.len(), shard.approx_bytes())
+            })
+            .fold((0usize, 0u64), |(n, b), (sn, sb)| (n + sn, b + sb));
+        ShardedTotals {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            weight,
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! hit rate, per-stage build time).
 
 use crate::cache::CacheCounters;
+use crate::stage1_cache::Stage1Counters;
 use qkb_util::json::Value;
 use qkbfly::StageTimings;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +22,7 @@ pub(crate) struct ServeMetrics {
     batches: AtomicU64,
     build_rounds: AtomicU64,
     cold_builds: AtomicU64,
+    assembled_builds: AtomicU64,
     docs_built: AtomicU64,
     batch_coalesced: AtomicU64,
     inflight_coalesced: AtomicU64,
@@ -39,6 +41,7 @@ impl ServeMetrics {
             batches: AtomicU64::new(0),
             build_rounds: AtomicU64::new(0),
             cold_builds: AtomicU64::new(0),
+            assembled_builds: AtomicU64::new(0),
             docs_built: AtomicU64::new(0),
             batch_coalesced: AtomicU64::new(0),
             inflight_coalesced: AtomicU64::new(0),
@@ -58,9 +61,21 @@ impl ServeMetrics {
             .fetch_add(jobs - groups, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_build_round(&self, groups: u64, docs: u64, timings: StageTimings) {
+    /// One grouped build round: `groups` fragments were constructed, of
+    /// which `assembled` reused at least one cached stage-1 artifact and
+    /// the rest (`groups - assembled`) were fully cold.
+    pub(crate) fn note_build_round(
+        &self,
+        groups: u64,
+        assembled: u64,
+        docs: u64,
+        timings: StageTimings,
+    ) {
         self.build_rounds.fetch_add(1, Ordering::Relaxed);
-        self.cold_builds.fetch_add(groups, Ordering::Relaxed);
+        self.cold_builds
+            .fetch_add(groups - assembled, Ordering::Relaxed);
+        self.assembled_builds
+            .fetch_add(assembled, Ordering::Relaxed);
         self.docs_built.fetch_add(docs, Ordering::Relaxed);
         self.build_preprocess_us
             .fetch_add(timings.preprocess.as_micros() as u64, Ordering::Relaxed);
@@ -84,7 +99,7 @@ impl ServeMetrics {
         }
     }
 
-    pub(crate) fn snapshot(&self, cache: CacheCounters) -> ServeStats {
+    pub(crate) fn snapshot(&self, cache: CacheCounters, stage1: Stage1Counters) -> ServeStats {
         let samples = {
             let mut s = self.latencies_us.lock().expect("latency sink").clone();
             s.sort_unstable();
@@ -112,9 +127,11 @@ impl ServeMetrics {
             latency_p95_ms: pct(0.95),
             latency_mean_ms: mean_ms,
             cache,
+            stage1,
             batches: self.batches.load(Ordering::Relaxed),
             build_rounds: self.build_rounds.load(Ordering::Relaxed),
             cold_builds: self.cold_builds.load(Ordering::Relaxed),
+            assembled_builds: self.assembled_builds.load(Ordering::Relaxed),
             docs_built: self.docs_built.load(Ordering::Relaxed),
             batch_coalesced: self.batch_coalesced.load(Ordering::Relaxed),
             inflight_coalesced: self.inflight_coalesced.load(Ordering::Relaxed),
@@ -145,15 +162,20 @@ pub struct ServeStats {
     pub latency_p95_ms: f64,
     /// Mean queue-to-reply latency (ms).
     pub latency_mean_ms: f64,
-    /// Fragment-cache counters.
+    /// Fragment-cache counters (tier two: exact retrieved-set reuse).
     pub cache: CacheCounters,
+    /// Per-document stage-1 cache counters (tier one: cross-query
+    /// document reuse).
+    pub stage1: Stage1Counters,
     /// Admission batches processed.
     pub batches: u64,
     /// Grouped `build_kb` rounds executed.
     pub build_rounds: u64,
-    /// Fragments built cold (one per distinct missing query).
+    /// Fragments built fully cold (no stage-1 artifact reused).
     pub cold_builds: u64,
-    /// Documents fed through the extraction pipeline.
+    /// Fragments assembled with at least one cached stage-1 artifact.
+    pub assembled_builds: u64,
+    /// Documents fed through builds (assembled or computed).
     pub docs_built: u64,
     /// Requests that shared a fragment with an identical query in the
     /// same admission batch.
@@ -170,6 +192,11 @@ impl ServeStats {
         self.cache.hit_rate()
     }
 
+    /// Stage-1 (per-document) cache hit rate over all lookups.
+    pub fn stage1_hit_rate(&self) -> f64 {
+        self.stage1.hit_rate()
+    }
+
     /// JSON rendering for benchmark reports and dashboards.
     pub fn to_json(&self) -> Value {
         Value::object()
@@ -184,9 +211,17 @@ impl ServeStats {
             .with("cache_evictions", self.cache.evictions)
             .with("cache_entries", self.cache.entries)
             .with("cache_hit_rate", self.cache_hit_rate())
+            .with("stage1_hits", self.stage1.hits)
+            .with("stage1_misses", self.stage1.misses)
+            .with("stage1_evictions", self.stage1.evictions)
+            .with("stage1_entries", self.stage1.entries)
+            .with("stage1_bytes", self.stage1.approx_bytes)
+            .with("stage1_capacity_bytes", self.stage1.capacity_bytes)
+            .with("stage1_hit_rate", self.stage1_hit_rate())
             .with("batches", self.batches)
             .with("build_rounds", self.build_rounds)
             .with("cold_builds", self.cold_builds)
+            .with("assembled_builds", self.assembled_builds)
             .with("docs_built", self.docs_built)
             .with("batch_coalesced", self.batch_coalesced)
             .with("inflight_coalesced", self.inflight_coalesced)

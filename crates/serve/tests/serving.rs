@@ -210,6 +210,118 @@ fn capacity_one_cache_evicts_under_alternation_and_hits_under_repeats() {
     server.shutdown();
 }
 
+/// Incremental fragment construction: two queries whose retrieved sets
+/// overlap must run stage 1 exactly once per *union* document — the
+/// second query's fragment is assembled from the first's cached
+/// per-document artifacts plus stage-1 runs for the difference only.
+#[test]
+fn overlapping_queries_compute_stage1_once_per_union_document() {
+    let sys = Arc::new(engine());
+    let qs = questions(&sys, 10);
+    let sets: Vec<Vec<usize>> = qs.iter().map(|q| sys.retrieve_docs(q)).collect();
+    // Pick a pair with overlapping but distinct retrieved sets (top-4
+    // BM25 over a 20-doc corpus makes one near-certain).
+    let (i, j) = (0..qs.len())
+        .flat_map(|a| (0..qs.len()).map(move |b| (a, b)))
+        .filter(|&(a, b)| a != b && sets[a] != sets[b])
+        .find(|&(a, b)| sets[a].iter().any(|d| sets[b].contains(d)))
+        .expect("no overlapping retrieved-set pair in the fixture");
+    let expected_i = cold_answers(&sys, &qs[i]);
+    let expected_j = cold_answers(&sys, &qs[j]);
+    // Stage-1 identity is the document text; union size counts distinct texts.
+    let union: std::collections::HashSet<String> = sets[i]
+        .iter()
+        .chain(&sets[j])
+        .flat_map(|&d| sys.doc_texts(&[d]))
+        .collect();
+    let overlap = sets[i].len() + sets[j].len() - union.len();
+    assert!(overlap > 0);
+
+    let server = QkbServer::start(
+        sys.clone(),
+        ServeConfig {
+            shards: 1,
+            cache_capacity: 16,
+            stage1_cache_bytes: 256 << 20,
+            batch_max: 1,
+            batch_window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    let before = sys.qkbfly().counters().stage1_computed();
+    let r1 = server.query(QueryRequest::question(&qs[i]));
+    let r2 = server.query(QueryRequest::question(&qs[j]));
+    assert_eq!(
+        sys.qkbfly().counters().stage1_computed() - before,
+        union.len() as u64,
+        "stage 1 must run once per union document, not per query"
+    );
+    // Assembled answers are byte-identical to the offline cold path.
+    assert_eq!(r1.answers, expected_i);
+    assert_eq!(r2.answers, expected_j);
+    assert_ne!(r1.fragment_key, r2.fragment_key);
+    let stats = server.stats();
+    assert_eq!(
+        stats.stage1.hits, overlap as u64,
+        "every shared document is a stage-1 hit: {stats:?}"
+    );
+    assert_eq!(stats.stage1.misses, union.len() as u64);
+    assert_eq!(stats.cold_builds, 1, "the first query is fully cold");
+    assert_eq!(
+        stats.assembled_builds, 1,
+        "the second query must be assembled from cached artifacts"
+    );
+    server.shutdown();
+}
+
+/// Disabling tier one (stage-1 bytes = 0) reproduces the fragment-only
+/// PR 2 behavior: overlapping queries re-pay stage 1 per document.
+#[test]
+fn disabled_stage1_cache_recomputes_overlap() {
+    let sys = Arc::new(engine());
+    let qs = questions(&sys, 4);
+    let server = QkbServer::start(
+        sys.clone(),
+        ServeConfig {
+            shards: 1,
+            cache_capacity: 16,
+            stage1_cache_bytes: 0,
+            batch_max: 1,
+            batch_window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    // Keep only queries with pairwise-distinct retrieved sets, so none
+    // of them can short-circuit through the fragment cache.
+    let mut seen_sets: Vec<Vec<usize>> = Vec::new();
+    let distinct: Vec<&String> = qs
+        .iter()
+        .filter(|q| {
+            let set = sys.retrieve_docs(q);
+            if seen_sets.contains(&set) {
+                false
+            } else {
+                seen_sets.push(set);
+                true
+            }
+        })
+        .collect();
+    let total_docs: usize = seen_sets.iter().map(Vec::len).sum();
+    let before = sys.qkbfly().counters().stage1_computed();
+    for q in &distinct {
+        let _ = server.query(QueryRequest::question(*q));
+    }
+    assert_eq!(
+        sys.qkbfly().counters().stage1_computed() - before,
+        total_docs as u64,
+        "tier one off: every query pays stage 1 for its whole set"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.assembled_builds, 0);
+    assert_eq!(stats.stage1.hits + stats.stage1.misses, 0);
+    server.shutdown();
+}
+
 #[test]
 fn entity_seed_requests_serve_rendered_facts() {
     let sys = Arc::new(engine());

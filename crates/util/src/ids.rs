@@ -3,7 +3,7 @@
 //! Nearly every structure in this workspace is arena-like (vectors of nodes,
 //! entities, facts, tokens) indexed by small integers. Raw `usize` indices
 //! invite cross-arena mixups, so each arena gets its own id type via
-//! [`define_id!`]. Ids are `u32` internally (see "Smaller Integers" in the
+//! [`crate::define_id!`]. Ids are `u32` internally (see "Smaller Integers" in the
 //! Rust performance guide) and convert to `usize` only at use sites.
 
 /// Defines a `u32`-backed index newtype with the standard trait surface.

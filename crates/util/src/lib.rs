@@ -23,7 +23,7 @@ pub mod topk;
 
 pub use hash::{fingerprint64, fingerprint_seq, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
-pub use lru::LruCache;
+pub use lru::{InsertOutcome, LruCache};
 pub use par::{effective_parallelism, par_map_ordered};
 pub use sparse::SparseVec;
 pub use stats::{cohens_kappa, macro_prf, pr_curve, precision_at, wald_interval, PrPoint, Prf};

@@ -2,12 +2,16 @@
 //!
 //! Backing store is a slab of entries threaded onto an intrusive doubly
 //! linked list (most-recent at the head), with an [`FxHashMap`] index from
-//! key to slab slot. All operations are O(1); freed slots are recycled, so
-//! no allocation happens once the slab reaches capacity.
+//! key to slab slot. All operations are O(1) (amortized over evictions);
+//! freed slots are recycled, so no allocation happens once the slab
+//! reaches capacity.
 //!
-//! This is the building block of the serving layer's KB-fragment cache
-//! (`qkb-serve`), but it is fully generic and reusable anywhere a bounded
-//! recency-evicting map is needed.
+//! Entries carry an optional *weight* (typically approximate bytes), and
+//! the cache can bound the total weight as well as the entry count —
+//! cost-aware eviction for values of very different sizes, such as the
+//! per-document stage-1 artifacts of `qkb-serve`'s two-tier cache. The
+//! unweighted [`LruCache::insert`]/[`LruCache::new`] API is a special case
+//! with weight 1 per entry and no weight bound.
 
 use crate::hash::FxHashMap;
 use std::hash::Hash;
@@ -17,15 +21,32 @@ const NIL: usize = usize::MAX;
 struct Entry<K, V> {
     key: K,
     value: V,
+    weight: u64,
     prev: usize,
     next: usize,
+}
+
+/// What an insert displaced.
+///
+/// Replacing the value under an existing key is a *refresh*, not an
+/// eviction; only capacity- or weight-pressure removals land in
+/// `evicted`. Callers that keep eviction counters must not count
+/// `replaced`.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct InsertOutcome<K, V> {
+    /// The previous value under the inserted key, if the key was present.
+    pub replaced: Option<V>,
+    /// Entries removed by capacity or weight pressure, least-recent first.
+    /// When the inserted entry itself exceeds the weight bound it is
+    /// returned here too (an item larger than the cache cannot be cached).
+    pub evicted: Vec<(K, V)>,
 }
 
 /// A bounded least-recently-used cache.
 ///
 /// `insert` and `get` both count as a "use" and move the entry to the
 /// front of the recency order; when an insert would exceed the capacity,
-/// the least-recently-used entry is evicted and returned to the caller.
+/// least-recently-used entries are evicted and returned to the caller.
 /// A capacity of `0` disables the cache entirely: every insert is
 /// immediately "evicted" back to the caller and lookups always miss.
 pub struct LruCache<K, V> {
@@ -35,10 +56,12 @@ pub struct LruCache<K, V> {
     head: usize,
     tail: usize,
     capacity: usize,
+    max_weight: u64,
+    total_weight: u64,
 }
 
 impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries (no weight bound).
     pub fn new(capacity: usize) -> Self {
         Self {
             map: FxHashMap::default(),
@@ -47,12 +70,37 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            max_weight: u64::MAX,
+            total_weight: 0,
+        }
+    }
+
+    /// An empty cache bounded by total weight instead of entry count
+    /// (use [`LruCache::insert_weighted`] to attach weights). A
+    /// `max_weight` of `0` disables the cache, mirroring `new(0)`.
+    pub fn weighted(max_weight: u64) -> Self {
+        Self {
+            capacity: usize::MAX,
+            max_weight,
+            ..Self::new(0)
         }
     }
 
     /// Maximum number of entries.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Maximum total weight (`u64::MAX` when unbounded by weight).
+    pub fn max_weight(&self) -> u64 {
+        self.max_weight
+    }
+
+    /// Sum of the weights of all cached entries. With the unweighted
+    /// insert API this equals [`LruCache::len`]; with byte weights it is
+    /// the cache's approximate memory footprint.
+    pub fn approx_bytes(&self) -> u64 {
+        self.total_weight
     }
 
     /// Current number of entries.
@@ -87,41 +135,87 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     ///
     /// Returns the entry that had to leave: the previous value under the
     /// same key, the evicted LRU pair when the cache was full, or the
-    /// input itself when the capacity is zero.
+    /// input itself when the capacity is zero. For eviction accounting,
+    /// prefer [`LruCache::insert_weighted`] — its [`InsertOutcome`]
+    /// distinguishes a same-key replacement (not an eviction) from
+    /// capacity-pressure evictions; this legacy return value conflates
+    /// the two.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
-        if self.capacity == 0 {
-            return Some((key, value));
+        let key2 = key.clone();
+        let mut outcome = self.insert_weighted(key, value, 1);
+        outcome
+            .replaced
+            .map(|old| (key2, old))
+            .or_else(|| outcome.evicted.pop())
+    }
+
+    /// Inserts (or replaces) `key → value` carrying `weight`, making it
+    /// most-recently used, then evicts least-recently-used entries until
+    /// both the entry-count and total-weight bounds hold again.
+    pub fn insert_weighted(&mut self, key: K, value: V, weight: u64) -> InsertOutcome<K, V> {
+        let mut outcome = InsertOutcome {
+            replaced: None,
+            evicted: Vec::new(),
+        };
+        if self.capacity == 0 || self.max_weight == 0 {
+            outcome.evicted.push((key, value));
+            return outcome;
+        }
+        if weight > self.max_weight {
+            // An entry heavier than the whole bound can never be cached;
+            // bounce it straight back without disturbing warm residents.
+            // If the key was resident, its old value leaves as `replaced`
+            // (the caller asked for it to be superseded).
+            outcome.replaced = self.remove(&key);
+            outcome.evicted.push((key, value));
+            return outcome;
         }
         if let Some(&slot) = self.map.get(&key) {
-            let old = std::mem::replace(&mut self.entry_mut(slot).value, value);
+            let entry = self.entry_mut(slot);
+            let old_weight = entry.weight;
+            entry.weight = weight;
+            outcome.replaced = Some(std::mem::replace(&mut entry.value, value));
+            self.total_weight = self.total_weight - old_weight + weight;
             self.detach(slot);
             self.attach_front(slot);
-            return Some((key, old));
-        }
-        let evicted = if self.map.len() >= self.capacity {
-            self.pop_lru()
         } else {
-            None
-        };
-        let entry = Entry {
-            key: key.clone(),
-            value,
-            prev: NIL,
-            next: NIL,
-        };
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slab[s] = Some(entry);
-                s
+            while self.map.len() >= self.capacity {
+                match self.pop_lru() {
+                    Some(pair) => outcome.evicted.push(pair),
+                    None => break,
+                }
             }
-            None => {
-                self.slab.push(Some(entry));
-                self.slab.len() - 1
+            let entry = Entry {
+                key: key.clone(),
+                value,
+                weight,
+                prev: NIL,
+                next: NIL,
+            };
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.slab[s] = Some(entry);
+                    s
+                }
+                None => {
+                    self.slab.push(Some(entry));
+                    self.slab.len() - 1
+                }
+            };
+            self.map.insert(key, slot);
+            self.attach_front(slot);
+            self.total_weight += weight;
+        }
+        // Weight pressure: shed from the cold end. The fresh entry sits
+        // at the hot end and weighs at most `max_weight` (heavier ones
+        // were bounced above), so it always survives this loop.
+        while self.total_weight > self.max_weight {
+            match self.pop_lru() {
+                Some(pair) => outcome.evicted.push(pair),
+                None => break,
             }
-        };
-        self.map.insert(key, slot);
-        self.attach_front(slot);
-        evicted
+        }
+        outcome
     }
 
     /// Removes and returns the least-recently-used entry.
@@ -134,6 +228,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.free.push(slot);
         let entry = self.slab[slot].take().expect("live tail slot");
         self.map.remove(&entry.key);
+        self.total_weight -= entry.weight;
         Some((entry.key, entry.value))
     }
 
@@ -143,16 +238,18 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.detach(slot);
         self.free.push(slot);
         let entry = self.slab[slot].take().expect("live slot for mapped key");
+        self.total_weight -= entry.weight;
         Some(entry.value)
     }
 
-    /// Drops every entry; capacity is kept.
+    /// Drops every entry; capacity and weight bounds are kept.
     pub fn clear(&mut self) {
         self.map.clear();
         self.slab.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.total_weight = 0;
     }
 
     /// Keys from most- to least-recently used (for inspection and tests).
@@ -283,6 +380,97 @@ mod tests {
         assert_eq!(c.peek(&1), Some(&10));
         // 1 is still LRU despite the peek.
         assert_eq!(c.insert(3, 30), Some((1, 10)));
+    }
+
+    #[test]
+    fn replacement_is_not_an_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        let outcome = c.insert_weighted(1, 11, 1);
+        assert_eq!(outcome.replaced, Some(10));
+        assert!(outcome.evicted.is_empty());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn weight_bound_evicts_cold_entries_first() {
+        let mut c: LruCache<u32, u32> = LruCache::weighted(100);
+        assert!(c.insert_weighted(1, 10, 40).evicted.is_empty());
+        assert!(c.insert_weighted(2, 20, 40).evicted.is_empty());
+        assert_eq!(c.approx_bytes(), 80);
+        // 50 more pushes the total to 130: entry 1 (cold) must go.
+        let outcome = c.insert_weighted(3, 30, 50);
+        assert_eq!(outcome.evicted, vec![(1, 10)]);
+        assert_eq!(c.approx_bytes(), 90);
+        assert_eq!(c.keys_mru(), vec![3, 2]);
+    }
+
+    #[test]
+    fn weight_bound_can_evict_several_at_once() {
+        let mut c: LruCache<u32, u32> = LruCache::weighted(100);
+        c.insert_weighted(1, 10, 30);
+        c.insert_weighted(2, 20, 30);
+        c.insert_weighted(3, 30, 30);
+        let outcome = c.insert_weighted(4, 40, 90);
+        assert_eq!(outcome.evicted, vec![(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(c.keys_mru(), vec![4]);
+        assert_eq!(c.approx_bytes(), 90);
+    }
+
+    #[test]
+    fn oversized_entry_bounces_without_flushing_residents() {
+        let mut c: LruCache<u32, u32> = LruCache::weighted(100);
+        c.insert_weighted(1, 10, 60);
+        let outcome = c.insert_weighted(2, 20, 150);
+        // The oversized newcomer leaves; the warm resident survives.
+        assert_eq!(outcome.evicted, vec![(2, 20)]);
+        assert_eq!(outcome.replaced, None);
+        assert_eq!(c.keys_mru(), vec![1]);
+        assert_eq!(c.approx_bytes(), 60);
+    }
+
+    #[test]
+    fn oversized_replacement_removes_the_stale_entry() {
+        let mut c: LruCache<u32, u32> = LruCache::weighted(100);
+        c.insert_weighted(1, 10, 40);
+        c.insert_weighted(2, 20, 40);
+        // Key 1's new value no longer fits: the stale value must not
+        // linger (it would be served on the next get), so the entry
+        // disappears; unrelated residents are untouched.
+        let outcome = c.insert_weighted(1, 11, 150);
+        assert_eq!(outcome.replaced, Some(10));
+        assert_eq!(outcome.evicted, vec![(1, 11)]);
+        assert_eq!(c.keys_mru(), vec![2]);
+        assert_eq!(c.approx_bytes(), 40);
+    }
+
+    #[test]
+    fn reweighting_a_key_adjusts_total() {
+        let mut c: LruCache<u32, u32> = LruCache::weighted(100);
+        c.insert_weighted(1, 10, 40);
+        let outcome = c.insert_weighted(1, 11, 70);
+        assert_eq!(outcome.replaced, Some(10));
+        assert!(outcome.evicted.is_empty());
+        assert_eq!(c.approx_bytes(), 70);
+        c.remove(&1);
+        assert_eq!(c.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_weight_capacity_disables() {
+        let mut c: LruCache<u32, u32> = LruCache::weighted(0);
+        let outcome = c.insert_weighted(1, 10, 1);
+        assert_eq!(outcome.evicted, vec![(1, 10)]);
+        assert!(c.get(&1).is_none());
+    }
+
+    #[test]
+    fn clear_resets_weight() {
+        let mut c: LruCache<u32, u32> = LruCache::weighted(100);
+        c.insert_weighted(1, 10, 60);
+        c.clear();
+        assert_eq!(c.approx_bytes(), 0);
+        assert!(c.insert_weighted(2, 20, 80).evicted.is_empty());
     }
 
     #[test]

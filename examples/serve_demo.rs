@@ -86,15 +86,30 @@ fn main() {
         s.requests, s.throughput_rps, s.latency_p50_ms, s.latency_p95_ms
     );
     println!(
-        "cache: {} hits / {} misses / {} evictions (hit rate {:.0}%)",
+        "fragment cache: {} hits / {} misses / {} evictions (hit rate {:.0}%)",
         s.cache.hits,
         s.cache.misses,
         s.cache.evictions,
         s.cache_hit_rate() * 100.0
     );
     println!(
-        "builds: {} cold in {} grouped rounds, {} docs; coalesced: {} in-batch, {} in-flight",
-        s.cold_builds, s.build_rounds, s.docs_built, s.batch_coalesced, s.inflight_coalesced
+        "stage-1 cache:  {} hits / {} misses, {} artifacts ~{} KiB (hit rate {:.0}%) — \
+         overlapping queries reuse per-document work",
+        s.stage1.hits,
+        s.stage1.misses,
+        s.stage1.entries,
+        s.stage1.approx_bytes / 1024,
+        s.stage1_hit_rate() * 100.0
+    );
+    println!(
+        "builds: {} cold + {} assembled in {} grouped rounds, {} docs; \
+         coalesced: {} in-batch, {} in-flight",
+        s.cold_builds,
+        s.assembled_builds,
+        s.build_rounds,
+        s.docs_built,
+        s.batch_coalesced,
+        s.inflight_coalesced
     );
     server.shutdown();
 }

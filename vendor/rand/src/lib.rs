@@ -112,7 +112,7 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
-/// Random generators (subset: [`SmallRng`] only).
+/// Random generators (subset: [`rngs::SmallRng`] only).
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
