@@ -21,7 +21,7 @@
 
 use qkb_bench::{build_fixture, clone_repo, Table};
 use qkb_qa::QaSystem;
-use qkb_serve::{KbFragment, QkbServer, QueryEngine, QueryRequest, ServeConfig};
+use qkb_serve::{QkbServer, QueryEngine, QueryRequest, ServeConfig};
 use qkb_util::json::Value;
 use qkbfly::Qkbfly;
 use rand::rngs::SmallRng;
@@ -104,8 +104,8 @@ impl QueryEngine for OverlapEngine {
         self.sys.doc_fingerprint(doc_ids)
     }
 
-    fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String> {
-        self.sys.answer_in_kb(&request.text, &fragment.kb)
+    fn answer_kb(&self, request: &QueryRequest, kb: &qkb_kb::OnTheFlyKb) -> Vec<String> {
+        self.sys.answer_in_kb(&request.text, kb)
     }
 }
 

@@ -188,6 +188,20 @@ impl BuildResult<'_> {
     }
 }
 
+/// What one [`Qkbfly::extend_kb`] call did to the target KB.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExtendOutcome {
+    /// Artifacts merged (their documents were new to the KB).
+    pub merged: usize,
+    /// Artifacts skipped because their document was already resident —
+    /// the streaming dedup count.
+    pub skipped: usize,
+    /// Summed stage timings of the merged documents: canonicalize is
+    /// this call's wall clock, the earlier slots carry the artifacts'
+    /// original compute cost (their provenance).
+    pub timings: StageTimings,
+}
+
 /// The output of the pure per-document phase (preprocessing, semantic
 /// graph, joint NED+CR) — everything that can run concurrently across
 /// the documents of a batch. Feed it to [`Qkbfly::merge_doc`] in document
@@ -199,6 +213,11 @@ impl BuildResult<'_> {
 /// `Arc<DocStage1>` in a per-document cache and be re-merged into any
 /// number of fragments ([`Qkbfly::assemble_from`]).
 pub struct DocStage1 {
+    /// Fingerprint of the source document text
+    /// (`qkb_util::fingerprint64`) — the artifact's identity for
+    /// per-document caches and the streaming dedup probe of
+    /// [`Qkbfly::extend_kb`].
+    pub fingerprint: u64,
     /// The densified per-document semantic graph.
     pub built: BuiltGraph,
     /// Resolutions chosen by the inference backend.
@@ -550,6 +569,98 @@ impl Qkbfly {
         self.assemble(stage1.iter().cloned())
     }
 
+    /// The **incremental canonicalizer**: streams new stage-1 artifacts
+    /// into an *existing* KB, continuing the deterministic document-order
+    /// fold a cold build performs — the session-scoped serving path's
+    /// "extend, don't rebuild" primitive.
+    ///
+    /// Artifacts whose document is already resident in `kb` (by text
+    /// fingerprint) are **skipped idempotently**; fresh artifacts are
+    /// merged in slice order with the next free provenance index. Because
+    /// [`qkb_kb::OnTheFlyKb`] is append-only — entities and facts are only
+    /// ever pushed, and [`qkb_kb::OnTheFlyKb::add_linked`] resolves a
+    /// repository entity seen before to its existing id — extending never
+    /// renumbers an existing entity id or rewrites an existing fact:
+    /// the KB before the call is a strict prefix of the KB after.
+    ///
+    /// **Union equivalence:** streaming a duplicate-free document
+    /// sequence through any series of `extend_kb` calls (any split, any
+    /// per-turn parallelism used to *provide* the artifacts) produces a
+    /// KB byte-identical to one cold [`Qkbfly::build_kb`] over the whole
+    /// sequence, because both paths execute the same
+    /// [`Qkbfly::merge_doc_ref`] folds in the same order with the same
+    /// indices (property-tested in `tests/properties.rs`).
+    ///
+    /// `kb` must have been grown exclusively by the recording builders
+    /// (`build_kb*`, [`Qkbfly::assemble_from`], `extend_kb` — starting
+    /// from [`qkb_kb::OnTheFlyKb::new`]), so its document registry and
+    /// provenance indices agree.
+    pub fn extend_kb(&self, kb: &mut OnTheFlyKb, stage1: &[Arc<DocStage1>]) -> ExtendOutcome {
+        let mut outcome = ExtendOutcome::default();
+        for artifact in stage1 {
+            if kb.contains_doc(artifact.fingerprint) {
+                outcome.skipped += 1;
+                continue;
+            }
+            let doc_idx = kb.n_docs() as u32;
+            let (_, diag) = self.merge_doc_ref(kb, artifact, doc_idx);
+            kb.record_doc(artifact.fingerprint);
+            outcome.timings.add(&diag.timings);
+            outcome.merged += 1;
+        }
+        self.counters.record(1, outcome.merged as u64);
+        outcome
+    }
+
+    /// Provides and streams `texts` into an existing KB in one call —
+    /// the composition of [`Qkbfly::provide_stage1`] and
+    /// [`Qkbfly::extend_kb`] session layers build on. Documents already
+    /// resident in `kb` are skipped **without being provided** (no
+    /// stage-1 compute, no cache traffic), in-call duplicates are
+    /// provided once, and the rest extend the KB in slice order; skipped
+    /// documents of either kind count into
+    /// [`ExtendOutcome::skipped`].
+    pub fn stream_into_kb(
+        &self,
+        provider: &(impl Stage1Provider + ?Sized),
+        kb: &mut OnTheFlyKb,
+        texts: &[String],
+    ) -> ExtendOutcome {
+        let mut in_call: qkb_util::FxHashSet<u64> = qkb_util::FxHashSet::default();
+        let mut resident = 0usize;
+        let fresh: Vec<&String> = texts
+            .iter()
+            .filter(|text| {
+                let fp = qkb_util::fingerprint64(text.as_bytes());
+                if kb.contains_doc(fp) || !in_call.insert(fp) {
+                    resident += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        let artifacts = self.provide_stage1(provider, fresh);
+        let mut outcome = self.extend_kb(kb, &artifacts);
+        outcome.skipped += resident;
+        outcome
+    }
+
+    /// Provides stage-1 artifacts for `texts` in order through `provider`
+    /// (compute-or-lookup), fanning distinct documents out over
+    /// [`QkbflyConfig::parallelism`] workers exactly like the build entry
+    /// points — the public half of the provide+merge split for callers
+    /// that merge through [`Qkbfly::extend_kb`] instead of assembling a
+    /// fresh KB.
+    pub fn provide_stage1<'t>(
+        &self,
+        provider: &(impl Stage1Provider + ?Sized),
+        texts: impl IntoIterator<Item = &'t String>,
+    ) -> Vec<Arc<DocStage1>> {
+        let workers = qkb_util::effective_parallelism(self.config.parallelism);
+        self.provide_all(provider, texts.into_iter(), workers)
+    }
+
     /// Provides stage-1 artifacts for `texts` in order, de-duplicated by
     /// text: each distinct document is provided exactly once (fanned out
     /// over `workers` threads when it pays) and duplicates share the Arc.
@@ -592,6 +703,7 @@ impl Qkbfly {
         let mut per_doc = Vec::new();
         for (d, stage1) in stage1_seq.enumerate() {
             let (out, diag) = self.merge_doc_ref(&mut kb, &stage1, d as u32);
+            kb.record_doc(stage1.fingerprint);
             timings.add(&diag.timings);
             for (extraction, kept, slot_entities) in out.extractions {
                 records.push(ExtractionRecord {
@@ -687,6 +799,7 @@ impl Qkbfly {
         diag.timings.resolve = t2.elapsed();
 
         DocStage1 {
+            fingerprint: qkb_util::fingerprint64(text.as_bytes()),
             built,
             outcome,
             diag,
@@ -986,6 +1099,80 @@ mod tests {
             kb_json(&sys.assemble_from(&pair)),
             kb_json(&sys.build_kb(&pair_docs))
         );
+    }
+
+    #[test]
+    fn extend_kb_streams_to_the_cold_union_build() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let docs = vec![
+            FIG2.to_string(),
+            "Brad Pitt supported the ONE Campaign.".to_string(),
+            "Pitt donated $100,000 to the Daniel Pearl Foundation.".to_string(),
+        ];
+        let stage1: Vec<Arc<DocStage1>> = docs
+            .iter()
+            .map(|t| Arc::new(sys.process_doc_stage1(t)))
+            .collect();
+        // Stream in two turns whose sets overlap on doc 1.
+        let mut kb = OnTheFlyKb::new();
+        let first = sys.extend_kb(&mut kb, &stage1[..2]);
+        assert_eq!((first.merged, first.skipped), (2, 0));
+        let names_before: Vec<String> = kb.entities().iter().map(|e| e.name.clone()).collect();
+        let facts_before = kb.n_facts();
+        let second = sys.extend_kb(&mut kb, &[stage1[1].clone(), stage1[2].clone()]);
+        assert_eq!((second.merged, second.skipped), (1, 1));
+        // Id stability: the pre-extend KB is a strict prefix of the
+        // extended one.
+        assert_eq!(
+            names_before.as_slice(),
+            &kb.entities()
+                .iter()
+                .map(|e| e.name.clone())
+                .collect::<Vec<_>>()[..names_before.len()]
+        );
+        assert!(kb.n_facts() >= facts_before);
+        // Union equivalence: byte-identical to one cold build of the
+        // de-duplicated sequence.
+        let cold = sys.build_kb(&docs);
+        assert_eq!(
+            kb.to_json(sys.patterns()).to_string(),
+            cold.kb.to_json(sys.patterns()).to_string()
+        );
+        assert_eq!(kb.n_docs(), 3);
+        // Replaying any turn is a no-op.
+        let replay = sys.extend_kb(&mut kb, &stage1);
+        assert_eq!((replay.merged, replay.skipped), (0, 3));
+        assert_eq!(
+            kb.to_json(sys.patterns()).to_string(),
+            cold.kb.to_json(sys.patterns()).to_string()
+        );
+    }
+
+    #[test]
+    fn provide_stage1_is_order_preserving_and_deduplicated() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let texts = vec![
+            FIG2.to_string(),
+            "Brad Pitt supported the ONE Campaign.".to_string(),
+            FIG2.to_string(),
+        ];
+        for workers in [1usize, 4] {
+            let handle = sys.with_parallelism(workers);
+            let before = handle.counters().stage1_computed();
+            let provided = handle.provide_stage1(&ComputeStage1, &texts);
+            assert_eq!(provided.len(), 3);
+            assert_eq!(
+                handle.counters().stage1_computed() - before,
+                2,
+                "duplicates must share one compute (workers={workers})"
+            );
+            assert!(Arc::ptr_eq(&provided[0], &provided[2]));
+            assert_eq!(
+                provided[0].fingerprint,
+                qkb_util::fingerprint64(FIG2.as_bytes())
+            );
+            assert_ne!(provided[0].fingerprint, provided[1].fingerprint);
+        }
     }
 
     #[test]

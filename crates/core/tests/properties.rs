@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use qkb_corpus::world::{World, WorldConfig};
-use qkbfly::{DocStage1, NodeKind, Qkbfly, QkbflyConfig, SolverKind, Variant};
+use qkb_kb::OnTheFlyKb;
+use qkbfly::{ComputeStage1, DocStage1, NodeKind, Qkbfly, QkbflyConfig, SolverKind, Variant};
 use std::sync::Arc;
 
 fn system(world: &World) -> Qkbfly {
@@ -132,6 +133,89 @@ proptest! {
             prop_assert_eq!(assembled.records.len(), cold.records.len());
             prop_assert_eq!(assembled.links.len(), cold.links.len());
             prop_assert_eq!(assembled.per_doc.len(), cold.per_doc.len());
+        }
+    }
+
+    /// Session-streaming invariant (union equivalence + id stability):
+    /// splitting a random document sequence into arbitrary query turns
+    /// and streaming each turn through `extend_kb` yields a KB
+    /// byte-identical to one cold `build_kb` of the de-duplicated union
+    /// in first-arrival order — at per-turn provide parallelism 1, 2 and
+    /// 8 — while already-resident documents are skipped idempotently and
+    /// existing entity ids / facts are never renumbered or rewritten by
+    /// an extension (the KB before a turn is a strict prefix of the KB
+    /// after it).
+    #[test]
+    fn streaming_extend_kb_matches_cold_union_build(
+        corpus_seed in 0u64..500,
+        turns_spec in proptest::collection::vec((0usize..6, 0u8..3), 1..9),
+    ) {
+        let world = World::generate(WorldConfig::default());
+        let sys = system(&world);
+        let pool: Vec<String> = qkb_corpus::docgen::wiki_corpus(&world, 6, corpus_seed)
+            .docs
+            .iter()
+            .map(|d| d.text.clone())
+            .collect();
+        // `turns_spec` is an arbitrary multiset/order over the pool cut
+        // into query turns: `(pick, cut)` starts a new turn whenever
+        // `cut == 0`, so turn sizes, overlaps and repeats all vary.
+        let mut turns: Vec<Vec<String>> = vec![Vec::new()];
+        for &(pick, cut) in &turns_spec {
+            if cut == 0 && !turns.last().expect("non-empty").is_empty() {
+                turns.push(Vec::new());
+            }
+            turns.last_mut().expect("non-empty").push(pool[pick % pool.len()].clone());
+        }
+        // The reference: one cold build over the de-duplicated union in
+        // first-arrival order.
+        let mut union: Vec<String> = Vec::new();
+        for text in turns.iter().flatten() {
+            if !union.contains(text) {
+                union.push(text.clone());
+            }
+        }
+        let cold = sys.build_kb(&union);
+        let cold_json = cold.kb.to_json(sys.patterns()).to_string();
+
+        for parallelism in [1usize, 2, 8] {
+            let handle = sys.with_parallelism(parallelism);
+            let mut kb = OnTheFlyKb::new();
+            let mut total_merged = 0usize;
+            let mut total_skipped = 0usize;
+            for turn in &turns {
+                // Id stability: snapshot the KB state before the turn...
+                let names_before: Vec<String> =
+                    kb.entities().iter().map(|e| e.display()).collect();
+                let facts_before = kb.n_facts();
+                let stage1 = handle.provide_stage1(&ComputeStage1, turn.iter());
+                let outcome = handle.extend_kb(&mut kb, &stage1);
+                total_merged += outcome.merged;
+                total_skipped += outcome.skipped;
+                // ... and it must be a strict prefix of the state after.
+                let names_after: Vec<String> =
+                    kb.entities().iter().map(|e| e.display()).collect();
+                prop_assert!(
+                    names_after.len() >= names_before.len()
+                        && names_after[..names_before.len()] == names_before[..],
+                    "extend_kb renumbered existing entities at parallelism {}",
+                    parallelism
+                );
+                prop_assert!(kb.n_facts() >= facts_before);
+            }
+            prop_assert_eq!(total_merged, union.len());
+            prop_assert_eq!(
+                total_merged + total_skipped,
+                turns.iter().map(Vec::len).sum::<usize>(),
+                "every streamed document is either merged once or skipped"
+            );
+            prop_assert_eq!(kb.n_docs(), union.len());
+            prop_assert_eq!(
+                &kb.to_json(sys.patterns()).to_string(),
+                &cold_json,
+                "streamed KB diverged from the cold union build at parallelism {}",
+                parallelism
+            );
         }
     }
 }

@@ -12,7 +12,7 @@ use crate::pattern::PatternRepository;
 use crate::repo::EntityRepository;
 use qkb_util::define_id;
 use qkb_util::text::normalize;
-use qkb_util::FxHashMap;
+use qkb_util::{FxHashMap, FxHashSet};
 
 define_id!(KbEntityId, "identifies an entity within one `OnTheFlyKb`");
 
@@ -55,6 +55,11 @@ pub struct OnTheFlyKb {
     entities: Vec<KbEntity>,
     facts: Vec<Fact>,
     by_repo_id: FxHashMap<EntityId, KbEntityId>,
+    /// Fingerprint of every document merged into this KB, in merge order
+    /// (duplicates appear once per merge — their index is their
+    /// provenance `doc` slot).
+    merged_docs: Vec<u64>,
+    resident_docs: FxHashSet<u64>,
 }
 
 impl OnTheFlyKb {
@@ -108,6 +113,72 @@ impl OnTheFlyKb {
     /// Adds a fact.
     pub fn push_fact(&mut self, fact: Fact) {
         self.facts.push(fact);
+    }
+
+    /// Records one merged document by the fingerprint of its text. Called
+    /// once per merge, in document order, by the builders
+    /// (`Qkbfly::assemble_from`, `build_kb`, `extend_kb`) — the number of
+    /// recorded documents is the next merge's provenance `doc` index.
+    pub fn record_doc(&mut self, fingerprint: u64) {
+        self.merged_docs.push(fingerprint);
+        self.resident_docs.insert(fingerprint);
+    }
+
+    /// True when a document with this text fingerprint has already been
+    /// merged — the streaming dedup probe (`Qkbfly::extend_kb` skips
+    /// resident documents idempotently).
+    pub fn contains_doc(&self, fingerprint: u64) -> bool {
+        self.resident_docs.contains(&fingerprint)
+    }
+
+    /// Documents merged so far (counting repeated merges of the same
+    /// text, which keep their own provenance index).
+    pub fn n_docs(&self) -> usize {
+        self.merged_docs.len()
+    }
+
+    /// Fingerprints of merged documents, in merge order.
+    pub fn merged_docs(&self) -> &[u64] {
+        &self.merged_docs
+    }
+
+    /// Approximate heap footprint in bytes — the eviction weight for
+    /// byte-budgeted session stores. Dominated by entity mention strings
+    /// and fact argument literals; map overhead is estimated per entry.
+    pub fn approx_bytes(&self) -> u64 {
+        let entity_bytes: usize = self
+            .entities
+            .iter()
+            .map(|e| {
+                std::mem::size_of::<KbEntity>()
+                    + e.name.capacity()
+                    + e.mentions.capacity() * std::mem::size_of::<String>()
+                    + e.mentions.iter().map(|m| m.capacity()).sum::<usize>()
+            })
+            .sum();
+        let arg_bytes = |a: &FactArg| match a {
+            FactArg::Entity(_) => 0,
+            FactArg::Literal(s) | FactArg::Time(s) => s.capacity(),
+        };
+        let fact_bytes: usize = self
+            .facts
+            .iter()
+            .map(|f| {
+                std::mem::size_of::<Fact>()
+                    + arg_bytes(&f.subject)
+                    + f.args.capacity() * std::mem::size_of::<FactArg>()
+                    + f.args.iter().map(arg_bytes).sum::<usize>()
+                    + match &f.relation {
+                        RelationRef::Novel(p) => p.capacity(),
+                        RelationRef::Canonical(_) => 0,
+                    }
+            })
+            .sum();
+        let map_bytes = self.by_repo_id.len()
+            * (std::mem::size_of::<EntityId>() + std::mem::size_of::<KbEntityId>() + 16)
+            + self.resident_docs.len() * (std::mem::size_of::<u64>() + 16)
+            + self.merged_docs.capacity() * std::mem::size_of::<u64>();
+        (std::mem::size_of::<Self>() + entity_bytes + fact_bytes + map_bytes) as u64
     }
 
     /// The entity record.
@@ -351,6 +422,36 @@ mod tests {
         // Emerging entities never match type filters (no repository types).
         let hits = kb.search(None, None, Some("Type:PERSON"), &repo, &patterns);
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn doc_registry_tracks_merges_and_residency() {
+        let (mut kb, _, _) = setup();
+        assert_eq!(kb.n_docs(), 0);
+        assert!(!kb.contains_doc(42));
+        kb.record_doc(42);
+        kb.record_doc(7);
+        kb.record_doc(42); // a repeated merge keeps its own index
+        assert_eq!(kb.n_docs(), 3);
+        assert_eq!(kb.merged_docs(), &[42, 7, 42]);
+        assert!(kb.contains_doc(42) && kb.contains_doc(7));
+        assert!(!kb.contains_doc(8));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let (mut kb, _, _) = setup();
+        let before = kb.approx_bytes();
+        assert!(before > 0);
+        let e = kb.add_emerging(&["Quite A Long Emerging Name".to_string()]);
+        kb.push_fact(Fact {
+            subject: FactArg::Entity(e),
+            relation: RelationRef::Novel("orbit around".into()),
+            args: vec![FactArg::Literal("a literal argument".into())],
+            confidence: 0.8,
+            provenance: Provenance::default(),
+        });
+        assert!(kb.approx_bytes() > before);
     }
 
     #[test]

@@ -145,6 +145,24 @@ impl QaSystem {
         self.qkbfly.build_kb_with(provider, &texts).kb
     }
 
+    /// Streams the given retrieved documents into an **existing** KB
+    /// through the incremental canonicalizer — the session-scoped
+    /// offline entry point (`qkb-serve`'s `query_in_session` is the
+    /// served form). Already-resident documents are skipped without
+    /// being provided; existing entity ids never change, and after any
+    /// sequence of such extensions `kb` is byte-identical to a cold
+    /// build of the distinct documents in first-arrival order, so
+    /// [`QaSystem::answer_in_kb`] over it matches the cold path exactly.
+    pub fn extend_kb_for_docs_with(
+        &self,
+        provider: &(impl Stage1Provider + ?Sized),
+        kb: &mut OnTheFlyKb,
+        doc_ids: &[usize],
+    ) -> qkbfly::ExtendOutcome {
+        let texts = self.doc_texts(doc_ids);
+        self.qkbfly.stream_into_kb(provider, kb, &texts)
+    }
+
     /// Answers a free-text question against an already-built KB fragment
     /// (step 3 of the serving path: candidates + SVM ranking only). The
     /// output is deterministic in `(question_text, kb)`, which is what
@@ -614,6 +632,38 @@ mod tests {
         let trends = trends_test(&world, 10, 2);
         let recent = trends.iter().find(|q| q.about_recent).expect("recent q");
         assert!(sys.answer(recent, QaMethod::StaticKb).is_empty());
+    }
+
+    #[test]
+    fn extended_kb_answers_match_the_cold_union_build() {
+        use qkbfly::ComputeStage1;
+        let world = Arc::new(World::generate(WorldConfig::default()));
+        let sys = setup(&world);
+        let qs = trends_test(&world, 2, 13);
+        let sets: Vec<Vec<usize>> = qs.iter().map(|q| sys.retrieve_docs(&q.text)).collect();
+        // Stream both queries' retrievals into one session-style KB.
+        let mut kb = OnTheFlyKb::new();
+        let first = sys.extend_kb_for_docs_with(&ComputeStage1, &mut kb, &sets[0]);
+        assert_eq!(first.merged, sets[0].len());
+        let second = sys.extend_kb_for_docs_with(&ComputeStage1, &mut kb, &sets[1]);
+        assert_eq!(second.merged + second.skipped, sets[1].len());
+        // The accumulated KB answers exactly like a cold build of the
+        // de-duplicated union in first-arrival order.
+        let mut union = sets[0].clone();
+        for &d in &sets[1] {
+            if !union.contains(&d) {
+                union.push(d);
+            }
+        }
+        let cold = sys.build_kb_for_docs_with(&ComputeStage1, &union);
+        for q in &qs {
+            assert_eq!(
+                sys.answer_in_kb(&q.text, &kb),
+                sys.answer_in_kb(&q.text, &cold),
+                "session-extended KB diverged for {:?}",
+                q.text
+            );
+        }
     }
 
     #[test]

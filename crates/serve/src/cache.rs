@@ -100,6 +100,11 @@ impl FragmentCache {
         self.len() == 0
     }
 
+    /// Zeroes the hit/miss/eviction counters; cached fragments stay.
+    pub fn reset_counters(&self) {
+        self.store.reset_counters()
+    }
+
     /// Counter snapshot.
     pub fn counters(&self) -> CacheCounters {
         let totals = self.store.totals();

@@ -64,10 +64,17 @@ pub trait QueryEngine: Send + Sync + 'static {
         qkb_util::fingerprint_seq(self.doc_texts(doc_ids).iter())
     }
 
-    /// Answers for a request against a built fragment. Must be
-    /// deterministic in `(request, fragment)` — the cache-hit/cold-build
-    /// byte-identity contract rests on this.
-    fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String>;
+    /// Answers for a request against any constructed on-the-fly KB —
+    /// a fragment's, or a session's accumulated one. Must be
+    /// deterministic in `(request, kb)` — the cache-hit/cold-build and
+    /// session/cold-union byte-identity contracts both rest on this.
+    fn answer_kb(&self, request: &QueryRequest, kb: &OnTheFlyKb) -> Vec<String>;
+
+    /// Answers for a request against a built fragment (the fragment
+    /// path's convenience over [`QueryEngine::answer_kb`]).
+    fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String> {
+        self.answer_kb(request, &fragment.kb)
+    }
 }
 
 /// Engines can be shared: several servers (e.g. a baseline and a cached
@@ -87,6 +94,10 @@ impl<E: QueryEngine> QueryEngine for std::sync::Arc<E> {
 
     fn doc_fingerprint(&self, doc_ids: &[usize]) -> u64 {
         (**self).doc_fingerprint(doc_ids)
+    }
+
+    fn answer_kb(&self, request: &QueryRequest, kb: &OnTheFlyKb) -> Vec<String> {
+        (**self).answer_kb(request, kb)
     }
 
     fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String> {
@@ -111,11 +122,10 @@ impl QueryEngine for QaSystem {
         QaSystem::doc_fingerprint(self, doc_ids)
     }
 
-    fn answer(&self, request: &QueryRequest, fragment: &KbFragment) -> Vec<String> {
+    fn answer_kb(&self, request: &QueryRequest, kb: &OnTheFlyKb) -> Vec<String> {
         match request.kind {
-            QueryKind::Question => self.answer_in_kb(&request.text, &fragment.kb),
-            QueryKind::EntitySeed => fragment
-                .kb
+            QueryKind::Question => self.answer_in_kb(&request.text, kb),
+            QueryKind::EntitySeed => kb
                 .search(
                     Some(&request.text),
                     None,
@@ -124,7 +134,7 @@ impl QueryEngine for QaSystem {
                     self.qkbfly().patterns(),
                 )
                 .into_iter()
-                .map(|f| fragment.kb.render_fact(f, self.qkbfly().patterns()))
+                .map(|f| kb.render_fact(f, self.qkbfly().patterns()))
                 .collect(),
         }
     }

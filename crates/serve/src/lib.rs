@@ -21,8 +21,18 @@
 //! * **admission batching** — a time/count window groups queued distinct
 //!   queries into one `build_kb_grouped` call, exploiting the parallel
 //!   per-document fan-out;
-//! * [`ServeStats`] — p50/p95 latency, throughput, cache hit rate and
-//!   per-stage build time snapshots.
+//! * **session-scoped streaming KBs** — [`QkbServer::query_in_session`]
+//!   gives each client session a long-lived, monotonically growing KB
+//!   (the paper's interactive-exploration scenario, §6): successive
+//!   queries' retrieved documents stream in through
+//!   `qkbfly::Qkbfly::extend_kb` (ids stable, already-resident documents
+//!   deduplicated, stage-1 artifacts shared with the per-document cache)
+//!   and answers come from the accumulated KB; sessions live in a
+//!   byte-budgeted, TTL-swept `qkb_session::SessionManager` shared by
+//!   all shards;
+//! * [`ServeStats`] — p50/p95 latency, throughput, cache hit rate,
+//!   per-stage build time and session-store snapshots, with
+//!   [`QkbServer::reset_stats`] as the benchmark phase boundary.
 //!
 //! Everything is built on `std::sync` channels, mutexes and threads —
 //! the offline vendor tree has no async runtime — mirroring the style of
@@ -43,6 +53,7 @@ pub mod stats;
 
 pub use cache::{CacheCounters, FragmentCache};
 pub use engine::{KbFragment, QueryEngine};
+pub use qkb_session::SessionStats;
 pub use request::{QueryKind, QueryRequest, QueryResponse, Served};
 pub use server::{QkbServer, ServeClient, ServeConfig};
 pub use stage1_cache::{Stage1Cache, Stage1Counters};

@@ -52,7 +52,7 @@ impl QueryRequest {
     }
 }
 
-/// How the server obtained the KB fragment behind a response.
+/// How the server obtained the KB behind a response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Served {
     /// The fragment was built from scratch for this batch.
@@ -61,6 +61,10 @@ pub enum Served {
     CacheHit,
     /// The request piggybacked on another worker's in-flight build.
     Coalesced,
+    /// The request started a session: its KB was empty before this turn.
+    SessionCold,
+    /// The request extended an existing session KB incrementally.
+    SessionExtended,
 }
 
 /// The server's reply to one [`QueryRequest`].
@@ -68,13 +72,14 @@ pub enum Served {
 pub struct QueryResponse {
     /// Ranked answers (questions) or rendered facts (entity seeds).
     pub answers: Vec<String>,
-    /// How the backing fragment was obtained.
+    /// How the backing KB was obtained.
     pub served: Served,
     /// Fingerprint of the retrieved-document set (the fragment-cache key).
     pub fragment_key: u64,
-    /// Documents behind the fragment.
+    /// Documents behind the answering KB (for session responses: the
+    /// whole accumulated session KB, not just this turn's retrieval).
     pub n_docs: usize,
-    /// Facts in the fragment.
+    /// Facts in the answering KB.
     pub n_facts: usize,
     /// Queue-to-reply wall clock.
     pub latency: Duration,

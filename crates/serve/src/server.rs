@@ -37,6 +37,7 @@ use crate::engine::{KbFragment, QueryEngine};
 use crate::request::{QueryRequest, QueryResponse, Served};
 use crate::stage1_cache::Stage1Cache;
 use crate::stats::{ServeMetrics, ServeStats};
+use qkb_session::{SessionConfig, SessionManager};
 use qkb_util::FxHashMap;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -71,6 +72,15 @@ pub struct ServeConfig {
     /// shards already run in parallel, so the default of 1 avoids
     /// oversubscribing cores.
     pub build_parallelism: usize,
+    /// Total byte budget across all resident session KBs
+    /// ([`QkbServer::query_in_session`]); exceeding it evicts
+    /// least-recently-used sessions. `0` = unbounded.
+    pub session_bytes: u64,
+    /// Idle TTL after which a session expires (swept on access).
+    /// `Duration::ZERO` = never.
+    pub session_ttl: Duration,
+    /// Hard cap on concurrently resident sessions; `0` = unbounded.
+    pub session_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +95,9 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             coalesce: true,
             build_parallelism: 1,
+            session_bytes: 256 << 20,
+            session_ttl: Duration::from_secs(15 * 60),
+            session_max: 1024,
         }
     }
 }
@@ -103,6 +116,10 @@ impl ServeConfig {
 struct Job {
     request: QueryRequest,
     key: String,
+    /// `Some(session_id)` routes the job through the session path: the
+    /// retrieved documents stream into that session's accumulated KB and
+    /// the answer comes from it, bypassing the fragment cache.
+    session: Option<String>,
     enqueued: Instant,
     reply: mpsc::Sender<QueryResponse>,
 }
@@ -298,17 +315,19 @@ struct Shared<E> {
     cache: FragmentCache,
     stage1: Stage1Cache,
     inflight: InFlightTable,
+    sessions: SessionManager,
     metrics: ServeMetrics,
 }
 
 impl<E: QueryEngine> Shared<E> {
     /// `None` when the server has shut down (or a worker died with the
     /// request in hand).
-    fn try_query(&self, request: QueryRequest) -> Option<QueryResponse> {
+    fn try_submit(&self, session: Option<String>, request: QueryRequest) -> Option<QueryResponse> {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             key: request.normalized_key(),
             request,
+            session,
             enqueued: Instant::now(),
             reply: tx,
         };
@@ -317,7 +336,12 @@ impl<E: QueryEngine> Shared<E> {
     }
 
     fn query(&self, request: QueryRequest) -> QueryResponse {
-        self.try_query(request)
+        self.try_submit(None, request)
+            .expect("query submitted to a shut-down server")
+    }
+
+    fn query_in_session(&self, session_id: &str, request: QueryRequest) -> QueryResponse {
+        self.try_submit(Some(session_id.to_string()), request)
             .expect("query submitted to a shut-down server")
     }
 }
@@ -353,7 +377,25 @@ impl<E: QueryEngine> ServeClient<E> {
     /// Like [`ServeClient::query`], but returns `None` once the server
     /// has shut down instead of panicking.
     pub fn try_query(&self, request: QueryRequest) -> Option<QueryResponse> {
-        self.shared.try_query(request)
+        self.shared.try_submit(None, request)
+    }
+
+    /// Submits one query into a long-lived session: the retrieved
+    /// documents stream into the session's accumulated KB (paying stage 1
+    /// only for never-seen ones) and the answer comes from the whole KB.
+    pub fn query_in_session(&self, session_id: &str, request: QueryRequest) -> QueryResponse {
+        self.shared.query_in_session(session_id, request)
+    }
+
+    /// Like [`ServeClient::query_in_session`], but returns `None` once
+    /// the server has shut down instead of panicking.
+    pub fn try_query_in_session(
+        &self,
+        session_id: &str,
+        request: QueryRequest,
+    ) -> Option<QueryResponse> {
+        self.shared
+            .try_submit(Some(session_id.to_string()), request)
     }
 }
 
@@ -364,6 +406,11 @@ impl<E: QueryEngine> QkbServer<E> {
         let shared = Arc::new(Shared {
             cache: FragmentCache::new(config.cache_capacity, config.cache_shards),
             stage1: Stage1Cache::new(config.stage1_cache_bytes, config.stage1_cache_shards),
+            sessions: SessionManager::new(SessionConfig {
+                max_bytes: config.session_bytes,
+                ttl: config.session_ttl,
+                max_sessions: config.session_max,
+            }),
             engine: Arc::new(engine),
             queue: AdmissionQueue::new(),
             inflight: InFlightTable::new(),
@@ -396,12 +443,38 @@ impl<E: QueryEngine> QkbServer<E> {
         self.shared.query(request)
     }
 
+    /// Submits one query into a long-lived session (see
+    /// [`ServeClient::query_in_session`]).
+    pub fn query_in_session(&self, session_id: &str, request: QueryRequest) -> QueryResponse {
+        self.shared.query_in_session(session_id, request)
+    }
+
     /// A stats snapshot (latency percentiles, throughput, both cache
-    /// tiers' counters).
+    /// tiers' counters, session-store counters).
     pub fn stats(&self) -> ServeStats {
-        self.shared
-            .metrics
-            .snapshot(self.shared.cache.counters(), self.shared.stage1.counters())
+        self.shared.metrics.snapshot(
+            self.shared.cache.counters(),
+            self.shared.stage1.counters(),
+            self.shared.sessions.stats(),
+        )
+    }
+
+    /// Zeroes every monotonic counter (requests, latencies, build
+    /// rounds, cache and session-store counters) and restarts the
+    /// throughput clock. Benchmarks call this at phase boundaries so a
+    /// phase's stats are read directly instead of hand-subtracting two
+    /// snapshots; cached entries and resident sessions are untouched.
+    pub fn reset_stats(&self) {
+        self.shared.metrics.reset();
+        self.shared.cache.reset_counters();
+        self.shared.stage1.reset_counters();
+        self.shared.sessions.reset_counters();
+    }
+
+    /// Sweeps idle sessions past the TTL (also happens opportunistically
+    /// on every session query).
+    pub fn sweep_sessions(&self) {
+        self.shared.sessions.sweep();
     }
 
     /// Stops accepting queries, drains the queue, joins the shards.
@@ -454,10 +527,27 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
             return; // closed and drained
         }
 
+        // --- session turns leave the batch first: a session answer
+        // depends on the session's accumulated KB, not just the query
+        // text, so these jobs are never grouped, coalesced or served
+        // from the fragment cache — they stream into their session in
+        // arrival order (per-session slot locks serialize turns on one
+        // session across shards) ---
+        let mut session_jobs: Vec<Job> = Vec::new();
+        let mut batch_jobs: Vec<Job> = Vec::new();
+        for job in jobs {
+            if job.session.is_some() {
+                session_jobs.push(job);
+            } else {
+                batch_jobs.push(job);
+            }
+        }
+        let n_session = session_jobs.len();
+
         // --- coalesce identical queries within the batch ---
         let mut groups: Vec<Group> = Vec::new();
         let mut by_key: FxHashMap<String, usize> = FxHashMap::default();
-        for job in jobs {
+        for job in batch_jobs {
             match by_key.get(&job.key) {
                 Some(&g) => groups[g].jobs.push(job),
                 None => {
@@ -467,9 +557,17 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
             }
         }
         let n_jobs: usize = groups.iter().map(|g| g.jobs.len()).sum();
-        shared
-            .metrics
-            .note_batch(n_jobs as u64, groups.len() as u64);
+        shared.metrics.note_batch(
+            (n_jobs + n_session) as u64,
+            (groups.len() + n_session) as u64,
+        );
+
+        for job in session_jobs {
+            run_session_turn(shared, &qkb, job);
+        }
+        if groups.is_empty() {
+            continue;
+        }
 
         // --- resolve each group (cache / in-flight / build), then run
         // one grouped build for every miss. The whole section is
@@ -616,6 +714,43 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
     }
 }
 
+/// One session turn: retrieve, stream the retrieved documents into the
+/// session's KB (stage-1 artifacts compute-or-lookup through the shared
+/// per-document cache — a document any earlier query paid for is free
+/// here too), answer from the whole accumulated KB, reply.
+fn run_session_turn<E: QueryEngine>(shared: &Shared<E>, qkb: &qkbfly::Qkbfly, job: Job) {
+    let session_id = job.session.as_deref().expect("session job");
+    let doc_ids = shared.engine.retrieve(&job.request);
+    let fkey = shared.engine.doc_fingerprint(&doc_ids);
+    let texts = shared.engine.doc_texts(&doc_ids);
+    let (report, answers, n_docs, n_facts) = shared.sessions.with_session(session_id, |session| {
+        let report = session.extend(qkb, &shared.stage1, &texts);
+        let answers = shared.engine.answer_kb(&job.request, session.kb());
+        (
+            report,
+            answers,
+            session.kb().n_docs(),
+            session.kb().n_facts(),
+        )
+    });
+    shared.sessions.note_turn(&report);
+    let served = if report.cold {
+        Served::SessionCold
+    } else {
+        Served::SessionExtended
+    };
+    let latency = job.enqueued.elapsed();
+    shared.metrics.note_request(latency);
+    let _ = job.reply.send(QueryResponse {
+        answers,
+        served,
+        fragment_key: fkey,
+        n_docs,
+        n_facts,
+        latency,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,6 +760,7 @@ mod tests {
         Job {
             request: QueryRequest::question(key),
             key: key.to_string(),
+            session: None,
             enqueued: Instant::now(),
             reply: tx,
         }

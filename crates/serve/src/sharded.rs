@@ -101,6 +101,15 @@ impl<V: Clone> ShardedLru<V> {
         self.misses.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Zeroes the hit/miss/eviction counters (benchmark phase
+    /// boundaries); cached entries stay resident — occupancy is state,
+    /// not a counter.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
     /// Inserts `key → value` carrying `weight`, counting capacity
     /// evictions. A same-key replacement is a refresh and an insert
     /// bounced straight back out (zero capacity, or heavier than a

@@ -119,6 +119,11 @@ impl Stage1Cache {
         self.len() == 0
     }
 
+    /// Zeroes the hit/miss/eviction counters; cached artifacts stay.
+    pub fn reset_counters(&self) {
+        self.store.reset_counters()
+    }
+
     /// Counter snapshot.
     pub fn counters(&self) -> Stage1Counters {
         let totals = self.store.totals();

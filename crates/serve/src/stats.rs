@@ -4,6 +4,7 @@
 
 use crate::cache::CacheCounters;
 use crate::stage1_cache::Stage1Counters;
+use qkb_session::SessionStats;
 use qkb_util::json::Value;
 use qkbfly::StageTimings;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,7 +18,7 @@ const MAX_LATENCY_SAMPLES: usize = 1 << 20;
 
 /// Shared interior-mutable metrics sink the worker shards write into.
 pub(crate) struct ServeMetrics {
-    started: Instant,
+    started: Mutex<Instant>,
     requests: AtomicU64,
     batches: AtomicU64,
     build_rounds: AtomicU64,
@@ -36,7 +37,7 @@ pub(crate) struct ServeMetrics {
 impl ServeMetrics {
     pub(crate) fn new() -> Self {
         Self {
-            started: Instant::now(),
+            started: Mutex::new(Instant::now()),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             build_rounds: AtomicU64::new(0),
@@ -99,7 +100,37 @@ impl ServeMetrics {
         }
     }
 
-    pub(crate) fn snapshot(&self, cache: CacheCounters, stage1: Stage1Counters) -> ServeStats {
+    /// Zeroes every counter and restarts the throughput clock — the
+    /// benchmark phase boundary (`QkbServer::reset_stats` also resets
+    /// both cache tiers' and the session store's counters so phases
+    /// never hand-subtract).
+    pub(crate) fn reset(&self) {
+        *self.started.lock().expect("metrics clock") = Instant::now();
+        for counter in [
+            &self.requests,
+            &self.batches,
+            &self.build_rounds,
+            &self.cold_builds,
+            &self.assembled_builds,
+            &self.docs_built,
+            &self.batch_coalesced,
+            &self.inflight_coalesced,
+            &self.build_preprocess_us,
+            &self.build_graph_us,
+            &self.build_resolve_us,
+            &self.build_canonicalize_us,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+        self.latencies_us.lock().expect("latency sink").clear();
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        cache: CacheCounters,
+        stage1: Stage1Counters,
+        sessions: SessionStats,
+    ) -> ServeStats {
         let samples = {
             let mut s = self.latencies_us.lock().expect("latency sink").clone();
             s.sort_unstable();
@@ -117,7 +148,7 @@ impl ServeMetrics {
         } else {
             samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1000.0
         };
-        let elapsed = self.started.elapsed();
+        let elapsed = self.started.lock().expect("metrics clock").elapsed();
         let requests = self.requests.load(Ordering::Relaxed);
         ServeStats {
             requests,
@@ -128,6 +159,7 @@ impl ServeMetrics {
             latency_mean_ms: mean_ms,
             cache,
             stage1,
+            sessions,
             batches: self.batches.load(Ordering::Relaxed),
             build_rounds: self.build_rounds.load(Ordering::Relaxed),
             cold_builds: self.cold_builds.load(Ordering::Relaxed),
@@ -167,6 +199,9 @@ pub struct ServeStats {
     /// Per-document stage-1 cache counters (tier one: cross-query
     /// document reuse).
     pub stage1: Stage1Counters,
+    /// Session-store counters (session-scoped streaming KBs:
+    /// live/evicted sessions, extend-vs-cold turns, streaming dedup).
+    pub sessions: SessionStats,
     /// Admission batches processed.
     pub batches: u64,
     /// Grouped `build_kb` rounds executed.
@@ -218,6 +253,7 @@ impl ServeStats {
             .with("stage1_bytes", self.stage1.approx_bytes)
             .with("stage1_capacity_bytes", self.stage1.capacity_bytes)
             .with("stage1_hit_rate", self.stage1_hit_rate())
+            .with("sessions", self.sessions.to_json())
             .with("batches", self.batches)
             .with("build_rounds", self.build_rounds)
             .with("cold_builds", self.cold_builds)

@@ -322,6 +322,156 @@ fn disabled_stage1_cache_recomputes_overlap() {
     server.shutdown();
 }
 
+/// Session-scoped streaming: successive queries in one session stream
+/// their retrieved documents into one growing KB, and every turn's
+/// answer is byte-identical to answering over a cold `build_kb` of the
+/// union of all documents retrieved so far (first-arrival order). Stage 1
+/// runs once per distinct document — across turns *and* across sessions,
+/// through the shared per-document cache.
+#[test]
+fn session_turns_answer_from_the_accumulated_union_kb() {
+    let sys = Arc::new(engine());
+    let qs = questions(&sys, 4);
+    let server = QkbServer::start(
+        sys.clone(),
+        ServeConfig {
+            shards: 2,
+            stage1_cache_bytes: 256 << 20,
+            ..ServeConfig::default()
+        },
+    );
+    let mut union: Vec<String> = Vec::new();
+    let mut retrieved_total = 0usize;
+    for (turn, q) in qs.iter().enumerate() {
+        let response = server.query_in_session("alice", QueryRequest::question(q));
+        // Offline mirror of the session's accumulated document set.
+        let texts = sys.doc_texts(&sys.retrieve_docs(q));
+        retrieved_total += texts.len();
+        for text in texts {
+            if !union.contains(&text) {
+                union.push(text);
+            }
+        }
+        let expected = sys.answer_in_kb(q, &sys.qkbfly().build_kb(&union).kb);
+        assert_eq!(
+            response.answers, expected,
+            "turn {turn}: session answer must equal the cold union build's"
+        );
+        assert_eq!(response.n_docs, union.len(), "turn {turn}");
+        assert_eq!(
+            response.served,
+            if turn == 0 {
+                Served::SessionCold
+            } else {
+                Served::SessionExtended
+            },
+            "turn {turn}"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.sessions.docs_merged as usize, union.len());
+    assert_eq!(
+        stats.sessions.docs_deduped as usize,
+        retrieved_total - union.len(),
+        "every re-retrieved document is streaming-deduped: {stats:?}"
+    );
+    assert_eq!(stats.sessions.turns_cold, 1);
+    assert_eq!(stats.sessions.turns_extended, (qs.len() - 1) as u64);
+    assert_eq!(stats.sessions.live, 1);
+    assert_eq!(
+        stats.stage1.misses as usize,
+        union.len(),
+        "stage 1 is provided once per distinct session document"
+    );
+
+    // A second session is isolated — same question, fresh cold KB — but
+    // shares the per-document cache: all its documents are stage-1 hits.
+    let bob_docs = sys.doc_texts(&sys.retrieve_docs(&qs[0])).len();
+    let hits_before = server.stats().stage1.hits;
+    let response = server.query_in_session("bob", QueryRequest::question(&qs[0]));
+    assert_eq!(response.served, Served::SessionCold);
+    assert_eq!(response.answers, cold_answers(&sys, &qs[0]));
+    let stats = server.stats();
+    assert_eq!(stats.sessions.live, 2);
+    assert_eq!(
+        (stats.stage1.hits - hits_before) as usize,
+        bob_docs,
+        "cross-session document reuse must hit the shared stage-1 cache"
+    );
+    server.shutdown();
+}
+
+/// The serving layer's session TTL: an idle session expires and its id
+/// starts cold on the next query, with the eviction counted.
+#[test]
+fn idle_sessions_expire_through_the_serve_config_ttl() {
+    let sys = Arc::new(engine());
+    let q = questions(&sys, 1).remove(0);
+    let server = QkbServer::start(
+        sys.clone(),
+        ServeConfig {
+            shards: 1,
+            session_ttl: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+    );
+    let first = server.query_in_session("s", QueryRequest::question(&q));
+    assert_eq!(first.served, Served::SessionCold);
+    let warm = server.query_in_session("s", QueryRequest::question(&q));
+    assert_eq!(
+        warm.served,
+        Served::SessionExtended,
+        "inside the TTL the session persists (even with nothing new to merge)"
+    );
+    std::thread::sleep(Duration::from_millis(80));
+    server.sweep_sessions();
+    assert_eq!(server.stats().sessions.evicted_ttl, 1);
+    let cold_again = server.query_in_session("s", QueryRequest::question(&q));
+    assert_eq!(cold_again.served, Served::SessionCold);
+    assert_eq!(cold_again.answers, first.answers);
+    server.shutdown();
+}
+
+/// `reset_stats` is a phase boundary: counters drop to zero, resident
+/// state (cached fragments, live sessions) survives.
+#[test]
+fn reset_stats_zeroes_counters_but_keeps_resident_state() {
+    let sys = Arc::new(engine());
+    let qs = questions(&sys, 2);
+    let server = QkbServer::start(
+        sys.clone(),
+        ServeConfig {
+            shards: 1,
+            cache_capacity: 16,
+            batch_max: 1,
+            batch_window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    let _ = server.query(QueryRequest::question(&qs[0]));
+    let _ = server.query_in_session("s", QueryRequest::question(&qs[1]));
+    let before = server.stats();
+    assert!(before.requests == 2 && before.sessions.turns() == 1);
+    server.reset_stats();
+    let after = server.stats();
+    assert_eq!(after.requests, 0);
+    assert_eq!(after.cache.hits + after.cache.misses, 0);
+    assert_eq!(after.stage1.hits + after.stage1.misses, 0);
+    assert_eq!(after.sessions.turns(), 0);
+    assert_eq!(after.latency_p95_ms, 0.0);
+    // Resident state survives the reset: the repeat is still a cache
+    // hit and the session still extends.
+    assert_eq!(after.cache.entries, before.cache.entries);
+    assert_eq!(after.sessions.live, 1);
+    let warm = server.query(QueryRequest::question(&qs[0]));
+    assert_eq!(warm.served, Served::CacheHit);
+    let turn = server.query_in_session("s", QueryRequest::question(&qs[1]));
+    assert_eq!(turn.served, Served::SessionExtended);
+    let stats = server.stats();
+    assert_eq!((stats.requests, stats.cache.hits), (2, 1));
+    server.shutdown();
+}
+
 #[test]
 fn entity_seed_requests_serve_rendered_facts() {
     let sys = Arc::new(engine());

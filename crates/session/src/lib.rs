@@ -1,0 +1,36 @@
+//! # qkb-session
+//!
+//! Session-scoped **streaming** knowledge bases — the paper's
+//! interactive-exploration scenario (§6): a user issues a *sequence* of
+//! related queries, and every query's retrieved documents stream into one
+//! long-lived, monotonically growing KB instead of being answered from an
+//! isolated throw-away fragment.
+//!
+//! * [`SessionKb`] — one session's accumulated KB plus its turn protocol:
+//!   each turn filters the retrieved documents against the KB's resident
+//!   set, provides stage-1 artifacts for the true misses only (through
+//!   any `qkbfly::Stage1Provider`, e.g. the serving layer's shared
+//!   per-document cache), and folds them in with the incremental
+//!   canonicalizer `Qkbfly::extend_kb` — existing entity ids never change
+//!   and the result is byte-identical to a cold build of the union;
+//! * [`SessionManager`] — the concurrent session store: session ids map
+//!   to independently locked slots (turns on different sessions run in
+//!   parallel, turns on one session serialize), with **byte-budgeted LRU
+//!   eviction** across sessions and an opportunistic **TTL sweep** for
+//!   idle ones. An evicted id starts cold on its next use — stale state
+//!   is never resurrected;
+//! * [`SessionStats`] — sessions created/live/evicted, extend-vs-cold
+//!   turns, per-document dedup counts; the serving layer folds the
+//!   snapshot into its `ServeStats`.
+//!
+//! Everything is `std::sync` (mutex-per-slot plus one short-lived manager
+//! lock); there is no background thread — the TTL sweep runs on access
+//! and on demand ([`SessionManager::sweep`]).
+
+pub mod manager;
+pub mod session;
+pub mod stats;
+
+pub use manager::{SessionConfig, SessionManager};
+pub use session::{SessionKb, TurnReport};
+pub use stats::SessionStats;

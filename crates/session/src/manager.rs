@@ -1,0 +1,360 @@
+//! The concurrent session store: byte-budgeted LRU with a TTL sweep.
+
+use crate::session::{SessionKb, TurnReport};
+use crate::stats::{SessionCounters, SessionStats};
+use qkb_util::FxHashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Session-store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Total byte budget across all resident session KBs; exceeding it
+    /// evicts least-recently-used sessions. `0` = unbounded.
+    pub max_bytes: u64,
+    /// Idle time after which a session expires (swept on access and via
+    /// [`SessionManager::sweep`]). `Duration::ZERO` = never.
+    pub ttl: Duration,
+    /// Hard cap on resident sessions; creating one past the cap evicts
+    /// the least-recently-used. `0` = unbounded.
+    pub max_sessions: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            max_bytes: 256 << 20,
+            ttl: Duration::from_secs(15 * 60),
+            max_sessions: 1024,
+        }
+    }
+}
+
+/// One resident session: its independently locked KB slot plus the
+/// bookkeeping the manager needs without taking that lock.
+struct Entry {
+    slot: Arc<Mutex<SessionKb>>,
+    /// Weight last observed after a turn (the slot lock is *not* held
+    /// while the manager accounts, so this trails an in-flight extend —
+    /// the budget is enforced when the turn completes).
+    bytes: u64,
+    /// Turn count the recorded weight was observed at: weight commits
+    /// are monotonic in it, so a turn that finished first but reweighs
+    /// last cannot overwrite a newer observation with a stale one.
+    bytes_turn: u64,
+    last_used: Instant,
+    /// Monotonic touch sequence — the LRU order (strictly increasing,
+    /// unlike `last_used` which a coarse clock could tie).
+    seq: u64,
+}
+
+struct Inner {
+    sessions: FxHashMap<String, Entry>,
+    total_bytes: u64,
+    seq: u64,
+    /// Next opportunistic TTL sweep (rate-limited so the per-turn claim
+    /// stays O(1) instead of scanning every resident session).
+    next_sweep: Instant,
+}
+
+/// The session store shared by every serving shard.
+///
+/// Lock discipline: the manager lock is held only for map bookkeeping
+/// (claim, sweep, weight accounting); each session's KB sits behind its
+/// own mutex, so turns on *different* sessions run concurrently while
+/// turns on *one* session serialize in arrival order. A session evicted
+/// while a turn is in flight finishes that turn on its private `Arc` and
+/// is then discarded — the next use of the id starts cold, never
+/// resurrecting stale state.
+pub struct SessionManager {
+    inner: Mutex<Inner>,
+    config: SessionConfig,
+    counters: SessionCounters,
+}
+
+impl SessionManager {
+    /// An empty store under the given budget/TTL policy.
+    pub fn new(config: SessionConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                sessions: FxHashMap::default(),
+                total_bytes: 0,
+                seq: 0,
+                next_sweep: Instant::now(),
+            }),
+            config,
+            counters: SessionCounters::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs `f` with exclusive access to the session's KB (creating the
+    /// session if the id is new or was evicted), then re-weighs the
+    /// session and enforces the byte budget. Expired sessions are swept
+    /// on the way in, so an id idle past the TTL starts cold here.
+    pub fn with_session<R>(&self, id: &str, f: impl FnOnce(&mut SessionKb) -> R) -> R {
+        let slot = self.claim(id);
+        let (result, bytes, turn) = {
+            let mut kb = slot.lock().expect("session slot");
+            let result = f(&mut kb);
+            (result, kb.approx_bytes(), kb.turns())
+        };
+        self.reweigh(id, &slot, bytes, turn);
+        result
+    }
+
+    /// Folds one turn's outcome into the stats counters (the serving
+    /// layer calls this right after the extend+answer closure).
+    pub fn note_turn(&self, report: &TurnReport) {
+        self.counters.note_turn(report);
+    }
+
+    /// Sweeps idle sessions past the TTL (also runs opportunistically,
+    /// rate-limited, on every [`SessionManager::with_session`]).
+    pub fn sweep(&self) {
+        let mut inner = self.inner.lock().expect("session manager");
+        self.sweep_locked(&mut inner, Instant::now(), true);
+    }
+
+    /// Sessions resident right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("session manager").sessions.len()
+    }
+
+    /// True when no session is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot plus current occupancy.
+    pub fn stats(&self) -> SessionStats {
+        let (live, approx_bytes) = {
+            let inner = self.inner.lock().expect("session manager");
+            (inner.sessions.len(), inner.total_bytes)
+        };
+        SessionStats {
+            live,
+            approx_bytes,
+            capacity_bytes: self.config.max_bytes,
+            created: self.counters.created.load(Ordering::Relaxed),
+            evicted_ttl: self.counters.evicted_ttl.load(Ordering::Relaxed),
+            evicted_pressure: self.counters.evicted_pressure.load(Ordering::Relaxed),
+            turns_cold: self.counters.turns_cold.load(Ordering::Relaxed),
+            turns_extended: self.counters.turns_extended.load(Ordering::Relaxed),
+            docs_merged: self.counters.docs_merged.load(Ordering::Relaxed),
+            docs_deduped: self.counters.docs_deduped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the monotonic counters (benchmark phase boundaries);
+    /// resident sessions and their bytes are untouched.
+    pub fn reset_counters(&self) {
+        self.counters.reset();
+    }
+
+    /// Fetches (or creates) the session slot, touching its LRU position.
+    fn claim(&self, id: &str) -> Arc<Mutex<SessionKb>> {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("session manager");
+        self.sweep_locked(&mut inner, now, false);
+        inner.seq += 1;
+        let seq = inner.seq;
+        let ttl = self.config.ttl;
+        let stale = match inner.sessions.get_mut(id) {
+            Some(entry) if ttl.is_zero() || now.duration_since(entry.last_used) <= ttl => {
+                entry.last_used = now;
+                entry.seq = seq;
+                return entry.slot.clone();
+            }
+            // Idle past the TTL but not yet swept (opportunistic sweeps
+            // are rate-limited): expire it here — an id idle past the
+            // TTL always starts cold, sweep or no sweep.
+            Some(_) => true,
+            None => false,
+        };
+        if stale {
+            let entry = inner.sessions.remove(id).expect("stale resident");
+            inner.total_bytes -= entry.bytes;
+            SessionCounters::bump(&self.counters.evicted_ttl, 1);
+        }
+        if self.config.max_sessions > 0 {
+            while inner.sessions.len() >= self.config.max_sessions {
+                if !self.evict_lru_locked(&mut inner) {
+                    break;
+                }
+            }
+        }
+        let session = SessionKb::new();
+        let bytes = session.approx_bytes();
+        let slot = Arc::new(Mutex::new(session));
+        inner.total_bytes += bytes;
+        inner.sessions.insert(
+            id.to_string(),
+            Entry {
+                slot: slot.clone(),
+                bytes,
+                bytes_turn: 0,
+                last_used: now,
+                seq,
+            },
+        );
+        SessionCounters::bump(&self.counters.created, 1);
+        slot
+    }
+
+    /// Commits the session's weight as observed after turn `turn` — only
+    /// if the id still maps to the *same* slot (an eviction raced the
+    /// turn otherwise, and the orphaned state must stay discarded) and
+    /// the observation is at least as new as the last committed one (two
+    /// turns' reweighs can arrive out of order; a stale weight must not
+    /// overwrite a newer one and under-count the budget) — refreshes the
+    /// idle clock so a turn longer than the TTL does not expire the
+    /// session it just extended, then enforces the byte budget.
+    fn reweigh(&self, id: &str, slot: &Arc<Mutex<SessionKb>>, bytes: u64, turn: u64) {
+        let mut inner = self.inner.lock().expect("session manager");
+        let inner = &mut *inner;
+        if let Some(entry) = inner.sessions.get_mut(id) {
+            if Arc::ptr_eq(&entry.slot, slot) && turn >= entry.bytes_turn {
+                inner.total_bytes = inner.total_bytes - entry.bytes + bytes;
+                entry.bytes = bytes;
+                entry.bytes_turn = turn;
+                entry.last_used = Instant::now();
+            }
+        }
+        if self.config.max_bytes > 0 {
+            while inner.total_bytes > self.config.max_bytes {
+                if !self.evict_lru_locked(inner) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used session; false when the store is
+    /// empty. O(live sessions) — the store holds client sessions, not
+    /// cache lines, so a scan beats the bookkeeping of an intrusive list.
+    fn evict_lru_locked(&self, inner: &mut Inner) -> bool {
+        let victim = inner
+            .sessions
+            .iter()
+            .min_by_key(|(_, entry)| entry.seq)
+            .map(|(id, _)| id.clone());
+        match victim {
+            Some(id) => {
+                let entry = inner.sessions.remove(&id).expect("victim resident");
+                inner.total_bytes -= entry.bytes;
+                SessionCounters::bump(&self.counters.evicted_pressure, 1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes sessions idle past the TTL. Opportunistic (unforced)
+    /// sweeps are rate-limited to one full scan per quarter-TTL, so the
+    /// per-turn claim does not pay an O(live sessions) scan under the
+    /// global lock on every query.
+    fn sweep_locked(&self, inner: &mut Inner, now: Instant, force: bool) {
+        let ttl = self.config.ttl;
+        if ttl.is_zero() || (!force && now < inner.next_sweep) {
+            return;
+        }
+        inner.next_sweep = now + ttl / 4;
+        let (counters, total_bytes) = (&self.counters, &mut inner.total_bytes);
+        inner.sessions.retain(|_, entry| {
+            let live = now.duration_since(entry.last_used) <= ttl;
+            if !live {
+                *total_bytes -= entry.bytes;
+                SessionCounters::bump(&counters.evicted_ttl, 1);
+            }
+            live
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(config: SessionConfig) -> SessionManager {
+        SessionManager::new(config)
+    }
+
+    #[test]
+    fn sessions_are_independent_and_sticky() {
+        let m = manager(SessionConfig::default());
+        let a1 = m.with_session("a", |s| {
+            s.kb() as *const _ as usize // identity probe
+        });
+        let a2 = m.with_session("a", |s| s.kb() as *const _ as usize);
+        let b = m.with_session("b", |s| s.kb() as *const _ as usize);
+        assert_eq!(a1, a2, "same id must reuse the same session KB");
+        assert_ne!(a1, b, "distinct ids must hold distinct KBs");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.stats().created, 2);
+    }
+
+    #[test]
+    fn max_sessions_evicts_least_recently_used() {
+        let m = manager(SessionConfig {
+            max_sessions: 2,
+            max_bytes: 0,
+            ttl: Duration::ZERO,
+        });
+        m.with_session("a", |_| ());
+        m.with_session("b", |_| ());
+        m.with_session("a", |_| ()); // touch: b is now LRU
+        m.with_session("c", |_| ()); // evicts b
+        assert_eq!(m.len(), 2);
+        let stats = m.stats();
+        assert_eq!(stats.evicted_pressure, 1);
+        // b comes back cold, evicting a (LRU after c's touch).
+        let turns = m.with_session("b", |s| s.turns());
+        assert_eq!(turns, 0, "recreated session must start cold");
+        assert_eq!(m.stats().created, 4);
+    }
+
+    #[test]
+    fn ttl_sweep_expires_idle_sessions() {
+        let m = manager(SessionConfig {
+            ttl: Duration::from_millis(20),
+            max_bytes: 0,
+            max_sessions: 0,
+        });
+        m.with_session("a", |_| ());
+        assert_eq!(m.len(), 1);
+        std::thread::sleep(Duration::from_millis(40));
+        m.sweep();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.stats().evicted_ttl, 1);
+    }
+
+    #[test]
+    fn stats_note_turn_splits_cold_and_extended() {
+        let m = manager(SessionConfig::default());
+        m.note_turn(&TurnReport {
+            cold: true,
+            merged: 3,
+            deduped: 0,
+            ..Default::default()
+        });
+        m.note_turn(&TurnReport {
+            cold: false,
+            merged: 1,
+            deduped: 2,
+            ..Default::default()
+        });
+        let stats = m.stats();
+        assert_eq!((stats.turns_cold, stats.turns_extended), (1, 1));
+        assert_eq!((stats.docs_merged, stats.docs_deduped), (4, 2));
+        assert_eq!(stats.turns(), 2);
+        assert!((stats.dedup_rate() - 2.0 / 6.0).abs() < 1e-12);
+        m.reset_counters();
+        assert_eq!(m.stats().turns(), 0);
+    }
+}

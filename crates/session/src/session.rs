@@ -1,0 +1,145 @@
+//! One session's growing KB and its turn protocol.
+
+use qkb_kb::OnTheFlyKb;
+use qkbfly::{Qkbfly, Stage1Provider, StageTimings};
+
+/// What one query turn did to a session KB.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TurnReport {
+    /// True when the session KB was empty before this turn — the turn
+    /// paid a cold build rather than an incremental extension.
+    pub cold: bool,
+    /// Documents newly merged into the session KB this turn.
+    pub merged: usize,
+    /// Documents skipped because they were already resident in the
+    /// session KB (or repeated within the turn) — the streaming dedup
+    /// count.
+    pub deduped: usize,
+    /// Stage timings of the merged documents (canonicalize is this
+    /// turn's wall clock; earlier slots carry the artifacts' original
+    /// compute cost).
+    pub timings: StageTimings,
+}
+
+/// A session-scoped, monotonically growing on-the-fly KB.
+///
+/// Successive query turns stream their retrieved documents in via
+/// [`SessionKb::extend`]; the underlying KB only ever grows (entities
+/// and facts are append-only, ids are stable across turns), and after
+/// any sequence of turns it is byte-identical to one cold
+/// `Qkbfly::build_kb` over the distinct documents in first-arrival
+/// order.
+#[derive(Default)]
+pub struct SessionKb {
+    kb: OnTheFlyKb,
+    turns: u64,
+}
+
+impl SessionKb {
+    /// An empty session KB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated KB (answer queries against this).
+    pub fn kb(&self) -> &OnTheFlyKb {
+        &self.kb
+    }
+
+    /// Query turns streamed into this session so far.
+    pub fn turns(&self) -> u64 {
+        self.turns
+    }
+
+    /// Approximate heap footprint — the session's weight under the
+    /// manager's byte budget.
+    pub fn approx_bytes(&self) -> u64 {
+        self.kb.approx_bytes() + std::mem::size_of::<Self>() as u64
+    }
+
+    /// Streams one query turn's retrieved documents into the session KB.
+    ///
+    /// Documents already resident (by text fingerprint) are skipped
+    /// without touching `provider` — an overlapping follow-up query costs
+    /// stage 1 only for its never-seen documents, and nothing at all when
+    /// fully covered. Fresh documents are provided (fanned out over the
+    /// system's `parallelism` workers, compute-or-lookup through
+    /// `provider`) and folded in by `Qkbfly::extend_kb` in retrieval
+    /// order.
+    pub fn extend(
+        &mut self,
+        qkb: &Qkbfly,
+        provider: &(impl Stage1Provider + ?Sized),
+        texts: &[String],
+    ) -> TurnReport {
+        let cold = self.kb.n_docs() == 0;
+        let outcome = qkb.stream_into_kb(provider, &mut self.kb, texts);
+        self.turns += 1;
+        TurnReport {
+            cold,
+            merged: outcome.merged,
+            deduped: outcome.skipped,
+            timings: outcome.timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkb_kb::{BackgroundStats, EntityRepository, PatternRepository};
+    use qkbfly::ComputeStage1;
+
+    fn tiny_system() -> Qkbfly {
+        Qkbfly::new(
+            EntityRepository::new(),
+            PatternRepository::standard(),
+            BackgroundStats::empty(),
+        )
+    }
+
+    #[test]
+    fn overlapping_turns_dedup_and_grow_monotonically() {
+        let qkb = tiny_system();
+        let mut session = SessionKb::new();
+        let a = "Ada Lovelace wrote the first program.".to_string();
+        let b = "Alan Turing proposed the imitation game.".to_string();
+        let c = "Grace Hopper built the first compiler.".to_string();
+
+        let t1 = session.extend(&qkb, &ComputeStage1, &[a.clone(), b.clone()]);
+        assert!(t1.cold);
+        assert_eq!((t1.merged, t1.deduped), (2, 0));
+        assert_eq!(session.kb().n_docs(), 2);
+
+        let before = qkb.counters().stage1_computed();
+        let t2 = session.extend(&qkb, &ComputeStage1, &[b.clone(), c.clone(), b]);
+        assert!(!t2.cold);
+        assert_eq!((t2.merged, t2.deduped), (1, 2));
+        assert_eq!(session.kb().n_docs(), 3);
+        assert_eq!(
+            qkb.counters().stage1_computed() - before,
+            1,
+            "resident documents must not be re-provided"
+        );
+
+        // A fully covered turn is free.
+        let before = qkb.counters().stage1_computed();
+        let t3 = session.extend(&qkb, &ComputeStage1, &[a, c]);
+        assert_eq!((t3.merged, t3.deduped), (0, 2));
+        assert_eq!(qkb.counters().stage1_computed(), before);
+        assert_eq!(session.turns(), 3);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_the_kb() {
+        let qkb = tiny_system();
+        let mut session = SessionKb::new();
+        let empty = session.approx_bytes();
+        session.extend(
+            &qkb,
+            &ComputeStage1,
+            &["Ada Lovelace wrote the first program about the analytical engine.".to_string()],
+        );
+        assert!(session.approx_bytes() > empty);
+    }
+}

@@ -1,0 +1,111 @@
+//! Session-store statistics: lock-free counters while serving, a
+//! [`SessionStats`] snapshot on demand.
+
+use crate::session::TurnReport;
+use qkb_util::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared interior-mutable counters the manager and the serving layer
+/// write into.
+#[derive(Debug, Default)]
+pub(crate) struct SessionCounters {
+    pub created: AtomicU64,
+    pub evicted_ttl: AtomicU64,
+    pub evicted_pressure: AtomicU64,
+    pub turns_cold: AtomicU64,
+    pub turns_extended: AtomicU64,
+    pub docs_merged: AtomicU64,
+    pub docs_deduped: AtomicU64,
+}
+
+impl SessionCounters {
+    pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_turn(&self, report: &TurnReport) {
+        if report.cold {
+            Self::bump(&self.turns_cold, 1);
+        } else {
+            Self::bump(&self.turns_extended, 1);
+        }
+        Self::bump(&self.docs_merged, report.merged as u64);
+        Self::bump(&self.docs_deduped, report.deduped as u64);
+    }
+
+    /// Zeroes the monotonic counters (benchmark phase boundaries);
+    /// occupancy — live sessions, resident bytes — is state, not a
+    /// counter, and is reported from the store itself.
+    pub(crate) fn reset(&self) {
+        for counter in [
+            &self.created,
+            &self.evicted_ttl,
+            &self.evicted_pressure,
+            &self.turns_cold,
+            &self.turns_extended,
+            &self.docs_merged,
+            &self.docs_deduped,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time view of the session store.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Sessions resident right now.
+    pub live: usize,
+    /// Approximate bytes held by resident session KBs.
+    pub approx_bytes: u64,
+    /// Configured byte budget (0 = unbounded).
+    pub capacity_bytes: u64,
+    /// Sessions created (including re-creations after eviction).
+    pub created: u64,
+    /// Sessions evicted by the idle-TTL sweep.
+    pub evicted_ttl: u64,
+    /// Sessions evicted by byte/count pressure.
+    pub evicted_pressure: u64,
+    /// Query turns that found an empty session KB (cold builds).
+    pub turns_cold: u64,
+    /// Query turns that extended an existing session KB.
+    pub turns_extended: u64,
+    /// Documents newly merged into session KBs.
+    pub docs_merged: u64,
+    /// Documents skipped as already resident (streaming dedup).
+    pub docs_deduped: u64,
+}
+
+impl SessionStats {
+    /// Total query turns streamed through sessions.
+    pub fn turns(&self) -> u64 {
+        self.turns_cold + self.turns_extended
+    }
+
+    /// Share of documents a rebuild-per-query design would have re-paid
+    /// (0 when no turn has run).
+    pub fn dedup_rate(&self) -> f64 {
+        let total = self.docs_merged + self.docs_deduped;
+        if total == 0 {
+            0.0
+        } else {
+            self.docs_deduped as f64 / total as f64
+        }
+    }
+
+    /// JSON rendering for benchmark reports and dashboards.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("live", self.live)
+            .with("approx_bytes", self.approx_bytes)
+            .with("capacity_bytes", self.capacity_bytes)
+            .with("created", self.created)
+            .with("evicted_ttl", self.evicted_ttl)
+            .with("evicted_pressure", self.evicted_pressure)
+            .with("turns_cold", self.turns_cold)
+            .with("turns_extended", self.turns_extended)
+            .with("docs_merged", self.docs_merged)
+            .with("docs_deduped", self.docs_deduped)
+            .with("dedup_rate", self.dedup_rate())
+    }
+}
