@@ -29,7 +29,7 @@ use qkb_bench::{build_fixture, clone_repo, Table};
 use qkb_qa::QaSystem;
 use qkb_serve::{QkbServer, QueryEngine, QueryRequest, ServeConfig, ServeStats};
 use qkb_util::json::Value;
-use qkbfly::Qkbfly;
+use qkbfly::{ComputeStage1, Qkbfly};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -243,6 +243,105 @@ fn main() {
     let speedup = walls[0].as_secs_f64() / walls[1].as_secs_f64();
     println!("\nwarm-turn speedup of session streaming: {speedup:.2}x");
 
+    // --- per-turn answer latency vs KB size: the indexed probe must stay
+    // flat while the session KB grows ≥10x; the pre-index full scan (the
+    // bug this series pins) grows with the fact store ---
+    let series_turns = if quick { 41 } else { 61 };
+    let series_k = 4usize;
+    let series_pool = series_turns - 1 + series_k;
+    println!(
+        "\n== per-turn answer latency vs session-KB size ({series_turns} turns, \
+         {series_k}-doc window drifting over {series_pool} docs) =="
+    );
+    // The first window holds real-world (wiki) documents the probe
+    // questions retrieve from; the drift then streams in *fiction-domain*
+    // (wikia) documents whose entity space is disjoint — the session
+    // accumulates knowledge unrelated to the probes, which is exactly
+    // when per-turn answer cost must not scale with |KB|.
+    let mut series_wiki = fx.wiki(series_k * concat, 131).docs;
+    series_wiki.extend(fx.wikia((series_pool - series_k) * concat, 137).docs);
+    let series_docs: Vec<qkb_corpus::GoldDoc> = series_wiki
+        .chunks(concat)
+        .map(|chunk| {
+            let mut doc = chunk[0].clone();
+            doc.text = chunk
+                .iter()
+                .map(|d| d.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            doc
+        })
+        .collect();
+    let series_sys = QaSystem::new(fx.world.clone(), series_docs, sys.qkbfly().clone());
+    // A fixed probe set of real questions, asked after every turn so the
+    // per-turn numbers compare like with like. Their retrievals target
+    // the early pool, which stays resident from turn 1.
+    let probe_questions: Vec<String> = qkb_corpus::questions::trends_test(&fx.world, 6, 17)
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+    let reps = 9usize;
+    let time_probe = |answer: &dyn Fn(&str)| -> f64 {
+        // One untimed warmup pass, then min over repetitions of the
+        // whole probe set: robust to scheduler noise and cold caches
+        // without hiding real growth.
+        for q in &probe_questions {
+            answer(q);
+        }
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                for q in &probe_questions {
+                    answer(q);
+                }
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut kb = qkb_kb::OnTheFlyKb::new();
+    let mut series = Vec::new();
+    let (mut first_bytes, mut first_indexed, mut first_scan) = (0u64, 0.0f64, 0.0f64);
+    for t in 0..series_turns {
+        let window: Vec<usize> = (0..series_k).map(|j| t + j).collect();
+        series_sys.extend_kb_for_docs_with(&ComputeStage1, &mut kb, &window);
+        let indexed_us = time_probe(&|q| {
+            let _ = series_sys.answer_in_kb(q, &kb);
+        });
+        let scan_us = time_probe(&|q| {
+            let _ = series_sys.answer_in_kb_scan(q, &kb);
+        });
+        if t == 0 {
+            (first_bytes, first_indexed, first_scan) = (kb.approx_bytes(), indexed_us, scan_us);
+        }
+        series.push(
+            Value::object()
+                .with("turn", t + 1)
+                .with("docs", kb.n_docs())
+                .with("facts", kb.n_facts())
+                .with("kb_bytes", kb.approx_bytes())
+                .with("indexed_us", indexed_us)
+                .with("scan_us", scan_us),
+        );
+    }
+    let (last_bytes, last_indexed, last_scan) = (
+        kb.approx_bytes(),
+        series.last().expect("turns")["indexed_us"]
+            .as_f64()
+            .expect("f64"),
+        series.last().expect("turns")["scan_us"]
+            .as_f64()
+            .expect("f64"),
+    );
+    let growth = last_bytes as f64 / first_bytes as f64;
+    let indexed_ratio = last_indexed / first_indexed;
+    let scan_ratio = last_scan / first_scan;
+    println!(
+        "KB grew {growth:.1}x ({} -> {} docs); per-turn answer latency: \
+         indexed {first_indexed:.0}us -> {last_indexed:.0}us ({indexed_ratio:.2}x), \
+         scan {first_scan:.0}us -> {last_scan:.0}us ({scan_ratio:.2}x)",
+        series_k, series_pool
+    );
+
     let report = Value::object()
         .with("bench", "session")
         .with("quick", quick)
@@ -262,7 +361,19 @@ fn main() {
         .with("speedup", speedup)
         .with("determinism", "ok")
         .with("isolated_stats", stats_json.remove(0))
-        .with("session_stats", stats_json.remove(0));
+        .with("session_stats", stats_json.remove(0))
+        .with(
+            "latency_vs_size",
+            Value::object()
+                .with("turns", series_turns)
+                .with("window_docs", series_k)
+                .with("doc_pool", series_pool)
+                .with("probe_questions", probe_questions.len())
+                .with("kb_growth", growth)
+                .with("indexed_ratio", indexed_ratio)
+                .with("scan_ratio", scan_ratio)
+                .with("series", Value::array(series)),
+        );
     std::fs::write(&out_path, report.to_string()).expect("write bench report");
     println!("report written to {out_path}");
 
@@ -270,5 +381,19 @@ fn main() {
         speedup >= 2.0,
         "session streaming must yield ≥2x over per-query isolated builds on warm \
          multi-turn traffic, got {speedup:.2}x"
+    );
+    assert!(
+        growth >= 10.0,
+        "the latency series must grow the session KB ≥10x, got {growth:.1}x"
+    );
+    assert!(
+        indexed_ratio <= 1.5,
+        "indexed per-turn answer latency must stay flat (≤1.5x turn-1) as the \
+         session KB grows {growth:.1}x, got {indexed_ratio:.2}x"
+    );
+    assert!(
+        scan_ratio >= 2.0,
+        "the pre-index scan path should degrade with KB size (the bug this \
+         series pins); got only {scan_ratio:.2}x on a {growth:.1}x KB"
     );
 }

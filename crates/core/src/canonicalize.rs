@@ -58,20 +58,68 @@ pub struct DocCanonOutput {
     pub links: Vec<(usize, String, qkb_kb::EntityId, f64)>,
 }
 
-/// Canonicalizes one densified document graph into the shared KB.
-pub fn canonicalize_into(
-    kb: &mut OnTheFlyKb,
-    built: &BuiltGraph,
-    outcome: &DensifyOutcome,
-    repo: &EntityRepository,
-    patterns: &PatternRepository,
-    config: CanonConfig,
-    doc_idx: u32,
-) -> DocCanonOutput {
-    let g = &built.graph;
-    let mut out = DocCanonOutput::default();
+/// The deterministic cluster layout of one densified document: union-find
+/// roots over the surviving `sameAs` edges, with clusters listed in
+/// first-member-appearance order (over `built.mentions`) — the order the
+/// document-order reduce applies decisions in.
+pub struct ClusterPlan {
+    /// Resolved union-find root per mention node.
+    root_of: FxHashMap<NodeId, NodeId>,
+    /// Clusters in first-appearance order.
+    pub clusters: Vec<Cluster>,
+}
 
-    // --- mention clusters over surviving sameAs edges ---
+/// One mention cluster of a [`ClusterPlan`].
+pub struct Cluster {
+    /// The cluster's union-find root.
+    root: NodeId,
+    /// Member mention nodes, in `built.mentions` order.
+    members: Vec<NodeId>,
+    /// Ownership key for sharded canonicalization: the hash of the
+    /// resolved canonical repository id when the cluster carries an
+    /// entity resolution, otherwise a novel-cluster key (fingerprint of
+    /// the member mention texts). Deciding a cluster is a pure function
+    /// of the stage-1 artifact, so any shard that owns this key computes
+    /// the same [`ClusterDecision`].
+    pub ownership: u64,
+}
+
+/// What canonicalization decided for one mention cluster — everything the
+/// serial, KB-state-dependent apply step needs, computed without touching
+/// the KB (and therefore computable on any shard, in any order).
+pub enum ClusterDecision {
+    /// A standalone time mention.
+    Time(String),
+    /// Linked to the entity repository with the given confidence; the
+    /// member texts become KB mentions and `links` are the per-NP link
+    /// records `(sentence, phrase, confidence)` for NED assessment.
+    Linked {
+        /// The resolved repository entity.
+        entity: qkb_kb::EntityId,
+        /// Its repository-canonical display name (resolved at decide
+        /// time, so the apply step needs no repository access).
+        name: String,
+        /// Link confidence (the group resolution's).
+        confidence: f64,
+        /// Noun-phrase member texts, in member order.
+        texts: Vec<String>,
+        /// Link records for every NP member.
+        links: Vec<(usize, String, f64)>,
+    },
+    /// An emerging entity: a cluster of new proper names (§5).
+    Emerging {
+        /// Noun-phrase member texts, in member order.
+        texts: Vec<String>,
+    },
+    /// An unlinked, improper cluster kept as a literal argument.
+    Literal(String),
+}
+
+/// Computes the cluster layout of one document (union-find over surviving
+/// `sameAs` edges plus per-cluster ownership keys). Pure in the stage-1
+/// artifact; cheap relative to deciding and applying.
+pub fn plan_clusters(built: &BuiltGraph, outcome: &DensifyOutcome) -> ClusterPlan {
+    let g = &built.graph;
     let mut parent: FxHashMap<NodeId, NodeId> = built.mentions.iter().map(|&n| (n, n)).collect();
     fn find(parent: &mut FxHashMap<NodeId, NodeId>, mut x: NodeId) -> NodeId {
         while parent[&x] != x {
@@ -92,6 +140,174 @@ pub fn canonicalize_into(
             }
         }
     }
+    let mut root_of: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    let mut cluster_of_root: FxHashMap<NodeId, usize> = FxHashMap::default();
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for &n in &built.mentions {
+        let root = find(&mut parent, n);
+        root_of.insert(n, root);
+        let idx = *cluster_of_root.entry(root).or_insert_with(|| {
+            clusters.push(Cluster {
+                root,
+                members: Vec::new(),
+                ownership: 0,
+            });
+            clusters.len() - 1
+        });
+        clusters[idx].members.push(n);
+    }
+    for cluster in &mut clusters {
+        let resolved = cluster
+            .members
+            .iter()
+            .filter_map(|n| outcome.resolutions.get(n))
+            .find_map(|r| r.entity);
+        cluster.ownership = match resolved {
+            Some(e) => qkb_util::fingerprint64(&(e.index() as u64).to_le_bytes()),
+            None => {
+                qkb_util::fingerprint_seq(cluster.members.iter().filter_map(|&n| match g.node(n) {
+                    NodeKind::NounPhrase { text, .. } => Some(text.as_str()),
+                    _ => None,
+                }))
+            }
+        };
+    }
+    ClusterPlan { root_of, clusters }
+}
+
+/// Decides one cluster: linked, emerging, literal or time. A pure
+/// function of the stage-1 artifact and the shared repositories — never
+/// reads or writes the KB — so shards can decide clusters concurrently
+/// and the document-order reduce stays byte-identical to the serial fold.
+pub fn decide_cluster(
+    built: &BuiltGraph,
+    outcome: &DensifyOutcome,
+    repo: &EntityRepository,
+    config: CanonConfig,
+    cluster: &Cluster,
+) -> ClusterDecision {
+    let g = &built.graph;
+    let nodes = &cluster.members;
+    // Time mentions stand alone.
+    if let Some(&t) = nodes
+        .iter()
+        .find(|&&n| matches!(g.node(n), NodeKind::NounPhrase { is_time: true, .. }))
+    {
+        if let NodeKind::NounPhrase {
+            time_value: Some(v),
+            ..
+        } = g.node(t)
+        {
+            return ClusterDecision::Time(v.clone());
+        }
+    }
+    // Resolution: any member carries the group resolution.
+    let res = nodes
+        .iter()
+        .filter_map(|n| outcome.resolutions.get(n))
+        .find(|r| r.entity.is_some());
+    let texts: Vec<String> = nodes
+        .iter()
+        .filter_map(|&n| match g.node(n) {
+            NodeKind::NounPhrase { text, .. } => Some(text.clone()),
+            _ => None,
+        })
+        .collect();
+    let any_proper = nodes
+        .iter()
+        .any(|&n| matches!(g.node(n), NodeKind::NounPhrase { proper: true, .. }));
+    // §5: clusters that link only with very low confidence — or whose
+    // fullest name contradicts the linked entity's alias dictionary —
+    // are treated as *new* (emerging) entities.
+    let link_contradicted = |e: qkb_kb::EntityId| -> bool {
+        let aliases = &repo.entity(e).aliases;
+        texts
+            .iter()
+            .filter(|t| t.split_whitespace().count() >= 2)
+            .any(|t| {
+                !aliases.iter().any(|a| {
+                    let (na, nt) = (qkb_util::text::normalize(a), qkb_util::text::normalize(t));
+                    na == nt
+                        || qkb_util::text::is_token_suffix(&nt, &na)
+                        || qkb_util::text::is_token_suffix(&na, &nt)
+                })
+            })
+    };
+    match res {
+        Some(r)
+            if r.confidence >= config.low_link
+                && !link_contradicted(r.entity.expect("checked")) =>
+        {
+            let e = r.entity.expect("checked");
+            let mut links = Vec::new();
+            for &n in nodes {
+                if let NodeKind::NounPhrase { sentence, text, .. } = g.node(n) {
+                    links.push((*sentence, text.clone(), r.confidence));
+                }
+            }
+            ClusterDecision::Linked {
+                entity: e,
+                name: repo.entity(e).canonical.clone(),
+                confidence: r.confidence,
+                texts,
+                links,
+            }
+        }
+        _ if any_proper && !texts.is_empty() => ClusterDecision::Emerging { texts },
+        _ => {
+            let text = texts
+                .first()
+                .cloned()
+                .or_else(|| {
+                    nodes.iter().find_map(|&n| match g.node(n) {
+                        NodeKind::Pronoun { text, .. } => Some(text.clone()),
+                        _ => None,
+                    })
+                })
+                .unwrap_or_default();
+            ClusterDecision::Literal(text)
+        }
+    }
+}
+
+/// Canonicalizes one densified document graph into the shared KB (the
+/// serial fold: plan, decide every cluster in order, apply).
+pub fn canonicalize_into(
+    kb: &mut OnTheFlyKb,
+    built: &BuiltGraph,
+    outcome: &DensifyOutcome,
+    repo: &EntityRepository,
+    patterns: &PatternRepository,
+    config: CanonConfig,
+    doc_idx: u32,
+) -> DocCanonOutput {
+    let plan = plan_clusters(built, outcome);
+    let decisions: Vec<ClusterDecision> = plan
+        .clusters
+        .iter()
+        .map(|c| decide_cluster(built, outcome, repo, config, c))
+        .collect();
+    apply_decisions(kb, built, &plan, &decisions, patterns, config, doc_idx)
+}
+
+/// The serial, KB-state-dependent half of canonicalization: allocates KB
+/// entity ids and emits facts by walking the plan's clusters **in plan
+/// order** with their precomputed decisions. Must be called in document
+/// order for deterministic KB identifiers — this is the document-order
+/// reduce of the sharded merge, and with decisions computed serially it
+/// *is* the serial fold, so both paths are byte-identical by
+/// construction.
+pub fn apply_decisions(
+    kb: &mut OnTheFlyKb,
+    built: &BuiltGraph,
+    plan: &ClusterPlan,
+    decisions: &[ClusterDecision],
+    patterns: &PatternRepository,
+    config: CanonConfig,
+    doc_idx: u32,
+) -> DocCanonOutput {
+    let g = &built.graph;
+    let mut out = DocCanonOutput::default();
 
     // --- cluster -> KB entity / literal ---
     #[derive(Clone)]
@@ -101,103 +317,44 @@ pub fn canonicalize_into(
         Time(String),
     }
     let mut cluster_slot: FxHashMap<NodeId, Slot> = FxHashMap::default();
-    let mut members: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
-    for &n in &built.mentions {
-        let root = find(&mut parent, n);
-        members.entry(root).or_default().push(n);
-    }
-    for (&root, nodes) in &members {
-        // Time mentions stand alone.
-        if let Some(&t) = nodes
-            .iter()
-            .find(|&&n| matches!(g.node(n), NodeKind::NounPhrase { is_time: true, .. }))
-        {
-            if let NodeKind::NounPhrase {
-                time_value: Some(v),
-                ..
-            } = g.node(t)
-            {
-                cluster_slot.insert(root, Slot::Time(v.clone()));
-                continue;
+    for (cluster, decision) in plan.clusters.iter().zip(decisions) {
+        match decision {
+            ClusterDecision::Time(v) => {
+                cluster_slot.insert(cluster.root, Slot::Time(v.clone()));
             }
-        }
-        // Resolution: any member carries the group resolution.
-        let res = nodes
-            .iter()
-            .filter_map(|n| outcome.resolutions.get(n))
-            .find(|r| r.entity.is_some());
-        let texts: Vec<String> = nodes
-            .iter()
-            .filter_map(|&n| match g.node(n) {
-                NodeKind::NounPhrase { text, .. } => Some(text.clone()),
-                _ => None,
-            })
-            .collect();
-        let any_proper = nodes
-            .iter()
-            .any(|&n| matches!(g.node(n), NodeKind::NounPhrase { proper: true, .. }));
-        // §5: clusters that link only with very low confidence — or whose
-        // fullest name contradicts the linked entity's alias dictionary —
-        // are treated as *new* (emerging) entities.
-        let link_contradicted = |e: qkb_kb::EntityId| -> bool {
-            let aliases = &repo.entity(e).aliases;
-            texts
-                .iter()
-                .filter(|t| t.split_whitespace().count() >= 2)
-                .any(|t| {
-                    !aliases.iter().any(|a| {
-                        let (na, nt) = (qkb_util::text::normalize(a), qkb_util::text::normalize(t));
-                        na == nt
-                            || qkb_util::text::is_token_suffix(&nt, &na)
-                            || qkb_util::text::is_token_suffix(&na, &nt)
-                    })
-                })
-        };
-        match res {
-            Some(r)
-                if r.confidence >= config.low_link
-                    && !link_contradicted(r.entity.expect("checked")) =>
-            {
-                let e = r.entity.expect("checked");
-                let kb_id = kb.add_linked(e, &repo.entity(e).canonical);
-                for t in &texts {
+            ClusterDecision::Linked {
+                entity,
+                name,
+                confidence,
+                texts,
+                links,
+            } => {
+                let kb_id = kb.add_linked(*entity, name);
+                for t in texts {
                     kb.add_mention(kb_id, t);
                 }
-                cluster_slot.insert(root, Slot::Entity(kb_id, r.confidence));
-                // Link records for every NP member.
-                for &n in nodes {
-                    if let NodeKind::NounPhrase { sentence, text, .. } = g.node(n) {
-                        out.links.push((*sentence, text.clone(), e, r.confidence));
-                    }
+                cluster_slot.insert(cluster.root, Slot::Entity(kb_id, *confidence));
+                for (sentence, text, confidence) in links {
+                    out.links
+                        .push((*sentence, text.clone(), *entity, *confidence));
                 }
             }
-            _ if any_proper && !texts.is_empty() => {
-                // Emerging entity: a cluster of new names (§5).
-                let kb_id = kb.add_emerging(&texts);
-                cluster_slot.insert(root, Slot::Entity(kb_id, 1.0));
+            ClusterDecision::Emerging { texts } => {
+                let kb_id = kb.add_emerging(texts);
+                cluster_slot.insert(cluster.root, Slot::Entity(kb_id, 1.0));
             }
-            _ => {
-                let text = texts
-                    .first()
-                    .cloned()
-                    .or_else(|| {
-                        nodes.iter().find_map(|&n| match g.node(n) {
-                            NodeKind::Pronoun { text, .. } => Some(text.clone()),
-                            _ => None,
-                        })
-                    })
-                    .unwrap_or_default();
-                cluster_slot.insert(root, Slot::Literal(text));
+            ClusterDecision::Literal(text) => {
+                cluster_slot.insert(cluster.root, Slot::Literal(text.clone()));
             }
         }
     }
 
     // Pronoun slots follow their antecedent's cluster; unresolved pronouns
     // stay literal (Figure 4's "she forget the lyric").
-    let slot_of = |node: NodeId, parent: &mut FxHashMap<NodeId, NodeId>| -> Slot {
-        let root = find(parent, node);
-        cluster_slot
-            .get(&root)
+    let slot_of = |node: NodeId| -> Slot {
+        plan.root_of
+            .get(&node)
+            .and_then(|root| cluster_slot.get(root))
             .cloned()
             .unwrap_or_else(|| Slot::Literal(mention_text(g, node)))
     };
@@ -231,7 +388,7 @@ pub fn canonicalize_into(
         let Some(subj_node) = clause.subject else {
             continue;
         };
-        let subj_slot = slot_of(subj_node, &mut parent);
+        let subj_slot = slot_of(subj_node);
         let (subject, conf) = match &subj_slot {
             Slot::Entity(id, c) => (FactArg::Entity(*id), *c),
             Slot::Literal(t) => (FactArg::Literal(t.clone()), 1.0),
@@ -245,7 +402,7 @@ pub fn canonicalize_into(
         // Binary facts: subject + each argument under its own pattern.
         let mut rendered_args: Vec<(FactArg, f64, String)> = Vec::new();
         for arg in &clause.args {
-            let slot = slot_of(arg.node, &mut parent);
+            let slot = slot_of(arg.node);
             let (fa, c) = match &slot {
                 Slot::Entity(id, c) => (FactArg::Entity(*id), *c),
                 Slot::Literal(t) => (FactArg::Literal(t.clone()), 1.0),
@@ -256,7 +413,7 @@ pub fn canonicalize_into(
         let subj_surface = surface_of(&subj_slot, kb);
         let mut arg_slots: Vec<Slot> = Vec::new();
         for arg in &clause.args {
-            arg_slots.push(slot_of(arg.node, &mut parent));
+            arg_slots.push(slot_of(arg.node));
         }
         for (i, (fa, c, pattern)) in rendered_args.iter().enumerate() {
             let fact_conf = conf.min(*c);
@@ -338,8 +495,8 @@ pub fn canonicalize_into(
 
     // --- facts from possessive relation edges ---
     for (owner, name, role, sentence) in &built.extra_relations {
-        let so = slot_of(*owner, &mut parent);
-        let sn = slot_of(*name, &mut parent);
+        let so = slot_of(*owner);
+        let sn = slot_of(*name);
         let (subject, c1) = match &sn {
             Slot::Entity(id, c) => (FactArg::Entity(*id), *c),
             Slot::Literal(t) => (FactArg::Literal(t.clone()), 1.0),

@@ -12,7 +12,10 @@
 //! pre-processing).
 
 use crate::build::{build_graph, BuildConfig, BuiltGraph, GraphArg, GraphClause};
-use crate::canonicalize::{canonicalize_into, CanonConfig, DocCanonOutput};
+use crate::canonicalize::{
+    apply_decisions, canonicalize_into, decide_cluster, plan_clusters, CanonConfig,
+    ClusterDecision, ClusterPlan, DocCanonOutput,
+};
 use crate::densify::DensifyOutcome;
 use crate::densify::{
     densify, resolve_independent, resolve_pronouns_by_recency, MentionResolution,
@@ -70,6 +73,18 @@ pub struct QkbflyConfig {
     /// canonicalized KB is byte-identical for every setting (per-document
     /// outputs are merged in document order).
     pub parallelism: usize,
+    /// Ownership shards for the **merge phase** (canonicalization):
+    /// `1` (the default) is the serial document-order fold; `n > 1`
+    /// computes per-cluster canonicalization decisions on `n` worker
+    /// threads — clusters are sharded by entity-cluster ownership (hash
+    /// of the resolved canonical repository id, or of the novel
+    /// cluster's mention texts) — and then applies them in a
+    /// deterministic document-order reduce; `0` uses all available
+    /// cores. The canonicalized KB is **byte-identical** to the serial
+    /// fold at any shard count (property-tested at 1/2/8 and gated in
+    /// CI), because deciding a cluster is a pure function of the
+    /// stage-1 artifact and only the serial reduce allocates KB ids.
+    pub merge_parallelism: usize,
 }
 
 impl Default for QkbflyConfig {
@@ -83,6 +98,7 @@ impl Default for QkbflyConfig {
             pronoun_window: 5,
             emit_nary: true,
             parallelism: 0,
+            merge_parallelism: 1,
         }
     }
 }
@@ -452,6 +468,13 @@ impl Qkbfly {
         self.with_config_override(|c| c.parallelism = workers)
     }
 
+    /// A new handle with the given merge-phase shard count
+    /// ([`QkbflyConfig::merge_parallelism`]), sharing the repositories
+    /// with `self`. The built KB is byte-identical at any shard count.
+    pub fn with_merge_parallelism(&self, shards: usize) -> Self {
+        self.with_config_override(|c| c.merge_parallelism = shards)
+    }
+
     /// A new handle with arbitrary configuration overrides applied on top
     /// of `self`'s configuration. Repositories, statistics and build
     /// counters stay shared with the parent handle.
@@ -597,14 +620,23 @@ impl Qkbfly {
     /// provenance indices agree.
     pub fn extend_kb(&self, kb: &mut OnTheFlyKb, stage1: &[Arc<DocStage1>]) -> ExtendOutcome {
         let mut outcome = ExtendOutcome::default();
-        for artifact in stage1 {
-            if kb.contains_doc(artifact.fingerprint) {
-                outcome.skipped += 1;
-                continue;
-            }
-            let doc_idx = kb.n_docs() as u32;
-            let (_, diag) = self.merge_doc_ref(kb, artifact, doc_idx);
-            kb.record_doc(artifact.fingerprint);
+        // Select the fresh artifacts up front (resident documents and
+        // repeats within the slice are skipped idempotently), so the
+        // sharded merge can decide all their clusters in one fan-out.
+        let mut in_call: qkb_util::FxHashSet<u64> = qkb_util::FxHashSet::default();
+        let fresh: Vec<Arc<DocStage1>> = stage1
+            .iter()
+            .filter(|a| {
+                if kb.contains_doc(a.fingerprint) || !in_call.insert(a.fingerprint) {
+                    outcome.skipped += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect();
+        for (_, diag) in self.merge_in_order(kb, &fresh) {
             outcome.timings.add(&diag.timings);
             outcome.merged += 1;
         }
@@ -695,15 +727,19 @@ impl Qkbfly {
 
     /// Folds per-document stage-1 outputs, **in document order**, into one
     /// canonicalized KB with its assessment records and diagnostics.
+    ///
+    /// With [`QkbflyConfig::merge_parallelism`] ≤ 1 this streams the
+    /// iterator (one artifact resident at a time on the serial provide
+    /// paths); with more shards the artifacts are collected and their
+    /// cluster decisions computed on ownership shards before the same
+    /// document-order reduce runs — byte-identical either way.
     fn assemble(&self, stage1_seq: impl Iterator<Item = Arc<DocStage1>>) -> BuildResult<'_> {
         let mut kb = OnTheFlyKb::new();
         let mut records = Vec::new();
         let mut links = Vec::new();
         let mut timings = StageTimings::default();
         let mut per_doc = Vec::new();
-        for (d, stage1) in stage1_seq.enumerate() {
-            let (out, diag) = self.merge_doc_ref(&mut kb, &stage1, d as u32);
-            kb.record_doc(stage1.fingerprint);
+        let mut fold = |d: usize, out: DocCanonOutput, diag: DocResult| {
             timings.add(&diag.timings);
             for (extraction, kept, slot_entities) in out.extractions {
                 records.push(ExtractionRecord {
@@ -723,6 +759,22 @@ impl Qkbfly {
                 });
             }
             per_doc.push(diag);
+        };
+        if self.merge_shards() <= 1 {
+            for (d, stage1) in stage1_seq.enumerate() {
+                let (out, diag) = self.merge_doc_ref(&mut kb, &stage1, d as u32);
+                kb.record_doc(stage1.fingerprint);
+                fold(d, out, diag);
+            }
+        } else {
+            let artifacts: Vec<Arc<DocStage1>> = stage1_seq.collect();
+            for (d, (out, diag)) in self
+                .merge_in_order(&mut kb, &artifacts)
+                .into_iter()
+                .enumerate()
+            {
+                fold(d, out, diag);
+            }
         }
         BuildResult {
             kb,
@@ -732,6 +784,133 @@ impl Qkbfly {
             per_doc,
             patterns: &self.patterns,
         }
+    }
+
+    /// Effective merge-phase shard count (`merge_parallelism` resolved:
+    /// `0` = all cores, `1` = the serial fold).
+    fn merge_shards(&self) -> usize {
+        match self.config.merge_parallelism {
+            1 => 1,
+            n => qkb_util::effective_parallelism(n),
+        }
+    }
+
+    /// The canonicalization parameters of this handle.
+    fn canon_config(&self) -> CanonConfig {
+        CanonConfig {
+            tau: self.config.tau,
+            low_link: self.config.low_link,
+            emit_nary: self.config.emit_nary,
+        }
+    }
+
+    /// Merges `artifacts` into `kb` in slice order, continuing at the
+    /// KB's next provenance index — through the serial fold, or through
+    /// the sharded decide + document-order reduce when
+    /// [`QkbflyConfig::merge_parallelism`] asks for shards. Does **not**
+    /// de-duplicate: callers pass exactly the artifacts to merge.
+    fn merge_in_order(
+        &self,
+        kb: &mut OnTheFlyKb,
+        artifacts: &[Arc<DocStage1>],
+    ) -> Vec<(DocCanonOutput, DocResult)> {
+        let shards = self.merge_shards();
+        if shards <= 1 {
+            return artifacts
+                .iter()
+                .map(|artifact| {
+                    let doc_idx = kb.n_docs() as u32;
+                    let merged = self.merge_doc_ref(kb, artifact, doc_idx);
+                    kb.record_doc(artifact.fingerprint);
+                    merged
+                })
+                .collect();
+        }
+        let planned = self.decide_sharded(artifacts, shards);
+        let canon = self.canon_config();
+        artifacts
+            .iter()
+            .zip(planned)
+            .map(|(artifact, (plan, decisions))| {
+                let doc_idx = kb.n_docs() as u32;
+                let mut diag = artifact.diag.clone();
+                let t = Instant::now();
+                let out = apply_decisions(
+                    kb,
+                    &artifact.built,
+                    &plan,
+                    &decisions,
+                    &self.patterns,
+                    canon,
+                    doc_idx,
+                );
+                // The reduce's wall clock; the shards' decide time is
+                // concurrent and not attributed per document.
+                diag.timings.canonicalize = t.elapsed();
+                kb.record_doc(artifact.fingerprint);
+                (out, diag)
+            })
+            .collect()
+    }
+
+    /// The parallel half of the sharded merge: plans every document's
+    /// clusters, distributes the `(document, cluster)` work items over
+    /// `shards` ownership shards (`ownership % shards` — the hash of the
+    /// canonical repository id, or the novel-cluster key), and computes
+    /// each cluster's [`ClusterDecision`] concurrently. Decisions are
+    /// pure in the artifacts, so the scatter back into per-document,
+    /// plan-order vectors is deterministic regardless of shard count or
+    /// scheduling.
+    fn decide_sharded(
+        &self,
+        artifacts: &[Arc<DocStage1>],
+        shards: usize,
+    ) -> Vec<(ClusterPlan, Vec<ClusterDecision>)> {
+        let canon = self.canon_config();
+        let plans: Vec<ClusterPlan> = qkb_util::par_map_ordered(artifacts, shards, |_, a| {
+            plan_clusters(&a.built, &a.outcome)
+        });
+        let mut shard_items: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shards];
+        for (d, plan) in plans.iter().enumerate() {
+            for (c, cluster) in plan.clusters.iter().enumerate() {
+                shard_items[(cluster.ownership % shards as u64) as usize].push((d, c));
+            }
+        }
+        let decided: Vec<Vec<(usize, usize, ClusterDecision)>> =
+            qkb_util::par_map_ordered(&shard_items, shards, |_, items| {
+                items
+                    .iter()
+                    .map(|&(d, c)| {
+                        let artifact = &artifacts[d];
+                        let decision = decide_cluster(
+                            &artifact.built,
+                            &artifact.outcome,
+                            &self.repo,
+                            canon,
+                            &plans[d].clusters[c],
+                        );
+                        (d, c, decision)
+                    })
+                    .collect()
+            });
+        let mut decisions: Vec<Vec<Option<ClusterDecision>>> = plans
+            .iter()
+            .map(|p| p.clusters.iter().map(|_| None).collect())
+            .collect();
+        for (d, c, decision) in decided.into_iter().flatten() {
+            decisions[d][c] = Some(decision);
+        }
+        plans
+            .into_iter()
+            .zip(decisions)
+            .map(|(plan, ds)| {
+                let ds: Vec<ClusterDecision> = ds
+                    .into_iter()
+                    .map(|d| d.expect("every cluster owned by exactly one shard"))
+                    .collect();
+                (plan, ds)
+            })
+            .collect()
     }
 
     /// The pure per-document phase: NLP preprocessing, clause detection,
@@ -835,11 +1014,7 @@ impl Qkbfly {
             &stage1.outcome,
             &self.repo,
             &self.patterns,
-            CanonConfig {
-                tau: self.config.tau,
-                low_link: self.config.low_link,
-                emit_nary: self.config.emit_nary,
-            },
+            self.canon_config(),
             doc_idx,
         );
         diag.timings.canonicalize = t3.elapsed();
@@ -1195,6 +1370,47 @@ mod tests {
             solo.kb.to_json(sys.patterns()).to_string()
         );
         assert_eq!(sys.counters().docs() - 3, solo.per_doc.len() as u64);
+    }
+
+    #[test]
+    fn sharded_merge_is_byte_identical_to_serial_fold() {
+        let sys = system(Variant::Joint, SolverKind::Greedy);
+        let docs = vec![
+            FIG2.to_string(),
+            "Brad Pitt supported the ONE Campaign.".to_string(),
+            "Pitt donated $100,000 to the Daniel Pearl Foundation.".to_string(),
+        ];
+        let serial = sys.build_kb(&docs);
+        let serial_json = serial.kb.to_json(sys.patterns()).to_string();
+        for shards in [2usize, 3, 8] {
+            let handle = sys.with_merge_parallelism(shards);
+            let sharded = handle.build_kb(&docs);
+            assert_eq!(
+                serial_json,
+                sharded.kb.to_json(sys.patterns()).to_string(),
+                "sharded merge diverged at {shards} shards"
+            );
+            assert_eq!(serial.records.len(), sharded.records.len());
+            assert_eq!(serial.links.len(), sharded.links.len());
+        }
+        // The streaming extend path shards identically.
+        let stage1: Vec<Arc<DocStage1>> = docs
+            .iter()
+            .map(|t| Arc::new(sys.process_doc_stage1(t)))
+            .collect();
+        for shards in [2usize, 8] {
+            let handle = sys.with_merge_parallelism(shards);
+            let mut kb = OnTheFlyKb::new();
+            let first = handle.extend_kb(&mut kb, &stage1[..2]);
+            assert_eq!((first.merged, first.skipped), (2, 0));
+            let second = handle.extend_kb(&mut kb, &stage1[1..]);
+            assert_eq!((second.merged, second.skipped), (1, 1));
+            assert_eq!(
+                kb.to_json(sys.patterns()).to_string(),
+                serial_json,
+                "sharded extend_kb diverged at {shards} shards"
+            );
+        }
     }
 
     #[test]

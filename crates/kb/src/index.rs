@@ -1,0 +1,345 @@
+//! Append-only posting indexes over an [`crate::OnTheFlyKb`].
+//!
+//! The §6 serving scenario answers every turn against the accumulated KB;
+//! without indexes each `answer_in_kb` turn re-scans the full fact store,
+//! so sessions get *slower* as they grow — inverting the on-the-fly value
+//! proposition. The index maintains, incrementally as entities, mentions
+//! and facts are appended:
+//!
+//! * **mention → entities** — every token-suffix of every normalized
+//!   entity surface (display name and recorded mentions), so the QA
+//!   layer's exact / token-suffix mention matching becomes a hash probe;
+//! * **entity → fact ids** — the posting list of facts touching each KB
+//!   entity (dense, parallel to the entity arena);
+//! * **literal → fact ids** — token-suffix postings over normalized
+//!   literal/time slot surfaces (question mentions can match literal
+//!   slots too), plus a raw-surface map for the demo search's substring
+//!   filters;
+//! * **relation → fact ids** — postings per canonical synset and per
+//!   novel pattern, so predicate filters enumerate distinct relations
+//!   instead of all facts.
+//!
+//! All postings are probed as *over-approximations*: consumers re-check
+//! the exact match predicate on the candidate facts, so probing is
+//! answer-identical to a full scan (property-tested in `qkb-qa`) while
+//! costing O(postings touched) instead of O(|KB|).
+
+use crate::fact::{Fact, FactArg, RelationRef};
+use crate::kb::KbEntityId;
+use crate::pattern::RelationId;
+use qkb_util::text::normalize;
+use qkb_util::{FxHashMap, FxHashSet};
+
+/// The maintained posting indexes. Strictly append-only: the KB never
+/// removes entities, mentions or facts, so postings only grow — which is
+/// also why the heap estimate can be a running counter bumped at each
+/// insert instead of a full walk.
+#[derive(Debug, Default)]
+pub(crate) struct KbIndex {
+    /// Every token-suffix of every indexed entity surface → entities.
+    mention_suffix: FxHashMap<String, Vec<KbEntityId>>,
+    /// Full token join of every indexed entity surface → entities.
+    mention_full: FxHashMap<String, Vec<KbEntityId>>,
+    /// Fact ids touching each entity (parallel to the entity arena).
+    facts_by_entity: Vec<Vec<u32>>,
+    /// Every token-suffix of every normalized literal/time slot → facts.
+    literal_suffix: FxHashMap<String, Vec<u32>>,
+    /// Full token join of every normalized literal/time slot → facts.
+    literal_full: FxHashMap<String, Vec<u32>>,
+    /// Raw literal/time slot surface → facts (substring search filters
+    /// must see the un-normalized surface, e.g. `$100,000`).
+    literal_raw: FxHashMap<String, Vec<u32>>,
+    /// Facts per canonical relation synset.
+    relation_canonical: FxHashMap<RelationId, Vec<u32>>,
+    /// Facts per novel relation pattern (raw).
+    relation_novel: FxHashMap<String, Vec<u32>>,
+    /// Running heap estimate, maintained incrementally (the index is
+    /// append-only) so per-turn session reweighs stay O(1) instead of
+    /// walking every posting.
+    bytes: usize,
+}
+
+/// Hash-table slot overhead estimate per map entry.
+const MAP_ENTRY: usize = 16;
+
+/// Heap estimate of a fresh string key plus its empty posting vector.
+fn key_bytes<V>(key: &str) -> usize {
+    key.len() + std::mem::size_of::<String>() + std::mem::size_of::<Vec<V>>() + MAP_ENTRY
+}
+
+/// Inserts `id` into a **sorted** posting, skipping duplicates; returns
+/// the heap delta. Binary search keeps the dedup O(log n) even for hub
+/// keys shared by many entities (a linear `contains` would make indexing
+/// quadratic over a long session). Mid-vector inserts only occur when an
+/// old entity gains a new surface after younger entities were indexed.
+fn insert_sorted<T: Ord + Copy>(posting: &mut Vec<T>, id: T) -> usize {
+    match posting.binary_search(&id) {
+        Ok(_) => 0,
+        Err(pos) => {
+            posting.insert(pos, id);
+            std::mem::size_of::<T>()
+        }
+    }
+}
+
+/// Token list matching the semantics of [`qkb_util::text::is_token_suffix`]
+/// applied to an already-normalized string: whitespace split, each token
+/// re-normalized (punctuation-only tokens become empty strings).
+pub(crate) fn index_tokens(normalized: &str) -> Vec<String> {
+    normalized.split_whitespace().map(normalize).collect()
+}
+
+/// Calls `f` with every token-suffix key of a token list (the full join
+/// included), or with the single empty key for token-less surfaces.
+/// Indexing (entity and literal surfaces) and probing enumerate through
+/// this one helper, so the key sets cannot drift apart and break the
+/// over-approximation invariant.
+fn for_each_tail(toks: &[String], mut f: impl FnMut(String)) {
+    if toks.is_empty() {
+        f(String::new());
+        return;
+    }
+    for k in 1..=toks.len() {
+        f(toks[toks.len() - k..].join(" "));
+    }
+}
+
+/// Inserts `id` under a string `key`, charging new keys and posting
+/// growth to the running byte estimate.
+fn keyed_insert<T: Ord + Copy>(
+    map: &mut FxHashMap<String, Vec<T>>,
+    key: String,
+    id: T,
+    bytes: &mut usize,
+) {
+    let posting = match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            *bytes += key_bytes::<T>(e.key());
+            e.insert(Vec::new())
+        }
+    };
+    *bytes += insert_sorted(posting, id);
+}
+
+impl KbIndex {
+    /// Registers a fresh entity slot (parallel to the entity arena).
+    pub fn note_entity(&mut self) {
+        self.bytes += std::mem::size_of::<Vec<u32>>();
+        self.facts_by_entity.push(Vec::new());
+    }
+
+    /// Indexes one surface (display name or recorded mention) of an
+    /// entity under every token-suffix of its normalized form.
+    pub fn index_entity_surface(&mut self, id: KbEntityId, surface: &str) {
+        let toks = index_tokens(&normalize(surface));
+        let (suffix, bytes) = (&mut self.mention_suffix, &mut self.bytes);
+        for_each_tail(&toks, |key| keyed_insert(suffix, key, id, bytes));
+        keyed_insert(&mut self.mention_full, toks.join(" "), id, &mut self.bytes);
+    }
+
+    /// Indexes one appended fact: entity slots land in the per-entity
+    /// postings, literal/time slots in the literal postings, the relation
+    /// in the per-relation postings.
+    pub fn index_fact(&mut self, fact_id: u32, fact: &Fact) {
+        self.index_slot(fact_id, &fact.subject);
+        for arg in &fact.args {
+            self.index_slot(fact_id, arg);
+        }
+        match &fact.relation {
+            RelationRef::Canonical(rid) => {
+                let posting = match self.relation_canonical.entry(*rid) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        self.bytes += std::mem::size_of::<RelationId>()
+                            + std::mem::size_of::<Vec<u32>>()
+                            + MAP_ENTRY;
+                        e.insert(Vec::new())
+                    }
+                };
+                self.bytes += insert_sorted(posting, fact_id);
+            }
+            RelationRef::Novel(p) => {
+                keyed_insert(
+                    &mut self.relation_novel,
+                    p.clone(),
+                    fact_id,
+                    &mut self.bytes,
+                );
+            }
+        }
+    }
+
+    fn index_slot(&mut self, fact_id: u32, arg: &FactArg) {
+        match arg {
+            FactArg::Entity(id) => {
+                self.bytes += insert_sorted(&mut self.facts_by_entity[id.index()], fact_id);
+            }
+            FactArg::Literal(s) | FactArg::Time(s) => {
+                let toks = index_tokens(&normalize(s));
+                let (suffix, bytes) = (&mut self.literal_suffix, &mut self.bytes);
+                for_each_tail(&toks, |key| keyed_insert(suffix, key, fact_id, bytes));
+                keyed_insert(
+                    &mut self.literal_full,
+                    toks.join(" "),
+                    fact_id,
+                    &mut self.bytes,
+                );
+                keyed_insert(&mut self.literal_raw, s.clone(), fact_id, &mut self.bytes);
+            }
+        }
+    }
+
+    /// Entities and literal-slot facts whose surface could match the
+    /// normalized `mention` under the QA layer's rule (exact equality or
+    /// token-suffix containment in either direction). An
+    /// over-approximation: consumers re-check the exact predicate.
+    pub fn probe_mention(
+        &self,
+        mention: &str,
+        entities: &mut FxHashSet<KbEntityId>,
+        fact_ids: &mut Vec<u32>,
+    ) {
+        let toks = index_tokens(mention);
+        let joined = toks.join(" ");
+        // `mention` equals the surface, or is a token-suffix of it.
+        if let Some(posting) = self.mention_suffix.get(&joined) {
+            entities.extend(posting.iter().copied());
+        }
+        if let Some(posting) = self.literal_suffix.get(&joined) {
+            fact_ids.extend(posting.iter().copied());
+        }
+        // The surface is a token-suffix of `mention` (the empty-token
+        // probe only reaches surfaces with an empty token join, i.e. the
+        // exact-equality case already covered above — a harmless
+        // over-approximation).
+        for_each_tail(&toks, |tail| {
+            if let Some(posting) = self.mention_full.get(&tail) {
+                entities.extend(posting.iter().copied());
+            }
+            if let Some(posting) = self.literal_full.get(&tail) {
+                fact_ids.extend(posting.iter().copied());
+            }
+        });
+    }
+
+    /// Fact posting of one entity.
+    pub fn facts_of(&self, id: KbEntityId) -> &[u32] {
+        &self.facts_by_entity[id.index()]
+    }
+
+    /// Raw literal/time surfaces with their fact postings (the search
+    /// path's substring filters enumerate distinct literals, not facts).
+    pub fn literals(&self) -> impl Iterator<Item = (&str, &[u32])> {
+        self.literal_raw
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Canonical-relation postings (distinct synsets carrying facts).
+    pub fn canonical_relations(&self) -> impl Iterator<Item = (RelationId, &[u32])> {
+        self.relation_canonical
+            .iter()
+            .map(|(&rid, v)| (rid, v.as_slice()))
+    }
+
+    /// Novel-relation postings (distinct on-the-fly patterns).
+    pub fn novel_relations(&self) -> impl Iterator<Item = (&str, &[u32])> {
+        self.relation_novel
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Approximate heap footprint of the index — counted into
+    /// [`crate::OnTheFlyKb::approx_bytes`] so byte-budgeted session
+    /// eviction sees the true cost of a resident KB. A running counter
+    /// maintained at insert time (the index is append-only), so the
+    /// per-turn session reweigh stays O(1) instead of walking every
+    /// posting of a KB the size this index exists to stop scanning.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Provenance;
+
+    fn fact(subject: FactArg, relation: RelationRef, args: Vec<FactArg>) -> Fact {
+        Fact {
+            subject,
+            relation,
+            args,
+            confidence: 0.9,
+            provenance: Provenance::default(),
+        }
+    }
+
+    #[test]
+    fn entity_suffix_probes_match_in_both_directions() {
+        let mut idx = KbIndex::default();
+        idx.note_entity();
+        let e = KbEntityId::new(0);
+        idx.index_entity_surface(e, "Brad Pitt");
+
+        // "pitt" is a token-suffix of the surface.
+        let mut es = FxHashSet::default();
+        let mut fs = Vec::new();
+        idx.probe_mention("pitt", &mut es, &mut fs);
+        assert!(es.contains(&e));
+
+        // The surface is a token-suffix of a longer mention.
+        let mut es = FxHashSet::default();
+        idx.probe_mention("william brad pitt", &mut es, &mut fs);
+        assert!(es.contains(&e));
+
+        // Exact match.
+        let mut es = FxHashSet::default();
+        idx.probe_mention("brad pitt", &mut es, &mut fs);
+        assert!(es.contains(&e));
+
+        // Prefix-only overlap must not probe.
+        let mut es = FxHashSet::default();
+        idx.probe_mention("brad", &mut es, &mut fs);
+        assert!(es.is_empty());
+    }
+
+    #[test]
+    fn fact_postings_cover_entities_literals_and_relations() {
+        let mut idx = KbIndex::default();
+        idx.note_entity();
+        let e = KbEntityId::new(0);
+        idx.index_entity_surface(e, "Brad Pitt");
+        let f = fact(
+            FactArg::Entity(e),
+            RelationRef::Novel("donate to".into()),
+            vec![FactArg::Literal("$100,000".into())],
+        );
+        idx.index_fact(0, &f);
+        assert_eq!(idx.facts_of(e), &[0]);
+        let mut es = FxHashSet::default();
+        let mut fs = Vec::new();
+        idx.probe_mention("100,000", &mut es, &mut fs);
+        fs.sort_unstable();
+        fs.dedup();
+        assert_eq!(fs, vec![0]);
+        assert_eq!(idx.novel_relations().count(), 1);
+        assert_eq!(idx.literals().count(), 1);
+        assert!(idx.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_slots_do_not_duplicate_postings() {
+        let mut idx = KbIndex::default();
+        idx.note_entity();
+        let e = KbEntityId::new(0);
+        let f = fact(
+            FactArg::Entity(e),
+            RelationRef::Novel("meet".into()),
+            vec![FactArg::Entity(e)],
+        );
+        idx.index_fact(0, &f);
+        assert_eq!(idx.facts_of(e), &[0]);
+    }
+}

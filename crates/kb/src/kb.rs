@@ -8,6 +8,7 @@
 
 use crate::entity::EntityId;
 use crate::fact::{Fact, FactArg, RelationRef};
+use crate::index::KbIndex;
 use crate::pattern::PatternRepository;
 use crate::repo::EntityRepository;
 use qkb_util::define_id;
@@ -60,6 +61,11 @@ pub struct OnTheFlyKb {
     /// provenance `doc` slot).
     merged_docs: Vec<u64>,
     resident_docs: FxHashSet<u64>,
+    /// Maintained posting indexes (mention → entities, entity → facts,
+    /// literal/relation → facts), updated append-only by every mutator so
+    /// `extend_kb` keeps them incremental. Serving probes these instead of
+    /// scanning `entities`/`facts` per turn.
+    index: KbIndex,
 }
 
 impl OnTheFlyKb {
@@ -81,6 +87,8 @@ impl OnTheFlyKb {
             mentions: Vec::new(),
         });
         self.by_repo_id.insert(repo_id, id);
+        self.index.note_entity();
+        self.index.index_entity_surface(id, name);
         id
     }
 
@@ -99,6 +107,12 @@ impl OnTheFlyKb {
             name,
             mentions: mentions.to_vec(),
         });
+        self.index.note_entity();
+        self.index
+            .index_entity_surface(id, &self.entities[id.index()].name);
+        for m in mentions {
+            self.index.index_entity_surface(id, m);
+        }
         id
     }
 
@@ -107,11 +121,14 @@ impl OnTheFlyKb {
         let e = &mut self.entities[id.index()];
         if !e.mentions.iter().any(|m| m == mention) {
             e.mentions.push(mention.to_string());
+            self.index.index_entity_surface(id, mention);
         }
     }
 
     /// Adds a fact.
     pub fn push_fact(&mut self, fact: Fact) {
+        let fact_id = self.facts.len() as u32;
+        self.index.index_fact(fact_id, &fact);
         self.facts.push(fact);
     }
 
@@ -178,7 +195,10 @@ impl OnTheFlyKb {
             * (std::mem::size_of::<EntityId>() + std::mem::size_of::<KbEntityId>() + 16)
             + self.resident_docs.len() * (std::mem::size_of::<u64>() + 16)
             + self.merged_docs.capacity() * std::mem::size_of::<u64>();
-        (std::mem::size_of::<Self>() + entity_bytes + fact_bytes + map_bytes) as u64
+        // The posting indexes are resident heap too: a session KB's
+        // eviction weight must cover them or byte budgets under-count.
+        let index_bytes = self.index.approx_bytes();
+        (std::mem::size_of::<Self>() + entity_bytes + fact_bytes + map_bytes + index_bytes) as u64
     }
 
     /// The entity record.
@@ -213,8 +233,7 @@ impl OnTheFlyKb {
     pub fn display_arg(&self, arg: &FactArg) -> String {
         match arg {
             FactArg::Entity(id) => self.entity(*id).display(),
-            FactArg::Literal(s) => format!("\u{201c}{s}\u{201d}"),
-            FactArg::Time(t) => format!("\u{201c}{t}\u{201d}"),
+            FactArg::Literal(s) | FactArg::Time(s) => display_literal(s),
         }
     }
 
@@ -236,10 +255,66 @@ impl OnTheFlyKb {
         format!("⟨{}⟩", parts.join(", "))
     }
 
+    /// Fact ids whose slots could match any of the given **normalized**
+    /// question mentions under the QA layer's rule (exact equality or
+    /// token-suffix containment in either direction) — the indexed
+    /// candidate probe behind `answer_in_kb`. The result is a sorted,
+    /// de-duplicated *over-approximation*: callers re-check the exact
+    /// predicate per fact, so probing is answer-identical to scanning the
+    /// whole fact store while costing O(postings) instead of O(|KB|).
+    pub fn candidate_facts(&self, normalized_mentions: &[String]) -> Vec<u32> {
+        let mut entities: FxHashSet<KbEntityId> = FxHashSet::default();
+        let mut fact_ids: Vec<u32> = Vec::new();
+        for m in normalized_mentions {
+            self.index.probe_mention(m, &mut entities, &mut fact_ids);
+        }
+        for e in entities {
+            fact_ids.extend_from_slice(self.index.facts_of(e));
+        }
+        fact_ids.sort_unstable();
+        fact_ids.dedup();
+        fact_ids
+    }
+
     /// Demo-style fact search (§6): substring filters on subject, predicate
     /// and object; a subject/object filter of the form `Type:NAME` matches
     /// linked entities whose types are subsumed by `NAME`.
+    ///
+    /// Probes the posting indexes for candidates (entities, distinct
+    /// literals and distinct relations are enumerated — never the fact
+    /// store itself) and re-checks the exact filter per candidate, so the
+    /// result is identical to [`OnTheFlyKb::search_scan`].
     pub fn search<'a>(
+        &'a self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        object: Option<&str>,
+        repo: &EntityRepository,
+        patterns: &PatternRepository,
+    ) -> Vec<&'a Fact> {
+        // Candidates from the first present filter; the exact re-check
+        // below applies all of them.
+        let candidates = if let Some(sf) = subject {
+            Some(self.filter_candidates(sf, repo))
+        } else if let Some(of) = object {
+            Some(self.filter_candidates(of, repo))
+        } else {
+            predicate.map(|pf| self.predicate_candidates(pf, patterns))
+        };
+        match candidates {
+            Some(ids) => ids
+                .into_iter()
+                .map(|i| &self.facts[i as usize])
+                .filter(|f| self.fact_matches(f, subject, predicate, object, repo, patterns))
+                .collect(),
+            // No filters: every fact matches.
+            None => self.facts.iter().collect(),
+        }
+    }
+
+    /// The pre-index linear scan `search` replaced — kept as the reference
+    /// implementation for equivalence tests and benchmark baselines.
+    pub fn search_scan<'a>(
         &'a self,
         subject: Option<&str>,
         predicate: Option<&str>,
@@ -249,46 +324,130 @@ impl OnTheFlyKb {
     ) -> Vec<&'a Fact> {
         self.facts
             .iter()
-            .filter(|f| {
-                if let Some(sf) = subject {
-                    if !self.arg_matches(&f.subject, sf, repo) {
-                        return false;
-                    }
-                }
-                if let Some(pf) = predicate {
-                    let rel = self.display_relation(&f.relation, patterns);
-                    if !contains_ci(&rel, pf) {
-                        return false;
-                    }
-                }
-                if let Some(of) = object {
-                    if !f.args.iter().any(|a| self.arg_matches(a, of, repo)) {
-                        return false;
-                    }
-                }
-                true
-            })
+            .filter(|f| self.fact_matches(f, subject, predicate, object, repo, patterns))
             .collect()
+    }
+
+    /// The exact search predicate shared by the indexed and scan paths.
+    fn fact_matches(
+        &self,
+        f: &Fact,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        object: Option<&str>,
+        repo: &EntityRepository,
+        patterns: &PatternRepository,
+    ) -> bool {
+        if let Some(sf) = subject {
+            if !self.arg_matches(&f.subject, sf, repo) {
+                return false;
+            }
+        }
+        if let Some(pf) = predicate {
+            let rel = self.display_relation(&f.relation, patterns);
+            if !contains_ci(&rel, pf) {
+                return false;
+            }
+        }
+        if let Some(of) = object {
+            if !f.args.iter().any(|a| self.arg_matches(a, of, repo)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sorted fact-id candidates for one subject/object filter: union of
+    /// the postings of matching entities and matching distinct literal
+    /// surfaces (a superset of the facts the filter accepts in that slot).
+    fn filter_candidates(&self, filter: &str, repo: &EntityRepository) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
+        if let Some(type_name) = filter.strip_prefix("Type:") {
+            // Resolve the type name once for the whole entity walk.
+            if let Some(wanted) = resolve_type_filter(repo, type_name) {
+                for e in &self.entities {
+                    if self.entity_subsumed(e.id, wanted, repo) {
+                        ids.extend_from_slice(self.index.facts_of(e.id));
+                    }
+                }
+            }
+        } else {
+            for e in &self.entities {
+                if contains_ci(&e.display(), filter) {
+                    ids.extend_from_slice(self.index.facts_of(e.id));
+                }
+            }
+            for (raw, posting) in self.index.literals() {
+                if contains_ci(&display_literal(raw), filter) {
+                    ids.extend_from_slice(posting);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Sorted fact-id candidates for a predicate filter: union of the
+    /// postings of distinct relations whose display matches.
+    fn predicate_candidates(&self, filter: &str, patterns: &PatternRepository) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
+        for (rid, posting) in self.index.canonical_relations() {
+            if contains_ci(patterns.canonical(rid), filter) {
+                ids.extend_from_slice(posting);
+            }
+        }
+        for (novel, posting) in self.index.novel_relations() {
+            if contains_ci(novel, filter) {
+                ids.extend_from_slice(posting);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     fn arg_matches(&self, arg: &FactArg, filter: &str, repo: &EntityRepository) -> bool {
         if let Some(type_name) = filter.strip_prefix("Type:") {
-            let ts = repo.type_system();
-            let wanted_name = type_name.trim().replace(' ', "_").to_uppercase();
-            let Some(wanted) = ts.get(&wanted_name) else {
-                return false;
-            };
             if let FactArg::Entity(id) = arg {
-                if let KbEntityKind::Linked(repo_id) = self.entity(*id).kind {
-                    return repo
-                        .types_of(repo_id)
-                        .iter()
-                        .any(|&t| ts.is_subtype(t, wanted));
-                }
+                return self.entity_matches_type(*id, type_name, repo);
             }
             return false;
         }
         contains_ci(&self.display_arg(arg), filter)
+    }
+
+    /// The `Type:` filter test for one KB entity — the single source of
+    /// truth shared by indexed candidate generation and the exact
+    /// re-check, so the two cannot desynchronize.
+    fn entity_matches_type(
+        &self,
+        id: KbEntityId,
+        type_name: &str,
+        repo: &EntityRepository,
+    ) -> bool {
+        match resolve_type_filter(repo, type_name) {
+            Some(wanted) => self.entity_subsumed(id, wanted, repo),
+            None => false,
+        }
+    }
+
+    /// Subsumption test against an already-resolved type (emerging
+    /// entities carry no repository types and never match).
+    fn entity_subsumed(
+        &self,
+        id: KbEntityId,
+        wanted: crate::types::TypeId,
+        repo: &EntityRepository,
+    ) -> bool {
+        let ts = repo.type_system();
+        match self.entity(id).kind {
+            KbEntityKind::Linked(repo_id) => repo
+                .types_of(repo_id)
+                .iter()
+                .any(|&t| ts.is_subtype(t, wanted)),
+            KbEntityKind::Emerging => false,
+        }
     }
 
     /// Serializes the KB (entities and rendered facts) as JSON for
@@ -326,6 +485,20 @@ impl OnTheFlyKb {
 /// Case-insensitive substring match (on normalized text).
 fn contains_ci(haystack: &str, needle: &str) -> bool {
     normalize(haystack).contains(&normalize(needle))
+}
+
+/// The rendered form of a literal/time slot — shared by `display_arg`
+/// and the indexed search's candidate filter so the quoting can never
+/// drift between candidate generation and the exact re-check.
+fn display_literal(s: &str) -> String {
+    format!("\u{201c}{s}\u{201d}")
+}
+
+/// Resolves a `Type:NAME` filter name against the repository type
+/// system (`None` for unknown types, which match nothing).
+fn resolve_type_filter(repo: &EntityRepository, type_name: &str) -> Option<crate::types::TypeId> {
+    repo.type_system()
+        .get(&type_name.trim().replace(' ', "_").to_uppercase())
 }
 
 #[cfg(test)]

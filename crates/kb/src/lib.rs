@@ -19,6 +19,7 @@
 
 pub mod entity;
 pub mod fact;
+mod index;
 pub mod kb;
 pub mod pattern;
 pub mod repo;

@@ -172,6 +172,16 @@ impl QaSystem {
         self.answer_analyzed(&analysis, kb)
     }
 
+    /// [`QaSystem::answer_in_kb`] over the pre-index linear scan of the
+    /// fact store — the reference path the indexed probe must stay
+    /// answer-identical to (property-tested in `tests/properties.rs`) and
+    /// the baseline of `bench_session`'s latency-vs-KB-size series.
+    pub fn answer_in_kb_scan(&self, question_text: &str, kb: &OnTheFlyKb) -> Vec<String> {
+        let analysis = analyze(question_text, &self.world.repo);
+        let cands = self.kb_candidates_scan(kb, &analysis);
+        self.rank(&analysis, cands, self.kb_clf.as_ref())
+    }
+
     fn answer_analyzed(&self, analysis: &QuestionAnalysis, kb: &OnTheFlyKb) -> Vec<String> {
         let cands = self.kb_candidates(kb, analysis);
         self.rank(analysis, cands, self.kb_clf.as_ref())
@@ -200,64 +210,109 @@ impl QaSystem {
 
     /// Candidates from a question-specific KB (Appendix B step 3): every
     /// fact touching a question entity contributes its other arguments.
+    ///
+    /// Probes the KB's maintained posting indexes
+    /// ([`OnTheFlyKb::candidate_facts`]) for the facts that *could* touch
+    /// a question mention and re-checks the exact predicate on those, so
+    /// a turn costs O(postings) instead of O(|KB|) while producing the
+    /// same candidates, in the same order, as the full scan
+    /// ([`QaSystem::kb_candidates_scan`]).
     fn kb_candidates(&self, kb: &OnTheFlyKb, analysis: &QuestionAnalysis) -> Vec<Candidate> {
-        let mut out: Vec<Candidate> = Vec::new();
         let q_mentions: Vec<String> = analysis
             .entity_mentions
             .iter()
             .map(|m| normalize(m))
             .collect();
+        let fact_ids = kb.candidate_facts(&q_mentions);
+        let mut out: Vec<Candidate> = Vec::new();
+        for id in fact_ids {
+            self.fact_candidates(
+                kb,
+                &kb.facts()[id as usize],
+                &q_mentions,
+                analysis,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// The pre-index full scan `kb_candidates` replaced — kept as the
+    /// reference implementation for the index-equivalence property test
+    /// and the benchmark's baseline latency series.
+    fn kb_candidates_scan(&self, kb: &OnTheFlyKb, analysis: &QuestionAnalysis) -> Vec<Candidate> {
+        let q_mentions: Vec<String> = analysis
+            .entity_mentions
+            .iter()
+            .map(|m| normalize(m))
+            .collect();
+        let mut out: Vec<Candidate> = Vec::new();
+        for fact in kb.facts() {
+            self.fact_candidates(kb, fact, &q_mentions, analysis, &mut out);
+        }
+        out
+    }
+
+    /// Evaluates one fact against the question mentions, appending its
+    /// non-question slots as candidates when any slot touches a question
+    /// entity — the exact per-fact predicate shared by the indexed and
+    /// scan candidate paths.
+    fn fact_candidates(
+        &self,
+        kb: &OnTheFlyKb,
+        fact: &qkb_kb::Fact,
+        q_mentions: &[String],
+        analysis: &QuestionAnalysis,
+        out: &mut Vec<Candidate>,
+    ) {
         let matches_q = |surface: &str| -> bool {
             let s = normalize(surface);
             q_mentions
                 .iter()
                 .any(|m| *m == s || is_token_suffix(m, &s) || is_token_suffix(&s, m))
         };
-        for fact in kb.facts() {
-            // Does any slot mention a question entity?
-            let mut slot_surfaces: Vec<String> = Vec::new();
-            let mut touches = false;
-            let subj = self.arg_surface(kb, &fact.subject);
-            if matches_q(&subj) {
+        // Does any slot mention a question entity?
+        let mut slot_surfaces: Vec<String> = Vec::new();
+        let mut touches = false;
+        let subj = self.arg_surface(kb, &fact.subject);
+        if matches_q(&subj) {
+            touches = true;
+        }
+        slot_surfaces.push(subj);
+        for a in &fact.args {
+            let s = self.arg_surface(kb, a);
+            if matches_q(&s) {
                 touches = true;
             }
-            slot_surfaces.push(subj);
-            for a in &fact.args {
-                let s = self.arg_surface(kb, a);
-                if matches_q(&s) {
-                    touches = true;
-                }
-                slot_surfaces.push(s);
-            }
-            if !touches {
+            slot_surfaces.push(s);
+        }
+        if !touches {
+            return;
+        }
+        let rel = kb.display_relation(&fact.relation, self.qkbfly.patterns());
+        let evidence: Vec<String> = slot_surfaces
+            .iter()
+            .flat_map(|s| s.split_whitespace())
+            .chain(rel.split_whitespace())
+            .map(|t| t.to_lowercase())
+            .collect();
+        // Each non-question slot is a candidate.
+        for (i, s) in slot_surfaces.iter().enumerate() {
+            if matches_q(s) || s.is_empty() {
                 continue;
             }
-            let rel = kb.display_relation(&fact.relation, self.qkbfly.patterns());
-            let evidence: Vec<String> = slot_surfaces
-                .iter()
-                .flat_map(|s| s.split_whitespace())
-                .chain(rel.split_whitespace())
-                .map(|t| t.to_lowercase())
-                .collect();
-            // Each non-question slot is a candidate.
-            for (i, s) in slot_surfaces.iter().enumerate() {
-                if matches_q(s) || s.is_empty() {
-                    continue;
-                }
-                let arg = if i == 0 {
-                    &fact.subject
-                } else {
-                    &fact.args[i - 1]
-                };
-                let type_ok = self.type_compatible(kb, arg, s, &analysis.expected_types);
-                out.push(Candidate {
-                    surface: s.clone(),
-                    evidence: evidence.clone(),
-                    type_ok,
-                });
-            }
+            let arg = if i == 0 {
+                &fact.subject
+            } else {
+                &fact.args[i - 1]
+            };
+            let type_ok = self.type_compatible(kb, arg, s, &analysis.expected_types);
+            out.push(Candidate {
+                surface: s.clone(),
+                evidence: evidence.clone(),
+                type_ok,
+            });
         }
-        out
     }
 
     fn arg_surface(&self, kb: &OnTheFlyKb, arg: &FactArg) -> String {

@@ -1,0 +1,104 @@
+//! Property tests for the indexed answer path: probing the KB's posting
+//! indexes must be **answer-identical** to the pre-index linear scans, on
+//! both the QA candidate path (`answer_in_kb` vs `answer_in_kb_scan`) and
+//! the demo fact search (`search` vs `search_scan`) — including over
+//! session-style KBs grown incrementally by `extend_kb`, whose indexes
+//! are maintained append-only across turns.
+
+use proptest::prelude::*;
+use qkb_corpus::questions::{trends_test, webquestions_train};
+use qkb_corpus::world::{World, WorldConfig};
+use qkb_kb::OnTheFlyKb;
+use qkb_qa::QaSystem;
+use qkbfly::{ComputeStage1, Qkbfly};
+use std::sync::Arc;
+
+fn setup(world: &Arc<World>) -> QaSystem {
+    let mut docs = qkb_corpus::docgen::wiki_corpus(world, 20, 3).docs;
+    docs.extend(qkb_corpus::docgen::news_corpus(world, 10, 4).docs);
+    let bg = qkb_corpus::background::background_corpus(world, 20, 5);
+    let stats = qkb_corpus::background::build_stats(world, &bg);
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    let mut patterns = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut patterns);
+    QaSystem::new(world.clone(), docs, Qkbfly::new(repo, patterns, stats))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For random questions streamed into a growing session KB over
+    /// random turn splits, the indexed `answer_in_kb` equals the full
+    /// scan after every turn, and the indexed `search` equals the scan
+    /// search for subject/predicate/object/type filters derived from the
+    /// KB's own contents.
+    #[test]
+    fn indexed_answer_in_kb_matches_scan(
+        q_seed in 0u64..1000,
+        n_questions in 2usize..5,
+        filter_pick in 0usize..8,
+    ) {
+        let world = Arc::new(World::generate(WorldConfig::default()));
+        let sys = setup(&world);
+        let mut questions = trends_test(&world, n_questions, q_seed);
+        questions.extend(webquestions_train(&world, 2, q_seed.wrapping_add(7)));
+        // One growing session KB: each question's retrieval is a turn.
+        let mut kb = OnTheFlyKb::new();
+        for q in &questions {
+            let doc_ids = sys.retrieve_docs(&q.text);
+            sys.extend_kb_for_docs_with(&ComputeStage1, &mut kb, &doc_ids);
+            // Every question is asked against the accumulated KB after
+            // every turn — earlier questions keep matching as it grows.
+            for probe in &questions {
+                prop_assert_eq!(
+                    sys.answer_in_kb(&probe.text, &kb),
+                    sys.answer_in_kb_scan(&probe.text, &kb),
+                    "indexed answers diverged from the scan for {:?}",
+                    probe.text
+                );
+            }
+        }
+        // Search equivalence over filters drawn from the KB itself.
+        let repo = sys.qkbfly().repo();
+        let patterns = sys.qkbfly().patterns();
+        let entity_name = kb
+            .entities()
+            .get(filter_pick % kb.entities().len().max(1))
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|| "nobody".to_string());
+        let partial: String = entity_name.chars().take(4).collect();
+        let filters: Vec<(Option<&str>, Option<&str>, Option<&str>)> = vec![
+            (Some(entity_name.as_str()), None, None),
+            (Some(partial.as_str()), None, None),
+            (None, None, Some(entity_name.as_str())),
+            (None, Some("in"), None),
+            (None, Some("donate"), None),
+            (Some("Type:PERSON"), None, None),
+            (None, None, Some("Type:ORGANIZATION")),
+            (Some("Type:NO SUCH TYPE"), None, None),
+            (Some(entity_name.as_str()), Some("in"), Some(partial.as_str())),
+            (None, None, None),
+        ];
+        for (s, p, o) in filters {
+            let indexed = kb.search(s, p, o, repo, patterns);
+            let scanned = kb.search_scan(s, p, o, repo, patterns);
+            prop_assert_eq!(
+                indexed.len(),
+                scanned.len(),
+                "search cardinality diverged for {:?}",
+                (s, p, o)
+            );
+            for (a, b) in indexed.iter().zip(&scanned) {
+                prop_assert!(
+                    std::ptr::eq(*a, *b),
+                    "search hit order diverged for {:?}",
+                    (s, p, o)
+                );
+            }
+        }
+    }
+}

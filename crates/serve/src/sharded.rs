@@ -152,3 +152,38 @@ impl<V: Clone> ShardedLru<V> {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_bounce_is_not_an_eviction() {
+        // Regression (PR 3 behavior): an entry heavier than the whole
+        // weight budget bounces straight back without landing in the
+        // eviction counter — no cached entry was lost — and without
+        // flushing the resident working set.
+        let store: ShardedLru<u32> = ShardedLru::weight_bounded(100, 1);
+        store.insert_weighted(1, 10, 60);
+        store.insert_weighted(2, 20, 30);
+        assert_eq!(store.len(), 2);
+        store.insert_weighted(3, 30, 500); // heavier than the budget
+        let totals = store.totals();
+        assert_eq!(totals.evictions, 0, "a bounce must not count as eviction");
+        assert_eq!(totals.entries, 2, "residents must survive the bounce");
+        assert_eq!(store.peek(1), Some(10));
+        assert_eq!(store.peek(2), Some(20));
+        assert_eq!(store.peek(3), None);
+        // Genuine weight pressure still counts.
+        store.insert_weighted(4, 40, 90);
+        assert!(store.totals().evictions >= 1);
+    }
+
+    #[test]
+    fn zero_capacity_bounce_is_not_an_eviction() {
+        let store: ShardedLru<u32> = ShardedLru::weight_bounded(0, 1);
+        store.insert_weighted(1, 10, 5);
+        let totals = store.totals();
+        assert_eq!((totals.evictions, totals.entries), (0, 0));
+    }
+}

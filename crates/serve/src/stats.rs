@@ -11,10 +11,66 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Latency samples kept for percentile snapshots; beyond this the
-/// counters stay exact but new samples are dropped (a closed-loop bench
-/// never gets near it).
+/// Latency samples resident for percentile snapshots. When a
+/// long-running server overflows the window, the **oldest** samples are
+/// overwritten (sliding window) and the snapshot reports how many were
+/// displaced — percentiles track recent traffic instead of silently
+/// freezing on the first 2^20 samples forever.
 const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+/// A fixed-capacity ring of latency samples: the newest `capacity`
+/// samples are resident, older ones are overwritten and counted in
+/// `dropped`.
+pub(crate) struct LatencyRing {
+    samples: Vec<u64>,
+    /// Next write position once the ring has wrapped.
+    next: usize,
+    /// Samples overwritten since the last reset (they no longer
+    /// contribute to percentile snapshots).
+    dropped: u64,
+    capacity: usize,
+}
+
+impl LatencyRing {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            next: 0,
+            dropped: 0,
+            capacity,
+        }
+    }
+
+    pub(crate) fn push(&mut self, sample: u64) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.next] = sample;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Resident samples (insertion order not preserved across wraps;
+    /// callers sort for percentiles anyway).
+    pub(crate) fn resident(&self) -> Vec<u64> {
+        self.samples.clone()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.samples.clear();
+        self.next = 0;
+        self.dropped = 0;
+    }
+}
 
 /// Shared interior-mutable metrics sink the worker shards write into.
 pub(crate) struct ServeMetrics {
@@ -31,7 +87,7 @@ pub(crate) struct ServeMetrics {
     build_graph_us: AtomicU64,
     build_resolve_us: AtomicU64,
     build_canonicalize_us: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_us: Mutex<LatencyRing>,
 }
 
 impl ServeMetrics {
@@ -50,7 +106,7 @@ impl ServeMetrics {
             build_graph_us: AtomicU64::new(0),
             build_resolve_us: AtomicU64::new(0),
             build_canonicalize_us: AtomicU64::new(0),
-            latencies_us: Mutex::new(Vec::new()),
+            latencies_us: Mutex::new(LatencyRing::with_capacity(MAX_LATENCY_SAMPLES)),
         }
     }
 
@@ -94,10 +150,10 @@ impl ServeMetrics {
 
     pub(crate) fn note_request(&self, latency: Duration) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let mut samples = self.latencies_us.lock().expect("latency sink");
-        if samples.len() < MAX_LATENCY_SAMPLES {
-            samples.push(latency.as_micros() as u64);
-        }
+        self.latencies_us
+            .lock()
+            .expect("latency sink")
+            .push(latency.as_micros() as u64);
     }
 
     /// Zeroes every counter and restarts the throughput clock — the
@@ -131,11 +187,15 @@ impl ServeMetrics {
         stage1: Stage1Counters,
         sessions: SessionStats,
     ) -> ServeStats {
-        let samples = {
-            let mut s = self.latencies_us.lock().expect("latency sink").clone();
-            s.sort_unstable();
-            s
+        // Copy out under the lock, sort after releasing it: requests
+        // completing during a snapshot must not stall on a 2^20-sample
+        // sort inside note_request.
+        let (mut samples, latency_samples_dropped) = {
+            let ring = self.latencies_us.lock().expect("latency sink");
+            (ring.resident(), ring.dropped())
         };
+        samples.sort_unstable();
+        let samples = samples;
         let pct = |q: f64| -> f64 {
             if samples.is_empty() {
                 return 0.0;
@@ -157,6 +217,7 @@ impl ServeMetrics {
             latency_p50_ms: pct(0.50),
             latency_p95_ms: pct(0.95),
             latency_mean_ms: mean_ms,
+            latency_samples_dropped,
             cache,
             stage1,
             sessions,
@@ -194,6 +255,10 @@ pub struct ServeStats {
     pub latency_p95_ms: f64,
     /// Mean queue-to-reply latency (ms).
     pub latency_mean_ms: f64,
+    /// Samples displaced from the latency window (percentiles cover the
+    /// newest 2^20 samples; non-zero means the reported percentiles
+    /// describe recent traffic, not the server's whole lifetime).
+    pub latency_samples_dropped: u64,
     /// Fragment-cache counters (tier two: exact retrieved-set reuse).
     pub cache: CacheCounters,
     /// Per-document stage-1 cache counters (tier one: cross-query
@@ -241,6 +306,7 @@ impl ServeStats {
             .with("latency_p50_ms", self.latency_p50_ms)
             .with("latency_p95_ms", self.latency_p95_ms)
             .with("latency_mean_ms", self.latency_mean_ms)
+            .with("latency_samples_dropped", self.latency_samples_dropped)
             .with("cache_hits", self.cache.hits)
             .with("cache_misses", self.cache.misses)
             .with("cache_evictions", self.cache.evictions)
@@ -262,5 +328,57 @@ impl ServeStats {
             .with("batch_coalesced", self.batch_coalesced)
             .with("inflight_coalesced", self.inflight_coalesced)
             .with("build_timings", self.build_timings.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_samples_and_counts_displaced() {
+        let mut ring = LatencyRing::with_capacity(4);
+        for v in 1..=4 {
+            ring.push(v);
+        }
+        assert_eq!(ring.dropped(), 0);
+        let mut resident = ring.resident();
+        resident.sort_unstable();
+        assert_eq!(resident, vec![1, 2, 3, 4]);
+        // Overflow: the two oldest are displaced, the window slides.
+        ring.push(5);
+        ring.push(6);
+        assert_eq!(ring.dropped(), 2);
+        let mut resident = ring.resident();
+        resident.sort_unstable();
+        assert_eq!(resident, vec![3, 4, 5, 6]);
+        ring.clear();
+        assert_eq!((ring.resident().len(), ring.dropped()), (0, 0));
+    }
+
+    #[test]
+    fn ring_wraps_repeatedly_without_growing() {
+        let mut ring = LatencyRing::with_capacity(3);
+        for v in 0..100 {
+            ring.push(v);
+        }
+        assert_eq!(ring.resident().len(), 3);
+        assert_eq!(ring.dropped(), 97);
+        let mut resident = ring.resident();
+        resident.sort_unstable();
+        assert_eq!(resident, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn snapshot_surfaces_dropped_count() {
+        let metrics = ServeMetrics::new();
+        metrics.note_request(Duration::from_micros(100));
+        let stats = metrics.snapshot(
+            CacheCounters::default(),
+            Stage1Counters::default(),
+            SessionStats::default(),
+        );
+        assert_eq!(stats.latency_samples_dropped, 0);
+        assert_eq!(stats.to_json()["latency_samples_dropped"], 0u64);
     }
 }

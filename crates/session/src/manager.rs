@@ -335,6 +335,44 @@ mod tests {
     }
 
     #[test]
+    fn equal_turn_weight_commit_tie_cannot_undercount_the_budget() {
+        // Regression: weight commits are monotonic in the observed turn
+        // number with ties allowed (`>=`, not `>`). Two observations of
+        // the *same* turn can race — the turn's own reweigh and a
+        // concurrent commit that read the slot between f() and the
+        // manager lock — and whichever lands last must still commit:
+        // with a strict `>` the later (authoritative) observation would
+        // be dropped and the byte budget would under-count the resident
+        // KB until the next turn.
+        let m = manager(SessionConfig {
+            max_bytes: 0,
+            ttl: Duration::ZERO,
+            max_sessions: 0,
+        });
+        let slot = m.claim("a");
+        let base = m.stats().approx_bytes;
+        // Turn 1's first observation.
+        m.reweigh("a", &slot, base + 100, 1);
+        assert_eq!(m.stats().approx_bytes, base + 100);
+        // A tied (equal-turn) re-observation with the larger, newer
+        // weight must commit.
+        m.reweigh("a", &slot, base + 120, 1);
+        assert_eq!(
+            m.stats().approx_bytes,
+            base + 120,
+            "an equal-turn commit must not be dropped"
+        );
+        // A genuinely stale observation (older turn) must not regress it.
+        m.reweigh("a", &slot, base + 10, 0);
+        assert_eq!(m.stats().approx_bytes, base + 120);
+        // An observation against a slot the id no longer maps to (the
+        // eviction-raced orphan) is discarded entirely.
+        let orphan = std::sync::Arc::new(std::sync::Mutex::new(crate::SessionKb::new()));
+        m.reweigh("a", &orphan, base + 999, 5);
+        assert_eq!(m.stats().approx_bytes, base + 120);
+    }
+
+    #[test]
     fn stats_note_turn_splits_cold_and_extended() {
         let m = manager(SessionConfig::default());
         m.note_turn(&TurnReport {

@@ -36,18 +36,22 @@ impl Value {
         Value::Array(items.into_iter().collect())
     }
 
-    /// Inserts (or replaces) a key on an object; panics on non-objects.
+    /// Inserts (or replaces) a key. A non-object receiver is **coerced to
+    /// an empty object first** (discarding its previous value) rather than
+    /// panicking — library code builds reports programmatically and a
+    /// stray `Null` must not take the process down.
     pub fn set<V: Into<Value>>(&mut self, key: &str, value: V) -> &mut Value {
-        match self {
-            Value::Object(pairs) => {
-                let value = value.into();
-                if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
-                    slot.1 = value;
-                } else {
-                    pairs.push((key.to_string(), value));
-                }
-            }
-            other => panic!("Value::set on non-object {other:?}"),
+        if !matches!(self, Value::Object(_)) {
+            *self = Value::object();
+        }
+        let Value::Object(pairs) = self else {
+            unreachable!("coerced to object above");
+        };
+        let value = value.into();
+        if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            pairs.push((key.to_string(), value));
         }
         self
     }
@@ -225,6 +229,21 @@ mod tests {
     #[test]
     fn set_replaces_existing_key() {
         let mut v = Value::object().with("k", 1u32);
+        v.set("k", 2u32);
+        assert_eq!(v["k"], 2);
+    }
+
+    #[test]
+    fn set_coerces_non_object_receivers() {
+        // A non-object receiver becomes an object instead of panicking.
+        let mut v = Value::Null;
+        v.set("k", 1u32);
+        assert_eq!(v, Value::object().with("k", 1u32));
+        let mut v = Value::Number(7.0);
+        v.set("a", "x").set("b", true);
+        assert_eq!(v.to_string(), r#"{"a":"x","b":true}"#);
+        // Chaining through the returned reference keeps working.
+        let mut v = Value::Array(vec![Value::Null]);
         v.set("k", 2u32);
         assert_eq!(v["k"], 2);
     }

@@ -430,6 +430,32 @@ mod tests {
     }
 
     #[test]
+    fn oversized_bounce_preserves_resident_recency_order() {
+        // Regression: the oversized-entry bounce must leave the resident
+        // LRU order exactly as it was — no promotion, no demotion — so a
+        // stream of uncacheable giants cannot reorder (and then
+        // mis-evict) the warm working set.
+        let mut c: LruCache<u32, u32> = LruCache::weighted(100);
+        c.insert_weighted(1, 10, 30);
+        c.insert_weighted(2, 20, 30);
+        c.insert_weighted(3, 30, 30);
+        assert_eq!(c.get(&1), Some(&10)); // recency now [1, 3, 2]
+        let before = c.keys_mru();
+        assert_eq!(before, vec![1, 3, 2]);
+        for key in [9u32, 8, 7] {
+            let outcome = c.insert_weighted(key, 0, 150);
+            assert_eq!(outcome.evicted, vec![(key, 0)], "bounced, not cached");
+            assert_eq!(outcome.replaced, None);
+        }
+        assert_eq!(c.keys_mru(), before, "bounces must not perturb recency");
+        assert_eq!(c.approx_bytes(), 90);
+        // The next genuine weight-pressure eviction still picks the true
+        // LRU (2), proving the order survived intact.
+        let outcome = c.insert_weighted(4, 40, 40);
+        assert_eq!(outcome.evicted, vec![(2, 20)]);
+    }
+
+    #[test]
     fn oversized_replacement_removes_the_stale_entry() {
         let mut c: LruCache<u32, u32> = LruCache::weighted(100);
         c.insert_weighted(1, 10, 40);
