@@ -1,0 +1,234 @@
+//! Bench-regression checking: compares fresh `BENCH_*.json` reports
+//! against the baselines committed at the repo root and fails on a >25%
+//! regression of any headline speedup/latency metric.
+//!
+//! The committed baselines are produced in quick mode to match the
+//! quick-mode fresh runs CI performs, and the gate compares *ratios*
+//! (speedups) and relative latencies — quantities that are stable
+//! across machines — rather than absolute wall-clock.
+
+use qkb_util::json::Value;
+
+/// Maximum tolerated relative regression of a headline metric.
+pub const TOLERANCE: f64 = 0.25;
+
+/// Whether a bigger or a smaller value is better for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Speedups, throughputs.
+    HigherIsBetter,
+    /// Latencies.
+    LowerIsBetter,
+}
+
+/// A headline metric of one bench report, addressed by a dot-separated
+/// path into the JSON object.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricSpec {
+    pub path: &'static str,
+    pub direction: Direction,
+}
+
+const fn higher(path: &'static str) -> MetricSpec {
+    MetricSpec {
+        path,
+        direction: Direction::HigherIsBetter,
+    }
+}
+
+const fn lower(path: &'static str) -> MetricSpec {
+    MetricSpec {
+        path,
+        direction: Direction::LowerIsBetter,
+    }
+}
+
+const PARALLEL_METRICS: &[MetricSpec] = &[higher("speedup")];
+const SERVE_METRICS: &[MetricSpec] = &[
+    higher("speedup"),
+    lower("served_p50_ms"),
+    lower("served_p95_ms"),
+];
+const SESSION_METRICS: &[MetricSpec] = &[higher("speedup"), higher("session_rps")];
+const INCREMENTAL_METRICS: &[MetricSpec] = &[higher("speedup"), higher("twotier_rps")];
+const RESOLVE_METRICS: &[MetricSpec] = &[higher("greedy.speedup"), higher("ilp.speedup")];
+
+/// The headline metrics per bench (keyed by the report's `bench` field).
+pub fn metrics_for(bench: &str) -> &'static [MetricSpec] {
+    match bench {
+        "build_kb_parallel" => PARALLEL_METRICS,
+        "serve" => SERVE_METRICS,
+        "session" => SESSION_METRICS,
+        "incremental" => INCREMENTAL_METRICS,
+        "resolve" => RESOLVE_METRICS,
+        _ => &[],
+    }
+}
+
+/// One detected regression.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    pub bench: String,
+    pub path: String,
+    pub baseline: f64,
+    pub fresh: f64,
+    /// Relative change in the *bad* direction (0.30 = 30% worse).
+    pub regression: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed {:.0}% (baseline {:.3}, fresh {:.3})",
+            self.bench,
+            self.path,
+            self.regression * 100.0,
+            self.baseline,
+            self.fresh
+        )
+    }
+}
+
+/// Resolves a dot-separated path in a JSON object to a number.
+pub fn lookup(v: &Value, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    cur.as_f64()
+}
+
+/// Compares a fresh report against its committed baseline. Returns the
+/// regressions beyond [`TOLERANCE`]; improvements and small wobbles
+/// pass. Errors on malformed reports (missing `bench` tag, mismatched
+/// bench kinds, or a headline metric absent from either side) — a gate
+/// that silently checks nothing must not look green.
+pub fn check_pair(baseline: &Value, fresh: &Value) -> Result<Vec<Regression>, String> {
+    let bench = baseline
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("baseline report has no `bench` tag")?
+        .to_string();
+    let fresh_bench = fresh
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("fresh report has no `bench` tag")?;
+    if bench != fresh_bench {
+        return Err(format!(
+            "bench kind mismatch: baseline `{bench}` vs fresh `{fresh_bench}`"
+        ));
+    }
+    let specs = metrics_for(&bench);
+    if specs.is_empty() {
+        return Err(format!("no headline metrics known for bench `{bench}`"));
+    }
+    let mut out = Vec::new();
+    for spec in specs {
+        let base = lookup(baseline, spec.path)
+            .ok_or_else(|| format!("{bench}: baseline is missing `{}`", spec.path))?;
+        let new = lookup(fresh, spec.path)
+            .ok_or_else(|| format!("{bench}: fresh report is missing `{}`", spec.path))?;
+        if !base.is_finite() || !new.is_finite() || base <= 0.0 {
+            return Err(format!(
+                "{bench}: `{}` is not a positive finite number (baseline {base}, fresh {new})",
+                spec.path
+            ));
+        }
+        let regression = match spec.direction {
+            Direction::HigherIsBetter => (base - new) / base,
+            Direction::LowerIsBetter => (new - base) / base,
+        };
+        if regression > TOLERANCE {
+            out.push(Regression {
+                bench: bench.clone(),
+                path: spec.path.to_string(),
+                baseline: base,
+                fresh: new,
+                regression,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(bench: &str, speedup: f64) -> Value {
+        Value::object()
+            .with("bench", bench)
+            .with("speedup", speedup)
+    }
+
+    #[test]
+    fn improvement_and_small_wobble_pass() {
+        let base = report("build_kb_parallel", 4.0);
+        assert!(check_pair(&base, &report("build_kb_parallel", 5.0))
+            .expect("ok")
+            .is_empty());
+        // 20% down is within the 25% tolerance.
+        assert!(check_pair(&base, &report("build_kb_parallel", 3.2))
+            .expect("ok")
+            .is_empty());
+    }
+
+    #[test]
+    fn large_speedup_drop_is_flagged() {
+        let base = report("build_kb_parallel", 4.0);
+        let regs = check_pair(&base, &report("build_kb_parallel", 2.4)).expect("ok");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "speedup");
+        assert!(regs[0].regression > 0.25);
+    }
+
+    #[test]
+    fn latency_direction_is_inverted() {
+        let mk = |speedup: f64, p50: f64, p95: f64| {
+            Value::object()
+                .with("bench", "serve")
+                .with("speedup", speedup)
+                .with("served_p50_ms", p50)
+                .with("served_p95_ms", p95)
+        };
+        let base = mk(5.0, 10.0, 40.0);
+        // Lower latency is an improvement, not a regression.
+        assert!(check_pair(&base, &mk(5.0, 5.0, 20.0))
+            .expect("ok")
+            .is_empty());
+        // 50% slower p95 trips the gate.
+        let regs = check_pair(&base, &mk(5.0, 10.0, 60.0)).expect("ok");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "served_p95_ms");
+    }
+
+    #[test]
+    fn nested_paths_resolve() {
+        let mk = |g: f64, i: f64| {
+            Value::object()
+                .with("bench", "resolve")
+                .with("greedy", Value::object().with("speedup", g))
+                .with("ilp", Value::object().with("speedup", i))
+        };
+        let base = mk(3.5, 27.0);
+        assert!(check_pair(&base, &mk(3.4, 26.0)).expect("ok").is_empty());
+        let regs = check_pair(&base, &mk(1.5, 26.0)).expect("ok");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "greedy.speedup");
+    }
+
+    #[test]
+    fn malformed_reports_error_instead_of_passing() {
+        let base = report("build_kb_parallel", 4.0);
+        // Missing metric on the fresh side.
+        let fresh = Value::object().with("bench", "build_kb_parallel");
+        assert!(check_pair(&base, &fresh).is_err());
+        // Mismatched bench kinds.
+        assert!(check_pair(&base, &report("serve", 4.0)).is_err());
+        // Unknown bench.
+        assert!(check_pair(&report("nope", 1.0), &report("nope", 1.0)).is_err());
+        // Non-positive baseline.
+        assert!(check_pair(&report("build_kb_parallel", 0.0), &base).is_err());
+    }
+}

@@ -10,6 +10,7 @@
 //! rendering with paper-vs-measured columns.
 
 pub mod assess;
+pub mod check;
 pub mod fixtures;
 pub mod report;
 

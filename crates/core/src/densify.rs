@@ -80,8 +80,15 @@ enum MentionRef {
 }
 
 /// The densification engine (holds the working state for one graph).
+///
+/// The engine only *reads* the graph; every edge removal it decides is
+/// recorded in [`Engine::kills`] and applied by the caller afterwards.
+/// This is safe because the algorithm never re-reads an edge it has
+/// decided to remove (candidate/target liveness is tracked in the
+/// engine's own state), and it is what lets independent components of
+/// one graph run concurrently against a shared `&SemanticGraph`.
 struct Engine<'a> {
-    graph: &'a mut SemanticGraph,
+    graph: &'a SemanticGraph,
     model: &'a WeightModel,
     stats: &'a BackgroundStats,
     repo: &'a EntityRepository,
@@ -92,6 +99,7 @@ struct Engine<'a> {
     rels: Vec<RelEdge>,
     rels_of: FxHashMap<NodeId, Vec<usize>>,
     removed: usize,
+    kills: Vec<GraphEdgeId>,
 }
 
 /// Runs Algorithm 1 on the graph.
@@ -102,19 +110,49 @@ pub fn densify(
     stats: &BackgroundStats,
     repo: &EntityRepository,
 ) -> DensifyOutcome {
+    let (outcome, kills) = densify_deferred(graph, mentions, model, stats, repo, false);
+    for e in kills {
+        graph.kill_edge(e);
+    }
+    outcome
+}
+
+/// [`densify`] against a read-only graph: returns the outcome plus the
+/// edge kills the caller must apply to realize it. Restricting `mentions`
+/// to one connected component (sameAs/relation coupling) yields exactly
+/// that component's slice of the full run — see `decompose`.
+///
+/// With `lazy` set the greedy loop memoizes removal contributions and
+/// re-scores only the entries a removal could have changed; the removal
+/// sequence (and therefore the output) is identical to the naive loop —
+/// see [`Engine::run_lazy`]. The naive loop is kept as the reference
+/// implementation and serves as the benchmark baseline.
+pub(crate) fn densify_deferred(
+    graph: &SemanticGraph,
+    mentions: &[NodeId],
+    model: &WeightModel,
+    stats: &BackgroundStats,
+    repo: &EntityRepository,
+    lazy: bool,
+) -> (DensifyOutcome, Vec<GraphEdgeId>) {
     let mut engine = Engine::init(graph, mentions, model, stats, repo);
-    engine.run();
+    if lazy {
+        engine.run_lazy();
+    } else {
+        engine.run();
+    }
     engine.finish()
 }
 
 impl<'a> Engine<'a> {
     fn init(
-        graph: &'a mut SemanticGraph,
+        graph: &'a SemanticGraph,
         mentions: &[NodeId],
         model: &'a WeightModel,
         stats: &'a BackgroundStats,
         repo: &'a EntityRepository,
     ) -> Self {
+        let mut kills: Vec<GraphEdgeId> = Vec::new();
         // --- NP groups: connected components over NP–NP sameAs edges with
         // compatible candidate sets (constraint (3) preparation). ---
         let nps: Vec<NodeId> = mentions
@@ -163,9 +201,7 @@ impl<'a> Engine<'a> {
         }
         // Conflicting string matches cannot satisfy constraint (3): the
         // corresponding sameAs edges are removed up front.
-        for e in conflict_edges {
-            graph.kill_edge(e);
-        }
+        kills.extend(conflict_edges);
 
         // Materialize groups.
         let mut group_of: FxHashMap<NodeId, usize> = FxHashMap::default();
@@ -222,7 +258,7 @@ impl<'a> Engine<'a> {
             for m in &g.members {
                 for (edge, cand) in graph.means_of(*m) {
                     if !g.cands.iter().any(|c| c.e == cand) {
-                        graph.kill_edge(edge);
+                        kills.push(edge);
                     }
                 }
             }
@@ -252,7 +288,7 @@ impl<'a> Engine<'a> {
                         alive: true,
                     });
                 } else {
-                    graph.kill_edge(edge);
+                    kills.push(edge);
                 }
             }
             pronouns.push(PronState {
@@ -276,6 +312,11 @@ impl<'a> Engine<'a> {
             refs.push(MentionRef::Pron(pid));
         }
 
+        // Relation edges between two of *our* mentions, in edge-id order.
+        // Edges touching a node outside the mention set (clause nodes, or
+        // — under component decomposition — nothing, since coupling edges
+        // never cross components) carry weight 0 by construction
+        // (`cand_set` of a non-mention is empty) and are skipped.
         let mut rels = Vec::new();
         let mut rels_of: FxHashMap<NodeId, Vec<usize>> = FxHashMap::default();
         for e in graph.edge_ids() {
@@ -284,6 +325,9 @@ impl<'a> Engine<'a> {
                 continue;
             }
             if let crate::graph::EdgeKind::Relation { pattern } = &edge.kind {
+                if !mention_ref.contains_key(&edge.a) || !mention_ref.contains_key(&edge.b) {
+                    continue;
+                }
                 let idx = rels.len();
                 rels.push(RelEdge {
                     a: edge.a,
@@ -307,6 +351,7 @@ impl<'a> Engine<'a> {
             rels,
             rels_of,
             removed: 0,
+            kills,
         }
     }
 
@@ -449,16 +494,176 @@ impl<'a> Engine<'a> {
                     self.groups[gid].cands[ci].alive = false;
                     let edges = self.groups[gid].cands[ci].edges.clone();
                     for e in edges {
-                        self.graph.kill_edge(e);
+                        self.kills.push(e);
                         self.removed += 1;
                     }
                 }
                 Removal::PronTarget(pid, ti) => {
                     self.pronouns[pid].targets[ti].alive = false;
                     let e = self.pronouns[pid].targets[ti].edge;
-                    self.graph.kill_edge(e);
+                    self.kills.push(e);
                     self.removed += 1;
                 }
+            }
+        }
+    }
+
+    /// [`Engine::run`] with memoized contributions.
+    ///
+    /// Produces the **identical removal sequence** (hence identical kills,
+    /// resolutions and confidences): the scan order and the strict-min
+    /// first-wins rule are the same, and every value read is the exact
+    /// contribution — a cached entry is only reused while all of its
+    /// inputs are untouched. A contribution reads (a) its own group's /
+    /// pronoun's alive flags and static weights, and (b) the weights of
+    /// the relation edges incident to its group or pronoun — which in
+    /// turn read the candidate sets of both endpoints. A removal changes
+    /// the candidate set of exactly one group (plus the pronouns
+    /// targeting it) or one pronoun, so only rel weights in
+    /// `rels_touching_group` / `rels_of` can move; everything whose
+    /// read-set intersects that edge set is invalidated, the rest of the
+    /// cache stays exact. This turns the per-iteration full rescan into
+    /// a neighborhood rescan — the asymptotic win that makes the
+    /// decomposed resolve path fast on large coupling components.
+    fn run_lazy(&mut self) {
+        let mut group_cache: Vec<Option<Vec<f64>>> = vec![None; self.groups.len()];
+        let mut pron_cache: Vec<Option<Vec<f64>>> = vec![None; self.pronouns.len()];
+        loop {
+            let mut best: Option<(f64, Removal)> = None;
+            for (gid, slot) in group_cache.iter_mut().enumerate() {
+                let alive = self.groups[gid].cands.iter().filter(|c| c.alive).count();
+                if alive < 2 {
+                    continue;
+                }
+                if slot.is_none() {
+                    let mut vals = vec![f64::INFINITY; self.groups[gid].cands.len()];
+                    for (ci, v) in vals.iter_mut().enumerate() {
+                        if self.groups[gid].cands[ci].alive {
+                            *v = self.group_removal_contribution(gid, ci);
+                        }
+                    }
+                    *slot = Some(vals);
+                }
+                let vals: &[f64] = slot.as_deref().expect("cache filled above");
+                for (ci, &c) in vals.iter().enumerate() {
+                    if !self.groups[gid].cands[ci].alive {
+                        continue;
+                    }
+                    if best.as_ref().is_none_or(|(b, _)| c < *b) {
+                        best = Some((c, Removal::GroupCand(gid, ci)));
+                    }
+                }
+            }
+            for (pid, slot) in pron_cache.iter_mut().enumerate() {
+                let alive = self.pronouns[pid]
+                    .targets
+                    .iter()
+                    .filter(|t| t.alive)
+                    .count();
+                if alive < 2 {
+                    continue;
+                }
+                if slot.is_none() {
+                    let mut vals = vec![f64::INFINITY; self.pronouns[pid].targets.len()];
+                    for (ti, v) in vals.iter_mut().enumerate() {
+                        if !self.pronouns[pid].targets[ti].alive {
+                            continue;
+                        }
+                        let mut c = self.pron_removal_contribution(pid, ti);
+                        // Same recency tie-break as `run` (static inputs,
+                        // safe to cache).
+                        let tgroup = self.pronouns[pid].targets[ti].group;
+                        if let Some(&m) = self.groups[tgroup].members.first() {
+                            let dist = sentence_distance(self.graph, self.pronouns[pid].node, m);
+                            c -= 1e-6 * dist as f64;
+                        }
+                        *v = c;
+                    }
+                    *slot = Some(vals);
+                }
+                let vals: &[f64] = slot.as_deref().expect("cache filled above");
+                for (ti, &c) in vals.iter().enumerate() {
+                    if !self.pronouns[pid].targets[ti].alive {
+                        continue;
+                    }
+                    if best.as_ref().is_none_or(|(b, _)| c < *b) {
+                        best = Some((c, Removal::PronTarget(pid, ti)));
+                    }
+                }
+            }
+            let Some((_, removal)) = best else {
+                break; // all constraints satisfied
+            };
+            match removal {
+                Removal::GroupCand(gid, ci) => {
+                    // Rel weights that can move: those reading group
+                    // `gid`'s candidate set, directly or through a
+                    // pronoun that targets it.
+                    let changed = self.rels_touching_group(gid);
+                    self.groups[gid].cands[ci].alive = false;
+                    let edges = self.groups[gid].cands[ci].edges.clone();
+                    for e in edges {
+                        self.kills.push(e);
+                        self.removed += 1;
+                    }
+                    self.invalidate(&changed, &mut group_cache, &mut pron_cache);
+                    group_cache[gid] = None;
+                }
+                Removal::PronTarget(pid, ti) => {
+                    // Only the pronoun's own candidate set changes, so
+                    // only its incident rel weights can move (sorted:
+                    // `rels_of` is filled in ascending edge order).
+                    let changed = self
+                        .rels_of
+                        .get(&self.pronouns[pid].node)
+                        .cloned()
+                        .unwrap_or_default();
+                    let tgroup = self.pronouns[pid].targets[ti].group;
+                    self.pronouns[pid].targets[ti].alive = false;
+                    let e = self.pronouns[pid].targets[ti].edge;
+                    self.kills.push(e);
+                    self.removed += 1;
+                    self.invalidate(&changed, &mut group_cache, &mut pron_cache);
+                    pron_cache[pid] = None;
+                    // The pronoun may no longer target `tgroup`, which
+                    // shrinks that group's affected-rel set.
+                    group_cache[tgroup] = None;
+                }
+            }
+        }
+    }
+
+    /// Drops every cached contribution whose value can read the weight of
+    /// a relation edge in `changed` (sorted ascending): groups with an
+    /// incident member, pronouns with an incident node — and the groups
+    /// those pronouns target, since `rels_touching_group` includes the
+    /// rels of targeting pronouns.
+    fn invalidate(
+        &self,
+        changed: &[usize],
+        group_cache: &mut [Option<Vec<f64>>],
+        pron_cache: &mut [Option<Vec<f64>>],
+    ) {
+        if changed.is_empty() {
+            return;
+        }
+        let hits = |node: NodeId| {
+            self.rels_of
+                .get(&node)
+                .is_some_and(|v| v.iter().any(|r| changed.binary_search(r).is_ok()))
+        };
+        for (gid, g) in self.groups.iter().enumerate() {
+            if group_cache[gid].is_some() && g.members.iter().any(|&m| hits(m)) {
+                group_cache[gid] = None;
+            }
+        }
+        for (pid, p) in self.pronouns.iter().enumerate() {
+            if !hits(p.node) {
+                continue;
+            }
+            pron_cache[pid] = None;
+            for t in p.targets.iter().filter(|t| t.alive) {
+                group_cache[t.group] = None;
             }
         }
     }
@@ -518,7 +723,7 @@ impl<'a> Engine<'a> {
         (Some(self.groups[gid].cands[chosen].e), confidence)
     }
 
-    fn finish(mut self) -> DensifyOutcome {
+    fn finish(mut self) -> (DensifyOutcome, Vec<GraphEdgeId>) {
         let objective = self.objective();
         let mut resolutions: FxHashMap<NodeId, MentionResolution> = FxHashMap::default();
         let mut group_res: Vec<(Option<EntityId>, f64)> = Vec::with_capacity(self.groups.len());
@@ -554,11 +759,14 @@ impl<'a> Engine<'a> {
             };
             resolutions.insert(p.node, res);
         }
-        DensifyOutcome {
-            resolutions,
-            objective,
-            removed_edges: self.removed,
-        }
+        (
+            DensifyOutcome {
+                resolutions,
+                objective,
+                removed_edges: self.removed,
+            },
+            self.kills,
+        )
     }
 }
 
@@ -854,6 +1062,42 @@ mod tests {
             entities.windows(2).all(|w| w[0] == w[1]),
             "constraint (3): sameAs group shares one entity: {entities:?}"
         );
+    }
+
+    #[test]
+    fn lazy_run_matches_naive_run_exactly() {
+        let (repo, stats) = fixture();
+        let model = WeightModel::default();
+        for text in [
+            "Marcus Keller plays for Liverpool.",
+            "Marcus Keller plays for Liverpool. He scored twice.",
+            "Marcus Keller plays for Liverpool. He scored against Ashford United. \
+             Keller joined Liverpool in 2014. Liverpool is a large city.",
+        ] {
+            let pipeline = Pipeline::with_gazetteer(repo.gazetteer());
+            let doc = pipeline.annotate(text);
+            let clausie = ClausIe::new();
+            let clauses: Vec<Vec<qkb_openie::Clause>> =
+                doc.sentences.iter().map(|s| clausie.detect(s)).collect();
+            let built = build_graph(&doc, &clauses, &repo, &stats, BuildConfig::default());
+            let (naive, naive_kills) =
+                densify_deferred(&built.graph, &built.mentions, &model, &stats, &repo, false);
+            let (lazy, lazy_kills) =
+                densify_deferred(&built.graph, &built.mentions, &model, &stats, &repo, true);
+            // The memoized loop must reproduce the naive loop exactly:
+            // same kills in the same order, same objective, same
+            // resolutions bit-for-bit.
+            assert_eq!(lazy_kills, naive_kills, "kill sequence diverged: {text}");
+            assert_eq!(lazy.removed_edges, naive.removed_edges);
+            assert_eq!(lazy.objective.to_bits(), naive.objective.to_bits());
+            assert_eq!(lazy.resolutions.len(), naive.resolutions.len());
+            for (node, res) in &naive.resolutions {
+                let got = &lazy.resolutions[node];
+                assert_eq!(got.entity, res.entity);
+                assert_eq!(got.antecedent, res.antecedent);
+                assert_eq!(got.confidence.to_bits(), res.confidence.to_bits());
+            }
+        }
     }
 
     #[test]

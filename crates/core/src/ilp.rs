@@ -25,12 +25,43 @@ pub struct IlpOutcome {
     pub objective: f64,
     /// True if the solver proved optimality (false under node budget).
     pub optimal: bool,
+    /// True if the program had no feasible assignment (every resolution
+    /// is then the zeroed default).
+    pub infeasible: bool,
     /// Number of ILP variables (the paper's scalability observation:
     /// "a very large number of variables" on long documents).
     pub n_variables: usize,
+    /// Branch-and-bound nodes the solver explored.
+    pub nodes: u64,
+    /// Candidate entities eliminated before the solver by the admissible
+    /// domination bound (zero unless pruning was requested).
+    pub pruned_candidates: usize,
 }
 
-/// Solves NED+CR for one document graph via the Appendix-A ILP.
+/// Knobs of [`resolve_ilp_subset`]: the cold baseline uses
+/// `IlpSolveOptions::default()` (no pruning, no warm start, default node
+/// budget); the decomposed fast path enables all three.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct IlpSolveOptions {
+    /// Eliminate dominated candidates before building the program.
+    pub prune: bool,
+    /// Seed the solver with the independent-greedy incumbent.
+    pub warm_start: bool,
+    /// Branch-and-bound node budget (`0` = solver default). On
+    /// exhaustion with a warm start installed, the solver returns the
+    /// incumbent — never worse than the greedy seed.
+    pub node_limit: u64,
+}
+
+/// Strictness margin of the candidate-domination prune. It must clear
+/// the solver's `1e-12` tie tolerance by orders of magnitude: a pruned
+/// candidate's best completion is then *strictly* below the optimum, so
+/// it can neither be optimal nor tie-break its way into the returned
+/// solution.
+const PRUNE_EPS: f64 = 1e-6;
+
+/// Solves NED+CR for one document graph via the Appendix-A ILP (the
+/// cold, unpruned baseline arm).
 pub fn resolve_ilp(
     graph: &SemanticGraph,
     mentions: &[NodeId],
@@ -38,11 +69,34 @@ pub fn resolve_ilp(
     stats: &BackgroundStats,
     repo: &EntityRepository,
 ) -> IlpOutcome {
+    resolve_ilp_subset(
+        graph,
+        mentions,
+        model,
+        stats,
+        repo,
+        IlpSolveOptions::default(),
+    )
+}
+
+/// Solves the Appendix-A ILP restricted to `mentions` (all of them, or
+/// one coupling component under decomposition), with optional candidate
+/// pruning and greedy warm start.
+pub(crate) fn resolve_ilp_subset(
+    graph: &SemanticGraph,
+    mentions: &[NodeId],
+    model: &WeightModel,
+    stats: &BackgroundStats,
+    repo: &EntityRepository,
+    opts: IlpSolveOptions,
+) -> IlpOutcome {
     let mut ilp = Ilp::new();
 
-    // Candidate variables per mention. Pronoun candidate sets are the
-    // gender-filtered union over their sameAs targets.
-    let mut cand_vars: FxHashMap<NodeId, Vec<(EntityId, VarId)>> = FxHashMap::default();
+    // Full candidate sets per mention, before any pruning: confidence
+    // normalization and the pruning bounds must see the complete sets.
+    // Pronoun candidate sets are the gender-filtered union over their
+    // sameAs targets.
+    let mut full_cands: FxHashMap<NodeId, Vec<EntityId>> = FxHashMap::default();
     for &n in mentions {
         let cands: Vec<EntityId> = match graph.node(n) {
             NodeKind::NounPhrase { .. } => graph.means_of(n).iter().map(|&(_, e)| e).collect(),
@@ -62,8 +116,27 @@ pub fn resolve_ilp(
         if cands.is_empty() {
             continue;
         }
+        full_cands.insert(n, cands);
+    }
+
+    let pruned_of = if opts.prune {
+        prune_candidates(graph, mentions, model, stats, repo, &full_cands)
+    } else {
+        FxHashMap::default()
+    };
+    let pruned_candidates: usize = pruned_of.values().map(Vec::len).sum();
+
+    // Candidate variables per mention (surviving candidates only).
+    let mut cand_vars: FxHashMap<NodeId, Vec<(EntityId, VarId)>> = FxHashMap::default();
+    for &n in mentions {
+        let Some(cands) = full_cands.get(&n) else {
+            continue;
+        };
+        let dropped = pruned_of.get(&n);
         let vars: Vec<(EntityId, VarId)> = cands
-            .into_iter()
+            .iter()
+            .copied()
+            .filter(|e| dropped.is_none_or(|d| !d.contains(e)))
             .map(|e| {
                 let w = match graph.node(n) {
                     NodeKind::NounPhrase { .. } => model.means_weight(graph, stats, n, e),
@@ -111,7 +184,9 @@ pub fn resolve_ilp(
     }
 
     // Joint-rel product variables per relation edge and candidate pair.
-    let mut n_joint = 0usize;
+    // The `(y, a, b)` triples are kept so a warm-start incumbent can set
+    // every product variable consistently (`y = a ∧ b`).
+    let mut joint: Vec<(VarId, VarId, VarId)> = Vec::new();
     for eid in graph.edge_ids() {
         let edge = graph.edge(eid);
         if !edge.alive {
@@ -126,21 +201,31 @@ pub fn resolve_ilp(
         // Appendix A introduces a joint-rel variable for *every* candidate
         // pair of a relation edge — including zero-weight ones. This is
         // what blows up the variable count on long documents (Table 6's
-        // scalability observation), so we keep the translation faithful.
+        // scalability observation), so we keep the translation faithful
+        // (pruning shrinks the candidate sets it ranges over, not the
+        // per-pair expansion).
         for &(ea, v1) in va {
             for &(eb, v2) in vb {
                 let w = model.pair_weight(stats, repo, ea, eb, pattern);
                 let y = ilp.add_var(w);
                 ilp.and_constraint(y, v1, v2);
-                n_joint += 1;
+                joint.push((y, v1, v2));
             }
         }
     }
-    let _ = n_joint;
 
     let n_variables = ilp.n_vars();
-    let solution = Solver::new().solve(&ilp);
+    let mut solver = if opts.node_limit > 0 {
+        Solver::with_node_limit(opts.node_limit)
+    } else {
+        Solver::new()
+    };
+    if opts.warm_start {
+        solver = solver.with_incumbent(greedy_incumbent(&ilp, mentions, &cand_vars, &joint));
+    }
+    let solution = solver.solve(&ilp);
     let optimal = solution.status == SolveStatus::Optimal;
+    let infeasible = solution.status == SolveStatus::Infeasible;
 
     // Extract resolutions.
     let mut resolutions: FxHashMap<NodeId, MentionResolution> = FxHashMap::default();
@@ -153,9 +238,12 @@ pub fn resolve_ilp(
                     .map(|&(e, _)| e);
                 // Confidence: weight share among candidates (softmax-free
                 // normalization, mirroring the greedy confidence notion).
-                let weights: Vec<f64> = vars
+                // Normalized over the FULL candidate set — pruning must
+                // not inflate the surviving candidates' confidence.
+                let full = &full_cands[&n];
+                let weights: Vec<f64> = full
                     .iter()
-                    .map(|&(e, _)| match graph.node(n) {
+                    .map(|&e| match graph.node(n) {
                         NodeKind::NounPhrase { .. } => {
                             model.means_weight(graph, stats, n, e).max(0.0)
                         }
@@ -165,10 +253,10 @@ pub fn resolve_ilp(
                 let total: f64 = weights.iter().sum();
                 let confidence = match chosen {
                     Some(e) if total > 0.0 => {
-                        let idx = vars.iter().position(|&(e2, _)| e2 == e).expect("chosen");
+                        let idx = full.iter().position(|&e2| e2 == e).expect("chosen");
                         (weights[idx] / total).clamp(0.0, 1.0)
                     }
-                    Some(_) => 1.0 / vars.len() as f64,
+                    Some(_) => 1.0 / full.len() as f64,
                     None => 0.0,
                 };
                 let antecedent = match graph.node(n) {
@@ -196,8 +284,218 @@ pub fn resolve_ilp(
         resolutions,
         objective: solution.objective.max(0.0),
         optimal,
+        infeasible,
         n_variables,
+        nodes: solution.nodes,
+        pruned_candidates,
     }
+}
+
+/// The independent-greedy incumbent for a built program: every mention
+/// takes its best means-weight candidate (`resolve_independent`'s
+/// choice; pronoun weights are all zero so the first candidate stands
+/// in), and every joint-rel product variable is set to the conjunction
+/// of its factors. SameAs-coupled mentions whose independent choices
+/// disagree make the assignment infeasible — the solver then discards
+/// the incumbent, which is always sound.
+fn greedy_incumbent(
+    ilp: &Ilp,
+    mentions: &[NodeId],
+    cand_vars: &FxHashMap<NodeId, Vec<(EntityId, VarId)>>,
+    joint: &[(VarId, VarId, VarId)],
+) -> Vec<bool> {
+    let mut values = vec![false; ilp.n_vars()];
+    let obj = ilp.objective();
+    for &n in mentions {
+        let Some(vars) = cand_vars.get(&n) else {
+            continue;
+        };
+        // First-wins argmax over the variables' own objective
+        // coefficients (the means weights), matching
+        // `resolve_independent`'s stable descending sort.
+        let mut best: Option<(f64, VarId)> = None;
+        for &(_, v) in vars {
+            let w = obj[v.index()];
+            if best.is_none_or(|(bw, _)| w > bw) {
+                best = Some((w, v));
+            }
+        }
+        if let Some((_, v)) = best {
+            values[v.index()] = true;
+        }
+    }
+    for &(y, a, b) in joint {
+        values[y.index()] = values[a.index()] && values[b.index()];
+    }
+    values
+}
+
+/// Admissible candidate pruning over sameAs groups.
+///
+/// Noun phrases are grouped into connected components of the NP–NP
+/// sameAs graph (restricted to mentions with candidates). The equality
+/// constraints force every member of a connected group to one shared
+/// choice, and propagate a zero along any path through a member lacking
+/// a candidate — so a candidate outside the intersection of the
+/// members' sets can never be chosen and is dropped outright (the
+/// program stays infeasible in exactly the same cases: an emptied
+/// candidate list makes `exactly_one` unsatisfiable just as the
+/// forced-zero variables did).
+///
+/// Within the intersection, candidate `j` is eliminated when some `j'`
+/// satisfies
+///
+/// ```text
+/// Σ_m means(m, j') > Σ_m means(m, j) + Σ_m Σ_e max_k pair_weight(j, k) + ε
+/// ```
+///
+/// summed over the group members `m` and the relation edges `e`
+/// incident to each, with `k` ranging over the partner's **full**
+/// candidate set. The right-hand side upper-bounds the total objective
+/// any assignment can attribute to the group choosing `j` (all weights
+/// are nonnegative: priors, context similarity, coherence and type
+/// signatures are frequencies/overlaps, and the α-coefficients are
+/// nonnegative — pruning is skipped entirely otherwise). Swapping the
+/// whole group from `j` to `j'` keeps every other mention's choice
+/// feasible (no equality constraint leaves the group, and pronouns
+/// carry no equality constraints at all), so any assignment through `j`
+/// is strictly beaten and `j` is never in the optimal support. A
+/// singleton group degenerates to the per-mention bound. Pronouns are
+/// never pruned (their candidate weights are all zero).
+fn prune_candidates(
+    graph: &SemanticGraph,
+    mentions: &[NodeId],
+    model: &WeightModel,
+    stats: &BackgroundStats,
+    repo: &EntityRepository,
+    full_cands: &FxHashMap<NodeId, Vec<EntityId>>,
+) -> FxHashMap<NodeId, Vec<EntityId>> {
+    if model.alphas.iter().any(|&a| a < 0.0) {
+        return FxHashMap::default();
+    }
+    // Live relation edges incident to each mention, with the partner and
+    // orientation (pair_weight's type-signature term is directional).
+    let mut rels_of: FxHashMap<NodeId, Vec<(NodeId, bool, String)>> = FxHashMap::default();
+    for eid in graph.edge_ids() {
+        let edge = graph.edge(eid);
+        if !edge.alive {
+            continue;
+        }
+        let crate::graph::EdgeKind::Relation { pattern } = &edge.kind else {
+            continue;
+        };
+        if !full_cands.contains_key(&edge.a) || !full_cands.contains_key(&edge.b) {
+            continue;
+        }
+        rels_of
+            .entry(edge.a)
+            .or_default()
+            .push((edge.b, true, pattern.clone()));
+        rels_of
+            .entry(edge.b)
+            .or_default()
+            .push((edge.a, false, pattern.clone()));
+    }
+
+    // --- sameAs groups over noun phrases with candidates. ---
+    let nps: Vec<NodeId> = mentions
+        .iter()
+        .copied()
+        .filter(|&n| {
+            matches!(graph.node(n), NodeKind::NounPhrase { .. }) && full_cands.contains_key(&n)
+        })
+        .collect();
+    let mut parent: FxHashMap<NodeId, NodeId> = nps.iter().map(|&n| (n, n)).collect();
+    fn find(parent: &mut FxHashMap<NodeId, NodeId>, mut x: NodeId) -> NodeId {
+        while parent[&x] != x {
+            let p = parent[&x];
+            let gp = parent[&p];
+            parent.insert(x, gp);
+            x = gp;
+        }
+        x
+    }
+    for &n in &nps {
+        for (_, other) in graph.same_as_of(n) {
+            if !parent.contains_key(&other) {
+                continue;
+            }
+            let (ra, rb) = (find(&mut parent, n), find(&mut parent, other));
+            if ra != rb {
+                parent.insert(ra, rb);
+            }
+        }
+    }
+    let mut groups: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+    for &n in &nps {
+        let root = find(&mut parent, n);
+        groups.entry(root).or_default().push(n);
+    }
+
+    let mut pruned: FxHashMap<NodeId, Vec<EntityId>> = FxHashMap::default();
+    for members in groups.values() {
+        // Group-viable candidates: the intersection of the members' sets,
+        // in the first member's candidate order (members are in `mentions`
+        // order via the `nps` scan).
+        let first = &full_cands[&members[0]];
+        let viable: Vec<EntityId> = first
+            .iter()
+            .copied()
+            .filter(|e| members[1..].iter().all(|m| full_cands[m].contains(e)))
+            .collect();
+        // Summed means weight and coupling upper bound per viable candidate.
+        let means: Vec<f64> = viable
+            .iter()
+            .map(|&e| {
+                members
+                    .iter()
+                    .map(|&m| model.means_weight(graph, stats, m, e))
+                    .sum()
+            })
+            .collect();
+        let best = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut group_dropped: Vec<EntityId> = Vec::new();
+        for (ci, &e) in viable.iter().enumerate() {
+            if viable.len() < 2 || means[ci] >= best {
+                continue; // the argmax always survives
+            }
+            // Upper bound on the joint-rel mass the group choosing `e`
+            // could contribute across every incident relation edge.
+            let coupling: f64 = members
+                .iter()
+                .filter_map(|m| rels_of.get(m))
+                .flatten()
+                .map(|(partner, forward, pattern)| {
+                    full_cands[partner]
+                        .iter()
+                        .map(|&k| {
+                            if *forward {
+                                model.pair_weight(stats, repo, e, k, pattern)
+                            } else {
+                                model.pair_weight(stats, repo, k, e, pattern)
+                            }
+                        })
+                        .fold(0.0f64, f64::max)
+                })
+                .sum();
+            if best > means[ci] + coupling + PRUNE_EPS {
+                group_dropped.push(e);
+            }
+        }
+        // Per-member drop list: dominated group candidates plus everything
+        // outside the intersection (equality-forced zeros).
+        for &m in members {
+            let dropped: Vec<EntityId> = full_cands[&m]
+                .iter()
+                .copied()
+                .filter(|e| !viable.contains(e) || group_dropped.contains(e))
+                .collect();
+            if !dropped.is_empty() {
+                pruned.insert(m, dropped);
+            }
+        }
+    }
+    pruned
 }
 
 fn gender_ok(repo: &EntityRepository, e: EntityId, g: Gender) -> bool {

@@ -41,6 +41,7 @@
 pub mod babelfy;
 pub mod build;
 pub mod canonicalize;
+pub mod decompose;
 pub mod defie;
 pub mod densify;
 pub mod graph;

@@ -16,12 +16,13 @@ use crate::canonicalize::{
     apply_decisions, canonicalize_into, decide_cluster, plan_clusters, CanonConfig,
     ClusterDecision, ClusterPlan, DocCanonOutput,
 };
+use crate::decompose::{densify_decomposed, resolve_ilp_decomposed};
 use crate::densify::DensifyOutcome;
 use crate::densify::{
     densify, resolve_independent, resolve_pronouns_by_recency, MentionResolution,
 };
 use crate::graph::{EdgeKind, NodeId, NodeKind, SemanticGraph};
-use crate::ilp::resolve_ilp;
+use crate::ilp::{resolve_ilp, IlpSolveOptions};
 use crate::weights::WeightModel;
 use qkb_kb::{BackgroundStats, EntityId, EntityRepository, Fact, OnTheFlyKb, PatternRepository};
 use qkb_nlp::Pipeline as NlpPipeline;
@@ -85,6 +86,26 @@ pub struct QkbflyConfig {
     /// CI), because deciding a cluster is a pure function of the
     /// stage-1 artifact and only the serial reduce allocates KB ids.
     pub merge_parallelism: usize,
+    /// Worker threads for the **resolve stage** of a single document:
+    /// the coupling graph is decomposed into independent components
+    /// (see [`crate::decompose`]) and component solves fan out over
+    /// this many threads, recombining in deterministic component-index
+    /// order. `0` uses all available cores, `1` solves components
+    /// serially (still decomposed). The resolved output — and hence the
+    /// KB — is **byte-identical** at any setting (property-tested at
+    /// 1/2/8 and gated in CI).
+    pub resolve_parallelism: usize,
+    /// Decompose the per-document resolve problem into coupling
+    /// components (on by default). `false` restores the monolithic
+    /// whole-document solve — the cold baseline arm of
+    /// `bench_resolve` — and disables candidate pruning and the greedy
+    /// warm start along with it.
+    pub resolve_decomposition: bool,
+    /// Branch-and-bound node budget per ILP component solve (`0` = the
+    /// solver's generous default). On exhaustion the solver falls back
+    /// to the greedy warm-start incumbent, so a tight budget degrades
+    /// toward `resolve_independent`, never below it.
+    pub ilp_node_budget: u64,
 }
 
 impl Default for QkbflyConfig {
@@ -99,6 +120,9 @@ impl Default for QkbflyConfig {
             emit_nary: true,
             parallelism: 0,
             merge_parallelism: 1,
+            resolve_parallelism: 1,
+            resolve_decomposition: true,
+            ilp_node_budget: 0,
         }
     }
 }
@@ -171,6 +195,44 @@ pub struct LinkRecord {
     pub confidence: f64,
 }
 
+/// Resolve-stage work counters (per document, summable across a build).
+///
+/// These turn the one-off "ILP variable count" diagnostic into a benched
+/// series: `bench_resolve` reports them per arm, and the serving layer
+/// accumulates them into its stats snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolveCounters {
+    /// Coupling components the resolve problem decomposed into
+    /// (1 for a monolithic solve).
+    pub components: u64,
+    /// ILP variables built (0 for the greedy backend).
+    pub ilp_variables: u64,
+    /// Branch-and-bound nodes explored (0 for the greedy backend).
+    pub bnb_nodes: u64,
+    /// Candidate entities eliminated by the admissible pruning bound
+    /// before the solver.
+    pub pruned_candidates: u64,
+}
+
+impl ResolveCounters {
+    /// Accumulates another document's counters into this one.
+    pub fn add(&mut self, other: &ResolveCounters) {
+        self.components += other.components;
+        self.ilp_variables += other.ilp_variables;
+        self.bnb_nodes += other.bnb_nodes;
+        self.pruned_candidates += other.pruned_candidates;
+    }
+
+    /// JSON rendering for benchmark reports and serving stats.
+    pub fn to_json(&self) -> qkb_util::json::Value {
+        qkb_util::json::Value::object()
+            .with("components", self.components)
+            .with("ilp_variables", self.ilp_variables)
+            .with("bnb_nodes", self.bnb_nodes)
+            .with("pruned_candidates", self.pruned_candidates)
+    }
+}
+
 /// Per-document diagnostics.
 #[derive(Clone, Debug, Default)]
 pub struct DocResult {
@@ -178,8 +240,9 @@ pub struct DocResult {
     pub timings: StageTimings,
     /// Graph size (nodes, edges).
     pub graph_size: (usize, usize),
-    /// ILP variable count, when the ILP backend ran.
-    pub ilp_variables: Option<usize>,
+    /// Resolve-stage work counters (components, ILP variables,
+    /// branch-and-bound nodes, pruned candidates).
+    pub resolve: ResolveCounters,
 }
 
 /// The result of building an on-the-fly KB.
@@ -356,6 +419,10 @@ pub struct BuildCounters {
     builds: AtomicU64,
     docs: AtomicU64,
     stage1_computed: AtomicU64,
+    resolve_components: AtomicU64,
+    ilp_variables: AtomicU64,
+    bnb_nodes: AtomicU64,
+    pruned_candidates: AtomicU64,
 }
 
 impl BuildCounters {
@@ -378,6 +445,16 @@ impl BuildCounters {
         self.stage1_computed.load(Ordering::Relaxed)
     }
 
+    /// Cumulative resolve-stage counters across every stage-1 run.
+    pub fn resolve(&self) -> ResolveCounters {
+        ResolveCounters {
+            components: self.resolve_components.load(Ordering::Relaxed),
+            ilp_variables: self.ilp_variables.load(Ordering::Relaxed),
+            bnb_nodes: self.bnb_nodes.load(Ordering::Relaxed),
+            pruned_candidates: self.pruned_candidates.load(Ordering::Relaxed),
+        }
+    }
+
     fn record(&self, builds: u64, docs: u64) {
         self.builds.fetch_add(builds, Ordering::Relaxed);
         self.docs.fetch_add(docs, Ordering::Relaxed);
@@ -385,6 +462,16 @@ impl BuildCounters {
 
     fn record_stage1(&self) {
         self.stage1_computed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_resolve(&self, c: &ResolveCounters) {
+        self.resolve_components
+            .fetch_add(c.components, Ordering::Relaxed);
+        self.ilp_variables
+            .fetch_add(c.ilp_variables, Ordering::Relaxed);
+        self.bnb_nodes.fetch_add(c.bnb_nodes, Ordering::Relaxed);
+        self.pruned_candidates
+            .fetch_add(c.pruned_candidates, Ordering::Relaxed);
     }
 }
 
@@ -473,6 +560,13 @@ impl Qkbfly {
     /// with `self`. The built KB is byte-identical at any shard count.
     pub fn with_merge_parallelism(&self, shards: usize) -> Self {
         self.with_config_override(|c| c.merge_parallelism = shards)
+    }
+
+    /// A new handle with the given resolve-stage worker count
+    /// ([`QkbflyConfig::resolve_parallelism`]), sharing the repositories
+    /// with `self`. The built KB is byte-identical at any worker count.
+    pub fn with_resolve_parallelism(&self, workers: usize) -> Self {
+        self.with_config_override(|c| c.resolve_parallelism = workers)
     }
 
     /// A new handle with arbitrary configuration overrides applied on top
@@ -962,8 +1056,32 @@ impl Qkbfly {
                 }
             }
             (_, SolverKind::Ilp) => {
-                let out = resolve_ilp(&built.graph, &mentions, &model, &self.stats, &self.repo);
-                diag.ilp_variables = Some(out.n_variables);
+                let (out, components) = if self.config.resolve_decomposition {
+                    resolve_ilp_decomposed(
+                        &built.graph,
+                        &mentions,
+                        &model,
+                        &self.stats,
+                        &self.repo,
+                        qkb_util::effective_parallelism(self.config.resolve_parallelism),
+                        IlpSolveOptions {
+                            prune: true,
+                            warm_start: true,
+                            node_limit: self.config.ilp_node_budget,
+                        },
+                    )
+                } else {
+                    // Monolithic cold baseline: one big program, no
+                    // pruning, no warm start.
+                    let out = resolve_ilp(&built.graph, &mentions, &model, &self.stats, &self.repo);
+                    (out, 1)
+                };
+                diag.resolve = ResolveCounters {
+                    components: components as u64,
+                    ilp_variables: out.n_variables as u64,
+                    bnb_nodes: out.nodes,
+                    pruned_candidates: out.pruned_candidates as u64,
+                };
                 apply_resolutions(&mut built.graph, &mentions, &out.resolutions);
                 crate::densify::DensifyOutcome {
                     resolutions: out.resolutions,
@@ -972,10 +1090,25 @@ impl Qkbfly {
                 }
             }
             (_, SolverKind::Greedy) => {
-                densify(&mut built.graph, &mentions, &model, &self.stats, &self.repo)
+                if self.config.resolve_decomposition {
+                    let (out, components) = densify_decomposed(
+                        &mut built.graph,
+                        &mentions,
+                        &model,
+                        &self.stats,
+                        &self.repo,
+                        qkb_util::effective_parallelism(self.config.resolve_parallelism),
+                    );
+                    diag.resolve.components = components as u64;
+                    out
+                } else {
+                    diag.resolve.components = 1;
+                    densify(&mut built.graph, &mentions, &model, &self.stats, &self.repo)
+                }
             }
         };
         diag.timings.resolve = t2.elapsed();
+        self.counters.record_resolve(&diag.resolve);
 
         DocStage1 {
             fingerprint: qkb_util::fingerprint64(text.as_bytes()),
@@ -1193,7 +1326,9 @@ mod tests {
         let greedy = greedy_sys.build_kb(&[FIG2.to_string()]);
         let ilp_sys = system(Variant::Joint, SolverKind::Ilp);
         let ilp = ilp_sys.build_kb(&[FIG2.to_string()]);
-        assert!(ilp.per_doc[0].ilp_variables.is_some());
+        assert!(ilp.per_doc[0].resolve.ilp_variables > 0);
+        assert!(ilp.per_doc[0].resolve.components >= 1);
+        assert!(ilp_sys.counters().resolve().ilp_variables > 0);
         // Same subject resolution for the supports fact.
         let has = |r: &BuildResult<'_>| {
             r.kb.facts()

@@ -81,6 +81,40 @@ fn parallelism_does_not_change_the_kb() {
     }
 }
 
+/// Resolve-stage determinism: component decomposition (with candidate
+/// pruning and warm start on the ILP path, lazy rescoring on the greedy
+/// path) must leave the full observable build state byte-identical to
+/// the monolithic serial resolve at every `resolve_parallelism`.
+#[test]
+fn component_parallel_resolve_is_byte_identical() {
+    let world = World::generate(WorldConfig::default());
+    let docs = batch(&world, 8);
+    for solver in [SolverKind::Greedy, SolverKind::Ilp] {
+        let mono_sys = system(&world, 1).with_config_override(|c| {
+            c.solver = solver;
+            c.resolve_decomposition = false;
+        });
+        let mono = mono_sys.build_kb(&docs);
+        let mono_fp = fingerprint(&mono_sys, &mono);
+        assert!(mono.kb.n_facts() > 0, "fixture must yield facts");
+
+        for resolve_parallelism in [1usize, 2, 8] {
+            let sys = system(&world, 1).with_config_override(|c| {
+                c.solver = solver;
+                c.resolve_decomposition = true;
+                c.resolve_parallelism = resolve_parallelism;
+            });
+            let result = sys.build_kb(&docs);
+            assert_eq!(
+                fingerprint(&sys, &result),
+                mono_fp,
+                "solver={solver:?} resolve_parallelism={resolve_parallelism} diverged \
+                 from the monolithic resolve"
+            );
+        }
+    }
+}
+
 #[test]
 fn parallelism_zero_resolves_to_available_cores() {
     let world = World::generate(WorldConfig::default());

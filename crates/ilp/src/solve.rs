@@ -34,9 +34,19 @@ pub struct Solution {
     pub nodes: u64,
 }
 
+/// Margin subtracted from a warm-start incumbent's objective before it is
+/// used as the initial fathoming bound. It must exceed the solver's
+/// `1e-12` bound-comparison tolerance by orders of magnitude so the
+/// warm bound can never fathom a subtree containing a true optimum: a
+/// pruned subtree has upper bound `≤ incumbent − 1e-6 + 1e-12`, strictly
+/// below the incumbent's own (feasible) value. The search therefore still
+/// visits — and returns — exactly the leaf a cold search would return.
+const WARM_MARGIN: f64 = 1e-6;
+
 /// The branch-and-bound solver.
 pub struct Solver {
     node_limit: u64,
+    incumbent: Option<Vec<bool>>,
 }
 
 impl Default for Solver {
@@ -51,22 +61,52 @@ impl Solver {
     pub fn new() -> Self {
         Self {
             node_limit: 5_000_000,
+            incumbent: None,
         }
     }
 
     /// Solver with an explicit node budget.
     pub fn with_node_limit(node_limit: u64) -> Self {
-        Self { node_limit }
+        Self {
+            node_limit,
+            incumbent: None,
+        }
+    }
+
+    /// Installs a warm-start incumbent assignment (e.g. a greedy
+    /// solution). When it is feasible for the model being solved, its
+    /// objective (minus the small `WARM_MARGIN` tolerance) seeds the
+    /// fathoming bound —
+    /// subtrees provably worse than the incumbent are cut before any
+    /// leaf has been found — and the returned solution is **never worse
+    /// than the incumbent**: if the search exhausts its node budget
+    /// without beating it, the incumbent itself is returned
+    /// (greedy-fallback soundness). An infeasible or ill-sized incumbent
+    /// is ignored entirely.
+    pub fn with_incumbent(mut self, values: Vec<bool>) -> Self {
+        self.incumbent = Some(values);
+        self
     }
 
     /// Maximizes the model; returns the best found assignment.
     pub fn solve(&self, model: &Ilp) -> Solution {
         let n = model.n_vars();
+        // Validate the warm start against this model; discard it rather
+        // than propagating an unsound bound.
+        let warm: Option<(&Vec<bool>, f64)> = self
+            .incumbent
+            .as_ref()
+            .filter(|v| v.len() == n && model.is_feasible(v))
+            .map(|v| (v, model.objective_value(v)));
         let mut state = SearchState {
             model,
             vals: vec![Val::Free; n],
             best: None,
-            best_obj: f64::NEG_INFINITY,
+            best_obj: match warm {
+                Some((_, obj)) => obj - WARM_MARGIN,
+                None => f64::NEG_INFINITY,
+            },
+            warm_bound: warm.is_some(),
             nodes: 0,
             node_limit: self.node_limit,
             hit_limit: false,
@@ -82,26 +122,53 @@ impl Solver {
         });
         state.branch(&order, 0);
 
+        let status_found = if state.hit_limit {
+            SolveStatus::NodeLimit
+        } else {
+            SolveStatus::Optimal
+        };
         match state.best {
-            Some(values) => Solution {
-                objective: model.objective_value(&values),
-                values,
-                status: if state.hit_limit {
-                    SolveStatus::NodeLimit
-                } else {
-                    SolveStatus::Optimal
+            Some(values) => {
+                let objective = model.objective_value(&values);
+                // Greedy-fallback soundness: a budget-truncated search
+                // must never return less than the incumbent it started
+                // from. (A completed search cannot: the incumbent's own
+                // leaf is revisited unless something at least as good was
+                // recorded first.)
+                match warm {
+                    Some((inc, inc_obj)) if inc_obj > objective + 1e-12 => Solution {
+                        values: inc.clone(),
+                        objective: inc_obj,
+                        status: status_found,
+                        nodes: state.nodes,
+                    },
+                    _ => Solution {
+                        objective,
+                        values,
+                        status: status_found,
+                        nodes: state.nodes,
+                    },
+                }
+            }
+            None => match warm {
+                // Nothing beat the warm bound within the budget: fall
+                // back to the incumbent itself.
+                Some((inc, inc_obj)) => Solution {
+                    values: inc.clone(),
+                    objective: inc_obj,
+                    status: status_found,
+                    nodes: state.nodes,
                 },
-                nodes: state.nodes,
-            },
-            None => Solution {
-                values: vec![false; n],
-                objective: f64::NEG_INFINITY,
-                status: if state.hit_limit {
-                    SolveStatus::NodeLimit
-                } else {
-                    SolveStatus::Infeasible
+                None => Solution {
+                    values: vec![false; n],
+                    objective: f64::NEG_INFINITY,
+                    status: if state.hit_limit {
+                        SolveStatus::NodeLimit
+                    } else {
+                        SolveStatus::Infeasible
+                    },
+                    nodes: state.nodes,
                 },
-                nodes: state.nodes,
             },
         }
     }
@@ -112,6 +179,9 @@ struct SearchState<'a> {
     vals: Vec<Val>,
     best: Option<Vec<bool>>,
     best_obj: f64,
+    /// `best_obj` was seeded from a feasible warm-start incumbent, so
+    /// fathoming against it is sound even before any leaf was found.
+    warm_bound: bool,
     nodes: u64,
     node_limit: u64,
     hit_limit: bool,
@@ -218,7 +288,7 @@ impl<'a> SearchState<'a> {
             self.vals = saved;
             return;
         }
-        if self.upper_bound() <= self.best_obj + 1e-12 && self.best.is_some() {
+        if self.upper_bound() <= self.best_obj + 1e-12 && (self.best.is_some() || self.warm_bound) {
             self.vals = saved;
             return;
         }
@@ -355,6 +425,90 @@ mod tests {
         m.add_constraint(&[(a, 1.0), (b, 1.0)], ConstraintOp::Ge, -1.0);
         let sol = Solver::new().solve(&m);
         assert_eq!(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solution_and_prunes() {
+        // maximize 10a + 6b + 4c  s.t.  5a + 4b + 3c <= 8; optimum a+c=14.
+        let mut m = Ilp::new();
+        let a = m.add_var(10.0);
+        let b = m.add_var(6.0);
+        let c = m.add_var(4.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], ConstraintOp::Le, 8.0);
+        let cold = Solver::new().solve(&m);
+        // Warm-start from the suboptimal greedy pick {b, c} (value 10).
+        let warm = Solver::new()
+            .with_incumbent(vec![false, true, true])
+            .solve(&m);
+        assert_eq!(warm.status, SolveStatus::Optimal);
+        assert_eq!(
+            warm.values, cold.values,
+            "warm start must not change the optimum"
+        );
+        assert_eq!(warm.objective, cold.objective);
+        assert!(
+            warm.nodes <= cold.nodes,
+            "warm bound must not grow the tree: {} vs {}",
+            warm.nodes,
+            cold.nodes
+        );
+    }
+
+    #[test]
+    fn warm_start_never_worsens_objective() {
+        // The incumbent is already optimal; the solver must return a
+        // solution at least as good even under a tiny node budget.
+        let mut m = Ilp::new();
+        let vars: Vec<_> = (0..24).map(|i| m.add_var(1.0 + (i % 5) as f64)).collect();
+        for w in vars.chunks(3) {
+            m.exactly_one(w);
+        }
+        let incumbent: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
+        let inc_obj = m.objective_value(&incumbent);
+        for budget in [1u64, 3, 10, 100] {
+            let sol = Solver::with_node_limit(budget)
+                .with_incumbent(incumbent.clone())
+                .solve(&m);
+            assert!(
+                sol.objective + 1e-9 >= inc_obj,
+                "budget {budget}: {} < incumbent {inc_obj}",
+                sol.objective
+            );
+            assert!(m.is_feasible(&sol.values));
+        }
+    }
+
+    #[test]
+    fn node_budget_exhaustion_falls_back_to_incumbent() {
+        let mut m = Ilp::new();
+        let vars: Vec<_> = (0..30).map(|i| m.add_var(1.0 + (i % 3) as f64)).collect();
+        for w in vars.chunks(3) {
+            m.at_most_one(w);
+        }
+        let incumbent = vec![false; 30];
+        let sol = Solver::with_node_limit(1)
+            .with_incumbent(incumbent.clone())
+            .solve(&m);
+        assert_eq!(sol.status, SolveStatus::NodeLimit);
+        assert_eq!(sol.values, incumbent);
+        assert_eq!(sol.objective, 0.0);
+        let _ = vars;
+    }
+
+    #[test]
+    fn infeasible_incumbent_is_ignored() {
+        let mut m = Ilp::new();
+        let a = m.add_var(2.0);
+        let b = m.add_var(1.0);
+        m.at_most_one(&[a, b]);
+        // Both-on violates at_most_one; the solver must discard it and
+        // still find the true optimum.
+        let sol = Solver::new().with_incumbent(vec![true, true]).solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.values, vec![true, false]);
+        // A wrong-length incumbent is ignored too.
+        let sol = Solver::new().with_incumbent(vec![true]).solve(&m);
+        assert_eq!(sol.values, vec![true, false]);
     }
 
     /// Exhaustive cross-check against brute force on random small models.

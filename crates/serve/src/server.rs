@@ -632,12 +632,16 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                     .count() as u64;
                 let results = qkb.build_kb_grouped_with(&shared.stage1, &doc_groups);
                 let mut round_timings = qkbfly::StageTimings::default();
+                let mut round_resolve = qkbfly::ResolveCounters::default();
                 let total_docs: usize = doc_groups.iter().map(Vec::len).sum();
                 for (&(gi, fkey), result) in build_meta.iter().zip(results) {
                     round_timings.preprocess += result.timings.preprocess;
                     round_timings.graph += result.timings.graph;
                     round_timings.resolve += result.timings.resolve;
                     round_timings.canonicalize += result.timings.canonicalize;
+                    for doc in &result.per_doc {
+                        round_resolve.add(&doc.resolve);
+                    }
                     let fragment = Arc::new(KbFragment::from_result(result));
                     if config.coalesce {
                         shared
@@ -653,6 +657,7 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                     assembled_groups,
                     total_docs as u64,
                     round_timings,
+                    round_resolve,
                 );
             }
             resolutions
@@ -681,10 +686,18 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                             u64::from(texts.iter().any(|t| shared.stage1.contains_text(t)));
                         let result = qkb.build_kb_with(&shared.stage1, &texts);
                         let timings = result.timings;
+                        let mut resolve = qkbfly::ResolveCounters::default();
+                        for doc in &result.per_doc {
+                            resolve.add(&doc.resolve);
+                        }
                         let fragment = Arc::new(KbFragment::from_result(result));
-                        shared
-                            .metrics
-                            .note_build_round(1, assembled, texts.len() as u64, timings);
+                        shared.metrics.note_build_round(
+                            1,
+                            assembled,
+                            texts.len() as u64,
+                            timings,
+                            resolve,
+                        );
                         shared.inflight.publish(k, fragment.clone(), &shared.cache);
                         (fragment, Served::ColdBuild, k)
                     }

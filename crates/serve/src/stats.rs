@@ -6,7 +6,7 @@ use crate::cache::CacheCounters;
 use crate::stage1_cache::Stage1Counters;
 use qkb_session::SessionStats;
 use qkb_util::json::Value;
-use qkbfly::StageTimings;
+use qkbfly::{ResolveCounters, StageTimings};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -87,6 +87,10 @@ pub(crate) struct ServeMetrics {
     build_graph_us: AtomicU64,
     build_resolve_us: AtomicU64,
     build_canonicalize_us: AtomicU64,
+    resolve_components: AtomicU64,
+    ilp_variables: AtomicU64,
+    bnb_nodes: AtomicU64,
+    pruned_candidates: AtomicU64,
     latencies_us: Mutex<LatencyRing>,
 }
 
@@ -106,6 +110,10 @@ impl ServeMetrics {
             build_graph_us: AtomicU64::new(0),
             build_resolve_us: AtomicU64::new(0),
             build_canonicalize_us: AtomicU64::new(0),
+            resolve_components: AtomicU64::new(0),
+            ilp_variables: AtomicU64::new(0),
+            bnb_nodes: AtomicU64::new(0),
+            pruned_candidates: AtomicU64::new(0),
             latencies_us: Mutex::new(LatencyRing::with_capacity(MAX_LATENCY_SAMPLES)),
         }
     }
@@ -127,6 +135,7 @@ impl ServeMetrics {
         assembled: u64,
         docs: u64,
         timings: StageTimings,
+        resolve: ResolveCounters,
     ) {
         self.build_rounds.fetch_add(1, Ordering::Relaxed);
         self.cold_builds
@@ -142,6 +151,14 @@ impl ServeMetrics {
             .fetch_add(timings.resolve.as_micros() as u64, Ordering::Relaxed);
         self.build_canonicalize_us
             .fetch_add(timings.canonicalize.as_micros() as u64, Ordering::Relaxed);
+        self.resolve_components
+            .fetch_add(resolve.components, Ordering::Relaxed);
+        self.ilp_variables
+            .fetch_add(resolve.ilp_variables, Ordering::Relaxed);
+        self.bnb_nodes
+            .fetch_add(resolve.bnb_nodes, Ordering::Relaxed);
+        self.pruned_candidates
+            .fetch_add(resolve.pruned_candidates, Ordering::Relaxed);
     }
 
     pub(crate) fn note_inflight_coalesced(&self) {
@@ -175,6 +192,10 @@ impl ServeMetrics {
             &self.build_graph_us,
             &self.build_resolve_us,
             &self.build_canonicalize_us,
+            &self.resolve_components,
+            &self.ilp_variables,
+            &self.bnb_nodes,
+            &self.pruned_candidates,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -236,6 +257,12 @@ impl ServeMetrics {
                     self.build_canonicalize_us.load(Ordering::Relaxed),
                 ),
             },
+            resolve_counters: ResolveCounters {
+                components: self.resolve_components.load(Ordering::Relaxed),
+                ilp_variables: self.ilp_variables.load(Ordering::Relaxed),
+                bnb_nodes: self.bnb_nodes.load(Ordering::Relaxed),
+                pruned_candidates: self.pruned_candidates.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -284,6 +311,10 @@ pub struct ServeStats {
     pub inflight_coalesced: u64,
     /// Summed per-stage build wall clock across all cold builds.
     pub build_timings: StageTimings,
+    /// Summed resolve-stage work counters (coupling components, ILP
+    /// variables, branch-and-bound nodes, pruned candidates) across all
+    /// stage-1 computations.
+    pub resolve_counters: ResolveCounters,
 }
 
 impl ServeStats {
@@ -328,6 +359,7 @@ impl ServeStats {
             .with("batch_coalesced", self.batch_coalesced)
             .with("inflight_coalesced", self.inflight_coalesced)
             .with("build_timings", self.build_timings.to_json())
+            .with("resolve_counters", self.resolve_counters.to_json())
     }
 }
 

@@ -4,7 +4,9 @@
 //! Construction is programmatic ([`Value::object`], [`Value::array`],
 //! `From` impls) and rendering is via [`std::fmt::Display`], which emits
 //! valid, deterministically ordered JSON (object keys keep insertion
-//! order).
+//! order). [`Value::parse`] reads such documents back — the benchmark
+//! regression gate diffs freshly produced reports against committed
+//! baselines.
 
 use std::fmt;
 
@@ -91,6 +93,171 @@ impl Value {
         match self {
             Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
+        }
+    }
+
+    /// Parses a JSON document. Accepts everything [`Display`](fmt::Display)
+    /// emits (plus the usual whitespace and `\uXXXX` escapes); trailing
+    /// non-whitespace is an error. Errors carry a byte offset and a short
+    /// description.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogates (emitted by no producer we read) fall
+                        // back to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged; the input is a valid &str).
+                let s = &bytes[*pos..];
+                let ch_len = std::str::from_utf8(s)
+                    .map_err(|_| "invalid utf-8".to_string())?
+                    .chars()
+                    .next()
+                    .map(char::len_utf8)
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                out.push_str(std::str::from_utf8(&s[..ch_len]).expect("scalar"));
+                *pos += ch_len;
+            }
         }
     }
 }
@@ -231,6 +398,39 @@ mod tests {
         let mut v = Value::object().with("k", 1u32);
         v.set("k", 2u32);
         assert_eq!(v["k"], 2);
+    }
+
+    #[test]
+    fn parse_roundtrips_display_output() {
+        let v = Value::object()
+            .with("name", "QKB\"fly\"\n")
+            .with("n", 3u32)
+            .with("ratio", 0.5f64)
+            .with("neg", -12.25f64)
+            .with("ok", true)
+            .with("nothing", Value::Null)
+            .with("items", Value::array([Value::from(1u32), Value::Null]))
+            .with("nested", Value::object().with("k", "v"));
+        let parsed = Value::parse(&v.to_string()).expect("parse");
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let parsed =
+            Value::parse(" {\n  \"a\" : [ 1 , 2.5e1 ] ,\t\"b\" : \"x\\u0041\" }\n").expect("parse");
+        assert_eq!(parsed["a"].as_array().expect("array")[1], 25.0f64);
+        assert_eq!(parsed["b"].as_str(), Some("xA"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("{\"a\":1} trailing").is_err());
+        assert!(Value::parse("nul").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
     }
 
     #[test]
