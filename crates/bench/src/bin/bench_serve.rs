@@ -7,7 +7,11 @@
 //!
 //! Run: `cargo run -p qkb_bench --release --bin bench_serve
 //!       [-- --quick] [-- --clients N] [-- --distinct N] [-- --reps N]
-//!       [-- --out FILE.json]`
+//!       [-- --out FILE.json] [-- --trace FILE.json]`
+//!
+//! `--trace FILE` runs an extra short traced pass *after* the measured
+//! workloads (so the recorder never touches the timed arms) and writes
+//! its Chrome-trace export there — CI uploads it with the reports.
 //!
 //! The JSON report (default `BENCH_serve.json`) rides next to
 //! `BENCH_parallel.json` in the CI bench-smoke artifacts.
@@ -246,6 +250,37 @@ fn main() {
         .with("served_stats", served_stats.to_json());
     std::fs::write(&out_path, report.to_string()).expect("write bench report");
     println!("report written to {out_path}");
+
+    // Optional traced pass, after (and isolated from) the timed arms:
+    // a fresh server with a flight recorder serves each question once
+    // cold and once warm, and the span trees land in --trace FILE.
+    if let Some(trace_path) = arg_value("--trace") {
+        let recorder = qkb_obs::Recorder::flight();
+        let traced_server = QkbServer::start(
+            sys.clone(),
+            ServeConfig {
+                shards,
+                cache_capacity: 64,
+                recorder: recorder.clone(),
+                ..ServeConfig::default()
+            },
+        );
+        for q in questions.iter().take(4).chain(questions.first()) {
+            let _ = traced_server.query(QueryRequest::question(q));
+        }
+        traced_server.shutdown();
+        let records = recorder.records();
+        if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+            std::fs::create_dir_all(dir).expect("trace output dir");
+        }
+        std::fs::write(&trace_path, qkb_obs::chrome_trace(&records).to_string())
+            .expect("write trace");
+        println!(
+            "traced pass: {} spans ({} dropped) -> {trace_path}",
+            records.len(),
+            recorder.dropped()
+        );
+    }
 
     assert!(
         speedup >= 2.0,

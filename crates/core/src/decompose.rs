@@ -31,6 +31,7 @@ use crate::graph::{EdgeKind, NodeId, SemanticGraph};
 use crate::ilp::{resolve_ilp_subset, IlpOutcome, IlpSolveOptions};
 use crate::weights::WeightModel;
 use qkb_kb::{BackgroundStats, EntityRepository};
+use qkb_obs::Recorder;
 use qkb_util::{par_map_ordered, FxHashMap};
 
 /// Splits `mentions` into the connected components of the coupling
@@ -94,19 +95,28 @@ pub fn densify_decomposed(
     stats: &BackgroundStats,
     repo: &EntityRepository,
     workers: usize,
+    recorder: &Recorder,
 ) -> (DensifyOutcome, usize) {
     let components = decompose(graph, mentions);
     if components.len() <= 1 {
         let n = components.len();
+        let mut span = recorder.span("resolve_component");
+        span.field("component", 0usize);
+        span.field("mentions", mentions.len());
         let (outcome, kills) = densify_deferred(graph, mentions, model, stats, repo, true);
+        drop(span);
         for e in kills {
             graph.kill_edge(e);
         }
         return (outcome, n);
     }
+    let parent = recorder.current();
     let results = {
         let g: &SemanticGraph = graph;
-        par_map_ordered(&components, workers, |_, comp| {
+        par_map_ordered(&components, workers, |i, comp| {
+            let mut span = recorder.span_at("resolve_component", parent);
+            span.field("component", i);
+            span.field("mentions", comp.len());
             densify_deferred(g, comp, model, stats, repo, true)
         })
     };
@@ -128,6 +138,7 @@ pub fn densify_decomposed(
 /// is infeasible the whole document reports infeasible with every
 /// mention zeroed, matching what the single big program would return.
 /// Variable/node/pruning counters are summed across components.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn resolve_ilp_decomposed(
     graph: &SemanticGraph,
     mentions: &[NodeId],
@@ -136,16 +147,24 @@ pub(crate) fn resolve_ilp_decomposed(
     repo: &EntityRepository,
     workers: usize,
     opts: IlpSolveOptions,
+    recorder: &Recorder,
 ) -> (IlpOutcome, usize) {
     let components = decompose(graph, mentions);
     if components.len() <= 1 {
         let n = components.len();
+        let mut span = recorder.span("resolve_component");
+        span.field("component", 0usize);
+        span.field("mentions", mentions.len());
         return (
             resolve_ilp_subset(graph, mentions, model, stats, repo, opts),
             n,
         );
     }
-    let parts = par_map_ordered(&components, workers, |_, comp| {
+    let parent = recorder.current();
+    let parts = par_map_ordered(&components, workers, |i, comp| {
+        let mut span = recorder.span_at("resolve_component", parent);
+        span.field("component", i);
+        span.field("mentions", comp.len());
         resolve_ilp_subset(graph, comp, model, stats, repo, opts)
     });
     let n = components.len();
@@ -286,8 +305,15 @@ mod tests {
 
             let mut dec = built(&repo, &stats, text);
             let mentions = dec.mentions.clone();
-            let (out, n) =
-                densify_decomposed(&mut dec.graph, &mentions, &model, &stats, &repo, workers);
+            let (out, n) = densify_decomposed(
+                &mut dec.graph,
+                &mentions,
+                &model,
+                &stats,
+                &repo,
+                workers,
+                &Recorder::disabled(),
+            );
             assert!(n >= 1);
             assert_eq!(out.resolutions.len(), base.resolutions.len());
             for (node, res) in &base.resolutions {
@@ -320,6 +346,7 @@ mod tests {
                 &repo,
                 workers,
                 opts,
+                &Recorder::disabled(),
             );
             assert!(n > 1);
             assert_eq!(out.resolutions.len(), base.resolutions.len());

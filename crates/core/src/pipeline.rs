@@ -26,6 +26,7 @@ use crate::ilp::{resolve_ilp, IlpSolveOptions};
 use crate::weights::WeightModel;
 use qkb_kb::{BackgroundStats, EntityId, EntityRepository, Fact, OnTheFlyKb, PatternRepository};
 use qkb_nlp::Pipeline as NlpPipeline;
+use qkb_obs::Recorder;
 use qkb_openie::{ClausIe, Clause, Extraction};
 use qkb_util::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -490,6 +491,7 @@ pub struct Qkbfly {
     nlp: Arc<NlpPipeline>,
     clausie: Arc<ClausIe>,
     counters: Arc<BuildCounters>,
+    recorder: Recorder,
     config: QkbflyConfig,
 }
 
@@ -518,6 +520,7 @@ impl Qkbfly {
             nlp: Arc::new(nlp),
             clausie: Arc::new(ClausIe::new()),
             counters: Arc::new(BuildCounters::default()),
+            recorder: Recorder::disabled(),
             config,
         }
     }
@@ -578,6 +581,20 @@ impl Qkbfly {
         out
     }
 
+    /// A new handle recording build spans into `recorder`
+    /// ([`Recorder::disabled`] by default, which keeps the instrumented
+    /// paths at near-zero cost). Repositories and counters stay shared.
+    pub fn with_recorder(&self, recorder: Recorder) -> Self {
+        let mut out = self.clone();
+        out.recorder = recorder;
+        out
+    }
+
+    /// The flight recorder this handle traces into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Cumulative build counters shared across all clones of this handle.
     pub fn counters(&self) -> &BuildCounters {
         &self.counters
@@ -616,6 +633,8 @@ impl Qkbfly {
         docs: &[String],
     ) -> BuildResult<'_> {
         self.counters.record(1, docs.len() as u64);
+        let mut span = self.recorder.span("build_kb");
+        span.field("docs", docs.len());
         let workers = qkb_util::effective_parallelism(self.config.parallelism);
         if workers <= 1 || docs.len() <= 1 {
             // Serial path: provide-and-merge one document at a time —
@@ -655,6 +674,9 @@ impl Qkbfly {
     ) -> Vec<BuildResult<'_>> {
         let total_docs: usize = groups.iter().map(Vec::len).sum();
         self.counters.record(groups.len() as u64, total_docs as u64);
+        let mut span = self.recorder.span("build_kb_grouped");
+        span.field("groups", groups.len());
+        span.field("docs", total_docs);
         let workers = qkb_util::effective_parallelism(self.config.parallelism);
         if workers <= 1 || total_docs <= 1 {
             // Serial path: stream provide-and-merge group by group,
@@ -713,6 +735,7 @@ impl Qkbfly {
     /// from [`qkb_kb::OnTheFlyKb::new`]), so its document registry and
     /// provenance indices agree.
     pub fn extend_kb(&self, kb: &mut OnTheFlyKb, stage1: &[Arc<DocStage1>]) -> ExtendOutcome {
+        let mut span = self.recorder.span("extend_kb");
         let mut outcome = ExtendOutcome::default();
         // Select the fresh artifacts up front (resident documents and
         // repeats within the slice are skipped idempotently), so the
@@ -735,6 +758,8 @@ impl Qkbfly {
             outcome.merged += 1;
         }
         self.counters.record(1, outcome.merged as u64);
+        span.field("merged", outcome.merged);
+        span.field("deduped", outcome.skipped);
         outcome
     }
 
@@ -752,6 +777,8 @@ impl Qkbfly {
         kb: &mut OnTheFlyKb,
         texts: &[String],
     ) -> ExtendOutcome {
+        let mut span = self.recorder.span("stream_into_kb");
+        span.field("docs", texts.len());
         let mut in_call: qkb_util::FxHashSet<u64> = qkb_util::FxHashSet::default();
         let mut resident = 0usize;
         let fresh: Vec<&String> = texts
@@ -769,6 +796,7 @@ impl Qkbfly {
         let artifacts = self.provide_stage1(provider, fresh);
         let mut outcome = self.extend_kb(kb, &artifacts);
         outcome.skipped += resident;
+        span.field("resident_skipped", resident);
         outcome
     }
 
@@ -814,7 +842,13 @@ impl Qkbfly {
                 .map(|text| provider.provide(self, text))
                 .collect()
         } else {
-            qkb_util::par_map_ordered(&unique, workers, |_, text| provider.provide(self, text))
+            // Carry the caller's span across the fan-out so per-document
+            // stage-1 spans nest under the build span on worker threads.
+            let parent = self.recorder.current();
+            qkb_util::par_map_ordered(&unique, workers, |_, text| {
+                let _cx = self.recorder.context(parent);
+                provider.provide(self, text)
+            })
         };
         slots.into_iter().map(|s| provided[s].clone()).collect()
     }
@@ -929,6 +963,8 @@ impl Qkbfly {
                 let doc_idx = kb.n_docs() as u32;
                 let mut diag = artifact.diag.clone();
                 let t = Instant::now();
+                let mut apply_span = self.recorder.span("canon_apply");
+                apply_span.field("doc", doc_idx);
                 let out = apply_decisions(
                     kb,
                     &artifact.built,
@@ -938,6 +974,7 @@ impl Qkbfly {
                     canon,
                     doc_idx,
                 );
+                drop(apply_span);
                 // The reduce's wall clock; the shards' decide time is
                 // concurrent and not attributed per document.
                 diag.timings.canonicalize = t.elapsed();
@@ -960,6 +997,9 @@ impl Qkbfly {
         artifacts: &[Arc<DocStage1>],
         shards: usize,
     ) -> Vec<(ClusterPlan, Vec<ClusterDecision>)> {
+        let mut decide_span = self.recorder.span("canon_decide");
+        decide_span.field("shards", shards);
+        decide_span.field("docs", artifacts.len());
         let canon = self.canon_config();
         let plans: Vec<ClusterPlan> = qkb_util::par_map_ordered(artifacts, shards, |_, a| {
             plan_clusters(&a.built, &a.outcome)
@@ -1013,20 +1053,24 @@ impl Qkbfly {
     /// documents of a batch.
     pub fn process_doc_stage1(&self, text: &str) -> DocStage1 {
         self.counters.record_stage1();
+        let span = self.recorder.span("stage1");
         let mut diag = DocResult::default();
 
         // --- pre-processing (the CoreNLP + MaltParser + ClausIE stack) ---
         let t0 = Instant::now();
+        let pre_span = self.recorder.span("preprocess");
         let doc = self.nlp.annotate(text);
         let clauses: Vec<Vec<Clause>> = doc
             .sentences
             .iter()
             .map(|s| self.clausie.detect(s))
             .collect();
+        drop(pre_span);
         diag.timings.preprocess = t0.elapsed();
 
         // --- stage 1: semantic graph ---
         let t1 = Instant::now();
+        let graph_span = self.recorder.span("graph");
         let mut built = build_graph(
             &doc,
             &clauses,
@@ -1037,11 +1081,13 @@ impl Qkbfly {
                 use_pronouns: self.config.variant != Variant::NounOnly,
             },
         );
+        drop(graph_span);
         diag.timings.graph = t1.elapsed();
         diag.graph_size = (built.graph.n_nodes(), built.graph.n_edges());
 
         // --- stage 2: joint NED + CR ---
         let t2 = Instant::now();
+        let mut resolve_span = self.recorder.span("resolve");
         let model = self.weight_model();
         let mentions = built.mentions.clone();
         let outcome = match (self.config.variant, self.config.solver) {
@@ -1069,6 +1115,7 @@ impl Qkbfly {
                             warm_start: true,
                             node_limit: self.config.ilp_node_budget,
                         },
+                        &self.recorder,
                     )
                 } else {
                     // Monolithic cold baseline: one big program, no
@@ -1098,6 +1145,7 @@ impl Qkbfly {
                         &self.stats,
                         &self.repo,
                         qkb_util::effective_parallelism(self.config.resolve_parallelism),
+                        &self.recorder,
                     );
                     diag.resolve.components = components as u64;
                     out
@@ -1107,8 +1155,15 @@ impl Qkbfly {
                 }
             }
         };
+        // ResolveCounters folded in as span fields.
+        resolve_span.field("components", diag.resolve.components);
+        resolve_span.field("ilp_variables", diag.resolve.ilp_variables);
+        resolve_span.field("bnb_nodes", diag.resolve.bnb_nodes);
+        resolve_span.field("pruned_candidates", diag.resolve.pruned_candidates);
+        drop(resolve_span);
         diag.timings.resolve = t2.elapsed();
         self.counters.record_resolve(&diag.resolve);
+        drop(span);
 
         DocStage1 {
             fingerprint: qkb_util::fingerprint64(text.as_bytes()),
@@ -1141,6 +1196,8 @@ impl Qkbfly {
     ) -> (DocCanonOutput, DocResult) {
         let mut diag = stage1.diag.clone();
         let t3 = Instant::now();
+        let mut span = self.recorder.span("canonicalize");
+        span.field("doc", doc_idx);
         let out = canonicalize_into(
             kb,
             &stage1.built,
@@ -1150,6 +1207,7 @@ impl Qkbfly {
             self.canon_config(),
             doc_idx,
         );
+        drop(span);
         diag.timings.canonicalize = t3.elapsed();
         (out, diag)
     }

@@ -1,0 +1,133 @@
+//! Exporters: Chrome-trace-format JSON (loadable in Perfetto /
+//! `chrome://tracing`) and helpers shared with the slow-query log.
+
+use crate::trace::{FieldValue, Recorder, SlowTrace, SpanRecord};
+use qkb_util::json::Value;
+
+impl FieldValue {
+    /// JSON form used in the trace `args` object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Number(*v as f64),
+            FieldValue::I64(v) => Value::Number(*v as f64),
+            FieldValue::F64(v) => Value::Number(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(s) => Value::String((*s).to_string()),
+            FieldValue::Text(s) => Value::String(s.clone()),
+        }
+    }
+}
+
+fn event_json(rec: &SpanRecord) -> Value {
+    let mut args = Value::object()
+        .with("id", rec.id as f64)
+        .with("parent", rec.parent as f64)
+        .with("trace", rec.trace as f64);
+    for (k, v) in &rec.fields {
+        args.set(k, v.to_json());
+    }
+    let mut ev = Value::object()
+        .with("name", rec.name)
+        .with("cat", "qkb")
+        .with("ph", if rec.instant { "i" } else { "X" })
+        .with("ts", rec.start_us as f64)
+        .with("pid", 1.0)
+        .with("tid", rec.thread as f64);
+    if rec.instant {
+        ev.set("s", "t");
+    } else {
+        ev.set("dur", rec.dur_us as f64);
+    }
+    ev.with("args", args)
+}
+
+/// Render records as a Chrome-trace document:
+/// `{"traceEvents": [{name, ph, ts, dur, pid, tid, args: {id, parent,
+/// trace, ...fields}}, ...]}`. Span identity/parenting travels in `args`
+/// so the tree is reconstructible from the export alone.
+pub fn chrome_trace(records: &[SpanRecord]) -> Value {
+    Value::object().with("traceEvents", Value::array(records.iter().map(event_json)))
+}
+
+impl Recorder {
+    /// Chrome-trace export of everything currently in the flight
+    /// recorder (`{"traceEvents": []}` when disabled).
+    pub fn chrome_trace(&self) -> Value {
+        chrome_trace(&self.records())
+    }
+}
+
+impl SlowTrace {
+    /// Chrome-trace export of this captured trace, wrapped with its
+    /// root metadata.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("trace", self.trace as f64)
+            .with("root", self.root_name)
+            .with("dur_us", self.dur_us as f64)
+            .with(
+                "traceEvents",
+                Value::array(self.records.iter().map(event_json)),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RecorderConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn chrome_trace_round_trips_through_parse() {
+        let rec = Recorder::flight();
+        {
+            let mut root = rec.span("root");
+            root.field("docs", 3u64);
+            let _child = rec.span("child");
+            rec.instant("mark", |f| f.push(("reason", "ttl".into())));
+        }
+        let doc = rec.chrome_trace();
+        let parsed = Value::parse(&doc.to_string()).expect("export parses");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        let root = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("root"))
+            .unwrap();
+        assert_eq!(root.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(
+            root.get("args").unwrap().get("docs").unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(
+            root.get("args").unwrap().get("parent").unwrap().as_f64(),
+            Some(0.0)
+        );
+        let mark = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("mark"))
+            .unwrap();
+        assert_eq!(mark.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(
+            mark.get("args").unwrap().get("reason").unwrap().as_str(),
+            Some("ttl")
+        );
+    }
+
+    #[test]
+    fn slow_trace_exports_with_root_metadata() {
+        let rec = Recorder::enabled(RecorderConfig {
+            slow_threshold: Some(Duration::ZERO),
+            ..RecorderConfig::default()
+        });
+        {
+            let _root = rec.span("req");
+            let _c = rec.span("build");
+        }
+        let slow = rec.slow_traces();
+        let doc = slow[0].to_json();
+        assert_eq!(doc.get("root").unwrap().as_str(), Some("req"));
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 2);
+    }
+}

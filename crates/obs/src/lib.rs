@@ -1,0 +1,30 @@
+//! `qkb_obs`: observability for the QKBfly workspace.
+//!
+//! Three pieces, all dependency-free on top of `qkb_util`:
+//!
+//! * [`trace`] — a flight recorder: RAII [`Span`] guards with monotonic
+//!   timestamps, parent links, and typed fields, recorded into bounded
+//!   per-thread ring buffers. [`Recorder::disabled`] reduces every
+//!   operation to a branch, so always-on instrumentation costs nothing
+//!   in production-default builds.
+//! * [`metrics`] — a [`Registry`] of named counters, gauges, and
+//!   log-scale histograms with atomic updates, point-in-time snapshots,
+//!   and a Prometheus-style text rendering.
+//! * [`export`] — Chrome-trace-format JSON (open in Perfetto or
+//!   `chrome://tracing`) plus the slow-query log's per-trace export;
+//!   [`tree`] rebuilds and validates span trees from flat records.
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+pub mod tree;
+
+pub use export::chrome_trace;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, HIST_BUCKETS,
+};
+pub use trace::{
+    CtxGuard, FieldValue, Fields, OpenSpan, Recorder, RecorderConfig, SlowTrace, Span, SpanCtx,
+    SpanRecord,
+};
+pub use tree::{build_forest, SpanNode};

@@ -1,0 +1,720 @@
+//! Span tracing core: a bounded "flight recorder".
+//!
+//! A [`Recorder`] hands out RAII [`Span`] guards. Each completed span is
+//! written as one [`SpanRecord`] into a per-thread ring buffer, so the
+//! recorder retains a bounded window of the most recent activity per
+//! thread and hot paths never contend on a shared log. The per-thread
+//! ring is guarded by a mutex that is uncontended in steady state (only
+//! the owning thread writes; other threads lock it only during export or
+//! slow-trace capture), so the fast path is a single uncontended
+//! lock/unlock — two atomic operations — plus a buffer write.
+//!
+//! `Recorder::disabled()` carries no allocation and no clock: every
+//! operation on it is a branch on a `None`, which keeps instrumented
+//! code at effectively zero cost when tracing is off (verified by the
+//! `disabled_alloc` integration test with a counting allocator).
+//!
+//! Parenting uses a thread-local ambient stack: a span opened on the
+//! same thread nests under the innermost live span automatically. For
+//! cross-thread fan-out, capture [`Recorder::current`] before spawning
+//! and either open children with [`Recorder::span_at`] or re-establish
+//! the ambient parent on the worker with [`Recorder::context`].
+//!
+//! Roots (spans with no parent) whose duration crosses the configured
+//! threshold have their full span tree copied into the slow-query log
+//! at close time ([`Recorder::slow_traces`]). Capture scans the rings at
+//! that moment, so children evicted from a ring before the root closes
+//! are absent from the capture — bounded loss, by design.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A typed span/event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    /// Static string — the common case; avoids allocation.
+    Str(&'static str),
+    /// Owned string for dynamic values (session ids, fragment keys).
+    Text(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Text(v)
+    }
+}
+
+/// A field list; spans carry zero or a few of these.
+pub type Fields = Vec<(&'static str, FieldValue)>;
+
+/// Identity of a live span: the trace (root) it belongs to and its own id.
+///
+/// Ids are process-unique and never zero for a real span; `SpanCtx::NONE`
+/// (all zeros) is "no span", which is what every disabled-recorder
+/// operation returns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanCtx {
+    pub trace: u64,
+    pub id: u64,
+}
+
+impl SpanCtx {
+    pub const NONE: SpanCtx = SpanCtx { trace: 0, id: 0 };
+
+    pub fn is_none(self) -> bool {
+        self.id == 0
+    }
+}
+
+/// One completed span or instant event.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub trace: u64,
+    pub id: u64,
+    /// Parent span id; 0 for a trace root.
+    pub parent: u64,
+    pub name: &'static str,
+    /// Microseconds since the recorder's epoch.
+    pub start_us: u64,
+    pub dur_us: u64,
+    /// Recorder-assigned id of the thread that recorded the span.
+    pub thread: u64,
+    /// True for zero-duration point events.
+    pub instant: bool,
+    pub fields: Fields,
+}
+
+/// A manually closed span for lifetimes that cross threads (e.g. a serve
+/// request opened on the client thread and closed by a worker). `Copy`,
+/// so it can ride inside queued jobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenSpan {
+    pub ctx: SpanCtx,
+    pub parent: u64,
+    pub start_us: u64,
+    name: &'static str,
+}
+
+impl OpenSpan {
+    /// The span no disabled recorder ever records.
+    pub fn none() -> Self {
+        OpenSpan {
+            ctx: SpanCtx::NONE,
+            parent: 0,
+            start_us: 0,
+            name: "",
+        }
+    }
+}
+
+/// Bounded ring of completed records for one thread.
+struct Ring {
+    buf: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+}
+
+struct ThreadRing {
+    thread: u64,
+    ring: Mutex<Ring>,
+}
+
+/// A slow-query capture: the span tree of one over-threshold trace.
+#[derive(Clone, Debug)]
+pub struct SlowTrace {
+    pub trace: u64,
+    pub root_name: &'static str,
+    pub dur_us: u64,
+    pub records: Vec<SpanRecord>,
+}
+
+/// Recorder tuning; see [`Recorder::enabled`].
+#[derive(Clone, Debug)]
+pub struct RecorderConfig {
+    /// Completed records retained per thread.
+    pub ring_capacity: usize,
+    /// Root spans at or above this duration are captured into the
+    /// slow-query log. `None` disables the log.
+    pub slow_threshold: Option<Duration>,
+    /// Slow traces retained (oldest evicted first).
+    pub slow_capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            ring_capacity: 1 << 13,
+            slow_threshold: None,
+            slow_capacity: 32,
+        }
+    }
+}
+
+struct Inner {
+    /// Distinguishes recorders in the thread-local ring cache.
+    generation: u64,
+    epoch: Instant,
+    ring_capacity: usize,
+    next_thread: AtomicU64,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    slow_threshold_us: Option<u64>,
+    slow_capacity: usize,
+    slow: Mutex<VecDeque<SlowTrace>>,
+}
+
+/// Process-unique span ids (0 is reserved for "none"/"root parent").
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+/// Recorder generations for the thread-local ring cache.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Innermost-live-span stack for ambient parenting.
+    static AMBIENT: RefCell<Vec<SpanCtx>> = const { RefCell::new(Vec::new()) };
+    /// (generation, ring) cache so a thread resolves its ring without
+    /// taking the recorder-wide lock after first use.
+    static RING_CACHE: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Handle to a flight recorder. Cheap to clone (shared `Arc`); the
+/// disabled form holds nothing at all.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// A recorder that records nothing and costs (almost) nothing: no
+    /// allocation, no clock reads, every returned ctx is `NONE`.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder with default tuning.
+    pub fn flight() -> Self {
+        Recorder::enabled(RecorderConfig::default())
+    }
+
+    pub fn enabled(config: RecorderConfig) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                ring_capacity: config.ring_capacity.max(1),
+                next_thread: AtomicU64::new(1),
+                rings: Mutex::new(Vec::new()),
+                slow_threshold_us: config
+                    .slow_threshold
+                    .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
+                slow_capacity: config.slow_capacity.max(1),
+                slow: Mutex::new(VecDeque::new()),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the recorder epoch (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.now_us(),
+            None => 0,
+        }
+    }
+
+    /// The innermost live span on this thread (`NONE` when disabled or
+    /// outside any span).
+    pub fn current(&self) -> SpanCtx {
+        if self.inner.is_none() {
+            return SpanCtx::NONE;
+        }
+        AMBIENT.with(|s| s.borrow().last().copied().unwrap_or(SpanCtx::NONE))
+    }
+
+    /// Open a span under the thread's ambient parent.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_at(name, self.current())
+    }
+
+    /// Open a span under an explicit parent (use across threads with a
+    /// [`SpanCtx`] captured on the spawning side).
+    pub fn span_at(&self, name: &'static str, parent: SpanCtx) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                inner: None,
+                ctx: SpanCtx::NONE,
+                parent: 0,
+                name,
+                start_us: 0,
+                fields: Vec::new(),
+            };
+        };
+        let id = next_id();
+        let ctx = SpanCtx {
+            trace: if parent.is_none() { id } else { parent.trace },
+            id,
+        };
+        AMBIENT.with(|s| s.borrow_mut().push(ctx));
+        Span {
+            inner: Some(Arc::clone(inner)),
+            ctx,
+            parent: parent.id,
+            name,
+            start_us: inner.now_us(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Re-establish `parent` as this thread's ambient parent for the
+    /// guard's lifetime (cross-thread context propagation).
+    pub fn context(&self, parent: SpanCtx) -> CtxGuard {
+        if self.inner.is_none() || parent.is_none() {
+            return CtxGuard { pushed: false };
+        }
+        AMBIENT.with(|s| s.borrow_mut().push(parent));
+        CtxGuard { pushed: true }
+    }
+
+    /// Open a manual span under the ambient parent; close it later (on
+    /// any thread) with [`Recorder::close`] / [`Recorder::close_with`].
+    pub fn open(&self, name: &'static str) -> OpenSpan {
+        let Some(inner) = &self.inner else {
+            return OpenSpan::none();
+        };
+        let parent = self.current();
+        let id = next_id();
+        OpenSpan {
+            ctx: SpanCtx {
+                trace: if parent.is_none() { id } else { parent.trace },
+                id,
+            },
+            parent: parent.id,
+            start_us: inner.now_us(),
+            name,
+        }
+    }
+
+    pub fn close(&self, open: OpenSpan) {
+        self.close_with(open, |_| {});
+    }
+
+    /// Close a manual span; `fill` runs only when the recorder is live.
+    pub fn close_with(&self, open: OpenSpan, fill: impl FnOnce(&mut Fields)) {
+        let Some(inner) = &self.inner else { return };
+        if open.ctx.is_none() {
+            return;
+        }
+        let mut fields = Vec::new();
+        fill(&mut fields);
+        let end = inner.now_us();
+        inner.record(SpanRecord {
+            trace: open.ctx.trace,
+            id: open.ctx.id,
+            parent: open.parent,
+            name: open.name,
+            start_us: open.start_us,
+            dur_us: end.saturating_sub(open.start_us),
+            thread: 0,
+            instant: false,
+            fields,
+        });
+    }
+
+    /// Record a span from an explicit start time (e.g. admission wait:
+    /// started when the request was enqueued, ends now).
+    pub fn record_interval(
+        &self,
+        name: &'static str,
+        parent: SpanCtx,
+        start_us: u64,
+        fill: impl FnOnce(&mut Fields),
+    ) {
+        let Some(inner) = &self.inner else { return };
+        if parent.is_none() {
+            return;
+        }
+        let mut fields = Vec::new();
+        fill(&mut fields);
+        let end = inner.now_us();
+        inner.record(SpanRecord {
+            trace: parent.trace,
+            id: next_id(),
+            parent: parent.id,
+            name,
+            start_us,
+            dur_us: end.saturating_sub(start_us),
+            thread: 0,
+            instant: false,
+            fields,
+        });
+    }
+
+    /// Record a zero-duration point event under the ambient parent.
+    pub fn instant(&self, name: &'static str, fill: impl FnOnce(&mut Fields)) {
+        let Some(inner) = &self.inner else { return };
+        let parent = self.current();
+        let mut fields = Vec::new();
+        fill(&mut fields);
+        let id = next_id();
+        inner.record(SpanRecord {
+            trace: if parent.is_none() { id } else { parent.trace },
+            id,
+            parent: parent.id,
+            name,
+            start_us: inner.now_us(),
+            dur_us: 0,
+            thread: 0,
+            instant: true,
+            fields,
+        });
+    }
+
+    /// Snapshot all recorded spans, ordered by `(start_us, id)`.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let rings = inner.rings.lock().unwrap();
+        for tr in rings.iter() {
+            let ring = tr.ring.lock().unwrap();
+            out.extend(ring.buf.iter().cloned());
+        }
+        drop(rings);
+        out.sort_by_key(|r| (r.start_us, r.id));
+        out
+    }
+
+    /// Total records evicted from ring buffers since creation/clear.
+    pub fn dropped(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let rings = inner.rings.lock().unwrap();
+        rings.iter().map(|tr| tr.ring.lock().unwrap().dropped).sum()
+    }
+
+    /// Drop all recorded spans and slow traces (ring buffers stay
+    /// registered).
+    pub fn clear(&self) {
+        let Some(inner) = &self.inner else { return };
+        let rings = inner.rings.lock().unwrap();
+        for tr in rings.iter() {
+            let mut ring = tr.ring.lock().unwrap();
+            ring.buf.clear();
+            ring.dropped = 0;
+        }
+        drop(rings);
+        inner.slow.lock().unwrap().clear();
+    }
+
+    /// Captured slow traces, oldest first.
+    pub fn slow_traces(&self) -> Vec<SlowTrace> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner.slow.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+impl Inner {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The calling thread's ring, creating + registering it on first use.
+    fn thread_ring(self: &Arc<Self>) -> Arc<ThreadRing> {
+        RING_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(g, _)| *g == self.generation) {
+                return Arc::clone(ring);
+            }
+            let ring = Arc::new(ThreadRing {
+                thread: self.next_thread.fetch_add(1, Ordering::Relaxed),
+                ring: Mutex::new(Ring {
+                    buf: VecDeque::with_capacity(self.ring_capacity.min(1 << 10)),
+                    capacity: self.ring_capacity,
+                    dropped: 0,
+                }),
+            });
+            self.rings.lock().unwrap().push(Arc::clone(&ring));
+            cache.push((self.generation, Arc::clone(&ring)));
+            ring
+        })
+    }
+
+    fn record(self: &Arc<Self>, mut rec: SpanRecord) {
+        let ring = self.thread_ring();
+        rec.thread = ring.thread;
+        let slow = rec.parent == 0
+            && !rec.instant
+            && self.slow_threshold_us.is_some_and(|t| rec.dur_us >= t);
+        ring.ring.lock().unwrap().push(rec.clone());
+        if slow {
+            self.capture_slow(rec);
+        }
+    }
+
+    /// Copy every surviving record of `root`'s trace into the slow log.
+    fn capture_slow(self: &Arc<Self>, root: SpanRecord) {
+        let mut records = Vec::new();
+        let rings = self.rings.lock().unwrap();
+        for tr in rings.iter() {
+            let ring = tr.ring.lock().unwrap();
+            records.extend(ring.buf.iter().filter(|r| r.trace == root.trace).cloned());
+        }
+        drop(rings);
+        records.sort_by_key(|r| (r.start_us, r.id));
+        let mut slow = self.slow.lock().unwrap();
+        if slow.len() == self.slow_capacity {
+            slow.pop_front();
+        }
+        slow.push_back(SlowTrace {
+            trace: root.trace,
+            root_name: root.name,
+            dur_us: root.dur_us,
+            records,
+        });
+    }
+}
+
+/// RAII span guard: records a [`SpanRecord`] on drop. A guard from a
+/// disabled recorder is inert — no clock, no allocation, no record.
+pub struct Span {
+    inner: Option<Arc<Inner>>,
+    ctx: SpanCtx,
+    parent: u64,
+    name: &'static str,
+    start_us: u64,
+    fields: Fields,
+}
+
+impl Span {
+    /// This span's identity, for parenting work on other threads.
+    pub fn ctx(&self) -> SpanCtx {
+        self.ctx
+    }
+
+    /// Attach a field. The value conversion runs only on live spans, so
+    /// `impl Into<FieldValue>` arguments cost nothing when disabled.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.inner.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        AMBIENT.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop LIFO per thread, so the top is this span.
+            debug_assert_eq!(s.last().copied(), Some(self.ctx));
+            s.pop();
+        });
+        let end = inner.now_us();
+        inner.record(SpanRecord {
+            trace: self.ctx.trace,
+            id: self.ctx.id,
+            parent: self.parent,
+            name: self.name,
+            start_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+            thread: 0,
+            instant: false,
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+/// Guard from [`Recorder::context`]: pops the ambient parent on drop.
+pub struct CtxGuard {
+    pushed: bool,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            AMBIENT.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_via_ambient_stack() {
+        let rec = Recorder::flight();
+        {
+            let mut a = rec.span("a");
+            a.field("k", 7u64);
+            let b = rec.span("b");
+            assert_eq!(b.ctx().trace, a.ctx().trace);
+            drop(b);
+        }
+        let records = rec.records();
+        assert_eq!(records.len(), 2);
+        let a = records.iter().find(|r| r.name == "a").unwrap();
+        let b = records.iter().find(|r| r.name == "b").unwrap();
+        assert_eq!(a.parent, 0);
+        assert_eq!(b.parent, a.id);
+        assert_eq!(b.trace, a.trace);
+        assert_eq!(a.fields, vec![("k", FieldValue::U64(7))]);
+        assert!(b.start_us >= a.start_us);
+        assert!(b.start_us + b.dur_us <= a.start_us + a.dur_us);
+    }
+
+    #[test]
+    fn open_span_crosses_threads() {
+        let rec = Recorder::flight();
+        let open = rec.open("request");
+        let rec2 = rec.clone();
+        std::thread::spawn(move || {
+            {
+                let _cx = rec2.context(open.ctx);
+                let _child = rec2.span("work");
+            }
+            rec2.record_interval("wait", open.ctx, open.start_us, |f| {
+                f.push(("k", FieldValue::Bool(true)));
+            });
+            rec2.close_with(open, |f| f.push(("served", "build".into())));
+        })
+        .join()
+        .unwrap();
+        let records = rec.records();
+        assert_eq!(records.len(), 3);
+        let root = records.iter().find(|r| r.name == "request").unwrap();
+        for name in ["work", "wait"] {
+            let child = records.iter().find(|r| r.name == name).unwrap();
+            assert_eq!(child.parent, root.id, "{name} parents under the root");
+            assert_eq!(child.trace, root.trace);
+        }
+        assert_eq!(root.parent, 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let rec = Recorder::enabled(RecorderConfig {
+            ring_capacity: 4,
+            ..RecorderConfig::default()
+        });
+        for _ in 0..10 {
+            let _s = rec.span("x");
+        }
+        assert_eq!(rec.records().len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        rec.clear();
+        assert_eq!(rec.records().len(), 0);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn slow_queries_capture_their_span_tree() {
+        let rec = Recorder::enabled(RecorderConfig {
+            slow_threshold: Some(Duration::ZERO),
+            ..RecorderConfig::default()
+        });
+        {
+            let _root = rec.span("slow_root");
+            let _child = rec.span("child");
+        }
+        let slow = rec.slow_traces();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].root_name, "slow_root");
+        assert_eq!(slow[0].records.len(), 2);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        {
+            let mut s = rec.span("x");
+            s.field("k", 1u64);
+            assert!(s.ctx().is_none());
+        }
+        rec.instant("e", |f| f.push(("k", FieldValue::U64(1))));
+        let open = rec.open("r");
+        rec.close(open);
+        assert!(rec.records().is_empty());
+        assert!(rec.slow_traces().is_empty());
+        assert_eq!(rec.now_us(), 0);
+        assert!(rec.current().is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Span-tree reconstruction and well-formedness checking, shared by the
+//! property tests and any consumer that wants structured traces back
+//! out of a flat record list.
+
+use crate::trace::SpanRecord;
+
+/// One span with its children, rebuilt from parent links.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    pub record: SpanRecord,
+    pub children: Vec<SpanNode>,
+}
+
+/// Rebuild a forest (one tree per trace root) from flat records and
+/// check well-formedness:
+///
+/// * every non-root parent id resolves to a record in the same trace;
+/// * every child's `[start, start+dur]` interval lies within its
+///   parent's (instant events only need their point inside).
+///
+/// Records whose parent was evicted from a ring buffer are genuine
+/// orphans — pass only complete captures (e.g. a [`crate::SlowTrace`]
+/// or a full [`crate::Recorder::records`] snapshot with zero drops).
+pub fn build_forest(records: &[SpanRecord]) -> Result<Vec<SpanNode>, String> {
+    let mut roots = Vec::new();
+    let mut index: Vec<usize> = (0..records.len()).collect();
+    index.sort_by_key(|&i| (records[i].start_us, records[i].id));
+
+    // children[i] = indices of records parented at records[i]
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+    let by_id = |id: u64| records.iter().position(|r| r.id == id);
+    for &i in &index {
+        let rec = &records[i];
+        if rec.parent == 0 {
+            roots.push(i);
+            continue;
+        }
+        let Some(p) = by_id(rec.parent) else {
+            return Err(format!(
+                "span {} ({}) has orphan parent id {}",
+                rec.id, rec.name, rec.parent
+            ));
+        };
+        let parent = &records[p];
+        if parent.trace != rec.trace {
+            return Err(format!(
+                "span {} ({}) crosses traces: {} vs parent {}",
+                rec.id, rec.name, rec.trace, parent.trace
+            ));
+        }
+        if rec.start_us < parent.start_us {
+            return Err(format!(
+                "span {} ({}) starts before parent {} ({})",
+                rec.id, rec.name, parent.id, parent.name
+            ));
+        }
+        if !rec.instant && rec.start_us + rec.dur_us > parent.start_us + parent.dur_us {
+            return Err(format!(
+                "span {} ({}) ends after parent {} ({})",
+                rec.id, rec.name, parent.id, parent.name
+            ));
+        }
+        children[p].push(i);
+    }
+
+    fn build(records: &[SpanRecord], children: &[Vec<usize>], i: usize) -> SpanNode {
+        SpanNode {
+            record: records[i].clone(),
+            children: children[i]
+                .iter()
+                .map(|&c| build(records, children, c))
+                .collect(),
+        }
+    }
+    Ok(roots
+        .into_iter()
+        .map(|i| build(records, &children, i))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Recorder;
+
+    #[test]
+    fn forest_rebuilds_nesting() {
+        let rec = Recorder::flight();
+        {
+            let _a = rec.span("a");
+            {
+                let _b = rec.span("b");
+                let _c = rec.span("c");
+            }
+            let _d = rec.span("d");
+        }
+        let forest = build_forest(&rec.records()).unwrap();
+        assert_eq!(forest.len(), 1);
+        let a = &forest[0];
+        assert_eq!(a.record.name, "a");
+        let names: Vec<&str> = a.children.iter().map(|n| n.record.name).collect();
+        assert_eq!(names, vec!["b", "d"]);
+        assert_eq!(a.children[0].children[0].record.name, "c");
+    }
+
+    #[test]
+    fn orphan_parent_is_rejected() {
+        let rec = Recorder::flight();
+        {
+            let _a = rec.span("a");
+            let _b = rec.span("b");
+        }
+        let mut records = rec.records();
+        records.retain(|r| r.name != "a");
+        assert!(build_forest(&records).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! `Recorder::disabled()` must record nothing **and allocate nothing**
+//! on the span path — that is the contract that lets instrumentation
+//! stay compiled into production-default builds.
+//!
+//! Lives in its own integration-test binary because it installs a
+//! counting global allocator.
+
+use qkb_obs::{FieldValue, Recorder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_span_path_does_not_allocate() {
+    let rec = Recorder::disabled();
+
+    // Warm up whatever lazy state the harness itself touches.
+    {
+        let mut warm = rec.span("warm");
+        warm.field("k", 1u64);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1000u64 {
+        let mut sp = rec.span("op");
+        sp.field("iteration", i);
+        sp.field("flag", true);
+        sp.field("label", "static");
+        {
+            let _child = rec.span_at("child", sp.ctx());
+        }
+        let open = rec.open("manual");
+        rec.record_interval("interval", sp.ctx(), 0, |f| {
+            f.push(("n", FieldValue::U64(i)));
+        });
+        rec.instant("event", |f| f.push(("n", FieldValue::U64(i))));
+        rec.close_with(open, |f| f.push(("n", FieldValue::U64(i))));
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recorder must not allocate on the span path"
+    );
+    assert!(rec.records().is_empty(), "and must record nothing");
+    assert_eq!(rec.dropped(), 0);
+}

@@ -32,7 +32,14 @@
 //!   all shards;
 //! * [`ServeStats`] — p50/p95 latency, throughput, cache hit rate,
 //!   per-stage build time and session-store snapshots, with
-//!   [`QkbServer::reset_stats`] as the benchmark phase boundary.
+//!   [`QkbServer::reset_stats`] as the benchmark phase boundary; the
+//!   same cells live in a `qkb_obs` metrics registry
+//!   ([`QkbServer::metrics_text`] renders the Prometheus-style text);
+//! * **tracing** — pass a live [`qkb_obs::Recorder`] in
+//!   [`ServeConfig::recorder`] and every request records a span tree
+//!   (admission wait, fragment-cache outcome, grouped build with the
+//!   core's per-stage and per-component spans nested inside, answer)
+//!   exportable as Chrome-trace JSON via [`qkb_obs::chrome_trace`].
 //!
 //! Everything is built on `std::sync` channels, mutexes and threads —
 //! the offline vendor tree has no async runtime — mirroring the style of

@@ -37,6 +37,7 @@ use crate::engine::{KbFragment, QueryEngine};
 use crate::request::{QueryRequest, QueryResponse, Served};
 use crate::stage1_cache::Stage1Cache;
 use crate::stats::{ServeMetrics, ServeStats};
+use qkb_obs::{OpenSpan, Recorder};
 use qkb_session::{SessionConfig, SessionManager};
 use qkb_util::FxHashMap;
 use std::collections::VecDeque;
@@ -81,6 +82,12 @@ pub struct ServeConfig {
     pub session_ttl: Duration,
     /// Hard cap on concurrently resident sessions; `0` = unbounded.
     pub session_max: usize,
+    /// Tracing recorder every request, build and session turn reports
+    /// into. The default disabled recorder costs one branch per
+    /// would-be span; pass `Recorder::flight()` (or a slow-log
+    /// configured one) to capture span trees for
+    /// [`qkb_obs::chrome_trace`] export.
+    pub recorder: Recorder,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +105,7 @@ impl Default for ServeConfig {
             session_bytes: 256 << 20,
             session_ttl: Duration::from_secs(15 * 60),
             session_max: 1024,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -121,6 +129,10 @@ struct Job {
     /// the answer comes from it, bypassing the fragment cache.
     session: Option<String>,
     enqueued: Instant,
+    /// The request's root span, opened at admission on the client thread
+    /// and closed by whichever shard sends the reply. `OpenSpan::none()`
+    /// when tracing is disabled.
+    trace: OpenSpan,
     reply: mpsc::Sender<QueryResponse>,
 }
 
@@ -329,6 +341,7 @@ impl<E: QueryEngine> Shared<E> {
             request,
             session,
             enqueued: Instant::now(),
+            trace: self.config.recorder.open("request"),
             reply: tx,
         };
         self.queue.push(job).ok()?;
@@ -410,7 +423,8 @@ impl<E: QueryEngine> QkbServer<E> {
                 max_bytes: config.session_bytes,
                 ttl: config.session_ttl,
                 max_sessions: config.session_max,
-            }),
+            })
+            .with_recorder(config.recorder.clone()),
             engine: Arc::new(engine),
             queue: AdmissionQueue::new(),
             inflight: InFlightTable::new(),
@@ -471,6 +485,24 @@ impl<E: QueryEngine> QkbServer<E> {
         self.shared.sessions.reset_counters();
     }
 
+    /// The tracing recorder the server reports into (the one from
+    /// [`ServeConfig::recorder`]); export its spans with
+    /// [`qkb_obs::chrome_trace`] or `Recorder::slow_traces`.
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.config.recorder
+    }
+
+    /// A point-in-time snapshot of the underlying metrics registry
+    /// ([`ServeStats`] is an aggregated view over the same cells).
+    pub fn registry_snapshot(&self) -> qkb_obs::RegistrySnapshot {
+        self.shared.metrics.registry().snapshot()
+    }
+
+    /// Prometheus-style text exposition of the metrics registry.
+    pub fn metrics_text(&self) -> String {
+        self.registry_snapshot().to_prometheus_text()
+    }
+
     /// Sweeps idle sessions past the TTL (also happens opportunistically
     /// on every session query).
     pub fn sweep_sessions(&self) {
@@ -518,13 +550,20 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
     let qkb = shared
         .engine
         .qkbfly()
-        .with_parallelism(config.build_parallelism);
+        .with_parallelism(config.build_parallelism)
+        .with_recorder(config.recorder.clone());
+    let recorder = &config.recorder;
     loop {
         let jobs = shared
             .queue
             .pop_batch(config.batch_max, config.batch_window);
         if jobs.is_empty() {
             return; // closed and drained
+        }
+        // Each job's time in the admission queue, as a child of its
+        // request root (the span started when the client enqueued).
+        for job in &jobs {
+            recorder.record_interval("admission_wait", job.trace.ctx, job.trace.start_us, |_| {});
         }
 
         // --- session turns leave the batch first: a session answer
@@ -561,6 +600,11 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
             (n_jobs + n_session) as u64,
             (groups.len() + n_session) as u64,
         );
+        recorder.instant("batch_formed", |f| {
+            f.push(("jobs", (n_jobs + n_session).into()));
+            f.push(("groups", groups.len().into()));
+            f.push(("session_turns", n_session.into()));
+        });
 
         for job in session_jobs {
             run_session_turn(shared, &qkb, job);
@@ -580,6 +624,16 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
             let mut build_meta: Vec<(usize, u64)> = Vec::new();
             let mut doc_groups: Vec<Vec<String>> = Vec::new();
             for (gi, group) in groups.iter().enumerate() {
+                // The lookup span hangs off the group's first request and
+                // names the cache tier that settled the group's fate.
+                let lookup_ctx = group.jobs[0].trace.ctx;
+                let lookup_start = recorder.now_us();
+                let note_lookup = |outcome: &'static str, tier: &'static str| {
+                    recorder.record_interval("fragment_lookup", lookup_ctx, lookup_start, |f| {
+                        f.push(("outcome", outcome.into()));
+                        f.push(("tier", tier.into()));
+                    });
+                };
                 let doc_ids = shared.engine.retrieve(&group.jobs[0].request);
                 // Key without materializing texts: the cache-hit fast
                 // path stays allocation-light.
@@ -587,10 +641,12 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                 // Counted fast path; with coalescing on, a miss is
                 // re-checked race-free under the in-flight lock.
                 if let Some(frag) = shared.cache.get(fkey) {
+                    note_lookup("cache_hit", "fragment");
                     resolutions.push(Some(Resolution::Ready(frag, Served::CacheHit, fkey)));
                     continue;
                 }
                 if !config.coalesce {
+                    note_lookup("build", "stage1");
                     build_meta.push((gi, fkey));
                     doc_groups.push(shared.engine.doc_texts(&doc_ids));
                     resolutions.push(None);
@@ -600,16 +656,19 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                     Claim::Cached(frag) => {
                         // Another shard published between our counted
                         // miss and the claim.
+                        note_lookup("cache_hit", "fragment");
                         shared.cache.reclassify_miss_as_hit();
                         resolutions.push(Some(Resolution::Ready(frag, Served::CacheHit, fkey)));
                     }
                     Claim::Leader => {
+                        note_lookup("lead_build", "stage1");
                         claimed.push(fkey);
                         build_meta.push((gi, fkey));
                         doc_groups.push(shared.engine.doc_texts(&doc_ids));
                         resolutions.push(None);
                     }
                     Claim::Follower(slot) => {
+                        note_lookup("follow_inflight", "inflight");
                         shared.metrics.note_inflight_coalesced();
                         resolutions.push(Some(Resolution::Waiting(slot, fkey, doc_ids)));
                     }
@@ -622,6 +681,14 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
             // only true misses run stage 1, and every group is assembled
             // from the shared artifacts.
             if !build_meta.is_empty() {
+                // The grouped build serves every leader group in the
+                // batch; its span hangs off the first one's request so
+                // the build tree (stage 1, resolve, canonicalize) has a
+                // request-rooted home. Ambient nesting parents the core
+                // `build_kb_grouped` span (and its children) under it.
+                let mut build_span =
+                    recorder.span_at("grouped_build", groups[build_meta[0].0].jobs[0].trace.ctx);
+                build_span.field("groups", build_meta.len());
                 // Classify before building: a group whose documents are
                 // already (partly) in the stage-1 cache is *assembled*
                 // rather than fully cold. Probes don't touch LRU order or
@@ -630,6 +697,7 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                     .iter()
                     .filter(|docs| docs.iter().any(|t| shared.stage1.contains_text(t)))
                     .count() as u64;
+                build_span.field("assembled_groups", assembled_groups);
                 let results = qkb.build_kb_grouped_with(&shared.stage1, &doc_groups);
                 let mut round_timings = qkbfly::StageTimings::default();
                 let mut round_resolve = qkbfly::ResolveCounters::default();
@@ -659,6 +727,7 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                     round_timings,
                     round_resolve,
                 );
+                build_span.field("docs", total_docs);
             }
             resolutions
         }));
@@ -673,6 +742,7 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
 
         // --- answer and reply, one group at a time ---
         for (group, resolution) in groups.into_iter().zip(resolutions) {
+            let group_ctx = group.jobs[0].trace.ctx;
             let (fragment, served, fkey) = match resolution.expect("every group resolved") {
                 Resolution::Ready(f, s, k) => (f, s, k),
                 Resolution::Waiting(slot, k, doc_ids) => match slot.wait() {
@@ -681,6 +751,7 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
                         // The leader died before publishing. Build solo
                         // (deterministic, so a duplicate is benign) and
                         // publish for any other stranded followers.
+                        let _solo_span = recorder.span_at("solo_build", group_ctx);
                         let texts = shared.engine.doc_texts(&doc_ids);
                         let assembled =
                             u64::from(texts.iter().any(|t| shared.stage1.contains_text(t)));
@@ -707,12 +778,18 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
             // compute answers once per distinct raw text.
             let mut memo: FxHashMap<String, Vec<String>> = FxHashMap::default();
             for job in group.jobs {
+                let answer_start = recorder.now_us();
                 let answers = memo
                     .entry(job.request.text.clone())
                     .or_insert_with(|| shared.engine.answer(&job.request, &fragment))
                     .clone();
+                recorder.record_interval("answer", job.trace.ctx, answer_start, |_| {});
                 let latency = job.enqueued.elapsed();
                 shared.metrics.note_request(latency);
+                recorder.close_with(job.trace, |f| {
+                    f.push(("served", format!("{served:?}").into()));
+                    f.push(("latency_us", (latency.as_micros() as u64).into()));
+                });
                 // A closed reply channel just means the client gave up.
                 let _ = job.reply.send(QueryResponse {
                     answers,
@@ -732,7 +809,12 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
 /// per-document cache — a document any earlier query paid for is free
 /// here too), answer from the whole accumulated KB, reply.
 fn run_session_turn<E: QueryEngine>(shared: &Shared<E>, qkb: &qkbfly::Qkbfly, job: Job) {
+    let recorder = qkb.recorder();
     let session_id = job.session.as_deref().expect("session job");
+    let mut turn_span = recorder.span_at("session_turn", job.trace.ctx);
+    if recorder.is_enabled() {
+        turn_span.field("session", session_id.to_string());
+    }
     let doc_ids = shared.engine.retrieve(&job.request);
     let fkey = shared.engine.doc_fingerprint(&doc_ids);
     let texts = shared.engine.doc_texts(&doc_ids);
@@ -752,8 +834,13 @@ fn run_session_turn<E: QueryEngine>(shared: &Shared<E>, qkb: &qkbfly::Qkbfly, jo
     } else {
         Served::SessionExtended
     };
+    drop(turn_span);
     let latency = job.enqueued.elapsed();
     shared.metrics.note_request(latency);
+    recorder.close_with(job.trace, |f| {
+        f.push(("served", format!("{served:?}").into()));
+        f.push(("latency_us", (latency.as_micros() as u64).into()));
+    });
     let _ = job.reply.send(QueryResponse {
         answers,
         served,
@@ -775,6 +862,7 @@ mod tests {
             key: key.to_string(),
             session: None,
             enqueued: Instant::now(),
+            trace: OpenSpan::none(),
             reply: tx,
         }
     }

@@ -140,14 +140,18 @@ impl Stage1Cache {
 
 impl Stage1Provider for Stage1Cache {
     fn provide(&self, qkb: &Qkbfly, text: &str) -> Arc<DocStage1> {
+        let mut span = qkb.recorder().span("stage1_doc");
         if !self.is_enabled() {
             // Disabled: pure compute, no counter noise.
+            span.field("cache", "disabled");
             return Arc::new(qkb.process_doc_stage1(text));
         }
         let key = Self::key_of(text);
         if let Some(hit) = self.get(key) {
+            span.field("cache", "hit");
             return hit;
         }
+        span.field("cache", "miss");
         // Two shards racing on the same fresh document both compute; the
         // artifacts are identical (stage 1 is pure), so the double work is
         // benign and the second insert is a same-key refresh.

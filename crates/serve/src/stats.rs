@@ -4,10 +4,10 @@
 
 use crate::cache::CacheCounters;
 use crate::stage1_cache::Stage1Counters;
+use qkb_obs::{Counter, Histogram, Registry};
 use qkb_session::SessionStats;
 use qkb_util::json::Value;
 use qkbfly::{ResolveCounters, StageTimings};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -73,57 +73,74 @@ impl LatencyRing {
 }
 
 /// Shared interior-mutable metrics sink the worker shards write into.
+///
+/// Every cell lives in a [`qkb_obs::Registry`] under a stable
+/// `serve_*` name; the struct holds pre-resolved handles so hot-path
+/// updates stay single atomic ops. [`ServeStats`] aggregates the same
+/// cells, and the registry snapshot (Prometheus text, all-zero reset
+/// checks) is exposed through [`ServeMetrics::registry`].
 pub(crate) struct ServeMetrics {
+    registry: Registry,
     started: Mutex<Instant>,
-    requests: AtomicU64,
-    batches: AtomicU64,
-    build_rounds: AtomicU64,
-    cold_builds: AtomicU64,
-    assembled_builds: AtomicU64,
-    docs_built: AtomicU64,
-    batch_coalesced: AtomicU64,
-    inflight_coalesced: AtomicU64,
-    build_preprocess_us: AtomicU64,
-    build_graph_us: AtomicU64,
-    build_resolve_us: AtomicU64,
-    build_canonicalize_us: AtomicU64,
-    resolve_components: AtomicU64,
-    ilp_variables: AtomicU64,
-    bnb_nodes: AtomicU64,
-    pruned_candidates: AtomicU64,
+    requests: Counter,
+    batches: Counter,
+    build_rounds: Counter,
+    cold_builds: Counter,
+    assembled_builds: Counter,
+    docs_built: Counter,
+    batch_coalesced: Counter,
+    inflight_coalesced: Counter,
+    build_preprocess_us: Counter,
+    build_graph_us: Counter,
+    build_resolve_us: Counter,
+    build_canonicalize_us: Counter,
+    resolve_components: Counter,
+    ilp_variables: Counter,
+    bnb_nodes: Counter,
+    pruned_candidates: Counter,
+    /// Log-scale latency distribution for the text exposition; exact
+    /// percentiles still come from the sample ring below.
+    latency_hist: Histogram,
     latencies_us: Mutex<LatencyRing>,
 }
 
 impl ServeMetrics {
     pub(crate) fn new() -> Self {
+        let registry = Registry::new();
         Self {
+            requests: registry.counter("serve_requests_total"),
+            batches: registry.counter("serve_batches_total"),
+            build_rounds: registry.counter("serve_build_rounds_total"),
+            cold_builds: registry.counter("serve_cold_builds_total"),
+            assembled_builds: registry.counter("serve_assembled_builds_total"),
+            docs_built: registry.counter("serve_docs_built_total"),
+            batch_coalesced: registry.counter("serve_batch_coalesced_total"),
+            inflight_coalesced: registry.counter("serve_inflight_coalesced_total"),
+            build_preprocess_us: registry.counter("serve_build_preprocess_us_total"),
+            build_graph_us: registry.counter("serve_build_graph_us_total"),
+            build_resolve_us: registry.counter("serve_build_resolve_us_total"),
+            build_canonicalize_us: registry.counter("serve_build_canonicalize_us_total"),
+            resolve_components: registry.counter("serve_resolve_components_total"),
+            ilp_variables: registry.counter("serve_ilp_variables_total"),
+            bnb_nodes: registry.counter("serve_bnb_nodes_total"),
+            pruned_candidates: registry.counter("serve_pruned_candidates_total"),
+            latency_hist: registry.histogram("serve_request_latency_us"),
+            registry,
             started: Mutex::new(Instant::now()),
-            requests: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            build_rounds: AtomicU64::new(0),
-            cold_builds: AtomicU64::new(0),
-            assembled_builds: AtomicU64::new(0),
-            docs_built: AtomicU64::new(0),
-            batch_coalesced: AtomicU64::new(0),
-            inflight_coalesced: AtomicU64::new(0),
-            build_preprocess_us: AtomicU64::new(0),
-            build_graph_us: AtomicU64::new(0),
-            build_resolve_us: AtomicU64::new(0),
-            build_canonicalize_us: AtomicU64::new(0),
-            resolve_components: AtomicU64::new(0),
-            ilp_variables: AtomicU64::new(0),
-            bnb_nodes: AtomicU64::new(0),
-            pruned_candidates: AtomicU64::new(0),
             latencies_us: Mutex::new(LatencyRing::with_capacity(MAX_LATENCY_SAMPLES)),
         }
     }
 
+    /// The registry backing every counter above.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     pub(crate) fn note_batch(&self, jobs: u64, groups: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
         // Requests beyond the first of each identical-query group were
         // coalesced at admission.
-        self.batch_coalesced
-            .fetch_add(jobs - groups, Ordering::Relaxed);
+        self.batch_coalesced.add(jobs - groups);
     }
 
     /// One grouped build round: `groups` fragments were constructed, of
@@ -137,40 +154,32 @@ impl ServeMetrics {
         timings: StageTimings,
         resolve: ResolveCounters,
     ) {
-        self.build_rounds.fetch_add(1, Ordering::Relaxed);
-        self.cold_builds
-            .fetch_add(groups - assembled, Ordering::Relaxed);
-        self.assembled_builds
-            .fetch_add(assembled, Ordering::Relaxed);
-        self.docs_built.fetch_add(docs, Ordering::Relaxed);
+        self.build_rounds.inc();
+        self.cold_builds.add(groups - assembled);
+        self.assembled_builds.add(assembled);
+        self.docs_built.add(docs);
         self.build_preprocess_us
-            .fetch_add(timings.preprocess.as_micros() as u64, Ordering::Relaxed);
-        self.build_graph_us
-            .fetch_add(timings.graph.as_micros() as u64, Ordering::Relaxed);
+            .add(timings.preprocess.as_micros() as u64);
+        self.build_graph_us.add(timings.graph.as_micros() as u64);
         self.build_resolve_us
-            .fetch_add(timings.resolve.as_micros() as u64, Ordering::Relaxed);
+            .add(timings.resolve.as_micros() as u64);
         self.build_canonicalize_us
-            .fetch_add(timings.canonicalize.as_micros() as u64, Ordering::Relaxed);
-        self.resolve_components
-            .fetch_add(resolve.components, Ordering::Relaxed);
-        self.ilp_variables
-            .fetch_add(resolve.ilp_variables, Ordering::Relaxed);
-        self.bnb_nodes
-            .fetch_add(resolve.bnb_nodes, Ordering::Relaxed);
-        self.pruned_candidates
-            .fetch_add(resolve.pruned_candidates, Ordering::Relaxed);
+            .add(timings.canonicalize.as_micros() as u64);
+        self.resolve_components.add(resolve.components);
+        self.ilp_variables.add(resolve.ilp_variables);
+        self.bnb_nodes.add(resolve.bnb_nodes);
+        self.pruned_candidates.add(resolve.pruned_candidates);
     }
 
     pub(crate) fn note_inflight_coalesced(&self) {
-        self.inflight_coalesced.fetch_add(1, Ordering::Relaxed);
+        self.inflight_coalesced.inc();
     }
 
     pub(crate) fn note_request(&self, latency: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.latencies_us
-            .lock()
-            .expect("latency sink")
-            .push(latency.as_micros() as u64);
+        self.requests.inc();
+        let us = latency.as_micros() as u64;
+        self.latency_hist.observe(us);
+        self.latencies_us.lock().expect("latency sink").push(us);
     }
 
     /// Zeroes every counter and restarts the throughput clock — the
@@ -179,26 +188,10 @@ impl ServeMetrics {
     /// never hand-subtract).
     pub(crate) fn reset(&self) {
         *self.started.lock().expect("metrics clock") = Instant::now();
-        for counter in [
-            &self.requests,
-            &self.batches,
-            &self.build_rounds,
-            &self.cold_builds,
-            &self.assembled_builds,
-            &self.docs_built,
-            &self.batch_coalesced,
-            &self.inflight_coalesced,
-            &self.build_preprocess_us,
-            &self.build_graph_us,
-            &self.build_resolve_us,
-            &self.build_canonicalize_us,
-            &self.resolve_components,
-            &self.ilp_variables,
-            &self.bnb_nodes,
-            &self.pruned_candidates,
-        ] {
-            counter.store(0, Ordering::Relaxed);
-        }
+        // Zeroes every registry cell in place — the pre-resolved
+        // handles above (and any the registry hands out later) stay
+        // valid across the reset.
+        self.registry.reset();
         self.latencies_us.lock().expect("latency sink").clear();
     }
 
@@ -217,11 +210,14 @@ impl ServeMetrics {
         };
         samples.sort_unstable();
         let samples = samples;
+        // Nearest-rank with clamped index: zero samples reports 0.0 for
+        // every percentile (idle server, not NaN), and a single sample
+        // reports itself as p50, p95 and mean alike.
         let pct = |q: f64| -> f64 {
             if samples.is_empty() {
                 return 0.0;
             }
-            let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+            let idx = (((samples.len() as f64 - 1.0) * q).round() as usize).min(samples.len() - 1);
             samples[idx] as f64 / 1000.0
         };
         let mean_ms = if samples.is_empty() {
@@ -230,7 +226,7 @@ impl ServeMetrics {
             samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1000.0
         };
         let elapsed = self.started.lock().expect("metrics clock").elapsed();
-        let requests = self.requests.load(Ordering::Relaxed);
+        let requests = self.requests.get();
         ServeStats {
             requests,
             elapsed,
@@ -238,30 +234,29 @@ impl ServeMetrics {
             latency_p50_ms: pct(0.50),
             latency_p95_ms: pct(0.95),
             latency_mean_ms: mean_ms,
+            latency_samples: samples.len() as u64,
             latency_samples_dropped,
             cache,
             stage1,
             sessions,
-            batches: self.batches.load(Ordering::Relaxed),
-            build_rounds: self.build_rounds.load(Ordering::Relaxed),
-            cold_builds: self.cold_builds.load(Ordering::Relaxed),
-            assembled_builds: self.assembled_builds.load(Ordering::Relaxed),
-            docs_built: self.docs_built.load(Ordering::Relaxed),
-            batch_coalesced: self.batch_coalesced.load(Ordering::Relaxed),
-            inflight_coalesced: self.inflight_coalesced.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            build_rounds: self.build_rounds.get(),
+            cold_builds: self.cold_builds.get(),
+            assembled_builds: self.assembled_builds.get(),
+            docs_built: self.docs_built.get(),
+            batch_coalesced: self.batch_coalesced.get(),
+            inflight_coalesced: self.inflight_coalesced.get(),
             build_timings: StageTimings {
-                preprocess: Duration::from_micros(self.build_preprocess_us.load(Ordering::Relaxed)),
-                graph: Duration::from_micros(self.build_graph_us.load(Ordering::Relaxed)),
-                resolve: Duration::from_micros(self.build_resolve_us.load(Ordering::Relaxed)),
-                canonicalize: Duration::from_micros(
-                    self.build_canonicalize_us.load(Ordering::Relaxed),
-                ),
+                preprocess: Duration::from_micros(self.build_preprocess_us.get()),
+                graph: Duration::from_micros(self.build_graph_us.get()),
+                resolve: Duration::from_micros(self.build_resolve_us.get()),
+                canonicalize: Duration::from_micros(self.build_canonicalize_us.get()),
             },
             resolve_counters: ResolveCounters {
-                components: self.resolve_components.load(Ordering::Relaxed),
-                ilp_variables: self.ilp_variables.load(Ordering::Relaxed),
-                bnb_nodes: self.bnb_nodes.load(Ordering::Relaxed),
-                pruned_candidates: self.pruned_candidates.load(Ordering::Relaxed),
+                components: self.resolve_components.get(),
+                ilp_variables: self.ilp_variables.get(),
+                bnb_nodes: self.bnb_nodes.get(),
+                pruned_candidates: self.pruned_candidates.get(),
             },
         }
     }
@@ -282,6 +277,10 @@ pub struct ServeStats {
     pub latency_p95_ms: f64,
     /// Mean queue-to-reply latency (ms).
     pub latency_mean_ms: f64,
+    /// Latency samples resident in the percentile window (the
+    /// percentiles above are computed over exactly this many samples;
+    /// 0 means they all read 0.0 by convention).
+    pub latency_samples: u64,
     /// Samples displaced from the latency window (percentiles cover the
     /// newest 2^20 samples; non-zero means the reported percentiles
     /// describe recent traffic, not the server's whole lifetime).
@@ -337,6 +336,7 @@ impl ServeStats {
             .with("latency_p50_ms", self.latency_p50_ms)
             .with("latency_p95_ms", self.latency_p95_ms)
             .with("latency_mean_ms", self.latency_mean_ms)
+            .with("latency_samples", self.latency_samples)
             .with("latency_samples_dropped", self.latency_samples_dropped)
             .with("cache_hits", self.cache.hits)
             .with("cache_misses", self.cache.misses)
@@ -412,5 +412,63 @@ mod tests {
         );
         assert_eq!(stats.latency_samples_dropped, 0);
         assert_eq!(stats.to_json()["latency_samples_dropped"], 0u64);
+    }
+
+    fn plain_snapshot(metrics: &ServeMetrics) -> ServeStats {
+        metrics.snapshot(
+            CacheCounters::default(),
+            Stage1Counters::default(),
+            SessionStats::default(),
+        )
+    }
+
+    #[test]
+    fn percentiles_with_zero_samples_read_zero() {
+        let metrics = ServeMetrics::new();
+        let stats = plain_snapshot(&metrics);
+        assert_eq!(stats.latency_samples, 0);
+        assert_eq!(stats.latency_p50_ms, 0.0);
+        assert_eq!(stats.latency_p95_ms, 0.0);
+        assert_eq!(stats.latency_mean_ms, 0.0);
+        assert_eq!(stats.to_json()["latency_samples"], 0u64);
+    }
+
+    #[test]
+    fn percentiles_with_one_sample_report_it_everywhere() {
+        let metrics = ServeMetrics::new();
+        metrics.note_request(Duration::from_micros(2500));
+        let stats = plain_snapshot(&metrics);
+        assert_eq!(stats.latency_samples, 1);
+        assert_eq!(stats.latency_p50_ms, 2.5);
+        assert_eq!(stats.latency_p95_ms, 2.5);
+        assert_eq!(stats.latency_mean_ms, 2.5);
+    }
+
+    #[test]
+    fn registry_mirrors_counters_and_reset_zeroes_everything() {
+        let metrics = ServeMetrics::new();
+        metrics.note_batch(5, 3);
+        metrics.note_request(Duration::from_micros(10));
+        metrics.note_inflight_coalesced();
+        let snap = metrics.registry().snapshot();
+        assert_eq!(snap.counter("serve_requests_total"), Some(1));
+        assert_eq!(snap.counter("serve_batches_total"), Some(1));
+        assert_eq!(snap.counter("serve_batch_coalesced_total"), Some(2));
+        assert_eq!(snap.counter("serve_inflight_coalesced_total"), Some(1));
+        assert_eq!(snap.histogram("serve_request_latency_us").unwrap().count, 1);
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("serve_requests_total 1"));
+        assert!(text.contains("serve_request_latency_us_count 1"));
+
+        metrics.reset();
+        assert!(metrics.registry().snapshot().is_zero());
+        let stats = plain_snapshot(&metrics);
+        assert_eq!(
+            (stats.requests, stats.batches, stats.latency_samples),
+            (0, 0, 0)
+        );
+        // Pre-reset handles keep working after the in-place zeroing.
+        metrics.note_request(Duration::from_micros(7));
+        assert_eq!(plain_snapshot(&metrics).requests, 1);
     }
 }

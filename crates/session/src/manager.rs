@@ -2,6 +2,7 @@
 
 use crate::session::{SessionKb, TurnReport};
 use crate::stats::{SessionCounters, SessionStats};
+use qkb_obs::Recorder;
 use qkb_util::FxHashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -71,6 +72,7 @@ pub struct SessionManager {
     inner: Mutex<Inner>,
     config: SessionConfig,
     counters: SessionCounters,
+    recorder: Recorder,
 }
 
 impl SessionManager {
@@ -85,7 +87,15 @@ impl SessionManager {
             }),
             config,
             counters: SessionCounters::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Builder: emit eviction events into `recorder` (disabled by
+    /// default).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The configured policy.
@@ -181,6 +191,10 @@ impl SessionManager {
             let entry = inner.sessions.remove(id).expect("stale resident");
             inner.total_bytes -= entry.bytes;
             SessionCounters::bump(&self.counters.evicted_ttl, 1);
+            self.recorder.instant("session_evict", |f| {
+                f.push(("reason", "ttl".into()));
+                f.push(("session", id.to_string().into()));
+            });
         }
         if self.config.max_sessions > 0 {
             while inner.sessions.len() >= self.config.max_sessions {
@@ -249,6 +263,10 @@ impl SessionManager {
                 let entry = inner.sessions.remove(&id).expect("victim resident");
                 inner.total_bytes -= entry.bytes;
                 SessionCounters::bump(&self.counters.evicted_pressure, 1);
+                self.recorder.instant("session_evict", |f| {
+                    f.push(("reason", "pressure".into()));
+                    f.push(("session", id.into()));
+                });
                 true
             }
             None => false,
@@ -266,11 +284,16 @@ impl SessionManager {
         }
         inner.next_sweep = now + ttl / 4;
         let (counters, total_bytes) = (&self.counters, &mut inner.total_bytes);
-        inner.sessions.retain(|_, entry| {
+        let recorder = &self.recorder;
+        inner.sessions.retain(|id, entry| {
             let live = now.duration_since(entry.last_used) <= ttl;
             if !live {
                 *total_bytes -= entry.bytes;
                 SessionCounters::bump(&counters.evicted_ttl, 1);
+                recorder.instant("session_evict", |f| {
+                    f.push(("reason", "ttl".into()));
+                    f.push(("session", id.clone().into()));
+                });
             }
             live
         });

@@ -73,7 +73,13 @@ impl SessionKb {
         texts: &[String],
     ) -> TurnReport {
         let cold = self.kb.n_docs() == 0;
+        let mut span = qkb.recorder().span("session_extend");
+        span.field("turn", self.turns + 1);
+        span.field("cold", cold);
         let outcome = qkb.stream_into_kb(provider, &mut self.kb, texts);
+        span.field("merged", outcome.merged);
+        span.field("deduped", outcome.skipped);
+        drop(span);
         self.turns += 1;
         TurnReport {
             cold,

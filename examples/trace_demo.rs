@@ -1,0 +1,107 @@
+//! Observability in action: serve a few queries with the flight
+//! recorder attached, then write `trace.json` (Chrome-trace format —
+//! open it in Perfetto / `chrome://tracing`) and a Prometheus-style
+//! metrics text dump next to it.
+//!
+//! Run: `cargo run --release --example trace_demo [-- OUT_DIR]`
+
+use qkb_corpus::questions::trends_test;
+use qkb_corpus::world::{World, WorldConfig};
+use qkb_obs::{Recorder, RecorderConfig};
+use qkb_qa::QaSystem;
+use qkb_serve::{QkbServer, QueryRequest, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // --- the knowledge system, as in serve_demo ---
+    let world = Arc::new(World::generate(WorldConfig::default()));
+    let mut docs = qkb_corpus::docgen::wiki_corpus(&world, 20, 31).docs;
+    docs.extend(qkb_corpus::docgen::news_corpus(&world, 10, 32).docs);
+    let bg = qkb_corpus::background::background_corpus(&world, 15, 5);
+    let stats = qkb_corpus::background::build_stats(&world, &bg);
+    let mut repo = qkb_kb::EntityRepository::new();
+    for e in world.repo.iter() {
+        let aliases: Vec<&str> = e.aliases.iter().map(String::as_str).collect();
+        repo.add_entity(&e.canonical, &aliases, e.gender, e.types.clone());
+    }
+    let mut patterns = qkb_kb::PatternRepository::standard();
+    qkb_corpus::render::extend_patterns(&mut patterns);
+    let qkb = qkbfly::Qkbfly::new(repo, patterns, stats);
+    let system = QaSystem::new(world.clone(), docs, qkb);
+
+    // --- a live recorder: flight rings plus a slow-query log that keeps
+    // the full span tree of anything slower than 1 ms ---
+    let recorder = Recorder::enabled(RecorderConfig {
+        slow_threshold: Some(Duration::from_millis(1)),
+        ..RecorderConfig::default()
+    });
+    let server = QkbServer::start(
+        system,
+        ServeConfig {
+            shards: 2,
+            cache_capacity: 16,
+            recorder: recorder.clone(),
+            ..ServeConfig::default()
+        },
+    );
+
+    // --- traffic: cold builds, a cache hit, and two session turns ---
+    let questions: Vec<String> = trends_test(&world, 3, 35)
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+    for q in questions.iter().chain(questions.first()) {
+        let r = server.query(QueryRequest::question(q));
+        println!(
+            "{:?}  {:>3} facts  {:>5.1} ms  {q}",
+            r.served,
+            r.n_facts,
+            r.latency.as_secs_f64() * 1000.0
+        );
+    }
+    for q in questions.iter().take(2) {
+        let r = server.query_in_session("demo", QueryRequest::question(q));
+        println!(
+            "{:?}  {:>3} facts  {:>5.1} ms  {q}",
+            r.served,
+            r.n_facts,
+            r.latency.as_secs_f64() * 1000.0
+        );
+    }
+
+    // --- exports ---
+    let trace_path = format!("{out_dir}/trace.json");
+    let records = recorder.records();
+    std::fs::write(&trace_path, qkb_obs::chrome_trace(&records).to_string()).expect("write trace");
+    println!(
+        "\n{} spans ({} dropped) -> {trace_path} (load in Perfetto or chrome://tracing)",
+        records.len(),
+        recorder.dropped()
+    );
+
+    let metrics_path = format!("{out_dir}/metrics.txt");
+    std::fs::write(&metrics_path, server.metrics_text()).expect("write metrics");
+    println!("metrics registry   -> {metrics_path}");
+
+    let slow = recorder.slow_traces();
+    println!("slow-query log     -> {} traces over 1 ms:", slow.len());
+    for t in slow.iter().take(5) {
+        println!(
+            "  {}  {:.1} ms  ({} spans)",
+            t.root_name,
+            t.dur_us as f64 / 1000.0,
+            t.records.len()
+        );
+    }
+
+    let s = server.stats();
+    println!(
+        "\nstats: {} requests, p50 {:.0} ms, p95 {:.0} ms over {} samples",
+        s.requests, s.latency_p50_ms, s.latency_p95_ms, s.latency_samples
+    );
+    server.shutdown();
+}
