@@ -51,7 +51,11 @@ const SERVE_METRICS: &[MetricSpec] = &[
 ];
 const SESSION_METRICS: &[MetricSpec] = &[higher("speedup"), higher("session_rps")];
 const INCREMENTAL_METRICS: &[MetricSpec] = &[higher("speedup"), higher("twotier_rps")];
-const RESOLVE_METRICS: &[MetricSpec] = &[higher("greedy.speedup"), higher("ilp.speedup")];
+const RESOLVE_METRICS: &[MetricSpec] = &[
+    higher("greedy.speedup"),
+    higher("ilp.speedup"),
+    higher("component_cache.speedup"),
+];
 
 /// The headline metrics per bench (keyed by the report's `bench` field).
 pub fn metrics_for(bench: &str) -> &'static [MetricSpec] {
@@ -205,17 +209,24 @@ mod tests {
 
     #[test]
     fn nested_paths_resolve() {
-        let mk = |g: f64, i: f64| {
+        let mk = |g: f64, i: f64, c: f64| {
             Value::object()
                 .with("bench", "resolve")
                 .with("greedy", Value::object().with("speedup", g))
                 .with("ilp", Value::object().with("speedup", i))
+                .with("component_cache", Value::object().with("speedup", c))
         };
-        let base = mk(3.5, 27.0);
-        assert!(check_pair(&base, &mk(3.4, 26.0)).expect("ok").is_empty());
-        let regs = check_pair(&base, &mk(1.5, 26.0)).expect("ok");
+        let base = mk(3.5, 27.0, 4.0);
+        assert!(check_pair(&base, &mk(3.4, 26.0, 3.8))
+            .expect("ok")
+            .is_empty());
+        let regs = check_pair(&base, &mk(1.5, 26.0, 3.8)).expect("ok");
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].path, "greedy.speedup");
+        // A collapsed cache speedup trips its own headline.
+        let regs = check_pair(&base, &mk(3.5, 27.0, 1.0)).expect("ok");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "component_cache.speedup");
     }
 
     #[test]

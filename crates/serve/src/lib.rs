@@ -11,13 +11,17 @@
 //! * **request coalescing** — concurrent identical normalized queries
 //!   share one in-flight build (in-batch grouping plus a global in-flight
 //!   table across shards);
-//! * **two-tier cache** — a sharded bounded LRU fragment cache keyed by
-//!   the fingerprint of the query's retrieved-document set (exact-set
+//! * **three-tier cache** — a sharded bounded LRU fragment cache keyed
+//!   by the fingerprint of the query's retrieved-document set (exact-set
 //!   reuse), fronted by a byte-bounded per-document stage-1 cache
 //!   ([`Stage1Cache`]): queries whose retrieved sets merely *overlap*
 //!   assemble their fragment from memoized per-document artifacts via
 //!   `Qkbfly::build_kb_grouped_with`, re-running stage 1 only for
-//!   never-seen documents (hit/miss/evict counters on both tiers);
+//!   never-seen documents; below both, a process-wide **component
+//!   resolve cache** ([`ComponentCache`]) memoizes solved coupling
+//!   components of the joint NED+CR problem, so even a *never-seen*
+//!   document skips the solver for components it shares with anything
+//!   resolved before (hit/miss/evict counters on all tiers);
 //! * **admission batching** — a time/count window groups queued distinct
 //!   queries into one `build_kb_grouped` call, exploiting the parallel
 //!   per-document fan-out;
@@ -51,6 +55,7 @@
 //! at any shard count (`tests/serving.rs` enforces this).
 
 pub mod cache;
+pub mod component_cache;
 pub mod engine;
 pub mod request;
 pub mod server;
@@ -59,6 +64,7 @@ pub mod stage1_cache;
 pub mod stats;
 
 pub use cache::{CacheCounters, FragmentCache};
+pub use component_cache::{ComponentCache, ComponentCacheCounters};
 pub use engine::{KbFragment, QueryEngine};
 pub use qkb_session::SessionStats;
 pub use request::{QueryKind, QueryRequest, QueryResponse, Served};

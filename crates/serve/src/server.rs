@@ -33,6 +33,7 @@
 //!   answer at any shard count.
 
 use crate::cache::FragmentCache;
+use crate::component_cache::ComponentCache;
 use crate::engine::{KbFragment, QueryEngine};
 use crate::request::{QueryRequest, QueryResponse, Served};
 use crate::stage1_cache::Stage1Cache;
@@ -62,6 +63,14 @@ pub struct ServeConfig {
     pub stage1_cache_bytes: u64,
     /// Lock shards inside the stage-1 cache.
     pub stage1_cache_shards: usize,
+    /// Component resolve-cache capacity in approximate bytes; `0`
+    /// disables the tier (every coupling component re-enters the
+    /// solver — the PR 6 behavior). The cache is process-wide: all
+    /// shards and all sessions share it, so a component solved for any
+    /// request is free for every later request that contains it.
+    pub component_cache_bytes: u64,
+    /// Lock shards inside the component resolve cache.
+    pub component_cache_shards: usize,
     /// Maximum requests drained into one admission batch.
     pub batch_max: usize,
     /// How long a worker holds a batch open after its first request.
@@ -98,6 +107,8 @@ impl Default for ServeConfig {
             cache_shards: 8,
             stage1_cache_bytes: 64 << 20,
             stage1_cache_shards: 8,
+            component_cache_bytes: 32 << 20,
+            component_cache_shards: 8,
             batch_max: 8,
             batch_window: Duration::from_millis(2),
             coalesce: true,
@@ -326,6 +337,7 @@ struct Shared<E> {
     queue: AdmissionQueue,
     cache: FragmentCache,
     stage1: Stage1Cache,
+    component: Arc<ComponentCache>,
     inflight: InFlightTable,
     sessions: SessionManager,
     metrics: ServeMetrics,
@@ -419,6 +431,10 @@ impl<E: QueryEngine> QkbServer<E> {
         let shared = Arc::new(Shared {
             cache: FragmentCache::new(config.cache_capacity, config.cache_shards),
             stage1: Stage1Cache::new(config.stage1_cache_bytes, config.stage1_cache_shards),
+            component: Arc::new(ComponentCache::new(
+                config.component_cache_bytes,
+                config.component_cache_shards,
+            )),
             sessions: SessionManager::new(SessionConfig {
                 max_bytes: config.session_bytes,
                 ttl: config.session_ttl,
@@ -463,12 +479,13 @@ impl<E: QueryEngine> QkbServer<E> {
         self.shared.query_in_session(session_id, request)
     }
 
-    /// A stats snapshot (latency percentiles, throughput, both cache
-    /// tiers' counters, session-store counters).
+    /// A stats snapshot (latency percentiles, throughput, all three
+    /// cache tiers' counters, session-store counters).
     pub fn stats(&self) -> ServeStats {
         self.shared.metrics.snapshot(
             self.shared.cache.counters(),
             self.shared.stage1.counters(),
+            self.shared.component.counters(),
             self.shared.sessions.stats(),
         )
     }
@@ -482,6 +499,7 @@ impl<E: QueryEngine> QkbServer<E> {
         self.shared.metrics.reset();
         self.shared.cache.reset_counters();
         self.shared.stage1.reset_counters();
+        self.shared.component.reset_counters();
         self.shared.sessions.reset_counters();
     }
 
@@ -498,9 +516,30 @@ impl<E: QueryEngine> QkbServer<E> {
         self.shared.metrics.registry().snapshot()
     }
 
-    /// Prometheus-style text exposition of the metrics registry.
+    /// Prometheus-style text exposition of the metrics registry, plus
+    /// the component resolve-cache tier's store-level lines. The tier's
+    /// occupancy (resident entries/bytes) is state, not a counter — it
+    /// survives [`QkbServer::reset_stats`] — so it is rendered from the
+    /// live store here instead of living in the resettable registry.
     pub fn metrics_text(&self) -> String {
-        self.registry_snapshot().to_prometheus_text()
+        use std::fmt::Write as _;
+        let mut text = self.registry_snapshot().to_prometheus_text();
+        let c = self.shared.component.counters();
+        let _ = writeln!(text, "serve_component_cache_hits_total {}", c.hits);
+        let _ = writeln!(text, "serve_component_cache_misses_total {}", c.misses);
+        let _ = writeln!(
+            text,
+            "serve_component_cache_evictions_total {}",
+            c.evictions
+        );
+        let _ = writeln!(text, "serve_component_cache_entries {}", c.entries);
+        let _ = writeln!(text, "serve_component_cache_bytes {}", c.approx_bytes);
+        let _ = writeln!(
+            text,
+            "serve_component_cache_capacity_bytes {}",
+            c.capacity_bytes
+        );
+        text
     }
 
     /// Sweeps idle sessions past the TTL (also happens opportunistically
@@ -547,11 +586,18 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
     let config = &shared.config;
     // The shard's own build handle: cheap clone, shared repositories and
     // counters, private parallelism knob — no `&mut` on a shared handle.
-    let qkb = shared
+    let mut qkb = shared
         .engine
         .qkbfly()
         .with_parallelism(config.build_parallelism)
         .with_recorder(config.recorder.clone());
+    // The process-wide component resolve cache: one instance across all
+    // shards and all session turns (every handle clones from the same
+    // system, so the cache's interned keys are valid everywhere).
+    if shared.component.is_enabled() {
+        qkb = qkb.with_resolve_cache(shared.component.clone());
+    }
+    let qkb = qkb;
     let recorder = &config.recorder;
     loop {
         let jobs = shared

@@ -101,6 +101,14 @@ impl<V: Clone> ShardedLru<V> {
         self.misses.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// The mirror correction: a lookup counted as a hit turned out
+    /// unusable after all (the component cache's exact structural
+    /// re-check rejected a fingerprint-colliding entry).
+    pub fn reclassify_hit_as_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Zeroes the hit/miss/eviction counters (benchmark phase
     /// boundaries); cached entries stay resident — occupancy is state,
     /// not a counter.

@@ -3,6 +3,7 @@
 //! hit rate, per-stage build time).
 
 use crate::cache::CacheCounters;
+use crate::component_cache::ComponentCacheCounters;
 use crate::stage1_cache::Stage1Counters;
 use qkb_obs::{Counter, Histogram, Registry};
 use qkb_session::SessionStats;
@@ -98,6 +99,9 @@ pub(crate) struct ServeMetrics {
     ilp_variables: Counter,
     bnb_nodes: Counter,
     pruned_candidates: Counter,
+    resolve_cache_hits: Counter,
+    resolve_cache_misses: Counter,
+    resolve_cache_bypass: Counter,
     /// Log-scale latency distribution for the text exposition; exact
     /// percentiles still come from the sample ring below.
     latency_hist: Histogram,
@@ -124,6 +128,9 @@ impl ServeMetrics {
             ilp_variables: registry.counter("serve_ilp_variables_total"),
             bnb_nodes: registry.counter("serve_bnb_nodes_total"),
             pruned_candidates: registry.counter("serve_pruned_candidates_total"),
+            resolve_cache_hits: registry.counter("serve_resolve_cache_hits_total"),
+            resolve_cache_misses: registry.counter("serve_resolve_cache_misses_total"),
+            resolve_cache_bypass: registry.counter("serve_resolve_cache_bypass_total"),
             latency_hist: registry.histogram("serve_request_latency_us"),
             registry,
             started: Mutex::new(Instant::now()),
@@ -169,6 +176,9 @@ impl ServeMetrics {
         self.ilp_variables.add(resolve.ilp_variables);
         self.bnb_nodes.add(resolve.bnb_nodes);
         self.pruned_candidates.add(resolve.pruned_candidates);
+        self.resolve_cache_hits.add(resolve.cache_hits);
+        self.resolve_cache_misses.add(resolve.cache_misses);
+        self.resolve_cache_bypass.add(resolve.cache_bypass);
     }
 
     pub(crate) fn note_inflight_coalesced(&self) {
@@ -199,6 +209,7 @@ impl ServeMetrics {
         &self,
         cache: CacheCounters,
         stage1: Stage1Counters,
+        component: ComponentCacheCounters,
         sessions: SessionStats,
     ) -> ServeStats {
         // Copy out under the lock, sort after releasing it: requests
@@ -238,6 +249,7 @@ impl ServeMetrics {
             latency_samples_dropped,
             cache,
             stage1,
+            component,
             sessions,
             batches: self.batches.get(),
             build_rounds: self.build_rounds.get(),
@@ -257,6 +269,9 @@ impl ServeMetrics {
                 ilp_variables: self.ilp_variables.get(),
                 bnb_nodes: self.bnb_nodes.get(),
                 pruned_candidates: self.pruned_candidates.get(),
+                cache_hits: self.resolve_cache_hits.get(),
+                cache_misses: self.resolve_cache_misses.get(),
+                cache_bypass: self.resolve_cache_bypass.get(),
             },
         }
     }
@@ -290,6 +305,9 @@ pub struct ServeStats {
     /// Per-document stage-1 cache counters (tier one: cross-query
     /// document reuse).
     pub stage1: Stage1Counters,
+    /// Component resolve-cache counters (the tier below stage 1:
+    /// cross-document coupling-component reuse in the NED+CR solver).
+    pub component: ComponentCacheCounters,
     /// Session-store counters (session-scoped streaming KBs:
     /// live/evicted sessions, extend-vs-cold turns, streaming dedup).
     pub sessions: SessionStats,
@@ -327,6 +345,11 @@ impl ServeStats {
         self.stage1.hit_rate()
     }
 
+    /// Component resolve-cache hit rate over all lookups.
+    pub fn component_hit_rate(&self) -> f64 {
+        self.component.hit_rate()
+    }
+
     /// JSON rendering for benchmark reports and dashboards.
     pub fn to_json(&self) -> Value {
         Value::object()
@@ -350,6 +373,13 @@ impl ServeStats {
             .with("stage1_bytes", self.stage1.approx_bytes)
             .with("stage1_capacity_bytes", self.stage1.capacity_bytes)
             .with("stage1_hit_rate", self.stage1_hit_rate())
+            .with("component_hits", self.component.hits)
+            .with("component_misses", self.component.misses)
+            .with("component_evictions", self.component.evictions)
+            .with("component_entries", self.component.entries)
+            .with("component_bytes", self.component.approx_bytes)
+            .with("component_capacity_bytes", self.component.capacity_bytes)
+            .with("component_hit_rate", self.component_hit_rate())
             .with("sessions", self.sessions.to_json())
             .with("batches", self.batches)
             .with("build_rounds", self.build_rounds)
@@ -408,6 +438,7 @@ mod tests {
         let stats = metrics.snapshot(
             CacheCounters::default(),
             Stage1Counters::default(),
+            ComponentCacheCounters::default(),
             SessionStats::default(),
         );
         assert_eq!(stats.latency_samples_dropped, 0);
@@ -418,6 +449,7 @@ mod tests {
         metrics.snapshot(
             CacheCounters::default(),
             Stage1Counters::default(),
+            ComponentCacheCounters::default(),
             SessionStats::default(),
         )
     }

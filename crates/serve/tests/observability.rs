@@ -224,6 +224,30 @@ fn traced_request_exports_a_well_formed_span_tree() {
         Some("miss"),
         "first sight of every document is a stage-1 miss"
     );
+    // Every per-component resolve span under the request root reports
+    // its component-cache outcome; with the tier enabled (the default)
+    // that is hit or miss, never bypass, and a cold server must miss at
+    // least once.
+    let resolve_components: Vec<&Event> = tree
+        .iter()
+        .map(|&i| &events[i])
+        .filter(|e| e.name == "resolve_component")
+        .collect();
+    assert!(!resolve_components.is_empty());
+    for rc in &resolve_components {
+        let cache = rc.args.get("cache").and_then(Value::as_str);
+        assert!(
+            matches!(cache, Some("hit") | Some("miss")),
+            "resolve_component must report a cache outcome, got {:?}",
+            rc.args
+        );
+    }
+    assert!(
+        resolve_components
+            .iter()
+            .any(|rc| rc.args.get("cache").and_then(Value::as_str) == Some("miss")),
+        "a cold build must miss the component cache at least once"
+    );
 
     // The warm request never builds: its lookup reports the fragment
     // cache hit and no build spans hang under it.
@@ -320,7 +344,15 @@ fn reset_stats_zeroes_the_registry_and_every_counter_tier() {
     let busy = server.registry_snapshot();
     assert!(!busy.is_zero(), "traffic must reach the registry");
     assert_eq!(busy.counter("serve_requests_total"), Some(3));
-    assert!(server.metrics_text().contains("serve_requests_total 3"));
+    let text = server.metrics_text();
+    assert!(text.contains("serve_requests_total 3"));
+    let busy_stats = server.stats();
+    assert!(
+        busy_stats.component.hits + busy_stats.component.misses > 0,
+        "builds must reach the component resolve cache"
+    );
+    assert!(text.contains("serve_component_cache_hits_total"));
+    assert!(text.contains("serve_component_cache_bytes"));
 
     server.reset_stats();
     assert!(
@@ -332,6 +364,15 @@ fn reset_stats_zeroes_the_registry_and_every_counter_tier() {
     assert_eq!(stats.latency_samples, 0);
     assert_eq!(stats.cache.hits + stats.cache.misses, 0);
     assert_eq!(stats.stage1.hits + stats.stage1.misses, 0);
+    assert_eq!(
+        stats.component.hits + stats.component.misses + stats.component.evictions,
+        0,
+        "reset must zero the component-cache counters"
+    );
+    assert!(
+        stats.component.entries > 0,
+        "reset must not evict cached components"
+    );
     assert_eq!(stats.sessions.turns(), 0);
     assert_eq!(stats.to_json()["latency_samples"], 0u64);
     // Resident state survives: the repeat still hits, the session still

@@ -401,6 +401,46 @@ fn session_turns_answer_from_the_accumulated_union_kb() {
     server.shutdown();
 }
 
+/// Cross-session component reuse through the process-wide resolve tier:
+/// with the stage-1 cache off (so a second session really re-runs the
+/// resolve stage), a second session over the same documents replays
+/// every coupling component from the shared component cache — zero new
+/// solver runs — and still answers byte-identically.
+#[test]
+fn cross_session_component_reuse_hits_the_shared_resolve_tier() {
+    let sys = Arc::new(engine());
+    let q = questions(&sys, 1).remove(0);
+    let server = QkbServer::start(
+        sys.clone(),
+        ServeConfig {
+            shards: 2,
+            stage1_cache_bytes: 0, // force the resolve stage to re-run
+            ..ServeConfig::default()
+        },
+    );
+    let alice = server.query_in_session("alice", QueryRequest::question(&q));
+    assert_eq!(alice.served, Served::SessionCold);
+    let cold = server.stats().component;
+    assert!(cold.misses > 0, "cold session must solve: {cold:?}");
+
+    let bob = server.query_in_session("bob", QueryRequest::question(&q));
+    assert_eq!(bob.served, Served::SessionCold);
+    assert_eq!(bob.answers, alice.answers, "replayed components, same KB");
+    let warm = server.stats().component;
+    assert_eq!(
+        warm.misses, cold.misses,
+        "the second session must not re-solve any component"
+    );
+    // Bob resolves the same documents, so his build looks up exactly as
+    // many components as Alice's did (her hits + misses) — all hits now.
+    assert_eq!(
+        warm.hits,
+        cold.hits + cold.hits + cold.misses,
+        "every component of the second session replays from the tier"
+    );
+    server.shutdown();
+}
+
 /// The serving layer's session TTL: an idle session expires and its id
 /// starts cold on the next query, with the eviction counted.
 #[test]
