@@ -56,6 +56,7 @@ const RESOLVE_METRICS: &[MetricSpec] = &[
     higher("ilp.speedup"),
     higher("component_cache.speedup"),
 ];
+const NET_METRICS: &[MetricSpec] = &[higher("replay_speedup")];
 
 /// The headline metrics per bench (keyed by the report's `bench` field).
 pub fn metrics_for(bench: &str) -> &'static [MetricSpec] {
@@ -65,6 +66,7 @@ pub fn metrics_for(bench: &str) -> &'static [MetricSpec] {
         "session" => SESSION_METRICS,
         "incremental" => INCREMENTAL_METRICS,
         "resolve" => RESOLVE_METRICS,
+        "net" => NET_METRICS,
         _ => &[],
     }
 }
@@ -227,6 +229,23 @@ mod tests {
         let regs = check_pair(&base, &mk(3.5, 27.0, 1.0)).expect("ok");
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].path, "component_cache.speedup");
+    }
+
+    #[test]
+    fn net_replay_speedup_is_gated() {
+        let mk = |s: f64| {
+            Value::object()
+                .with("bench", "net")
+                .with("replay_speedup", s)
+        };
+        let base = mk(8.0);
+        // Small wobble and improvement both pass.
+        assert!(check_pair(&base, &mk(7.0)).expect("ok").is_empty());
+        assert!(check_pair(&base, &mk(12.0)).expect("ok").is_empty());
+        // A collapsed replay speedup trips the gate.
+        let regs = check_pair(&base, &mk(4.0)).expect("ok");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "replay_speedup");
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Length-prefixed, checksummed binary framing.
+//!
+//! One frame layout serves both transports of this crate: TCP streams
+//! (the wire protocol) and append-only journal files (the write-ahead
+//! session log). A frame is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length N (u32 LE)
+//! 4       1     kind tag (message/record discriminant)
+//! 5       8     checksum (u64 LE) over kind ++ payload
+//! 13      N     payload bytes
+//! ```
+//!
+//! Robustness properties the serving tier depends on:
+//!
+//! * a **length prefix above the configured maximum** is rejected before
+//!   any allocation — a corrupted (or hostile) 4 GiB claim cannot OOM
+//!   the server;
+//! * a **checksum mismatch** is detected before the payload is decoded —
+//!   a journal record torn by a crash, or a frame corrupted in flight,
+//!   fails as [`FrameError::Checksum`] instead of decoding garbage;
+//! * a **truncated frame** (EOF mid-header or mid-payload) reports
+//!   [`FrameError::UnexpectedEof`] — the journal recovery path treats it
+//!   as the torn tail of the last segment, the wire path as a client
+//!   disconnect. Either way it poisons only that stream, never the
+//!   process.
+
+use qkb_util::FxHasher;
+use std::hash::Hasher;
+use std::io::{self, Read, Write};
+
+/// Frame header bytes ahead of the payload: length + kind + checksum.
+pub const HEADER_BYTES: usize = 4 + 1 + 8;
+
+/// Default maximum payload size accepted by readers (16 MiB). Writers
+/// never produce frames this large in practice; the bound exists so a
+/// corrupted length prefix fails cleanly.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream ended before a complete frame (for the *first* header
+    /// byte, `clean_eof` is true: the peer closed between frames, which
+    /// is a normal end of stream, not corruption).
+    UnexpectedEof {
+        /// True when EOF arrived exactly on a frame boundary.
+        clean_eof: bool,
+    },
+    /// The length prefix exceeded the reader's maximum frame size.
+    Oversized {
+        /// The declared payload length.
+        declared: u32,
+        /// The reader's bound.
+        max: u32,
+    },
+    /// The checksum did not match the received kind + payload.
+    Checksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+            FrameError::UnexpectedEof { clean_eof: true } => write!(f, "end of stream"),
+            FrameError::UnexpectedEof { clean_eof: false } => write!(f, "eof mid-frame"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame payload of {declared} bytes exceeds the {max} max")
+            }
+            FrameError::Checksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// One decoded frame: its kind tag and raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message/record discriminant.
+    pub kind: u8,
+    /// Undecoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The frame checksum: an `Fx` fingerprint over the kind byte, the
+/// payload bytes, and the payload length (so a frame truncated to a
+/// prefix that happens to hash equal still fails). Deterministic across
+/// processes — journal files written before a crash verify after it.
+pub fn checksum(kind: u8, payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(kind);
+    h.write(payload);
+    h.write_u64(payload.len() as u64);
+    h.finish()
+}
+
+/// Encodes one frame into a fresh buffer (header + payload, ready for a
+/// single `write_all`).
+pub fn encode(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(&checksum(kind, payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes one frame to `w` (no flush; callers batch or flush as suits
+/// the transport).
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode(kind, payload))
+}
+
+/// Reads exactly `buf.len()` bytes; distinguishes EOF-before-anything
+/// (`clean` true at offset 0) from EOF mid-read.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::UnexpectedEof {
+                    clean_eof: filled == 0,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads and verifies one frame. `max_payload` bounds the length prefix;
+/// see [`FrameError`] for the failure taxonomy.
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    read_exact_or_eof(r, &mut header)?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let kind = header[4];
+    let want = u64::from_le_bytes([
+        header[5], header[6], header[7], header[8], header[9], header[10], header[11], header[12],
+    ]);
+    if len > max_payload {
+        return Err(FrameError::Oversized {
+            declared: len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(e) = read_exact_or_eof(r, &mut payload) {
+        // EOF inside the payload is never clean: the header promised more.
+        return Err(match e {
+            FrameError::UnexpectedEof { .. } => FrameError::UnexpectedEof { clean_eof: false },
+            other => other,
+        });
+    }
+    if checksum(kind, &payload) != want {
+        return Err(FrameError::Checksum);
+    }
+    Ok(Frame { kind, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, b"hello frames").unwrap();
+        write_frame(&mut buf, 9, b"").unwrap();
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!((f1.kind, f1.payload.as_slice()), (7, &b"hello frames"[..]));
+        let f2 = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!((f2.kind, f2.payload.len()), (9, 0));
+        // Stream exhausted: a clean EOF, not corruption.
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::UnexpectedEof { clean_eof: true })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_dirty_eof() {
+        let buf = encode(1, b"abc");
+        let mut r = &buf[..HEADER_BYTES - 2];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::UnexpectedEof { clean_eof: false })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_dirty_eof() {
+        let buf = encode(1, b"abcdef");
+        let mut r = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::UnexpectedEof { clean_eof: false })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_reading_payload() {
+        let mut buf = encode(1, b"x");
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::Oversized {
+                declared: u32::MAX,
+                max: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut buf = encode(3, b"payload bytes");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::Checksum)
+        ));
+        // A flipped kind byte also fails: the checksum covers it.
+        let mut buf = encode(3, b"payload bytes");
+        buf[4] = 99;
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::Checksum)
+        ));
+    }
+
+    #[test]
+    fn checksum_distinguishes_truncation_from_short_payload() {
+        // A frame whose payload is a prefix of another's must not verify
+        // under the longer frame's checksum (length is mixed in).
+        assert_ne!(checksum(1, b"abcd"), checksum(1, b"abcdef"));
+    }
+}

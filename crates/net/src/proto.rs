@@ -1,0 +1,449 @@
+//! Wire messages: the request/response vocabulary of the serving tier,
+//! encoded onto [`crate::frame`] payloads.
+//!
+//! Every message carries a client-chosen `id` echoed verbatim in the
+//! response, so a connection may pipeline several requests (up to its
+//! inflight budget) and match replies out of order. The payload encoding
+//! is the little-endian primitive layer of `qkb_util::bytes`; unknown
+//! kind tags and malformed payloads decode to errors, never panics —
+//! they arrive from the network.
+
+use qkb_serve::{QueryKind, QueryRequest, Served};
+use qkb_util::bytes::{self, Cursor, DecodeError};
+
+/// Request frame kinds (responses start at 16).
+pub const KIND_QUERY: u8 = 1;
+/// `query_in_session` request.
+pub const KIND_QUERY_IN_SESSION: u8 = 2;
+/// Stats snapshot request.
+pub const KIND_STATS: u8 = 3;
+/// Counter-reset request.
+pub const KIND_RESET_STATS: u8 = 4;
+/// Answer response.
+pub const KIND_ANSWER: u8 = 16;
+/// Stats-JSON response.
+pub const KIND_STATS_JSON: u8 = 17;
+/// Bare acknowledgement response.
+pub const KIND_OK: u8 = 18;
+/// Load-shed response: the request was **not** admitted.
+pub const KIND_BUSY: u8 = 19;
+/// Request-level error response.
+pub const KIND_ERROR: u8 = 20;
+
+/// A payload that did not decode as the message its kind tag claims.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Unknown frame kind tag.
+    UnknownKind(u8),
+    /// Unknown enum discriminant inside a payload.
+    BadTag(&'static str, u8),
+    /// Primitive-layer decode failure.
+    Bytes(DecodeError),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            ProtoError::BadTag(what, v) => write!(f, "bad {what} tag {v}"),
+            ProtoError::Bytes(e) => write!(f, "payload decode: {e}"),
+        }
+    }
+}
+
+impl From<DecodeError> for ProtoError {
+    fn from(e: DecodeError) -> Self {
+        ProtoError::Bytes(e)
+    }
+}
+
+/// Which admission bound shed a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusyScope {
+    /// The connection's own inflight budget was full.
+    Connection,
+    /// The server-wide queue-depth watermark was reached.
+    Global,
+}
+
+/// One decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetRequest {
+    /// Stateless query ([`qkb_serve::QkbServer::query`]).
+    Query {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// The query itself.
+        request: QueryRequest,
+    },
+    /// Session-scoped query ([`qkb_serve::QkbServer::query_in_session`]).
+    QueryInSession {
+        /// Correlation id.
+        id: u64,
+        /// Session the query extends.
+        session: String,
+        /// The query itself.
+        request: QueryRequest,
+    },
+    /// Stats snapshot (`ServeStats` + net/journal counters as JSON).
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Zero all monotonic counters (benchmark phase boundary).
+    ResetStats {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl NetRequest {
+    /// The correlation id (echoed into every reply, including sheds).
+    pub fn id(&self) -> u64 {
+        match self {
+            NetRequest::Query { id, .. }
+            | NetRequest::QueryInSession { id, .. }
+            | NetRequest::Stats { id }
+            | NetRequest::ResetStats { id } => *id,
+        }
+    }
+}
+
+/// One server reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetResponse {
+    /// Ranked answers for a query.
+    Answer {
+        /// Correlation id.
+        id: u64,
+        /// How the backing KB was obtained.
+        served: Served,
+        /// Documents behind the answering KB.
+        n_docs: u64,
+        /// Facts in the answering KB.
+        n_facts: u64,
+        /// Ranked answers (or rendered facts for entity seeds).
+        answers: Vec<String>,
+    },
+    /// Stats snapshot rendering.
+    StatsJson {
+        /// Correlation id.
+        id: u64,
+        /// The snapshot as a JSON document.
+        json: String,
+    },
+    /// Bare acknowledgement (reset_stats).
+    Ok {
+        /// Correlation id.
+        id: u64,
+    },
+    /// The request was shed by admission control — retry later.
+    Busy {
+        /// Correlation id.
+        id: u64,
+        /// Which bound shed it.
+        scope: BusyScope,
+    },
+    /// The request failed server-side (e.g. submitted during shutdown).
+    Error {
+        /// Correlation id.
+        id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn put_query_kind(buf: &mut Vec<u8>, kind: QueryKind) {
+    bytes::put_u8(
+        buf,
+        match kind {
+            QueryKind::Question => 0,
+            QueryKind::EntitySeed => 1,
+        },
+    );
+}
+
+fn get_query_kind(c: &mut Cursor<'_>) -> Result<QueryKind, ProtoError> {
+    match c.u8()? {
+        0 => Ok(QueryKind::Question),
+        1 => Ok(QueryKind::EntitySeed),
+        t => Err(ProtoError::BadTag("query kind", t)),
+    }
+}
+
+fn served_tag(served: Served) -> u8 {
+    match served {
+        Served::ColdBuild => 0,
+        Served::CacheHit => 1,
+        Served::Coalesced => 2,
+        Served::SessionCold => 3,
+        Served::SessionExtended => 4,
+    }
+}
+
+fn served_from(tag: u8) -> Result<Served, ProtoError> {
+    Ok(match tag {
+        0 => Served::ColdBuild,
+        1 => Served::CacheHit,
+        2 => Served::Coalesced,
+        3 => Served::SessionCold,
+        4 => Served::SessionExtended,
+        t => return Err(ProtoError::BadTag("served", t)),
+    })
+}
+
+impl NetRequest {
+    /// `(frame kind, payload)` for the frame layer.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = Vec::new();
+        match self {
+            NetRequest::Query { id, request } => {
+                bytes::put_u64(&mut buf, *id);
+                put_query_kind(&mut buf, request.kind);
+                bytes::put_str(&mut buf, &request.text);
+                (KIND_QUERY, buf)
+            }
+            NetRequest::QueryInSession {
+                id,
+                session,
+                request,
+            } => {
+                bytes::put_u64(&mut buf, *id);
+                bytes::put_str(&mut buf, session);
+                put_query_kind(&mut buf, request.kind);
+                bytes::put_str(&mut buf, &request.text);
+                (KIND_QUERY_IN_SESSION, buf)
+            }
+            NetRequest::Stats { id } => {
+                bytes::put_u64(&mut buf, *id);
+                (KIND_STATS, buf)
+            }
+            NetRequest::ResetStats { id } => {
+                bytes::put_u64(&mut buf, *id);
+                (KIND_RESET_STATS, buf)
+            }
+        }
+    }
+
+    /// Decodes a request frame. `max_len` bounds each string field.
+    pub fn decode(kind: u8, payload: &[u8], max_len: usize) -> Result<NetRequest, ProtoError> {
+        let mut c = Cursor::new(payload, max_len);
+        let req = match kind {
+            KIND_QUERY => {
+                let id = c.u64()?;
+                let qk = get_query_kind(&mut c)?;
+                let text = c.str()?;
+                NetRequest::Query {
+                    id,
+                    request: QueryRequest { kind: qk, text },
+                }
+            }
+            KIND_QUERY_IN_SESSION => {
+                let id = c.u64()?;
+                let session = c.str()?;
+                let qk = get_query_kind(&mut c)?;
+                let text = c.str()?;
+                NetRequest::QueryInSession {
+                    id,
+                    session,
+                    request: QueryRequest { kind: qk, text },
+                }
+            }
+            KIND_STATS => NetRequest::Stats { id: c.u64()? },
+            KIND_RESET_STATS => NetRequest::ResetStats { id: c.u64()? },
+            other => return Err(ProtoError::UnknownKind(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl NetResponse {
+    /// `(frame kind, payload)` for the frame layer.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = Vec::new();
+        match self {
+            NetResponse::Answer {
+                id,
+                served,
+                n_docs,
+                n_facts,
+                answers,
+            } => {
+                bytes::put_u64(&mut buf, *id);
+                bytes::put_u8(&mut buf, served_tag(*served));
+                bytes::put_u64(&mut buf, *n_docs);
+                bytes::put_u64(&mut buf, *n_facts);
+                bytes::put_u32(&mut buf, answers.len() as u32);
+                for a in answers {
+                    bytes::put_str(&mut buf, a);
+                }
+                (KIND_ANSWER, buf)
+            }
+            NetResponse::StatsJson { id, json } => {
+                bytes::put_u64(&mut buf, *id);
+                bytes::put_str(&mut buf, json);
+                (KIND_STATS_JSON, buf)
+            }
+            NetResponse::Ok { id } => {
+                bytes::put_u64(&mut buf, *id);
+                (KIND_OK, buf)
+            }
+            NetResponse::Busy { id, scope } => {
+                bytes::put_u64(&mut buf, *id);
+                bytes::put_u8(
+                    &mut buf,
+                    match scope {
+                        BusyScope::Connection => 0,
+                        BusyScope::Global => 1,
+                    },
+                );
+                (KIND_BUSY, buf)
+            }
+            NetResponse::Error { id, message } => {
+                bytes::put_u64(&mut buf, *id);
+                bytes::put_str(&mut buf, message);
+                (KIND_ERROR, buf)
+            }
+        }
+    }
+
+    /// Decodes a response frame. `max_len` bounds each string field.
+    pub fn decode(kind: u8, payload: &[u8], max_len: usize) -> Result<NetResponse, ProtoError> {
+        let mut c = Cursor::new(payload, max_len);
+        let resp = match kind {
+            KIND_ANSWER => {
+                let id = c.u64()?;
+                let served = served_from(c.u8()?)?;
+                let n_docs = c.u64()?;
+                let n_facts = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > max_len {
+                    return Err(ProtoError::Bytes(DecodeError::TooLong {
+                        declared: n,
+                        max: max_len,
+                    }));
+                }
+                let mut answers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    answers.push(c.str()?);
+                }
+                NetResponse::Answer {
+                    id,
+                    served,
+                    n_docs,
+                    n_facts,
+                    answers,
+                }
+            }
+            KIND_STATS_JSON => NetResponse::StatsJson {
+                id: c.u64()?,
+                json: c.str()?,
+            },
+            KIND_OK => NetResponse::Ok { id: c.u64()? },
+            KIND_BUSY => {
+                let id = c.u64()?;
+                let scope = match c.u8()? {
+                    0 => BusyScope::Connection,
+                    1 => BusyScope::Global,
+                    t => return Err(ProtoError::BadTag("busy scope", t)),
+                };
+                NetResponse::Busy { id, scope }
+            }
+            KIND_ERROR => NetResponse::Error {
+                id: c.u64()?,
+                message: c.str()?,
+            },
+            other => return Err(ProtoError::UnknownKind(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: usize = 1 << 20;
+
+    fn roundtrip_request(req: NetRequest) {
+        let (kind, payload) = req.encode();
+        assert_eq!(NetRequest::decode(kind, &payload, MAX).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: NetResponse) {
+        let (kind, payload) = resp.encode();
+        assert_eq!(NetResponse::decode(kind, &payload, MAX).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(NetRequest::Query {
+            id: 1,
+            request: QueryRequest::question("who shot keith scott?"),
+        });
+        roundtrip_request(NetRequest::Query {
+            id: 2,
+            request: QueryRequest::entity("Keith Scott"),
+        });
+        roundtrip_request(NetRequest::QueryInSession {
+            id: 3,
+            session: "explorer-7".into(),
+            request: QueryRequest::question("and his spouse?"),
+        });
+        roundtrip_request(NetRequest::Stats { id: 4 });
+        roundtrip_request(NetRequest::ResetStats { id: 5 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(NetResponse::Answer {
+            id: 9,
+            served: Served::SessionExtended,
+            n_docs: 12,
+            n_facts: 345,
+            answers: vec!["Ada Lovelace".into(), "".into()],
+        });
+        roundtrip_response(NetResponse::StatsJson {
+            id: 10,
+            json: "{\"requests\":1}".into(),
+        });
+        roundtrip_response(NetResponse::Ok { id: 11 });
+        roundtrip_response(NetResponse::Busy {
+            id: 12,
+            scope: BusyScope::Global,
+        });
+        roundtrip_response(NetResponse::Error {
+            id: 13,
+            message: "server shutting down".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_tags_are_errors() {
+        assert!(matches!(
+            NetRequest::decode(99, &[], MAX),
+            Err(ProtoError::UnknownKind(99))
+        ));
+        // A Query payload with an invalid query-kind tag.
+        let mut buf = Vec::new();
+        qkb_util::bytes::put_u64(&mut buf, 1);
+        qkb_util::bytes::put_u8(&mut buf, 7);
+        qkb_util::bytes::put_str(&mut buf, "q");
+        assert!(matches!(
+            NetRequest::decode(KIND_QUERY, &buf, MAX),
+            Err(ProtoError::BadTag("query kind", 7))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (kind, mut payload) = NetRequest::Stats { id: 4 }.encode();
+        payload.push(0xAB);
+        assert!(matches!(
+            NetRequest::decode(kind, &payload, MAX),
+            Err(ProtoError::Bytes(DecodeError::TrailingBytes(1)))
+        ));
+    }
+}

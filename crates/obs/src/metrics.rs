@@ -48,6 +48,11 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
+    /// Raises the gauge to `v` if `v` is larger — a lock-free
+    /// high-watermark tracker (e.g. peak queue depth under load).
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
 }
 
 struct HistCore {
@@ -359,6 +364,16 @@ mod tests {
         g.set(-4);
         g.add(1);
         assert_eq!(reg.gauge("y").get(), -3);
+    }
+
+    #[test]
+    fn gauge_fetch_max_tracks_the_high_watermark() {
+        let reg = Registry::new();
+        let g = reg.gauge("peak");
+        g.fetch_max(3);
+        g.fetch_max(7);
+        g.fetch_max(5); // lower values never regress the watermark
+        assert_eq!(g.get(), 7);
     }
 
     #[test]

@@ -68,6 +68,6 @@ pub use component_cache::{ComponentCache, ComponentCacheCounters};
 pub use engine::{KbFragment, QueryEngine};
 pub use qkb_session::SessionStats;
 pub use request::{QueryKind, QueryRequest, QueryResponse, Served};
-pub use server::{QkbServer, ServeClient, ServeConfig};
+pub use server::{LoggedTurn, QkbServer, ServeClient, ServeConfig, TurnLog};
 pub use stage1_cache::{Stage1Cache, Stage1Counters};
 pub use stats::ServeStats;

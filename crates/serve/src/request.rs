@@ -14,7 +14,7 @@ pub enum QueryKind {
 }
 
 /// One query accepted by [`crate::QkbServer`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryRequest {
     /// Request kind.
     pub kind: QueryKind,

@@ -47,8 +47,44 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// One committed session turn, as observed by a [`TurnLog`].
+///
+/// The fields are exactly what a write-ahead journal needs to replay the
+/// turn after a restart: the session, the turn's sequence number within
+/// it, whether the session KB was empty before the turn (a *cold* record
+/// resets the session's replayable history — everything before it
+/// describes a KB that no longer exists), the retrieved document ids and
+/// the fingerprint of their texts (the replay-time staleness check).
+#[derive(Clone, Copy, Debug)]
+pub struct LoggedTurn<'a> {
+    /// The session the turn extended.
+    pub session_id: &'a str,
+    /// 1-based turn sequence number within the session.
+    pub turn: u64,
+    /// True when the session KB was empty before this turn.
+    pub cold: bool,
+    /// The turn's retrieved document ids, in retrieval order.
+    pub doc_ids: &'a [usize],
+    /// `fingerprint_seq` of the documents' texts.
+    pub docs_fingerprint: u64,
+}
+
+/// Observer of committed session turns — the durability hook.
+///
+/// [`ServeConfig::turn_log`] attaches one to the server; the shard calls
+/// it **while still holding the session's slot lock**, immediately after
+/// the extend commits. That ordering is the journal's soundness
+/// argument: concurrent turns on one session serialize on the slot lock,
+/// so the log's append order equals the order the documents actually
+/// merged into the KB — replaying the log replays the same
+/// first-arrival order and therefore the same bytes.
+pub trait TurnLog: Send + Sync + 'static {
+    /// Records one committed turn. Must not call back into the server.
+    fn log_turn(&self, turn: &LoggedTurn<'_>);
+}
+
 /// Serving-layer configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Worker shards (each holds a cloned `Qkbfly` handle);
     /// `0` = one per available core, capped at 8.
@@ -97,6 +133,33 @@ pub struct ServeConfig {
     /// configured one) to capture span trees for
     /// [`qkb_obs::chrome_trace`] export.
     pub recorder: Recorder,
+    /// Committed-session-turn observer (`None` = no durability). The
+    /// network tier attaches its write-ahead journal here; see
+    /// [`TurnLog`] for the ordering contract.
+    pub turn_log: Option<Arc<dyn TurnLog>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("shards", &self.shards)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("cache_shards", &self.cache_shards)
+            .field("stage1_cache_bytes", &self.stage1_cache_bytes)
+            .field("stage1_cache_shards", &self.stage1_cache_shards)
+            .field("component_cache_bytes", &self.component_cache_bytes)
+            .field("component_cache_shards", &self.component_cache_shards)
+            .field("batch_max", &self.batch_max)
+            .field("batch_window", &self.batch_window)
+            .field("coalesce", &self.coalesce)
+            .field("build_parallelism", &self.build_parallelism)
+            .field("session_bytes", &self.session_bytes)
+            .field("session_ttl", &self.session_ttl)
+            .field("session_max", &self.session_max)
+            .field("recorder", &self.recorder)
+            .field("turn_log", &self.turn_log.as_ref().map(|_| "Some(..)"))
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -117,6 +180,7 @@ impl Default for ServeConfig {
             session_ttl: Duration::from_secs(15 * 60),
             session_max: 1024,
             recorder: Recorder::disabled(),
+            turn_log: None,
         }
     }
 }
@@ -344,6 +408,21 @@ struct Shared<E> {
 }
 
 impl<E: QueryEngine> Shared<E> {
+    /// A build handle configured like a worker shard's: private
+    /// parallelism knob, the server's recorder, and the process-wide
+    /// component resolve cache attached when enabled.
+    fn build_handle(&self) -> qkbfly::Qkbfly {
+        let mut qkb = self
+            .engine
+            .qkbfly()
+            .with_parallelism(self.config.build_parallelism)
+            .with_recorder(self.config.recorder.clone());
+        if self.component.is_enabled() {
+            qkb = qkb.with_resolve_cache(self.component.clone());
+        }
+        qkb
+    }
+
     /// `None` when the server has shut down (or a worker died with the
     /// request in hand).
     fn try_submit(&self, session: Option<String>, request: QueryRequest) -> Option<QueryResponse> {
@@ -548,6 +627,47 @@ impl<E: QueryEngine> QkbServer<E> {
         self.shared.sessions.sweep();
     }
 
+    /// Ids of the sessions resident right now (the durability tier's
+    /// liveness set when compacting its journal).
+    pub fn session_ids(&self) -> Vec<String> {
+        self.shared.sessions.ids()
+    }
+
+    /// Stable JSON rendering of one resident session's accumulated KB,
+    /// `None` when the session doesn't exist. This string is the
+    /// byte-identity assertion surface: the crash-replay tests compare
+    /// it across an interrupted-and-recovered server and an
+    /// uninterrupted one.
+    pub fn session_kb_json(&self, session_id: &str) -> Option<String> {
+        if !self.shared.sessions.contains(session_id) {
+            return None;
+        }
+        let patterns = self.shared.engine.qkbfly().patterns();
+        Some(self.shared.sessions.with_session(session_id, |session| {
+            session.kb().to_json(patterns).to_string()
+        }))
+    }
+
+    /// Replays one journaled session turn: streams `texts` into the
+    /// session's KB exactly as a live [`QkbServer::query_in_session`]
+    /// turn would (same deterministic `extend_kb` fold, same shared
+    /// stage-1 and component caches), but without answering, without
+    /// re-notifying [`ServeConfig::turn_log`] (the record being replayed
+    /// already exists) and without touching the request metrics. Because
+    /// extends are append-only and prefix-stable, replaying a journal's
+    /// committed records in order reconstructs each session KB
+    /// byte-identically to the uninterrupted run.
+    pub fn replay_session_turn(
+        &self,
+        session_id: &str,
+        texts: &[String],
+    ) -> qkb_session::TurnReport {
+        let qkb = self.shared.build_handle();
+        self.shared.sessions.with_session(session_id, |session| {
+            session.extend(&qkb, &self.shared.stage1, texts)
+        })
+    }
+
     /// Stops accepting queries, drains the queue, joins the shards.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -586,18 +706,10 @@ fn run_shard<E: QueryEngine>(shared: &Shared<E>) {
     let config = &shared.config;
     // The shard's own build handle: cheap clone, shared repositories and
     // counters, private parallelism knob — no `&mut` on a shared handle.
-    let mut qkb = shared
-        .engine
-        .qkbfly()
-        .with_parallelism(config.build_parallelism)
-        .with_recorder(config.recorder.clone());
-    // The process-wide component resolve cache: one instance across all
-    // shards and all session turns (every handle clones from the same
-    // system, so the cache's interned keys are valid everywhere).
-    if shared.component.is_enabled() {
-        qkb = qkb.with_resolve_cache(shared.component.clone());
-    }
-    let qkb = qkb;
+    // The process-wide component resolve cache rides inside: one instance
+    // across all shards and all session turns (every handle clones from
+    // the same system, so the cache's interned keys are valid everywhere).
+    let qkb = shared.build_handle();
     let recorder = &config.recorder;
     loop {
         let jobs = shared
@@ -866,6 +978,19 @@ fn run_session_turn<E: QueryEngine>(shared: &Shared<E>, qkb: &qkbfly::Qkbfly, jo
     let texts = shared.engine.doc_texts(&doc_ids);
     let (report, answers, n_docs, n_facts) = shared.sessions.with_session(session_id, |session| {
         let report = session.extend(qkb, &shared.stage1, &texts);
+        // The durability hook fires inside the slot lock: concurrent
+        // turns on one session serialize here, so the journal's append
+        // order is exactly the order documents merged into the KB.
+        if let Some(log) = &shared.config.turn_log {
+            log.log_turn(&LoggedTurn {
+                session_id,
+                turn: session.turns(),
+                cold: report.cold,
+                doc_ids: &doc_ids,
+                // Equals fingerprint_seq(texts) by the engine contract.
+                docs_fingerprint: fkey,
+            });
+        }
         let answers = shared.engine.answer_kb(&job.request, session.kb());
         (
             report,

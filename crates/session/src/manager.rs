@@ -141,6 +141,30 @@ impl SessionManager {
         self.len() == 0
     }
 
+    /// True when `id` maps to a resident session right now (it may still
+    /// be idle past the TTL — it would start cold on its next claim).
+    pub fn contains(&self, id: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("session manager")
+            .sessions
+            .contains_key(id)
+    }
+
+    /// Ids of the sessions resident right now, in no particular order.
+    /// The durability tier uses this as the liveness set when compacting
+    /// its journal: records of sessions no longer resident are dropped
+    /// at the next snapshot instead of being replayed forever.
+    pub fn ids(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("session manager")
+            .sessions
+            .keys()
+            .cloned()
+            .collect()
+    }
+
     /// Counter snapshot plus current occupancy.
     pub fn stats(&self) -> SessionStats {
         let (live, approx_bytes) = {

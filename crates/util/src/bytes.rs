@@ -1,0 +1,213 @@
+//! Little-endian binary encode/decode helpers for on-wire and on-disk
+//! records.
+//!
+//! The network tier's frame protocol and the session journal both need a
+//! compact, deterministic byte encoding with no external serializer (the
+//! build image has no `serde`). This module provides the primitive layer:
+//! fixed-width little-endian integers and length-prefixed UTF-8 strings,
+//! written into a `Vec<u8>` and read back through a bounds-checked
+//! cursor. Every decode error is a value, never a panic — malformed
+//! input comes from the network and from torn journal tails, both of
+//! which must fail softly.
+
+/// Decode failure: the input was shorter than the encoding claims, a
+/// length prefix pointed past the end, or a string was not UTF-8.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes remained than the next field needs.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A declared length exceeded the decoder's sanity bound.
+    TooLong {
+        /// The declared length.
+        declared: usize,
+        /// The decoder's bound.
+        max: usize,
+    },
+    /// String bytes were not valid UTF-8.
+    BadUtf8,
+    /// Unparsed bytes remained after the final field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => {
+                write!(f, "truncated input: needed {needed} bytes, had {remaining}")
+            }
+            DecodeError::TooLong { declared, max } => {
+                write!(f, "declared length {declared} exceeds bound {max}")
+            }
+            DecodeError::BadUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} unparsed trailing bytes"),
+        }
+    }
+}
+
+/// Appends a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed (`u32`) UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked forward-only reader over an encoded byte slice.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Sanity bound on any single length prefix (strings, arrays): a
+    /// corrupted or hostile length must fail cleanly instead of driving
+    /// a huge allocation.
+    max_len: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A reader over `buf` with a per-field length bound of `max_len`.
+    pub fn new(buf: &'a [u8], max_len: usize) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            max_len,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > self.max_len {
+            return Err(DecodeError::TooLong {
+                declared: len,
+                max: self.max_len,
+            });
+        }
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Fails unless every byte was consumed — record decoders call this
+    /// last so a record with trailing garbage is rejected, not silently
+    /// half-read.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(DecodeError::TrailingBytes(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_str(&mut buf, "qkb: ünïcode");
+        put_str(&mut buf, "");
+        let mut c = Cursor::new(&buf, 1 << 20);
+        assert_eq!(c.u8().unwrap(), 7);
+        assert_eq!(c.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.str().unwrap(), "qkb: ünïcode");
+        assert_eq!(c.str().unwrap(), "");
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_fail_cleanly() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        let mut c = Cursor::new(&buf[..5], 1 << 20);
+        assert!(matches!(
+            c.u64(),
+            Err(DecodeError::Truncated {
+                needed: 8,
+                remaining: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // a string claiming 4 GiB
+        let mut c = Cursor::new(&buf, 1024);
+        assert!(matches!(c.str(), Err(DecodeError::TooLong { .. })));
+    }
+
+    #[test]
+    fn bad_utf8_and_trailing_bytes_are_errors() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut c = Cursor::new(&buf, 1024);
+        assert_eq!(c.str(), Err(DecodeError::BadUtf8));
+
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 1);
+        put_u8(&mut buf, 2);
+        let mut c = Cursor::new(&buf, 1024);
+        c.u8().unwrap();
+        assert_eq!(c.finish(), Err(DecodeError::TrailingBytes(1)));
+    }
+}

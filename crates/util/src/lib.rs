@@ -10,6 +10,7 @@
 //! Everything in this crate is deterministic and allocation-conscious: these
 //! types sit on the hot paths of graph densification and corpus statistics.
 
+pub mod bytes;
 pub mod hash;
 pub mod ids;
 pub mod intern;
