@@ -91,7 +91,7 @@ fn main() {
     let mut seen = HashSet::new();
     for doc in &eval.docs {
         let result = sys.build_kb(std::slice::from_ref(&doc.text));
-        for f in result.kb.facts() {
+        for f in result.kb.iter_facts() {
             let is_married = match &f.relation {
                 qkb_kb::RelationRef::Canonical(id) => {
                     patterns.canonical(*id) == patterns.canonical(married)

@@ -57,6 +57,10 @@ const RESOLVE_METRICS: &[MetricSpec] = &[
     higher("component_cache.speedup"),
 ];
 const NET_METRICS: &[MetricSpec] = &[higher("replay_speedup")];
+// `warmup_speedup` is asserted (≥2x) inside the bin rather than gated
+// here: its denominator is a microseconds-scale fork, too jittery for a
+// 25% band, while the byte accounting is deterministic.
+const FOREST_METRICS: &[MetricSpec] = &[higher("bytes_reduction")];
 
 /// The headline metrics per bench (keyed by the report's `bench` field).
 pub fn metrics_for(bench: &str) -> &'static [MetricSpec] {
@@ -67,6 +71,7 @@ pub fn metrics_for(bench: &str) -> &'static [MetricSpec] {
         "incremental" => INCREMENTAL_METRICS,
         "resolve" => RESOLVE_METRICS,
         "net" => NET_METRICS,
+        "forest" => FOREST_METRICS,
         _ => &[],
     }
 }
@@ -246,6 +251,21 @@ mod tests {
         let regs = check_pair(&base, &mk(4.0)).expect("ok");
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].path, "replay_speedup");
+    }
+
+    #[test]
+    fn forest_sharing_metrics_are_gated() {
+        let mk = |bytes: f64| {
+            Value::object()
+                .with("bench", "forest")
+                .with("bytes_reduction", bytes)
+        };
+        let base = mk(3.0);
+        assert!(check_pair(&base, &mk(2.8)).expect("ok").is_empty());
+        // A collapsed sharing ratio trips its own headline.
+        let regs = check_pair(&base, &mk(1.2)).expect("ok");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "bytes_reduction");
     }
 
     #[test]

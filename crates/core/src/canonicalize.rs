@@ -640,7 +640,7 @@ mod tests {
             "Pitt donated $100,000 to the Daniel Pearl Foundation.",
             CanonConfig::default(),
         );
-        let quad = kb.facts().iter().find(|f| f.arity() == 4).expect("quad");
+        let quad = kb.iter_facts().find(|f| f.arity() == 4).expect("quad");
         let rendered = kb.render_fact(quad, &patterns);
         assert!(rendered.contains("Brad Pitt"), "rendered: {rendered}");
         assert!(rendered.contains("$100,000"), "rendered: {rendered}");
@@ -657,8 +657,7 @@ mod tests {
             CanonConfig::default(),
         );
         let support = kb
-            .facts()
-            .iter()
+            .iter_facts()
             .find(|f| kb.render_fact(f, &patterns).contains("support"))
             .expect("support fact");
         match &support.subject {
@@ -677,8 +676,7 @@ mod tests {
         );
         assert!(kb.n_emerging() >= 1, "emerging entities expected");
         let leeds = kb
-            .entities()
-            .iter()
+            .iter_entities()
             .find(|e| e.name.contains("Leeds"))
             .expect("Leeds entity");
         assert!(leeds.display().ends_with('*'));
@@ -687,7 +685,7 @@ mod tests {
     #[test]
     fn literals_stay_literal() {
         let (kb, _, _) = run("Brad Pitt is an actor.", CanonConfig::default());
-        let fact = kb.facts().first().expect("one fact");
+        let fact = kb.iter_facts().next().expect("one fact");
         assert!(matches!(&fact.args[0], FactArg::Literal(t) if t.contains("actor")));
     }
 
@@ -739,7 +737,7 @@ mod tests {
             "Pitt joined the Daniel Pearl Foundation in 2002.",
             CanonConfig::default(),
         );
-        let has_time = kb.facts().iter().any(|f| {
+        let has_time = kb.iter_facts().any(|f| {
             f.args
                 .iter()
                 .any(|a| matches!(a, FactArg::Time(t) if t == "2002"))

@@ -33,7 +33,7 @@
 //! let system = Qkbfly::new(repo(), patterns(), stats());
 //! let result =
 //!     system.build_kb(&["Brad Pitt is an actor. He supports the ONE Campaign.".to_string()]);
-//! for fact in result.kb.facts() {
+//! for fact in result.kb.iter_facts() {
 //!     println!("{}", result.render(fact));
 //! }
 //! ```

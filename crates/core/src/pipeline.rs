@@ -1392,7 +1392,7 @@ mod tests {
         let sys = system(Variant::Joint, SolverKind::Greedy);
         let result = sys.build_kb(&[FIG2.to_string()]);
         assert!(result.kb.n_facts() >= 2, "facts: {}", result.kb.n_facts());
-        let rendered: Vec<String> = result.kb.facts().iter().map(|f| result.render(f)).collect();
+        let rendered: Vec<String> = result.kb.iter_facts().map(|f| result.render(f)).collect();
         // The pronoun-mediated support fact must resolve to Brad Pitt.
         assert!(
             rendered
@@ -1402,7 +1402,7 @@ mod tests {
         );
         // The SVOA clause yields a quadruple.
         assert!(
-            result.kb.facts().iter().any(|f| f.arity() == 4),
+            result.kb.iter_facts().any(|f| f.arity() == 4),
             "rendered: {rendered:?}"
         );
         assert!(result.timings.total() > Duration::ZERO);
@@ -1414,7 +1414,7 @@ mod tests {
         let result = sys.build_kb(&[FIG2.to_string()]);
         // fewer extractions than the joint variant (the pronoun clause is
         // dropped), but the donation fact remains
-        let rendered: Vec<String> = result.kb.facts().iter().map(|f| result.render(f)).collect();
+        let rendered: Vec<String> = result.kb.iter_facts().map(|f| result.render(f)).collect();
         assert!(
             rendered.iter().any(|r| r.contains("Daniel Pearl")),
             "rendered: {rendered:?}"
@@ -1443,8 +1443,7 @@ mod tests {
         assert!(ilp_sys.counters().resolve().ilp_variables > 0);
         // Same subject resolution for the supports fact.
         let has = |r: &BuildResult<'_>| {
-            r.kb.facts()
-                .iter()
+            r.kb.iter_facts()
                 .map(|f| r.render(f))
                 .any(|s| s.contains("Brad Pitt") && s.contains("support"))
         };
@@ -1539,7 +1538,7 @@ mod tests {
         let mut kb = OnTheFlyKb::new();
         let first = sys.extend_kb(&mut kb, &stage1[..2]);
         assert_eq!((first.merged, first.skipped), (2, 0));
-        let names_before: Vec<String> = kb.entities().iter().map(|e| e.name.clone()).collect();
+        let names_before: Vec<String> = kb.iter_entities().map(|e| e.name.clone()).collect();
         let facts_before = kb.n_facts();
         let second = sys.extend_kb(&mut kb, &[stage1[1].clone(), stage1[2].clone()]);
         assert_eq!((second.merged, second.skipped), (1, 1));
@@ -1547,8 +1546,7 @@ mod tests {
         // extended one.
         assert_eq!(
             names_before.as_slice(),
-            &kb.entities()
-                .iter()
+            &kb.iter_entities()
                 .map(|e| e.name.clone())
                 .collect::<Vec<_>>()[..names_before.len()]
         );
@@ -1697,8 +1695,7 @@ mod tests {
         ]);
         let pitt_entities: Vec<_> = result
             .kb
-            .entities()
-            .iter()
+            .iter_entities()
             .filter(|e| e.name.contains("Pitt"))
             .collect();
         assert_eq!(

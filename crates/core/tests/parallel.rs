@@ -78,7 +78,7 @@ fn parallelism_does_not_change_the_kb() {
             "parallelism={parallelism} diverged from the serial build"
         );
         assert_eq!(serial.kb.n_facts(), result.kb.n_facts());
-        assert_eq!(serial.kb.entities().len(), result.kb.entities().len());
+        assert_eq!(serial.kb.n_entities(), result.kb.n_entities());
         assert_eq!(serial.per_doc.len(), result.per_doc.len());
     }
 }

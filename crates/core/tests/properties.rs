@@ -82,7 +82,7 @@ proptest! {
 
         // End-to-end: τ respected on kept facts.
         let result = sys.build_kb(std::slice::from_ref(&doc.text));
-        for f in result.kb.facts() {
+        for f in result.kb.iter_facts() {
             prop_assert!(f.confidence >= sys.config().tau - 1e-9);
             prop_assert!(f.confidence <= 1.0 + 1e-9);
             prop_assert!(f.arity() >= 3);
@@ -239,7 +239,7 @@ proptest! {
             for turn in &turns {
                 // Id stability: snapshot the KB state before the turn...
                 let names_before: Vec<String> =
-                    kb.entities().iter().map(|e| e.display()).collect();
+                    kb.iter_entities().map(|e| e.display()).collect();
                 let facts_before = kb.n_facts();
                 let stage1 = handle.provide_stage1(&ComputeStage1, turn.iter());
                 let outcome = handle.extend_kb(&mut kb, &stage1);
@@ -247,7 +247,7 @@ proptest! {
                 total_skipped += outcome.skipped;
                 // ... and it must be a strict prefix of the state after.
                 let names_after: Vec<String> =
-                    kb.entities().iter().map(|e| e.display()).collect();
+                    kb.iter_entities().map(|e| e.display()).collect();
                 prop_assert!(
                     names_after.len() >= names_before.len()
                         && names_after[..names_before.len()] == names_before[..],
@@ -268,6 +268,73 @@ proptest! {
                 &cold_json,
                 "streamed KB diverged from the cold union build at parallelism {}",
                 parallelism
+            );
+        }
+    }
+
+    /// Prefix-forest invariant (the copy-on-extend soundness bar): build
+    /// a random prefix of documents, `freeze()` it into an immutable
+    /// shared layer, `fork()` a new KB on the frozen chain, stream a
+    /// random delta into the fork — the result is byte-identical to one
+    /// cold `build_kb` of the de-duplicated full sequence, at provide
+    /// parallelism 1, 2 and 8, while the fork really shares the frozen
+    /// layer (`Arc` identity) and the original KB is untouched by the
+    /// fork's writes.
+    #[test]
+    fn forked_prefix_extension_matches_cold_build(
+        corpus_seed in 0u64..500,
+        prefix_picks in proptest::collection::vec(0usize..6, 1..4),
+        delta_picks in proptest::collection::vec(0usize..6, 1..5),
+    ) {
+        let world = World::generate(WorldConfig::default());
+        let sys = system(&world);
+        let pool: Vec<String> = qkb_corpus::docgen::wiki_corpus(&world, 6, corpus_seed)
+            .docs
+            .iter()
+            .map(|d| d.text.clone())
+            .collect();
+        let prefix: Vec<String> =
+            prefix_picks.iter().map(|&i| pool[i % pool.len()].clone()).collect();
+        let delta: Vec<String> =
+            delta_picks.iter().map(|&i| pool[i % pool.len()].clone()).collect();
+        // The reference: one cold build over the de-duplicated
+        // prefix-then-delta sequence in first-arrival order.
+        let mut union: Vec<String> = Vec::new();
+        for text in prefix.iter().chain(&delta) {
+            if !union.contains(text) {
+                union.push(text.clone());
+            }
+        }
+        let cold_json = sys.build_kb(&union).kb.to_json(sys.patterns()).to_string();
+
+        for parallelism in [1usize, 2, 8] {
+            let handle = sys.with_parallelism(parallelism);
+            // Build the shared prefix and seal it.
+            let mut base = OnTheFlyKb::new();
+            handle.stream_into_kb(&ComputeStage1, &mut base, &prefix);
+            let layer = base.freeze().expect("non-empty prefix seals");
+            prop_assert_eq!(layer.chain_key(), base.doc_sequence_fingerprint());
+            let base_json = base.to_json(sys.patterns()).to_string();
+
+            // Fork and extend with the delta.
+            let mut fork = base.fork();
+            prop_assert!(Arc::ptr_eq(
+                &base.frozen_layers()[0],
+                &fork.frozen_layers()[0]
+            ));
+            handle.stream_into_kb(&ComputeStage1, &mut fork, &delta);
+            prop_assert_eq!(
+                &fork.to_json(sys.patterns()).to_string(),
+                &cold_json,
+                "forked+extended KB diverged from the cold build at parallelism {}",
+                parallelism
+            );
+            // The fork's writes landed in its own tip: the base KB and
+            // the shared layer render exactly as before.
+            prop_assert_eq!(
+                &base.to_json(sys.patterns()).to_string(),
+                &base_json,
+                "a fork's extension must not leak into its sibling"
             );
         }
     }

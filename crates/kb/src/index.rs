@@ -10,7 +10,8 @@
 //!   entity surface (display name and recorded mentions), so the QA
 //!   layer's exact / token-suffix mention matching becomes a hash probe;
 //! * **entity → fact ids** — the posting list of facts touching each KB
-//!   entity (dense, parallel to the entity arena);
+//!   entity (keyed by global entity id, so a layer's delta index can
+//!   post facts against entities owned by an earlier frozen layer);
 //! * **literal → fact ids** — token-suffix postings over normalized
 //!   literal/time slot surfaces (question mentions can match literal
 //!   slots too), plus a raw-surface map for the demo search's substring
@@ -23,6 +24,14 @@
 //! the exact match predicate on the candidate facts, so probing is
 //! answer-identical to a full scan (property-tested in `qkb-qa`) while
 //! costing O(postings touched) instead of O(|KB|).
+//!
+//! Since the prefix-forest refactor an [`crate::OnTheFlyKb`] holds one
+//! `KbIndex` per frozen layer plus one for the mutable tip; every index
+//! covers exactly the facts and surfaces appended in its own segment.
+//! Unioning the per-layer probes is sound because postings are
+//! over-approximations (consumers re-check exactly) and fact ids are
+//! globally unique across layers, so the union is precisely the posting
+//! set a monolithic index would hold.
 
 use crate::fact::{Fact, FactArg, RelationRef};
 use crate::kb::KbEntityId;
@@ -40,8 +49,11 @@ pub(crate) struct KbIndex {
     mention_suffix: FxHashMap<String, Vec<KbEntityId>>,
     /// Full token join of every indexed entity surface → entities.
     mention_full: FxHashMap<String, Vec<KbEntityId>>,
-    /// Fact ids touching each entity (parallel to the entity arena).
-    facts_by_entity: Vec<Vec<u32>>,
+    /// Fact ids touching each entity, keyed by global entity id. A map
+    /// (not a dense arena-parallel vector) so a forked tip's delta index
+    /// stays O(delta): tip facts may reference frozen-layer entities
+    /// without the tip paying a slot for every inherited entity.
+    facts_by_entity: FxHashMap<u32, Vec<u32>>,
     /// Every token-suffix of every normalized literal/time slot → facts.
     literal_suffix: FxHashMap<String, Vec<u32>>,
     /// Full token join of every normalized literal/time slot → facts.
@@ -123,12 +135,6 @@ fn keyed_insert<T: Ord + Copy>(
 }
 
 impl KbIndex {
-    /// Registers a fresh entity slot (parallel to the entity arena).
-    pub fn note_entity(&mut self) {
-        self.bytes += std::mem::size_of::<Vec<u32>>();
-        self.facts_by_entity.push(Vec::new());
-    }
-
     /// Indexes one surface (display name or recorded mention) of an
     /// entity under every token-suffix of its normalized form.
     pub fn index_entity_surface(&mut self, id: KbEntityId, surface: &str) {
@@ -173,7 +179,16 @@ impl KbIndex {
     fn index_slot(&mut self, fact_id: u32, arg: &FactArg) {
         match arg {
             FactArg::Entity(id) => {
-                self.bytes += insert_sorted(&mut self.facts_by_entity[id.index()], fact_id);
+                let posting = match self.facts_by_entity.entry(id.index() as u32) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        self.bytes += std::mem::size_of::<u32>()
+                            + std::mem::size_of::<Vec<u32>>()
+                            + MAP_ENTRY;
+                        e.insert(Vec::new())
+                    }
+                };
+                self.bytes += insert_sorted(posting, fact_id);
             }
             FactArg::Literal(s) | FactArg::Time(s) => {
                 let toks = index_tokens(&normalize(s));
@@ -223,9 +238,13 @@ impl KbIndex {
         });
     }
 
-    /// Fact posting of one entity.
+    /// Fact posting of one entity — the facts *this segment* appended
+    /// that touch it (empty when the segment never posted against it).
     pub fn facts_of(&self, id: KbEntityId) -> &[u32] {
-        &self.facts_by_entity[id.index()]
+        self.facts_by_entity
+            .get(&(id.index() as u32))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Raw literal/time surfaces with their fact postings (the search
@@ -279,7 +298,6 @@ mod tests {
     #[test]
     fn entity_suffix_probes_match_in_both_directions() {
         let mut idx = KbIndex::default();
-        idx.note_entity();
         let e = KbEntityId::new(0);
         idx.index_entity_surface(e, "Brad Pitt");
 
@@ -308,7 +326,6 @@ mod tests {
     #[test]
     fn fact_postings_cover_entities_literals_and_relations() {
         let mut idx = KbIndex::default();
-        idx.note_entity();
         let e = KbEntityId::new(0);
         idx.index_entity_surface(e, "Brad Pitt");
         let f = fact(
@@ -332,7 +349,6 @@ mod tests {
     #[test]
     fn duplicate_slots_do_not_duplicate_postings() {
         let mut idx = KbIndex::default();
-        idx.note_entity();
         let e = KbEntityId::new(0);
         let f = fact(
             FactArg::Entity(e),

@@ -28,7 +28,7 @@ pub mod types;
 
 pub use entity::{Entity, EntityId, Gender};
 pub use fact::{Fact, FactArg, Provenance, RelationRef};
-pub use kb::{KbEntity, KbEntityId, KbEntityKind, OnTheFlyKb};
+pub use kb::{doc_sequence_key, KbEntity, KbEntityId, KbEntityKind, KbPrefix, OnTheFlyKb};
 pub use pattern::{PatternRepository, RelationId};
 pub use repo::EntityRepository;
 pub use stats::{BackgroundStats, StatsBuilder};
@@ -47,4 +47,7 @@ const _: () = {
     assert_shared_read::<BackgroundStats>();
     assert_shared_read::<TypeSystem>();
     assert_shared_read::<OnTheFlyKb>();
+    // Frozen prefix layers are shared across session forks by `Arc` —
+    // they must stay immutable shared-read data.
+    assert_shared_read::<KbPrefix>();
 };

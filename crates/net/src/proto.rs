@@ -178,6 +178,7 @@ fn served_tag(served: Served) -> u8 {
         Served::Coalesced => 2,
         Served::SessionCold => 3,
         Served::SessionExtended => 4,
+        Served::SessionForked => 5,
     }
 }
 
@@ -188,6 +189,7 @@ fn served_from(tag: u8) -> Result<Served, ProtoError> {
         2 => Served::Coalesced,
         3 => Served::SessionCold,
         4 => Served::SessionExtended,
+        5 => Served::SessionForked,
         t => return Err(ProtoError::BadTag("served", t)),
     })
 }

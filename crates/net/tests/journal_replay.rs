@@ -184,6 +184,68 @@ proptest! {
         drop(recovered);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Prefix-forest sessions under crash replay: several sessions open
+    /// on the *same* question (so all but the first fork a shared frozen
+    /// prefix) and then diverge with private delta turns. After a crash
+    /// at any record boundary, the recovered server's session KBs are
+    /// byte-identical to an uninterrupted run of the committed prefix —
+    /// and the replay itself re-forks the shared prefix instead of
+    /// rebuilding it per session, so only each session's delta records
+    /// cost real work.
+    #[test]
+    fn forked_session_replay_matches_uninterrupted_run(
+        n_sessions in 2usize..4,
+        delta_qs in proptest::collection::vec(1usize..6, 3),
+        cut in 0usize..10,
+    ) {
+        let sys = engine();
+        let pool = question_pool(&sys);
+        let dir = fresh_dir("fork");
+
+        // Every session opens on pool[0], then takes one private delta
+        // turn — the layout the forest exists for.
+        let mut turns: Vec<(usize, usize)> = (0..n_sessions).map(|s| (s, 0)).collect();
+        turns.extend((0..n_sessions).map(|s| (s, delta_qs[s % delta_qs.len()])));
+
+        // Life 1: run every turn with the journal attached.
+        {
+            let server = QkbNetServer::start(sys.clone(), config_with_journal(Some(&dir))).unwrap();
+            drive(&server, &turns, &pool);
+            let live = server.stats().serve.sessions;
+            prop_assert_eq!(live.turns_forked, (n_sessions - 1) as u64);
+            prop_assert!(live.forest.shared_bytes > 0);
+        }
+
+        // Crash: keep only the first `cut_k` committed records.
+        let (seg, boundaries) = segment_and_boundaries(&dir);
+        prop_assert_eq!(boundaries.len(), turns.len() + 1);
+        let cut_k = cut % boundaries.len();
+        truncate(&seg, boundaries[cut_k]);
+        let prefix = &turns[..cut_k];
+
+        // Life 2: recover. Replay streams the committed records through
+        // the same forest-aware path, so every session after the first
+        // re-forks the shared opening instead of rebuilding it.
+        let recovered =
+            QkbNetServer::start(sys.clone(), config_with_journal(Some(&dir))).unwrap();
+        prop_assert_eq!(recovered.replay_report().replayed_turns, cut_k as u64);
+        let forest = recovered.stats().serve.sessions.forest;
+        if cut_k >= 2 {
+            prop_assert_eq!(
+                forest.forks,
+                (cut_k.min(n_sessions) - 1) as u64,
+                "replayed openings after the first must fork, not rebuild"
+            );
+        }
+
+        // Reference: an uninterrupted server that ran only the prefix.
+        let reference = QkbNetServer::start(sys.clone(), config_with_journal(None)).unwrap();
+        drive(&reference, prefix, &pool);
+        prop_assert_eq!(session_kbs(&recovered, prefix), session_kbs(&reference, prefix));
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

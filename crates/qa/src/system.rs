@@ -226,13 +226,7 @@ impl QaSystem {
         let fact_ids = kb.candidate_facts(&q_mentions);
         let mut out: Vec<Candidate> = Vec::new();
         for id in fact_ids {
-            self.fact_candidates(
-                kb,
-                &kb.facts()[id as usize],
-                &q_mentions,
-                analysis,
-                &mut out,
-            );
+            self.fact_candidates(kb, kb.fact(id), &q_mentions, analysis, &mut out);
         }
         out
     }
@@ -247,7 +241,7 @@ impl QaSystem {
             .map(|m| normalize(m))
             .collect();
         let mut out: Vec<Candidate> = Vec::new();
-        for fact in kb.facts() {
+        for fact in kb.iter_facts() {
             self.fact_candidates(kb, fact, &q_mentions, analysis, &mut out);
         }
         out

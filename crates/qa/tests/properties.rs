@@ -66,8 +66,8 @@ proptest! {
         let repo = sys.qkbfly().repo();
         let patterns = sys.qkbfly().patterns();
         let entity_name = kb
-            .entities()
-            .get(filter_pick % kb.entities().len().max(1))
+            .iter_entities()
+            .nth(filter_pick % kb.n_entities().max(1))
             .map(|e| e.name.clone())
             .unwrap_or_else(|| "nobody".to_string());
         let partial: String = entity_name.chars().take(4).collect();

@@ -65,6 +65,10 @@ pub enum Served {
     SessionCold,
     /// The request extended an existing session KB incrementally.
     SessionExtended,
+    /// The request started a session by **forking** a frozen, shared KB
+    /// prefix from the prefix forest (same opening document sequence as
+    /// an earlier session) instead of rebuilding it.
+    SessionForked,
 }
 
 /// The server's reply to one [`QueryRequest`].

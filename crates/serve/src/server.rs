@@ -39,7 +39,7 @@ use crate::request::{QueryRequest, QueryResponse, Served};
 use crate::stage1_cache::Stage1Cache;
 use crate::stats::{ServeMetrics, ServeStats};
 use qkb_obs::{OpenSpan, Recorder};
-use qkb_session::{SessionConfig, SessionManager};
+use qkb_session::{ForestConfig, SessionConfig, SessionManager};
 use qkb_util::FxHashMap;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -127,6 +127,15 @@ pub struct ServeConfig {
     pub session_ttl: Duration,
     /// Hard cap on concurrently resident sessions; `0` = unbounded.
     pub session_max: usize,
+    /// Share frozen session-KB prefixes across sessions through the
+    /// process-wide prefix forest: a session opening on a document
+    /// sequence another session already built forks its immutable
+    /// `Arc`-shared prefix in O(1) instead of rebuilding, and
+    /// `session_bytes` charges each session only its private delta.
+    pub session_forest: bool,
+    /// Byte budget of the prefix-forest registry (LRU beyond it); live
+    /// forks keep evicted layers alive until the last fork dies.
+    pub session_forest_bytes: u64,
     /// Tracing recorder every request, build and session turn reports
     /// into. The default disabled recorder costs one branch per
     /// would-be span; pass `Recorder::flight()` (or a slow-log
@@ -156,6 +165,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("session_bytes", &self.session_bytes)
             .field("session_ttl", &self.session_ttl)
             .field("session_max", &self.session_max)
+            .field("session_forest", &self.session_forest)
+            .field("session_forest_bytes", &self.session_forest_bytes)
             .field("recorder", &self.recorder)
             .field("turn_log", &self.turn_log.as_ref().map(|_| "Some(..)"))
             .finish()
@@ -179,6 +190,8 @@ impl Default for ServeConfig {
             session_bytes: 256 << 20,
             session_ttl: Duration::from_secs(15 * 60),
             session_max: 1024,
+            session_forest: true,
+            session_forest_bytes: 64 << 20,
             recorder: Recorder::disabled(),
             turn_log: None,
         }
@@ -518,6 +531,10 @@ impl<E: QueryEngine> QkbServer<E> {
                 max_bytes: config.session_bytes,
                 ttl: config.session_ttl,
                 max_sessions: config.session_max,
+                forest: ForestConfig {
+                    enabled: config.session_forest,
+                    max_bytes: config.session_forest_bytes,
+                },
             })
             .with_recorder(config.recorder.clone()),
             engine: Arc::new(engine),
@@ -618,6 +635,16 @@ impl<E: QueryEngine> QkbServer<E> {
             "serve_component_cache_capacity_bytes {}",
             c.capacity_bytes
         );
+        // Prefix-forest occupancy gauges are state too (frozen layers
+        // and their refcounts outlive counter resets) — rendered from
+        // the live session store. `serve_forest_forks_total` itself is
+        // a registry counter and appears in the exposition above.
+        let f = self.shared.sessions.stats().forest;
+        let _ = writeln!(text, "serve_forest_freezes_total {}", f.freezes);
+        let _ = writeln!(text, "serve_forest_evicted_total {}", f.evicted);
+        let _ = writeln!(text, "serve_forest_frozen_layers {}", f.frozen_layers);
+        let _ = writeln!(text, "serve_forest_shared_bytes {}", f.shared_bytes);
+        let _ = writeln!(text, "serve_forest_layer_refs {}", f.layer_refs);
         text
     }
 
@@ -1000,7 +1027,10 @@ fn run_session_turn<E: QueryEngine>(shared: &Shared<E>, qkb: &qkbfly::Qkbfly, jo
         )
     });
     shared.sessions.note_turn(&report);
-    let served = if report.cold {
+    let served = if report.forked {
+        shared.metrics.note_forest_fork();
+        Served::SessionForked
+    } else if report.cold {
         Served::SessionCold
     } else {
         Served::SessionExtended

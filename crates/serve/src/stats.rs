@@ -102,6 +102,7 @@ pub(crate) struct ServeMetrics {
     resolve_cache_hits: Counter,
     resolve_cache_misses: Counter,
     resolve_cache_bypass: Counter,
+    forest_forks: Counter,
     /// Log-scale latency distribution for the text exposition; exact
     /// percentiles still come from the sample ring below.
     latency_hist: Histogram,
@@ -131,6 +132,7 @@ impl ServeMetrics {
             resolve_cache_hits: registry.counter("serve_resolve_cache_hits_total"),
             resolve_cache_misses: registry.counter("serve_resolve_cache_misses_total"),
             resolve_cache_bypass: registry.counter("serve_resolve_cache_bypass_total"),
+            forest_forks: registry.counter("serve_forest_forks_total"),
             latency_hist: registry.histogram("serve_request_latency_us"),
             registry,
             started: Mutex::new(Instant::now()),
@@ -183,6 +185,12 @@ impl ServeMetrics {
 
     pub(crate) fn note_inflight_coalesced(&self) {
         self.inflight_coalesced.inc();
+    }
+
+    /// One session turn answered by forking a shared prefix from the
+    /// prefix forest.
+    pub(crate) fn note_forest_fork(&self) {
+        self.forest_forks.inc();
     }
 
     pub(crate) fn note_request(&self, latency: Duration) {

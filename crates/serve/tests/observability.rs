@@ -321,6 +321,85 @@ fn traced_session_turn_nests_the_streaming_build() {
     );
 }
 
+/// The prefix forest traces and meters: a cold opening emits a
+/// `prefix_freeze` span, a second session with the same opening emits a
+/// `session_fork` span carrying the **same** layer fingerprint, and the
+/// forest gauges show up in the Prometheus text exposition.
+#[test]
+fn forked_sessions_trace_the_freeze_and_fork_with_matching_fingerprints() {
+    let sys = Arc::new(engine());
+    let q = question(&sys);
+    let recorder = Recorder::flight();
+    let server = QkbServer::start(
+        sys.clone(),
+        ServeConfig {
+            shards: 1,
+            recorder: recorder.clone(),
+            ..ServeConfig::default()
+        },
+    );
+    let alice = server.query_in_session("alice", QueryRequest::question(&q));
+    assert_eq!(alice.served, Served::SessionCold);
+    let bob = server.query_in_session("bob", QueryRequest::question(&q));
+    assert_eq!(bob.served, Served::SessionForked);
+
+    // Metrics: the fork counter lives in the registry, the occupancy
+    // gauges come from the live forest.
+    let snap = server.registry_snapshot();
+    assert_eq!(snap.counter("serve_forest_forks_total"), Some(1));
+    let text = server.metrics_text();
+    assert!(text.contains("serve_forest_forks_total 1"));
+    assert!(text.contains("serve_forest_freezes_total 1"));
+    assert!(text.contains("serve_forest_frozen_layers 1"));
+    assert!(!text.contains("serve_forest_shared_bytes 0\n"));
+    assert!(text.contains("serve_forest_layer_refs"));
+    let stats = server.stats();
+    assert_eq!(stats.sessions.forest.forks, 1);
+    assert_eq!(stats.sessions.forest.frozen_layers, 1);
+    assert!(stats.sessions.forest.shared_bytes > 0);
+    assert_eq!(
+        stats.sessions.forest.layer_refs, 2,
+        "both live sessions hold the shared layer"
+    );
+    server.shutdown();
+
+    // Traces: freeze under Alice's turn, fork under Bob's, one
+    // fingerprint.
+    let parsed = Value::parse(&recorder.chrome_trace().to_string()).expect("parses");
+    let events = decode_events(&parsed);
+    let span_of = |name: &str| -> &Event {
+        events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("missing {name} span"))
+    };
+    let freeze = span_of("prefix_freeze");
+    let fork = span_of("session_fork");
+    let prefix_of = |e: &Event| {
+        e.args
+            .get("prefix")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("prefix field on {:?}", e.name))
+    };
+    assert_eq!(
+        prefix_of(freeze),
+        prefix_of(fork),
+        "the fork must name the fingerprint the freeze registered"
+    );
+    assert!(freeze.args.get("bytes").and_then(Value::as_f64).unwrap() > 0.0);
+    assert_eq!(fork.args.get("layers").and_then(Value::as_f64), Some(1.0));
+    // Each hangs under its own session turn.
+    let turn_of = |spine: &Event| {
+        events
+            .iter()
+            .find(|e| e.id == spine.parent)
+            .map(|e| e.name.as_str())
+            .unwrap_or("?")
+    };
+    assert_eq!(turn_of(freeze), "session_turn");
+    assert_eq!(turn_of(fork), "session_turn");
+}
+
 /// `reset_stats` is one audited call: the metrics registry, both cache
 /// tiers and the session store all read zero afterwards, while resident
 /// state (cached fragments, live sessions) survives.

@@ -384,19 +384,25 @@ fn session_turns_answer_from_the_accumulated_union_kb() {
         "stage 1 is provided once per distinct session document"
     );
 
-    // A second session is isolated — same question, fresh cold KB — but
-    // shares the per-document cache: all its documents are stage-1 hits.
-    let bob_docs = sys.doc_texts(&sys.retrieve_docs(&qs[0])).len();
-    let hits_before = server.stats().stage1.hits;
+    // A second session opening on the same documents doesn't even need
+    // the stage-1 cache: it forks Alice's frozen opening prefix from the
+    // prefix forest — zero lookups, zero rebuild — and still answers
+    // byte-identically to a cold build.
+    let lookups_before = {
+        let s = server.stats().stage1;
+        s.hits + s.misses
+    };
     let response = server.query_in_session("bob", QueryRequest::question(&qs[0]));
-    assert_eq!(response.served, Served::SessionCold);
+    assert_eq!(response.served, Served::SessionForked);
     assert_eq!(response.answers, cold_answers(&sys, &qs[0]));
     let stats = server.stats();
     assert_eq!(stats.sessions.live, 2);
+    assert_eq!(stats.sessions.turns_forked, 1);
+    assert!(stats.sessions.forest.shared_bytes > 0);
     assert_eq!(
-        (stats.stage1.hits - hits_before) as usize,
-        bob_docs,
-        "cross-session document reuse must hit the shared stage-1 cache"
+        stats.stage1.hits + stats.stage1.misses,
+        lookups_before,
+        "a forked opening reuses the shared prefix without stage-1 traffic"
     );
     server.shutdown();
 }
@@ -415,6 +421,9 @@ fn cross_session_component_reuse_hits_the_shared_resolve_tier() {
         ServeConfig {
             shards: 2,
             stage1_cache_bytes: 0, // force the resolve stage to re-run
+            // Forest off: a fork would skip the rebuild entirely; this
+            // test pins the resolve tier below it.
+            session_forest: false,
             ..ServeConfig::default()
         },
     );
@@ -466,8 +475,11 @@ fn idle_sessions_expire_through_the_serve_config_ttl() {
     std::thread::sleep(Duration::from_millis(80));
     server.sweep_sessions();
     assert_eq!(server.stats().sessions.evicted_ttl, 1);
+    // The id starts over (its private delta is gone) — but its opening
+    // prefix is still frozen in the forest, so the restart forks it
+    // instead of rebuilding.
     let cold_again = server.query_in_session("s", QueryRequest::question(&q));
-    assert_eq!(cold_again.served, Served::SessionCold);
+    assert_eq!(cold_again.served, Served::SessionForked);
     assert_eq!(cold_again.answers, first.answers);
     server.shutdown();
 }

@@ -19,18 +19,25 @@
 //!   eviction** across sessions and an opportunistic **TTL sweep** for
 //!   idle ones. An evicted id starts cold on its next use — stale state
 //!   is never resurrected;
+//! * [`PrefixForest`] — the process-wide registry of **frozen, shared KB
+//!   prefixes**: the first session to build a given opening document
+//!   sequence freezes it into immutable `Arc`-shared layers, and every
+//!   later session with the same opening forks from the chain in O(1),
+//!   paying bytes and build time only for its delta;
 //! * [`SessionStats`] — sessions created/live/evicted, extend-vs-cold
-//!   turns, per-document dedup counts; the serving layer folds the
-//!   snapshot into its `ServeStats`.
+//!   turns, per-document dedup counts, forest fork/freeze/share gauges;
+//!   the serving layer folds the snapshot into its `ServeStats`.
 //!
 //! Everything is `std::sync` (mutex-per-slot plus one short-lived manager
 //! lock); there is no background thread — the TTL sweep runs on access
 //! and on demand ([`SessionManager::sweep`]).
 
+pub mod forest;
 pub mod manager;
 pub mod session;
 pub mod stats;
 
+pub use forest::{ForestConfig, ForestStats, PrefixForest};
 pub use manager::{SessionConfig, SessionManager};
 pub use session::{SessionKb, TurnReport};
 pub use stats::SessionStats;

@@ -1,5 +1,6 @@
 //! The concurrent session store: byte-budgeted LRU with a TTL sweep.
 
+use crate::forest::{ForestConfig, PrefixForest};
 use crate::session::{SessionKb, TurnReport};
 use crate::stats::{SessionCounters, SessionStats};
 use qkb_obs::Recorder;
@@ -20,6 +21,12 @@ pub struct SessionConfig {
     /// Hard cap on resident sessions; creating one past the cap evicts
     /// the least-recently-used. `0` = unbounded.
     pub max_sessions: usize,
+    /// The prefix-forest policy: when enabled, sessions opening on a
+    /// document sequence another session already built fork its frozen,
+    /// `Arc`-shared prefix instead of rebuilding — and the byte budget
+    /// above charges each session only the delta it **owns** (shared
+    /// layers are accounted once, in [`crate::ForestStats`]).
+    pub forest: ForestConfig,
 }
 
 impl Default for SessionConfig {
@@ -28,6 +35,7 @@ impl Default for SessionConfig {
             max_bytes: 256 << 20,
             ttl: Duration::from_secs(15 * 60),
             max_sessions: 1024,
+            forest: ForestConfig::default(),
         }
     }
 }
@@ -73,11 +81,16 @@ pub struct SessionManager {
     config: SessionConfig,
     counters: SessionCounters,
     recorder: Recorder,
+    forest: Option<Arc<PrefixForest>>,
 }
 
 impl SessionManager {
     /// An empty store under the given budget/TTL policy.
     pub fn new(config: SessionConfig) -> Self {
+        let forest = config
+            .forest
+            .enabled
+            .then(|| Arc::new(PrefixForest::new(config.forest.max_bytes)));
         Self {
             inner: Mutex::new(Inner {
                 sessions: FxHashMap::default(),
@@ -88,7 +101,13 @@ impl SessionManager {
             config,
             counters: SessionCounters::default(),
             recorder: Recorder::disabled(),
+            forest,
         }
+    }
+
+    /// The shared prefix-forest registry, when enabled.
+    pub fn forest(&self) -> Option<&Arc<PrefixForest>> {
+        self.forest.as_ref()
     }
 
     /// Builder: emit eviction events into `recorder` (disabled by
@@ -180,8 +199,10 @@ impl SessionManager {
             evicted_pressure: self.counters.evicted_pressure.load(Ordering::Relaxed),
             turns_cold: self.counters.turns_cold.load(Ordering::Relaxed),
             turns_extended: self.counters.turns_extended.load(Ordering::Relaxed),
+            turns_forked: self.counters.turns_forked.load(Ordering::Relaxed),
             docs_merged: self.counters.docs_merged.load(Ordering::Relaxed),
             docs_deduped: self.counters.docs_deduped.load(Ordering::Relaxed),
+            forest: self.forest.as_ref().map(|f| f.stats()).unwrap_or_default(),
         }
     }
 
@@ -189,6 +210,9 @@ impl SessionManager {
     /// resident sessions and their bytes are untouched.
     pub fn reset_counters(&self) {
         self.counters.reset();
+        if let Some(forest) = &self.forest {
+            forest.reset_counters();
+        }
     }
 
     /// Fetches (or creates) the session slot, touching its LRU position.
@@ -227,7 +251,10 @@ impl SessionManager {
                 }
             }
         }
-        let session = SessionKb::new();
+        let session = match &self.forest {
+            Some(forest) => SessionKb::with_forest(forest.clone()),
+            None => SessionKb::new(),
+        };
         let bytes = session.approx_bytes();
         let slot = Arc::new(Mutex::new(session));
         inner.total_bytes += bytes;
@@ -352,6 +379,7 @@ mod tests {
             max_sessions: 2,
             max_bytes: 0,
             ttl: Duration::ZERO,
+            ..Default::default()
         });
         m.with_session("a", |_| ());
         m.with_session("b", |_| ());
@@ -372,6 +400,7 @@ mod tests {
             ttl: Duration::from_millis(20),
             max_bytes: 0,
             max_sessions: 0,
+            ..Default::default()
         });
         m.with_session("a", |_| ());
         assert_eq!(m.len(), 1);
@@ -395,6 +424,7 @@ mod tests {
             max_bytes: 0,
             ttl: Duration::ZERO,
             max_sessions: 0,
+            ..Default::default()
         });
         let slot = m.claim("a");
         let base = m.stats().approx_bytes;

@@ -14,6 +14,7 @@ pub(crate) struct SessionCounters {
     pub evicted_pressure: AtomicU64,
     pub turns_cold: AtomicU64,
     pub turns_extended: AtomicU64,
+    pub turns_forked: AtomicU64,
     pub docs_merged: AtomicU64,
     pub docs_deduped: AtomicU64,
 }
@@ -29,6 +30,9 @@ impl SessionCounters {
         } else {
             Self::bump(&self.turns_extended, 1);
         }
+        if report.forked {
+            Self::bump(&self.turns_forked, 1);
+        }
         Self::bump(&self.docs_merged, report.merged as u64);
         Self::bump(&self.docs_deduped, report.deduped as u64);
     }
@@ -43,6 +47,7 @@ impl SessionCounters {
             &self.evicted_pressure,
             &self.turns_cold,
             &self.turns_extended,
+            &self.turns_forked,
             &self.docs_merged,
             &self.docs_deduped,
         ] {
@@ -70,10 +75,17 @@ pub struct SessionStats {
     pub turns_cold: u64,
     /// Query turns that extended an existing session KB.
     pub turns_extended: u64,
+    /// Cold turns that forked a shared prefix from the forest instead of
+    /// building the opening documents privately (a subset of
+    /// `turns_cold`).
+    pub turns_forked: u64,
     /// Documents newly merged into session KBs.
     pub docs_merged: u64,
     /// Documents skipped as already resident (streaming dedup).
     pub docs_deduped: u64,
+    /// Prefix-forest view: forks, freezes, shared bytes, layer refcounts
+    /// (all zero when the forest is disabled).
+    pub forest: crate::forest::ForestStats,
 }
 
 impl SessionStats {
@@ -104,8 +116,15 @@ impl SessionStats {
             .with("evicted_pressure", self.evicted_pressure)
             .with("turns_cold", self.turns_cold)
             .with("turns_extended", self.turns_extended)
+            .with("turns_forked", self.turns_forked)
             .with("docs_merged", self.docs_merged)
             .with("docs_deduped", self.docs_deduped)
             .with("dedup_rate", self.dedup_rate())
+            .with("forest_forks", self.forest.forks)
+            .with("forest_freezes", self.forest.freezes)
+            .with("forest_evicted", self.forest.evicted)
+            .with("forest_frozen_layers", self.forest.frozen_layers)
+            .with("forest_shared_bytes", self.forest.shared_bytes)
+            .with("forest_layer_refs", self.forest.layer_refs)
     }
 }

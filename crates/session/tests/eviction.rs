@@ -10,10 +10,17 @@
 //! 3. **Re-creating an evicted id** — the id comes back as a fresh, empty
 //!    session (no resurrection of stale state, no phantom dedup).
 
-use qkb_session::{SessionConfig, SessionManager};
+use qkb_session::{ForestConfig, SessionConfig, SessionManager};
 use qkbfly::{ComputeStage1, Qkbfly};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
+
+/// Forest off: these tests pin the private-KB eviction semantics
+/// (an evicted or expired id must come back with *no* reusable state).
+const OFF: ForestConfig = ForestConfig {
+    enabled: false,
+    max_bytes: 0,
+};
 
 fn tiny_system() -> Qkbfly {
     Qkbfly::new(
@@ -38,6 +45,7 @@ fn one_doc_session_bytes(qkb: &Qkbfly) -> u64 {
         max_bytes: 0,
         ttl: Duration::ZERO,
         max_sessions: 0,
+        forest: OFF,
     });
     probe.with_session("probe", |s| {
         s.extend(qkb, &ComputeStage1, &[doc(0)]);
@@ -52,6 +60,7 @@ fn ttl_expiry_mid_query_discards_in_flight_state() {
         ttl: Duration::from_millis(40),
         max_bytes: 0,
         max_sessions: 0,
+        forest: OFF,
     });
     let entered = Barrier::new(2);
     std::thread::scope(|scope| {
@@ -89,6 +98,7 @@ fn byte_pressure_evicts_lru_while_a_turn_is_in_flight() {
         max_bytes: w + w / 2,
         ttl: Duration::ZERO,
         max_sessions: 0,
+        forest: OFF,
     });
     // Session "a" holds one document (recorded weight ~w).
     manager.with_session("a", |s| {
@@ -132,6 +142,7 @@ fn claim_expires_a_stale_id_even_between_rate_limited_sweeps() {
         ttl: Duration::from_millis(300),
         max_bytes: 0,
         max_sessions: 0,
+        forest: OFF,
     });
     manager.with_session("a", |s| {
         s.extend(&qkb, &ComputeStage1, &[doc(0)]);
@@ -163,6 +174,7 @@ fn recreated_id_starts_cold_with_no_phantom_dedup() {
         max_sessions: 1,
         max_bytes: 0,
         ttl: Duration::ZERO,
+        forest: OFF,
     });
     let first = manager.with_session("a", |s| s.extend(&qkb, &ComputeStage1, &[doc(0), doc(1)]));
     assert_eq!((first.cold, first.merged), (true, 2));
@@ -177,4 +189,79 @@ fn recreated_id_starts_cold_with_no_phantom_dedup() {
     });
     assert_eq!((again.cold, again.merged, again.deduped), (true, 2, 0));
     assert_eq!(manager.stats().created, 3);
+}
+
+/// Evicting a session whose prefix is shared through the forest must not
+/// disturb the other forks: the registry and every surviving session
+/// hold their own `Arc`s, so the evicted session's layers stay readable
+/// everywhere else.
+#[test]
+fn evicting_a_forked_session_leaves_sibling_forks_readable() {
+    let qkb = tiny_system();
+    let manager = SessionManager::new(SessionConfig {
+        max_sessions: 2,
+        max_bytes: 0,
+        ttl: Duration::ZERO,
+        forest: ForestConfig {
+            enabled: true,
+            max_bytes: 64 << 20,
+        },
+    });
+    let opening = [doc(0), doc(1)];
+    manager.with_session("a", |s| s.extend(&qkb, &ComputeStage1, &opening));
+    let forked = manager.with_session("b", |s| s.extend(&qkb, &ComputeStage1, &opening));
+    assert!(forked.forked, "same opening must fork the shared prefix");
+    // Cap 2: claiming "c" evicts "a" — the session that *built* the
+    // shared prefix.
+    manager.with_session("c", |_| ());
+    assert_eq!(manager.stats().evicted_pressure, 1);
+    assert!(!manager.contains("a"));
+    // "b" still reads (and extends) the shared layers untouched.
+    let (docs, report) = manager.with_session("b", |s| {
+        assert_eq!(s.kb().n_docs(), 2);
+        let report = s.extend(&qkb, &ComputeStage1, &[doc(0), doc(2)]);
+        (s.kb().n_docs(), report)
+    });
+    assert_eq!(docs, 3);
+    assert_eq!((report.merged, report.deduped), (1, 1));
+    // And the prefix stays registered: a re-created "a" forks right back.
+    let again = manager.with_session("a", |s| s.extend(&qkb, &ComputeStage1, &opening));
+    assert!(again.cold && again.forked);
+}
+
+/// A frozen layer lives exactly as long as its last holder: dropping the
+/// registry's chains keeps live forks working, and the layer memory is
+/// reclaimed only when the final fork dies.
+#[test]
+fn last_fork_death_reclaims_the_shared_layer() {
+    let qkb = tiny_system();
+    let manager = SessionManager::new(SessionConfig {
+        max_sessions: 0,
+        max_bytes: 0,
+        ttl: Duration::ZERO,
+        forest: ForestConfig {
+            enabled: true,
+            max_bytes: 64 << 20,
+        },
+    });
+    let opening = [doc(0)];
+    manager.with_session("a", |s| s.extend(&qkb, &ComputeStage1, &opening));
+    let forked = manager.with_session("b", |s| s.extend(&qkb, &ComputeStage1, &opening));
+    assert!(forked.forked);
+    let weak = manager.with_session("a", |s| Arc::downgrade(&s.kb().frozen_layers()[0]));
+    let forest = manager.forest().expect("forest enabled").clone();
+
+    // Drop the registry's references: both sessions keep reading.
+    forest.clear();
+    let docs = manager.with_session("b", |s| s.kb().n_docs());
+    assert_eq!(docs, 1, "clearing the registry must not break live forks");
+    assert!(weak.upgrade().is_some());
+
+    // Kill the forks one by one (TTL-zero store: use pressure eviction
+    // by dropping the whole manager, the last strong references).
+    drop(manager);
+    assert!(
+        weak.upgrade().is_none(),
+        "the shared layer must be reclaimed when its last fork dies"
+    );
 }

@@ -36,18 +36,17 @@ fn main() {
     let result = system.build_kb(std::slice::from_ref(&page.text));
 
     println!("\nEntities & Mentions:");
-    for e in result.kb.entities().iter().take(8) {
+    for e in result.kb.iter_entities().take(8) {
         let mentions: Vec<&str> = e.mentions.iter().map(String::as_str).collect();
         println!("  {} -> {:?}", e.display(), mentions);
     }
     println!("\nFacts (binary and higher-arity):");
-    for f in result.kb.facts().iter().take(10) {
+    for f in result.kb.iter_facts().take(10) {
         println!("  {}", result.render(f));
     }
     let emerging = result
         .kb
-        .entities()
-        .iter()
+        .iter_entities()
         .filter(|e| e.kind == KbEntityKind::Emerging)
         .count();
     println!("\n({emerging} emerging entities flagged with *)");
@@ -58,7 +57,7 @@ fn main() {
     for doc in &news.docs {
         let r = system.build_kb(std::slice::from_ref(&doc.text));
         println!("\n{}:", doc.title);
-        for f in r.kb.facts().iter().take(3) {
+        for f in r.kb.iter_facts().take(3) {
             println!("  {}", r.render(f));
         }
     }

@@ -45,7 +45,7 @@ fn main() {
     println!(
         "\nbuilt on-the-fly KB: {} facts, {} entities ({} emerging)",
         result.kb.n_facts(),
-        result.kb.entities().len(),
+        result.kb.n_entities(),
         result.kb.n_emerging()
     );
 

@@ -39,11 +39,11 @@ fn main() {
 
     println!(
         "on-the-fly KB: {} entities ({} emerging), {} facts\n",
-        result.kb.entities().len(),
+        result.kb.n_entities(),
         result.kb.n_emerging(),
         result.kb.n_facts()
     );
-    for fact in result.kb.facts() {
+    for fact in result.kb.iter_facts() {
         println!(
             "  {}   (confidence {:.2}, arity {})",
             result.render(fact),

@@ -45,7 +45,7 @@ fn end_to_end_kb_construction_on_generated_pages() {
     assert!(result.kb.n_facts() > 10, "facts: {}", result.kb.n_facts());
     assert!(!result.links.is_empty());
     // Every kept fact's confidence respects τ.
-    for f in result.kb.facts() {
+    for f in result.kb.iter_facts() {
         assert!(f.confidence >= sys.config().tau - 1e-9);
     }
 }
@@ -164,8 +164,7 @@ fn deepdive_and_qkbfly_both_find_spouses() {
     let married_name = patterns.canonical(married).to_string();
     let qk_married = result
         .kb
-        .facts()
-        .iter()
+        .iter_facts()
         .filter(|f| match &f.relation {
             qkb_kb::RelationRef::Canonical(id) => patterns.canonical(*id) == married_name,
             qkb_kb::RelationRef::Novel(p) => p.starts_with("marry"),
